@@ -1,0 +1,24 @@
+"""Figure 9: sustained fraction of peak at P=64."""
+
+import pytest
+
+from repro.experiments.reference import FIGURE9
+from repro.experiments.summary import build_figure9, render_figure9
+
+
+def test_regenerate_figure9(report, benchmark):
+    model = benchmark.pedantic(build_figure9, rounds=1, iterations=1)
+    for app, ref_row in FIGURE9.items():
+        row = model[app]
+        # The vector/scalar split of the bar chart.
+        assert row["ES"] > max(row["Power3"], row["Power4"])
+        # ES sustains a higher fraction than the X1 on every app (§7).
+        assert row["ES"] > row["X1"]
+        # Within 12 percentage points of each paper bar.
+        for m, want in ref_row.items():
+            assert abs(row[m] - want) < 12.0, (app, m, row[m], want)
+    # PARATEC is everyone's best sustained fraction.
+    for m in ("Power3", "Power4", "Altix", "ES"):
+        others = [model[a][m] for a in ("LBMHD", "CACTUS", "GTC")]
+        assert model["PARATEC"][m] > max(others)
+    report(render_figure9(model))

@@ -1,0 +1,82 @@
+"""Benches for the paper's §7 future-work items, implemented here.
+
+* GTC's second decomposition dimension (lifting the 64-domain cap);
+* the vector performance of adaptive mesh refinement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr import (
+    AMRAdvectionSolver,
+    amr_vector_study,
+    gaussian_pulse,
+    render_study,
+)
+from repro.apps import gtc
+from repro.machine import ES, POWER3, X1
+from repro.perf import PerformanceModel
+
+
+class TestGTC2DDecomposition:
+    def test_projection_at_1024(self, report, benchmark):
+        """2D decomposition vs the measured hybrid-OpenMP fallback."""
+        def project():
+            cfg = gtc.GTCConfig(100, 1024, hybrid_threads=16)
+            hybrid = PerformanceModel(POWER3).predict(
+                gtc.build_profile(cfg), gtc.gtc_porting(cfg))
+            rows = {}
+            for m in (POWER3, ES):
+                r = PerformanceModel(m).predict(
+                    gtc.build_profile_2d(100, 1024),
+                    gtc.gtc_porting_2d(100, 1024))
+                rows[m.name] = r
+            return hybrid, rows
+
+        hybrid, rows = benchmark.pedantic(project, rounds=1,
+                                          iterations=1)
+        assert rows["Power3"].gflops_per_proc > hybrid.gflops_per_proc
+        es64 = PerformanceModel(ES).predict(
+            gtc.build_profile(gtc.GTCConfig(100, 64)),
+            gtc.gtc_porting(gtc.GTCConfig(100, 64)))
+        report(
+            "Future work: GTC 2D (toroidal x radial) decomposition at "
+            "P=1024 (100 part/cell)\n"
+            f"  Power3 hybrid MPI/OpenMP (measured era): "
+            f"{hybrid.total_gflops:.0f} GF aggregate\n"
+            f"  Power3 2D decomposition:                 "
+            f"{rows['Power3'].total_gflops:.0f} GF aggregate\n"
+            f"  ES 64-way (the 2004 cap):                "
+            f"{es64.total_gflops:.0f} GF aggregate\n"
+            f"  ES 1024-way 2D decomposition:            "
+            f"{rows['ES'].total_gflops:.0f} GF aggregate")
+
+    def test_runtime_2d_step(self, benchmark):
+        geom = gtc.TorusGeometry(gtc.AnnulusGrid(0.2, 1.0, 16, 16), 4)
+        parts = gtc.load_ring_perturbation(geom, 3.0, seed=0)
+
+        def run():
+            return gtc.run_parallel_2d(geom, parts, nzeta=2, nradial=2,
+                                       nsteps=1, dt=0.05)
+
+        out = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert sum(r.nparticles for r in out) == len(parts)
+
+
+class TestAMRVectorPerformance:
+    def test_study(self, report, benchmark):
+        u0, dx = gaussian_pulse(64)
+        solver = AMRAdvectionSolver(u0, dx, flag_threshold=0.08)
+        solver.step(5)
+        rows = benchmark.pedantic(amr_vector_study,
+                                  args=(solver.hierarchy,),
+                                  rounds=1, iterations=1)
+        by = {r.machine: r for r in rows}
+        assert by["ES"].efficiency_retained < by["Power3"].efficiency_retained
+        report(render_study(rows, solver.hierarchy))
+
+    def test_amr_step_kernel(self, benchmark):
+        u0, dx = gaussian_pulse(64)
+        solver = AMRAdvectionSolver(u0, dx, flag_threshold=0.08)
+        benchmark.pedantic(solver.step, args=(1,), rounds=3,
+                           iterations=1)

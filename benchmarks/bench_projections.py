@@ -1,0 +1,47 @@
+"""Projections the paper asks for: Power5 Cactus, 2D-GTC, AMR.
+
+These are *forward-looking* benches — the paper's own "future work"
+measured against our models — kept separate from the Tables 1-7
+regeneration so the reproduction and the extrapolation never mix.
+"""
+
+import pytest
+
+from repro.apps import cactus
+from repro.machine import POWER4, POWER5
+from repro.perf import PerformanceModel
+
+
+class TestPower5Projection:
+    """§5.2: 'IBM has added new variants of the prefetch instructions
+    to the Power5 ... We look forward to testing Cactus on the Power5.'"""
+
+    def test_cactus_on_power5(self, report, benchmark):
+        def project():
+            rows = {}
+            for grid in ((80, 80, 80), (250, 64, 64)):
+                cfg = cactus.CactusConfig(grid, 16)
+                porting = cactus.cactus_porting(cfg)
+                prof = cactus.build_profile(cfg)
+                rows[grid] = (
+                    PerformanceModel(POWER4).predict(prof, porting),
+                    PerformanceModel(POWER5).predict(prof, porting))
+            return rows
+
+        rows = benchmark.pedantic(project, rounds=1, iterations=1)
+        lines = ["Projection: Cactus on the Power5 (the paper's §5.2 "
+                 "anticipation)"]
+        for grid, (p4, p5) in rows.items():
+            lines.append(
+                f"  {grid[0]}x{grid[1]}x{grid[2]}: Power4 "
+                f"{p4.gflops_per_proc:.3f} GF/P -> Power5 "
+                f"{p5.gflops_per_proc:.3f} GF/P")
+            assert p5.gflops_per_proc > p4.gflops_per_proc
+        # The ghost-zone problem case gains the most: the repaired
+        # prefetch closes the 250x64x64 gap.
+        big = rows[(250, 64, 64)]
+        small = rows[(80, 80, 80)]
+        gain_big = big[1].gflops_per_proc / big[0].gflops_per_proc
+        gain_small = small[1].gflops_per_proc / small[0].gflops_per_proc
+        assert gain_big >= gain_small - 0.05
+        report("\n".join(lines))

@@ -1,0 +1,42 @@
+"""Table 1: architectural characteristics + network-model benchmarks."""
+
+import pytest
+
+from repro.experiments.tables import build_table1, build_table2
+from repro.machine import ES, X1, NetworkModel, topology_model
+
+
+def test_regenerate_table1(report, benchmark):
+    text = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    assert "Power3" in text and "crossbar" in text
+    report(text)
+
+
+def test_regenerate_table2(report, benchmark):
+    text = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    assert "LBMHD" in text and "Particle" in text
+    report(text)
+
+
+@pytest.mark.parametrize("machine", [ES, X1], ids=["ES", "X1"])
+def test_topology_graph_construction(benchmark, machine):
+    topo = topology_model(machine)
+    g = benchmark(topo.build_graph, 64)
+    assert g.number_of_nodes() >= 64
+
+
+def test_alltoall_cost_model(benchmark):
+    nm = NetworkModel(ES)
+
+    def sweep():
+        return [nm.alltoall_time(p, 1e6).seconds
+                for p in (16, 64, 256, 1024)]
+
+    times = benchmark(sweep)
+    assert all(t > 0 for t in times)
+
+
+def test_exchange_cost_model(benchmark):
+    nm = NetworkModel(X1)
+    ct = benchmark(nm.exchange_time, 8, 1e6)
+    assert ct.seconds > 0

@@ -1,0 +1,82 @@
+"""Table 3 (LBMHD): kernel benchmarks + table regeneration.
+
+The kernels timed here are the real collision and (interpolating)
+streaming updates the profile constants were derived from; the table
+itself comes from the performance model and is printed against the
+paper's measurements at the end of the session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd import (
+    D2Q9,
+    OCT9,
+    LBMHDSolver,
+    collide,
+    orszag_tang,
+    run_parallel,
+    stream_all,
+)
+from repro.apps.lbmhd.equilibrium import f_equilibrium, g_equilibrium
+from repro.experiments.tables import build_table3
+
+GRID = 96
+
+
+@pytest.fixture(scope="module")
+def state():
+    rho, u, B = orszag_tang(GRID, GRID)
+    f = f_equilibrium(rho, u, B, OCT9)
+    g = g_equilibrium(u, B, OCT9)
+    return f, g
+
+
+def test_collision_kernel(benchmark, state):
+    f, g = state
+    f2, g2 = benchmark(collide, f, g, OCT9, 0.8, 0.8)
+    assert f2.shape == f.shape
+
+
+def test_stream_kernel_octagonal(benchmark, state):
+    """The interpolating stream: 'third degree polynomial evaluations'."""
+    f, _ = state
+    out = benchmark(stream_all, f, OCT9)
+    assert out.sum() == pytest.approx(f.sum(), rel=1e-12)
+
+
+def test_stream_kernel_exact(benchmark, state):
+    f, _ = state
+    out = benchmark(stream_all, f, D2Q9)
+    assert out.shape == f.shape
+
+
+def test_full_step(benchmark):
+    solver = LBMHDSolver(*orszag_tang(64, 64), lattice=OCT9)
+    benchmark(solver.step, 1)
+
+
+def test_parallel_step_4ranks(benchmark):
+    rho, u, B = orszag_tang(32, 32)
+
+    def run():
+        return run_parallel(rho, u, B, nprocs=4, nsteps=1)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert out[0].shape == rho.shape
+
+
+def test_regenerate_table3(report, benchmark):
+    table = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    # Shape gates: the paper's qualitative findings must hold.
+    es = table.cell("4096x4096", 64, "ES")
+    p3 = table.cell("4096x4096", 64, "Power3")
+    x1 = table.cell("4096x4096", 64, "X1 (MPI)")
+    assert es.gflops_per_proc / p3.gflops_per_proc > 20
+    assert es.pct_peak > x1.pct_peak
+    caf = table.cell("8192x8192", 64, "X1 (CAF)")
+    mpi = table.cell("8192x8192", 64, "X1 (MPI)")
+    assert caf.gflops_per_proc > mpi.gflops_per_proc
+    # Every modeled cell within 3x of the paper's measurement.
+    assert table.shape_errors(tol_factor=3.0) == []
+    report(table.render())

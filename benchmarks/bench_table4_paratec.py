@@ -1,0 +1,89 @@
+"""Table 4 (PARATEC): kernel benchmarks + table regeneration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.paratec import (
+    Hamiltonian,
+    ParallelFFT3D,
+    PlaneWaveBasis,
+    SphereLayout,
+    cg_iterate,
+    random_bands,
+    silicon_primitive,
+    subspace_rotate,
+)
+from repro.experiments.tables import build_table4
+from repro.runtime import ParallelJob
+
+
+@pytest.fixture(scope="module")
+def setup():
+    basis = PlaneWaveBasis(silicon_primitive(), ecut=8.0)
+    ham = Hamiltonian.ionic(basis)
+    bands = random_bands(basis.size, 8, seed=0)
+    return basis, ham, bands
+
+
+def test_fft_pair(benchmark, setup):
+    """The 3D FFT pair at the heart of H|psi> (~30% of PARATEC)."""
+    basis, _, bands = setup
+
+    def roundtrip():
+        return basis.to_sphere(basis.to_grid(bands))
+
+    out = benchmark(roundtrip)
+    np.testing.assert_allclose(out, bands, atol=1e-10)
+
+
+def test_hamiltonian_apply(benchmark, setup):
+    basis, ham, bands = setup
+    out = benchmark(ham.apply, bands)
+    assert out.shape == bands.shape
+
+
+def test_subspace_rotation_blas3(benchmark, setup):
+    """The BLAS3 Rayleigh-Ritz step (~30% of PARATEC)."""
+    _, ham, bands = setup
+    evals, _ = benchmark(subspace_rotate, ham, bands)
+    assert (np.diff(evals) >= -1e-12).all()
+
+
+def test_cg_step_outer(benchmark, setup):
+    _, ham, bands = setup
+
+    def one_cg():
+        return cg_iterate(ham, bands.copy(), n_outer=1, n_inner=2)
+
+    evals, _, _ = benchmark.pedantic(one_cg, rounds=3, iterations=1)
+    assert len(evals) == 8
+
+
+def test_parallel_fft_2ranks(benchmark):
+    basis = PlaneWaveBasis(silicon_primitive(), ecut=5.5)
+    layout = SphereLayout(basis, 2)
+    rng = np.random.default_rng(0)
+    coeff = rng.standard_normal(basis.size) * (1 + 0j)
+
+    def run():
+        def prog(comm):
+            fft = ParallelFFT3D(basis, layout, comm)
+            return fft.forward(coeff[fft.my_sphere])
+        return ParallelJob(2).run(prog)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(out) == 2
+
+
+def test_regenerate_table4(report, benchmark):
+    table = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    es = table.cell("432 atoms", 32, "ES")
+    x1_64 = table.cell("686 atoms", 64, "X1")
+    x1_256 = table.cell("686 atoms", 256, "X1")
+    # High fraction of peak everywhere; ES > X1; X1 collapses at scale.
+    assert es.pct_peak > 45
+    assert x1_256.gflops_per_proc < 0.7 * x1_64.gflops_per_proc
+    es_1024 = table.cell("432 atoms", 1024, "ES")
+    assert es_1024.gflops_per_proc < es.gflops_per_proc
+    assert table.shape_errors(tol_factor=3.0) == []
+    report(table.render())

@@ -1,0 +1,99 @@
+"""Table 6 (GTC): kernel benchmarks + table regeneration.
+
+Includes a direct timing comparison of the three deposition algorithms
+— the work-vector method's entire reason to exist (§6.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.gtc import (
+    AnnulusGrid,
+    GTCSolver,
+    PoissonSolver,
+    TorusGeometry,
+    deposit_classic,
+    deposit_sorted,
+    deposit_work_vector,
+    gather_field,
+    load_uniform,
+    push_rk2,
+)
+from repro.experiments.tables import build_table6
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = AnnulusGrid(0.2, 1.0, 32, 32)
+    geom = TorusGeometry(grid, 1)
+    particles = load_uniform(geom, 40.0, seed=0)
+    return grid, geom, particles
+
+
+def test_deposit_classic(benchmark, setup):
+    grid, _, particles = setup
+    rho = benchmark(deposit_classic, grid, particles)
+    assert rho.sum() == pytest.approx(particles.w.sum(), rel=1e-12)
+
+
+def test_deposit_work_vector(benchmark, setup):
+    grid, _, particles = setup
+    rho, stats = benchmark(deposit_work_vector, grid, particles,
+                           vector_length=64)
+    assert stats["grid_copies"] == 64
+
+
+def test_deposit_sorted(benchmark, setup):
+    grid, _, particles = setup
+    rho = benchmark(deposit_sorted, grid, particles)
+    assert rho.shape == grid.shape
+
+
+def test_poisson_solve(benchmark, setup):
+    grid, _, _ = setup
+    solver = PoissonSolver(grid, alpha=1.0)
+    rng = np.random.default_rng(0)
+    rho = rng.standard_normal(grid.shape)
+    phi = benchmark(solver.solve, rho)
+    assert solver.residual(phi, rho) < 1e-9
+
+
+def test_gather_push(benchmark, setup):
+    grid, geom, particles = setup
+    e = np.ones(grid.shape) * 0.01
+
+    def push():
+        p = particles.select(np.arange(len(particles)))
+        push_rk2(geom, p, e, e, dt=0.05)
+        return p
+
+    p = benchmark(push)
+    assert len(p) == len(particles)
+
+
+def test_field_gather(benchmark, setup):
+    grid, geom, particles = setup
+    e = np.ones(grid.shape)
+    er, _ = benchmark(gather_field, grid, e, e, particles, geom.b0)
+    np.testing.assert_allclose(er, 1.0, atol=1e-12)
+
+
+def test_full_pic_step(benchmark):
+    geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), 2)
+    solver = GTCSolver(geom, load_uniform(geom, 10.0, seed=1), dt=0.05)
+    benchmark.pedantic(solver.step, args=(1,), rounds=3, iterations=1)
+
+
+def test_regenerate_table6(report, benchmark):
+    table = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+    es = table.cell("100 part/cell", 32, "ES")
+    x1 = table.cell("100 part/cell", 32, "X1")
+    p3 = table.cell("100 part/cell", 32, "Power3")
+    hybrid = table.cell("100 part/cell", 1024, "Power3")
+    # X1 fastest in absolute terms; ES highest %peak; hybrid lags.
+    assert x1.gflops_per_proc > es.gflops_per_proc
+    assert es.pct_peak > x1.pct_peak
+    assert es.gflops_per_proc / p3.gflops_per_proc > 5
+    assert hybrid.gflops_per_proc < p3.gflops_per_proc
+    assert table.shape_errors(tol_factor=3.0) == []
+    report(table.render())

@@ -1,0 +1,26 @@
+"""Table 7 and the end-to-end exhibit sweep."""
+
+import pytest
+
+from repro.experiments.summary import build_table7, render_table7
+from repro.experiments.reference import TABLE7
+
+
+def test_regenerate_table7(report, benchmark):
+    model = benchmark.pedantic(build_table7, rounds=1, iterations=1)
+    # Ordering gates from the paper's summary (§7).
+    for app in ("LBMHD", "PARATEC", "CACTUS", "GTC"):
+        row, ref = model[app], TABLE7[app]
+        # ES beats every superscalar platform on every application.
+        for m in ("Power3", "Power4", "Altix"):
+            assert row[m] > 1.0
+        # Per-cell factor within 3x of the paper.
+        for m, v in row.items():
+            assert v / ref[m] < 3.0 and ref[m] / v < 3.0
+    # The qualitative ranking of average speedups is preserved.
+    avg = model["Average"]
+    assert avg["Power3"] > avg["Power4"] > avg["Altix"] > avg["X1"]
+    # GTC is the one application where the X1 beats the ES.
+    assert model["GTC"]["X1"] < 1.0
+    assert model["LBMHD"]["X1"] < 2.0
+    report(render_table7(model))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_table*`` module pairs (a) pytest-benchmark timings of the
+real kernels behind that table with (b) regeneration of the table itself
+from the performance model, printed model-vs-paper at the end of the
+session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect exhibit renderings; printed at the end of the session."""
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORTS:
+        capman = session.config.pluginmanager.getplugin("capturemanager")
+        if capman is not None:
+            capman.suspend_global_capture(in_=True)
+        print("\n" + "=" * 78)
+        print("REGENERATED PAPER EXHIBITS (model | paper reference)")
+        print("=" * 78)
+        for text in _REPORTS:
+            print()
+            print(text)
+        if capman is not None:
+            capman.resume_global_capture()

@@ -1,0 +1,47 @@
+"""The paper's §7 future work, carried out: AMR on vector machines.
+
+Runs a multiscale advection-diffusion problem on a block-structured AMR
+hierarchy, validates it against a fine-unigrid reference, and then asks
+the paper's question: what do short patch loops do to vector
+performance?
+
+Run:  python examples/amr_vector_study.py
+"""
+
+import numpy as np
+
+from repro.amr import (
+    AMRAdvectionSolver,
+    amr_vector_study,
+    gaussian_pulse,
+    render_study,
+    unigrid_reference,
+)
+
+
+def main() -> None:
+    u0, dx = gaussian_pulse(64)
+    solver = AMRAdvectionSolver(u0.copy(), dx, flag_threshold=0.08)
+    m0 = solver.total_mass()
+    solver.step(40)
+    ref = unigrid_reference(u0, dx, 40, dt=solver.dt)
+    err = np.abs(solver.solution() - ref).max()
+    h = solver.hierarchy
+    print("AMR advection-diffusion, 64^2 base grid + ratio-2 patches:")
+    print(f"  patches {h.n_patches}, refined fraction "
+          f"{h.refined_fraction():.1%}")
+    print(f"  error vs fine unigrid: {err:.4f} "
+          f"(peak {ref.max():.3f})")
+    print(f"  mass drift: {abs(solver.total_mass() - m0) / m0:.2%} "
+          f"(first-order coupling, no refluxing)")
+    print()
+    print(render_study(amr_vector_study(h), h))
+    print()
+    print("Reading: cache-based machines keep their throughput on small")
+    print("patches; the cacheless vector pipes lose pipeline")
+    print("amortization as AVL falls with the patch width — the tension")
+    print("the paper flagged for future ultrascale AMR codes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The paper, end to end: regenerate every table and figure.
+
+Prints Tables 1-7 and the Figure 9 series, model next to the paper's
+measurements, and writes the full report to ``out/paper_report.txt``.
+
+Run:  python examples/architecture_study.py
+"""
+
+import os
+
+from repro.experiments import run_all
+
+OUT = os.path.join(os.path.dirname(__file__), "out")
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+    report = run_all()
+    print(report)
+    path = os.path.join(OUT, "paper_report.txt")
+    with open(path, "w") as fh:
+        fh.write(report + "\n")
+    print(f"\nFull report written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 5 substitution + §5 testbed: evolving Einstein's equations.
+
+Evolves the Apples-with-Apples gauge wave (an exact solution of the
+vacuum Einstein equations under harmonic slicing), demonstrates
+second-order convergence, monitors the constraints, and saves field
+snapshots — the same solver machinery a black-hole run (Fig. 5) uses.
+
+Run:  python examples/cactus_gauge_wave.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.apps import cactus
+from repro.experiments.figures import save_pgm
+
+OUT = os.path.join(os.path.dirname(__file__), "out")
+
+
+def evolve(n: int, t_end: float = 0.25):
+    dx = 1.0 / n
+    solver = cactus.CactusSolver(
+        *cactus.gauge_wave((n, 4, 4), dx, amplitude=0.05),
+        spacing=dx, dt=0.2 * dx, gauge="harmonic", integrator="rk4")
+    solver.step(int(round(t_end / (0.2 * dx))))
+    exact = cactus.gauge_wave((n, 4, 4), dx, amplitude=0.05,
+                              t=solver.time)
+    return solver, solver.deviation_from(*exact)
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+    print("ADM gauge-wave evolution (harmonic slicing, RK4):")
+    errors = {}
+    for n in (16, 32, 64):
+        solver, err = evolve(n)
+        errors[n] = err
+        c = solver.constraints()
+        print(f"  n={n:3d}: error vs exact {err:.3e}   "
+              f"H_inf {c.hamiltonian_linf:.1e}   "
+              f"M_inf {c.momentum_linf:.1e}")
+    order1 = np.log2(errors[16] / errors[32])
+    order2 = np.log2(errors[32] / errors[64])
+    print(f"  convergence order: {order1:.2f} (16->32), "
+          f"{order2:.2f} (32->64)  [expected 2.0]")
+
+    # Figure 5 substitution: a field snapshot of genuinely evolving GR.
+    solver, _ = evolve(64, t_end=0.4)
+    slice_xx = solver.gamma[0, 0, :, :, 2]
+    np.save(os.path.join(OUT, "figure5_gamma_xx.npy"), slice_xx)
+    save_pgm(os.path.join(OUT, "figure5_gamma_xx.pgm"), slice_xx)
+    print("\nSaved evolved metric snapshot to out/figure5_gamma_xx.*")
+
+    # Robust-stability testbed (the AwA noise test).
+    noisy = cactus.CactusSolver(
+        *cactus.random_perturbation((8, 8, 8), amplitude=1e-8),
+        spacing=0.25, gauge="1+log", dissipation=0.2)
+    noisy.step(50)
+    print(f"Robust stability: max field after 50 noisy steps = "
+          f"{noisy.max_field():.6f} (must stay ~1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Figure 7 + §6.1: gyrokinetic PIC microturbulence and the deposition
+algorithms.
+
+Runs the GTC cycle from a seeded poloidal mode, saves the electrostatic
+potential (the "finger-like" eddies of Fig. 7), and compares the three
+charge-deposition algorithms in results and wall-clock.
+
+Run:  python examples/gtc_microturbulence.py
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.apps import gtc
+from repro.experiments.figures import save_pgm
+
+OUT = os.path.join(os.path.dirname(__file__), "out")
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+    grid = gtc.AnnulusGrid(0.2, 1.0, 32, 64)
+    geom = gtc.TorusGeometry(grid, nplanes=4)
+    particles = gtc.load_ring_perturbation(geom, 20.0, mode_m=6,
+                                           amplitude=0.4, seed=0)
+    solver = gtc.GTCSolver(geom, particles, dt=0.05)
+    solver.step(5)
+    phi = solver.potential_snapshot()
+    np.save(os.path.join(OUT, "figure7_potential.npy"), phi)
+    save_pgm(os.path.join(OUT, "figure7_potential.pgm"), phi)
+    spectrum = np.abs(np.fft.rfft(phi[grid.nr // 2]))
+    print("Figure 7 reproduction: electrostatic potential")
+    print(f"  {len(particles)} particles on {geom.nplanes} poloidal "
+          f"planes")
+    print(f"  dominant poloidal mode m = {spectrum.argmax()} "
+          f"(seeded m = 6)")
+    print(f"  saved to out/figure7_potential.npy/.pgm")
+
+    d = solver.diagnostics()
+    print(f"  charge on grid {d.total_charge:.1f}, particles "
+          f"{d.nparticles} (all conserved)")
+
+    # -- deposition algorithms (Fig. 8 / §6.1) ------------------------------
+    print("\nCharge deposition algorithms (one plane, "
+          f"{len(solver.particles_of_plane(0))} particles):")
+    plane_particles = solver.particles_of_plane(0)
+    results = {}
+    for name, fn in (
+            ("classic (scalar)",
+             lambda: gtc.deposit_classic(grid, plane_particles)),
+            ("work-vector VL=64",
+             lambda: gtc.deposit_work_vector(grid, plane_particles,
+                                             vector_length=64)[0]),
+            ("sorted",
+             lambda: gtc.deposit_sorted(grid, plane_particles))):
+        t0 = time.perf_counter()
+        rho = fn()
+        dt = time.perf_counter() - t0
+        results[name] = rho
+        print(f"  {name:20} {dt * 1e3:7.1f} ms   "
+              f"total charge {rho.sum():.4f}")
+    ref = results["classic (scalar)"]
+    for name, rho in results.items():
+        assert np.allclose(rho, ref, atol=1e-10)
+    print("  all three algorithms agree to rounding error")
+    amp = gtc.profile.memory_amplification(256, 10)
+    print(f"  work-vector memory amplification at production "
+          f"resolution: {amp:.1f}x (paper: 2x-8x, §6.1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Small compatibility shims."""
+
+from functools import cached_property
+
+__all__ = ["cached_property"]

@@ -1,0 +1,30 @@
+"""Adaptive mesh refinement substrate (the paper's §7 future work)."""
+
+from .advection import (
+    AMRAdvectionSolver,
+    gaussian_pulse,
+    unigrid_reference,
+)
+from .mesh import (
+    AMRHierarchy,
+    Box,
+    Patch,
+    REFINEMENT_RATIO,
+    cluster_flags,
+    prolong,
+    restrict,
+)
+from .vector_analysis import (
+    VectorStudyRow,
+    amr_profile,
+    amr_vector_study,
+    render_study,
+    unigrid_profile,
+)
+
+__all__ = [
+    "AMRAdvectionSolver", "AMRHierarchy", "Box", "Patch",
+    "REFINEMENT_RATIO", "VectorStudyRow", "amr_profile",
+    "amr_vector_study", "cluster_flags", "gaussian_pulse", "prolong",
+    "render_study", "restrict", "unigrid_profile", "unigrid_reference",
+]

@@ -1,0 +1,240 @@
+"""Block-structured adaptive mesh refinement (2D).
+
+The paper's stated future work (§7): "We are particularly interested in
+investigating the vector performance of adaptive mesh refinement (AMR)
+methods, as we believe they will become a key component of future
+high-fidelity multiscale physics simulations."  This package provides
+the substrate for exactly that investigation: a Berger-Collela-style
+patch hierarchy (refinement ratio 2), gradient-based flagging, greedy
+signature clustering, and conservative prolongation/restriction — plus
+the vector-performance analysis in :mod:`repro.amr.vector_analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+REFINEMENT_RATIO = 2
+
+
+@dataclass(frozen=True)
+class Box:
+    """A rectangular index region [lo, hi) on one level's index space."""
+
+    lo: tuple[int, int]
+    hi: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if any(h <= l for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"empty box {self.lo}..{self.hi}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.hi[0] - self.lo[0], self.hi[1] - self.lo[1])
+
+    @property
+    def ncells(self) -> int:
+        s = self.shape
+        return s[0] * s[1]
+
+    def refined(self) -> "Box":
+        r = REFINEMENT_RATIO
+        return Box((self.lo[0] * r, self.lo[1] * r),
+                   (self.hi[0] * r, self.hi[1] * r))
+
+    def contains(self, i: int, j: int) -> bool:
+        return (self.lo[0] <= i < self.hi[0]
+                and self.lo[1] <= j < self.hi[1])
+
+    def overlaps(self, other: "Box") -> bool:
+        return (self.lo[0] < other.hi[0] and other.lo[0] < self.hi[0]
+                and self.lo[1] < other.hi[1] and other.lo[1] < self.hi[1])
+
+
+@dataclass
+class Patch:
+    """One rectangular grid patch with cell-centered data."""
+
+    box: Box
+    level: int
+    data: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.data is None:
+            self.data = np.zeros(self.box.shape)
+        if self.data.shape != self.box.shape:
+            raise ValueError("data/box shape mismatch")
+
+    @property
+    def inner_trip(self) -> int:
+        """Innermost-loop trip count (the vectorization-relevant width)."""
+        return self.box.shape[1]
+
+
+def cluster_flags(flags: np.ndarray, *, efficiency: float = 0.7,
+                  min_width: int = 4) -> list[Box]:
+    """Greedy signature-based clustering (Berger-Rigoutsos lite).
+
+    Recursively bisects the bounding box of flagged cells along the
+    signature minimum of its longer axis until every box is either
+    efficient (flagged fraction >= ``efficiency``) or at minimum width.
+    """
+    if flags.ndim != 2:
+        raise ValueError("flags must be 2-D")
+    if not 0 < efficiency <= 1:
+        raise ValueError("efficiency in (0, 1] required")
+
+    def bounding(f: np.ndarray, off: tuple[int, int]) -> Box | None:
+        idx = np.argwhere(f)
+        if len(idx) == 0:
+            return None
+        lo = idx.min(axis=0)
+        hi = idx.max(axis=0) + 1
+        return Box((int(lo[0]) + off[0], int(lo[1]) + off[1]),
+                   (int(hi[0]) + off[0], int(hi[1]) + off[1]))
+
+    out: list[Box] = []
+
+    def recurse(box: Box) -> None:
+        sub = flags[box.lo[0]:box.hi[0], box.lo[1]:box.hi[1]]
+        frac = sub.mean()
+        h, w = sub.shape
+        if frac >= efficiency or max(h, w) <= min_width:
+            out.append(box)
+            return
+        axis = 0 if h >= w else 1
+        signature = sub.sum(axis=1 - axis)
+        n = len(signature)
+        # Cut at the interior signature minimum (ties -> centre-most).
+        interior = signature[min_width // 2:n - min_width // 2]
+        if len(interior) == 0:
+            out.append(box)
+            return
+        cut = int(np.argmin(interior)) + min_width // 2
+        cut = max(min_width // 2, min(cut, n - min_width // 2))
+        if axis == 0:
+            a = Box(box.lo, (box.lo[0] + cut, box.hi[1]))
+            b = Box((box.lo[0] + cut, box.lo[1]), box.hi)
+        else:
+            a = Box(box.lo, (box.hi[0], box.lo[1] + cut))
+            b = Box((box.lo[0], box.lo[1] + cut), box.hi)
+        for piece in (a, b):
+            tight = bounding(
+                flags[piece.lo[0]:piece.hi[0], piece.lo[1]:piece.hi[1]],
+                piece.lo)
+            if tight is not None:
+                recurse(tight)
+
+    top = bounding(flags, (0, 0))
+    if top is not None:
+        recurse(top)
+    return out
+
+
+def prolong(coarse: np.ndarray) -> np.ndarray:
+    """Piecewise-constant prolongation to the ratio-2 fine grid.
+
+    Conservative for cell averages: each coarse cell's value fills its
+    four children.
+    """
+    r = REFINEMENT_RATIO
+    return np.repeat(np.repeat(coarse, r, axis=0), r, axis=1)
+
+
+def restrict(fine: np.ndarray) -> np.ndarray:
+    """Conservative average restriction from the ratio-2 fine grid."""
+    r = REFINEMENT_RATIO
+    if any(s % r for s in fine.shape):
+        raise ValueError("fine shape must be divisible by the ratio")
+    h, w = fine.shape[0] // r, fine.shape[1] // r
+    return fine.reshape(h, r, w, r).mean(axis=(1, 3))
+
+
+class AMRHierarchy:
+    """A two-level-or-more patch hierarchy over a periodic base grid."""
+
+    def __init__(self, base: np.ndarray, dx: float, *,
+                 max_levels: int = 2, flag_threshold: float = 0.1,
+                 efficiency: float = 0.7, min_width: int = 4):
+        if base.ndim != 2:
+            raise ValueError("base grid must be 2-D")
+        if max_levels < 1:
+            raise ValueError("max_levels must be >= 1")
+        self.dx = dx
+        self.max_levels = max_levels
+        self.flag_threshold = flag_threshold
+        self.efficiency = efficiency
+        self.min_width = min_width
+        self.base = base.astype(np.float64).copy()
+        #: patches per refined level (level 1 = first refinement, ...)
+        self.levels: list[list[Patch]] = []
+        self.regrid()
+
+    # -- flagging & regridding ----------------------------------------------
+    def error_indicator(self, field_2d: np.ndarray) -> np.ndarray:
+        """Scaled gradient magnitude (the standard flagging estimator)."""
+        gx = np.abs(np.roll(field_2d, -1, 0) - np.roll(field_2d, 1, 0))
+        gy = np.abs(np.roll(field_2d, -1, 1) - np.roll(field_2d, 1, 1))
+        return 0.5 * (gx + gy)
+
+    def regrid(self) -> None:
+        """Rebuild every refined level from the current solution."""
+        self.levels = []
+        current = self.base
+        for level in range(1, self.max_levels):
+            err = self.error_indicator(current)
+            scale = np.abs(current).max()
+            flags = err > self.flag_threshold * max(scale, 1e-300)
+            boxes = cluster_flags(flags, efficiency=self.efficiency,
+                                  min_width=self.min_width)
+            patches = []
+            for box in boxes:
+                fine = prolong(current[box.lo[0]:box.hi[0],
+                                       box.lo[1]:box.hi[1]])
+                patches.append(Patch(box.refined(), level, fine))
+            self.levels.append(patches)
+            if not patches:
+                break
+            # Next flagging pass sees the union of fine data on a
+            # virtual fine grid (only used for max_levels > 2).
+            current = prolong(current)
+            for p in patches:
+                current[p.box.lo[0]:p.box.hi[0],
+                        p.box.lo[1]:p.box.hi[1]] = p.data
+        self.sync_down()
+
+    # -- data motion ------------------------------------------------------------
+    def sync_down(self) -> None:
+        """Restrict fine patches onto their parents (conservation)."""
+        for level_patches in reversed(self.levels):
+            for p in level_patches:
+                coarse = restrict(p.data)
+                lo = (p.box.lo[0] // REFINEMENT_RATIO,
+                      p.box.lo[1] // REFINEMENT_RATIO)
+                hi = (p.box.hi[0] // REFINEMENT_RATIO,
+                      p.box.hi[1] // REFINEMENT_RATIO)
+                self.base[lo[0]:hi[0], lo[1]:hi[1]] = coarse
+
+    # -- bookkeeping ------------------------------------------------------------
+    @property
+    def n_patches(self) -> int:
+        return sum(len(l) for l in self.levels)
+
+    def refined_fraction(self) -> float:
+        """Fraction of the base grid covered by level-1 patches."""
+        if not self.levels:
+            return 0.0
+        covered = sum(p.box.ncells for p in self.levels[0])
+        r2 = REFINEMENT_RATIO**2
+        return covered / (self.base.size * r2)
+
+    def inner_trip_counts(self) -> list[int]:
+        """Innermost-loop widths of every patch (the AVL driver)."""
+        return [p.inner_trip for level in self.levels for p in level]
+
+    def composite_max(self) -> float:
+        vals = [np.abs(self.base).max()]
+        vals += [np.abs(p.data).max() for l in self.levels for p in l]
+        return float(max(vals))

@@ -1,0 +1,117 @@
+"""Vector performance of AMR — answering the paper's §7 question.
+
+The concern behind "investigating the vector performance of adaptive
+mesh refinement methods": AMR replaces one long unigrid sweep with many
+small patch sweeps, shortening the innermost loops that set the average
+vector length.  Cache-based superscalar machines barely notice (small
+patches even *help* locality); cacheless vector pipes lose their
+pipeline amortization.
+
+:func:`amr_vector_study` quantifies it with the same machinery used for
+the paper's tables: per-patch stencil work becomes
+:class:`~repro.perf.work.WorkPhase` records whose ``trip`` is the patch
+width, and the machine models predict the efficiency relative to an
+equivalent-resolution unigrid sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import PLATFORMS, MachineSpec
+from ..perf import AppProfile, PerformanceModel, WorkPhase
+from ..work import AccessPattern
+from .mesh import REFINEMENT_RATIO, AMRHierarchy
+
+#: stencil work per cell of the model problem (upwind + diffusion)
+FLOPS_PER_CELL = 16.0
+WORDS_PER_CELL = 7.0
+
+
+def _phase(name: str, ncells: float, trip: int) -> WorkPhase:
+    return WorkPhase(name, flops=FLOPS_PER_CELL * ncells,
+                     words=WORDS_PER_CELL * ncells,
+                     access=AccessPattern.UNIT, trip=max(1, trip))
+
+
+def amr_profile(hierarchy: AMRHierarchy) -> AppProfile:
+    """Work profile of one composite AMR step (base + patches)."""
+    base_ny, base_nx = hierarchy.base.shape
+    phases = [_phase("base-sweep", hierarchy.base.size, base_nx)]
+    for i, patch in enumerate(p for l in hierarchy.levels for p in l):
+        phases.append(_phase(f"patch-{i}", patch.box.ncells,
+                             patch.inner_trip))
+    profile = AppProfile("amr", "composite", 1, phases=phases)
+    return profile
+
+
+def unigrid_profile(hierarchy: AMRHierarchy) -> AppProfile:
+    """Equivalent-resolution unigrid: the whole box at the fine spacing."""
+    r = REFINEMENT_RATIO
+    ny, nx = hierarchy.base.shape
+    ncells = hierarchy.base.size * r * r
+    return AppProfile("amr", "unigrid", 1,
+                      phases=[_phase("fine-sweep", ncells, nx * r)])
+
+
+@dataclass
+class VectorStudyRow:
+    machine: str
+    amr_gflops: float
+    unigrid_gflops: float
+    amr_avl: float
+    unigrid_avl: float
+
+    @property
+    def efficiency_retained(self) -> float:
+        """AMR per-cell throughput relative to the unigrid sweep."""
+        if self.unigrid_gflops == 0:
+            return 0.0
+        return self.amr_gflops / self.unigrid_gflops
+
+
+def amr_vector_study(hierarchy: AMRHierarchy,
+                     machines: list[MachineSpec] | None = None
+                     ) -> list[VectorStudyRow]:
+    """Predict AMR-vs-unigrid throughput on each platform.
+
+    The comparison is per unit of work (Gflop/s while sweeping), so the
+    *compute savings* of AMR (fewer cells) are factored out and only the
+    loop-structure penalty remains — the paper's question.
+    """
+    machines = machines or list(PLATFORMS)
+    amr = amr_profile(hierarchy)
+    uni = unigrid_profile(hierarchy)
+    rows = []
+    for m in machines:
+        pm = PerformanceModel(m)
+        ra = pm.predict(amr)
+        ru = pm.predict(uni)
+        rows.append(VectorStudyRow(
+            machine=m.name,
+            amr_gflops=ra.gflops_per_proc,
+            unigrid_gflops=ru.gflops_per_proc,
+            amr_avl=ra.avl,
+            unigrid_avl=ru.avl))
+    return rows
+
+
+def render_study(rows: list[VectorStudyRow],
+                 hierarchy: AMRHierarchy) -> str:
+    trips = hierarchy.inner_trip_counts()
+    lines = [
+        "AMR vector-performance study (the paper's §7 future work)",
+        "",
+        f"  patches: {hierarchy.n_patches}, refined fraction "
+        f"{hierarchy.refined_fraction():.1%}, inner-loop widths "
+        f"{min(trips) if trips else 0}..{max(trips) if trips else 0}",
+        "",
+        f"  {'machine':8} {'AMR GF':>8} {'uni GF':>8} "
+        f"{'retained':>9} {'AMR AVL':>8} {'uni AVL':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r.machine:8} {r.amr_gflops:8.2f} "
+            f"{r.unigrid_gflops:8.2f} {r.efficiency_retained:8.1%} "
+            f"{r.amr_avl:8.0f} {r.unigrid_avl:8.0f}")
+    return "\n".join(lines)

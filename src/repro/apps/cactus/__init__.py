@@ -1,0 +1,33 @@
+"""Cactus: 3+1 vacuum ADM general-relativity evolver (astrophysics, §5)."""
+
+from .adm import GAUGES, adm_rhs, lapse_rhs
+from .boundaries import apply_sommerfeld, radius_on_face, sommerfeld_rhs_face
+from .geometry import (
+    Curvature,
+    curvature,
+    hamiltonian_constraint,
+    momentum_constraint,
+    ricci_scalar,
+)
+from .initial import brill_pulse, gauge_wave, minkowski, random_perturbation
+from .mol import INTEGRATORS, euler_step, icn_step, rk4_step
+from .parallel import run_parallel
+from .profile import (
+    CactusConfig,
+    build_profile,
+    cactus_porting,
+    table5_configs,
+)
+from .solver import CactusSolver, ConstraintNorms
+from .stencils import ghost_for, kreiss_oliger
+
+__all__ = [
+    "CactusConfig", "CactusSolver", "ConstraintNorms", "Curvature",
+    "GAUGES", "INTEGRATORS", "adm_rhs", "apply_sommerfeld", "brill_pulse",
+    "build_profile", "cactus_porting", "curvature", "euler_step",
+    "gauge_wave", "hamiltonian_constraint", "icn_step", "lapse_rhs",
+    "minkowski", "momentum_constraint", "radius_on_face",
+    "random_perturbation", "ricci_scalar", "rk4_step", "run_parallel",
+    "sommerfeld_rhs_face", "table5_configs", "ghost_for",
+    "kreiss_oliger",
+]

@@ -1,0 +1,107 @@
+"""Differential geometry of the 3-metric: Christoffels, Ricci, constraints.
+
+Everything is vectorized over the grid with ``einsum``.  Validity regions:
+with ghost width 2, first-derivative quantities (dgamma, Gamma) are valid
+on the ghost-1 region and curvature (dGamma, Ricci) on the true interior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stencils import grad, interior
+from .tensors import sym_inverse, symmetrize, trace
+
+
+@dataclass
+class Curvature:
+    """Geometric quantities derived from a ghost-extended 3-metric.
+
+    With finite-difference order ``2s``: first-derivative quantities
+    (``dgamma``, ``christoffel``) are valid on the ghost-s region and
+    ``ricci`` on the true interior.  ``at_interior`` shrinks a ghost-s
+    field to the interior for algebra with Ricci.
+    """
+
+    gamma: np.ndarray           # (3,3, n+2s...)
+    gamma_inv: np.ndarray       # (3,3, n+2s...)
+    dgamma: np.ndarray          # (3,3,3, n+2s...)  [k, i, j] = d_k g_ij
+    christoffel: np.ndarray     # (3,3,3, n+2s...)  [k, i, j] = Gamma^k_ij
+    ricci: np.ndarray           # (3,3, n...)
+    order: int = 2
+
+    @property
+    def shrink(self) -> int:
+        return self.order // 2
+
+    def at_interior(self, field: np.ndarray) -> np.ndarray:
+        """Shrink a ghost-s-valid field to the interior region."""
+        return interior(field, self.shrink)
+
+
+def curvature(gamma_ext: np.ndarray,
+              spacing: tuple[float, float, float],
+              order: int = 2) -> Curvature:
+    """Compute Christoffels and Ricci from a ghost-extended metric."""
+    if gamma_ext.shape[:2] != (3, 3):
+        raise ValueError("gamma must be a full (3,3,...) field")
+    s = order // 2
+    # d_k gamma_ij, valid on the ghost-s region.
+    dg = grad(gamma_ext, spacing, order)
+    g1 = interior(gamma_ext, s)
+    ginv = sym_inverse(g1)
+    # Gamma^k_ij = 1/2 g^kl (d_i g_lj + d_j g_li - d_l g_ij)
+    gamma_sym = np.einsum(
+        "kl...,ilj...->kij...", ginv, dg) / 2.0 \
+        + np.einsum("kl...,jli...->kij...", ginv, dg) / 2.0 \
+        - np.einsum("kl...,lij...->kij...", ginv, dg) / 2.0
+    # dGamma[m, k, i, j] = d_m Gamma^k_ij, valid on the interior.
+    dGamma = grad(gamma_sym, spacing, order)
+    Gi = interior(gamma_sym, s)
+    # R_ij = d_k G^k_ij - d_i G^k_kj + G^k_kl G^l_ij - G^k_il G^l_kj
+    d_k_G_kij = np.einsum("kkij...->ij...", dGamma)
+    d_i_G_kkj = np.einsum("ikkj...->ij...", dGamma)
+    GG1 = np.einsum("kkl...,lij...->ij...", Gi, Gi)
+    GG2 = np.einsum("kil...,lkj...->ij...", Gi, Gi)
+    ricci = symmetrize(d_k_G_kij - d_i_G_kkj + GG1 - GG2)
+    return Curvature(gamma=g1, gamma_inv=ginv, dgamma=dg,
+                     christoffel=gamma_sym, ricci=ricci, order=order)
+
+
+def ricci_scalar(geo: Curvature) -> np.ndarray:
+    """R = g^{ij} R_ij on the interior."""
+    return trace(geo.ricci, geo.at_interior(geo.gamma_inv))
+
+
+def hamiltonian_constraint(geo: Curvature, K_ext: np.ndarray
+                           ) -> np.ndarray:
+    """H = R + (tr K)^2 - K_ij K^ij, on the interior (vacuum: H = 0)."""
+    ginv = geo.at_interior(geo.gamma_inv)
+    K = interior(K_ext, 2 * geo.shrink)
+    trK = trace(K, ginv)
+    Kup = np.einsum("ik...,jl...,kl...->ij...", ginv, ginv, K)
+    KK = np.einsum("ij...,ij...->...", Kup, K)
+    return ricci_scalar(geo) + trK**2 - KK
+
+
+def momentum_constraint(geo: Curvature, K_ext: np.ndarray,
+                        spacing: tuple[float, float, float]) -> np.ndarray:
+    """M_i = D^j K_ij - D_i tr K, on the interior (vacuum: M = 0)."""
+    s = geo.shrink
+    dK = grad(K_ext, spacing, geo.order)      # [k,i,j] = d_k K_ij
+    G = geo.christoffel                       # ghost-s region
+    # Covariant derivative D_k K_ij = d_k K_ij - G^l_ki K_lj - G^l_kj K_il
+    K1 = interior(K_ext, s)
+    DK = dK \
+        - np.einsum("lki...,lj...->kij...", G, K1) \
+        - np.einsum("lkj...,il...->kij...", G, K1)
+    ginv1 = geo.gamma_inv
+    # tr K on the ghost-s region, then its gradient on the interior.
+    trK1 = trace(K1, ginv1)
+    dtrK = grad(trK1, spacing, geo.order)
+    DKi = interior(DK, s)
+    ginv = geo.at_interior(ginv1)
+    MjKij = np.einsum("jk...,kji...->i...", ginv, DKi)
+    return MjKij - dtrK

@@ -1,0 +1,96 @@
+"""Initial data for the ADM evolver.
+
+* :func:`minkowski` — flat space (stability and regression tests);
+* :func:`gauge_wave` — the Apples-with-Apples gauge wave: flat spacetime
+  in wavy coordinates, an *exact* solution under harmonic slicing, used
+  for convergence tests and as the Figure 5 substitution (an actually
+  evolving strong-gauge-field configuration);
+* :func:`brill_pulse` — a weak even-parity metric pulse for robustness
+  tests (not constraint-exact; amplitude must be small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensors import identity_metric
+
+
+def minkowski(shape: tuple[int, int, int]
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flat initial data: gamma = delta, K = 0, alpha = 1."""
+    gamma = identity_metric(shape)
+    K = np.zeros((3, 3, *shape))
+    alpha = np.ones(shape)
+    return gamma, K, alpha
+
+
+def _x_coords(shape: tuple[int, int, int], dx: float) -> np.ndarray:
+    return (np.arange(shape[0]) * dx)[:, None, None] * \
+        np.ones((1, shape[1], shape[2]))
+
+
+def gauge_wave(shape: tuple[int, int, int], dx: float, *,
+               amplitude: float = 0.1, t: float = 0.0
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gauge-wave data at time ``t`` (also the exact solution).
+
+    Metric ``ds^2 = -H dt^2 + H dx^2 + dy^2 + dz^2`` with
+    ``H = 1 - A sin(2 pi (x - t) / L)``, where ``L = shape[0] * dx`` is
+    the (periodic) domain length.  ADM variables:
+
+    ``gamma_xx = H``, ``alpha = sqrt(H)``,
+    ``K_xx = -dt(gamma_xx) / (2 alpha) = -pi A / L * cos(...) / sqrt(H)``
+    (note dt H = +(2 pi A / L) cos(2 pi (x-t)/L)).
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError("amplitude must be in [0, 1)")
+    L = shape[0] * dx
+    x = _x_coords(shape, dx)
+    phase = 2.0 * np.pi * (x - t) / L
+    H = 1.0 - amplitude * np.sin(phase)
+    dHdt = 2.0 * np.pi * amplitude / L * np.cos(phase)
+    gamma = identity_metric(shape)
+    gamma[0, 0] = H
+    K = np.zeros((3, 3, *shape))
+    K[0, 0] = -dHdt / (2.0 * np.sqrt(H))
+    alpha = np.sqrt(H)
+    return gamma, K, alpha
+
+
+def brill_pulse(shape: tuple[int, int, int], dx: float, *,
+                amplitude: float = 1e-3, sigma: float = 1.0
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Weak time-symmetric metric pulse centered in the box.
+
+    ``gamma = (1 + A exp(-r^2/sigma^2)) delta``, ``K = 0``.  For small
+    ``A`` the constraint violation is O(A) and the pulse disperses as
+    gravitational-wave-like gauge dynamics; used for the Figure 5
+    substitution and robustness tests.
+    """
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    coords = [(np.arange(n) - (n - 1) / 2.0) * dx for n in shape]
+    xx = coords[0][:, None, None]
+    yy = coords[1][None, :, None]
+    zz = coords[2][None, None, :]
+    r2 = xx**2 + yy**2 + zz**2
+    psi = 1.0 + amplitude * np.exp(-r2 / sigma**2)
+    gamma = identity_metric(shape) * psi
+    K = np.zeros((3, 3, *shape))
+    alpha = np.ones(shape)
+    return gamma, K, alpha
+
+
+def random_perturbation(shape: tuple[int, int, int], *,
+                        amplitude: float = 1e-8, seed: int = 0
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Minkowski + random noise (the 'robust stability' testbed)."""
+    rng = np.random.default_rng(seed)
+    gamma, K, alpha = minkowski(shape)
+    sym_noise = rng.standard_normal((3, 3, *shape)) * amplitude
+    gamma += 0.5 * (sym_noise + np.swapaxes(sym_noise, 0, 1))
+    sym_noise = rng.standard_normal((3, 3, *shape)) * amplitude
+    K += 0.5 * (sym_noise + np.swapaxes(sym_noise, 0, 1))
+    alpha += rng.standard_normal(shape) * amplitude
+    return gamma, K, alpha

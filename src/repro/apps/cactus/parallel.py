@@ -1,0 +1,108 @@
+"""Block-parallel Cactus on the simulated runtime (Fig. 6).
+
+The grid is block domain decomposed so that each processor has a section
+of the global grid; each right-hand-side evaluation updates the ghost
+zones by exchanging data on the faces of its topological neighbours.
+Sequential-axis exchange (x, then y spanning filled x-ghosts, then z
+spanning both) fills edge and corner ghosts without diagonal messages.
+
+The parallel evolution is bitwise identical to the serial solver
+(pointwise arithmetic and ghost values match exactly), which the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...runtime import BlockND, Comm, ParallelJob, ProcessorGrid, Transport
+from .solver import CactusSolver
+from .stencils import extend
+
+
+class _RankCactus(CactusSolver):
+    """One rank's solver: ghost fill goes through the communicator."""
+
+    def __init__(self, comm: Comm, decomp: BlockND, gamma, K, alpha,
+                 **kwargs):
+        kwargs["boundary"] = "periodic"
+        bounds = decomp.bounds(comm.rank)
+        loc = tuple(slice(a, b) for a, b in bounds)
+        super().__init__(gamma[(slice(None), slice(None)) + loc],
+                         K[(slice(None), slice(None)) + loc],
+                         alpha[loc], **kwargs)
+        self.comm = comm
+        self.bounds = bounds
+        grid = decomp.grid
+        coords = grid.coords(comm.rank)
+        self.neighbors = {}
+        for ax in range(3):
+            lo = list(coords)
+            hi = list(coords)
+            lo[ax] -= 1
+            hi[ax] += 1
+            self.neighbors[ax] = (grid.rank(tuple(lo)),
+                                  grid.rank(tuple(hi)))
+
+    def _extended(self, state):
+        exts = tuple(extend(f, self.ghost) for f in state)
+        g = self.ghost
+        for ax in range(3):
+            left, right = self.neighbors[ax]
+            n = exts[0].shape[ax - 3] - 2 * g
+
+            def strip(e: np.ndarray, start: int, stop: int) -> tuple:
+                sl = [slice(None)] * 3
+                sl[ax] = slice(start, stop)
+                return (Ellipsis, *sl)
+
+            lo_src = [e[strip(e, g, 2 * g)].copy() for e in exts]
+            hi_src = [e[strip(e, n, n + g)].copy() for e in exts]
+            if left == self.comm.rank:
+                # Periodic wrap within this rank (grid dim 1 on this axis).
+                for e, lo, hi in zip(exts, lo_src, hi_src):
+                    e[strip(e, 0, g)] = hi
+                    e[strip(e, n + g, n + 2 * g)] = lo
+                continue
+            # Send my low strip to the left neighbour (it becomes their
+            # high ghost) and my high strip to the right neighbour.
+            self.comm.send(lo_src, dest=left, tag=2 * ax)
+            self.comm.send(hi_src, dest=right, tag=2 * ax + 1)
+            from_left = self.comm.recv(source=left, tag=2 * ax + 1)
+            from_right = self.comm.recv(source=right, tag=2 * ax)
+            for e, lo, hi in zip(exts, from_left, from_right):
+                e[strip(e, 0, g)] = lo
+                e[strip(e, n + g, n + 2 * g)] = hi
+        return exts
+
+
+def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
+                 nprocs: int, nsteps: int,
+                 spacing: float | tuple[float, float, float] = 0.1,
+                 dt: float | None = None, gauge: str = "harmonic",
+                 integrator: str = "icn", order: int = 2,
+                 transport: Transport | None = None
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha)."""
+    shape = gamma.shape[2:]
+    grid = ProcessorGrid.for_nprocs(nprocs, 3)
+    decomp = BlockND(grid, shape)
+
+    def rank_main(comm: Comm):
+        solver = _RankCactus(comm, decomp, gamma, K, alpha,
+                             spacing=spacing, dt=dt, gauge=gauge,
+                             integrator=integrator, order=order)
+        with comm.phase("evolve"):
+            solver.step(nsteps)
+        return solver.bounds, solver.gamma, solver.K, solver.alpha
+
+    results = ParallelJob(nprocs, transport=transport).run(rank_main)
+    gamma_out = np.empty_like(gamma)
+    K_out = np.empty_like(K)
+    alpha_out = np.empty_like(alpha)
+    for bounds, g_l, K_l, a_l in results:
+        loc = tuple(slice(a, b) for a, b in bounds)
+        gamma_out[(slice(None), slice(None)) + loc] = g_l
+        K_out[(slice(None), slice(None)) + loc] = K_l
+        alpha_out[loc] = a_l
+    return gamma_out, K_out, alpha_out

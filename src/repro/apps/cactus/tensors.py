@@ -1,0 +1,84 @@
+"""Symmetric-tensor grid fields and pointwise 3x3 algebra.
+
+The ADM variables are symmetric rank-2 tensors over a 3D grid.  Storage is
+component-major: a symmetric field is an array of shape ``(6, *grid)`` in
+the order (xx, xy, xz, yy, yz, zz); the helpers expand to full ``(3, 3,
+*grid)`` arrays for ``einsum`` work and pack back.
+
+All algebra (inverse, determinant, traces) is vectorized over the grid
+with explicit adjugate formulas — no per-point linear-algebra calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: (i, j) pairs of the packed component order.
+SYM_INDEX: tuple[tuple[int, int], ...] = (
+    (0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2))
+
+#: packed slot for full indices (i, j).
+SLOT = np.array([[0, 1, 2], [1, 3, 4], [2, 4, 5]])
+
+
+def to_full(packed: np.ndarray) -> np.ndarray:
+    """(6, ...) packed symmetric components -> full (3, 3, ...) array."""
+    if packed.shape[0] != 6:
+        raise ValueError("packed symmetric field needs leading dim 6")
+    return packed[SLOT]
+
+
+def to_packed(full: np.ndarray) -> np.ndarray:
+    """Full (3, 3, ...) symmetric array -> packed (6, ...) components."""
+    if full.shape[:2] != (3, 3):
+        raise ValueError("full tensor field needs leading dims (3, 3)")
+    return np.stack([full[i, j] for i, j in SYM_INDEX])
+
+
+def sym_det(g: np.ndarray) -> np.ndarray:
+    """Determinant of a full (3, 3, ...) symmetric tensor field."""
+    return (
+        g[0, 0] * (g[1, 1] * g[2, 2] - g[1, 2] * g[2, 1])
+        - g[0, 1] * (g[1, 0] * g[2, 2] - g[1, 2] * g[2, 0])
+        + g[0, 2] * (g[1, 0] * g[2, 1] - g[1, 1] * g[2, 0]))
+
+
+def sym_inverse(g: np.ndarray) -> np.ndarray:
+    """Inverse of a full (3, 3, ...) symmetric tensor field (adjugate)."""
+    det = sym_det(g)
+    if np.any(np.abs(det) < 1e-300):
+        raise ValueError("singular metric encountered")
+    inv = np.empty_like(g)
+    inv[0, 0] = g[1, 1] * g[2, 2] - g[1, 2] * g[2, 1]
+    inv[0, 1] = g[0, 2] * g[2, 1] - g[0, 1] * g[2, 2]
+    inv[0, 2] = g[0, 1] * g[1, 2] - g[0, 2] * g[1, 1]
+    inv[1, 1] = g[0, 0] * g[2, 2] - g[0, 2] * g[2, 0]
+    inv[1, 2] = g[0, 2] * g[1, 0] - g[0, 0] * g[1, 2]
+    inv[2, 2] = g[0, 0] * g[1, 1] - g[0, 1] * g[1, 0]
+    inv[1, 0] = inv[0, 1]
+    inv[2, 0] = inv[0, 2]
+    inv[2, 1] = inv[1, 2]
+    return inv / det
+
+
+def trace(t: np.ndarray, g_inv: np.ndarray) -> np.ndarray:
+    """Trace ``g^{ij} t_{ij}`` of a full (3, 3, ...) tensor field."""
+    return np.einsum("ij...,ij...->...", g_inv, t)
+
+
+def raise_index(t: np.ndarray, g_inv: np.ndarray) -> np.ndarray:
+    """``t^i_j = g^{ik} t_{kj}`` for full (3, 3, ...) fields."""
+    return np.einsum("ik...,kj...->ij...", g_inv, t)
+
+
+def identity_metric(grid_shape: tuple[int, ...]) -> np.ndarray:
+    """Flat (Minkowski spatial) metric as a full (3, 3, *grid) field."""
+    g = np.zeros((3, 3, *grid_shape))
+    for i in range(3):
+        g[i, i] = 1.0
+    return g
+
+
+def symmetrize(t: np.ndarray) -> np.ndarray:
+    """(t + t^T)/2 over the leading (3, 3) indices."""
+    return 0.5 * (t + np.swapaxes(t, 0, 1))

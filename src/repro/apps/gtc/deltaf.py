@@ -1,0 +1,122 @@
+"""Delta-f weighting: the method the production GTC actually uses.
+
+GTC solves the *gyrophase-averaged Vlasov-Poisson* system perturbatively:
+markers sample a known equilibrium ``F0`` (a Maxwellian with a radial
+density gradient — the free-energy source of drift-wave turbulence) and
+carry evolving weights ``w = delta-f / F0``.  Only the perturbation is
+deposited, which slashes the sampling noise that makes full-f PIC so
+expensive.
+
+For our uniform toroidal field and electrostatic, collisionless setup
+the weight equation closes beautifully: the ExB drift does no work
+(``v_E . E = 0``), leaving only the gradient drive
+
+    dw/dt = (1 - w) * kappa_n * v_Er,
+    v_Er = E_theta / B0,  kappa_n = -d ln n0 / dr.
+
+With the adiabatic-electron screening already in the Poisson solver this
+supports drift waves: a seeded potential mode propagates in the electron
+diamagnetic direction at ~ the diamagnetic frequency (tested) instead of
+simply decaying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .grid import TorusGeometry
+from .particles import ParticleArray, load_uniform
+from .push import gather_field
+from .solver import GTCSolver
+
+
+def load_maxwellian_gradient(geometry: TorusGeometry,
+                             particles_per_cell: float, *,
+                             kappa_n: float = 1.0, seed: int = 0,
+                             weight_noise: float = 1e-3
+                             ) -> ParticleArray:
+    """Markers sampling F0 with density gradient exp(-kappa_n (r-r_mid)).
+
+    Marker positions follow F0 itself (importance sampling), so the
+    per-marker F0 weight is constant and the delta-f weights start as
+    small noise.
+    """
+    plane = geometry.plane
+    p = load_uniform(geometry, particles_per_cell, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    r_mid = 0.5 * (plane.r0 + plane.r1)
+    # Rejection-free reshaping: move markers radially so their density
+    # tracks n0(r) ~ exp(-kappa_n (r - r_mid)) (inverse-CDF on the
+    # area-weighted radial coordinate, done approximately by rejection).
+    keep_prob = np.exp(-kappa_n * (p.r - r_mid))
+    keep_prob /= keep_prob.max()
+    accepted = rng.random(len(p)) < keep_prob
+    p = p.select(accepted)
+    p.w = weight_noise * rng.standard_normal(len(p))
+    return p
+
+
+class DeltaFSolver(GTCSolver):
+    """GTC cycle with delta-f weight evolution.
+
+    The deposited charge is ``sum_markers w`` (the perturbation only);
+    the weight update uses the gyro-averaged field at each marker.
+    """
+
+    def __init__(self, geometry: TorusGeometry,
+                 particles: ParticleArray, *, kappa_n: float = 1.0,
+                 **kwargs):
+        kwargs.setdefault("charge_scale",
+                          geometry.plane.npoints * geometry.nplanes
+                          / max(len(particles), 1))
+        super().__init__(geometry, particles, **kwargs)
+        self.kappa_n = kappa_n
+
+    def gather_push(self) -> None:
+        """Push gyrocenters, then advance the delta-f weights."""
+        geom = self.geometry
+        planes = geom.plane_of(self.particles.zeta)
+        # Weight update uses the pre-push field at the pre-push
+        # positions (first-order in dt, like the parent's push).
+        for k in range(self.nplanes_local):
+            mask = planes == self.plane_start + k
+            if not mask.any():
+                continue
+            sub = self.particles.select(mask)
+            from .push import electric_field
+
+            e_r, e_th = electric_field(geom.plane, self.phi[k])
+            _, et_p = gather_field(geom.plane, e_r, e_th, sub, geom.b0)
+            v_er = et_p / geom.b0
+            dw = self.dt * (1.0 - sub.w) * self.kappa_n * v_er
+            w = self.particles.w.copy()
+            w[mask] = sub.w + dw
+            self.particles.w = w
+        super().gather_push()
+
+    # -- diagnostics ------------------------------------------------------
+    def mode_amplitude_phase(self, m: int, plane: int = 0
+                             ) -> tuple[float, float]:
+        """(|phi_m|, arg phi_m) of poloidal mode m at mid-radius."""
+        row = self.phi[plane][self.geometry.plane.nr // 2]
+        coeff = np.fft.rfft(row)[m]
+        return float(np.abs(coeff)), float(np.angle(coeff))
+
+    def weight_rms(self) -> float:
+        if len(self.particles) == 0:
+            return 0.0
+        return float(np.sqrt(np.mean(self.particles.w**2)))
+
+
+def diamagnetic_frequency(geometry: TorusGeometry, kappa_n: float,
+                          m: int, temperature: float = 1.0) -> float:
+    """Electron diamagnetic frequency of poloidal mode m at mid-radius.
+
+    ``omega* = k_theta * T * kappa_n / (q B)`` with
+    ``k_theta = m / r_mid`` — the drift-wave phase speed scale the
+    seeded mode should rotate at.
+    """
+    plane = geometry.plane
+    r_mid = 0.5 * (plane.r0 + plane.r1)
+    k_theta = m / r_mid
+    return k_theta * temperature * kappa_n / geometry.b0

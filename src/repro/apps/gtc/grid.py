@@ -1,0 +1,138 @@
+"""Field grid for GTC: poloidal annulus planes in a periodic torus.
+
+The geometry of the system is a torus with an externally imposed magnetic
+field (§6).  We model the gyrokinetic reduction on a set of poloidal
+planes: each plane is an annulus ``r in [r0, r1]`` x ``theta in [0, 2pi)``
+carrying the charge and potential fields; planes are stacked along the
+toroidal angle ``zeta`` (the 1D decomposition direction, limited to 64
+domains, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AnnulusGrid:
+    """Uniform (r, theta) grid on an annulus.
+
+    Radial index is the first axis (``nr`` points including both Dirichlet
+    boundaries), poloidal the second (``ntheta`` periodic points).
+    """
+
+    r0: float
+    r1: float
+    nr: int
+    ntheta: int
+
+    def __post_init__(self) -> None:
+        if self.r1 <= self.r0 or self.r0 <= 0:
+            raise ValueError("need 0 < r0 < r1")
+        if self.nr < 4 or self.ntheta < 4:
+            raise ValueError("grid too coarse")
+
+    @property
+    def dr(self) -> float:
+        return (self.r1 - self.r0) / (self.nr - 1)
+
+    @property
+    def dtheta(self) -> float:
+        return 2.0 * np.pi / self.ntheta
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nr, self.ntheta)
+
+    @property
+    def npoints(self) -> int:
+        return self.nr * self.ntheta
+
+    def radii(self) -> np.ndarray:
+        return self.r0 + self.dr * np.arange(self.nr)
+
+    def thetas(self) -> np.ndarray:
+        return self.dtheta * np.arange(self.ntheta)
+
+    # -- interpolation ------------------------------------------------------
+    def bilinear(self, r: np.ndarray, theta: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bilinear stencil for positions (r, theta).
+
+        Returns ``(i, j, w)`` with shapes (4, n): the four corner indices
+        ``(i[k], j[k])`` and weights ``w[k]`` (weights sum to 1).  Radial
+        positions are clamped to the annulus; theta wraps periodically.
+        """
+        r = np.asarray(r, dtype=np.float64)
+        theta = np.asarray(theta, dtype=np.float64)
+        x = np.clip((r - self.r0) / self.dr, 0.0, self.nr - 1 - 1e-9)
+        y = np.mod(theta, 2.0 * np.pi) / self.dtheta
+        i0 = np.floor(x).astype(np.int64)
+        j0 = np.floor(y).astype(np.int64) % self.ntheta
+        fx = x - i0
+        fy = y - np.floor(y)
+        i1 = np.minimum(i0 + 1, self.nr - 1)
+        j1 = (j0 + 1) % self.ntheta
+        ii = np.stack([i0, i1, i0, i1])
+        jj = np.stack([j0, j0, j1, j1])
+        ww = np.stack([(1 - fx) * (1 - fy), fx * (1 - fy),
+                       (1 - fx) * fy, fx * fy])
+        return ii, jj, ww
+
+    def gradient(self, field: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(d/dr, (1/r) d/dtheta) of a (nr, ntheta) field.
+
+        Central differences; one-sided at the radial walls, periodic in
+        theta.  The theta derivative is the *physical* poloidal component
+        (divided by r).
+        """
+        if field.shape != self.shape:
+            raise ValueError("field shape mismatch")
+        d_dr = np.gradient(field, self.dr, axis=0)
+        d_dth = (np.roll(field, -1, axis=1) - np.roll(field, 1, axis=1)) \
+            / (2.0 * self.dtheta)
+        return d_dr, d_dth / self.radii()[:, None]
+
+    def cell_volume_weights(self) -> np.ndarray:
+        """Per-node area weights (r dr dtheta, trapezoidal in r)."""
+        w_r = np.full(self.nr, self.dr)
+        w_r[0] = w_r[-1] = 0.5 * self.dr
+        return (w_r * self.radii())[:, None] \
+            * np.full((1, self.ntheta), self.dtheta)
+
+
+@dataclass(frozen=True)
+class TorusGeometry:
+    """Toroidal stacking of poloidal planes + field strength profile."""
+
+    plane: AnnulusGrid
+    nplanes: int
+    major_radius: float = 10.0
+    b0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nplanes < 1:
+            raise ValueError("need at least one plane")
+        if self.major_radius <= self.plane.r1:
+            raise ValueError("major radius must exceed minor radius")
+
+    @property
+    def dzeta(self) -> float:
+        return 2.0 * np.pi / self.nplanes
+
+    def plane_of(self, zeta: np.ndarray) -> np.ndarray:
+        """Owning plane index for toroidal angles (nearest-lower plane)."""
+        z = np.mod(zeta, 2.0 * np.pi)
+        return np.minimum((z / self.dzeta).astype(np.int64),
+                          self.nplanes - 1)
+
+    def b_field(self, r: np.ndarray) -> np.ndarray:
+        """|B| on the gyrocenter.
+
+        The gyrophase-averaged model uses the field at the gyrocenter; we
+        take the large-aspect-ratio limit (uniform toroidal field), which
+        keeps mu exactly conserved and makes energy checks exact.
+        """
+        return np.full_like(np.asarray(r, dtype=np.float64), self.b0)

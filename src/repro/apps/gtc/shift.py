@@ -1,0 +1,76 @@
+"""Particle shift between toroidal domains (§6.1).
+
+After the push, every particle's toroidal angle is checked against its
+domain's zeta range; movers are packed and exchanged with the left/right
+neighbour domains.  This is the routine whose nested-if structure blocked
+vectorization on the X1 until it was rewritten as two successive
+conditional blocks (54% -> 4% of runtime); our implementation *is* the
+rewritten form — two mask evaluations, no nested branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...runtime.comm import Comm
+from .grid import TorusGeometry
+from .particles import ParticleArray
+
+
+@dataclass(frozen=True)
+class ShiftStats:
+    sent_left: int
+    sent_right: int
+    received: int
+
+
+def classify_movers(geometry: TorusGeometry, particles: ParticleArray,
+                    domain: int, ndomains: int
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Masks (stay, to_left, to_right) for one domain's particles.
+
+    Two successive conditional blocks — the vectorizable structure of the
+    X1 port.  Particles can move at most one domain per step (the push dt
+    is restricted so |dzeta| < domain width), mirroring GTC.
+    """
+    if not 0 <= domain < ndomains:
+        raise ValueError("domain out of range")
+    width = 2.0 * np.pi / ndomains
+    lo, hi = domain * width, (domain + 1) * width
+    z = np.mod(particles.zeta, 2.0 * np.pi)
+    # Signed distance into the left/right neighbour, on the periodic circle.
+    off_left = np.mod(lo - z, 2.0 * np.pi)
+    off_right = np.mod(z - hi, 2.0 * np.pi)
+    to_left = (off_left > 0) & (off_left <= width)
+    to_right = (off_right >= 0) & (off_right < width) & ~to_left
+    inside = (z >= lo) & (z < hi)
+    to_left &= ~inside
+    to_right &= ~inside
+    stay = ~(to_left | to_right)
+    return stay, to_left, to_right
+
+
+def shift_particles(comm: Comm, geometry: TorusGeometry,
+                    particles: ParticleArray, domain: int, ndomains: int
+                    ) -> tuple[ParticleArray, ShiftStats]:
+    """Exchange movers with neighbouring domains; returns the new locals."""
+    stay, to_left, to_right = classify_movers(geometry, particles, domain,
+                                              ndomains)
+    left = (domain - 1) % ndomains
+    right = (domain + 1) % ndomains
+    outbound_left = particles.select(to_left)
+    outbound_right = particles.select(to_right)
+    kept = particles.select(stay)
+    if ndomains == 1:
+        merged = ParticleArray.concatenate(
+            [kept, outbound_left, outbound_right])
+        return merged, ShiftStats(0, 0, 0)
+    comm.send(outbound_left, dest=left, tag=101)
+    comm.send(outbound_right, dest=right, tag=102)
+    from_right = comm.recv(source=right, tag=101)
+    from_left = comm.recv(source=left, tag=102)
+    merged = ParticleArray.concatenate([kept, from_left, from_right])
+    return merged, ShiftStats(len(outbound_left), len(outbound_right),
+                              len(from_left) + len(from_right))

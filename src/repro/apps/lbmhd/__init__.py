@@ -1,0 +1,17 @@
+"""LBMHD: 2D magnetohydrodynamic lattice-Boltzmann (plasma physics, §3)."""
+
+from . import instrumentation
+from .collision import collide, resistivity, viscosity
+from .initial import cross_current_sheets, orszag_tang
+from .lattice import D2Q9, OCT9, Lattice, stream_all
+from .parallel import run_parallel
+from .profile import LBMHDConfig, build_profile, table3_configs
+from .solver import Diagnostics, LBMHDSolver
+
+__all__ = [
+    "instrumentation",
+    "D2Q9", "OCT9", "Diagnostics", "LBMHDConfig", "LBMHDSolver", "Lattice",
+    "build_profile", "collide", "cross_current_sheets", "orszag_tang",
+    "resistivity", "run_parallel", "stream_all", "table3_configs",
+    "viscosity",
+]

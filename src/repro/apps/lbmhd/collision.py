@@ -1,0 +1,38 @@
+"""BGK collision step for LBMHD.
+
+A collision step involves data local to each spatial point only (§3),
+relaxing the distributions toward the Dellar equilibria:
+
+``f <- f + (f_eq - f)/tau``   (viscosity  nu  = cs2 (tau  - 1/2))
+``g <- g + (g_eq - g)/tau_m`` (resistivity eta = cs2 (tau_m - 1/2))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .equilibrium import f_equilibrium, g_equilibrium, moments
+from .lattice import Lattice
+
+
+def collide(f: np.ndarray, g: np.ndarray, lattice: Lattice,
+            tau: float, tau_m: float) -> tuple[np.ndarray, np.ndarray]:
+    """One BGK collision; returns new (f, g).  Pointwise and local."""
+    if tau <= 0.5 or tau_m <= 0.5:
+        raise ValueError("relaxation times must exceed 1/2 for stability")
+    rho, u, B = moments(f, g, lattice)
+    feq = f_equilibrium(rho, u, B, lattice)
+    geq = g_equilibrium(u, B, lattice)
+    f_new = f + (feq - f) / tau
+    g_new = g + (geq - g) / tau_m
+    return f_new, g_new
+
+
+def viscosity(tau: float, lattice: Lattice) -> float:
+    """Kinematic viscosity implied by ``tau`` on this lattice."""
+    return lattice.cs2 * (tau - 0.5)
+
+
+def resistivity(tau_m: float, lattice: Lattice) -> float:
+    """Magnetic resistivity implied by ``tau_m`` on this lattice."""
+    return lattice.cs2 * (tau_m - 0.5)

@@ -1,0 +1,93 @@
+"""Dellar-scheme equilibria for MHD lattice Boltzmann.
+
+The scheme [Dellar, J. Comput. Phys. 179 (2002); refs. 9, 16, 17 of the
+paper] evolves scalar distributions ``f_i`` for the fluid and vector-valued
+distributions ``g_i`` for the magnetic field:
+
+* hydrodynamic moments: density ``rho = sum_i f_i``, momentum
+  ``m = sum_i f_i xi_i``;
+* the equilibrium second moment carries the total (fluid + Maxwell)
+  stress ``Pi = rho u u + (B.B/2) I - B B``, which is how the Lorentz
+  force enters the momentum equation;
+* magnetic moments: ``B = sum_i g_i``; the equilibrium first moment
+  carries the induction electric field ``u B - B u``.
+
+Arrays are laid out distribution-first: ``f`` is (Q, ny, nx) and ``g``
+is (Q, 2, ny, nx).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import Lattice
+
+
+def moments(f: np.ndarray, g: np.ndarray, lattice: Lattice
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Macroscopic fields (rho, u, B) from distributions."""
+    xi = lattice.velocities
+    rho = f.sum(axis=0)
+    m = np.einsum("qyx,qa->ayx", f, xi)
+    B = g.sum(axis=0)
+    u = m / rho
+    return rho, u, B
+
+
+def f_equilibrium(rho: np.ndarray, u: np.ndarray, B: np.ndarray,
+                  lattice: Lattice) -> np.ndarray:
+    """Fluid equilibrium distributions, shape (Q, ny, nx).
+
+    ``f_i^eq = w_i [rho + xi.m/cs2 + (xi xi - cs2 I):Pi / (2 cs4)]`` with
+    ``Pi = rho u u + (B.B/2) I - B B``.
+    """
+    w, xi, cs2 = lattice.weights, lattice.velocities, lattice.cs2
+    m = rho[None] * u
+    b2 = (B * B).sum(axis=0)
+    # Pi_ab, symmetric 2x2 per point.
+    pi = rho[None, None] * u[None, :] * u[:, None] \
+        - B[None, :] * B[:, None]
+    pi[0, 0] += 0.5 * b2
+    pi[1, 1] += 0.5 * b2
+
+    xim = np.einsum("qa,ayx->qyx", xi, m)
+    # (xi_a xi_b - cs2 d_ab) : Pi
+    xipix = np.einsum("qa,qb,abyx->qyx", xi, xi, pi)
+    trpi = pi[0, 0] + pi[1, 1]
+    quad = xipix - cs2 * trpi[None]
+    return w[:, None, None] * (
+        rho[None] + xim / cs2 + quad / (2.0 * cs2 * cs2))
+
+
+def g_equilibrium(u: np.ndarray, B: np.ndarray,
+                  lattice: Lattice) -> np.ndarray:
+    """Magnetic equilibrium distributions, shape (Q, 2, ny, nx).
+
+    ``g_ia^eq = w_i [B_a + xi.(u B_a - B u_a)/cs2]``; the antisymmetric
+    tensor ``u B - B u`` is the induction term of Faraday's law.
+    """
+    w, xi, cs2 = lattice.weights, lattice.velocities, lattice.cs2
+    # E_ba = u_b B_a - B_b u_a   (contract xi over b)
+    induction = u[:, None] * B[None, :] - B[:, None] * u[None, :]
+    xiE = np.einsum("qb,bayx->qayx", xi, induction)
+    return w[:, None, None, None] * (B[None] + xiE / cs2)
+
+
+def check_equilibrium_moments(rho, u, B, lattice, atol=1e-10) -> None:
+    """Assert the defining moment identities (used by tests)."""
+    feq = f_equilibrium(rho, u, B, lattice)
+    geq = g_equilibrium(u, B, lattice)
+    xi = lattice.velocities
+    np.testing.assert_allclose(feq.sum(axis=0), rho, atol=atol)
+    np.testing.assert_allclose(
+        np.einsum("qyx,qa->ayx", feq, xi), rho[None] * u, atol=atol)
+    np.testing.assert_allclose(geq.sum(axis=0), B, atol=atol)
+    b2 = (B * B).sum(axis=0)
+    pi = rho[None, None] * u[None, :] * u[:, None] - B[None, :] * B[:, None]
+    pi[0, 0] += 0.5 * b2
+    pi[1, 1] += 0.5 * b2
+    stress = np.einsum("qyx,qa,qb->abyx", feq, xi, xi)
+    expect = pi.copy()
+    expect[0, 0] += lattice.cs2 * rho
+    expect[1, 1] += lattice.cs2 * rho
+    np.testing.assert_allclose(stress, expect, atol=atol)

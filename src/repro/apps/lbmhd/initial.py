@@ -1,0 +1,75 @@
+"""Initial conditions for LBMHD.
+
+Two families:
+
+* :func:`cross_current_sheets` — "simple initial conditions ... decaying
+  to form current sheets": two cross-shaped current structures whose decay
+  is Figure 1 of the paper;
+* :func:`orszag_tang` — the standard Orszag–Tang vortex, the classic 2D
+  MHD decay benchmark (used for physics validation).
+
+All return ``(rho, u, B)`` on a periodic ``(ny, nx)`` grid, with arrays
+shaped ``(ny, nx)`` for rho and ``(2, ny, nx)`` for vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _grid(ny: int, nx: int) -> tuple[np.ndarray, np.ndarray]:
+    y = np.linspace(0.0, 2.0 * np.pi, ny, endpoint=False)
+    x = np.linspace(0.0, 2.0 * np.pi, nx, endpoint=False)
+    return np.meshgrid(y, x, indexing="ij")
+
+
+def orszag_tang(ny: int, nx: int, *, mach: float = 0.1,
+                rho0: float = 1.0) -> tuple[np.ndarray, np.ndarray,
+                                            np.ndarray]:
+    """Orszag–Tang vortex scaled to lattice units (low Mach)."""
+    if ny < 4 or nx < 4:
+        raise ValueError("grid too small")
+    yy, xx = _grid(ny, nx)
+    rho = np.full((ny, nx), rho0)
+    u = mach * np.stack([-np.sin(yy), np.sin(xx)])
+    b0 = mach
+    B = b0 * np.stack([-np.sin(yy), np.sin(2.0 * xx)])
+    return rho, u, B
+
+
+def cross_current_sheets(ny: int, nx: int, *, amplitude: float = 0.08,
+                         width: float = 0.5, rho0: float = 1.0
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two cross-shaped current structures (Figure 1 initial state).
+
+    The magnetic field is built from a vector potential
+    ``A_z = sum of two crosses``; ``B = (dA/dy, -dA/dx)`` guarantees the
+    initial field is divergence-free.  Each cross is the union of a
+    horizontal and a vertical Gaussian bar; the current density
+    ``j_z = -lap(A)`` then shows two cross-shaped structures which decay
+    resistively into current sheets.
+    """
+    if ny < 8 or nx < 8:
+        raise ValueError("grid too small")
+    yy, xx = _grid(ny, nx)
+
+    def periodic_gauss(t: np.ndarray, center: float) -> np.ndarray:
+        # Periodic Gaussian bump via the minimum image distance.
+        d = np.angle(np.exp(1j * (t - center)))
+        return np.exp(-(d / width) ** 2)
+
+    def cross(cy: float, cx: float) -> np.ndarray:
+        return periodic_gauss(yy, cy) + periodic_gauss(xx, cx)
+
+    a = amplitude * (cross(np.pi * 0.75, np.pi * 0.75)
+                     - cross(np.pi * 1.5, np.pi * 1.5))
+    # B = curl(A z-hat): Bx = dA/dy, By = -dA/dx (spectral derivative for a
+    # clean divergence-free field).
+    a_hat = np.fft.rfft2(a)
+    ky = np.fft.fftfreq(ny, d=1.0 / ny)[:, None]
+    kx = np.fft.rfftfreq(nx, d=1.0 / nx)[None, :]
+    bx = np.fft.irfft2(1j * ky * a_hat, s=a.shape)
+    by = np.fft.irfft2(-1j * kx * a_hat, s=a.shape)
+    rho = np.full((ny, nx), rho0)
+    u = np.zeros((2, ny, nx))
+    return rho, u, np.stack([bx, by])

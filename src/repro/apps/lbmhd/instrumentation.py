@@ -1,0 +1,58 @@
+"""Hardware-counter instrumentation for LBMHD runs.
+
+Mirrors what ``ftrace``/``pat`` measured on the vector machines: each
+step's loop structure is fed to a
+:class:`~repro.machine.counters.HardwareCounters` instance, which
+strip-mines the trip counts into the target machine's vector registers.
+The derived AVL/VOR can then be compared directly against both the
+performance model and Table 3's measured values (tests do exactly that).
+"""
+
+from __future__ import annotations
+
+from ...machine.counters import HardwareCounters
+from ...machine.spec import MachineSpec
+from .profile import (
+    COLLISION_FLOPS_PER_POINT,
+    COLLISION_WORDS_PER_POINT,
+    STREAM_FLOPS_PER_POINT,
+    STREAM_WORDS_PER_POINT,
+)
+from .solver import LBMHDSolver
+
+
+def counters_for(machine: MachineSpec) -> HardwareCounters:
+    """A counter set strip-mining at the machine's vector length."""
+    return HardwareCounters(vector_length=machine.vector_length)
+
+
+def record_step(solver: LBMHDSolver, counters: HardwareCounters,
+                nsteps: int = 1) -> None:
+    """Account ``nsteps`` of the solver's loop structure.
+
+    The vectorized inner loop runs over the x extent of the (sub)domain
+    (§3.1), once per y row, for both the collision and stream phases.
+    """
+    ny, nx = solver.f.shape[-2:]
+    counters.record_loop(
+        trip=nx, ops_per_iter=COLLISION_FLOPS_PER_POINT,
+        words_per_iter=COLLISION_WORDS_PER_POINT,
+        phase="collision", repeats=ny * nsteps)
+    counters.record_loop(
+        trip=nx, ops_per_iter=STREAM_FLOPS_PER_POINT,
+        words_per_iter=STREAM_WORDS_PER_POINT,
+        phase="stream", repeats=ny * nsteps)
+
+
+def run_instrumented(solver: LBMHDSolver, machine: MachineSpec,
+                     nsteps: int) -> HardwareCounters:
+    """Advance the solver while accounting its counters.
+
+    Returns the counter set; the solver state advances as usual (the
+    instrumentation is free-standing bookkeeping, like the real tools).
+    """
+    counters = counters_for(machine)
+    for _ in range(nsteps):
+        solver.step(1)
+        record_step(solver, counters, 1)
+    return counters

@@ -1,0 +1,166 @@
+"""Streaming lattices for LBMHD.
+
+Two lattices are provided:
+
+* :data:`D2Q9` — the standard square lattice (integer streaming, speed of
+  sound :math:`c_s^2 = 1/3`).  Streaming is exact (``np.roll``), so global
+  conservation laws hold to machine precision; this is the reference
+  lattice for correctness tests.
+* :data:`OCT9` — the paper's octagonal streaming lattice (Fig. 2a): eight
+  unit vectors at 45° increments plus the null vector, coupled to the
+  square spatial grid.  The diagonal directions do not land on grid
+  points, so streaming requires interpolation between the stream and
+  space lattices — "third degree polynomial evaluations" (§3): we use
+  cubic Lagrange interpolation along the streaming line.
+
+Weight derivation for OCT9: with ring weight :math:`w` on 8 unit vectors,
+the second moment gives :math:`c_s^2 = 4w` and matching the isotropic
+fourth moment requires :math:`w = 1/16`, hence :math:`c_s^2 = 1/4` and a
+rest weight of :math:`1/2`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """A 2D velocity lattice with rest particle.
+
+    ``velocities`` has shape (Q, 2) ordered with the null vector first.
+    ``shifts`` are the integer grid offsets used for streaming; for
+    interpolating lattices they are the *direction signs* and
+    ``interp_fraction`` is the fractional distance along the shift that
+    the streamed value travels (1.0 = exact lattice streaming).
+    """
+
+    name: str
+    velocities: np.ndarray        # (Q, 2) float
+    weights: np.ndarray           # (Q,)
+    cs2: float
+    shifts: np.ndarray            # (Q, 2) int
+    #: per-direction fractional streaming distance in units of the shift
+    fractions: np.ndarray         # (Q,)
+
+    @property
+    def q(self) -> int:
+        return len(self.weights)
+
+    @property
+    def is_exact(self) -> bool:
+        return bool(np.all(self.fractions == 1.0))
+
+    def check_moments(self) -> None:
+        """Verify the moment identities the equilibria rely on."""
+        w, xi = self.weights, self.velocities
+        if not math.isclose(w.sum(), 1.0, rel_tol=1e-12):
+            raise ValueError(f"{self.name}: weights must sum to 1")
+        m1 = np.einsum("i,ia->a", w, xi)
+        if not np.allclose(m1, 0.0, atol=1e-12):
+            raise ValueError(f"{self.name}: first moment nonzero")
+        m2 = np.einsum("i,ia,ib->ab", w, xi, xi)
+        if not np.allclose(m2, self.cs2 * np.eye(2), atol=1e-12):
+            raise ValueError(f"{self.name}: second moment != cs2*I")
+        m3 = np.einsum("i,ia,ib,ic->abc", w, xi, xi, xi)
+        if not np.allclose(m3, 0.0, atol=1e-12):
+            raise ValueError(f"{self.name}: third moment nonzero")
+        eye = np.eye(2)
+        iso4 = self.cs2**2 * (
+            np.einsum("ab,cd->abcd", eye, eye)
+            + np.einsum("ac,bd->abcd", eye, eye)
+            + np.einsum("ad,bc->abcd", eye, eye))
+        m4 = np.einsum("i,ia,ib,ic,id->abcd", w, xi, xi, xi, xi)
+        if not np.allclose(m4, iso4, atol=1e-12):
+            raise ValueError(f"{self.name}: fourth moment not isotropic")
+
+
+def _make_d2q9() -> Lattice:
+    shifts = np.array(
+        [[0, 0], [1, 0], [0, 1], [-1, 0], [0, -1],
+         [1, 1], [-1, 1], [-1, -1], [1, -1]], dtype=np.int64)
+    velocities = shifts.astype(np.float64)
+    weights = np.array([4 / 9] + [1 / 9] * 4 + [1 / 36] * 4)
+    return Lattice("D2Q9", velocities, weights, 1.0 / 3.0, shifts,
+                   np.ones(9))
+
+
+def _make_oct9() -> Lattice:
+    angles = np.arange(8) * (np.pi / 4.0)
+    ring = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    ring[np.abs(ring) < 1e-15] = 0.0
+    velocities = np.vstack([[0.0, 0.0], ring])
+    weights = np.array([0.5] + [1 / 16] * 8)
+    shifts = np.vstack([[0, 0], np.sign(ring).astype(np.int64)])
+    # Axis directions stream exactly one cell; diagonal unit vectors cover
+    # 1/sqrt(2) of the distance to the diagonal neighbour.
+    fractions = np.array(
+        [1.0] + [1.0 if (abs(v[0]) < 1e-12 or abs(v[1]) < 1e-12)
+                 else 1.0 / math.sqrt(2.0) for v in ring])
+    return Lattice("OCT9", velocities, weights, 0.25, shifts, fractions)
+
+
+D2Q9 = _make_d2q9()
+OCT9 = _make_oct9()
+
+D2Q9.check_moments()
+OCT9.check_moments()
+
+
+def lagrange_weights(nodes: np.ndarray, x: float) -> np.ndarray:
+    """Lagrange interpolation weights for ``nodes`` evaluated at ``x``.
+
+    >>> lagrange_weights(np.array([0., 1.]), 0.25).round(4).tolist()
+    [0.75, 0.25]
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    n = len(nodes)
+    w = np.ones(n)
+    for j in range(n):
+        for k in range(n):
+            if k != j:
+                w[j] *= (x - nodes[k]) / (nodes[j] - nodes[k])
+    return w
+
+
+#: Cubic interpolation stencil (in units of the streaming shift) used for
+#: fractional streaming: departure point sits between nodes 0 and -1.
+_CUBIC_NODES = np.array([-2.0, -1.0, 0.0, 1.0])
+
+
+def stream_field(field: np.ndarray, lattice: Lattice,
+                 direction: int) -> np.ndarray:
+    """Stream one distribution ``field`` along lattice ``direction``.
+
+    ``field`` has shape (..., ny, nx) with periodic boundaries; returns the
+    post-streaming array: ``out(x) = field(x - c_i dt)``.  Exact directions
+    use a pure shift; fractional (octagonal diagonal) directions evaluate
+    the cubic Lagrange polynomial through four points along the streaming
+    line (the paper's interpolation step, §3).
+    """
+    dx, dy = lattice.shifts[direction]
+    frac = lattice.fractions[direction]
+    if dx == 0 and dy == 0:
+        return field.copy()
+    axes = (-2, -1)  # (y, x)
+    if frac == 1.0:
+        return np.roll(field, shift=(dy, dx), axis=axes)
+    # Departure point is at -frac * shift from each node: interpolate the
+    # field at that point from nodes at integer multiples of the shift.
+    weights = lagrange_weights(_CUBIC_NODES, -frac)
+    out = np.zeros_like(field)
+    for node, w in zip(_CUBIC_NODES.astype(np.int64), weights):
+        out += w * np.roll(field, shift=(-node * dy, -node * dx), axis=axes)
+    return out
+
+
+def stream_all(fields: np.ndarray, lattice: Lattice) -> np.ndarray:
+    """Stream a stacked distribution array of shape (Q, ..., ny, nx)."""
+    if fields.shape[0] != lattice.q:
+        raise ValueError(
+            f"expected leading dimension {lattice.q}, got {fields.shape[0]}")
+    return np.stack([stream_field(fields[i], lattice, i)
+                     for i in range(lattice.q)])

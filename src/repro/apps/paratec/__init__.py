@@ -1,0 +1,47 @@
+"""PARATEC: plane-wave DFT total-energy mini-app (materials science, §4)."""
+
+from .bandstructure import (
+    FCC_POINTS,
+    BandStructure,
+    band_structure,
+    bands_at_k,
+    kpoint_cartesian,
+)
+from .basis import PlaneWaveBasis
+from .cg import CGStats, cg_iterate, cg_step, random_bands, solve_dense
+from .density import band_density, hartree_potential, lda_xc, xc_energy
+from .fft3d import ParallelFFT3D, SphereLayout
+from .hamiltonian import (
+    Hamiltonian,
+    orthonormalize,
+    subspace_rotate,
+    teter_preconditioner,
+)
+from .lattice_cell import (
+    Cell,
+    SI_LATTICE_CONSTANT,
+    silicon_primitive,
+    silicon_supercell,
+)
+from .parallel import solve_bands_parallel
+from .profile import (
+    ParatecConfig,
+    build_profile,
+    paratec_porting,
+    table4_configs,
+)
+from .pseudopotential import form_factor, local_potential_coefficients
+from .scf import SCFResult, SCFSolver
+
+__all__ = [
+    "BandStructure", "FCC_POINTS", "band_structure", "bands_at_k",
+    "kpoint_cartesian",
+    "CGStats", "Cell", "Hamiltonian", "ParallelFFT3D", "ParatecConfig",
+    "PlaneWaveBasis", "SCFResult", "SCFSolver", "SI_LATTICE_CONSTANT",
+    "SphereLayout", "band_density", "build_profile", "cg_iterate",
+    "cg_step", "form_factor", "hartree_potential", "lda_xc",
+    "local_potential_coefficients", "orthonormalize", "paratec_porting",
+    "random_bands", "silicon_primitive", "silicon_supercell",
+    "solve_bands_parallel", "solve_dense", "subspace_rotate",
+    "table4_configs", "teter_preconditioner", "xc_energy",
+]

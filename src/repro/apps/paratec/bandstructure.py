@@ -1,0 +1,106 @@
+"""Band structure along high-symmetry lines (extension of the study's
+electronic-structure substrate).
+
+The 2004 benchmarks run at the Gamma point only; Bloch sampling is the
+natural extension and a strong physics check: the Cohen-Bergstresser
+silicon model must produce the *indirect* gap (valence max at Gamma,
+conduction min near X) that made silicon famous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .basis import PlaneWaveBasis
+from .cg import solve_dense
+from .hamiltonian import Hamiltonian
+from .lattice_cell import SI_LATTICE_CONSTANT, Cell
+
+#: High-symmetry points of the fcc Brillouin zone in units of 2 pi / a.
+FCC_POINTS = {
+    "Gamma": np.array([0.0, 0.0, 0.0]),
+    "X": np.array([0.0, 0.0, 1.0]),
+    "L": np.array([0.5, 0.5, 0.5]),
+    "K": np.array([0.75, 0.75, 0.0]),
+    "W": np.array([0.5, 0.0, 1.0]),
+}
+
+
+def kpoint_cartesian(label_or_frac, a: float = SI_LATTICE_CONSTANT
+                     ) -> np.ndarray:
+    """Cartesian k (bohr^-1) from a symmetry label or 2 pi/a units."""
+    if isinstance(label_or_frac, str):
+        frac = FCC_POINTS[label_or_frac]
+    else:
+        frac = np.asarray(label_or_frac, dtype=np.float64)
+    return 2.0 * np.pi / a * frac
+
+
+def bands_at_k(cell: Cell, ecut: float, k_cart: np.ndarray,
+               nbands: int) -> np.ndarray:
+    """Eigenvalues at one k point (dense solve; validation-scale only)."""
+    basis = PlaneWaveBasis(cell, ecut, kpoint=tuple(k_cart))
+    ham = Hamiltonian.ionic(basis, cell)
+    evals, _ = solve_dense(ham, nbands)
+    return evals
+
+
+@dataclass
+class BandStructure:
+    """Bands along a path of k points."""
+
+    labels: list[str]
+    kpoints: np.ndarray            # (nk, 3) cartesian
+    bands: np.ndarray              # (nk, nbands), Hartree
+
+    @property
+    def valence_top(self) -> float:
+        return float(self.bands[:, :4].max())
+
+    @property
+    def conduction_bottom(self) -> float:
+        return float(self.bands[:, 4:].min())
+
+    @property
+    def indirect_gap(self) -> float:
+        """Fundamental gap: conduction minimum minus valence maximum."""
+        return self.conduction_bottom - self.valence_top
+
+    @property
+    def direct_gaps(self) -> np.ndarray:
+        """Per-k gap between bands 4 and 5."""
+        return self.bands[:, 4] - self.bands[:, 3]
+
+    def gap_location(self) -> tuple[str, str]:
+        """(valence-max label, conduction-min label) along the path."""
+        v = int(self.bands[:, :4].max(axis=1).argmax())
+        c = int(self.bands[:, 4:].min(axis=1).argmin())
+        return self.labels[v], self.labels[c]
+
+
+def band_structure(cell: Cell, ecut: float,
+                   path: list[str] | None = None, *,
+                   points_per_segment: int = 4, nbands: int = 8,
+                   a: float = SI_LATTICE_CONSTANT) -> BandStructure:
+    """Compute bands along a high-symmetry path (default L-Gamma-X)."""
+    path = path or ["L", "Gamma", "X"]
+    if len(path) < 2:
+        raise ValueError("need at least two path points")
+    if points_per_segment < 1:
+        raise ValueError("points_per_segment must be >= 1")
+    ks: list[np.ndarray] = []
+    labels: list[str] = []
+    for a_lbl, b_lbl in zip(path, path[1:]):
+        ka = kpoint_cartesian(a_lbl, a)
+        kb = kpoint_cartesian(b_lbl, a)
+        for t in np.linspace(0.0, 1.0, points_per_segment,
+                             endpoint=False):
+            ks.append(ka + t * (kb - ka))
+            labels.append(a_lbl if t == 0.0 else f"{a_lbl}->{b_lbl}")
+    ks.append(kpoint_cartesian(path[-1], a))
+    labels.append(path[-1])
+    bands = np.stack([bands_at_k(cell, ecut, k, nbands) for k in ks])
+    return BandStructure(labels=labels, kpoints=np.stack(ks),
+                         bands=bands)

@@ -1,0 +1,140 @@
+"""Plane-wave basis: the G-sphere and its column organization (Fig. 4a).
+
+The wavefunction of each electron is represented in Fourier space by a
+sphere of points |k+G|^2/2 < E_cut.  The sphere is organized into
+*columns*: all G sharing (g1, g2) indices, varying g3 — the unit of both
+the parallel data layout (columns are distributed over processors by the
+greedy balancer) and the 3D-FFT algorithm (1D FFTs along z, then
+transposes, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..._compat import cached_property
+from .lattice_cell import Cell
+
+
+@dataclass
+class PlaneWaveBasis:
+    """G-vectors within the kinetic-energy cutoff for one cell.
+
+    ``kpoint`` (cartesian, bohr^-1) offsets the kinetic energies to
+    ``|k+G|^2/2`` — Bloch states at crystal momentum k.  The basis
+    sphere itself is selected at k (|k+G| within cutoff), PARATEC's
+    convention.
+    """
+
+    cell: Cell
+    ecut: float                    # Hartree
+    kpoint: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    #: integer Miller indices (nG, 3)
+    g_int: np.ndarray = field(init=False)
+    #: cartesian G vectors (nG, 3), bohr^-1
+    g_cart: np.ndarray = field(init=False)
+    #: |k+G|^2 / 2, the kinetic energies (nG,)
+    kinetic: np.ndarray = field(init=False)
+    #: FFT grid shape (at least 2*gmax+1 per axis to hold V(G-G'))
+    fft_shape: tuple[int, int, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.ecut <= 0:
+            raise ValueError("ecut must be positive")
+        b = self.cell.reciprocal()
+        k = np.asarray(self.kpoint, dtype=np.float64)
+        if k.shape != (3,):
+            raise ValueError("kpoint must be a 3-vector")
+        gmax = np.sqrt(2.0 * self.ecut) + np.linalg.norm(k)
+        # Bounding box of integer indices: |m_i| <= gmax / min-norm row.
+        limits = [int(np.ceil(gmax / np.linalg.norm(
+            b[i] - b[i] @ _others(b, i)))) + 1 for i in range(3)]
+        grids = np.meshgrid(*[np.arange(-l, l + 1) for l in limits],
+                            indexing="ij")
+        ints = np.stack([g.ravel() for g in grids], axis=1)
+        cart = ints @ b
+        kin = 0.5 * ((cart + k)**2).sum(axis=1)
+        keep = kin < self.ecut
+        order = np.lexsort((ints[keep, 2], ints[keep, 1], ints[keep, 0]))
+        self.g_int = ints[keep][order]
+        self.g_cart = cart[keep][order]
+        self.kinetic = kin[keep][order]
+        # FFT grid: holds products psi * V, i.e. frequencies up to 2 gmax.
+        span = 2 * np.abs(self.g_int).max(axis=0) + 1
+        self.fft_shape = tuple(int(_next_fast(s)) for s in span)
+
+    @property
+    def size(self) -> int:
+        return len(self.kinetic)
+
+    # -- columns (Fig. 4a) ------------------------------------------------
+    @cached_property
+    def columns(self) -> dict[tuple[int, int], np.ndarray]:
+        """Map (g1, g2) -> basis indices of that column, z-sorted."""
+        out: dict[tuple[int, int], list[int]] = {}
+        for idx, (g1, g2, _) in enumerate(self.g_int):
+            out.setdefault((int(g1), int(g2)), []).append(idx)
+        return {k: np.array(v) for k, v in out.items()}
+
+    def column_lengths(self) -> np.ndarray:
+        """Lengths of all columns, in a deterministic key order."""
+        return np.array([len(v) for _, v in
+                         sorted(self.columns.items())])
+
+    # -- FFT-grid scatter/gather --------------------------------------------
+    @cached_property
+    def grid_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Position of each basis G on the (wrapped) FFT grid."""
+        shape = np.array(self.fft_shape)
+        wrapped = np.mod(self.g_int, shape)
+        return wrapped[:, 0], wrapped[:, 1], wrapped[:, 2]
+
+    def to_grid(self, coeff: np.ndarray) -> np.ndarray:
+        """Sphere coefficients -> real-space field on the FFT grid.
+
+        Accepts (nG,) or (nbands, nG); returns (..., *fft_shape).
+        Convention: psi(r) = sum_G c_G exp(i G.r) (no volume factor; the
+        inverse transform carries the 1/N as in FFTW/Fortran PARATEC).
+        """
+        coeff = np.asarray(coeff)
+        lead = coeff.shape[:-1]
+        grid = np.zeros(lead + self.fft_shape, dtype=np.complex128)
+        ix, iy, iz = self.grid_indices
+        grid[..., ix, iy, iz] = coeff
+        n = np.prod(self.fft_shape)
+        return np.fft.ifftn(grid, axes=(-3, -2, -1)) * n
+
+    def to_sphere(self, field_r: np.ndarray) -> np.ndarray:
+        """Real-space field -> sphere coefficients (adjoint of to_grid)."""
+        n = np.prod(self.fft_shape)
+        grid = np.fft.fftn(field_r, axes=(-3, -2, -1)) / n
+        ix, iy, iz = self.grid_indices
+        return grid[..., ix, iy, iz]
+
+    def index_of(self, g_int: tuple[int, int, int]) -> int:
+        """Basis index of an integer G (raises if absent)."""
+        match = np.flatnonzero((self.g_int == np.asarray(g_int)).all(1))
+        if len(match) != 1:
+            raise KeyError(f"G {g_int} not in basis")
+        return int(match[0])
+
+
+def _others(b: np.ndarray, i: int) -> np.ndarray:
+    """Projector onto the plane of the other two reciprocal vectors."""
+    others = np.delete(b, i, axis=0)
+    q, _ = np.linalg.qr(others.T)
+    return q @ q.T
+
+
+def _next_fast(n: int) -> int:
+    """Next 2/3/5-smooth size >= n (keeps numpy FFTs fast)."""
+    while True:
+        m = n
+        for p in (2, 3, 5):
+            while m % p == 0:
+                m //= p
+        if m == 1:
+            return n
+        n += 1

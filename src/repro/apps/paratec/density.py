@@ -1,0 +1,101 @@
+"""Charge density, Hartree potential, and LDA exchange-correlation.
+
+PARATEC obtains "the ground-state electron wavefunctions" of density
+functional theory; the reproduction implements the standard local
+machinery on top of the plane-wave basis:
+
+* density ``rho(r) = sum_n f_n |psi_n(r)|^2 / volume``;
+* Hartree ``V_H(G) = 4 pi rho(G) / G^2`` (G=0 dropped: jellium
+  compensation);
+* LDA exchange-correlation: Slater exchange + Perdew-Zunger
+  parameterization of the Ceperley-Alder correlation energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basis import PlaneWaveBasis
+
+#: PZ81 correlation constants (unpolarized), Hartree.
+_PZ_GAMMA, _PZ_BETA1, _PZ_BETA2 = -0.1423, 1.0529, 0.3334
+_PZ_A, _PZ_B, _PZ_C, _PZ_D = 0.0311, -0.048, 0.0020, -0.0116
+
+
+def band_density(basis: PlaneWaveBasis, coeff: np.ndarray,
+                 occupations: np.ndarray) -> np.ndarray:
+    """Electron density on the FFT grid from (nbands, nG) coefficients.
+
+    Bands are taken normalized as coefficient vectors
+    (`sum_G |c_G|^2 = 1`); the density integrates to ``sum(occupations)``
+    over the cell.
+    """
+    coeff = np.atleast_2d(coeff)
+    occupations = np.asarray(occupations, dtype=np.float64)
+    if len(occupations) != len(coeff):
+        raise ValueError("one occupation per band required")
+    if (occupations < 0).any():
+        raise ValueError("negative occupations")
+    psi_r = basis.to_grid(coeff)
+    # With the to_grid convention, mean_j |psi_j|^2 = sum_G |c_G|^2 = 1,
+    # so dividing by the volume makes the density integrate to the
+    # total occupation over the cell.
+    dens = np.einsum("b,bxyz->xyz", occupations,
+                     (psi_r.conj() * psi_r).real)
+    return dens / basis.cell.volume
+
+
+def hartree_potential(basis: PlaneWaveBasis, rho_r: np.ndarray
+                      ) -> tuple[np.ndarray, float]:
+    """(V_H(r), E_H) from the real-space density."""
+    shape = basis.fft_shape
+    if rho_r.shape != shape:
+        raise ValueError("density grid mismatch")
+    rho_g = np.fft.fftn(rho_r) / np.prod(shape)
+    b = basis.cell.reciprocal()
+    freqs = [np.fft.fftfreq(n, d=1.0 / n) for n in shape]
+    mx, my, mz = np.meshgrid(*freqs, indexing="ij")
+    g = (mx[..., None] * b[0] + my[..., None] * b[1]
+         + mz[..., None] * b[2])
+    g2 = (g**2).sum(axis=-1)
+    vh_g = np.zeros_like(rho_g)
+    mask = g2 > 1e-12
+    vh_g[mask] = 4.0 * np.pi * rho_g[mask] / g2[mask]
+    vh_r = np.fft.ifftn(vh_g * np.prod(shape)).real
+    e_h = 0.5 * float((vh_r * rho_r).mean()) * basis.cell.volume
+    return vh_r, e_h
+
+
+def lda_xc(rho_r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(epsilon_xc(rho), V_xc(rho)) per point, Hartree units.
+
+    Slater exchange + PZ81 correlation; rho is clipped at a tiny floor
+    (vacuum regions).
+    """
+    rho = np.maximum(rho_r, 1e-12)
+    rs = (3.0 / (4.0 * np.pi * rho)) ** (1.0 / 3.0)
+    # Exchange.
+    ex = -(3.0 / 4.0) * (3.0 / np.pi) ** (1.0 / 3.0) * rho ** (1.0 / 3.0)
+    vx = (4.0 / 3.0) * ex
+    # Correlation (PZ81).
+    ec = np.empty_like(rs)
+    vc = np.empty_like(rs)
+    low = rs >= 1.0
+    sq = np.sqrt(rs[low])
+    denom = 1.0 + _PZ_BETA1 * sq + _PZ_BETA2 * rs[low]
+    ec[low] = _PZ_GAMMA / denom
+    vc[low] = ec[low] * (1.0 + 7.0 / 6.0 * _PZ_BETA1 * sq
+                         + 4.0 / 3.0 * _PZ_BETA2 * rs[low]) / denom
+    hi = ~low
+    ln = np.log(rs[hi])
+    ec[hi] = (_PZ_A * ln + _PZ_B + _PZ_C * rs[hi] * ln
+              + _PZ_D * rs[hi])
+    vc[hi] = (_PZ_A * ln + (_PZ_B - _PZ_A / 3.0)
+              + 2.0 / 3.0 * _PZ_C * rs[hi] * ln
+              + (2.0 * _PZ_D - _PZ_C) / 3.0 * rs[hi])
+    return ex + ec, vx + vc
+
+
+def xc_energy(basis: PlaneWaveBasis, rho_r: np.ndarray) -> float:
+    eps_xc, _ = lda_xc(rho_r)
+    return float((eps_xc * rho_r).mean()) * basis.cell.volume

@@ -1,0 +1,244 @@
+"""Specialized parallel 3D FFT (§4.1/§4.2, Fig. 4).
+
+PARATEC's scaling hinges on a custom 3D FFT that transforms the
+wavefunction between its Fourier-space layout (a *sphere* of G points
+split into (x, y)-columns, load balanced over processors) and its
+real-space layout (contiguous x-pencils per processor), "by taking 1D
+FFTs along the Z, Y, and X directions with parallel data transposes
+between each set of 1D FFTs".  Communication is reduced by transposing
+**only the non-zero elements**: columns outside the sphere are identically
+zero before the z-FFT and are never sent.
+
+Pipeline (forward = sphere -> real space):
+
+  1. scatter sphere coefficients into the owned (gx, gy) columns,
+     1D FFT along z (local);
+  2. transpose #1 (alltoall): (gx, gy) columns -> (gx, z) pencils,
+     sending only active columns;
+  3. 1D FFT along y (local);
+  4. transpose #2 (alltoall): (gx, z) -> (y, z) pencils;
+  5. 1D FFT along x (local): real-space x-pencils (Fig. 4b).
+
+The inverse runs the pipeline backwards.  Conventions match
+:meth:`repro.apps.paratec.basis.PlaneWaveBasis.to_grid` exactly, which
+the tests exploit for serial-vs-parallel comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...runtime.comm import Comm
+from ...runtime.decomposition import balance_columns, split_extent
+from .basis import PlaneWaveBasis
+
+
+class SphereLayout:
+    """Who owns what in each of the three distributed layouts."""
+
+    def __init__(self, basis: PlaneWaveBasis, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.basis = basis
+        self.nprocs = nprocs
+        nx, ny, nz = basis.fft_shape
+        # -- G-space: active (wrapped) columns, greedy load balance (§4.2)
+        ix, iy, _ = basis.grid_indices
+        keys = sorted({(int(a), int(b)) for a, b in zip(ix, iy)})
+        lengths = np.array([
+            int(np.sum((ix == a) & (iy == b))) for a, b in keys])
+        owner_arr, self.loads = balance_columns(lengths, nprocs)
+        self.column_owner = {k: int(o) for k, o in zip(keys, owner_arr)}
+        self.columns_of = [[] for _ in range(nprocs)]
+        for k, o in self.column_owner.items():
+            self.columns_of[o].append(k)
+        # -- intermediate pencils: (x, z) blocks by z range
+        self.z_blocks = split_extent(nz, min(nprocs, nz))
+        while len(self.z_blocks) < nprocs:
+            self.z_blocks.append((nz, nz))  # idle ranks hold nothing
+        # -- real space: x-pencils blocked by x range (Fig. 4b)
+        self.x_blocks = split_extent(nx, min(nprocs, nx))
+        while len(self.x_blocks) < nprocs:
+            self.x_blocks.append((nx, nx))
+
+    def sphere_indices_of(self, rank: int) -> np.ndarray:
+        """Basis indices whose column lives on ``rank`` (z-sorted)."""
+        ix, iy, _ = self.basis.grid_indices
+        mine = [i for i in range(self.basis.size)
+                if self.column_owner[(int(ix[i]), int(iy[i]))] == rank]
+        return np.array(mine, dtype=np.int64)
+
+    def z_range(self, rank: int) -> tuple[int, int]:
+        return self.z_blocks[rank]
+
+    def x_range(self, rank: int) -> tuple[int, int]:
+        return self.x_blocks[rank]
+
+
+class ParallelFFT3D:
+    """Distributed sphere <-> real-space transform for one rank."""
+
+    def __init__(self, basis: PlaneWaveBasis, layout: SphereLayout,
+                 comm: Comm):
+        if comm.size != layout.nprocs:
+            raise ValueError("layout/communicator size mismatch")
+        self.basis = basis
+        self.layout = layout
+        self.comm = comm
+        self.my_columns = layout.columns_of[comm.rank]
+        self.my_sphere = layout.sphere_indices_of(comm.rank)
+        ix, iy, iz = basis.grid_indices
+        self._sphere_col = [(int(ix[i]), int(iy[i]))
+                            for i in self.my_sphere]
+        self._sphere_z = iz[self.my_sphere]
+
+    # -- forward -------------------------------------------------------------
+    def forward(self, coeff_local: np.ndarray) -> np.ndarray:
+        """Local sphere coefficients -> this rank's x-pencil block.
+
+        ``coeff_local`` is ordered like :meth:`sphere_indices_of`.
+        Returns the real-space field slab ``[x0:x1, :, :]`` (complex).
+        """
+        nx, ny, nz = self.basis.fft_shape
+        n_total = nx * ny * nz
+        if len(coeff_local) != len(self.my_sphere):
+            raise ValueError("local coefficient count mismatch")
+        # 1. scatter into owned columns and z-FFT.
+        cols = {k: np.zeros(nz, dtype=np.complex128)
+                for k in self.my_columns}
+        for c, key, z in zip(coeff_local, self._sphere_col,
+                             self._sphere_z):
+            cols[key][z] += c
+        for key in cols:
+            cols[key] = np.fft.ifft(cols[key]) * nz
+        # 2. transpose #1: split each active column by destination z range.
+        chunks = []
+        for dest in range(self.comm.size):
+            z0, z1 = self.layout.z_range(dest)
+            chunks.append([(key, cols[key][z0:z1])
+                           for key in self.my_columns])
+        incoming = self.comm.alltoall(chunks)
+        z0, z1 = self.layout.z_range(self.comm.rank)
+        plane = np.zeros((nx, ny, z1 - z0), dtype=np.complex128)
+        for part in incoming:
+            for (cx, cy), vals in part:
+                plane[cx, cy, :] = vals
+        # 3. y-FFT on the (x, z) pencils.
+        plane = np.fft.ifft(plane, axis=1) * ny
+        # 4. transpose #2: redistribute from z-blocks to x-blocks.
+        chunks = []
+        for dest in range(self.comm.size):
+            x0, x1 = self.layout.x_range(dest)
+            chunks.append(((z0, z1), plane[x0:x1].copy()))
+        incoming = self.comm.alltoall(chunks)
+        x0, x1 = self.layout.x_range(self.comm.rank)
+        slab = np.zeros((x1 - x0, ny, nz), dtype=np.complex128)
+        for (src_z0, src_z1), vals in incoming:
+            slab[:, :, src_z0:src_z1] = vals
+        # 5. x-FFT over the distributed x axis (one more transpose pair).
+        del n_total
+        return self._finish_x_fft(slab)
+
+    def _finish_x_fft(self, slab: np.ndarray) -> np.ndarray:
+        """x-FFT over the distributed axis via a gather-free exchange.
+
+        Each rank holds ``slab = [x0:x1, ny, nz]`` of the y/z-transformed
+        data.  The x transform needs full x lines; ranks exchange their
+        slabs along x (alltoall of x-blocks of their (y, z) share), do
+        the 1D FFT, and keep their x block.  Equivalent to transposing
+        to (y, z)-pencils, transforming, and transposing back — fused.
+        """
+        nx, ny, nz = self.basis.fft_shape
+        comm = self.comm
+        # Gather full-x data for OUR (y, z) share, by splitting y.
+        y_blocks = split_extent(ny, min(comm.size, ny))
+        while len(y_blocks) < comm.size:
+            y_blocks.append((ny, ny))
+        x0, x1 = self.layout.x_range(comm.rank)
+        chunks = []
+        for dest in range(comm.size):
+            yd0, yd1 = y_blocks[dest]
+            chunks.append(((x0, x1), slab[:, yd0:yd1, :].copy()))
+        incoming = comm.alltoall(chunks)
+        my_y0, my_y1 = y_blocks[comm.rank]
+        lines = np.zeros((nx, my_y1 - my_y0, nz), dtype=np.complex128)
+        for (sx0, sx1), vals in incoming:
+            lines[sx0:sx1] = vals
+        lines = np.fft.ifft(lines, axis=0) * nx
+        # Send back the x block each rank owns.
+        chunks = []
+        for dest in range(comm.size):
+            xd0, xd1 = self.layout.x_range(dest)
+            chunks.append(((my_y0, my_y1), lines[xd0:xd1].copy()))
+        incoming = comm.alltoall(chunks)
+        out = np.zeros((x1 - x0, ny, nz), dtype=np.complex128)
+        for (sy0, sy1), vals in incoming:
+            out[:, sy0:sy1, :] = vals
+        return out
+
+    # -- inverse -------------------------------------------------------------
+    def inverse(self, slab: np.ndarray) -> np.ndarray:
+        """This rank's real-space x-slab -> local sphere coefficients.
+
+        Exact adjoint pipeline of :meth:`forward` (fft instead of ifft,
+        1/n scalings), returning coefficients ordered like
+        :meth:`SphereLayout.sphere_indices_of`.
+        """
+        nx, ny, nz = self.basis.fft_shape
+        comm = self.comm
+        x0, x1 = self.layout.x_range(comm.rank)
+        if slab.shape != (x1 - x0, ny, nz):
+            raise ValueError("slab shape mismatch")
+        # x-FFT (inverse of _finish_x_fft).
+        y_blocks = split_extent(ny, min(comm.size, ny))
+        while len(y_blocks) < comm.size:
+            y_blocks.append((ny, ny))
+        chunks = []
+        for dest in range(comm.size):
+            yd0, yd1 = y_blocks[dest]
+            chunks.append(((x0, x1), slab[:, yd0:yd1, :].copy()))
+        incoming = comm.alltoall(chunks)
+        my_y0, my_y1 = y_blocks[comm.rank]
+        lines = np.zeros((nx, my_y1 - my_y0, nz), dtype=np.complex128)
+        for (sx0, sx1), vals in incoming:
+            lines[sx0:sx1] = vals
+        lines = np.fft.fft(lines, axis=0) / nx
+        chunks = []
+        for dest in range(comm.size):
+            xd0, xd1 = self.layout.x_range(dest)
+            chunks.append(((my_y0, my_y1), lines[xd0:xd1].copy()))
+        incoming = comm.alltoall(chunks)
+        mine = np.zeros((x1 - x0, ny, nz), dtype=np.complex128)
+        for (sy0, sy1), vals in incoming:
+            mine[:, sy0:sy1, :] = vals
+        # y-FFT then transpose back to z-blocks.
+        z0, z1 = self.layout.z_range(comm.rank)
+        chunks = []
+        for dest in range(comm.size):
+            zd0, zd1 = self.layout.z_range(dest)
+            chunks.append(((x0, x1), mine[:, :, zd0:zd1].copy()))
+        incoming = comm.alltoall(chunks)
+        plane = np.zeros((nx, ny, z1 - z0), dtype=np.complex128)
+        for (sx0, sx1), vals in incoming:
+            plane[sx0:sx1] = vals
+        plane = np.fft.fft(plane, axis=1) / ny
+        # z-FFT on active columns only, then gather our sphere coeffs.
+        chunks = [[] for _ in range(comm.size)]
+        for (cx, cy), owner in self.layout.column_owner.items():
+            chunks[owner].append(((cx, cy), plane[cx, cy, :].copy()))
+        incoming = comm.alltoall(chunks)
+        cols = {k: np.zeros(nz, dtype=np.complex128)
+                for k in self.my_columns}
+        # Each incoming part came from the rank owning a z block; place it.
+        for src, part in enumerate(incoming):
+            sz0, sz1 = self.layout.z_range(src)
+            for (cx, cy), vals in part:
+                cols[(cx, cy)][sz0:sz1] = vals
+        out = np.empty(len(self.my_sphere), dtype=np.complex128)
+        done = {}
+        for key in self.my_columns:
+            done[key] = np.fft.fft(cols[key]) / nz
+        for i, (key, z) in enumerate(zip(self._sphere_col,
+                                         self._sphere_z)):
+            out[i] = done[key][z]
+        return out

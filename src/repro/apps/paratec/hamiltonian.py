@@ -1,0 +1,99 @@
+"""Kohn-Sham / empirical-pseudopotential Hamiltonian in the PW basis.
+
+``H psi = -1/2 lap psi + V_loc psi`` with the local potential applied in
+real space through the FFT pair — PARATEC's central kernel structure
+(3D FFTs + BLAS3 + hand-written F90, §4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basis import PlaneWaveBasis
+from .lattice_cell import Cell
+from .pseudopotential import local_potential_coefficients
+
+
+class Hamiltonian:
+    """H = T + V_loc(r); the potential is any real-space field."""
+
+    def __init__(self, basis: PlaneWaveBasis,
+                 v_real: np.ndarray | None = None):
+        self.basis = basis
+        if v_real is None:
+            v_real = np.zeros(basis.fft_shape)
+        if v_real.shape != basis.fft_shape:
+            raise ValueError("potential grid shape mismatch")
+        self.v_real = v_real
+
+    @classmethod
+    def ionic(cls, basis: PlaneWaveBasis,
+              cell: Cell | None = None) -> "Hamiltonian":
+        """Hamiltonian with the bare ionic (empirical) potential."""
+        cell = cell or basis.cell
+        v_g = local_potential_coefficients(cell, basis.g_cart)
+        v_real = basis.to_grid(v_g).real
+        return cls(basis, v_real)
+
+    def apply(self, coeff: np.ndarray) -> np.ndarray:
+        """H @ coeff for (nG,) or (nbands, nG) coefficient arrays."""
+        kinetic = self.basis.kinetic * coeff
+        psi_r = self.basis.to_grid(coeff)
+        v_psi = self.basis.to_sphere(self.v_real * psi_r)
+        return kinetic + v_psi
+
+    def dense(self) -> np.ndarray:
+        """Explicit (nG, nG) matrix — small systems / validation only."""
+        n = self.basis.size
+        if n > 2000:
+            raise ValueError("dense Hamiltonian requested for large basis")
+        eye = np.eye(n, dtype=np.complex128)
+        return np.stack([self.apply(eye[i]) for i in range(n)]).T
+
+    def expectation(self, coeff: np.ndarray) -> np.ndarray:
+        """Per-band <psi|H|psi> / <psi|psi> for (nbands, nG) input."""
+        hp = self.apply(coeff)
+        num = np.einsum("bg,bg->b", coeff.conj(), hp).real
+        den = np.einsum("bg,bg->b", coeff.conj(), coeff).real
+        return num / den
+
+
+def teter_preconditioner(basis: PlaneWaveBasis,
+                         coeff: np.ndarray) -> np.ndarray:
+    """Teter-Payne-Allan preconditioner, per band.
+
+    ``x = T_G / <T>_band``; the rational form damps high-G components
+    (where H is kinetic-dominated) without touching low-G physics.
+    """
+    coeff = np.atleast_2d(coeff)
+    t = self_kinetic = np.einsum(
+        "bg,g,bg->b", coeff.conj(), basis.kinetic, coeff).real
+    norm = np.einsum("bg,bg->b", coeff.conj(), coeff).real
+    ke = np.maximum(self_kinetic / np.maximum(norm, 1e-300), 1e-12)
+    x = basis.kinetic[None, :] / ke[:, None]
+    num = 27.0 + 18.0 * x + 12.0 * x**2 + 8.0 * x**3
+    del t
+    return num / (num + 16.0 * x**4)
+
+
+def orthonormalize(coeff: np.ndarray) -> np.ndarray:
+    """Lowdin-free QR orthonormalization of (nbands, nG) rows (BLAS3)."""
+    q, r = np.linalg.qr(coeff.T)
+    # Fix the phase so the result is deterministic.
+    signs = np.sign(np.real(np.diagonal(r)))
+    signs[signs == 0] = 1.0
+    return (q * signs).T
+
+
+def subspace_rotate(ham: Hamiltonian, coeff: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Rayleigh-Ritz within span(coeff): the BLAS3/ZHEEV step.
+
+    Returns (eigenvalues, rotated orthonormal bands).
+    """
+    coeff = orthonormalize(coeff)
+    hpsi = ham.apply(coeff)
+    hsub = coeff.conj() @ hpsi.T
+    hsub = 0.5 * (hsub + hsub.conj().T)
+    evals, evecs = np.linalg.eigh(hsub)
+    return evals, evecs.T @ coeff

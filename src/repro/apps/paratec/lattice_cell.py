@@ -1,0 +1,96 @@
+"""Silicon crystal cells for the PARATEC mini-app.
+
+The paper benchmarks 432- and 686-atom bulk silicon.  Both are integer
+tilings of the 2-atom fcc diamond primitive cell: 432 = 2 x 6^3 and
+686 = 2 x 7^3, so :func:`silicon_supercell` with ``n=6`` / ``n=7``
+reproduces the exact systems (and small ``n`` gives test-sized cells).
+
+Units: Hartree atomic units (lengths in bohr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Si lattice constant, bohr (5.431 Angstrom).
+SI_LATTICE_CONSTANT = 10.263
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A periodic simulation cell with a basis of atom positions."""
+
+    lattice: np.ndarray            # (3,3) rows are lattice vectors, bohr
+    positions: np.ndarray          # (natoms, 3) cartesian, bohr
+    valence_electrons_per_atom: int = 4   # silicon
+
+    def __post_init__(self) -> None:
+        if self.lattice.shape != (3, 3):
+            raise ValueError("lattice must be 3x3")
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must be (natoms, 3)")
+
+    @property
+    def natoms(self) -> int:
+        return len(self.positions)
+
+    @property
+    def nelectrons(self) -> int:
+        return self.natoms * self.valence_electrons_per_atom
+
+    @property
+    def nbands_occupied(self) -> int:
+        """Doubly-occupied bands (spin-degenerate insulator)."""
+        return self.nelectrons // 2
+
+    @property
+    def volume(self) -> float:
+        return float(abs(np.linalg.det(self.lattice)))
+
+    def reciprocal(self) -> np.ndarray:
+        """Reciprocal lattice vectors (rows), 2 pi b_i . a_j = 2 pi d_ij."""
+        return 2.0 * np.pi * np.linalg.inv(self.lattice).T
+
+    def structure_factor(self, g_cart: np.ndarray) -> np.ndarray:
+        """S(G) = sum_atoms exp(-i G . r) / natoms, shape (nG,)."""
+        phases = g_cart @ self.positions.T          # (nG, natoms)
+        return np.exp(-1j * phases).mean(axis=1)
+
+
+def silicon_primitive(a: float = SI_LATTICE_CONSTANT) -> Cell:
+    """2-atom diamond primitive cell with the symmetric atom choice.
+
+    Atoms at +-(a/8)(1,1,1) make the structure factor real (a cosine),
+    the convention of the Cohen-Bergstresser form-factor fits.
+    """
+    lattice = 0.5 * a * np.array([[0.0, 1.0, 1.0],
+                                  [1.0, 0.0, 1.0],
+                                  [1.0, 1.0, 0.0]])
+    tau = a / 8.0 * np.ones(3)
+    return Cell(lattice, np.array([tau, -tau]))
+
+
+def silicon_supercell(n: int, a: float = SI_LATTICE_CONSTANT) -> Cell:
+    """n x n x n tiling of the primitive cell: 2 n^3 silicon atoms.
+
+    >>> silicon_supercell(6).natoms
+    432
+    >>> silicon_supercell(7).natoms
+    686
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    prim = silicon_primitive(a)
+    shifts = np.array([[i, j, k] for i in range(n) for j in range(n)
+                       for k in range(n)], dtype=np.float64)
+    cart_shifts = shifts @ prim.lattice
+    positions = (prim.positions[None, :, :]
+                 + cart_shifts[:, None, :]).reshape(-1, 3)
+    return Cell(prim.lattice * n, positions)
+
+
+def atom_count_for_paper(system: str) -> int:
+    """The two Table 4 systems."""
+    return {"432": 432, "686": 686}[system]

@@ -1,0 +1,172 @@
+"""PARATEC work profile for the performance model (Table 4).
+
+"The code typically spends most of its time in vendor supplied BLAS3
+(~30%) and 1D FFTs (~30%) ... with the remaining time in hand-coded F90"
+(§4.1).  The profile mirrors that structure with three compute phases
+plus a small unvectorizable setup residue, and the 3D-FFT transposes as
+global all-to-alls (the scaling limiter, §4.2).
+
+Work formulas per benchmark run (3 CG steps of a bulk Si system at the
+25 Ry production cutoff), derived from the implemented solver:
+
+* ``nG ~ 130 x natoms`` plane waves, ``nbands ~ 2.1 x natoms``
+  (occupied + buffer), dense FFT grid ``~16 x nG`` points;
+* BLAS3: subspace Gram/rotation matrices, ``~16 nbands^2 nG`` flops per
+  CG step;
+* FFT: ~5 Hpsi evaluations per band per CG step, a forward/inverse 3D
+  FFT pair each: ``5 x 2 x 5 N log2 N`` flops per band;
+* F90: nonlocal-projector and assorted hand-written work, scaling like
+  half the BLAS3 term;
+* transposes: each 3D FFT moves the sphere once and the dense grid
+  twice across the machine (only nonzero columns are sent, §4.2).
+
+Vector-length structure (the fixed-problem scaling story): BLAS3 inner
+dimensions shrink as ``nG / P`` and the simultaneous-1D-FFT batch as
+``ncols / P`` — at 1024 processors the ES loses a third of its
+efficiency to short vectors, exactly as Table 4 shows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...perf.porting import PhasePort, PortingSpec
+from ...perf.work import AccessPattern, AppProfile, CommPhase, WorkPhase
+
+PW_PER_ATOM = 130.0
+BANDS_PER_ATOM = 2.1
+GRID_PER_PW = 16.0
+CG_STEPS = 3
+HPSI_PER_BAND_PER_STEP = 5.0
+#: bands transformed together per 3D-FFT call (the "simultaneous 1D
+#: FFTs" rewrite batches transforms, §4.1)
+BAND_BLOCK = 16.0
+
+#: phase compute efficiencies (operation mix; machine-independent)
+EFF_BLAS3 = 0.95
+EFF_FFT = 0.70
+EFF_F90 = 0.60
+#: fraction of total flops in the unvectorizable setup/bookkeeping residue
+SCALAR_RESIDUE = 0.02
+
+
+@dataclass(frozen=True)
+class ParatecConfig:
+    """One Table 4 configuration."""
+
+    natoms: int                   # 432 or 686
+    nprocs: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.natoms} atoms"
+
+    @property
+    def n_pw(self) -> float:
+        return PW_PER_ATOM * self.natoms
+
+    @property
+    def nbands(self) -> float:
+        return BANDS_PER_ATOM * self.natoms
+
+    @property
+    def n_grid(self) -> float:
+        return GRID_PER_PW * self.n_pw
+
+    @property
+    def n_columns(self) -> float:
+        """Active G columns: the sphere's (x, y) shadow ~ nG^(2/3)."""
+        return self.n_pw ** (2.0 / 3.0) * 1.6
+
+
+def build_profile(config: ParatecConfig) -> AppProfile:
+    p = config.nprocs
+    nb, ng, ngrid = config.nbands, config.n_pw, config.n_grid
+
+    blas3_flops = CG_STEPS * 16.0 * nb * nb * ng / p
+    fft_flops = CG_STEPS * HPSI_PER_BAND_PER_STEP * nb \
+        * 2.0 * 5.0 * ngrid * math.log2(ngrid) / p
+    f90_flops = 0.5 * blas3_flops
+    total = blas3_flops + fft_flops + f90_flops
+
+    blas3 = WorkPhase(
+        "blas3", flops=blas3_flops,
+        words=blas3_flops / 16.0,      # blocked ZGEMM: high reuse
+        access=AccessPattern.UNIT,
+        trip=max(16, int(ng / p)),
+        temporal_reuse=0.95,
+        working_set_bytes=256e3,       # gemm blocks sized for cache
+        compute_efficiency=EFF_BLAS3,
+    )
+    fft = WorkPhase(
+        "fft1d", flops=fft_flops,
+        words=fft_flops / 6.0,         # butterflies mostly cache-resident
+        access=AccessPattern.STRIDED,
+        # Simultaneous 1D FFTs across a band block's columns (§4.1).
+        trip=max(4, int(config.n_columns * BAND_BLOCK / p)),
+        temporal_reuse=0.85,
+        working_set_bytes=512e3,
+        compute_efficiency=EFF_FFT,
+    )
+    f90 = WorkPhase(
+        "f90", flops=f90_flops,
+        words=f90_flops / 5.0,
+        access=AccessPattern.UNIT,
+        trip=max(16, int(ng / p)),
+        temporal_reuse=0.60,
+        working_set_bytes=2e6,
+        compute_efficiency=EFF_F90,
+        streamable=False,              # "tend not to multistream" (§4.2)
+    )
+    setup = WorkPhase(
+        "setup-residue", flops=SCALAR_RESIDUE * total,
+        words=SCALAR_RESIDUE * total / 4.0,
+        access=AccessPattern.UNIT, trip=64,
+        vectorizable=False, streamable=False,
+    )
+    phases = [blas3, fft, f90, setup]
+
+    comms = []
+    if p > 1:
+        # Each Hpsi moves a forward+inverse 3D FFT pair: 3 transposes
+        # each way, but only the nonzero columns travel (§4.2) — the
+        # per-rank volume per transpose stays ~ nG/p sphere-scale.
+        transforms = CG_STEPS * HPSI_PER_BAND_PER_STEP * nb
+        transpose_bytes = transforms * (5.0 * ng / p) * 16.0
+        comms.append(CommPhase("fft-transpose", "alltoall",
+                               messages=6.0 * transforms / BAND_BLOCK,
+                               bytes_total=transpose_bytes))
+        comms.append(CommPhase("reductions", "allreduce",
+                               messages=CG_STEPS * 12.0,
+                               bytes_total=CG_STEPS * 12.0 * nb * 16.0))
+
+    profile = AppProfile("paratec", config.label, p, phases=phases,
+                         comms=comms)
+    profile.baseline_flops = total
+    return profile
+
+
+def paratec_porting(*, simultaneous_ffts: bool = True) -> PortingSpec:
+    """§4.1's porting story.
+
+    The vendor 1D FFTs ran "at a relatively low percentage of peak" on
+    the vector machines until the 3D FFT was rewritten to use
+    simultaneous (multiple) 1D FFT calls; ``simultaneous_ffts=False``
+    models the pre-rewrite port (an ablation bench).
+    """
+    spec = PortingSpec("paratec")
+    if not simultaneous_ffts:
+        for machine in ("ES", "X1"):
+            # Single 1D FFTs: the vector loop runs within one transform
+            # (short butterflies) instead of across transforms.
+            spec.set(machine, "fft1d", PhasePort(
+                vectorized=True, multistreamed=False,
+                note="vendor single-transform 1D FFTs"))
+    return spec
+
+
+def table4_configs() -> list[ParatecConfig]:
+    out = [ParatecConfig(432, p) for p in (32, 64, 128, 256, 512, 1024)]
+    out += [ParatecConfig(686, p) for p in (64, 128, 256, 512, 1024)]
+    return out

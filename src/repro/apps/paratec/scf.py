@@ -1,0 +1,128 @@
+"""Self-consistent-field driver: the PARATEC total-energy loop.
+
+Each SCF cycle: build V_eff = V_ion + V_H[rho] + V_xc[rho], run a few
+all-band CG steps against it, recompute the density, and linearly mix.
+The total energy uses the standard band-energy form
+
+  E = sum_n f_n eps_n - E_H[rho] + E_xc[rho] - int V_xc rho dV
+
+which removes the double-counted Hartree and XC pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .basis import PlaneWaveBasis
+from .cg import cg_iterate, random_bands
+from .density import band_density, hartree_potential, lda_xc, xc_energy
+from .hamiltonian import Hamiltonian
+from .lattice_cell import Cell
+from .pseudopotential import local_potential_coefficients
+
+
+@dataclass
+class SCFState:
+    """One SCF iterate's results."""
+
+    iteration: int
+    total_energy: float
+    band_energy: float
+    hartree_energy: float
+    xc_energy: float
+    gap: float
+    density_change: float
+
+
+@dataclass
+class SCFResult:
+    eigenvalues: np.ndarray
+    bands: np.ndarray
+    density: np.ndarray
+    history: list[SCFState] = field(default_factory=list)
+
+    @property
+    def total_energy(self) -> float:
+        return self.history[-1].total_energy
+
+    @property
+    def converged_to(self) -> float:
+        if len(self.history) < 2:
+            return np.inf
+        return abs(self.history[-1].total_energy
+                   - self.history[-2].total_energy)
+
+
+class SCFSolver:
+    """Kohn-Sham SCF with the empirical Si ionic potential."""
+
+    def __init__(self, cell: Cell, ecut: float, *, nbands: int | None = None,
+                 mixing: float = 0.4, seed: int = 0):
+        if not 0 < mixing <= 1:
+            raise ValueError("mixing in (0, 1] required")
+        self.cell = cell
+        self.basis = PlaneWaveBasis(cell, ecut)
+        self.nbands = nbands or cell.nbands_occupied
+        if self.nbands > self.basis.size:
+            raise ValueError("basis too small for requested bands")
+        self.mixing = mixing
+        v_ion_g = local_potential_coefficients(cell, self.basis.g_cart)
+        self.v_ion = self.basis.to_grid(v_ion_g).real
+        self.occupations = self._occupations()
+        self.bands = random_bands(self.basis.size, self.nbands, seed)
+        self.density = np.full(self.basis.fft_shape,
+                               cell.nelectrons / cell.volume)
+
+    def _occupations(self) -> np.ndarray:
+        occ = np.zeros(self.nbands)
+        occ[:self.cell.nbands_occupied] = 2.0
+        if self.cell.nelectrons % 2:
+            raise ValueError("odd electron counts not supported")
+        return occ
+
+    # -- pieces -------------------------------------------------------------
+    def effective_hamiltonian(self, rho: np.ndarray) -> Hamiltonian:
+        vh, _ = hartree_potential(self.basis, rho)
+        _, vxc = lda_xc(rho)
+        return Hamiltonian(self.basis, self.v_ion + vh + vxc)
+
+    def total_energy(self, evals: np.ndarray, rho: np.ndarray) -> SCFState:
+        _, e_h = hartree_potential(self.basis, rho)
+        e_xc = xc_energy(self.basis, rho)
+        _, vxc = lda_xc(rho)
+        vxc_int = float((vxc * rho).mean()) * self.cell.volume
+        band = float((self.occupations * evals[:self.nbands]).sum())
+        total = band - e_h + e_xc - vxc_int
+        nocc = self.cell.nbands_occupied
+        gap = (float(evals[nocc] - evals[nocc - 1])
+               if len(evals) > nocc else np.nan)
+        return SCFState(iteration=0, total_energy=total, band_energy=band,
+                        hartree_energy=e_h, xc_energy=e_xc, gap=gap,
+                        density_change=np.nan)
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, *, n_scf: int = 12, cg_steps: int = 3,
+            tol: float = 1e-6) -> SCFResult:
+        history: list[SCFState] = []
+        evals = np.zeros(self.nbands)
+        for it in range(n_scf):
+            ham = self.effective_hamiltonian(self.density)
+            evals, self.bands, _ = cg_iterate(ham, self.bands,
+                                              n_outer=cg_steps)
+            rho_new = band_density(self.basis, self.bands,
+                                   self.occupations)
+            change = float(np.abs(rho_new - self.density).max())
+            self.density = ((1.0 - self.mixing) * self.density
+                            + self.mixing * rho_new)
+            state = self.total_energy(evals, self.density)
+            state.iteration = it
+            state.density_change = change
+            history.append(state)
+            if len(history) > 1 and abs(
+                    history[-1].total_energy
+                    - history[-2].total_energy) < tol:
+                break
+        return SCFResult(eigenvalues=evals, bands=self.bands,
+                         density=self.density, history=history)

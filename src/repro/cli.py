@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``    regenerate Tables 1-7 + Figure 9 (model vs paper)
+``table N``   one table only
+``machines``  list the platform specs (Table 1)
+``bands``     silicon band structure along L-Gamma-X
+``amr``       run the AMR vector-performance study
+``apps``      run a short validation pass of all four applications
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    print(run_all(with_reference=not args.no_reference))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import BUILDERS
+    from .experiments.summary import render_figure9, render_table7
+
+    n = args.number
+    if n == 7:
+        print(render_table7())
+    elif n == 9:
+        print(render_figure9())
+    else:
+        built = BUILDERS[f"table{n}"]()
+        print(built if isinstance(built, str) else built.render())
+    return 0
+
+
+def _cmd_machines(_: argparse.Namespace) -> int:
+    from .experiments.tables import build_table1
+
+    print(build_table1())
+    return 0
+
+
+def _cmd_bands(args: argparse.Namespace) -> int:
+    from .apps.paratec import band_structure, silicon_primitive
+
+    ha_to_ev = 27.2114
+    bs = band_structure(silicon_primitive(), ecut=args.ecut,
+                        points_per_segment=args.points)
+    print("Silicon bands along L-Gamma-X (eV, valence top = 0):")
+    shift = bs.valence_top
+    for label, row in zip(bs.labels, bs.bands):
+        ev = (row - shift) * ha_to_ev
+        print(f"  {label:10} " + " ".join(f"{e:7.2f}" for e in ev))
+    v, c = bs.gap_location()
+    print(f"\n  indirect gap {bs.indirect_gap * ha_to_ev:.2f} eV "
+          f"(valence max at {v}, conduction min at {c})")
+    return 0
+
+
+def _cmd_amr(args: argparse.Namespace) -> int:
+    from .amr import (
+        AMRAdvectionSolver,
+        amr_vector_study,
+        gaussian_pulse,
+        render_study,
+    )
+
+    u0, dx = gaussian_pulse(args.size)
+    solver = AMRAdvectionSolver(u0, dx, flag_threshold=0.08)
+    solver.step(args.steps)
+    print(render_study(amr_vector_study(solver.hierarchy),
+                       solver.hierarchy))
+    return 0
+
+
+def _cmd_apps(_: argparse.Namespace) -> int:
+    from .apps import cactus, gtc, lbmhd, paratec
+
+    print("LBMHD: 48^2 Orszag-Tang, 30 steps ...", end=" ", flush=True)
+    s = lbmhd.LBMHDSolver(*lbmhd.orszag_tang(48, 48))
+    e0 = s.diagnostics().total_energy
+    s.step(30)
+    d = s.diagnostics()
+    assert abs(d.mass - 48 * 48) < 1e-8 and d.total_energy < e0
+    print(f"ok (energy {e0:.3f}->{d.total_energy:.3f})")
+
+    print("Cactus: gauge wave, n=16 ...", end=" ", flush=True)
+    dx = 1.0 / 16
+    c = cactus.CactusSolver(*cactus.gauge_wave((16, 4, 4), dx,
+                                               amplitude=0.05),
+                            spacing=dx, dt=0.2 * dx, integrator="rk4")
+    c.step(10)
+    err = c.deviation_from(*cactus.gauge_wave((16, 4, 4), dx,
+                                              amplitude=0.05, t=c.time))
+    assert err < 5e-3
+    print(f"ok (error vs exact {err:.1e})")
+
+    print("GTC: 16x16x2 PIC, 5 steps ...", end=" ", flush=True)
+    geom = gtc.TorusGeometry(gtc.AnnulusGrid(0.2, 1.0, 16, 16), 2)
+    g = gtc.GTCSolver(geom, gtc.load_ring_perturbation(geom, 4.0),
+                      dt=0.05)
+    n0 = len(g.particles)
+    g.step(5)
+    assert g.diagnostics().nparticles == n0
+    print(f"ok ({n0} particles conserved)")
+
+    print("PARATEC: Si Gamma bands ...", end=" ", flush=True)
+    basis = paratec.PlaneWaveBasis(paratec.silicon_primitive(), 5.5)
+    ham = paratec.Hamiltonian.ionic(basis)
+    evals, _ = paratec.solve_dense(ham, 5)
+    gap = (evals[4] - evals[3]) * 27.2114
+    assert 2.5 < gap < 4.5
+    print(f"ok (Gamma gap {gap:.2f} eV)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scientific Computations on Modern "
+                    "Parallel Vector Systems' (SC 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate every exhibit")
+    p.add_argument("--no-reference", action="store_true")
+    p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser("table", help="one table (1-7) or figure 9")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5, 6, 7, 9))
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("machines", help="platform specs")
+    p.set_defaults(fn=_cmd_machines)
+
+    p = sub.add_parser("bands", help="silicon band structure")
+    p.add_argument("--ecut", type=float, default=6.0)
+    p.add_argument("--points", type=int, default=4)
+    p.set_defaults(fn=_cmd_bands)
+
+    p = sub.add_parser("amr", help="AMR vector-performance study")
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--steps", type=int, default=10)
+    p.set_defaults(fn=_cmd_amr)
+
+    p = sub.add_parser("apps", help="validate the four applications")
+    p.set_defaults(fn=_cmd_apps)
+
+    args = parser.parse_args(argv)
+    np.set_printoptions(suppress=True)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

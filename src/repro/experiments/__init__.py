@@ -1,0 +1,38 @@
+"""Drivers that regenerate every table and figure of the paper."""
+
+from . import figures, reference
+from .summary import (
+    build_figure9,
+    build_table7,
+    render_figure9,
+    render_table7,
+)
+from .tables import (
+    BUILDERS,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    build_table6,
+)
+
+__all__ = [
+    "BUILDERS", "build_figure9", "build_table1", "build_table2",
+    "build_table3", "build_table4", "build_table5", "build_table6",
+    "build_table7", "figures", "reference", "render_figure9",
+    "render_table7", "run_all",
+]
+
+
+def run_all(*, with_reference: bool = True) -> str:
+    """Regenerate every exhibit and return one combined report."""
+    parts = [build_table1(), "", build_table2(), ""]
+    for builder in (build_table3, build_table4, build_table5,
+                    build_table6):
+        parts.append(builder().render(with_reference=with_reference))
+        parts.append("")
+    parts.append(render_table7())
+    parts.append("")
+    parts.append(render_figure9())
+    return "\n".join(parts)

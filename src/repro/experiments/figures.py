@@ -1,0 +1,146 @@
+"""Data behind the paper's visualization figures.
+
+Figures 1, 3, 5, and 7 are renderings of simulation output; these
+functions run the actual applications and return the fields the figures
+visualize (the examples save them to ``.npy``/PGM).  Figures 2, 4, 6 and
+8 are schematics whose *content* is data structures this library builds —
+the corresponding functions emit that content directly.
+
+Figure 3 (glycine NMR) and Figure 5 (black-hole collision) depend on
+physics outside the reproduction's scope; DESIGN.md documents the
+substitutions (silicon charge density; gauge-wave/Brill-pulse snapshots)
+— same code paths, same kind of field, different scene.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apps import cactus, gtc, lbmhd, paratec
+
+
+def figure1_current_decay(n: int = 64, steps: tuple[int, ...] = (0, 100,
+                                                                 250),
+                          tau: float = 0.6) -> list[np.ndarray]:
+    """Figure 1: current density of two cross-shaped structures decaying.
+
+    Returns one (n, n) current-density field per requested step.
+    """
+    solver = lbmhd.LBMHDSolver(*lbmhd.cross_current_sheets(n, n),
+                               tau=tau, tau_m=tau)
+    out = []
+    done = 0
+    for s in sorted(steps):
+        solver.step(s - done)
+        done = s
+        out.append(solver.current_density())
+    return out
+
+
+def figure2_lattice() -> dict[str, np.ndarray]:
+    """Figure 2a: the octagonal streaming lattice coupled to the grid."""
+    return {
+        "velocities": lbmhd.OCT9.velocities,
+        "weights": lbmhd.OCT9.weights,
+        "interpolation_fractions": lbmhd.OCT9.fractions,
+    }
+
+
+def figure3_substitute_charge_density(ecut: float = 5.5
+                                      ) -> np.ndarray:
+    """Figure 3 substitution: SCF charge density of bulk silicon.
+
+    (The paper shows induced current/charge density in glycine; the code
+    path — SCF density on the FFT grid — is identical.)
+    """
+    solver = paratec.SCFSolver(paratec.silicon_primitive(), ecut,
+                               nbands=5, seed=0)
+    return solver.run(n_scf=8, cg_steps=3).density
+
+
+def figure4_layouts(ecut: float = 5.5, nprocs: int = 3) -> dict:
+    """Figure 4: PARATEC's parallel data layouts on three processors.
+
+    Returns the actual column assignment of the G-sphere (Fig. 4a) and
+    the real-space x-block ranges (Fig. 4b).
+    """
+    basis = paratec.PlaneWaveBasis(paratec.silicon_primitive(), ecut)
+    layout = paratec.SphereLayout(basis, nprocs)
+    return {
+        "column_owner": dict(layout.column_owner),
+        "loads": layout.loads,
+        "real_space_blocks": [layout.x_range(r) for r in range(nprocs)],
+        "fft_shape": basis.fft_shape,
+    }
+
+
+def figure5_substitute_wave(n: int = 24, steps: int = 20
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 5 substitution: an evolving strong-gauge-field snapshot.
+
+    Returns (initial, evolved) gamma_xx slices through the midplane of a
+    gauge-wave evolution — genuinely evolving GR data from the same
+    solver a black-hole run would use.
+    """
+    dx = 1.0 / n
+    solver = cactus.CactusSolver(
+        *cactus.gauge_wave((n, 8, 8), dx, amplitude=0.1),
+        spacing=dx, gauge="harmonic", integrator="rk4", dt=0.2 * dx)
+    initial = solver.gamma[0, 0, :, :, 4].copy()
+    solver.step(steps)
+    return initial, solver.gamma[0, 0, :, :, 4].copy()
+
+
+def figure6_ghost_exchange(nprocs: int = 4) -> dict:
+    """Figure 6: the ghost-zone exchange pattern, measured not drawn."""
+    from ..runtime import Transport
+
+    rho, u, B = lbmhd.orszag_tang(16, 16)
+    tr = Transport(nprocs)
+    lbmhd.run_parallel(rho, u, B, nprocs=nprocs, nsteps=1, transport=tr)
+    pairs = sorted({(m.src, m.dst) for m in tr.messages})
+    return {"neighbor_pairs": pairs,
+            "messages": tr.message_count(),
+            "bytes": tr.total_bytes()}
+
+
+def figure7_potential(nr: int = 32, ntheta: int = 64, mode: int = 6,
+                      steps: int = 4) -> np.ndarray:
+    """Figure 7: GTC electrostatic potential with poloidal eddies.
+
+    Runs the PIC cycle from an m-mode seeded load; the returned
+    (nr, ntheta) potential shows the elongated finger-like structures.
+    """
+    geom = gtc.TorusGeometry(gtc.AnnulusGrid(0.2, 1.0, nr, ntheta), 1)
+    solver = gtc.GTCSolver(
+        geom, gtc.load_ring_perturbation(geom, 20.0, mode_m=mode,
+                                         amplitude=0.4, seed=0),
+        dt=0.05)
+    solver.step(steps)
+    return solver.potential_snapshot()
+
+
+def figure8_deposition(n_particles: int = 200) -> dict:
+    """Figure 8: classic vs 4-point gyro-averaged deposition, as data."""
+    grid = gtc.AnnulusGrid(0.2, 1.0, 24, 24)
+    geom = gtc.TorusGeometry(grid, 1)
+    particles = gtc.load_uniform(geom, n_particles / grid.npoints,
+                                 mu_mean=0.02, seed=1)
+    point_like = particles.select(np.arange(len(particles)))
+    point_like.mu[:] = 0.0  # classic PIC: the ring collapses to a point
+    return {
+        "classic": gtc.deposit_classic(grid, point_like),
+        "gyro_averaged": gtc.deposit_classic(grid, particles),
+        "ring_points": gtc.gyro_ring_points(particles, geom.b0),
+    }
+
+
+def save_pgm(path: str, field: np.ndarray) -> None:
+    """Write a 2D field as a portable graymap (no plotting deps)."""
+    f = np.asarray(field, dtype=np.float64)
+    lo, hi = f.min(), f.max()
+    scale = 255.0 / (hi - lo) if hi > lo else 0.0
+    img = ((f - lo) * scale).astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())

@@ -1,0 +1,118 @@
+"""The paper's measured numbers, transcribed from Tables 1-7 and Fig. 9.
+
+Keys follow the :class:`repro.perf.report.PaperTable` convention:
+``(config_label, nprocs, machine) -> (gflops_per_proc, pct_peak)``.
+Blank cells in the paper are simply absent.
+"""
+
+from __future__ import annotations
+
+#: Table 3: LBMHD per-processor performance.
+TABLE3 = {
+    ("4096x4096", 16, "Power3"): (0.107, 7), ("4096x4096", 16, "Power4"): (0.279, 5),
+    ("4096x4096", 16, "Altix"): (0.598, 10), ("4096x4096", 16, "ES"): (4.62, 58),
+    ("4096x4096", 16, "X1 (MPI)"): (4.32, 34), ("4096x4096", 16, "X1 (CAF)"): (4.55, 36),
+    ("4096x4096", 64, "Power3"): (0.142, 9), ("4096x4096", 64, "Power4"): (0.296, 6),
+    ("4096x4096", 64, "Altix"): (0.615, 10), ("4096x4096", 64, "ES"): (4.29, 54),
+    ("4096x4096", 64, "X1 (MPI)"): (4.35, 34), ("4096x4096", 64, "X1 (CAF)"): (4.26, 33),
+    ("4096x4096", 256, "Power3"): (0.136, 9), ("4096x4096", 256, "Power4"): (0.281, 5),
+    ("4096x4096", 256, "ES"): (3.21, 40),
+    ("8192x8192", 64, "Power3"): (0.105, 7), ("8192x8192", 64, "Power4"): (0.270, 5),
+    ("8192x8192", 64, "Altix"): (0.645, 11), ("8192x8192", 64, "ES"): (4.64, 58),
+    ("8192x8192", 64, "X1 (MPI)"): (4.48, 35), ("8192x8192", 64, "X1 (CAF)"): (4.70, 37),
+    ("8192x8192", 256, "Power3"): (0.115, 8), ("8192x8192", 256, "Power4"): (0.278, 5),
+    ("8192x8192", 256, "ES"): (4.26, 53), ("8192x8192", 256, "X1 (MPI)"): (2.70, 21),
+    ("8192x8192", 256, "X1 (CAF)"): (2.91, 23),
+    ("8192x8192", 1024, "Power3"): (0.108, 7), ("8192x8192", 1024, "ES"): (3.30, 41),
+}
+
+#: Table 4: PARATEC per-processor performance.
+TABLE4 = {
+    ("432 atoms", 32, "Power3"): (0.950, 63), ("432 atoms", 32, "Power4"): (2.02, 39),
+    ("432 atoms", 32, "Altix"): (3.71, 62), ("432 atoms", 32, "ES"): (4.76, 60),
+    ("432 atoms", 32, "X1"): (3.04, 24),
+    ("432 atoms", 64, "Power3"): (0.848, 57), ("432 atoms", 64, "Power4"): (1.73, 33),
+    ("432 atoms", 64, "Altix"): (3.24, 54), ("432 atoms", 64, "ES"): (4.67, 58),
+    ("432 atoms", 64, "X1"): (2.59, 20),
+    ("432 atoms", 128, "Power3"): (0.739, 49), ("432 atoms", 128, "Power4"): (1.50, 29),
+    ("432 atoms", 128, "ES"): (4.74, 59), ("432 atoms", 128, "X1"): (1.91, 15),
+    ("432 atoms", 256, "Power3"): (0.572, 38), ("432 atoms", 256, "Power4"): (1.08, 21),
+    ("432 atoms", 256, "ES"): (4.17, 52),
+    ("432 atoms", 512, "Power3"): (0.413, 28), ("432 atoms", 512, "ES"): (3.39, 42),
+    ("432 atoms", 1024, "ES"): (2.08, 26),
+    ("686 atoms", 64, "ES"): (5.25, 66), ("686 atoms", 64, "X1"): (3.73, 29),
+    ("686 atoms", 128, "ES"): (4.95, 62), ("686 atoms", 128, "X1"): (3.01, 24),
+    ("686 atoms", 256, "ES"): (4.59, 57), ("686 atoms", 256, "X1"): (1.27, 10),
+    ("686 atoms", 512, "ES"): (3.76, 47),
+    ("686 atoms", 1024, "ES"): (2.53, 32),
+}
+
+#: Table 5: Cactus per-processor performance (weak scaling).
+TABLE5 = {
+    ("80x80x80", 16, "Power3"): (0.314, 21), ("80x80x80", 16, "Power4"): (0.577, 11),
+    ("80x80x80", 16, "Altix"): (0.892, 15), ("80x80x80", 16, "ES"): (1.47, 18),
+    ("80x80x80", 16, "X1"): (0.540, 4),
+    ("80x80x80", 64, "Power3"): (0.217, 14), ("80x80x80", 64, "Power4"): (0.496, 10),
+    ("80x80x80", 64, "Altix"): (0.699, 12), ("80x80x80", 64, "ES"): (1.36, 17),
+    ("80x80x80", 64, "X1"): (0.427, 3),
+    ("80x80x80", 256, "Power3"): (0.216, 14), ("80x80x80", 256, "Power4"): (0.475, 9),
+    ("80x80x80", 256, "ES"): (1.35, 17), ("80x80x80", 256, "X1"): (0.409, 3),
+    ("80x80x80", 1024, "Power3"): (0.215, 14), ("80x80x80", 1024, "ES"): (1.34, 17),
+    ("250x64x64", 16, "Power3"): (0.097, 6), ("250x64x64", 16, "Power4"): (0.556, 11),
+    ("250x64x64", 16, "Altix"): (0.514, 9), ("250x64x64", 16, "ES"): (2.83, 35),
+    ("250x64x64", 16, "X1"): (0.813, 6),
+    ("250x64x64", 64, "Power3"): (0.082, 6), ("250x64x64", 64, "Altix"): (0.422, 7),
+    ("250x64x64", 64, "ES"): (2.70, 34), ("250x64x64", 64, "X1"): (0.717, 6),
+    ("250x64x64", 256, "Power3"): (0.071, 5), ("250x64x64", 256, "ES"): (2.70, 34),
+    ("250x64x64", 256, "X1"): (0.677, 5),
+    ("250x64x64", 1024, "Power3"): (0.060, 4), ("250x64x64", 1024, "ES"): (2.70, 34),
+}
+
+#: Table 6: GTC per-processor performance.
+TABLE6 = {
+    ("10 part/cell", 32, "Power3"): (0.135, 9), ("10 part/cell", 32, "Power4"): (0.299, 6),
+    ("10 part/cell", 32, "Altix"): (0.290, 5), ("10 part/cell", 32, "ES"): (0.961, 12),
+    ("10 part/cell", 32, "X1"): (1.00, 8),
+    ("10 part/cell", 64, "Power3"): (0.132, 9), ("10 part/cell", 64, "Power4"): (0.324, 6),
+    ("10 part/cell", 64, "Altix"): (0.257, 4), ("10 part/cell", 64, "ES"): (0.835, 10),
+    ("10 part/cell", 64, "X1"): (0.803, 6),
+    ("100 part/cell", 32, "Power3"): (0.135, 9), ("100 part/cell", 32, "Power4"): (0.293, 6),
+    ("100 part/cell", 32, "Altix"): (0.333, 6), ("100 part/cell", 32, "ES"): (1.34, 17),
+    ("100 part/cell", 32, "X1"): (1.50, 12),
+    ("100 part/cell", 64, "Power3"): (0.133, 9), ("100 part/cell", 64, "Power4"): (0.294, 6),
+    ("100 part/cell", 64, "Altix"): (0.308, 5), ("100 part/cell", 64, "ES"): (1.25, 16),
+    ("100 part/cell", 64, "X1"): (1.36, 11),
+    ("100 part/cell", 1024, "Power3"): (0.063, 4),
+}
+
+#: Table 7: ES speedup vs each platform (largest comparable P/problem).
+TABLE7 = {
+    "LBMHD": {"Power3": 30.6, "Power4": 15.3, "Altix": 7.2, "X1": 1.5},
+    "PARATEC": {"Power3": 8.2, "Power4": 3.9, "Altix": 1.4, "X1": 3.9},
+    "CACTUS": {"Power3": 45.0, "Power4": 5.1, "Altix": 6.4, "X1": 4.0},
+    "GTC": {"Power3": 9.4, "Power4": 4.3, "Altix": 4.1, "X1": 0.9},
+    "Average": {"Power3": 23.3, "Power4": 7.1, "Altix": 4.8, "X1": 2.6},
+}
+
+#: Figure 9: sustained percent of peak at P=64 (P=16 for Cactus/Power4),
+#: read off the bar chart via the tables it summarizes.
+FIGURE9 = {
+    "LBMHD": {"Power3": 9, "Power4": 6, "Altix": 10, "ES": 54,
+              "X1": 34},
+    "PARATEC": {"Power3": 57, "Power4": 33, "Altix": 54, "ES": 58,
+                "X1": 20},
+    "CACTUS": {"Power3": 6, "Power4": 11, "Altix": 7, "ES": 34, "X1": 6},
+    "GTC": {"Power3": 9, "Power4": 6, "Altix": 4, "ES": 10, "X1": 6},
+}
+
+#: Table 2: application overview (verbatim).
+TABLE2 = [
+    ("LBMHD", 1500, "Plasma Physics",
+     "Magneto-Hydrodynamics, Lattice Boltzmann", "Grid"),
+    ("PARATEC", 50000, "Material Science",
+     "Density Functional Theory, Kohn Sham, FFT", "Fourier/Grid"),
+    ("CACTUS", 84000, "Astrophysics",
+     "Einstein Theory of GR, ADM-BSSN, Method of Lines", "Grid"),
+    ("GTC", 5000, "Magnetic Fusion",
+     "Particle in Cell, gyrophase-averaged Vlasov-Poisson", "Particle"),
+]

@@ -1,0 +1,113 @@
+"""Table 7 and Figure 9: cross-application summaries.
+
+Table 7 compares per-processor rates at "the largest comparable processor
+count and problem size"; Figure 9 plots sustained percent of peak at
+P=64 (P=16 for Cactus on the Power4).  Both are derived from the
+regenerated Tables 3-6, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..perf import PaperTable, render_speedup_table
+from . import reference
+from .tables import build_table3, build_table4, build_table5, build_table6
+
+#: (app, table builder, config label, P, per-machine comparison points)
+#: following the paper's "largest comparable" convention per cell.
+_T7_POINTS = {
+    "LBMHD": ("8192x8192",
+              {"Power3": 1024, "Power4": 256, "Altix": 64,
+               "X1 (MPI)": 256, "ES": None}),
+    "PARATEC": ("432 atoms",
+                {"Power3": 512, "Power4": 256, "Altix": 64, "X1": 128,
+                 "ES": None}),
+    "CACTUS": ("250x64x64",
+               {"Power3": 1024, "Power4": 16, "Altix": 64, "X1": 256,
+                "ES": None}),
+    "GTC": ("100 part/cell",
+            {"Power3": 64, "Power4": 64, "Altix": 64, "X1": 64,
+             "ES": None}),
+}
+
+_COLUMNS = ["Power3", "Power4", "Altix", "X1"]
+
+
+@functools.lru_cache(maxsize=None)
+def _table_for(app: str) -> PaperTable:
+    return {"LBMHD": build_table3, "PARATEC": build_table4,
+            "CACTUS": build_table5, "GTC": build_table6}[app]()
+
+
+def build_table7() -> dict[str, dict[str, float]]:
+    """ES speedups vs each platform (model values, Table 7 layout)."""
+    out: dict[str, dict[str, float]] = {}
+    for app, (config, points) in _T7_POINTS.items():
+        row: dict[str, float] = {}
+        for machine, p in points.items():
+            if machine == "ES" or p is None:
+                continue
+            other = _table_for(app).cell(config, p, machine)
+            es = _table_for(app).cell(config, p, "ES")
+            if other is None or es is None:
+                continue
+            col = "X1" if machine.startswith("X1") else machine
+            row[col] = es.gflops_per_proc / other.gflops_per_proc
+        out[app] = row
+    avg = {c: sum(r[c] for r in out.values() if c in r)
+           / sum(1 for r in out.values() if c in r) for c in _COLUMNS}
+    out["Average"] = avg
+    return out
+
+
+def render_table7(model: dict[str, dict[str, float]] | None = None) -> str:
+    model = model or build_table7()
+    text = render_speedup_table(
+        "Table 7: ES speedup vs each platform (model)", model, _COLUMNS)
+    text += "\n\n" + render_speedup_table(
+        "Table 7 (paper)", reference.TABLE7, _COLUMNS)
+    return text
+
+
+def build_figure9() -> dict[str, dict[str, float]]:
+    """Sustained %peak at P=64 (Cactus Power4 shown at P=16)."""
+    out: dict[str, dict[str, float]] = {}
+    specs = {
+        "LBMHD": (build_table3(), "8192x8192", 64,
+                  {"X1": "X1 (MPI)"}),
+        "PARATEC": (build_table4(), "432 atoms", 64, {}),
+        "CACTUS": (build_table5(), "250x64x64", 64, {}),
+        "GTC": (build_table6(), "100 part/cell", 64, {}),
+    }
+    for app, (table, config, p, aliases) in specs.items():
+        row = {}
+        for machine in ("Power3", "Power4", "Altix", "ES", "X1"):
+            label = aliases.get(machine, machine)
+            cell = table.cell(config, p, label)
+            if cell is None and app == "CACTUS" and machine == "Power4":
+                cell = table.cell(config, 16, label)  # paper footnote
+            if cell is not None:
+                row[machine] = cell.pct_peak
+        out[app] = row
+    return out
+
+
+def render_figure9(model: dict[str, dict[str, float]] | None = None
+                   ) -> str:
+    model = model or build_figure9()
+    machines = ["Power3", "Power4", "Altix", "ES", "X1"]
+    lines = ["Figure 9: sustained percent of peak at P=64 "
+             "(model | paper)", ""]
+    header = f"{'App':10}" + "".join(f"{m:>16}" for m in machines)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for app, row in model.items():
+        ref = reference.FIGURE9.get(app, {})
+        cells = []
+        for m in machines:
+            got = f"{row[m]:.0f}%" if m in row else "—"
+            want = f"{ref[m]:.0f}%" if m in ref else "—"
+            cells.append(f"{got + ' | ' + want:>16}")
+        lines.append(f"{app:10}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Machine models of the five evaluated platforms.
+
+Public surface: the platform instances (:data:`POWER3`, :data:`POWER4`,
+:data:`ALTIX`, :data:`ES`, :data:`X1`), the :class:`MachineSpec` family of
+descriptors, and the processor / memory / network timing models.
+"""
+
+from .counters import HardwareCounters
+from .memory import MemoryModel, MemoryTime
+from .network import (
+    CommTime,
+    Crossbar,
+    FatTree,
+    NetworkModel,
+    Omega,
+    Torus2D,
+    TopologyModel,
+    topology_model,
+)
+from .platforms import (
+    ALTIX,
+    ES,
+    PLATFORMS,
+    POWER3,
+    POWER4,
+    POWER5,
+    X1,
+    get_machine,
+)
+from .processor import ComputeTime, ProcessorModel, strip_mined_avl
+from .spec import (
+    AccessPattern,
+    CacheLevel,
+    MachineSpec,
+    ScalarUnit,
+    Topology,
+    VectorUnit,
+)
+
+__all__ = [
+    "ALTIX", "ES", "PLATFORMS", "POWER3", "POWER4", "POWER5", "X1",
+    "AccessPattern", "CacheLevel", "CommTime", "ComputeTime", "Crossbar",
+    "FatTree", "HardwareCounters", "MachineSpec", "MemoryModel",
+    "MemoryTime", "NetworkModel", "Omega", "ProcessorModel", "ScalarUnit",
+    "Topology", "TopologyModel", "Torus2D", "VectorUnit", "get_machine",
+    "strip_mined_avl", "topology_model",
+]

@@ -1,0 +1,226 @@
+"""The five evaluated platforms, parameterized from Table 1 and Section 2.
+
+>>> from repro.machine.platforms import ES, X1, POWER3
+>>> round(ES.bytes_per_flop, 1)
+4.0
+>>> X1.vector.vector_length
+64
+"""
+
+from __future__ import annotations
+
+from .spec import (
+    CacheLevel,
+    MachineSpec,
+    ScalarUnit,
+    Topology,
+    VectorUnit,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+#: IBM Power3 (§2.1): 375 MHz, two FPUs with fused MADD -> 1.5 Gflop/s,
+#: 128 KB L1 + 8 MB L2, 16-way SMP nodes, Colony switch (omega topology).
+POWER3 = MachineSpec(
+    name="Power3",
+    cpus_per_node=16,
+    clock_mhz=375.0,
+    peak_gflops=1.5,
+    mem_bw_gbs=0.7,
+    mpi_latency_us=16.3,
+    net_bw_gbs_per_cpu=0.13,
+    bisection_bytes_per_flop=0.087,
+    topology=Topology.OMEGA,
+    is_vector=False,
+    scalar=ScalarUnit(peak_gflops=1.5),
+    caches=(
+        CacheLevel("L1", 128 * KB, line_bytes=128, associativity=128),
+        CacheLevel("L2", 8 * MB, line_bytes=128, associativity=4,
+                   bandwidth_gbs=6.4),
+    ),
+    sustained_mem_fraction=0.85,   # short 3-cycle pipe, efficient prefetch
+    ilp_efficiency=0.85,           # 3-cycle pipeline; dense kernels near peak
+    prefetch_ghost_derate=0.45,    # prefetch streams disengage at ghost zones
+    gather_derate=0.30,
+    notes="380-node IBM pSeries at LBNL (NERSC), AIX 5.1, Colony switch.",
+    max_procs=6080,
+)
+
+#: IBM Power4 (§2.2): 1.3 GHz cores, 2 FPUs w/ MADD -> 5.2 Gflop/s, shared
+#: 1.5 MB L2 per chip, 32 MB L3 per MCM, Federation (HPS) fat-tree.
+POWER4 = MachineSpec(
+    name="Power4",
+    cpus_per_node=32,
+    clock_mhz=1300.0,
+    peak_gflops=5.2,
+    mem_bw_gbs=2.3,
+    mpi_latency_us=7.0,
+    net_bw_gbs_per_cpu=0.25,
+    bisection_bytes_per_flop=0.025,
+    topology=Topology.FAT_TREE,
+    is_vector=False,
+    scalar=ScalarUnit(peak_gflops=5.2),
+    caches=(
+        CacheLevel("L1", 32 * KB, line_bytes=128, associativity=2),
+        CacheLevel("L2", int(1.5 * MB), line_bytes=128, associativity=8,
+                   bandwidth_gbs=50.0, shared_by=2),
+        CacheLevel("L3", 32 * MB, line_bytes=512, associativity=8,
+                   bandwidth_gbs=12.0, shared_by=2),
+    ),
+    sustained_mem_fraction=0.60,   # deep 6-cycle pipe + intra-node contention
+    ilp_efficiency=0.62,           # long pipeline of the 1.3 GHz design (§2.2)
+    # Dual prefetch streams per core plus the large L3 ride across ghost
+    # layers (Cactus 250x64x64 runs at full Power4 efficiency, Table 5).
+    prefetch_ghost_derate=0.95,
+    gather_derate=0.25,
+    notes="27-node p690 at ORNL, AIX 5.2, Federation/HPS; no large pages.",
+    max_procs=864,
+)
+
+#: SGI Altix 3000 (§2.3): 1.5 GHz Itanium2, 2 MADD/cycle -> 6 Gflop/s, FP
+#: data bypasses L1 (L2-resident), NUMAlink3 fat-tree, hardware ccNUMA.
+ALTIX = MachineSpec(
+    name="Altix",
+    cpus_per_node=2,
+    clock_mhz=1500.0,
+    peak_gflops=6.0,
+    mem_bw_gbs=6.4,
+    mpi_latency_us=2.8,
+    net_bw_gbs_per_cpu=0.40,
+    bisection_bytes_per_flop=0.067,
+    topology=Topology.FAT_TREE,
+    is_vector=False,
+    scalar=ScalarUnit(peak_gflops=6.0),
+    caches=(
+        # FP loads cannot live in L1 on Itanium2; model L2 as first FP level.
+        CacheLevel("L2", 256 * KB, line_bytes=128, associativity=8,
+                   bandwidth_gbs=48.0),
+        CacheLevel("L3", 6 * MB, line_bytes=128, associativity=24,
+                   bandwidth_gbs=32.0),
+    ),
+    sustained_mem_fraction=0.70,
+    ilp_efficiency=0.85,           # EPIC + 128 FP registers: dense kernels near peak
+    # Software prefetch must be rescheduled around ghost-layer skips and
+    # the in-order pipeline stalls when it is not (Cactus, §5.2).
+    prefetch_ghost_derate=0.35,
+    # In-order EPIC stalls hard on unprefetchable random loads (FP data
+    # cannot live in L1 on Itanium2).
+    gather_derate=0.10,
+    onesided_latency_us=1.8,       # hardware ccNUMA loads/stores
+    notes="256-CPU single-system-image Altix at ORNL, Linux 2.4.21.",
+    max_procs=256,
+)
+
+#: Earth Simulator (§2.4): 500 MHz, 8-way replicated vector pipe w/ MADD ->
+#: 8 Gflop/s; 72 vregs x 256 words; cacheless, FPLRAM banks; 1 Gflop/s
+#: 4-way superscalar unit (1/8 vector); 640 nodes on single-stage crossbar.
+ES = MachineSpec(
+    name="ES",
+    cpus_per_node=8,
+    clock_mhz=500.0,
+    peak_gflops=8.0,
+    mem_bw_gbs=32.0,
+    mpi_latency_us=5.6,
+    net_bw_gbs_per_cpu=1.5,
+    bisection_bytes_per_flop=0.19,
+    topology=Topology.CROSSBAR,
+    is_vector=True,
+    vector=VectorUnit(vector_length=256, pipes=8, half_length=14),
+    scalar=ScalarUnit(peak_gflops=1.0),
+    caches=(),                     # cacheless vector unit
+    sustained_mem_fraction=0.95,   # fully pipelined FPLRAM
+    # Vector gather/scatter against FPLRAM banks is element-rate
+    # limited (~1 word/cycle), far below streaming bandwidth.
+    gather_derate=0.06,
+    memory_banks=2048,
+    notes="640-node NEC ES, Super-UX; experiments run on-site Dec 2003.",
+    max_procs=5120,
+)
+
+#: Cray X1 (§2.5): MSP = 4 SSPs; 2 vector pipes/SSP @800 MHz -> 12.8 Gflop/s
+#: per MSP (64-bit); 32 vregs x 64 words per SSP; 2 MB shared Ecache; scalar
+#: 400 MHz 2-way, 1/8 SSP peak, and 1/32 of MSP peak when serialized.
+X1 = MachineSpec(
+    name="X1",
+    cpus_per_node=4,               # 4 MSPs share a flat-memory node
+    clock_mhz=800.0,
+    peak_gflops=12.8,
+    mem_bw_gbs=34.1,
+    mpi_latency_us=7.3,
+    net_bw_gbs_per_cpu=6.3,
+    bisection_bytes_per_flop=0.088,  # 2048-MSP configuration (Table 1 note)
+    topology=Topology.TORUS_2D,
+    is_vector=True,
+    vector=VectorUnit(vector_length=64, pipes=8, half_length=7,
+                      sp_speedup=2.0),
+    scalar=ScalarUnit(peak_gflops=1.6, multistream_serialization=4.0),
+    caches=(
+        CacheLevel("Ecache", 2 * MB, line_bytes=32, associativity=2,
+                   bandwidth_gbs=38.0, shared_by=4),
+    ),
+    sustained_mem_fraction=0.90,
+    gather_derate=0.07,             # element-rate-limited vector gathers
+    memory_banks=1024,
+    onesided_latency_us=3.9,       # CAF latency measured at ORNL [4]
+    notes="512-MSP X1 at ORNL, UNICOS/mp 2.4; MSP = 4 multistreamed SSPs.",
+    max_procs=512,
+)
+
+#: IBM Power5 — not in the study, but §5.2 anticipates it: "IBM ... has
+#: added new variants of the prefetch instructions to the Power5 for
+#: keeping the prefetch streams engaged when exposed to minor
+#: data-access irregularities.  We look forward to testing Cactus on the
+#: Power5 platform."  Parameters from the 2004-era p5-575 specification;
+#: the key delta vs Power4 is the repaired ghost-zone prefetch behaviour
+#: and the on-chip memory controller's bandwidth.
+POWER5 = MachineSpec(
+    name="Power5",
+    cpus_per_node=16,
+    clock_mhz=1900.0,
+    peak_gflops=7.6,
+    mem_bw_gbs=6.8,                # on-chip controller, per CPU
+    mpi_latency_us=5.0,
+    net_bw_gbs_per_cpu=0.5,
+    bisection_bytes_per_flop=0.05,
+    topology=Topology.FAT_TREE,
+    is_vector=False,
+    scalar=ScalarUnit(peak_gflops=7.6),
+    caches=(
+        CacheLevel("L1", 32 * KB, line_bytes=128, associativity=4),
+        CacheLevel("L2", int(1.875 * MB), line_bytes=128,
+                   associativity=10, bandwidth_gbs=60.0, shared_by=2),
+        CacheLevel("L3", 36 * MB, line_bytes=256, associativity=12,
+                   bandwidth_gbs=15.0, shared_by=2),
+    ),
+    sustained_mem_fraction=0.70,
+    ilp_efficiency=0.62,
+    # The §5.2 fix: prefetch streams survive ghost-layer skips.
+    prefetch_ghost_derate=0.95,
+    gather_derate=0.25,
+    notes="Projection: p5-575-class system; not part of the 2004 study.",
+    max_procs=2048,
+)
+
+#: All platforms in Table 1 row order (POWER5 is a projection and is
+#: deliberately NOT part of this tuple).
+PLATFORMS: tuple[MachineSpec, ...] = (POWER3, POWER4, ALTIX, ES, X1)
+
+_BY_NAME = {m.name.lower(): m for m in PLATFORMS + (POWER5,)}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look a platform up by (case-insensitive) name.
+
+    >>> get_machine("es").peak_gflops
+    8.0
+    """
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown machine {name!r}; known: {known}") from None
+
+
+for _m in PLATFORMS + (POWER5,):
+    _m.validate()

@@ -1,0 +1,119 @@
+"""Processor (compute-side) timing model.
+
+Turns the flop count of a :class:`~repro.perf.work.WorkPhase` into time on
+one CPU, given the per-machine vectorization decision for the phase.  The
+model implements the paper's core performance arguments:
+
+* Hockney vector model — sustained vector rate ``peak * avl/(avl + n_half)``
+  where ``avl`` follows from strip-mining the loop's trip count into the
+  machine's register length (why Cactus's 250x64x64 domains run at AVL 248
+  and 80^3 at AVL 92, §5.2);
+* X1 multistreaming — a vectorized but non-streamable loop uses one of the
+  four SSPs (peak/4); a *serialized* (neither vectorized nor streamed) loop
+  runs on a single SSP scalar core at 1/32 of MSP peak (§2.5, §6.1, §7);
+* scalar residue on vector machines at the 8:1 scalar unit rate — the
+  Amdahl sensitivity the paper calls "an additional dimension for
+  architectural balance";
+* superscalar machines sustain ``ilp_efficiency * peak`` on compute-bound
+  loops (pipeline depth and register pressure set the efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..work import WorkPhase
+from .spec import MachineSpec
+
+GF = 1.0e9
+
+
+def strip_mined_avl(trip: int, vector_length: int) -> float:
+    """Average vector length after strip-mining a loop of ``trip`` iterations.
+
+    A loop of *n* iterations issues ``ceil(n / VL)`` vector instructions, so
+    the average length is ``n / ceil(n / VL)``:
+
+    >>> strip_mined_avl(256, 256)
+    256.0
+    >>> strip_mined_avl(300, 256)
+    150.0
+    >>> round(strip_mined_avl(92, 256), 1)
+    92.0
+    """
+    if trip <= 0:
+        return 0.0
+    if vector_length <= 1:
+        return 1.0
+    chunks = -(-trip // vector_length)
+    return trip / chunks
+
+
+@dataclass(frozen=True)
+class ComputeTime:
+    """Result of the processor model for one phase on one CPU."""
+
+    seconds: float
+    mode: str                      # "vector", "vector-unstreamed", "scalar",
+    #                                "serialized-scalar", "superscalar"
+    avl: float                     # 0 for scalar execution
+    effective_gflops: float
+
+
+class ProcessorModel:
+    """Per-machine compute timing."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+
+    def time(
+        self,
+        phase: WorkPhase,
+        *,
+        vectorized: bool | None = None,
+        multistreamed: bool | None = None,
+    ) -> ComputeTime:
+        """Compute-side time for ``phase``.
+
+        ``vectorized``/``multistreamed`` override the phase's intrinsic
+        capabilities (the porting spec resolves these per machine); ``None``
+        means "as capable".
+        """
+        m = self.machine
+        if phase.flops == 0:
+            return ComputeTime(0.0, "empty", 0.0, float("inf"))
+
+        if not m.is_vector:
+            rate = m.peak_gflops * m.ilp_efficiency \
+                * phase.compute_efficiency * GF
+            return ComputeTime(phase.flops / rate, "superscalar", 0.0,
+                               rate / GF)
+
+        vec = vectorized if vectorized is not None else phase.vectorizable
+        stream = (multistreamed if multistreamed is not None
+                  else phase.streamable)
+        assert m.vector is not None and m.scalar is not None
+
+        if vec:
+            avl = strip_mined_avl(phase.trip, m.vector.vector_length)
+            n_half = m.vector.half_length * phase.half_length_scale
+            eff = avl / (avl + n_half)
+            peak = m.peak_gflops
+            mode = "vector"
+            if phase.word_bytes == 4:
+                peak *= m.vector.sp_speedup
+            if m.scalar.multistream_serialization > 1.0 and not stream:
+                # Vectorized but confined to one SSP of the MSP.
+                peak /= m.scalar.multistream_serialization
+                mode = "vector-unstreamed"
+            rate = peak * eff * phase.compute_efficiency * GF
+            return ComputeTime(phase.flops / rate, mode, avl, rate / GF)
+
+        # Unvectorized on a vector machine: scalar unit, possibly serialized
+        # inside a multistreamed region (X1's 32:1 effective ratio).
+        rate = m.scalar.peak_gflops * phase.compute_efficiency * GF
+        mode = "scalar"
+        if m.scalar.multistream_serialization > 1.0:
+            rate /= m.scalar.multistream_serialization
+            mode = "serialized-scalar"
+        return ComputeTime(phase.flops / rate, mode, 0.0, rate / GF)

@@ -1,0 +1,146 @@
+"""Machine specification dataclasses.
+
+Every parameter here is taken from Table 1 of the paper or from the
+microarchitectural descriptions in Section 2 (Power3 §2.1, Power4 §2.2,
+Altix §2.3, Earth Simulator §2.4, X1 §2.5).  The specs are deliberately
+*descriptive*: they record what the paper says about the hardware, and the
+models in :mod:`repro.machine.processor`, :mod:`repro.machine.memory` and
+:mod:`repro.machine.network` turn them into predicted execution times.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..work import AccessPattern
+
+__all__ = [
+    "AccessPattern", "CacheLevel", "MachineSpec", "ScalarUnit",
+    "Topology", "VectorUnit",
+]
+
+
+class Topology(enum.Enum):
+    """Interconnect topology families present in Table 1."""
+
+    FAT_TREE = "fat-tree"
+    OMEGA = "omega"
+    CROSSBAR = "crossbar"
+    TORUS_2D = "2d-torus"
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """A single level of a data-cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 128
+    associativity: int = 4
+    #: Sustained bandwidth from this level to the core, GB/s.  ``None`` means
+    #: "fast enough to be ignored" (the level never limits the kernels here).
+    bandwidth_gbs: float | None = None
+    shared_by: int = 1  # cores sharing this cache (Power4 L2 is shared by 2)
+
+
+@dataclass(frozen=True)
+class VectorUnit:
+    """Vector execution resources of one processor.
+
+    ``vector_length`` is the hardware register length in 64-bit words (256 on
+    the ES, 64 on an X1 MSP pipe).  ``half_length`` is the classic
+    :math:`n_{1/2}` of Hockney's vector model — the vector length at which
+    half of asymptotic throughput is reached; sustained efficiency on
+    average vector length *avl* is ``avl / (avl + half_length)``.
+    """
+
+    vector_length: int
+    pipes: int
+    half_length: int = 12
+    #: Multiplier for single-precision peak (X1 doubles to 25.6 Gflop/s for
+    #: 32-bit data, although the paper notes memory bandwidth obviates it).
+    sp_speedup: float = 1.0
+
+
+@dataclass(frozen=True)
+class ScalarUnit:
+    """Scalar/superscalar execution resources of one processor."""
+
+    peak_gflops: float
+    #: Additional derate applied to scalar code embedded in a multistreamed
+    #: region.  The X1 MSP runs serialized loops on a single SSP scalar core,
+    #: degrading the vector:scalar ratio from 8:1 to 32:1 (§6.1, §7).
+    multistream_serialization: float = 1.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full description of one platform (one row of Table 1 + §2 detail)."""
+
+    name: str
+    cpus_per_node: int
+    clock_mhz: float
+    peak_gflops: float            # per CPU
+    mem_bw_gbs: float             # per CPU, Table 1 "Memory BW"
+    mpi_latency_us: float
+    net_bw_gbs_per_cpu: float
+    bisection_bytes_per_flop: float
+    topology: Topology
+    is_vector: bool
+    vector: VectorUnit | None = None
+    scalar: ScalarUnit | None = None
+    caches: tuple[CacheLevel, ...] = ()
+    #: Fraction of nominal memory bandwidth sustainable by real streams
+    #: (STREAM-triad-like).  Vector machines with FPLRAM/pipelined fetches
+    #: sustain close to nominal; cache hierarchies sustain less.
+    sustained_mem_fraction: float = 0.75
+    #: Derate when unit-stride sweeps skip ghost layers and the prefetch
+    #: streams disengage (Power3/Power4 behaviour, §5.2).
+    prefetch_ghost_derate: float = 1.0
+    #: Derate on gather/scatter (indirect) memory streams.
+    gather_derate: float = 0.35
+    #: Sustained fraction of peak for compute-bound scalar loops with good
+    #: ILP (superscalar machines; derated further by deep pipelines).
+    ilp_efficiency: float = 0.75
+    #: Number of independent memory banks (vector machines); used by the
+    #: bank-conflict model.  0 disables the model.
+    memory_banks: int = 0
+    #: One-sided (CAF/SHMEM) latency where hardware supports it (§3.1 cites
+    #: 3.9 us on the X1 vs 7.3 us for MPI).  ``None``: no one-sided support.
+    onesided_latency_us: float | None = None
+    notes: str = ""
+    # Derived/auxiliary fields
+    max_procs: int = 1024
+
+    @property
+    def bytes_per_flop(self) -> float:
+        """Table 1 'Peak (Bytes/flop)' column: memory balance of the CPU."""
+        return self.mem_bw_gbs / self.peak_gflops
+
+    @property
+    def scalar_peak_gflops(self) -> float:
+        if self.scalar is not None:
+            return self.scalar.peak_gflops
+        return self.peak_gflops
+
+    @property
+    def vector_length(self) -> int:
+        if self.vector is None:
+            return 1
+        return self.vector.vector_length
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the spec is internally inconsistent."""
+        if self.peak_gflops <= 0 or self.mem_bw_gbs <= 0:
+            raise ValueError(f"{self.name}: non-positive peak/bandwidth")
+        if self.is_vector and self.vector is None:
+            raise ValueError(f"{self.name}: vector machine without VectorUnit")
+        if not self.is_vector and self.vector is not None:
+            raise ValueError(f"{self.name}: scalar machine with VectorUnit")
+        if self.mpi_latency_us < 0 or self.net_bw_gbs_per_cpu <= 0:
+            raise ValueError(f"{self.name}: bad network parameters")
+        if not 0.0 < self.sustained_mem_fraction <= 1.0:
+            raise ValueError(f"{self.name}: sustained_mem_fraction out of range")
+        if self.scalar is not None and self.scalar.peak_gflops > self.peak_gflops:
+            raise ValueError(f"{self.name}: scalar unit faster than total peak")

@@ -1,0 +1,16 @@
+"""Performance modeling: work profiles, porting specs, prediction, reports."""
+
+from .metrics import parallel_efficiency, pct_of_peak, per_proc_speedup
+from .model import PerformanceModel, PerfResult, PhaseTime, predict_on
+from .porting import PhasePort, PortingSpec, default_porting
+from .report import PaperTable, render_speedup_table
+from .sensitivity import Finding, perturbed, sweep
+from .work import AppProfile, CommPhase, WorkPhase
+
+__all__ = [
+    "AppProfile", "CommPhase", "PaperTable", "PerfResult",
+    "PerformanceModel", "PhasePort", "PhaseTime", "PortingSpec",
+    "WorkPhase", "default_porting", "parallel_efficiency", "pct_of_peak",
+    "per_proc_speedup", "perturbed", "predict_on",
+    "render_speedup_table", "sweep", "Finding",
+]

@@ -1,0 +1,34 @@
+"""Small metric helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+from .model import PerfResult
+
+
+def pct_of_peak(gflops_per_proc: float, peak_gflops: float) -> float:
+    """Percent of per-CPU peak, as reported in Tables 3-6."""
+    if peak_gflops <= 0:
+        raise ValueError("peak must be positive")
+    return 100.0 * gflops_per_proc / peak_gflops
+
+
+def per_proc_speedup(reference: PerfResult, other: PerfResult) -> float:
+    """Speedup in per-processor rate (Table 7 convention).
+
+    The paper's Table 7 compares per-processor Gflop/s at the largest
+    comparable concurrency — equal to the runtime ratio at equal P.
+    """
+    if other.gflops_per_proc <= 0:
+        return float("inf")
+    return reference.gflops_per_proc / other.gflops_per_proc
+
+
+def parallel_efficiency(results: list[PerfResult]) -> dict[int, float]:
+    """Per-processor rate at P normalized to the smallest-P entry."""
+    if not results:
+        return {}
+    base = min(results, key=lambda r: r.nprocs)
+    if base.gflops_per_proc <= 0:
+        raise ValueError("baseline result has zero rate")
+    return {r.nprocs: r.gflops_per_proc / base.gflops_per_proc
+            for r in results}

@@ -1,0 +1,203 @@
+"""The performance model: work profile x machine -> predicted performance.
+
+``predict`` combines the processor, memory and network models exactly as
+described in DESIGN.md §4: per compute phase the time is
+``max(T_flop, T_mem)``, communication phases are charged through the
+network model at the profile's concurrency, and the reported Gflop/s
+follow the paper's convention (valid baseline flop count divided by
+wall-clock time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.memory import MemoryModel
+from ..machine.network import NetworkModel
+from ..machine.processor import ProcessorModel, strip_mined_avl
+from ..machine.spec import MachineSpec
+from .porting import PortingSpec, default_porting
+from .work import AppProfile, CommPhase, WorkPhase
+
+
+@dataclass(frozen=True)
+class PhaseTime:
+    """Timing detail for one compute phase on one machine."""
+
+    name: str
+    seconds: float
+    flop_seconds: float
+    mem_seconds: float
+    mode: str
+    avl: float
+    bound: str                     # "compute" or "memory"
+
+
+@dataclass
+class PerfResult:
+    """Predicted performance of one (app config, machine, P) point.
+
+    Matches the paper's reporting: ``gflops_per_proc`` (their "Gflops/P"),
+    ``pct_peak``, plus AVL and VOR for the vector machines.
+    """
+
+    app: str
+    config: str
+    machine: str
+    nprocs: int
+    seconds: float
+    gflops_per_proc: float
+    pct_peak: float
+    avl: float
+    vor: float
+    compute_seconds: float
+    comm_seconds: float
+    phase_times: list[PhaseTime] = field(default_factory=list)
+    comm_times: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_gflops(self) -> float:
+        return self.gflops_per_proc * self.nprocs
+
+    @property
+    def comm_fraction(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.comm_seconds / self.seconds
+
+    def phase_seconds(self, name: str) -> float:
+        for pt in self.phase_times:
+            if pt.name == name:
+                return pt.seconds
+        raise KeyError(name)
+
+
+class PerformanceModel:
+    """Predicts application performance on one machine."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self.processor = ProcessorModel(machine)
+        self.memory = MemoryModel(machine)
+        self.network = NetworkModel(machine)
+
+    # -- pieces --------------------------------------------------------------
+    def phase_time(
+        self,
+        phase: WorkPhase,
+        *,
+        vectorized: bool | None = None,
+        multistreamed: bool | None = None,
+    ) -> PhaseTime:
+        ct = self.processor.time(phase, vectorized=vectorized,
+                                 multistreamed=multistreamed)
+        mt = self.memory.time(phase)
+        seconds = max(ct.seconds, mt.seconds)
+        bound = "compute" if ct.seconds >= mt.seconds else "memory"
+        return PhaseTime(phase.name, seconds, ct.seconds, mt.seconds,
+                         ct.mode, ct.avl, bound)
+
+    def comm_time(self, comm: CommPhase, nprocs: int) -> float:
+        """Price one CommPhase.
+
+        For collectives, ``messages`` counts *invocations*: each call
+        pays the topology's latency tree, while the volume term is
+        charged on the aggregate ``bytes_total`` (PARATEC's 3D FFTs
+        issue tens of thousands of small transposes whose latencies, not
+        bandwidth, dominate at high concurrency, §4.2).
+        """
+        net = self.network
+        if comm.kind == "p2p":
+            return net.exchange_time(comm.messages, comm.bytes_total,
+                                     onesided=comm.onesided,
+                                     nprocs=nprocs).seconds
+
+        if comm.kind == "alltoall":
+            per_call = net.alltoall_time(nprocs, 0.0)
+            volume = net.alltoall_time(nprocs, comm.bytes_total)
+            return (max(comm.messages, 1.0) * per_call.latency_seconds
+                    + volume.seconds - volume.latency_seconds)
+        if comm.kind in ("allreduce", "barrier"):
+            nbytes = comm.bytes_total if comm.kind == "allreduce" else 8.0
+            per_call = net.allreduce_time(nprocs, 0.0)
+            volume = net.allreduce_time(nprocs, nbytes)
+            return (max(comm.messages, 1.0) * per_call.latency_seconds
+                    + volume.seconds - volume.latency_seconds)
+        if comm.kind in ("bcast", "gather"):
+            per_call = net.bcast_time(nprocs, 0.0)
+            volume = net.bcast_time(nprocs, comm.bytes_total)
+            return (max(comm.messages, 1.0) * per_call.latency_seconds
+                    + volume.seconds - volume.latency_seconds)
+        raise ValueError(f"unhandled comm kind {comm.kind}")
+
+    # -- main entry ------------------------------------------------------------
+    def predict(self, profile: AppProfile,
+                porting: PortingSpec | None = None) -> PerfResult:
+        """Predict performance for ``profile`` on this machine."""
+        profile.validate()
+        porting = porting or default_porting(profile.app)
+        m = self.machine
+
+        phase_times: list[PhaseTime] = []
+        vec_elem_ops = 0.0
+        vec_instructions = 0.0
+        scalar_ops = 0.0
+        compute_seconds = 0.0
+        for phase in profile.phases:
+            eff, vec, stream = porting.resolve(m.name, phase)
+            pt = self.phase_time(eff, vectorized=vec, multistreamed=stream)
+            phase_times.append(pt)
+            compute_seconds += pt.seconds
+            if m.is_vector:
+                is_vec = vec if vec is not None else eff.vectorizable
+                if is_vec and eff.flops > 0:
+                    avl = strip_mined_avl(eff.trip, m.vector_length)
+                    vec_elem_ops += eff.flops
+                    vec_instructions += eff.flops / max(avl, 1.0)
+                else:
+                    scalar_ops += eff.flops
+
+        comm_seconds = 0.0
+        comm_times: dict[str, float] = {}
+        for comm in profile.comms:
+            t = self.comm_time(comm, profile.nprocs)
+            comm_times[comm.name] = comm_times.get(comm.name, 0.0) + t
+            comm_seconds += t
+
+        seconds = compute_seconds + comm_seconds
+        gflops_per_proc = (profile.reported_flops / seconds / 1e9
+                           if seconds > 0 else 0.0)
+        avl = (vec_elem_ops / vec_instructions
+               if vec_instructions > 0 else 0.0)
+        denom = vec_elem_ops + scalar_ops
+        vor = vec_elem_ops / denom if denom > 0 else 0.0
+        return PerfResult(
+            app=profile.app,
+            config=profile.config,
+            machine=m.name,
+            nprocs=profile.nprocs,
+            seconds=seconds,
+            gflops_per_proc=gflops_per_proc,
+            pct_peak=100.0 * gflops_per_proc / m.peak_gflops,
+            avl=avl,
+            vor=vor,
+            compute_seconds=compute_seconds,
+            comm_seconds=comm_seconds,
+            phase_times=phase_times,
+            comm_times=comm_times,
+        )
+
+
+def predict_on(machines: list[MachineSpec], profile_for, porting=None):
+    """Convenience sweep: ``profile_for(machine)`` -> profile, predict each.
+
+    ``profile_for`` may return ``None`` to skip a machine (the paper leaves
+    table cells blank where a configuration could not be run).
+    """
+    results = []
+    for m in machines:
+        profile = profile_for(m)
+        if profile is None:
+            continue
+        results.append(PerformanceModel(m).predict(profile, porting))
+    return results

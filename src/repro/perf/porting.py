@@ -1,0 +1,70 @@
+"""Per-(application, machine) porting status.
+
+The paper's §3.1/§4.1/§5.1/§6.1 describe which loops vectorize, stream, or
+get rewritten on each platform — e.g. Cactus's radiation boundary condition
+was vectorized on the X1 but *not* on the ES (the team's stay ended first),
+and GTC's ``shift`` routine was restructured to vectorize on the X1 only.
+:class:`PortingSpec` captures exactly that information so the performance
+model can apply it, and so ablation benchmarks can toggle it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .work import WorkPhase
+
+
+@dataclass(frozen=True)
+class PhasePort:
+    """Porting status of one phase on one machine.
+
+    ``None`` fields mean "use the phase's intrinsic capability".
+    ``replacement`` substitutes a different work description wholesale —
+    used when the ported algorithm itself differs (e.g. GTC's work-vector
+    charge deposition does extra gather work and touches more memory than
+    the scalar algorithm it replaces).
+    """
+
+    vectorized: bool | None = None
+    multistreamed: bool | None = None
+    replacement: WorkPhase | None = None
+    note: str = ""
+
+
+@dataclass
+class PortingSpec:
+    """All porting decisions for one application.
+
+    ``entries`` maps machine name -> phase name -> :class:`PhasePort`.
+    Machine and phase names not present resolve to defaults.
+    """
+
+    app: str
+    entries: dict[str, dict[str, PhasePort]] = field(default_factory=dict)
+
+    def port(self, machine_name: str, phase_name: str) -> PhasePort:
+        return self.entries.get(machine_name, {}).get(phase_name,
+                                                      PhasePort())
+
+    def resolve(
+        self, machine_name: str, phase: WorkPhase
+    ) -> tuple[WorkPhase, bool | None, bool | None]:
+        """Return (effective phase, vectorized?, multistreamed?) overrides."""
+        p = self.port(machine_name, phase.name)
+        eff = p.replacement if p.replacement is not None else phase
+        return eff, p.vectorized, p.multistreamed
+
+    def set(self, machine_name: str, phase_name: str, port: PhasePort) -> None:
+        self.entries.setdefault(machine_name, {})[phase_name] = port
+
+    def without(self, machine_name: str, phase_name: str) -> "PortingSpec":
+        """Copy with one entry removed (for ablation studies)."""
+        entries = {m: dict(d) for m, d in self.entries.items()}
+        entries.get(machine_name, {}).pop(phase_name, None)
+        return PortingSpec(self.app, entries)
+
+
+#: A porting spec with no overrides anywhere.
+def default_porting(app: str) -> PortingSpec:
+    return PortingSpec(app=app)

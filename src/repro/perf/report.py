@@ -1,0 +1,145 @@
+"""Paper-style table rendering.
+
+Tables 3-6 of the paper share one layout: rows keyed by (configuration,
+processor count), and per-machine column pairs "Gflops/P | %Pk".
+:class:`PaperTable` renders that layout to aligned text (and markdown),
+optionally with the paper's reference numbers interleaved for a
+model-vs-paper comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import PerfResult
+
+
+def _fmt_gflops(v: float | None) -> str:
+    if v is None:
+        return "—"
+    if v >= 10:
+        return f"{v:.1f}"
+    if v >= 1:
+        return f"{v:.2f}"
+    return f"{v:.3f}"
+
+
+def _fmt_pct(v: float | None) -> str:
+    return "—" if v is None else f"{v:.0f}%"
+
+
+@dataclass
+class PaperTable:
+    """A Tables-3..6-shaped results table."""
+
+    title: str
+    machines: list[str]
+    #: rows[(config, nprocs)][machine] = PerfResult
+    rows: dict[tuple[str, int], dict[str, PerfResult]] = field(
+        default_factory=dict)
+    #: paper reference values: ref[(config, nprocs, machine)] = (gflops, pct)
+    reference: dict[tuple[str, int, str], tuple[float, float]] = field(
+        default_factory=dict)
+
+    def add(self, result: PerfResult, machine_label: str | None = None) -> None:
+        label = machine_label or result.machine
+        key = (result.config, result.nprocs)
+        self.rows.setdefault(key, {})[label] = result
+        if label not in self.machines:
+            self.machines.append(label)
+
+    def cell(self, config: str, nprocs: int,
+             machine: str) -> PerfResult | None:
+        return self.rows.get((config, nprocs), {}).get(machine)
+
+    # -- rendering -------------------------------------------------------------
+    def render(self, *, with_reference: bool = True) -> str:
+        """Aligned-text rendering; one line per (config, P) row."""
+        header = ["Config", "P"]
+        for m in self.machines:
+            header += [f"{m} GF/P", f"{m} %Pk"]
+            if with_reference and self._has_reference(m):
+                header += [f"{m} paper"]
+        lines = [self.title, ""]
+        widths = [len(h) for h in header]
+        body: list[list[str]] = []
+        for (config, nprocs) in sorted(self.rows, key=lambda k: (k[0], k[1])):
+            row = [config, str(nprocs)]
+            for m in self.machines:
+                r = self.cell(config, nprocs, m)
+                row.append(_fmt_gflops(r.gflops_per_proc if r else None))
+                row.append(_fmt_pct(r.pct_peak if r else None))
+                if with_reference and self._has_reference(m):
+                    ref = self.reference.get((config, nprocs, m))
+                    row.append(
+                        f"{_fmt_gflops(ref[0])}/{_fmt_pct(ref[1])}"
+                        if ref else "—")
+            body.append(row)
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+        fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+        lines.append(fmt.format(*header))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(fmt.format(*row))
+        return "\n".join(lines)
+
+    def _has_reference(self, machine: str) -> bool:
+        return any(k[2] == machine for k in self.reference)
+
+    def to_markdown(self) -> str:
+        head = ["Config", "P"]
+        for m in self.machines:
+            head += [f"{m} GF/P", f"{m} %Pk"]
+        out = [f"### {self.title}", "",
+               "| " + " | ".join(head) + " |",
+               "|" + "---|" * len(head)]
+        for (config, nprocs) in sorted(self.rows, key=lambda k: (k[0], k[1])):
+            row = [config, str(nprocs)]
+            for m in self.machines:
+                r = self.cell(config, nprocs, m)
+                row.append(_fmt_gflops(r.gflops_per_proc if r else None))
+                row.append(_fmt_pct(r.pct_peak if r else None))
+            out.append("| " + " | ".join(row) + " |")
+        return "\n".join(out)
+
+    # -- comparison ------------------------------------------------------------
+    def shape_errors(self, tol_factor: float = 3.0) -> list[str]:
+        """Model-vs-paper deviations beyond ``tol_factor`` x, as messages.
+
+        The reproduction targets *shape*, so the default tolerance is loose;
+        anything outside it is surfaced for EXPERIMENTS.md.
+        """
+        problems = []
+        for (config, nprocs, machine), (ref_gf, _refpct) in \
+                self.reference.items():
+            r = self.cell(config, nprocs, machine)
+            if r is None:
+                problems.append(
+                    f"{config} P={nprocs} {machine}: no model value "
+                    f"(paper: {ref_gf})")
+                continue
+            if ref_gf <= 0:
+                continue
+            ratio = r.gflops_per_proc / ref_gf
+            if ratio > tol_factor or ratio < 1.0 / tol_factor:
+                problems.append(
+                    f"{config} P={nprocs} {machine}: model "
+                    f"{r.gflops_per_proc:.3f} vs paper {ref_gf:.3f} "
+                    f"({ratio:.2f}x)")
+        return problems
+
+
+def render_speedup_table(title: str, rows: dict[str, dict[str, float]],
+                         columns: list[str]) -> str:
+    """Render a Table-7-shaped summary (app x machine speedups)."""
+    header = ["Name"] + columns
+    widths = [max(len(header[0]), *(len(a) for a in rows))] + \
+        [max(6, len(c)) for c in columns]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines = [title, "", fmt.format(*header)]
+    lines.append("  ".join("-" * w for w in widths))
+    for app, vals in rows.items():
+        lines.append(fmt.format(
+            app, *(f"{vals[c]:.1f}" if c in vals else "—"
+                   for c in columns)))
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Sensitivity analysis: are the paper's conclusions robust to the
+calibrated parameters?
+
+The machine models contain a handful of constants that Table 1 does not
+pin down (sustained memory fractions, ILP efficiencies, gather derates,
+vector half-lengths).  This module perturbs each of them and re-checks
+the study's *qualitative* findings — if a conclusion flips inside the
+plausible parameter range, it is an artifact of calibration, not of
+architecture.  The benchmark harness runs the sweep and asserts that
+none of the headline findings flip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from ..machine.spec import MachineSpec
+from .model import PerformanceModel
+from .porting import PortingSpec
+from .work import AppProfile
+
+#: (field name, is_vector_unit_field) of every calibrated knob.
+CALIBRATED_FIELDS = (
+    ("sustained_mem_fraction", False),
+    ("ilp_efficiency", False),
+    ("gather_derate", False),
+    ("prefetch_ghost_derate", False),
+    ("half_length", True),
+)
+
+
+def perturbed(machine: MachineSpec, field: str, factor: float,
+              *, is_vector_field: bool = False) -> MachineSpec:
+    """Copy of ``machine`` with one calibrated constant scaled.
+
+    Fractions are clamped to (0, 1]; integer fields round.
+    """
+    if is_vector_field:
+        if machine.vector is None:
+            return machine
+        value = getattr(machine.vector, field) * factor
+        vec = dataclasses.replace(machine.vector,
+                                  **{field: max(1, int(round(value)))})
+        return dataclasses.replace(machine, vector=vec)
+    value = getattr(machine, field) * factor
+    if field in ("sustained_mem_fraction", "ilp_efficiency",
+                 "gather_derate", "prefetch_ghost_derate"):
+        value = min(max(value, 1e-3), 1.0)
+    return dataclasses.replace(machine, **{field: value})
+
+
+@dataclass
+class Finding:
+    """One qualitative claim: a predicate over per-machine results."""
+
+    name: str
+    machines: tuple[str, ...]
+    #: takes {machine_name: PerfResult} and returns True if the claim holds
+    check: Callable[[dict], bool]
+
+
+def evaluate_finding(finding: Finding, profile_for, porting_for,
+                     machines: dict[str, MachineSpec]) -> bool:
+    results = {}
+    for name in finding.machines:
+        m = machines[name]
+        profile: AppProfile = profile_for(m)
+        porting: PortingSpec | None = porting_for(m)
+        results[name] = PerformanceModel(m).predict(profile, porting)
+    return finding.check(results)
+
+
+def sweep(finding: Finding, profile_for, porting_for,
+          base_machines: dict[str, MachineSpec], *,
+          factors: tuple[float, ...] = (0.8, 1.25)) -> list[str]:
+    """Perturb every calibrated knob of every machine; return the list
+    of perturbations under which the finding FAILS (empty = robust)."""
+    failures: list[str] = []
+    if not evaluate_finding(finding, profile_for, porting_for,
+                            base_machines):
+        return [f"{finding.name}: fails even unperturbed"]
+    for target in finding.machines:
+        for field, is_vec in CALIBRATED_FIELDS:
+            if is_vec and base_machines[target].vector is None:
+                continue
+            for factor in factors:
+                machines = dict(base_machines)
+                machines[target] = perturbed(
+                    base_machines[target], field, factor,
+                    is_vector_field=is_vec)
+                if not evaluate_finding(finding, profile_for,
+                                        porting_for, machines):
+                    failures.append(
+                        f"{finding.name}: flips when {target}.{field} "
+                        f"x{factor}")
+    return failures

@@ -1,0 +1,5 @@
+"""Re-exports of the work descriptors (canonical home: :mod:`repro.work`)."""
+
+from ..work import AccessPattern, AppProfile, CommPhase, WorkPhase
+
+__all__ = ["AccessPattern", "AppProfile", "CommPhase", "WorkPhase"]

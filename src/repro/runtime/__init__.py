@@ -1,0 +1,26 @@
+"""Simulated SPMD runtime: communicator, co-arrays, decompositions."""
+
+from .caf import CoArray
+from .comm import Comm, ParallelJob
+from .decomposition import (
+    Block1D,
+    BlockND,
+    ProcessorGrid,
+    balance_columns,
+    factor_grid,
+    split_extent,
+)
+from .transport import (
+    CollectiveRecord,
+    MessageRecord,
+    TrafficSummary,
+    Transport,
+)
+from .virtual_time import VirtualClocks
+
+__all__ = [
+    "Block1D", "BlockND", "CoArray", "CollectiveRecord", "Comm",
+    "MessageRecord", "ParallelJob", "ProcessorGrid", "TrafficSummary",
+    "Transport", "VirtualClocks", "balance_columns", "factor_grid",
+    "split_extent",
+]

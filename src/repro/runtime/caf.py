@@ -1,0 +1,81 @@
+"""Co-Array Fortran style one-sided communication layer.
+
+LBMHD's X1 port declares the spatial grid as a co-array and performs
+boundary exchanges with co-array subscript notation (§3.1).  The payoff
+measured in the paper: latency drops from 7.3 us (MPI) to 3.9 us, and
+memory traffic falls ~3x because user- and system-level message copies
+disappear — at the cost of more numerous, smaller messages.
+
+:class:`CoArray` reproduces those semantics over the threaded runtime: each
+rank owns an image of the array; ``put``/``get`` directly address a remote
+image (no intermediate copy is modeled in the traffic accounting — each
+element region moved is one one-sided message); visibility follows CAF
+``sync all`` discipline via :meth:`sync`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .comm import Comm
+
+
+class CoArray:
+    """A distributed array with one image per rank.
+
+    All ranks must construct the co-array collectively (same shape/dtype).
+    Remote access is by image index, mirroring ``a(i, j)[image]`` in CAF.
+    """
+
+    def __init__(self, comm: Comm, shape: tuple[int, ...],
+                 dtype: Any = np.float64, name: str = "coarray"):
+        self.comm = comm
+        self.name = name
+        self.local = np.zeros(shape, dtype=dtype)
+        # Collectively publish every image so remote puts/gets can address
+        # them directly (globally addressable memory, §2.5).  The raw
+        # gather shares references — the whole point of one-sided access.
+        self._images: list[np.ndarray] = comm._allgather_raw(self.local)
+        comm.barrier()
+
+    # -- one-sided ops -----------------------------------------------------
+    def put(self, image: int, key: Any, values: np.ndarray | float) -> None:
+        """Store ``values`` into image ``image`` at slice ``key``.
+
+        Visible to the target after the next :meth:`sync` (CAF `sync all`).
+        Writers of overlapping regions without an intervening sync are a
+        program error, as in CAF.
+        """
+        target = self._images[image]
+        target[key] = values
+        nbytes = np.asarray(target[key]).nbytes
+        self.comm.transport.record_onesided(self.comm.rank, image, nbytes)
+
+    def get(self, image: int, key: Any) -> np.ndarray:
+        """Fetch a slice of image ``image`` (one one-sided message)."""
+        source = self._images[image]
+        out = np.array(source[key])
+        self.comm.transport.record_onesided(image, self.comm.rank,
+                                            out.nbytes)
+        return out
+
+    def sync(self) -> None:
+        """CAF ``sync all``: order puts/gets across images."""
+        self.comm.barrier()
+
+    # -- local view ----------------------------------------------------------
+    def __getitem__(self, key: Any) -> np.ndarray:
+        return self.local[key]
+
+    def __setitem__(self, key: Any, values: Any) -> None:
+        self.local[key] = values
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.local.shape
+
+    @property
+    def dtype(self):
+        return self.local.dtype

@@ -1,0 +1,341 @@
+"""SPMD communicator and parallel job driver.
+
+:class:`ParallelJob` runs one Python function per rank on threads; the
+per-rank :class:`Comm` handle provides the MPI-flavoured operations the
+four applications need (send/recv, sendrecv, halo ``exchange``, allreduce,
+alltoall, bcast, gather).  Data genuinely moves between per-rank address
+spaces (arrays are copied on send, like MPI's user/system buffering), and
+every transfer is recorded by the :class:`~repro.runtime.transport.
+Transport` for communication-profile accounting.
+
+The GIL makes this a *simulation* of parallelism, not a speedup mechanism —
+which is exactly what is needed: the runtime exists to execute the same
+distributed algorithms the paper's codes use and to measure their traffic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .transport import Transport
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+def _payload_bytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(v) for v in obj.values())
+    return 64  # opaque object: nominal envelope
+
+
+def _copy(obj: Any) -> Any:
+    """Value-semantics copy, standing in for MPI's buffer copy."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _copy(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass
+class _Shared:
+    """State shared by all ranks of one job."""
+
+    nprocs: int
+    transport: Transport
+    barrier: threading.Barrier
+    coll_lock: threading.Lock
+    coll_buf: list
+
+    @classmethod
+    def create(cls, nprocs: int, transport: Transport) -> "_Shared":
+        return cls(nprocs, transport,
+                   threading.Barrier(nprocs, timeout=_DEFAULT_TIMEOUT),
+                   threading.Lock(), [None] * nprocs)
+
+
+class Comm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, rank: int, shared: _Shared):
+        self.rank = rank
+        self._shared = shared
+        self.transport = shared.transport
+
+    @property
+    def size(self) -> int:
+        return self._shared.nprocs
+
+    # -- phases --------------------------------------------------------------
+    @contextlib.contextmanager
+    def phase(self, label: str):
+        """Label subsequent traffic for per-phase accounting.
+
+        The label is global to the job (SPMD: all ranks enter the same
+        phase); entering is synchronized with a barrier so no rank's traffic
+        leaks across labels.
+        """
+        self.barrier()
+        prev = self.transport.phase_label
+        if self.rank == 0:
+            self.transport.phase_label = label
+        self.barrier()
+        try:
+            yield
+        finally:
+            self.barrier()
+            if self.rank == 0:
+                self.transport.phase_label = prev
+            self.barrier()
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self.transport.post(self.rank, dest, tag, _copy(obj),
+                            _payload_bytes(obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        return self.transport.fetch(source, self.rank, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 tag: int = 0) -> Any:
+        """Simultaneous send+recv, deadlock-free (buffered sends)."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    def exchange(self, outgoing: dict[int, Any], tag: int = 0
+                 ) -> dict[int, Any]:
+        """General neighbourhood exchange.
+
+        Sends ``outgoing[dest]`` to each destination and receives one
+        payload from every rank that targeted this rank.  The communication
+        graph must be symmetric-by-agreement: each rank receives exactly
+        from the ranks it sends to (true for halo swaps on symmetric
+        decompositions).
+        """
+        for dest, obj in outgoing.items():
+            if dest == self.rank:
+                raise ValueError("exchange with self; handle locally")
+            self.send(obj, dest, tag)
+        return {src: self.recv(src, tag) for src in outgoing}
+
+    # -- collectives ------------------------------------------------------------
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    def _allgather_raw(self, value: Any) -> list:
+        """Barrier-protected gather of one value from each rank."""
+        sh = self._shared
+        sh.coll_buf[self.rank] = value
+        sh.barrier.wait()
+        result = list(sh.coll_buf)
+        sh.barrier.wait()          # everyone has read; buffer reusable
+        return result
+
+    def allgather(self, value: Any) -> list:
+        self.transport.record_collective("allgather", _payload_bytes(value))
+        return [_copy(v) if isinstance(v, np.ndarray) else v
+                for v in self._allgather_raw(value)]
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduction over ranks; deterministic rank-order combination."""
+        self.transport.record_collective("allreduce", _payload_bytes(value))
+        vals = self._allgather_raw(value)
+        return _reduce(vals, op)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        self.transport.record_collective("bcast", _payload_bytes(value))
+        vals = self._allgather_raw(value if self.rank == root else None)
+        return _copy(vals[root])
+
+    def gather(self, value: Any, root: int = 0) -> list | None:
+        self.transport.record_collective("gather", _payload_bytes(value))
+        vals = self._allgather_raw(value)
+        if self.rank == root:
+            return [_copy(v) if isinstance(v, np.ndarray) else v
+                    for v in vals]
+        return None
+
+    def split(self, color: int, key: int | None = None) -> "Comm":
+        """MPI_Comm_split: sub-communicators by ``color``.
+
+        Collective over the parent communicator.  Ranks sharing a color
+        form a new communicator, ordered by ``key`` (default: parent
+        rank).  The GTC 2D decomposition's radial charge reduction is
+        the canonical use: one sub-communicator per toroidal domain.
+        """
+        key = self.rank if key is None else key
+        triples = self._allgather_raw((color, key, self.rank))
+        group = sorted((k, r) for c, k, r in triples if c == color)
+        members = [r for _, r in group]
+        # The lowest parent rank of each color creates the shared state;
+        # everyone picks theirs out of a gathered registry.
+        registry = {}
+        if self.rank == min(members):
+            registry[color] = _SubShared(members, self._shared)
+        registries = self._allgather_raw(registry)
+        shared = None
+        for reg in registries:
+            if color in reg:
+                shared = reg[color]
+        assert shared is not None
+        return _SubComm(members.index(self.rank), shared)
+
+    def alltoall(self, chunks: Sequence[Any]) -> list:
+        """Personalized all-to-all: ``chunks[d]`` goes to rank ``d``.
+
+        This is the primitive under PARATEC's parallel-FFT transposes.
+        """
+        if len(chunks) != self.size:
+            raise ValueError(
+                f"alltoall needs {self.size} chunks, got {len(chunks)}")
+        self.transport.record_collective(
+            "alltoall", sum(_payload_bytes(c) for c in chunks))
+        matrix = self._allgather_raw(list(chunks))
+        return [_copy(matrix[src][self.rank]) for src in range(self.size)]
+
+
+class _SubShared:
+    """Shared state of a split sub-communicator."""
+
+    def __init__(self, members: list[int], parent: _Shared):
+        self.members = members
+        self.transport = parent.transport
+        self.barrier = threading.Barrier(len(members),
+                                         timeout=_DEFAULT_TIMEOUT)
+        self.coll_lock = threading.Lock()
+        self.coll_buf = [None] * len(members)
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.members)
+
+
+class _SubComm(Comm):
+    """A communicator over a subset of the job's ranks.
+
+    Local ranks are dense 0..n-1; point-to-point calls translate to the
+    parent's global ranks on the shared transport (so traffic accounting
+    stays global, as with real MPI communicators).
+    """
+
+    def __init__(self, local_rank: int, shared: _SubShared):
+        self._shared = shared      # duck-typed: barrier/coll_buf/nprocs
+        self.transport = shared.transport
+        self.rank = local_rank
+
+    @property
+    def size(self) -> int:
+        return self._shared.nprocs
+
+    def _global(self, local: int) -> int:
+        return self._shared.members[local]
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self.transport.post(self._global(self.rank), self._global(dest),
+                            tag, _copy(obj), _payload_bytes(obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        return self.transport.fetch(self._global(source),
+                                    self._global(self.rank), tag)
+
+    def split(self, color: int, key: int | None = None) -> "Comm":
+        raise NotImplementedError(
+            "splitting a sub-communicator is not supported")
+
+
+def _reduce(vals: list, op: str) -> Any:
+    if not vals:
+        raise ValueError("empty reduction")
+    if op == "sum":
+        acc = _copy(vals[0])
+        for v in vals[1:]:
+            acc = acc + v
+        return acc
+    if op == "max":
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = np.maximum(acc, v) if isinstance(acc, np.ndarray) \
+                else max(acc, v)
+        return _copy(acc)
+    if op == "min":
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = np.minimum(acc, v) if isinstance(acc, np.ndarray) \
+                else min(acc, v)
+        return _copy(acc)
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+class ParallelJob:
+    """Runs ``fn(comm, *args)`` on ``nprocs`` ranks and collects results.
+
+    >>> job = ParallelJob(4)
+    >>> job.run(lambda comm: comm.allreduce(comm.rank))
+    [6, 6, 6, 6]
+    """
+
+    def __init__(self, nprocs: int, transport: Transport | None = None):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.transport = transport or Transport(nprocs)
+        if self.transport.nprocs != nprocs:
+            raise ValueError("transport sized for a different job")
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            rank_args: Sequence[tuple] | None = None) -> list:
+        """Execute one SPMD program; returns per-rank return values.
+
+        ``rank_args`` optionally supplies distinct extra arguments per rank
+        (e.g. per-rank initial data); otherwise ``args`` is shared.
+        Exceptions on any rank abort the job and re-raise on the caller.
+        """
+        if rank_args is not None and len(rank_args) != self.nprocs:
+            raise ValueError("rank_args length != nprocs")
+        shared = _Shared.create(self.nprocs, self.transport)
+        results: list = [None] * self.nprocs
+        errors: list = [None] * self.nprocs
+
+        def worker(rank: int) -> None:
+            comm = Comm(rank, shared)
+            extra = rank_args[rank] if rank_args is not None else args
+            try:
+                results[rank] = fn(comm, *extra)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                errors[rank] = exc
+                shared.barrier.abort()
+
+        threads = [threading.Thread(target=worker, args=(r,), daemon=True)
+                   for r in range(self.nprocs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600.0)
+        # Prefer reporting a root-cause error: a rank that died aborts the
+        # shared barrier, making innocent ranks fail with BrokenBarrierError.
+        failed = [(r, e) for r, e in enumerate(errors) if e is not None]
+        root = [(r, e) for r, e in failed
+                if not isinstance(e, threading.BrokenBarrierError)]
+        for rank, err in root or failed:
+            raise RuntimeError(f"rank {rank} failed: {err!r}") from err
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            raise TimeoutError(f"{len(alive)} ranks failed to finish")
+        return results

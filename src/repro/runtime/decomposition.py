@@ -1,0 +1,210 @@
+"""Domain decompositions used by the four applications.
+
+* :class:`ProcessorGrid` + :class:`BlockND` — block domain decomposition
+  over a Cartesian processor grid (LBMHD 2D, Cactus 3D, Fig. 6);
+* :class:`Block1D` — GTC's coarse 1D toroidal decomposition (≤64 domains);
+* :func:`balance_columns` — PARATEC's load balancer: order columns by
+  descending length, give the next column to the least-loaded processor
+  (§4.2, Fig. 4a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def factor_grid(nprocs: int, ndims: int) -> tuple[int, ...]:
+    """Near-cubic factorization of ``nprocs`` into ``ndims`` factors.
+
+    >>> factor_grid(64, 2)
+    (8, 8)
+    >>> factor_grid(16, 3)
+    (4, 2, 2)
+    """
+    if nprocs < 1 or ndims < 1:
+        raise ValueError("positive nprocs and ndims required")
+    dims = [1] * ndims
+    for p in sorted(_prime_factors(nprocs), reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+def _prime_factors(n: int) -> list[int]:
+    out, d = [], 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def split_extent(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous blocks, sizes within 1.
+
+    >>> split_extent(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if parts < 1 or n < parts:
+        raise ValueError(f"cannot split extent {n} into {parts} parts")
+    base, extra = divmod(n, parts)
+    bounds, start = [], 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """Cartesian processor grid with optional periodic wraparound."""
+
+    dims: tuple[int, ...]
+    periodic: bool = True
+
+    @classmethod
+    def for_nprocs(cls, nprocs: int, ndims: int,
+                   periodic: bool = True) -> "ProcessorGrid":
+        return cls(factor_grid(nprocs, ndims), periodic)
+
+    @property
+    def nprocs(self) -> int:
+        return math.prod(self.dims)
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range")
+        out = []
+        for d in reversed(self.dims):
+            out.append(rank % d)
+            rank //= d
+        return tuple(reversed(out))
+
+    def rank(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != len(self.dims):
+            raise ValueError("dimensionality mismatch")
+        r = 0
+        for c, d in zip(coords, self.dims):
+            if self.periodic:
+                c %= d
+            elif not 0 <= c < d:
+                raise ValueError(f"coordinate {c} out of range without wrap")
+            r = r * d + c
+        return r
+
+    def neighbor(self, rank: int, axis: int, step: int) -> int | None:
+        """Rank offset by ``step`` along ``axis``; None past a wall."""
+        coords = list(self.coords(rank))
+        coords[axis] += step
+        if not self.periodic and not 0 <= coords[axis] < self.dims[axis]:
+            return None
+        return self.rank(tuple(coords))
+
+
+@dataclass(frozen=True)
+class BlockND:
+    """Block decomposition of an N-D array over a processor grid."""
+
+    grid: ProcessorGrid
+    global_shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.global_shape) != len(self.grid.dims):
+            raise ValueError("shape/grid dimensionality mismatch")
+        for n, p in zip(self.global_shape, self.grid.dims):
+            if n < p:
+                raise ValueError(f"extent {n} smaller than grid dim {p}")
+
+    def bounds(self, rank: int) -> tuple[tuple[int, int], ...]:
+        """Per-axis (start, stop) of this rank's block."""
+        coords = self.grid.coords(rank)
+        return tuple(
+            split_extent(n, p)[c]
+            for n, p, c in zip(self.global_shape, self.grid.dims, coords))
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        return tuple(stop - start for start, stop in self.bounds(rank))
+
+    def owner(self, index: tuple[int, ...]) -> int:
+        """Rank owning a global index."""
+        coords = []
+        for x, n, p in zip(index, self.global_shape, self.grid.dims):
+            if not 0 <= x < n:
+                raise ValueError(f"index {x} out of extent {n}")
+            for c, (start, stop) in enumerate(split_extent(n, p)):
+                if start <= x < stop:
+                    coords.append(c)
+                    break
+        return self.grid.rank(tuple(coords))
+
+    def tile_exactly(self) -> bool:
+        """True iff blocks partition the global array (tested property)."""
+        counts = np.zeros(self.global_shape, dtype=np.int32)
+        for r in range(self.grid.nprocs):
+            sl = tuple(slice(a, b) for a, b in self.bounds(r))
+            counts[sl] += 1
+        return bool((counts == 1).all())
+
+
+@dataclass(frozen=True)
+class Block1D:
+    """GTC-style 1D decomposition (toroidal direction, ≤64 domains)."""
+
+    nprocs: int
+    extent: int
+    max_domains: int = 64
+
+    def __post_init__(self) -> None:
+        if self.nprocs > self.max_domains:
+            raise ValueError(
+                f"GTC grid decomposition is limited to {self.max_domains} "
+                f"subdomains (§6.1); got {self.nprocs}")
+        if self.extent < self.nprocs:
+            raise ValueError("extent smaller than processor count")
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        return split_extent(self.extent, self.nprocs)[rank]
+
+    def owner(self, index: int) -> int:
+        for r, (a, b) in enumerate(split_extent(self.extent, self.nprocs)):
+            if a <= index < b:
+                return r
+        raise ValueError(f"index {index} out of extent {self.extent}")
+
+    def left(self, rank: int) -> int:
+        return (rank - 1) % self.nprocs
+
+    def right(self, rank: int) -> int:
+        return (rank + 1) % self.nprocs
+
+
+def balance_columns(lengths: np.ndarray, nprocs: int
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """PARATEC's greedy column load balancer (§4.2).
+
+    Orders columns by descending length and assigns the next column to the
+    processor currently holding the fewest points.  Returns ``(assignment,
+    loads)`` where ``assignment[c]`` is the processor of column ``c`` and
+    ``loads[p]`` the resulting point count per processor.
+    """
+    lengths = np.asarray(lengths)
+    if lengths.ndim != 1:
+        raise ValueError("lengths must be 1-D")
+    if (lengths < 0).any():
+        raise ValueError("negative column length")
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    assignment = np.empty(len(lengths), dtype=np.int64)
+    loads = np.zeros(nprocs, dtype=np.int64)
+    order = np.argsort(lengths, kind="stable")[::-1]
+    for c in order:
+        p = int(np.argmin(loads))
+        assignment[c] = p
+        loads[p] += int(lengths[c])
+    return assignment, loads

@@ -1,0 +1,147 @@
+"""In-memory message transport with full event accounting.
+
+Every message and collective that moves through the simulated runtime is
+recorded here.  The records are the ground truth from which application
+communication profiles (:class:`~repro.perf.work.CommPhase`) are built —
+message counts and volumes are *measured*, not estimated, which matters
+for reproducing effects like LBMHD's CAF-vs-MPI tradeoff (CAF eliminates
+the user/system copies but issues more, smaller messages; §3.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One point-to-point message (MPI send or CAF put/get)."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int = 0
+    onesided: bool = False
+    phase: str = ""
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective operation (counted once per call site, not per rank)."""
+
+    kind: str                      # "allreduce", "alltoall", "bcast", ...
+    nprocs: int
+    nbytes_per_rank: int
+    phase: str = ""
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregated per-phase traffic for one rank."""
+
+    messages: int = 0
+    nbytes: int = 0
+    onesided_messages: int = 0
+    onesided_nbytes: int = 0
+
+    def add(self, rec: MessageRecord) -> None:
+        if rec.onesided:
+            self.onesided_messages += 1
+            self.onesided_nbytes += rec.nbytes
+        else:
+            self.messages += 1
+            self.nbytes += rec.nbytes
+
+
+class Transport:
+    """Shared mailbox fabric + event recorder for one parallel job."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self._lock = threading.Lock()
+        self._boxes: dict[tuple[int, int, int], list] = defaultdict(list)
+        self._conds: dict[tuple[int, int, int], threading.Condition] = {}
+        self.messages: list[MessageRecord] = []
+        self.collectives: list[CollectiveRecord] = []
+        #: current phase label, set by Comm.phase(...) context manager
+        self.phase_label: str = ""
+        self.recording: bool = True
+
+    def _cond(self, key: tuple[int, int, int]) -> threading.Condition:
+        with self._lock:
+            c = self._conds.get(key)
+            if c is None:
+                c = self._conds[key] = threading.Condition()
+            return c
+
+    # -- point-to-point -------------------------------------------------------
+    def post(self, src: int, dst: int, tag: int, payload,
+             nbytes: int, *, onesided: bool = False) -> None:
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (src, dst, tag)
+        cond = self._cond(key)
+        with cond:
+            self._boxes[key].append(payload)
+            cond.notify_all()
+        if self.recording:
+            with self._lock:
+                self.messages.append(MessageRecord(
+                    src, dst, nbytes, tag, onesided, self.phase_label))
+
+    def fetch(self, src: int, dst: int, tag: int, timeout: float = 60.0):
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (src, dst, tag)
+        cond = self._cond(key)
+        with cond:
+            ok = cond.wait_for(lambda: bool(self._boxes[key]), timeout)
+            if not ok:
+                raise TimeoutError(
+                    f"recv timeout: rank {dst} waiting on {src} tag {tag}")
+            return self._boxes[key].pop(0)
+
+    def record_collective(self, kind: str, nbytes_per_rank: int) -> None:
+        if self.recording:
+            with self._lock:
+                self.collectives.append(CollectiveRecord(
+                    kind, self.nprocs, nbytes_per_rank, self.phase_label))
+
+    def record_onesided(self, src: int, dst: int, nbytes: int) -> None:
+        """Account a one-sided transfer that bypassed the mailboxes."""
+        if self.recording:
+            with self._lock:
+                self.messages.append(MessageRecord(
+                    src, dst, nbytes, 0, True, self.phase_label))
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.nprocs:
+            raise ValueError(f"rank {r} out of range [0, {self.nprocs})")
+
+    # -- accounting -------------------------------------------------------------
+    def per_rank_traffic(self, phase: str | None = None
+                         ) -> dict[int, TrafficSummary]:
+        """Outgoing traffic per source rank, optionally for one phase."""
+        out: dict[int, TrafficSummary] = defaultdict(TrafficSummary)
+        for rec in self.messages:
+            if phase is not None and rec.phase != phase:
+                continue
+            out[rec.src].add(rec)
+        return dict(out)
+
+    def total_bytes(self, *, onesided: bool | None = None) -> int:
+        return sum(m.nbytes for m in self.messages
+                   if onesided is None or m.onesided == onesided)
+
+    def message_count(self, *, onesided: bool | None = None) -> int:
+        return sum(1 for m in self.messages
+                   if onesided is None or m.onesided == onesided)
+
+    def undelivered(self) -> int:
+        """Number of posted-but-unreceived payloads (0 after a clean run)."""
+        with self._lock:
+            return sum(len(v) for v in self._boxes.values())

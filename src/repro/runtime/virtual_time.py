@@ -1,0 +1,66 @@
+"""Virtual-time accounting for bulk-synchronous executions.
+
+The analytic :mod:`repro.perf` model predicts times from aggregate
+profiles; :class:`VirtualClocks` complements it with a critical-path view:
+each rank advances its own clock as it does (simulated) work, and
+synchronization points advance everybody to the slowest participant —
+which is how load imbalance (e.g. imperfect PARATEC column balancing)
+turns into lost wall-clock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class VirtualClocks:
+    """Per-rank virtual clocks with BSP synchronization semantics."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self._t = np.zeros(nprocs)
+        self._lock = threading.Lock()
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Charge ``seconds`` of local work to ``rank``."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        with self._lock:
+            self._t[rank] += seconds
+
+    def synchronize(self, ranks: list[int] | None = None,
+                    overhead: float = 0.0) -> float:
+        """Barrier among ``ranks`` (default: all): clocks jump to the max.
+
+        Returns the post-synchronization time.
+        """
+        if overhead < 0:
+            raise ValueError("negative synchronization overhead")
+        with self._lock:
+            idx = slice(None) if ranks is None else ranks
+            t = float(np.max(self._t[idx])) + overhead
+            self._t[idx] = t
+            return t
+
+    def time(self, rank: int) -> float:
+        with self._lock:
+            return float(self._t[rank])
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the slowest rank."""
+        with self._lock:
+            return float(self._t.max())
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of rank times (1.0 = perfectly balanced)."""
+        with self._lock:
+            mean = float(self._t.mean())
+            if mean == 0.0:
+                return 1.0
+            return float(self._t.max()) / mean

@@ -1,0 +1,212 @@
+"""Machine-independent descriptions of application work.
+
+An application run is summarized as an :class:`AppProfile`: a list of
+compute :class:`WorkPhase` records plus a list of :class:`CommPhase`
+records.  Profiles are produced by the instrumented applications in
+:mod:`repro.apps` (measured from real kernel executions, then scaled
+analytically to paper problem sizes) and consumed by
+:class:`repro.perf.model.PerformanceModel`.
+
+The split mirrors how the paper reasons about performance: each phase has a
+flop count, a memory-traffic count, an access pattern, and a loop structure
+(trip counts) that determines vectorizability, AVL, and multistreamability.
+What *actually* vectorizes on a given machine is not part of the work
+description — that is the per-(app, machine) :class:`~repro.perf.porting.
+PortingSpec`, mirroring the paper's porting sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import enum
+
+
+class AccessPattern(enum.Enum):
+    """Memory access patterns distinguished by the memory model.
+
+    ``UNIT``     contiguous unit-stride streams (activates hardware prefetch),
+    ``STRIDED``  constant non-unit stride (vector machines handle these well,
+                 cache machines waste line bandwidth),
+    ``GATHER``   indirect/random gather-scatter (PIC deposition and push),
+    ``GHOSTED``  unit-stride sweeps that skip multi-layer ghost zones; the
+                 paper (§5.2) reports these disengage the Power prefetch
+                 engines, so they are tracked separately.
+    """
+
+    UNIT = "unit"
+    STRIDED = "strided"
+    GATHER = "gather"
+    GHOSTED = "ghosted"
+
+
+@dataclass(frozen=True)
+class WorkPhase:
+    """One compute phase of an application, per rank.
+
+    Parameters
+    ----------
+    flops:
+        Total floating-point operations executed in the phase.
+    words:
+        Total 64-bit words moved between the register file and the memory
+        hierarchy (compulsory traffic before any cache filtering).
+    access:
+        Dominant access pattern of the traffic.
+    trip:
+        Trip count of the innermost data-parallel loop; sets AVL after
+        strip-mining and decides whether multistreaming pays off.
+    vectorizable:
+        Whether the loop nest is expressible as data-parallel at all
+        (e.g. GTC's classic charge deposition is not, because multiple
+        particles update the same grid point).
+    streamable:
+        Whether the X1 compiler can distribute outer iterations over the
+        four SSPs of an MSP.
+    temporal_reuse:
+        Fraction of ``words`` that would be served from cache *if* the
+        working set fits (BLAS3 ~0.9+, stencils ~0.5, streaming ~0).
+    working_set_bytes:
+        Size of the actively reused working set, for cache-fit decisions.
+    word_bytes:
+        8 for double precision, 4 for single precision (GTC).
+    bank_conflict:
+        Fractional slowdown of memory throughput from vector memory-bank
+        conflicts (hot small arrays; fixed by the ES ``duplicate`` pragma).
+    """
+
+    name: str
+    flops: float
+    words: float
+    access: AccessPattern = AccessPattern.UNIT
+    trip: int = 256
+    vectorizable: bool = True
+    streamable: bool = True
+    temporal_reuse: float = 0.0
+    working_set_bytes: float = 0.0
+    word_bytes: int = 8
+    bank_conflict: float = 0.0
+    #: Fraction of nominal peak the phase's instruction stream can reach
+    #: even with perfect operands: operation mix (non-MADD ops, divides),
+    #: dependency chains, and register spills.  1.0 = pure fused
+    #: multiply-add streams (BLAS3); Cactus's thousands-of-terms BSSN
+    #: loop sits far below that on every machine (§5.2).
+    compute_efficiency: float = 1.0
+    #: Multiplier on the machine's vector half-length n_1/2 for this
+    #: phase.  Loop bodies with many vector instructions and register
+    #: spills amortize pipeline startup far worse than a simple triad;
+    #: the paper's Cactus AVL sensitivity (AVL 248 vs 92 nearly halves
+    #: throughput, §5.2) implies an effective n_1/2 of ~100 elements.
+    half_length_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.words < 0:
+            raise ValueError(f"{self.name}: negative work")
+        if not 0.0 <= self.temporal_reuse <= 1.0:
+            raise ValueError(f"{self.name}: temporal_reuse out of [0,1]")
+        if not 0.0 <= self.bank_conflict < 1.0:
+            raise ValueError(f"{self.name}: bank_conflict out of [0,1)")
+        if self.trip < 1:
+            raise ValueError(f"{self.name}: trip must be >= 1")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError(f"{self.name}: compute_efficiency out of (0,1]")
+        if self.half_length_scale < 1.0:
+            raise ValueError(f"{self.name}: half_length_scale must be >= 1")
+
+    def scaled(self, factor: float, trip_factor: float = 1.0) -> "WorkPhase":
+        """Return a copy with work (and optionally trip counts) scaled.
+
+        Used to extrapolate a measured small-problem profile to the paper's
+        problem size: per-point work is invariant, so total work scales by
+        the point-count ratio while inner trip counts scale by the loop
+        geometry (e.g. the x-extent of a subdomain).
+        """
+        if factor < 0 or trip_factor <= 0:
+            raise ValueError("bad scale factors")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            words=self.words * factor,
+            trip=max(1, int(round(self.trip * trip_factor))),
+        )
+
+    @property
+    def intensity(self) -> float:
+        """Computational intensity: flops per word of memory traffic."""
+        if self.words == 0:
+            return float("inf")
+        return self.flops / self.words
+
+
+@dataclass(frozen=True)
+class CommPhase:
+    """One communication phase of an application, per rank.
+
+    ``kind`` is one of ``p2p`` (nearest-neighbour or point-to-point),
+    ``alltoall`` (global transposes, charged against bisection),
+    ``allreduce``, ``bcast``, ``gather``.  ``messages`` and ``bytes_total``
+    are per-rank values per execution of the phase.
+    """
+
+    name: str
+    kind: str
+    messages: float
+    bytes_total: float
+    onesided: bool = False
+
+    _KINDS = ("p2p", "alltoall", "allreduce", "bcast", "gather", "barrier")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown comm kind {self.kind!r}")
+        if self.messages < 0 or self.bytes_total < 0:
+            raise ValueError(f"{self.name}: negative communication")
+
+    def scaled(self, msg_factor: float, byte_factor: float) -> "CommPhase":
+        return replace(
+            self,
+            messages=self.messages * msg_factor,
+            bytes_total=self.bytes_total * byte_factor,
+        )
+
+
+@dataclass
+class AppProfile:
+    """Work profile of one application configuration at one concurrency."""
+
+    app: str
+    config: str                    # e.g. "4096x4096 grid" or "686 atoms"
+    nprocs: int
+    phases: list[WorkPhase] = field(default_factory=list)
+    comms: list[CommPhase] = field(default_factory=list)
+    #: The paper's "valid baseline flop-count" per rank used for Gflop/s
+    #: reporting (may be below executed flops when a vector algorithm does
+    #: extra work, e.g. GTC's work-vector gather step).
+    baseline_flops: float | None = None
+
+    @property
+    def total_flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def reported_flops(self) -> float:
+        if self.baseline_flops is not None:
+            return self.baseline_flops
+        return self.total_flops
+
+    @property
+    def total_words(self) -> float:
+        return sum(p.words for p in self.phases)
+
+    def phase(self, name: str) -> WorkPhase:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r} in {self.app}")
+
+    def validate(self) -> None:
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate phase names in {self.app}: {names}")
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")

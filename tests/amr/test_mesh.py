@@ -1,0 +1,154 @@
+"""AMR mesh machinery: boxes, clustering, prolongation/restriction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amr import (
+    AMRHierarchy,
+    Box,
+    Patch,
+    REFINEMENT_RATIO,
+    cluster_flags,
+    prolong,
+    restrict,
+)
+
+
+class TestBox:
+    def test_shape_and_cells(self):
+        b = Box((2, 3), (5, 9))
+        assert b.shape == (3, 6)
+        assert b.ncells == 18
+
+    def test_refined(self):
+        b = Box((1, 2), (3, 4)).refined()
+        assert b.lo == (2, 4) and b.hi == (6, 8)
+
+    def test_contains_and_overlap(self):
+        b = Box((0, 0), (4, 4))
+        assert b.contains(3, 3) and not b.contains(4, 0)
+        assert b.overlaps(Box((3, 3), (6, 6)))
+        assert not b.overlaps(Box((4, 0), (6, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Box((2, 2), (2, 4))
+
+
+class TestClustering:
+    def test_single_blob(self):
+        flags = np.zeros((32, 32), dtype=bool)
+        flags[10:16, 12:20] = True
+        boxes = cluster_flags(flags)
+        assert all(_covered(flags, boxes))
+        assert sum(b.ncells for b in boxes) <= 2 * flags.sum()
+
+    def test_two_separated_blobs_split(self):
+        flags = np.zeros((40, 40), dtype=bool)
+        flags[2:6, 2:6] = True
+        flags[30:36, 30:36] = True
+        boxes = cluster_flags(flags)
+        assert len(boxes) >= 2
+        assert all(_covered(flags, boxes))
+
+    def test_no_flags(self):
+        assert cluster_flags(np.zeros((8, 8), dtype=bool)) == []
+
+    def test_full_grid(self):
+        flags = np.ones((16, 16), dtype=bool)
+        boxes = cluster_flags(flags)
+        assert sum(b.ncells for b in boxes) == 256
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 500))
+    def test_coverage_property(self, seed):
+        """Every flagged cell is inside some box (never lost)."""
+        rng = np.random.default_rng(seed)
+        flags = rng.random((24, 24)) > 0.85
+        boxes = cluster_flags(flags)
+        assert all(_covered(flags, boxes))
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            cluster_flags(np.zeros((4, 4, 4), dtype=bool))
+        with pytest.raises(ValueError):
+            cluster_flags(np.zeros((4, 4), dtype=bool), efficiency=0.0)
+
+
+def _covered(flags: np.ndarray, boxes) -> list[bool]:
+    out = []
+    for i, j in np.argwhere(flags):
+        out.append(any(b.contains(int(i), int(j)) for b in boxes))
+    return out or [True]
+
+
+class TestTransferOperators:
+    def test_restrict_prolong_identity(self):
+        rng = np.random.default_rng(0)
+        coarse = rng.random((6, 8))
+        np.testing.assert_allclose(restrict(prolong(coarse)), coarse)
+
+    def test_prolong_conserves_mean(self):
+        rng = np.random.default_rng(1)
+        c = rng.random((5, 5))
+        assert prolong(c).mean() == pytest.approx(c.mean())
+
+    def test_restrict_conserves_mean(self):
+        rng = np.random.default_rng(2)
+        f = rng.random((8, 10))
+        assert restrict(f).mean() == pytest.approx(f.mean())
+
+    def test_restrict_shape_guard(self):
+        with pytest.raises(ValueError):
+            restrict(np.zeros((5, 4)))
+
+
+class TestHierarchy:
+    def _pulse(self, n=32):
+        x = np.linspace(0, 1, n, endpoint=False)
+        xx, yy = np.meshgrid(x, x, indexing="ij")
+        return np.exp(-((xx - 0.4)**2 + (yy - 0.5)**2) / 0.01)
+
+    def test_refines_around_feature(self):
+        h = AMRHierarchy(self._pulse(), 1 / 32, flag_threshold=0.1)
+        assert h.n_patches >= 1
+        assert 0 < h.refined_fraction() < 0.7
+        # The pulse centre must be covered.
+        fine = Box((0, 0), (1, 1))
+        centre = (int(0.4 * 64), int(0.5 * 64))
+        covered = any(p.box.contains(*centre) for p in h.levels[0])
+        assert covered
+        del fine
+
+    def test_flat_field_needs_no_patches(self):
+        h = AMRHierarchy(np.ones((16, 16)), 1 / 16)
+        assert h.n_patches == 0
+        assert h.refined_fraction() == 0.0
+
+    def test_sync_down_conserves_patch_average(self):
+        h = AMRHierarchy(self._pulse(), 1 / 32, flag_threshold=0.1)
+        p = h.levels[0][0]
+        p.data[...] = 7.0
+        h.sync_down()
+        lo = (p.box.lo[0] // REFINEMENT_RATIO,
+              p.box.lo[1] // REFINEMENT_RATIO)
+        hi = (p.box.hi[0] // REFINEMENT_RATIO,
+              p.box.hi[1] // REFINEMENT_RATIO)
+        np.testing.assert_allclose(h.base[lo[0]:hi[0], lo[1]:hi[1]], 7.0)
+
+    def test_patch_validation(self):
+        with pytest.raises(ValueError):
+            Patch(Box((0, 0), (2, 2)), 1, np.zeros((3, 3)))
+
+    def test_inner_trips_reported(self):
+        h = AMRHierarchy(self._pulse(), 1 / 32, flag_threshold=0.1)
+        trips = h.inner_trip_counts()
+        assert len(trips) == h.n_patches
+        assert all(t >= 2 for t in trips)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            AMRHierarchy(np.zeros(4), 0.1)
+        with pytest.raises(ValueError):
+            AMRHierarchy(np.zeros((4, 4)), 0.1, max_levels=0)

@@ -1,0 +1,180 @@
+"""Deposition algorithm equivalence + Poisson solver accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.gtc.deposition import (
+    deposit_classic,
+    deposit_sorted,
+    deposit_work_vector,
+    deposited_charge_total,
+    gyro_ring_points,
+)
+from repro.apps.gtc.grid import AnnulusGrid, TorusGeometry
+from repro.apps.gtc.particles import load_uniform
+from repro.apps.gtc.poisson import PoissonSolver
+
+
+@pytest.fixture()
+def setup():
+    grid = AnnulusGrid(0.2, 1.0, 20, 24)
+    geom = TorusGeometry(grid, 1)
+    particles = load_uniform(geom, 4.0, seed=11)
+    return grid, particles
+
+
+class TestGyroRing:
+    def test_four_points_per_particle(self, setup):
+        grid, particles = setup
+        r_pts, th_pts = gyro_ring_points(particles, 1.0)
+        assert r_pts.shape == (4, len(particles))
+        assert th_pts.shape == (4, len(particles))
+
+    def test_ring_radius_matches_gyroradius(self, setup):
+        _, particles = setup
+        r_pts, _ = gyro_ring_points(particles, 1.0)
+        rho = particles.gyroradius(1.0)
+        np.testing.assert_allclose(r_pts[0] - particles.r, rho, atol=1e-12)
+        np.testing.assert_allclose(r_pts[2] - particles.r, -rho,
+                                   atol=1e-12)
+
+    def test_zero_mu_collapses_to_classic_pic(self, setup):
+        """Fig. 8a vs 8b: mu=0 makes the ring a point."""
+        grid, particles = setup
+        particles.mu[:] = 0.0
+        r_pts, th_pts = gyro_ring_points(particles, 1.0)
+        for k in range(4):
+            np.testing.assert_allclose(r_pts[k], particles.r, atol=1e-14)
+
+
+class TestDepositionEquivalence:
+    def test_all_three_algorithms_agree(self, setup):
+        grid, particles = setup
+        classic = deposit_classic(grid, particles)
+        sorted_ = deposit_sorted(grid, particles)
+        workvec, _ = deposit_work_vector(grid, particles, vector_length=64)
+        np.testing.assert_allclose(sorted_, classic, atol=1e-12)
+        np.testing.assert_allclose(workvec, classic, atol=1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(vl=st.sampled_from([1, 7, 64, 256]))
+    def test_work_vector_any_lane_count(self, vl):
+        grid = AnnulusGrid(0.2, 1.0, 12, 12)
+        geom = TorusGeometry(grid, 1)
+        particles = load_uniform(geom, 2.0, seed=5)
+        classic = deposit_classic(grid, particles)
+        wv, stats = deposit_work_vector(grid, particles, vector_length=vl)
+        np.testing.assert_allclose(wv, classic, atol=1e-12)
+        assert stats["grid_copies"] == vl
+
+    def test_charge_conservation(self, setup):
+        """Every deposited distribution integrates to the total charge."""
+        grid, particles = setup
+        for rho in (deposit_classic(grid, particles),
+                    deposit_sorted(grid, particles),
+                    deposit_work_vector(grid, particles)[0]):
+            assert deposited_charge_total(grid, rho) == pytest.approx(
+                particles.w.sum(), rel=1e-12)
+
+    def test_memory_amplification_reported(self, setup):
+        """§6.1: the work-vector method's memory blow-up is real."""
+        grid, particles = setup
+        _, s64 = deposit_work_vector(grid, particles, vector_length=64)
+        _, s256 = deposit_work_vector(grid, particles, vector_length=256)
+        assert s256["memory_words"] == 4 * s64["memory_words"]
+        assert s64["memory_words"] == 64 * grid.npoints
+
+    def test_empty_particles(self):
+        grid = AnnulusGrid(0.2, 1.0, 8, 8)
+        from repro.apps.gtc.particles import ParticleArray
+        rho = deposit_classic(grid, ParticleArray.empty())
+        assert (rho == 0).all()
+
+    def test_invalid_vector_length(self, setup):
+        grid, particles = setup
+        with pytest.raises(ValueError):
+            deposit_work_vector(grid, particles, vector_length=0)
+
+    def test_colliding_particles_accumulate(self):
+        """The memory-dependency case: same-cell particles must add."""
+        grid = AnnulusGrid(0.2, 1.0, 8, 8)
+        from repro.apps.gtc.particles import ParticleArray
+        n = 50
+        p = ParticleArray(
+            r=np.full(n, 0.6), theta=np.full(n, 1.0),
+            zeta=np.zeros(n), v_par=np.zeros(n),
+            mu=np.zeros(n), w=np.ones(n),
+            tag=np.arange(n, dtype=np.int64))
+        rho_c = deposit_classic(grid, p)
+        rho_w, _ = deposit_work_vector(grid, p, vector_length=8)
+        assert rho_c.sum() == pytest.approx(50.0)
+        np.testing.assert_allclose(rho_w, rho_c, atol=1e-12)
+
+
+class TestPoisson:
+    def test_manufactured_solution(self):
+        """phi = (r-r0)(r1-r)cos(m theta) recovered to O(dr^2)."""
+        grid = AnnulusGrid(0.5, 1.5, 128, 32)
+        solver = PoissonSolver(grid, alpha=0.8)
+        r = grid.radii()[:, None]
+        th = grid.thetas()[None, :]
+        m = 3
+        f = (r - 0.5) * (1.5 - r)
+        fp = 2.0 - 2.0 * r
+        fpp = -2.0
+        phi_exact = f * np.cos(m * th)
+        lap = (fpp + fp / r - m * m * f / r**2) * np.cos(m * th)
+        rho = -(lap - 0.8 * phi_exact)
+        phi = solver.solve(rho, remove_flux_average=False)
+        assert np.abs(phi - phi_exact).max() < 2e-4
+
+    def test_discrete_residual_machine_precision(self):
+        grid = AnnulusGrid(0.2, 1.0, 24, 16)
+        solver = PoissonSolver(grid, alpha=1.0)
+        rng = np.random.default_rng(3)
+        rho = rng.standard_normal(grid.shape)
+        phi = solver.solve(rho)
+        assert solver.residual(phi, rho) < 1e-10
+
+    def test_dirichlet_walls(self):
+        grid = AnnulusGrid(0.2, 1.0, 16, 16)
+        solver = PoissonSolver(grid)
+        rho = np.ones(grid.shape)
+        phi = solver.solve(rho)
+        np.testing.assert_allclose(phi[0], 0.0, atol=1e-14)
+        np.testing.assert_allclose(phi[-1], 0.0, atol=1e-14)
+
+    def test_flux_average_removed(self):
+        """Quasineutrality: a theta-independent rho drives no field."""
+        grid = AnnulusGrid(0.2, 1.0, 16, 16)
+        solver = PoissonSolver(grid)
+        rho = np.outer(np.linspace(1, 2, 16), np.ones(16))
+        phi = solver.solve(rho, remove_flux_average=True)
+        np.testing.assert_allclose(phi, 0.0, atol=1e-12)
+
+    def test_linearity(self):
+        grid = AnnulusGrid(0.2, 1.0, 16, 16)
+        solver = PoissonSolver(grid, alpha=0.5)
+        rng = np.random.default_rng(4)
+        a, b = rng.standard_normal((2, *grid.shape))
+        lhs = solver.solve(a + 3 * b)
+        rhs = solver.solve(a) + 3 * solver.solve(b)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)
+
+    def test_screening_reduces_potential(self):
+        grid = AnnulusGrid(0.2, 1.0, 24, 16)
+        rng = np.random.default_rng(5)
+        rho = rng.standard_normal(grid.shape)
+        phi0 = PoissonSolver(grid, alpha=0.0).solve(rho)
+        phi5 = PoissonSolver(grid, alpha=5.0).solve(rho)
+        assert np.abs(phi5).max() < np.abs(phi0).max()
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonSolver(AnnulusGrid(0.2, 1.0, 8, 8), alpha=-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        solver = PoissonSolver(AnnulusGrid(0.2, 1.0, 8, 8))
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros((4, 4)))

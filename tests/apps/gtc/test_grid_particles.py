@@ -1,0 +1,180 @@
+"""GTC grid and particle containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.gtc.grid import AnnulusGrid, TorusGeometry
+from repro.apps.gtc.particles import (
+    ParticleArray,
+    load_ring_perturbation,
+    load_uniform,
+)
+
+
+def small_geometry(nplanes=2):
+    return TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), nplanes)
+
+
+class TestAnnulusGrid:
+    def test_spacings(self):
+        g = AnnulusGrid(0.2, 1.0, 17, 32)
+        assert g.dr == pytest.approx(0.05)
+        assert g.dtheta == pytest.approx(2 * np.pi / 32)
+        assert g.shape == (17, 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnulusGrid(1.0, 0.2, 16, 16)
+        with pytest.raises(ValueError):
+            AnnulusGrid(0.0, 1.0, 16, 16)
+        with pytest.raises(ValueError):
+            AnnulusGrid(0.2, 1.0, 2, 16)
+
+    def test_bilinear_weights_partition_unity(self):
+        g = AnnulusGrid(0.2, 1.0, 16, 24)
+        rng = np.random.default_rng(0)
+        r = rng.uniform(0.0, 1.4, 200)  # includes out-of-annulus (clamped)
+        th = rng.uniform(-7.0, 7.0, 200)
+        _, _, w = g.bilinear(r, th)
+        np.testing.assert_allclose(w.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_bilinear_on_node_is_delta(self):
+        g = AnnulusGrid(0.2, 1.0, 16, 24)
+        ii, jj, ww = g.bilinear(np.array([g.radii()[3]]),
+                                np.array([g.thetas()[5]]))
+        k = int(np.argmax(ww[:, 0]))
+        assert ww[k, 0] == pytest.approx(1.0)
+        assert (ii[k, 0], jj[k, 0]) == (3, 5)
+
+    def test_bilinear_theta_periodicity(self):
+        g = AnnulusGrid(0.2, 1.0, 16, 24)
+        a = g.bilinear(np.array([0.5]), np.array([0.1]))
+        b = g.bilinear(np.array([0.5]), np.array([0.1 + 2 * np.pi]))
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y, atol=1e-9)
+
+    def test_gradient_of_linear_radial_field(self):
+        g = AnnulusGrid(0.2, 1.0, 32, 16)
+        field = np.broadcast_to(3.0 * g.radii()[:, None],
+                                g.shape).copy()
+        d_dr, d_dth = g.gradient(field)
+        np.testing.assert_allclose(d_dr, 3.0, atol=1e-9)
+        np.testing.assert_allclose(d_dth, 0.0, atol=1e-9)
+
+    def test_gradient_theta_mode(self):
+        g = AnnulusGrid(0.5, 1.5, 8, 128)
+        field = np.broadcast_to(np.sin(g.thetas())[None, :],
+                                g.shape).copy()
+        _, d_dth = g.gradient(field)
+        expect = np.cos(g.thetas())[None, :] / g.radii()[:, None]
+        np.testing.assert_allclose(d_dth, expect, atol=2e-3)
+
+    def test_cell_volume_total(self):
+        g = AnnulusGrid(0.2, 1.0, 64, 64)
+        area = g.cell_volume_weights().sum()
+        assert area == pytest.approx(np.pi * (1.0**2 - 0.2**2), rel=1e-3)
+
+
+class TestTorusGeometry:
+    def test_plane_of(self):
+        geom = small_geometry(nplanes=4)
+        z = np.array([0.0, np.pi / 2 + 0.01, np.pi, 3 * np.pi / 2,
+                      2 * np.pi - 1e-9])
+        np.testing.assert_array_equal(geom.plane_of(z), [0, 1, 2, 3, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="major radius"):
+            TorusGeometry(AnnulusGrid(0.2, 1.0, 8, 8), 2, major_radius=0.5)
+
+    def test_uniform_b(self):
+        geom = small_geometry()
+        b = geom.b_field(np.array([0.3, 0.9]))
+        np.testing.assert_allclose(b, geom.b0)
+
+
+class TestParticleArray:
+    def test_select_concat_roundtrip(self):
+        geom = small_geometry()
+        p = load_uniform(geom, 2.0, seed=3)
+        mask = p.r > 0.6
+        hi, lo = p.select(mask), p.select(~mask)
+        merged = ParticleArray.concatenate([hi, lo])
+        assert len(merged) == len(p)
+        assert set(merged.tag) == set(p.tag)
+
+    def test_select_copies(self):
+        geom = small_geometry()
+        p = load_uniform(geom, 1.0, seed=4)
+        q = p.select(np.arange(len(p)))
+        q.r[:] = -1
+        assert (p.r > 0).all()
+
+    def test_empty(self):
+        e = ParticleArray.empty()
+        assert len(e) == 0
+        assert len(ParticleArray.concatenate([e, e])) == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            ParticleArray(np.zeros(3), np.zeros(2), np.zeros(3),
+                          np.zeros(3), np.zeros(3), np.zeros(3),
+                          np.zeros(3, dtype=np.int64))
+
+    def test_gyroradius_scaling(self):
+        geom = small_geometry()
+        p = load_uniform(geom, 1.0, seed=5)
+        rho1 = p.gyroradius(1.0)
+        rho4 = p.gyroradius(4.0)
+        np.testing.assert_allclose(rho4, rho1 / 2.0)
+
+    def test_kinetic_energy_positive(self):
+        geom = small_geometry()
+        p = load_uniform(geom, 1.0, seed=6)
+        assert p.kinetic_energy(geom.b0) > 0
+
+
+class TestLoading:
+    def test_uniform_counts(self):
+        geom = small_geometry(nplanes=2)
+        p = load_uniform(geom, 10.0, seed=0)
+        assert len(p) == 10 * geom.plane.npoints * 2
+
+    def test_particles_inside_annulus(self):
+        geom = small_geometry()
+        p = load_uniform(geom, 5.0, seed=1)
+        assert (p.r >= geom.plane.r0).all()
+        assert (p.r <= geom.plane.r1).all()
+        assert (p.zeta >= 0).all() and (p.zeta < 2 * np.pi).all()
+
+    def test_area_uniform_density(self):
+        """r ~ sqrt sampling: inner/outer half-annulus counts match areas."""
+        geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), 1)
+        p = load_uniform(geom, 200.0, seed=2)
+        r_mid = np.sqrt((0.2**2 + 1.0**2) / 2)  # equal-area split
+        frac = np.mean(p.r < r_mid)
+        assert frac == pytest.approx(0.5, abs=0.02)
+
+    def test_ring_perturbation_modulates_weights(self):
+        geom = small_geometry()
+        p = load_ring_perturbation(geom, 5.0, mode_m=3, amplitude=0.4)
+        assert p.w.min() < 0.75 and p.w.max() > 1.25
+        # Weight correlates with cos(3 theta).
+        corr = np.corrcoef(p.w, np.cos(3 * p.theta))[0, 1]
+        assert corr > 0.99
+
+    def test_invalid_args(self):
+        geom = small_geometry()
+        with pytest.raises(ValueError):
+            load_uniform(geom, 0.0)
+        with pytest.raises(ValueError):
+            load_ring_perturbation(geom, 1.0, amplitude=1.5)
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(0, 99))
+    def test_loading_reproducible(self, seed):
+        geom = small_geometry()
+        a = load_uniform(geom, 1.0, seed=seed)
+        b = load_uniform(geom, 1.0, seed=seed)
+        np.testing.assert_array_equal(a.r, b.r)
+        np.testing.assert_array_equal(a.v_par, b.v_par)

@@ -1,0 +1,126 @@
+"""2D (toroidal x radial) GTC decomposition — the §6.1 future work."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gtc import (
+    AnnulusGrid,
+    Decomposition2D,
+    GTCConfig,
+    GTCSolver,
+    TorusGeometry,
+    build_profile,
+    build_profile_2d,
+    gtc_porting,
+    gtc_porting_2d,
+    load_ring_perturbation,
+    run_parallel_2d,
+)
+from repro.machine import ES, POWER3
+from repro.perf import PerformanceModel
+from repro.runtime import Transport
+
+
+def setup(nplanes=4, ppc=3.0):
+    geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), nplanes)
+    parts = load_ring_perturbation(geom, ppc, mode_m=3, amplitude=0.3,
+                                   seed=1)
+    return geom, parts
+
+
+class TestDecomposition2D:
+    def test_rank_coords_roundtrip(self):
+        geom, _ = setup()
+        d = Decomposition2D(2, 3, geom)
+        for r in range(6):
+            z, b = d.coords(r)
+            assert d.rank(z, b) == r
+
+    def test_radial_edges_cover_annulus(self):
+        geom, _ = setup()
+        d = Decomposition2D(1, 3, geom)
+        edges = d.radial_edges()
+        assert edges[0] == pytest.approx(0.2)
+        assert edges[-1] == pytest.approx(1.0)
+        assert (np.diff(edges) > 0).all()
+
+    def test_radial_block_assignment(self):
+        geom, _ = setup()
+        d = Decomposition2D(1, 2, geom)
+        r = np.array([0.21, 0.99, (0.2 + 1.0) / 2 + 0.01])
+        blocks = d.radial_block_of(r)
+        assert blocks[0] == 0 and blocks[1] == 1
+
+    def test_validation(self):
+        geom, _ = setup()
+        with pytest.raises(ValueError, match="divide"):
+            Decomposition2D(3, 1, geom)
+        with pytest.raises(ValueError, match="thinner"):
+            Decomposition2D(1, 12, geom)
+
+    def test_lifts_64_domain_cap(self):
+        """The whole point: total concurrency beyond 64 MPI domains."""
+        geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 64, 16), 64)
+        d = Decomposition2D(64, 4, geom)
+        assert d.nprocs == 256
+
+
+class TestParallel2DEquivalence:
+    @pytest.mark.parametrize("nzeta,nradial",
+                             [(1, 1), (2, 1), (1, 2), (2, 2), (4, 2)])
+    def test_matches_serial(self, nzeta, nradial):
+        geom, parts = setup()
+        serial = GTCSolver(geom, parts.select(np.arange(len(parts))),
+                           dt=0.05)
+        serial.step(5)
+        results = run_parallel_2d(geom, parts, nzeta=nzeta,
+                                  nradial=nradial, nsteps=5, dt=0.05)
+        planes_per = geom.nplanes // nzeta
+        for r in results:
+            zd, _ = divmod(r.domain, nradial)
+            for k, phi in enumerate(r.phi_planes):
+                np.testing.assert_allclose(
+                    phi, serial.phi[zd * planes_per + k], atol=1e-12)
+
+    def test_no_particles_lost(self):
+        geom, parts = setup()
+        results = run_parallel_2d(geom, parts, nzeta=2, nradial=2,
+                                  nsteps=6, dt=0.05)
+        assert sum(r.nparticles for r in results) == len(parts)
+        tags = np.sort(np.concatenate([r.tags for r in results]))
+        np.testing.assert_array_equal(tags, np.sort(parts.tag))
+
+    def test_radial_migration_happens(self):
+        geom, parts = setup(ppc=4.0)
+        tr = Transport(4)
+        run_parallel_2d(geom, parts, nzeta=2, nradial=2, nsteps=6,
+                        dt=0.05, transport=tr)
+        shift_msgs = [m for m in tr.messages if m.phase == "shift"]
+        assert shift_msgs, "expected migration traffic"
+
+
+class TestFutureWorkProjection:
+    def test_2d_beats_hybrid_on_power3(self):
+        """The projected payoff of the future-work decomposition."""
+        hybrid_cfg = GTCConfig(100, 1024, hybrid_threads=16)
+        hybrid = PerformanceModel(POWER3).predict(
+            build_profile(hybrid_cfg), gtc_porting(hybrid_cfg))
+        p2d = PerformanceModel(POWER3).predict(
+            build_profile_2d(100, 1024), gtc_porting_2d(100, 1024))
+        assert p2d.gflops_per_proc > hybrid.gflops_per_proc
+
+    def test_vector_machines_scale_past_64(self):
+        """OpenMP-free scaling: the ES at 1024 beats the 64-way run in
+        aggregate by an order of magnitude."""
+        es64 = PerformanceModel(ES).predict(
+            build_profile(GTCConfig(100, 64)),
+            gtc_porting(GTCConfig(100, 64)))
+        es1024 = PerformanceModel(ES).predict(
+            build_profile_2d(100, 1024), gtc_porting_2d(100, 1024))
+        assert es1024.total_gflops > 5 * es64.total_gflops
+
+    def test_2d_profile_consistent(self):
+        prof = build_profile_2d(100, 256)
+        prof.validate()
+        assert any(c.name == "radial-charge-reduce" for c in prof.comms)
+        assert prof.nprocs == 256

@@ -1,0 +1,212 @@
+"""Push physics, shift classification, and the full solver cycle."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gtc.grid import AnnulusGrid, TorusGeometry
+from repro.apps.gtc.particles import (
+    ParticleArray,
+    load_ring_perturbation,
+    load_uniform,
+)
+from repro.apps.gtc.push import (
+    electric_field,
+    field_energy,
+    gather_field,
+    push_rk2,
+)
+from repro.apps.gtc.shift import classify_movers
+from repro.apps.gtc.solver import GTCSolver
+
+
+def geometry(nplanes=1, nr=24, ntheta=24):
+    return TorusGeometry(AnnulusGrid(0.2, 1.0, nr, ntheta), nplanes)
+
+
+def single_particle(r=0.6, theta=0.0, zeta=0.1, v_par=0.0, mu=0.0):
+    return ParticleArray(
+        r=np.array([r]), theta=np.array([theta]), zeta=np.array([zeta]),
+        v_par=np.array([v_par]), mu=np.array([mu]), w=np.array([1.0]),
+        tag=np.array([0], dtype=np.int64))
+
+
+class TestPush:
+    def test_no_field_streams_in_zeta_only(self):
+        geom = geometry()
+        p = single_particle(v_par=2.0)
+        zeros = np.zeros(geom.plane.shape)
+        push_rk2(geom, p, zeros, zeros, dt=0.1)
+        assert p.zeta[0] == pytest.approx(0.1 + 0.2 / geom.major_radius)
+        assert p.r[0] == pytest.approx(0.6)
+        assert p.theta[0] == pytest.approx(0.0)
+
+    def test_exb_drift_direction_and_speed(self):
+        """Uniform E_r with B = B0 zeta_hat -> poloidal drift E x B / B^2."""
+        geom = geometry()
+        p = single_particle(mu=0.0)
+        e_r = np.ones(geom.plane.shape) * 0.05
+        e_th = np.zeros(geom.plane.shape)
+        push_rk2(geom, p, e_r, e_th, dt=0.2)
+        expect_dtheta = -0.05 / (0.6 * geom.b0) * 0.2
+        assert p.theta[0] == pytest.approx(expect_dtheta % (2 * np.pi),
+                                           rel=1e-6)
+
+    def test_radial_drift_from_poloidal_field(self):
+        geom = geometry()
+        p = single_particle()
+        e_th = np.ones(geom.plane.shape) * 0.05
+        push_rk2(geom, p, np.zeros(geom.plane.shape), e_th, dt=0.2)
+        assert p.r[0] == pytest.approx(0.6 + 0.05 / geom.b0 * 0.2, rel=1e-6)
+
+    def test_particles_stay_in_annulus(self):
+        geom = geometry()
+        parts = load_uniform(geom, 5.0, seed=2)
+        e = 0.5 * np.ones(geom.plane.shape)
+        for _ in range(5):
+            push_rk2(geom, parts, e, e, dt=0.2)
+        assert (parts.r >= geom.plane.r0).all()
+        assert (parts.r <= geom.plane.r1).all()
+
+    def test_gather_constant_field(self):
+        geom = geometry()
+        parts = load_uniform(geom, 3.0, seed=3)
+        e_r = np.full(geom.plane.shape, 0.7)
+        e_th = np.full(geom.plane.shape, -0.3)
+        er_p, et_p = gather_field(geom.plane, e_r, e_th, parts, geom.b0)
+        np.testing.assert_allclose(er_p, 0.7, atol=1e-12)
+        np.testing.assert_allclose(et_p, -0.3, atol=1e-12)
+
+    def test_gather_gyro_averages(self):
+        """Finite gyroradius: the 4-point average smooths the field."""
+        geom = geometry(ntheta=64)
+        grid = geom.plane
+        e_r = np.broadcast_to(np.cos(8 * grid.thetas())[None, :],
+                              grid.shape).copy()
+        zero = np.zeros(grid.shape)
+        small = single_particle(mu=1e-8, theta=0.0)
+        large = single_particle(mu=0.02, theta=0.0)
+        er_small, _ = gather_field(grid, e_r, zero, small, geom.b0)
+        er_large, _ = gather_field(grid, e_r, zero, large, geom.b0)
+        assert abs(er_large[0]) < abs(er_small[0])
+
+    def test_bad_dt(self):
+        geom = geometry()
+        p = single_particle()
+        z = np.zeros(geom.plane.shape)
+        with pytest.raises(ValueError):
+            push_rk2(geom, p, z, z, dt=0.0)
+
+    def test_electric_field_from_potential(self):
+        grid = AnnulusGrid(0.5, 1.5, 64, 8)
+        phi = np.broadcast_to(grid.radii()[:, None]**2, grid.shape).copy()
+        e_r, e_th = electric_field(grid, phi)
+        expect = np.broadcast_to(-2.0 * grid.radii()[1:-1, None],
+                                 e_r[1:-1].shape)
+        np.testing.assert_allclose(e_r[1:-1], expect, rtol=1e-3)
+        np.testing.assert_allclose(e_th, 0.0, atol=1e-12)
+
+    def test_field_energy_positive_definite(self):
+        grid = AnnulusGrid(0.2, 1.0, 16, 16)
+        assert field_energy(grid, np.zeros(grid.shape)) == 0.0
+        rng = np.random.default_rng(0)
+        assert field_energy(grid, rng.standard_normal(grid.shape)) > 0
+
+
+class TestShiftClassification:
+    def test_inside_stays(self):
+        geom = geometry(nplanes=4)
+        p = single_particle(zeta=0.1)
+        stay, left, right = classify_movers(geom, p, 0, 4)
+        assert stay[0] and not left[0] and not right[0]
+
+    def test_right_mover(self):
+        geom = geometry(nplanes=4)
+        p = single_particle(zeta=np.pi / 2 + 0.01)
+        stay, left, right = classify_movers(geom, p, 0, 4)
+        assert right[0] and not stay[0]
+
+    def test_left_mover_wraps(self):
+        geom = geometry(nplanes=4)
+        p = single_particle(zeta=2 * np.pi - 0.01)
+        stay, left, right = classify_movers(geom, p, 0, 4)
+        assert left[0] and not stay[0]
+
+    def test_masks_partition(self):
+        geom = geometry(nplanes=8)
+        parts = load_uniform(geom, 4.0, seed=9)
+        for domain in range(8):
+            stay, left, right = classify_movers(geom, parts, domain, 8)
+            total = stay.astype(int) + left.astype(int) + right.astype(int)
+            assert (total == 1).all()
+
+    def test_domain_range_checked(self):
+        geom = geometry()
+        p = single_particle()
+        with pytest.raises(ValueError):
+            classify_movers(geom, p, 5, 4)
+
+
+class TestSolverCycle:
+    def test_particle_count_and_charge_conserved(self):
+        geom = geometry(nplanes=2)
+        parts = load_uniform(geom, 4.0, seed=1)
+        total_w = parts.w.sum()
+        solver = GTCSolver(geom, parts, dt=0.05)
+        solver.step(8)
+        d = solver.diagnostics()
+        assert d.nparticles == len(parts)
+        assert solver.particles.w.sum() == pytest.approx(total_w,
+                                                         rel=1e-12)
+
+    def test_perturbation_drives_field(self):
+        geom = geometry()
+        quiet = GTCSolver(geom, load_uniform(geom, 32.0, seed=2), dt=0.05)
+        loud = GTCSolver(geom, load_ring_perturbation(
+            geom, 32.0, mode_m=4, amplitude=0.4, seed=2), dt=0.05)
+        quiet.step(1)
+        loud.step(1)
+        assert loud.diagnostics().max_phi > 2 * quiet.diagnostics().max_phi
+
+    def test_potential_mode_structure(self):
+        """Figure 7 substitution: the seeded m=4 eddy structure appears."""
+        geom = geometry(ntheta=32)
+        solver = GTCSolver(geom, load_ring_perturbation(
+            geom, 16.0, mode_m=4, amplitude=0.4, seed=3), dt=0.05)
+        solver.step(2)
+        phi = solver.potential_snapshot()
+        spectrum = np.abs(np.fft.rfft(phi[phi.shape[0] // 2]))
+        assert spectrum.argmax() == 4
+
+    def test_kinetic_energy_constant_in_perpendicular_dynamics(self):
+        """E_parallel = 0 here, so v_par and mu B are invariant."""
+        geom = geometry()
+        solver = GTCSolver(geom, load_ring_perturbation(
+            geom, 4.0, seed=4), dt=0.05)
+        ke0 = solver.particles.kinetic_energy(geom.b0)
+        solver.step(10)
+        assert solver.particles.kinetic_energy(geom.b0) == pytest.approx(
+            ke0, rel=1e-12)
+
+    def test_depositor_variants_give_same_evolution(self):
+        geom = geometry()
+        phis = {}
+        for dep in ("classic", "work-vector", "sorted"):
+            solver = GTCSolver(geom, load_ring_perturbation(
+                geom, 4.0, seed=5), dt=0.05, depositor=dep)
+            solver.step(3)
+            phis[dep] = solver.potential_snapshot()
+        np.testing.assert_allclose(phis["work-vector"], phis["classic"],
+                                   atol=1e-12)
+        np.testing.assert_allclose(phis["sorted"], phis["classic"],
+                                   atol=1e-12)
+
+    def test_dt_guard_against_domain_jumps(self):
+        geom = geometry(nplanes=8)
+        parts = load_uniform(geom, 2.0, thermal_velocity=100.0, seed=6)
+        with pytest.raises(ValueError, match="dt too large"):
+            GTCSolver(geom, parts, dt=10.0)
+
+    def test_unknown_depositor(self):
+        geom = geometry()
+        with pytest.raises(ValueError, match="depositor"):
+            GTCSolver(geom, load_uniform(geom, 1.0), depositor="magic")

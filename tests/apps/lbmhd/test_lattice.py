@@ -1,0 +1,133 @@
+"""Lattices: moment identities, interpolation, streaming conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.lbmhd.lattice import (
+    D2Q9,
+    OCT9,
+    Lattice,
+    lagrange_weights,
+    stream_all,
+    stream_field,
+)
+
+
+class TestLatticeDefinitions:
+    def test_d2q9_structure(self):
+        assert D2Q9.q == 9
+        assert D2Q9.cs2 == pytest.approx(1 / 3)
+        assert D2Q9.is_exact
+        np.testing.assert_array_equal(D2Q9.shifts[0], [0, 0])
+
+    def test_oct9_structure(self):
+        assert OCT9.q == 9
+        assert OCT9.cs2 == pytest.approx(0.25)
+        assert not OCT9.is_exact
+        # Eight unit vectors at 45 degrees (Fig. 2a).
+        norms = np.linalg.norm(OCT9.velocities[1:], axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_moment_identities(self):
+        D2Q9.check_moments()
+        OCT9.check_moments()
+
+    def test_bad_weights_detected(self):
+        bad = Lattice("bad", D2Q9.velocities, D2Q9.weights * 1.01,
+                      D2Q9.cs2, D2Q9.shifts, D2Q9.fractions)
+        with pytest.raises(ValueError, match="sum to 1"):
+            bad.check_moments()
+
+    def test_oct9_fractions(self):
+        # Axis directions exact, diagonals at 1/sqrt(2).
+        fr = OCT9.fractions
+        assert fr[0] == 1.0
+        assert np.sum(fr == 1.0) == 5
+        np.testing.assert_allclose(fr[fr != 1.0], 1 / np.sqrt(2))
+
+
+class TestLagrange:
+    def test_reproduces_nodes(self):
+        nodes = np.array([-2.0, -1.0, 0.0, 1.0])
+        for i, x in enumerate(nodes):
+            w = lagrange_weights(nodes, float(x))
+            expect = np.zeros(4)
+            expect[i] = 1.0
+            np.testing.assert_allclose(w, expect, atol=1e-12)
+
+    def test_weights_sum_to_one(self):
+        w = lagrange_weights(np.array([-2.0, -1.0, 0.0, 1.0]), -0.7071)
+        assert w.sum() == pytest.approx(1.0)
+
+    @given(x=st.floats(-2.0, 1.0))
+    def test_exact_for_cubics(self, x):
+        nodes = np.array([-2.0, -1.0, 0.0, 1.0])
+        w = lagrange_weights(nodes, x)
+        poly = lambda t: 1.0 + 2 * t - 0.5 * t**2 + 0.25 * t**3
+        assert np.dot(w, poly(nodes)) == pytest.approx(poly(x), abs=1e-9)
+
+
+class TestStreaming:
+    def test_exact_streaming_shifts(self):
+        field = np.zeros((8, 8))
+        field[3, 3] = 1.0
+        out = stream_field(field, D2Q9, 1)  # velocity (+x)
+        assert out[3, 4] == 1.0
+
+    def test_exact_streaming_periodic_wrap(self):
+        field = np.zeros((4, 4))
+        field[0, 3] = 1.0
+        out = stream_field(field, D2Q9, 1)
+        assert out[0, 0] == 1.0
+
+    def test_rest_direction_identity(self):
+        rng = np.random.default_rng(1)
+        field = rng.random((6, 6))
+        np.testing.assert_array_equal(stream_field(field, OCT9, 0), field)
+
+    def test_interpolated_streaming_conserves_sum(self):
+        """Lagrange weights sum to 1 => global conservation on a torus."""
+        rng = np.random.default_rng(2)
+        field = rng.random((16, 16))
+        for i in range(9):
+            out = stream_field(field, OCT9, i)
+            assert out.sum() == pytest.approx(field.sum(), rel=1e-12)
+
+    def test_interpolated_streaming_exact_on_linear_field(self):
+        # Cubic interpolation is exact on polynomials; a plane along the
+        # streaming diagonal must be advected exactly (interior points).
+        ny = nx = 16
+        yy, xx = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+        field = (xx + yy).astype(float)
+        i = next(k for k in range(9) if OCT9.fractions[k] != 1.0
+                 and OCT9.shifts[k][0] > 0 and OCT9.shifts[k][1] > 0)
+        out = stream_field(field, OCT9, i)
+        s = 1 / np.sqrt(2)
+        # away from the periodic seam the advected plane is (x-s)+(y-s)
+        np.testing.assert_allclose(out[4:12, 4:12],
+                                   field[4:12, 4:12] - 2 * s, atol=1e-10)
+
+    def test_stream_all_shape_check(self):
+        with pytest.raises(ValueError, match="leading dimension"):
+            stream_all(np.zeros((5, 4, 4)), D2Q9)
+
+    def test_stream_all_roundtrip_d2q9(self):
+        """Streaming each direction then its opposite is the identity."""
+        rng = np.random.default_rng(3)
+        f = rng.random((9, 8, 8))
+        opposite = {1: 3, 2: 4, 5: 7, 6: 8}
+        for i, j in opposite.items():
+            once = stream_field(f[i], D2Q9, i)
+            back = stream_field(once, D2Q9, j)
+            np.testing.assert_array_equal(back, f[i])
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(0, 1000), direction=st.integers(0, 8))
+    def test_streaming_linear_operator(self, seed, direction):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((2, 8, 8))
+        lhs = stream_field(a + 2 * b, OCT9, direction)
+        rhs = (stream_field(a, OCT9, direction)
+               + 2 * stream_field(b, OCT9, direction))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)

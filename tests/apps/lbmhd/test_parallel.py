@@ -1,0 +1,117 @@
+"""Parallel LBMHD: serial equivalence and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd.initial import orszag_tang
+from repro.apps.lbmhd.lattice import D2Q9, OCT9
+from repro.apps.lbmhd.parallel import halo_width, run_parallel, stream_extended
+from repro.apps.lbmhd.solver import LBMHDSolver
+from repro.runtime import Transport
+
+
+def serial_fields(lattice, nsteps, ny=20, nx=20):
+    s = LBMHDSolver(*orszag_tang(ny, nx), lattice=lattice,
+                    tau=0.8, tau_m=0.8)
+    s.step(nsteps)
+    return s.fields
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+    @pytest.mark.parametrize("lattice", [D2Q9, OCT9],
+                             ids=["D2Q9", "OCT9"])
+    def test_bitwise_match_mpi(self, lattice, nprocs):
+        rho, u, B = orszag_tang(20, 20)
+        r_s, u_s, B_s = serial_fields(lattice, 4)
+        r_p, u_p, B_p = run_parallel(rho, u, B, nprocs=nprocs, nsteps=4,
+                                     lattice=lattice, tau=0.8, tau_m=0.8)
+        np.testing.assert_array_equal(r_p, r_s)
+        np.testing.assert_array_equal(u_p, u_s)
+        np.testing.assert_array_equal(B_p, B_s)
+
+    @pytest.mark.parametrize("nprocs", [4, 9])
+    def test_bitwise_match_caf(self, nprocs):
+        rho, u, B = orszag_tang(18, 18)
+        r_s, u_s, B_s = serial_fields(D2Q9, 3, 18, 18)
+        r_p, u_p, B_p = run_parallel(rho, u, B, nprocs=nprocs, nsteps=3,
+                                     use_caf=True, tau=0.8, tau_m=0.8)
+        np.testing.assert_array_equal(r_p, r_s)
+        np.testing.assert_array_equal(B_p, B_s)
+
+    def test_nonsquare_grid(self):
+        rho, u, B = orszag_tang(12, 24)
+        s = LBMHDSolver(rho, u, B, tau=0.8, tau_m=0.8)
+        s.step(3)
+        r_s = s.fields[0]
+        r_p, _, _ = run_parallel(rho, u, B, nprocs=4, nsteps=3,
+                                 tau=0.8, tau_m=0.8)
+        np.testing.assert_array_equal(r_p, r_s)
+
+
+class TestHaloMechanics:
+    def test_halo_widths(self):
+        assert halo_width(D2Q9) == 1
+        assert halo_width(OCT9) == 2
+
+    def test_stream_extended_matches_global(self):
+        """Streaming a halo-extended block == cropped global streaming."""
+        from repro.apps.lbmhd.lattice import stream_all
+
+        rng = np.random.default_rng(5)
+        f = rng.random((9, 12, 12))
+        expect = stream_all(f, OCT9)
+        h = halo_width(OCT9)
+        ext = np.zeros((9, 12 + 2 * h, 12 + 2 * h))
+        ext[:, h:-h, h:-h] = f
+        # periodic halos from the global array
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dy == dx == 0:
+                    continue
+                ys = slice(0, h) if dy < 0 else \
+                    (slice(h + 12, h + 12 + h) if dy > 0 else slice(h, h + 12))
+                xs = slice(0, h) if dx < 0 else \
+                    (slice(h + 12, h + 12 + h) if dx > 0 else slice(h, h + 12))
+                gys = slice(12 - h, 12) if dy < 0 else \
+                    (slice(0, h) if dy > 0 else slice(0, 12))
+                gxs = slice(12 - h, 12) if dx < 0 else \
+                    (slice(0, h) if dx > 0 else slice(0, 12))
+                ext[:, ys, xs] = f[:, gys, gxs]
+        out = stream_extended(ext, OCT9, h)
+        np.testing.assert_allclose(out, expect, atol=1e-13)
+
+    def test_subdomain_smaller_than_halo_rejected(self):
+        rho, u, B = orszag_tang(4, 8)  # 16 ranks -> 1x2 blocks, halo 2
+        with pytest.raises(RuntimeError, match="smaller than halo"):
+            run_parallel(rho, u, B, nprocs=16, nsteps=1, lattice=OCT9)
+
+
+class TestTrafficAccounting:
+    def test_caf_more_messages_same_bytes(self):
+        """§3.2: CAF sends more, smaller messages; same payload volume."""
+        rho, u, B = orszag_tang(16, 16)
+        tr_mpi, tr_caf = Transport(4), Transport(4)
+        run_parallel(rho, u, B, nprocs=4, nsteps=2, transport=tr_mpi)
+        run_parallel(rho, u, B, nprocs=4, nsteps=2, use_caf=True,
+                     transport=tr_caf)
+        assert tr_caf.message_count() == 2 * tr_mpi.message_count()
+        assert tr_caf.total_bytes(onesided=True) == tr_mpi.total_bytes()
+
+    def test_halo_volume_matches_prediction(self):
+        """Measured bytes == the analytic volume used by the profile."""
+        rho, u, B = orszag_tang(16, 16)
+        tr = Transport(4)
+        run_parallel(rho, u, B, nprocs=4, nsteps=1, transport=tr,
+                     lattice=D2Q9)
+        ly = lx = 8
+        h = 1
+        per_rank = (2 * (ly + lx) * h + 4 * h * h) * 27 * 8
+        halo_msgs = [m for m in tr.messages if m.phase == "halo"]
+        assert sum(m.nbytes for m in halo_msgs) == 4 * per_rank
+
+    def test_phases_labelled(self):
+        rho, u, B = orszag_tang(16, 16)
+        tr = Transport(4)
+        run_parallel(rho, u, B, nprocs=4, nsteps=1, transport=tr)
+        assert {m.phase for m in tr.messages} == {"halo"}

@@ -1,0 +1,201 @@
+"""LBMHD physics: equilibria, collision invariants, solver behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd.collision import collide, resistivity, viscosity
+from repro.apps.lbmhd.equilibrium import (
+    check_equilibrium_moments,
+    f_equilibrium,
+    g_equilibrium,
+    moments,
+)
+from repro.apps.lbmhd.initial import cross_current_sheets, orszag_tang
+from repro.apps.lbmhd.lattice import D2Q9, OCT9
+from repro.apps.lbmhd.solver import LBMHDSolver
+
+
+def random_state(ny=12, nx=10, seed=0):
+    rng = np.random.default_rng(seed)
+    rho = 1.0 + 0.05 * rng.standard_normal((ny, nx))
+    u = 0.05 * rng.standard_normal((2, ny, nx))
+    B = 0.05 * rng.standard_normal((2, ny, nx))
+    return rho, u, B
+
+
+class TestEquilibria:
+    @pytest.mark.parametrize("lattice", [D2Q9, OCT9],
+                             ids=["D2Q9", "OCT9"])
+    def test_moment_identities(self, lattice):
+        rho, u, B = random_state()
+        check_equilibrium_moments(rho, u, B, lattice)
+
+    def test_rest_state_equilibrium(self):
+        rho = np.ones((4, 4))
+        z = np.zeros((2, 4, 4))
+        feq = f_equilibrium(rho, z, z, D2Q9)
+        np.testing.assert_allclose(
+            feq, np.broadcast_to(D2Q9.weights[:, None, None], feq.shape),
+            atol=1e-14)
+        geq = g_equilibrium(z, z, D2Q9)
+        np.testing.assert_allclose(geq, 0.0, atol=1e-14)
+
+    def test_maxwell_stress_enters_feq(self):
+        """A pure B-field changes the fluid stress (Lorentz coupling)."""
+        rho = np.ones((4, 4))
+        z = np.zeros((2, 4, 4))
+        B = np.zeros((2, 4, 4))
+        B[0] = 0.1
+        with_b = f_equilibrium(rho, z, B, D2Q9)
+        without = f_equilibrium(rho, z, z, D2Q9)
+        assert not np.allclose(with_b, without)
+
+    def test_induction_term_antisymmetric(self):
+        """g_eq first moment must be u B - B u (antisymmetric)."""
+        rho, u, B = random_state()
+        geq = g_equilibrium(u, B, OCT9)
+        m1 = np.einsum("qayx,qb->bayx", geq, OCT9.velocities)
+        expected = u[:, None] * B[None, :] - B[:, None] * u[None, :]
+        np.testing.assert_allclose(m1, expected, atol=1e-12)
+
+
+class TestCollision:
+    @pytest.mark.parametrize("lattice", [D2Q9, OCT9],
+                             ids=["D2Q9", "OCT9"])
+    def test_collision_invariants(self, lattice):
+        """Collision conserves rho, momentum, and B pointwise."""
+        rho, u, B = random_state()
+        f = f_equilibrium(rho, u, B, lattice)
+        g = g_equilibrium(u, B, lattice)
+        # Perturb off equilibrium, then collide.
+        rng = np.random.default_rng(7)
+        f = f + 0.01 * rng.standard_normal(f.shape)
+        g = g + 0.01 * rng.standard_normal(g.shape)
+        rho0, u0, B0 = moments(f, g, lattice)
+        f2, g2 = collide(f, g, lattice, tau=0.9, tau_m=0.7)
+        rho1, u1, B1 = moments(f2, g2, lattice)
+        np.testing.assert_allclose(rho1, rho0, atol=1e-13)
+        np.testing.assert_allclose(rho1[None] * u1, rho0[None] * u0,
+                                   atol=1e-13)
+        np.testing.assert_allclose(B1, B0, atol=1e-13)
+
+    def test_equilibrium_is_fixed_point(self):
+        rho, u, B = random_state()
+        f = f_equilibrium(rho, u, B, D2Q9)
+        g = g_equilibrium(u, B, D2Q9)
+        f2, g2 = collide(f, g, D2Q9, tau=0.8, tau_m=0.8)
+        np.testing.assert_allclose(f2, f, atol=1e-13)
+        np.testing.assert_allclose(g2, g, atol=1e-13)
+
+    def test_unstable_tau_rejected(self):
+        rho, u, B = random_state()
+        f = f_equilibrium(rho, u, B, D2Q9)
+        g = g_equilibrium(u, B, D2Q9)
+        with pytest.raises(ValueError, match="relaxation"):
+            collide(f, g, D2Q9, tau=0.5, tau_m=0.8)
+
+    def test_transport_coefficients(self):
+        assert viscosity(0.8, D2Q9) == pytest.approx(0.1)
+        assert resistivity(1.0, OCT9) == pytest.approx(0.125)
+
+
+class TestSolver:
+    @pytest.mark.parametrize("lattice", [D2Q9, OCT9],
+                             ids=["D2Q9", "OCT9"])
+    def test_global_conservation(self, lattice):
+        s = LBMHDSolver(*orszag_tang(24, 24), lattice=lattice)
+        d0 = s.diagnostics()
+        s.step(30)
+        d1 = s.diagnostics()
+        assert d1.mass == pytest.approx(d0.mass, rel=1e-12)
+        assert d1.momentum[0] == pytest.approx(d0.momentum[0], abs=1e-9)
+        assert d1.momentum[1] == pytest.approx(d0.momentum[1], abs=1e-9)
+        assert d1.magnetic_flux[0] == pytest.approx(d0.magnetic_flux[0],
+                                                    abs=1e-9)
+
+    def test_energy_decays(self):
+        """Decaying turbulence: total energy must fall monotonically."""
+        s = LBMHDSolver(*orszag_tang(32, 32), tau=0.8, tau_m=0.8)
+        hist = s.run_with_history(60, every=10)
+        energies = [d.total_energy for d in hist]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+        assert energies[-1] < 0.9 * energies[0]
+
+    def test_divb_stays_small(self):
+        s = LBMHDSolver(*orszag_tang(32, 32))
+        s.step(50)
+        d = s.diagnostics()
+        # Initial field is div-free; the scheme keeps divB at the
+        # truncation level, far below the field magnitude (~0.1).
+        assert d.max_divb < 5e-3
+
+    def test_current_sheets_decay(self):
+        """Figure 1: current density of the cross structures decays."""
+        s = LBMHDSolver(*cross_current_sheets(48, 48), tau=0.6, tau_m=0.6)
+        j0 = np.abs(s.current_density()).max()
+        s.step(150)
+        j1 = np.abs(s.current_density()).max()
+        assert 0 < j1 < 0.6 * j0
+
+    def test_flat_state_is_steady(self):
+        rho = np.ones((8, 8))
+        z = np.zeros((2, 8, 8))
+        s = LBMHDSolver(rho, z, z)
+        s.step(5)
+        r1, u1, B1 = s.fields
+        np.testing.assert_allclose(r1, 1.0, atol=1e-13)
+        np.testing.assert_allclose(u1, 0.0, atol=1e-13)
+        np.testing.assert_allclose(B1, 0.0, atol=1e-13)
+
+    def test_viscosity_orders_decay_rate(self):
+        """Higher tau (viscosity) -> faster kinetic-energy decay."""
+        rates = []
+        for tau in (0.6, 1.2):
+            s = LBMHDSolver(*orszag_tang(24, 24), tau=tau, tau_m=0.8)
+            e0 = s.diagnostics().kinetic_energy
+            s.step(40)
+            rates.append(s.diagnostics().kinetic_energy / e0)
+        assert rates[1] < rates[0]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LBMHDSolver(np.ones(4), np.zeros((2, 4)), np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="shape"):
+            LBMHDSolver(np.ones((4, 4)), np.zeros((2, 4, 4)),
+                        np.zeros((2, 5, 4)))
+
+    def test_oct9_matches_d2q9_qualitatively(self):
+        """Both lattices simulate the same MHD physics: energies track."""
+        e = {}
+        for lat in (D2Q9, OCT9):
+            s = LBMHDSolver(*orszag_tang(32, 32), lattice=lat,
+                            tau=0.8, tau_m=0.8)
+            s.step(40)
+            e[lat.name] = s.diagnostics().total_energy
+        assert e["OCT9"] == pytest.approx(e["D2Q9"], rel=0.35)
+
+
+class TestInitialConditions:
+    def test_orszag_tang_divergence_free(self):
+        _, _, B = orszag_tang(64, 64)
+        dbx = 0.5 * (np.roll(B[0], -1, 1) - np.roll(B[0], 1, 1))
+        dby = 0.5 * (np.roll(B[1], -1, 0) - np.roll(B[1], 1, 0))
+        assert np.abs(dbx + dby).max() < 2e-2 * np.abs(B).max()
+
+    def test_cross_sheets_divergence_free(self):
+        _, _, B = cross_current_sheets(64, 64)
+        dbx = 0.5 * (np.roll(B[0], -1, 1) - np.roll(B[0], 1, 1))
+        dby = 0.5 * (np.roll(B[1], -1, 0) - np.roll(B[1], 1, 0))
+        assert np.abs(dbx + dby).max() < 2e-2 * np.abs(B).max()
+
+    def test_cross_sheets_have_two_structures(self):
+        rho, u, B = cross_current_sheets(64, 64)
+        assert (u == 0).all()
+        assert (rho == 1.0).all()
+        assert np.abs(B).max() > 0
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            orszag_tang(2, 2)
+        with pytest.raises(ValueError):
+            cross_current_sheets(4, 4)

@@ -1,0 +1,115 @@
+"""LBMHD work profile: paper-facts and model-shape assertions (Table 3)."""
+
+import pytest
+
+from repro.apps.lbmhd.profile import (
+    LBMHDConfig,
+    build_profile,
+    intensity,
+    memory_footprint_gb,
+    table3_configs,
+)
+from repro.machine import ALTIX, ES, POWER3, POWER4, X1
+from repro.perf import PerformanceModel
+
+
+def predict(machine, grid=4096, nprocs=64, variant="mpi"):
+    cfg = LBMHDConfig(grid, nprocs, variant)
+    return PerformanceModel(machine).predict(build_profile(cfg))
+
+
+class TestPaperFacts:
+    def test_low_computational_intensity(self):
+        """§3.2: 'about 1.5 FP operations per data word of access'."""
+        assert 1.0 < intensity() < 2.0
+
+    def test_memory_footprints(self):
+        """§3.2: 7.5 GB at 4096^2 and 30 GB at 8192^2."""
+        assert memory_footprint_gb(4096) == pytest.approx(7.5, rel=0.15)
+        assert memory_footprint_gb(8192) == pytest.approx(30.0, rel=0.15)
+
+    def test_table3_configs(self):
+        cfgs = table3_configs()
+        assert len(cfgs) == 6
+        assert {(c.grid, c.nprocs) for c in cfgs} == {
+            (4096, 16), (4096, 64), (4096, 256),
+            (8192, 64), (8192, 256), (8192, 1024)}
+
+    def test_profile_self_consistent(self):
+        p = build_profile(LBMHDConfig(4096, 64))
+        p.validate()
+        assert p.baseline_flops <= p.total_flops
+        assert p.phase("collision").flops > p.phase("stream").flops
+
+    def test_single_rank_has_no_comm(self):
+        p = build_profile(LBMHDConfig(4096, 1))
+        assert p.comms == []
+
+
+class TestModelShape:
+    """The qualitative Table 3 findings, asserted as inequalities."""
+
+    def test_vector_machines_dominate(self):
+        """~44x over Power3, ~16x Power4, ~7x Altix at P=64."""
+        es = predict(ES)
+        assert 20 < es.gflops_per_proc / predict(POWER3).gflops_per_proc < 70
+        assert 8 < es.gflops_per_proc / predict(POWER4).gflops_per_proc < 30
+        assert 3 < es.gflops_per_proc / predict(ALTIX).gflops_per_proc < 12
+
+    def test_absolute_rates_in_paper_band(self):
+        assert predict(ES).gflops_per_proc == pytest.approx(4.3, rel=0.25)
+        assert predict(X1).gflops_per_proc == pytest.approx(4.4, rel=0.25)
+        assert predict(POWER3).gflops_per_proc == pytest.approx(
+            0.12, rel=0.35)
+        assert predict(POWER4).gflops_per_proc == pytest.approx(
+            0.29, rel=0.35)
+
+    def test_es_sustains_higher_fraction_than_x1(self):
+        """§3.2: ES consistently sustains a higher fraction of peak."""
+        assert predict(ES).pct_peak > predict(X1).pct_peak
+        assert predict(ES).pct_peak > 40
+        assert predict(X1).pct_peak < 45
+
+    def test_altix_best_superscalar(self):
+        altix = predict(ALTIX)
+        assert altix.gflops_per_proc > predict(POWER4).gflops_per_proc
+        assert altix.pct_peak > predict(POWER3).pct_peak
+
+    def test_avl_vor_near_maximum(self):
+        """'The AVL and VOR are near maximum for both vector systems.'"""
+        for m in (ES, X1):
+            r = predict(m)
+            assert r.vor > 0.99
+            assert r.avl > 0.95 * m.vector.vector_length
+
+    def test_superscalar_memory_bound(self):
+        r = predict(POWER3)
+        assert all(pt.bound == "memory" for pt in r.phase_times
+                   if pt.name in ("collision", "stream"))
+
+    def test_caf_beats_mpi_on_large_grid_x1(self):
+        """§3.2: CAF ~ +5% on the large test case on the X1."""
+        mpi = predict(X1, grid=8192, nprocs=64, variant="mpi")
+        caf = predict(X1, grid=8192, nprocs=64, variant="caf")
+        assert caf.gflops_per_proc > mpi.gflops_per_proc
+
+    def test_caf_message_tradeoff_visible(self):
+        mpi = build_profile(LBMHDConfig(8192, 64, "mpi"))
+        caf = build_profile(LBMHDConfig(8192, 64, "caf"))
+        assert caf.comms[0].messages == 2 * mpi.comms[0].messages
+        assert caf.comms[0].onesided
+        # MPI pays a buffer-copy phase CAF does not have.
+        assert any(p.name == "buffer-copy" for p in mpi.phases)
+        assert not any(p.name == "buffer-copy" for p in caf.phases)
+
+    def test_performance_declines_with_concurrency_on_vector(self):
+        """Fixed-size scaling: 4096^2 on ES slows from P=16 to P=256."""
+        r16 = predict(ES, nprocs=16)
+        r256 = predict(ES, nprocs=256)
+        assert r256.gflops_per_proc < r16.gflops_per_proc
+
+    def test_es_speedup_over_power3_band(self):
+        """Table 7 headline: ~30x at largest comparable concurrency."""
+        es = predict(ES, grid=8192, nprocs=1024)
+        p3 = predict(POWER3, grid=8192, nprocs=1024)
+        assert 20 < es.gflops_per_proc / p3.gflops_per_proc < 60

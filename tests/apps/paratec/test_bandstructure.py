@@ -1,0 +1,89 @@
+"""Bloch k-points and the silicon band structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.paratec import (
+    FCC_POINTS,
+    Hamiltonian,
+    PlaneWaveBasis,
+    band_structure,
+    bands_at_k,
+    kpoint_cartesian,
+    silicon_primitive,
+    solve_dense,
+)
+
+HA_TO_EV = 27.2114
+
+
+class TestKPointBasis:
+    def test_gamma_default_unchanged(self):
+        cell = silicon_primitive()
+        a = PlaneWaveBasis(cell, 5.0)
+        b = PlaneWaveBasis(cell, 5.0, kpoint=(0.0, 0.0, 0.0))
+        np.testing.assert_array_equal(a.g_int, b.g_int)
+
+    def test_kinetic_is_k_plus_g(self):
+        cell = silicon_primitive()
+        k = kpoint_cartesian("X")
+        basis = PlaneWaveBasis(cell, 6.0, kpoint=tuple(k))
+        expect = 0.5 * ((basis.g_cart + k) ** 2).sum(axis=1)
+        np.testing.assert_allclose(basis.kinetic, expect, atol=1e-12)
+        assert (basis.kinetic < 6.0).all()
+
+    def test_free_electrons_at_k(self):
+        """V=0 at k: eigenvalues are the |k+G|^2/2 ladder."""
+        cell = silicon_primitive()
+        k = kpoint_cartesian("L")
+        basis = PlaneWaveBasis(cell, 6.0, kpoint=tuple(k))
+        evals, _ = solve_dense(Hamiltonian(basis), 4)
+        np.testing.assert_allclose(evals, np.sort(basis.kinetic)[:4],
+                                   atol=1e-12)
+
+    def test_bad_kpoint_rejected(self):
+        with pytest.raises(ValueError):
+            PlaneWaveBasis(silicon_primitive(), 5.0, kpoint=(0.0, 0.0))
+
+
+class TestSiliconBands:
+    @pytest.fixture(scope="class")
+    def bs(self):
+        return band_structure(silicon_primitive(), ecut=6.0,
+                              points_per_segment=4)
+
+    def test_indirect_gap(self, bs):
+        """Silicon's famous indirect gap: valence max at Gamma,
+        conduction min on the Gamma-X line, ~1 eV."""
+        vmax_lbl, cmin_lbl = bs.gap_location()
+        assert vmax_lbl == "Gamma"
+        assert "X" in cmin_lbl
+        assert 0.5 < bs.indirect_gap * HA_TO_EV < 1.6
+
+    def test_direct_gamma_gap(self, bs):
+        g = bs.labels.index("Gamma")
+        assert bs.direct_gaps[g] * HA_TO_EV == pytest.approx(3.4,
+                                                             abs=0.4)
+
+    def test_gap_positive_everywhere(self, bs):
+        assert (bs.direct_gaps > 0).all()
+
+    def test_bands_continuous_along_path(self, bs):
+        jumps = np.abs(np.diff(bs.bands, axis=0)).max()
+        assert jumps * HA_TO_EV < 3.0  # no wild discontinuities
+
+    def test_kpoint_labels(self):
+        assert set(FCC_POINTS) >= {"Gamma", "X", "L"}
+        np.testing.assert_allclose(kpoint_cartesian("Gamma"), 0.0)
+
+    def test_time_reversal_symmetry(self):
+        """E(k) == E(-k) for this real potential."""
+        cell = silicon_primitive()
+        k = kpoint_cartesian([0.3, 0.1, 0.2])
+        e_plus = bands_at_k(cell, 6.0, k, 4)
+        e_minus = bands_at_k(cell, 6.0, -k, 4)
+        np.testing.assert_allclose(e_plus, e_minus, atol=1e-8)
+
+    def test_path_validation(self):
+        with pytest.raises(ValueError):
+            band_structure(silicon_primitive(), 5.0, path=["Gamma"])

@@ -1,0 +1,158 @@
+"""Cells, pseudopotential, and the plane-wave basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.paratec.basis import PlaneWaveBasis
+from repro.apps.paratec.lattice_cell import (
+    SI_LATTICE_CONSTANT,
+    Cell,
+    silicon_primitive,
+    silicon_supercell,
+)
+from repro.apps.paratec.pseudopotential import (
+    SI_FORM_FACTORS,
+    form_factor,
+    local_potential_coefficients,
+)
+
+
+class TestCells:
+    def test_primitive_cell(self):
+        cell = silicon_primitive()
+        assert cell.natoms == 2
+        assert cell.nelectrons == 8
+        assert cell.nbands_occupied == 4
+        # fcc primitive volume = a^3 / 4.
+        assert cell.volume == pytest.approx(SI_LATTICE_CONSTANT**3 / 4)
+
+    def test_paper_supercells(self):
+        """Table 4's systems: 432 = 2x6^3 and 686 = 2x7^3 atoms."""
+        assert silicon_supercell(6).natoms == 432
+        assert silicon_supercell(7).natoms == 686
+
+    def test_supercell_volume_scales(self):
+        prim = silicon_primitive()
+        sup = silicon_supercell(3)
+        assert sup.volume == pytest.approx(27 * prim.volume)
+
+    def test_reciprocal_duality(self):
+        cell = silicon_supercell(2)
+        prod = cell.lattice @ cell.reciprocal().T
+        np.testing.assert_allclose(prod, 2 * np.pi * np.eye(3),
+                                   atol=1e-10)
+
+    def test_structure_factor_symmetric_basis(self):
+        """Atoms at +-tau make S(G) real (= cos(G.tau))."""
+        cell = silicon_primitive()
+        g = cell.reciprocal()[0:1] * 1.0
+        s = cell.structure_factor(g)
+        assert abs(s[0].imag) < 1e-12
+
+    def test_bad_cell_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(np.eye(2), np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            Cell(np.eye(3), np.zeros((3,)))
+
+
+class TestPseudopotential:
+    def test_form_factor_shells(self):
+        unit = np.array([3.0, 8.0, 11.0, 4.0, 0.0])
+        v = form_factor(unit)
+        assert v[0] == SI_FORM_FACTORS[3]
+        assert v[1] == SI_FORM_FACTORS[8]
+        assert v[2] == SI_FORM_FACTORS[11]
+        assert v[3] == 0.0 and v[4] == 0.0
+
+    def test_v3_is_attractive(self):
+        assert SI_FORM_FACTORS[3] < 0
+
+    def test_potential_real_for_diamond(self):
+        cell = silicon_primitive()
+        basis = PlaneWaveBasis(cell, ecut=4.0)
+        v = local_potential_coefficients(cell, basis.g_cart)
+        assert np.abs(v.imag).max() < 1e-12
+
+    def test_supercell_zeros_off_lattice_G(self):
+        """Supercell G's not on the primitive reciprocal lattice carry
+        no ionic potential (structure-factor extinction)."""
+        sup = silicon_supercell(2)
+        basis = PlaneWaveBasis(sup, ecut=2.0)
+        v = local_potential_coefficients(sup, basis.g_cart)
+        nonzero = np.abs(v) > 1e-10
+        # Only a minority of supercell G's survive.
+        assert 0 < nonzero.sum() < 0.6 * basis.size
+
+
+class TestPlaneWaveBasis:
+    def test_cutoff_respected(self):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=5.0)
+        assert (basis.kinetic < 5.0).all()
+        assert basis.size > 50
+
+    def test_g0_present(self):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=5.0)
+        idx = basis.index_of((0, 0, 0))
+        assert basis.kinetic[idx] == 0.0
+
+    def test_sphere_symmetric(self):
+        """G in basis => -G in basis (real potentials need both)."""
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=5.0)
+        for g in basis.g_int[:20]:
+            basis.index_of(tuple(-g))
+
+    def test_basis_grows_with_cutoff(self):
+        cell = silicon_primitive()
+        assert PlaneWaveBasis(cell, 8.0).size > \
+            PlaneWaveBasis(cell, 4.0).size
+
+    def test_columns_partition_sphere(self):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=5.0)
+        total = sum(len(v) for v in basis.columns.values())
+        assert total == basis.size
+
+    def test_fft_shape_holds_products(self):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=5.0)
+        span = 2 * np.abs(basis.g_int).max(axis=0) + 1
+        assert all(n >= s for n, s in zip(basis.fft_shape, span))
+
+    def test_grid_roundtrip(self):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=5.0)
+        rng = np.random.default_rng(0)
+        c = rng.standard_normal(basis.size) \
+            + 1j * rng.standard_normal(basis.size)
+        np.testing.assert_allclose(basis.to_sphere(basis.to_grid(c)), c,
+                                   atol=1e-12)
+
+    def test_to_grid_batched(self):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=4.0)
+        rng = np.random.default_rng(1)
+        c = rng.standard_normal((3, basis.size)) * (1 + 0j)
+        batched = basis.to_grid(c)
+        for b in range(3):
+            np.testing.assert_allclose(batched[b], basis.to_grid(c[b]),
+                                       atol=1e-13)
+
+    def test_g0_coefficient_is_mean(self):
+        """c at G=0 transforms to a constant field."""
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=4.0)
+        c = np.zeros(basis.size, dtype=complex)
+        c[basis.index_of((0, 0, 0))] = 2.5
+        np.testing.assert_allclose(basis.to_grid(c), 2.5, atol=1e-12)
+
+    def test_invalid_ecut(self):
+        with pytest.raises(ValueError):
+            PlaneWaveBasis(silicon_primitive(), ecut=0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(ecut=st.floats(2.0, 8.0))
+    def test_parseval(self, ecut):
+        basis = PlaneWaveBasis(silicon_primitive(), ecut=ecut)
+        rng = np.random.default_rng(2)
+        c = rng.standard_normal(basis.size) * (1 + 0j)
+        psi = basis.to_grid(c)
+        n = np.prod(basis.fft_shape)
+        assert (np.abs(psi)**2).sum() / n == pytest.approx(
+            (np.abs(c)**2).sum(), rel=1e-10)

@@ -1,0 +1,235 @@
+"""Hamiltonian, eigensolvers, density, XC, and the SCF loop."""
+
+import numpy as np
+import pytest
+
+from repro.apps.paratec.basis import PlaneWaveBasis
+from repro.apps.paratec.cg import cg_iterate, random_bands, solve_dense
+from repro.apps.paratec.density import (
+    band_density,
+    hartree_potential,
+    lda_xc,
+    xc_energy,
+)
+from repro.apps.paratec.hamiltonian import (
+    Hamiltonian,
+    orthonormalize,
+    subspace_rotate,
+    teter_preconditioner,
+)
+from repro.apps.paratec.lattice_cell import silicon_primitive
+from repro.apps.paratec.scf import SCFSolver
+
+HA_TO_EV = 27.2114
+
+
+@pytest.fixture(scope="module")
+def si():
+    cell = silicon_primitive()
+    basis = PlaneWaveBasis(cell, ecut=5.5)
+    ham = Hamiltonian.ionic(basis)
+    return cell, basis, ham
+
+
+class TestHamiltonian:
+    def test_apply_matches_dense(self, si):
+        _, basis, ham = si
+        rng = np.random.default_rng(0)
+        c = rng.standard_normal(basis.size) * (1 + 0j)
+        h = ham.dense()
+        np.testing.assert_allclose(ham.apply(c), h @ c, atol=1e-10)
+
+    def test_hermitian(self, si):
+        _, _, ham = si
+        h = ham.dense()
+        np.testing.assert_allclose(h, h.conj().T, atol=1e-10)
+
+    def test_free_electron_limit(self, si):
+        """With V = 0 the eigenvalues are the kinetic energies."""
+        _, basis, _ = si
+        free = Hamiltonian(basis)
+        evals, _ = solve_dense(free, 5)
+        np.testing.assert_allclose(evals, np.sort(basis.kinetic)[:5],
+                                   atol=1e-12)
+
+    def test_expectation(self, si):
+        _, basis, ham = si
+        c = random_bands(basis.size, 3, seed=1)
+        e = ham.expectation(c)
+        assert e.shape == (3,)
+        assert (e > -10).all()
+
+
+class TestSiliconPhysics:
+    def test_gamma_point_band_structure(self, si):
+        """Cohen-Bergstresser silicon at Gamma: a single low band, the
+        triply degenerate Gamma_25' valence top, and the triply
+        degenerate Gamma_15 conduction level ~3.4 eV above it."""
+        _, _, ham = si
+        evals, _ = solve_dense(ham, 8)
+        ev = (evals - evals[3]) * HA_TO_EV
+        np.testing.assert_allclose(ev[1:4], 0.0, atol=0.05)
+        gap = ev[4]
+        assert gap == pytest.approx(3.4, abs=0.4)
+        np.testing.assert_allclose(ev[4:7], gap, atol=0.05)
+
+    def test_gap_converges_with_cutoff(self):
+        cell = silicon_primitive()
+        gaps = []
+        for ecut in (4.0, 6.0, 9.0):
+            ham = Hamiltonian.ionic(PlaneWaveBasis(cell, ecut))
+            evals, _ = solve_dense(ham, 5)
+            gaps.append((evals[4] - evals[3]) * HA_TO_EV)
+        assert abs(gaps[2] - gaps[1]) < abs(gaps[1] - gaps[0]) + 0.05
+
+
+class TestCG:
+    def test_matches_dense_on_valence_bands(self, si):
+        _, basis, ham = si
+        ev_ref, _ = solve_dense(ham, 4)
+        c = random_bands(basis.size, 4, seed=3)
+        ev, c, stats = cg_iterate(ham, c, n_outer=10, n_inner=4)
+        np.testing.assert_allclose(ev, ev_ref, atol=1e-6)
+        assert stats.residual_max < 1e-3
+
+    def test_returns_orthonormal_bands(self, si):
+        _, basis, ham = si
+        c = random_bands(basis.size, 4, seed=4)
+        _, c, _ = cg_iterate(ham, c, n_outer=3)
+        s = c.conj() @ c.T
+        np.testing.assert_allclose(s, np.eye(4), atol=1e-10)
+
+    def test_eigenvalue_sum_decreases(self, si):
+        """The all-band CG is variational."""
+        _, basis, ham = si
+        c = random_bands(basis.size, 4, seed=5)
+        sums = []
+        for _ in range(4):
+            ev, c, _ = cg_iterate(ham, c, n_outer=1, n_inner=3)
+            sums.append(ev.sum())
+        assert all(a >= b - 1e-10 for a, b in zip(sums, sums[1:]))
+
+    def test_preconditioner_bounds(self, si):
+        _, basis, _ = si
+        c = random_bands(basis.size, 2, seed=6)
+        p = teter_preconditioner(basis, c)
+        assert (p > 0).all() and (p <= 1.0).all()
+        # High-G components are damped hardest.
+        hi = np.argmax(basis.kinetic)
+        lo = np.argmin(basis.kinetic)
+        assert p[0, hi] < p[0, lo]
+
+    def test_subspace_rotate_sorted(self, si):
+        _, basis, ham = si
+        c = random_bands(basis.size, 5, seed=7)
+        evals, c2 = subspace_rotate(ham, c)
+        assert (np.diff(evals) >= -1e-12).all()
+        s = c2.conj() @ c2.T
+        np.testing.assert_allclose(s, np.eye(5), atol=1e-10)
+
+    def test_orthonormalize_deterministic(self, si):
+        _, basis, _ = si
+        rng = np.random.default_rng(8)
+        c = rng.standard_normal((3, basis.size)) * (1 + 0j)
+        np.testing.assert_array_equal(orthonormalize(c),
+                                      orthonormalize(c))
+
+    def test_shape_guards(self, si):
+        _, basis, ham = si
+        with pytest.raises(ValueError):
+            cg_iterate(ham, np.zeros(basis.size, dtype=complex))
+        with pytest.raises(ValueError):
+            random_bands(4, 8)
+
+
+class TestDensityAndXC:
+    def test_density_integrates_to_electron_count(self, si):
+        cell, basis, _ = si
+        c = random_bands(basis.size, 4, seed=9)
+        occ = np.full(4, 2.0)
+        rho = band_density(basis, c, occ)
+        assert rho.mean() * cell.volume == pytest.approx(8.0, rel=1e-10)
+
+    def test_density_nonnegative(self, si):
+        _, basis, _ = si
+        c = random_bands(basis.size, 4, seed=10)
+        rho = band_density(basis, c, np.full(4, 2.0))
+        assert rho.min() > -1e-12
+
+    def test_hartree_solves_poisson(self, si):
+        """V_H of a single cosine mode: 4 pi rho_G / G^2."""
+        _, basis, _ = si
+        b = basis.cell.reciprocal()
+        shape = basis.fft_shape
+        coords = np.meshgrid(*[np.arange(n) / n for n in shape],
+                             indexing="ij")
+        phase = 2 * np.pi * coords[0]          # G = b[0] mode
+        rho = np.cos(phase)
+        vh, eh = hartree_potential(basis, rho)
+        g2 = (b[0]**2).sum()
+        np.testing.assert_allclose(vh, 4 * np.pi / g2 * rho, atol=1e-10)
+        assert eh > 0
+
+    def test_hartree_energy_positive(self, si):
+        _, basis, _ = si
+        rng = np.random.default_rng(11)
+        rho = rng.random(basis.fft_shape)
+        _, eh = hartree_potential(basis, rho)
+        assert eh > 0
+
+    def test_lda_xc_signs_and_limits(self):
+        rho = np.array([1e-6, 0.01, 0.1, 1.0, 10.0])
+        eps, v = lda_xc(rho)
+        assert (eps < 0).all() and (v < 0).all()
+        # Denser -> more negative exchange-correlation energy density.
+        assert eps[-1] < eps[0]
+
+    def test_xc_potential_is_derivative(self):
+        """v_xc = d(rho eps_xc)/d rho, checked by finite differences."""
+        rho = np.array([0.05, 0.5, 2.0])
+        eps, v = lda_xc(rho)
+        h = 1e-6
+        e_plus, _ = lda_xc(rho + h)
+        e_minus, _ = lda_xc(rho - h)
+        dd = ((rho + h) * e_plus - (rho - h) * e_minus) / (2 * h)
+        np.testing.assert_allclose(v, dd, rtol=1e-4)
+
+    def test_xc_energy_scalar(self, si):
+        _, basis, _ = si
+        rho = np.full(basis.fft_shape, 0.02)
+        assert xc_energy(basis, rho) < 0
+
+
+class TestSCF:
+    @pytest.fixture(scope="class")
+    def result(self):
+        solver = SCFSolver(silicon_primitive(), ecut=5.5, nbands=6,
+                           seed=2)
+        return solver, solver.run(n_scf=12, cg_steps=3)
+
+    def test_converges(self, result):
+        _, res = result
+        assert res.converged_to < 1e-3
+        changes = [st.density_change for st in res.history]
+        assert changes[-1] < 0.1 * changes[0]
+
+    def test_insulating_gap(self, result):
+        _, res = result
+        assert res.history[-1].gap * HA_TO_EV > 0.5
+
+    def test_charge_conserved(self, result):
+        solver, res = result
+        assert res.density.mean() * solver.cell.volume == pytest.approx(
+            8.0, rel=1e-8)
+
+    def test_energy_components_recorded(self, result):
+        _, res = result
+        last = res.history[-1]
+        assert last.hartree_energy > 0
+        assert last.xc_energy < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SCFSolver(silicon_primitive(), ecut=5.5, mixing=0.0)
+        with pytest.raises(ValueError):
+            SCFSolver(silicon_primitive(), ecut=0.5, nbands=500)

@@ -1,0 +1,111 @@
+"""Experiment drivers: every exhibit regenerates and matches shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_figure9,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    build_table6,
+    build_table7,
+    reference,
+    render_figure9,
+    render_table7,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {3: build_table3(), 4: build_table4(), 5: build_table5(),
+            6: build_table6()}
+
+
+class TestStaticTables:
+    def test_table1_contents(self):
+        text = build_table1()
+        for name in ("Power3", "Power4", "Altix", "ES", "X1"):
+            assert name in text
+        assert "P^0.5" in text  # the torus bisection law
+
+    def test_table2_contents(self):
+        text = build_table2()
+        for name, loc, *_ in reference.TABLE2:
+            assert name in text and str(loc) in text
+
+
+class TestModelTables:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_every_paper_cell_modeled(self, tables, n):
+        """No blank model cell where the paper has a measurement."""
+        table = tables[n]
+        ref = getattr(reference, f"TABLE{n}")
+        for (config, p, machine) in ref:
+            assert table.cell(config, p, machine) is not None, \
+                (n, config, p, machine)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_shape_within_3x_of_paper(self, tables, n):
+        assert tables[n].shape_errors(tol_factor=3.0) == []
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_median_cell_error_tight(self, tables, n):
+        """Typical (median) cell should be well inside the 3x gate."""
+        table = tables[n]
+        ref = getattr(reference, f"TABLE{n}")
+        ratios = []
+        for (config, p, machine), (gf, _) in ref.items():
+            cell = table.cell(config, p, machine)
+            ratios.append(max(cell.gflops_per_proc / gf,
+                              gf / cell.gflops_per_proc))
+        assert np.median(ratios) < 1.45
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_renders(self, tables, n):
+        text = tables[n].render()
+        assert f"Table {n}" in text
+        md = tables[n].to_markdown()
+        assert md.startswith("###")
+
+    def test_es_highest_fraction_of_peak_everywhere(self, tables):
+        """§7: 'the ES consistently sustained a significantly higher
+        fraction of peak than the X1'."""
+        points = {3: ("4096x4096", 64, "X1 (MPI)"),
+                  4: ("432 atoms", 64, "X1"),
+                  5: ("250x64x64", 64, "X1"),
+                  6: ("100 part/cell", 64, "X1")}
+        for n, (config, p, x1label) in points.items():
+            es = tables[n].cell(config, p, "ES")
+            x1 = tables[n].cell(config, p, x1label)
+            assert es.pct_peak > x1.pct_peak, n
+
+
+class TestSummaries:
+    def test_table7_structure(self):
+        model = build_table7()
+        assert set(model) == {"LBMHD", "PARATEC", "CACTUS", "GTC",
+                              "Average"}
+        for app, ref_row in reference.TABLE7.items():
+            for machine, ref_val in ref_row.items():
+                got = model[app][machine]
+                assert got / ref_val < 3.0 and ref_val / got < 3.0
+
+    def test_table7_qualitative_ordering(self):
+        model = build_table7()
+        avg = model["Average"]
+        assert avg["Power3"] > avg["Power4"] > avg["Altix"] > avg["X1"]
+        assert model["GTC"]["X1"] < 1.0   # the one X1 win
+        assert model["CACTUS"]["Power3"] > 10
+
+    def test_figure9_bands(self):
+        model = build_figure9()
+        for app, ref_row in reference.FIGURE9.items():
+            for machine, want in ref_row.items():
+                assert abs(model[app][machine] - want) < 12.0
+
+    def test_renders(self):
+        assert "Table 7" in render_table7()
+        assert "Figure 9" in render_figure9()

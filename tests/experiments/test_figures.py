@@ -1,0 +1,74 @@
+"""Figure data generators (the simulation output behind the pictures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+class TestFigure1:
+    def test_current_decays(self):
+        fields = figures.figure1_current_decay(n=48, steps=(0, 60, 150))
+        peaks = [np.abs(f).max() for f in fields]
+        assert peaks[0] > peaks[1] > peaks[2] > 0
+
+    def test_field_shapes(self):
+        fields = figures.figure1_current_decay(n=32, steps=(0, 10))
+        assert all(f.shape == (32, 32) for f in fields)
+
+
+class TestSchematics:
+    def test_figure2_lattice(self):
+        data = figures.figure2_lattice()
+        assert data["velocities"].shape == (9, 2)
+        assert data["weights"].sum() == pytest.approx(1.0)
+        assert (data["interpolation_fractions"] <= 1.0).all()
+
+    def test_figure4_layouts(self):
+        data = figures.figure4_layouts(nprocs=3)
+        assert len(data["real_space_blocks"]) == 3
+        assert set(data["column_owner"].values()) == {0, 1, 2}
+        loads = data["loads"]
+        assert loads.max() - loads.min() <= 10
+
+    def test_figure6_exchange_pattern(self):
+        data = figures.figure6_ghost_exchange(nprocs=4)
+        assert data["messages"] > 0
+        # 2x2 processor grid: every rank exchanges with the others.
+        srcs = {s for s, _ in data["neighbor_pairs"]}
+        assert srcs == {0, 1, 2, 3}
+
+    def test_figure8_deposition(self):
+        data = figures.figure8_deposition(n_particles=100)
+        assert data["classic"].shape == data["gyro_averaged"].shape
+        # Same total charge, different spatial distribution.
+        assert data["classic"].sum() == pytest.approx(
+            data["gyro_averaged"].sum(), rel=1e-10)
+        assert not np.allclose(data["classic"], data["gyro_averaged"])
+
+
+class TestSimulationFigures:
+    def test_figure5_wave_evolves(self):
+        initial, evolved = figures.figure5_substitute_wave(n=16, steps=8)
+        assert initial.shape == evolved.shape
+        assert np.abs(evolved - initial).max() > 1e-3
+
+    def test_figure7_mode_structure(self):
+        phi = figures.figure7_potential(nr=24, ntheta=32, mode=5,
+                                        steps=2)
+        spectrum = np.abs(np.fft.rfft(phi[12]))
+        assert spectrum.argmax() == 5
+
+
+class TestPgmWriter:
+    def test_writes_valid_pgm(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        figures.save_pgm(str(path), np.arange(12.0).reshape(3, 4))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n4 3\n255\n")
+        assert len(raw.split(b"255\n", 1)[1]) == 12
+
+    def test_constant_field(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        figures.save_pgm(str(path), np.ones((2, 2)))
+        assert path.exists()

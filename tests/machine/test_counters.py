@@ -1,0 +1,103 @@
+"""HardwareCounters: AVL/VOR arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import HardwareCounters
+
+
+class TestBasics:
+    def test_empty_counters(self):
+        c = HardwareCounters(vector_length=256)
+        assert c.avl == 0.0
+        assert c.vor == 0.0
+        assert c.flops == 0.0
+
+    def test_full_length_loop(self):
+        c = HardwareCounters(vector_length=256)
+        c.record_loop(trip=256, ops_per_iter=2.0)
+        assert c.avl == 256.0
+        assert c.vor == 1.0
+        assert c.flops == 512.0
+
+    def test_short_loop_reduces_avl(self):
+        c = HardwareCounters(vector_length=256)
+        c.record_loop(trip=92, ops_per_iter=1.0)
+        assert c.avl == pytest.approx(92.0)
+
+    def test_strip_mining_remainder(self):
+        # 300 iterations on VL=256: chunks of 256 and 44 -> AVL 150.
+        c = HardwareCounters(vector_length=256)
+        c.record_loop(trip=300, ops_per_iter=1.0)
+        assert c.avl == pytest.approx(150.0)
+
+    def test_scalar_loop_lowers_vor(self):
+        c = HardwareCounters(vector_length=256)
+        c.record_loop(trip=256, ops_per_iter=1.0)
+        c.record_loop(trip=256, ops_per_iter=1.0, vectorized=False)
+        assert c.vor == pytest.approx(0.5)
+        assert c.avl == 256.0  # scalar ops don't dilute AVL
+
+    def test_scalar_machine_counts_everything_scalar(self):
+        c = HardwareCounters(vector_length=1)
+        c.record_loop(trip=100, ops_per_iter=1.0, vectorized=True)
+        assert c.vor == 0.0
+        assert c.flops == 100.0
+
+    def test_phase_attribution_and_repeats(self):
+        c = HardwareCounters(vector_length=64)
+        c.record_loop(trip=64, ops_per_iter=1.0, phase="push", repeats=3)
+        c.record_loop(trip=64, ops_per_iter=2.0, phase="charge")
+        assert c.by_phase["push"] == 192.0
+        assert c.by_phase["charge"] == 128.0
+
+    def test_loads_stores_accumulate(self):
+        c = HardwareCounters(vector_length=64)
+        c.record_loop(trip=10, ops_per_iter=1.0, words_per_iter=3.0)
+        assert c.loads_stores == 30.0
+
+    def test_negative_rejected(self):
+        c = HardwareCounters(vector_length=64)
+        with pytest.raises(ValueError):
+            c.record_loop(trip=-1, ops_per_iter=1.0)
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a = HardwareCounters(vector_length=256)
+        b = HardwareCounters(vector_length=256)
+        a.record_loop(trip=256, ops_per_iter=1.0, phase="x")
+        b.record_loop(trip=128, ops_per_iter=1.0, phase="x",
+                      vectorized=False)
+        a.merge(b)
+        assert a.flops == 384.0
+        assert a.by_phase["x"] == 384.0
+        assert 0.0 < a.vor < 1.0
+
+    def test_merge_rejects_mixed_machines(self):
+        a = HardwareCounters(vector_length=256)
+        b = HardwareCounters(vector_length=64)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestProperties:
+    @given(trips=st.lists(st.integers(1, 4096), min_size=1, max_size=12),
+           vl=st.sampled_from([64, 256]))
+    def test_avl_bounded_by_vl_and_vor_unit(self, trips, vl):
+        c = HardwareCounters(vector_length=vl)
+        for t in trips:
+            c.record_loop(trip=t, ops_per_iter=1.0)
+        assert 0.0 < c.avl <= vl
+        assert c.vor == 1.0
+
+    @given(st.lists(st.tuples(st.integers(1, 2048), st.booleans()),
+                    min_size=1, max_size=10))
+    def test_vor_in_unit_interval_and_flops_additive(self, loops):
+        c = HardwareCounters(vector_length=256)
+        total = 0
+        for trip, vec in loops:
+            c.record_loop(trip=trip, ops_per_iter=1.0, vectorized=vec)
+            total += trip
+        assert 0.0 <= c.vor <= 1.0
+        assert c.flops == total

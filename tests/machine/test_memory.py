@@ -1,0 +1,151 @@
+"""Memory model: pattern derates, cache filtering, bank conflicts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import ALTIX, ES, POWER3, POWER4, X1, MemoryModel
+from repro.work import AccessPattern, WorkPhase
+
+GB = 1.0e9
+
+
+def phase(words=1e8, **kw):
+    kw.setdefault("name", "p")
+    kw.setdefault("flops", 1.0)
+    return WorkPhase(words=words, **kw)
+
+
+class TestBandwidths:
+    def test_streaming_time_matches_sustained_bandwidth(self):
+        mm = MemoryModel(ES)
+        mt = mm.time(phase(words=1e9))
+        expected = 8e9 / (ES.mem_bw_gbs * ES.sustained_mem_fraction * GB)
+        assert mt.seconds == pytest.approx(expected)
+        assert mt.served_by == "memory"
+
+    def test_zero_traffic_is_free(self):
+        mt = MemoryModel(ES).time(phase(words=0))
+        assert mt.seconds == 0.0
+
+    def test_vector_beats_scalar_on_streams(self):
+        """LBMHD's core claim: bytes/flop balance decides streaming codes."""
+        p = phase(words=1e9)
+        t_es = MemoryModel(ES).time(p).seconds
+        t_p3 = MemoryModel(POWER3).time(p).seconds
+        assert t_p3 / t_es > 30  # 32 GB/s vs 0.7 GB/s, similar sustained
+
+    def test_word_bytes_scales_traffic(self):
+        p8 = phase(words=1e8, word_bytes=8)
+        p4 = phase(words=1e8, word_bytes=4)
+        mm = MemoryModel(X1)
+        assert mm.time(p8).seconds == pytest.approx(
+            2 * mm.time(p4).seconds)
+
+
+class TestAccessPatterns:
+    def test_gather_slower_than_unit(self):
+        for m in (ES, X1, POWER3, ALTIX):
+            mm = MemoryModel(m)
+            t_unit = mm.time(phase(access=AccessPattern.UNIT)).seconds
+            t_gather = mm.time(phase(access=AccessPattern.GATHER)).seconds
+            assert t_gather > t_unit
+
+    def test_ghosted_hurts_prefetch_reliant_machines(self):
+        """§5.2: ghost-zone skips disengage prefetch on Power3 and stall
+        the in-order Itanium2; Power4 (dual streams + L3) and the vector
+        machines ride across them (Table 5's 250x64x64 column)."""
+        penalty = {}
+        for m in (POWER3, POWER4, ALTIX, ES, X1):
+            mm = MemoryModel(m)
+            penalty[m.name] = (
+                mm.time(phase(access=AccessPattern.GHOSTED)).seconds
+                / mm.time(phase(access=AccessPattern.UNIT)).seconds)
+        assert penalty["Power3"] > 1.5
+        assert penalty["Altix"] > 1.5
+        assert penalty["Power4"] < 1.15
+        assert penalty["ES"] < 1.15
+        assert penalty["X1"] < 1.15
+
+    def test_strided_cheap_on_vector_expensive_on_cache(self):
+        p = phase(access=AccessPattern.STRIDED)
+        u = phase(access=AccessPattern.UNIT)
+        es_ratio = (MemoryModel(ES).time(p).seconds
+                    / MemoryModel(ES).time(u).seconds)
+        p3_ratio = (MemoryModel(POWER3).time(p).seconds
+                    / MemoryModel(POWER3).time(u).seconds)
+        assert es_ratio < 1.3
+        assert p3_ratio > 1.8
+
+
+class TestCacheFiltering:
+    def test_cache_resident_blas3_fast_on_power(self):
+        """PARATEC's BLAS3: high reuse in cache -> near-peak everywhere."""
+        mm = MemoryModel(POWER3)
+        hot = phase(words=1e8, temporal_reuse=0.95,
+                    working_set_bytes=2 * 1024 * 1024)
+        cold = phase(words=1e8)
+        assert mm.time(hot).seconds < 0.25 * mm.time(cold).seconds
+        assert mm.time(hot).served_by == "L2"
+
+    def test_working_set_too_big_falls_to_memory(self):
+        mm = MemoryModel(POWER3)
+        big = phase(words=1e8, temporal_reuse=0.95,
+                    working_set_bytes=64 * 1024 * 1024)
+        assert mm.time(big).served_by == "memory"
+
+    def test_es_has_no_cache_to_filter(self):
+        mm = MemoryModel(ES)
+        hot = phase(words=1e8, temporal_reuse=0.95,
+                    working_set_bytes=1024)
+        assert mm.time(hot).served_by == "memory"
+
+    def test_x1_ecache_filters(self):
+        mm = MemoryModel(X1)
+        hot = phase(words=1e8, temporal_reuse=0.9,
+                    working_set_bytes=256 * 1024)
+        assert mm.time(hot).served_by == "Ecache"
+        assert mm.time(hot).seconds < mm.time(phase(words=1e8)).seconds
+
+    def test_shared_cache_capacity_split(self):
+        mm = MemoryModel(X1)  # 2MB Ecache shared by 4 SSPs -> 512KB share
+        assert mm.fitting_cache(300 * 1024) is not None
+        assert mm.fitting_cache(600 * 1024) is None
+
+
+class TestBankConflicts:
+    def test_bank_conflict_slows_vector_machines(self):
+        mm = MemoryModel(ES)
+        clean = phase(words=1e8)
+        conflicted = phase(words=1e8, bank_conflict=0.27)
+        ratio = mm.time(conflicted).seconds / mm.time(clean).seconds
+        # §6.1: duplicate pragma sped charge deposition up 37%.
+        assert ratio == pytest.approx(1.37, rel=0.02)
+
+    def test_bank_conflict_ignored_without_banks(self):
+        mm = MemoryModel(POWER3)
+        clean = phase(words=1e8)
+        conflicted = phase(words=1e8, bank_conflict=0.27)
+        assert mm.time(conflicted).seconds == mm.time(clean).seconds
+
+
+class TestProperties:
+    @given(words=st.floats(1e3, 1e12),
+           reuse=st.floats(0.0, 1.0),
+           ws=st.floats(0.0, 1e9))
+    def test_time_positive_and_monotone_in_traffic(self, words, reuse, ws):
+        mm = MemoryModel(POWER4)
+        p1 = phase(words=words, temporal_reuse=reuse, working_set_bytes=ws)
+        p2 = phase(words=2 * words, temporal_reuse=reuse,
+                   working_set_bytes=ws)
+        t1, t2 = mm.time(p1).seconds, mm.time(p2).seconds
+        assert t1 > 0
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    @given(reuse=st.floats(0.0, 1.0))
+    def test_more_reuse_never_slower(self, reuse):
+        mm = MemoryModel(ALTIX)
+        base = phase(words=1e8, temporal_reuse=0.0,
+                     working_set_bytes=1024 * 1024)
+        hot = phase(words=1e8, temporal_reuse=reuse,
+                    working_set_bytes=1024 * 1024)
+        assert mm.time(hot).seconds <= mm.time(base).seconds * (1 + 1e-12)

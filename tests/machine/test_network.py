@@ -1,0 +1,165 @@
+"""Network model: topology structure (verified on graphs) and cost laws."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    ALTIX,
+    ES,
+    POWER3,
+    X1,
+    Crossbar,
+    FatTree,
+    NetworkModel,
+    Torus2D,
+    topology_model,
+)
+
+US = 1e-6
+GB = 1e9
+
+
+class TestTopologyStructure:
+    def test_crossbar_single_hop(self):
+        cb = Crossbar("es")
+        assert cb.avg_hops(64) == 1.0
+        g = cb.build_graph(16)
+        cpus = [n for n in g.nodes if n[0] == "cpu"]
+        assert len(cpus) == 16
+        # All CPU pairs two edges apart through the hub: diameter 2.
+        assert nx.diameter(g) == 2
+
+    def test_fat_tree_graph_connects_everything(self):
+        ft = FatTree("altix", radix=4)
+        g = ft.build_graph(64)
+        assert nx.is_connected(g)
+        cpus = [n for n in g.nodes if n[0] == "cpu"]
+        assert len(cpus) == 64
+
+    def test_fat_tree_capacity_doubles_upward(self):
+        ft = FatTree("altix", radix=2)
+        g = ft.build_graph(8)
+        caps = {}
+        for u, v, data in g.edges(data=True):
+            sw = u if u[0] == "sw" else v
+            if sw[0] == "sw":
+                caps.setdefault(sw[1], set()).add(data["capacity"])
+        # Edges into level-0 switches carry 1.0; deeper levels carry more.
+        assert min(min(v) for v in caps.values()) == 1.0
+        assert max(max(v) for v in caps.values()) > 1.0
+
+    def test_torus_dims_near_square(self):
+        assert Torus2D.dims(64) == (8, 8)
+        assert Torus2D.dims(32) == (4, 8)
+        assert Torus2D.dims(7) == (1, 7)
+
+    def test_torus_graph_degree(self):
+        t = Torus2D("x1")
+        g = t.build_graph(16)  # 4x4 torus
+        assert all(d == 4 for _, d in g.degree())
+        assert nx.is_connected(g)
+
+    def test_torus_bisection_grows_sqrt(self):
+        """The 2D torus bisection (graph cut) grows ~sqrt(P)."""
+        t = Torus2D("x1")
+
+        def bisection_edges(p):
+            a, b = Torus2D.dims(p)
+            g = t.build_graph(p)
+            left = {("cpu", i * b + j) for i in range(a) for j in range(b // 2)}
+            return sum(1 for u, v in g.edges
+                       if (u in left) != (v in left))
+
+        # 4x4 -> cut 8; 8x8 -> cut 16: doubles when P quadruples.
+        assert bisection_edges(64) == 2 * bisection_edges(16)
+
+    def test_bisection_scaling_exponents(self):
+        assert Crossbar("es").bisection_scale(512, 2048) == pytest.approx(
+            0.25)
+        assert Torus2D("x1").bisection_scale(512, 2048) == pytest.approx(0.5)
+
+    def test_topology_model_dispatch(self):
+        assert isinstance(topology_model(ES), Crossbar)
+        assert isinstance(topology_model(X1), Torus2D)
+        assert isinstance(topology_model(ALTIX), FatTree)
+
+
+class TestPointToPoint:
+    def test_latency_dominates_small_messages(self):
+        nm = NetworkModel(POWER3)
+        ct = nm.ptp_time(8)
+        assert ct.seconds == pytest.approx(16.3 * US, rel=0.01)
+
+    def test_bandwidth_dominates_large_messages(self):
+        nm = NetworkModel(ES)
+        ct = nm.ptp_time(1.5 * GB)
+        assert ct.bandwidth_seconds == pytest.approx(1.0, rel=0.01)
+
+    def test_onesided_latency_lower_on_x1(self):
+        """§3.1: 7.3 us MPI vs 3.9 us CAF on the X1."""
+        nm = NetworkModel(X1)
+        mpi = nm.ptp_time(8, onesided=False, nprocs=4)
+        caf = nm.ptp_time(8, onesided=True, nprocs=4)
+        assert caf.seconds < mpi.seconds
+        assert nm.latency(onesided=True, nprocs=4) < 4.5 * US
+
+    def test_onesided_falls_back_without_support(self):
+        nm = NetworkModel(POWER3)
+        assert nm.latency(onesided=True) == nm.latency(onesided=False)
+
+    def test_torus_hop_latency_grows_with_p(self):
+        nm = NetworkModel(X1)
+        assert nm.latency(nprocs=1024) > nm.latency(nprocs=16)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(ES).ptp_time(-1)
+
+
+class TestCollectives:
+    def test_alltoall_bisection_limited_at_scale_on_x1(self):
+        """PARATEC's story: X1 transposes collapse at high P (§4.2)."""
+        nm_x1, nm_es = NetworkModel(X1), NetworkModel(ES)
+        nbytes = 8e6
+        # Same per-rank volume: at 512 procs the X1 should be much further
+        # from its injection bound than the ES, relative to P=32.
+        def slowdown(nm):
+            return (nm.alltoall_time(512, nbytes).seconds
+                    / nm.alltoall_time(32, nbytes).seconds)
+        # The ES stays injection-bound (no slowdown from scaling up); the
+        # X1 crosses into the bisection-bound regime.
+        assert slowdown(nm_es) < 1.1
+        assert slowdown(nm_x1) > 1.3 * slowdown(nm_es)
+
+    def test_alltoall_single_rank_free(self):
+        assert NetworkModel(ES).alltoall_time(1, 1e6).seconds == 0.0
+
+    def test_allreduce_log_scaling(self):
+        nm = NetworkModel(ES)
+        t64 = nm.allreduce_time(64, 8).seconds
+        t1024 = nm.allreduce_time(1024, 8).seconds
+        assert t1024 == pytest.approx(t64 * 10 / 6, rel=0.01)
+
+    def test_bcast_cheaper_than_allreduce(self):
+        nm = NetworkModel(ALTIX)
+        assert (nm.bcast_time(64, 1e3).seconds
+                < nm.allreduce_time(64, 1e3).seconds)
+
+    @given(p=st.sampled_from([2, 4, 16, 64, 256]),
+           nbytes=st.floats(8, 1e8))
+    @settings(max_examples=30)
+    def test_costs_positive_and_monotone_in_size(self, p, nbytes):
+        nm = NetworkModel(ES)
+        for fn in (nm.alltoall_time, nm.allreduce_time, nm.bcast_time):
+            t1 = fn(p, nbytes).seconds
+            t2 = fn(p, 2 * nbytes).seconds
+            assert 0 < t1 <= t2
+
+    def test_exchange_accounts_messages_and_volume(self):
+        nm = NetworkModel(POWER3)
+        ct = nm.exchange_time(4, 4e6)
+        assert ct.latency_seconds == pytest.approx(4 * 16.3 * US)
+        assert ct.bandwidth_seconds == pytest.approx(4e6 / (0.13 * GB))

@@ -1,0 +1,127 @@
+"""Processor model: Hockney vector law, multistreaming, Amdahl penalties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (
+    ALTIX,
+    ES,
+    POWER3,
+    X1,
+    ProcessorModel,
+    strip_mined_avl,
+)
+from repro.work import WorkPhase
+
+GF = 1e9
+
+
+def phase(flops=1e9, **kw):
+    kw.setdefault("name", "p")
+    kw.setdefault("words", 0.0)
+    return WorkPhase(flops=flops, **kw)
+
+
+class TestStripMining:
+    def test_exact_multiples(self):
+        assert strip_mined_avl(256, 256) == 256.0
+        assert strip_mined_avl(512, 256) == 256.0
+        assert strip_mined_avl(64, 64) == 64.0
+
+    def test_remainders(self):
+        assert strip_mined_avl(300, 256) == pytest.approx(150.0)
+        assert strip_mined_avl(65, 64) == pytest.approx(32.5)
+
+    def test_short_loops(self):
+        assert strip_mined_avl(92, 256) == pytest.approx(92.0)
+        assert strip_mined_avl(1, 256) == 1.0
+
+    def test_degenerate(self):
+        assert strip_mined_avl(0, 256) == 0.0
+        assert strip_mined_avl(100, 1) == 1.0
+
+    @given(trip=st.integers(1, 100000), vl=st.sampled_from([64, 256]))
+    def test_bounds(self, trip, vl):
+        avl = strip_mined_avl(trip, vl)
+        assert 0 < avl <= vl
+        assert avl <= trip
+
+
+class TestVectorExecution:
+    def test_long_vectors_near_peak(self):
+        ct = ProcessorModel(ES).time(phase(trip=4096))
+        assert ct.mode == "vector"
+        assert ct.effective_gflops > 0.9 * ES.peak_gflops
+
+    def test_short_vectors_lose_efficiency(self):
+        long = ProcessorModel(ES).time(phase(trip=4096))
+        short = ProcessorModel(ES).time(phase(trip=8))
+        assert short.seconds > 2 * long.seconds
+
+    def test_cactus_avl_dependence(self):
+        """§5.2: AVL 248 domain far more efficient than AVL 92."""
+        big = ProcessorModel(ES).time(phase(trip=248))
+        small = ProcessorModel(ES).time(phase(trip=92))
+        assert big.avl == pytest.approx(248.0)
+        assert small.avl == pytest.approx(92.0)
+        assert small.seconds > big.seconds
+
+    def test_single_precision_speedup_on_x1(self):
+        dp = ProcessorModel(X1).time(phase(trip=4096, word_bytes=8))
+        sp = ProcessorModel(X1).time(phase(trip=4096, word_bytes=4))
+        assert dp.seconds == pytest.approx(2 * sp.seconds)
+
+    def test_zero_flops_free(self):
+        assert ProcessorModel(ES).time(phase(flops=0)).seconds == 0.0
+
+
+class TestAmdahlPenalties:
+    def test_unvectorized_es_runs_at_scalar_unit(self):
+        ct = ProcessorModel(ES).time(phase(trip=4096), vectorized=False)
+        assert ct.mode == "scalar"
+        assert ct.effective_gflops == pytest.approx(1.0)  # 1/8 of 8
+
+    def test_unvectorized_x1_pays_32x(self):
+        """§6.1: serialized code uses one SSP scalar core: 1/32 of MSP."""
+        ct = ProcessorModel(X1).time(phase(trip=4096), vectorized=False)
+        assert ct.mode == "serialized-scalar"
+        assert ct.effective_gflops == pytest.approx(X1.peak_gflops / 32)
+
+    def test_x1_penalty_worse_than_es(self):
+        es = ProcessorModel(ES).time(phase(trip=4096), vectorized=False)
+        x1 = ProcessorModel(X1).time(phase(trip=4096), vectorized=False)
+        rel_es = es.seconds / ProcessorModel(ES).time(phase(trip=4096)).seconds
+        rel_x1 = x1.seconds / ProcessorModel(X1).time(phase(trip=4096)).seconds
+        assert rel_x1 > rel_es
+
+    def test_vectorized_but_unstreamed_uses_one_ssp(self):
+        full = ProcessorModel(X1).time(phase(trip=4096))
+        nostream = ProcessorModel(X1).time(phase(trip=4096),
+                                           multistreamed=False)
+        assert nostream.mode == "vector-unstreamed"
+        assert nostream.seconds == pytest.approx(4 * full.seconds, rel=0.2)
+
+    def test_streaming_flag_irrelevant_on_es(self):
+        a = ProcessorModel(ES).time(phase(trip=4096))
+        b = ProcessorModel(ES).time(phase(trip=4096), multistreamed=False)
+        assert a.seconds == b.seconds
+
+
+class TestSuperscalar:
+    def test_ilp_efficiency_sets_rate(self):
+        ct = ProcessorModel(POWER3).time(phase())
+        assert ct.mode == "superscalar"
+        assert ct.effective_gflops == pytest.approx(
+            POWER3.peak_gflops * POWER3.ilp_efficiency)
+
+    def test_vector_flags_ignored(self):
+        a = ProcessorModel(ALTIX).time(phase(), vectorized=True)
+        b = ProcessorModel(ALTIX).time(phase(), vectorized=False)
+        assert a.seconds == b.seconds
+
+    @given(flops=st.floats(1.0, 1e15))
+    def test_time_linear_in_flops(self, flops):
+        pm = ProcessorModel(POWER3)
+        t1 = pm.time(phase(flops=flops)).seconds
+        t2 = pm.time(phase(flops=2 * flops)).seconds
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)

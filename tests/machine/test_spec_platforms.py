@@ -1,0 +1,132 @@
+"""Specs and platform instances: Table 1 fidelity and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import (
+    ALTIX,
+    ES,
+    PLATFORMS,
+    POWER3,
+    POWER4,
+    X1,
+    MachineSpec,
+    ScalarUnit,
+    Topology,
+    VectorUnit,
+    get_machine,
+)
+
+
+class TestTable1Fidelity:
+    """The spec constants must match Table 1 of the paper."""
+
+    @pytest.mark.parametrize(
+        "machine, cpus, clock, peak, membw, lat, netbw, bisect",
+        [
+            (POWER3, 16, 375, 1.5, 0.7, 16.3, 0.13, 0.087),
+            (POWER4, 32, 1300, 5.2, 2.3, 7.0, 0.25, 0.025),
+            (ALTIX, 2, 1500, 6.0, 6.4, 2.8, 0.40, 0.067),
+            (ES, 8, 500, 8.0, 32.0, 5.6, 1.5, 0.19),
+            (X1, 4, 800, 12.8, 34.1, 7.3, 6.3, 0.088),
+        ],
+    )
+    def test_row(self, machine, cpus, clock, peak, membw, lat, netbw,
+                 bisect):
+        assert machine.cpus_per_node == cpus
+        assert machine.clock_mhz == clock
+        assert machine.peak_gflops == peak
+        assert machine.mem_bw_gbs == membw
+        assert machine.mpi_latency_us == lat
+        assert machine.net_bw_gbs_per_cpu == netbw
+        assert machine.bisection_bytes_per_flop == bisect
+
+    @pytest.mark.parametrize(
+        "machine, ratio",
+        [(POWER3, 0.47), (POWER4, 0.44), (ALTIX, 1.1), (ES, 4.0),
+         (X1, 2.7)],
+    )
+    def test_bytes_per_flop_column(self, machine, ratio):
+        # Table 1 rounds to two figures (e.g. Altix 6.4/6.0 -> "1.1").
+        assert machine.bytes_per_flop == pytest.approx(ratio, rel=0.05)
+
+    def test_topologies(self):
+        assert POWER3.topology is Topology.OMEGA
+        assert POWER4.topology is Topology.FAT_TREE
+        assert ALTIX.topology is Topology.FAT_TREE
+        assert ES.topology is Topology.CROSSBAR
+        assert X1.topology is Topology.TORUS_2D
+
+    def test_vector_scalar_split(self):
+        assert ES.is_vector and X1.is_vector
+        assert not POWER3.is_vector and not POWER4.is_vector
+        assert not ALTIX.is_vector
+        # ES scalar unit is 1/8 of vector peak (§2.4).
+        assert ES.scalar.peak_gflops == pytest.approx(ES.peak_gflops / 8)
+        # X1 serialized scalar is 1/32 of MSP peak (§2.5).
+        eff = X1.scalar.peak_gflops / X1.scalar.multistream_serialization
+        assert eff == pytest.approx(X1.peak_gflops / 32)
+
+    def test_vector_lengths(self):
+        assert ES.vector.vector_length == 256
+        assert X1.vector.vector_length == 64
+
+    def test_es_is_most_balanced(self):
+        """§2: 'Overall the ES appears the most balanced system'."""
+        assert ES.bytes_per_flop == max(m.bytes_per_flop for m in PLATFORMS)
+        assert ES.bisection_bytes_per_flop == max(
+            m.bisection_bytes_per_flop for m in PLATFORMS)
+
+    def test_altix_best_superscalar_balance(self):
+        scalars = [m for m in PLATFORMS if not m.is_vector]
+        assert max(scalars, key=lambda m: m.bytes_per_flop) is ALTIX
+
+
+class TestLookupAndValidation:
+    def test_get_machine_case_insensitive(self):
+        assert get_machine("es") is ES
+        assert get_machine("X1") is X1
+        assert get_machine("power3") is POWER3
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("sx6")
+
+    def test_all_platforms_validate(self):
+        for m in PLATFORMS:
+            m.validate()
+
+    def _base(self, **over):
+        kw = dict(
+            name="t", cpus_per_node=1, clock_mhz=1.0, peak_gflops=1.0,
+            mem_bw_gbs=1.0, mpi_latency_us=1.0, net_bw_gbs_per_cpu=1.0,
+            bisection_bytes_per_flop=0.1, topology=Topology.FAT_TREE,
+            is_vector=False, scalar=ScalarUnit(1.0),
+        )
+        kw.update(over)
+        return MachineSpec(**kw)
+
+    def test_vector_flag_requires_unit(self):
+        with pytest.raises(ValueError, match="without VectorUnit"):
+            self._base(is_vector=True).validate()
+
+    def test_scalar_machine_with_vector_unit_rejected(self):
+        with pytest.raises(ValueError, match="scalar machine"):
+            self._base(vector=VectorUnit(64, 2)).validate()
+
+    def test_negative_peak_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(peak_gflops=-1.0).validate()
+
+    def test_scalar_faster_than_peak_rejected(self):
+        with pytest.raises(ValueError, match="faster than total peak"):
+            self._base(scalar=ScalarUnit(2.0)).validate()
+
+    def test_sustained_fraction_bounds(self):
+        with pytest.raises(ValueError, match="sustained_mem_fraction"):
+            self._base(sustained_mem_fraction=1.5).validate()
+
+    def test_specs_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ES.peak_gflops = 1.0

@@ -1,0 +1,154 @@
+"""Performance model: end-to-end prediction mechanics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import ALTIX, ES, PLATFORMS, POWER3, X1
+from repro.perf import (
+    AppProfile,
+    CommPhase,
+    PerformanceModel,
+    PhasePort,
+    PortingSpec,
+    WorkPhase,
+    predict_on,
+)
+
+
+def stream_profile(nprocs=64, intensity=1.5):
+    """An LBMHD-like streaming profile."""
+    flops = 1e9
+    return AppProfile(
+        "stream", "cfg", nprocs,
+        phases=[WorkPhase("sweep", flops=flops, words=flops / intensity,
+                          trip=1024)])
+
+
+class TestPredictionMechanics:
+    def test_memory_bound_phase_on_superscalar(self):
+        r = PerformanceModel(POWER3).predict(stream_profile())
+        pt = r.phase_times[0]
+        assert pt.bound == "memory"
+        assert r.pct_peak < 15
+
+    def test_vector_machine_much_faster_on_streams(self):
+        es = PerformanceModel(ES).predict(stream_profile())
+        p3 = PerformanceModel(POWER3).predict(stream_profile())
+        assert es.gflops_per_proc / p3.gflops_per_proc > 20
+
+    def test_gflops_accounting(self):
+        r = PerformanceModel(ES).predict(stream_profile())
+        assert r.gflops_per_proc == pytest.approx(
+            1e9 / r.seconds / 1e9)
+        assert r.total_gflops == pytest.approx(64 * r.gflops_per_proc)
+        assert r.pct_peak == pytest.approx(
+            100 * r.gflops_per_proc / ES.peak_gflops)
+
+    def test_baseline_flops_convention(self):
+        """Paper: Gflop/s = valid baseline flops / wall-clock."""
+        p = stream_profile()
+        p.baseline_flops = 0.5e9  # vector algorithm does 2x extra work
+        r = PerformanceModel(ES).predict(p)
+        assert r.gflops_per_proc == pytest.approx(0.5e9 / r.seconds / 1e9)
+
+    def test_avl_vor_reported_for_vector(self):
+        r = PerformanceModel(ES).predict(stream_profile())
+        assert r.vor == 1.0
+        assert r.avl == pytest.approx(256.0)
+        r2 = PerformanceModel(POWER3).predict(stream_profile())
+        assert r2.avl == 0.0 and r2.vor == 0.0
+
+    def test_comm_time_added(self):
+        p = stream_profile()
+        p.comms.append(CommPhase("halo", "p2p", messages=8,
+                                 bytes_total=1e6))
+        with_comm = PerformanceModel(ES).predict(p)
+        without = PerformanceModel(ES).predict(stream_profile())
+        assert with_comm.seconds > without.seconds
+        assert with_comm.comm_seconds > 0
+        assert with_comm.comm_fraction > 0
+        assert "halo" in with_comm.comm_times
+
+    @pytest.mark.parametrize("kind", ["p2p", "alltoall", "allreduce",
+                                      "bcast", "gather", "barrier"])
+    def test_all_comm_kinds_priced(self, kind):
+        p = stream_profile()
+        p.comms.append(CommPhase("c", kind, messages=2, bytes_total=1e5))
+        r = PerformanceModel(X1).predict(p)
+        assert r.comm_seconds > 0
+
+    def test_phase_seconds_lookup(self):
+        r = PerformanceModel(ES).predict(stream_profile())
+        assert r.phase_seconds("sweep") == r.compute_seconds
+        with pytest.raises(KeyError):
+            r.phase_seconds("nope")
+
+
+class TestPortingEffects:
+    def test_unvectorized_phase_dominates_on_x1(self):
+        """The paper's Amdahl story: small scalar phases blow up on X1."""
+        main = WorkPhase("main", flops=0.95e9, words=1e8, trip=1024)
+        bc = WorkPhase("boundary", flops=0.05e9, words=1e7, trip=64)
+        profile = AppProfile("amdahl", "cfg", 16, phases=[main, bc])
+        vec_everything = PerformanceModel(X1).predict(profile)
+
+        porting = PortingSpec("amdahl")
+        porting.set("X1", "boundary", PhasePort(vectorized=False))
+        with_scalar_bc = PerformanceModel(X1).predict(profile, porting)
+        assert with_scalar_bc.seconds > 2 * vec_everything.seconds
+        assert with_scalar_bc.vor < 1.0
+
+    def test_es_less_sensitive_than_x1_to_scalar_code(self):
+        main = WorkPhase("main", flops=0.9e9, words=1e8, trip=1024)
+        bc = WorkPhase("boundary", flops=0.1e9, words=1e7, trip=64)
+        profile = AppProfile("amdahl", "cfg", 16, phases=[main, bc])
+        porting = PortingSpec("amdahl")
+        porting.set("X1", "boundary", PhasePort(vectorized=False))
+        porting.set("ES", "boundary", PhasePort(vectorized=False))
+
+        def slowdown(machine):
+            base = PerformanceModel(machine).predict(profile)
+            hurt = PerformanceModel(machine).predict(profile, porting)
+            return hurt.seconds / base.seconds
+
+        assert slowdown(X1) > slowdown(ES) > 1.0
+
+    def test_replacement_phase(self):
+        p = stream_profile()
+        porting = PortingSpec("stream")
+        fat = WorkPhase("sweep", flops=2e9, words=2e9, trip=1024)
+        porting.set("ES", "sweep", PhasePort(replacement=fat))
+        base = PerformanceModel(ES).predict(stream_profile())
+        swapped = PerformanceModel(ES).predict(p, porting)
+        assert swapped.seconds > base.seconds
+
+    def test_without_removes_override(self):
+        porting = PortingSpec("a")
+        porting.set("ES", "x", PhasePort(vectorized=False))
+        stripped = porting.without("ES", "x")
+        assert stripped.port("ES", "x").vectorized is None
+        assert porting.port("ES", "x").vectorized is False  # original kept
+
+
+class TestSweeps:
+    def test_predict_on_skips_none(self):
+        def profile_for(m):
+            if m.name == "Altix":
+                return None
+            return stream_profile()
+
+        results = predict_on(list(PLATFORMS), profile_for)
+        names = [r.machine for r in results]
+        assert "Altix" not in names and len(names) == 4
+
+    @settings(max_examples=20)
+    @given(flops=st.floats(1e6, 1e12), words=st.floats(1e6, 1e12),
+           trip=st.integers(1, 65536))
+    def test_all_machines_positive_times(self, flops, words, trip):
+        p = AppProfile("x", "cfg", 4, phases=[
+            WorkPhase("w", flops=flops, words=words, trip=trip)])
+        for m in PLATFORMS:
+            r = PerformanceModel(m).predict(p)
+            assert r.seconds > 0
+            assert r.gflops_per_proc > 0
+            assert 0 <= r.vor <= 1

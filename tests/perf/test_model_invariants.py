@@ -1,0 +1,113 @@
+"""Property-based invariants of the performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import ES, PLATFORMS, POWER3, X1
+from repro.perf import (
+    AppProfile,
+    CommPhase,
+    PerformanceModel,
+    PhasePort,
+    PortingSpec,
+    WorkPhase,
+)
+
+phase_st = st.builds(
+    WorkPhase,
+    name=st.just("w"),
+    flops=st.floats(1e6, 1e13),
+    words=st.floats(1e6, 1e13),
+    trip=st.integers(1, 100000),
+    temporal_reuse=st.floats(0.0, 1.0),
+    working_set_bytes=st.floats(0.0, 1e8),
+    compute_efficiency=st.floats(0.05, 1.0),
+)
+
+
+def profile_of(phase, nprocs=16):
+    return AppProfile("p", "cfg", nprocs, phases=[phase])
+
+
+class TestInvariants:
+    @settings(max_examples=40)
+    @given(phase=phase_st)
+    def test_times_positive_everywhere(self, phase):
+        for m in PLATFORMS:
+            r = PerformanceModel(m).predict(profile_of(phase))
+            assert r.seconds > 0
+            assert 0 < r.pct_peak <= 100.0 + 1e-9
+
+    @settings(max_examples=30)
+    @given(phase=phase_st)
+    def test_never_exceeds_peak(self, phase):
+        for m in PLATFORMS:
+            r = PerformanceModel(m).predict(profile_of(phase))
+            assert r.gflops_per_proc <= m.peak_gflops * (1 + 1e-9)
+
+    @settings(max_examples=30)
+    @given(phase=phase_st, scale=st.floats(1.5, 10.0))
+    def test_monotone_in_work(self, phase, scale):
+        bigger = phase.scaled(scale)
+        for m in (POWER3, ES):
+            pm = PerformanceModel(m)
+            t1 = pm.predict(profile_of(phase)).seconds
+            t2 = pm.predict(profile_of(bigger)).seconds
+            assert t2 >= t1
+
+    @settings(max_examples=30)
+    @given(phase=phase_st.filter(lambda p: p.trip >= 8))
+    def test_unvectorizing_never_helps_vector_machines(self, phase):
+        """For any loop long enough that a compiler would vectorize it
+        (a trip-1 'vector' really is slower than scalar code)."""
+        porting = PortingSpec("p")
+        for name in ("ES", "X1"):
+            porting.set(name, "w", PhasePort(vectorized=False))
+        for m in (ES, X1):
+            pm = PerformanceModel(m)
+            fast = pm.predict(profile_of(phase))
+            slow = pm.predict(profile_of(phase), porting)
+            assert slow.seconds >= fast.seconds * (1 - 1e-12)
+            assert slow.vor <= fast.vor
+
+    @settings(max_examples=30)
+    @given(phase=phase_st, nbytes=st.floats(0.0, 1e9))
+    def test_comm_only_adds_time(self, phase, nbytes):
+        base = profile_of(phase)
+        with_comm = profile_of(phase)
+        with_comm.comms.append(CommPhase("c", "alltoall", 4.0, nbytes))
+        for m in (ES, X1):
+            pm = PerformanceModel(m)
+            assert pm.predict(with_comm).seconds >= \
+                pm.predict(base).seconds
+
+    @settings(max_examples=30)
+    @given(phase=phase_st)
+    def test_avl_within_hardware_bounds(self, phase):
+        for m in (ES, X1):
+            r = PerformanceModel(m).predict(profile_of(phase))
+            assert 0 < r.avl <= m.vector.vector_length
+
+    @settings(max_examples=20)
+    @given(phase=phase_st)
+    def test_longer_vectors_never_slower(self, phase):
+        # compare trip vs trip rounded up to a full register multiple
+        import dataclasses
+
+        m = ES
+        vl = m.vector.vector_length
+        full = dataclasses.replace(
+            phase, trip=max(vl, (phase.trip // vl + 1) * vl))
+        pm = PerformanceModel(m)
+        t_frag = pm.predict(profile_of(phase)).phase_times[0].flop_seconds
+        t_full = pm.predict(profile_of(full)).phase_times[0].flop_seconds
+        # per-flop compute time with full registers <= fragmented
+        assert t_full / full.flops <= t_frag / phase.flops * (1 + 1e-9)
+
+    def test_reported_flops_used_for_rate(self):
+        phase = WorkPhase("w", flops=2e9, words=1e8, trip=1024)
+        p = profile_of(phase)
+        p.baseline_flops = 1e9
+        r = PerformanceModel(ES).predict(p)
+        assert r.gflops_per_proc == pytest.approx(1e9 / r.seconds / 1e9)

@@ -1,0 +1,99 @@
+"""Report rendering and metric helpers."""
+
+import pytest
+
+from repro.machine import ES, POWER3
+from repro.perf import (
+    AppProfile,
+    PaperTable,
+    PerformanceModel,
+    WorkPhase,
+    parallel_efficiency,
+    pct_of_peak,
+    per_proc_speedup,
+    render_speedup_table,
+)
+
+
+def result(machine, nprocs=64, flops=1e9):
+    p = AppProfile("app", "cfg", nprocs, phases=[
+        WorkPhase("w", flops=flops, words=flops / 1.5, trip=512)])
+    return PerformanceModel(machine).predict(p)
+
+
+class TestMetrics:
+    def test_pct_of_peak(self):
+        assert pct_of_peak(4.0, 8.0) == 50.0
+        with pytest.raises(ValueError):
+            pct_of_peak(1.0, 0.0)
+
+    def test_per_proc_speedup(self):
+        es, p3 = result(ES), result(POWER3)
+        s = per_proc_speedup(es, p3)
+        assert s == pytest.approx(es.gflops_per_proc / p3.gflops_per_proc)
+        assert s > 1.0
+
+    def test_parallel_efficiency(self):
+        rs = [result(ES, nprocs=p) for p in (16, 64)]
+        eff = parallel_efficiency(rs)
+        assert eff[16] == 1.0
+        assert 0 < eff[64] <= 1.0 + 1e-9
+
+    def test_parallel_efficiency_empty(self):
+        assert parallel_efficiency([]) == {}
+
+
+class TestPaperTable:
+    def _table(self):
+        t = PaperTable("Table X", machines=[])
+        t.add(result(ES, nprocs=16))
+        t.add(result(ES, nprocs=64))
+        t.add(result(POWER3, nprocs=16))
+        return t
+
+    def test_add_and_cell(self):
+        t = self._table()
+        assert t.machines == ["ES", "Power3"]
+        assert t.cell("cfg", 16, "ES") is not None
+        assert t.cell("cfg", 64, "Power3") is None
+
+    def test_render_contains_rows(self):
+        text = self._table().render()
+        assert "Table X" in text
+        assert "16" in text and "64" in text
+        assert "—" in text  # the missing Power3 P=64 cell
+
+    def test_markdown(self):
+        md = self._table().to_markdown()
+        assert md.startswith("### Table X")
+        assert "| Config | P |" in md.replace("  ", " ")
+
+    def test_reference_comparison(self):
+        t = self._table()
+        es16 = t.cell("cfg", 16, "ES")
+        t.reference[("cfg", 16, "ES")] = (es16.gflops_per_proc, 50.0)
+        t.reference[("cfg", 64, "ES")] = (es16.gflops_per_proc * 100, 50.0)
+        errors = t.shape_errors(tol_factor=3.0)
+        assert len(errors) == 1
+        assert "P=64" in errors[0]
+
+    def test_reference_missing_model_cell_flagged(self):
+        t = self._table()
+        t.reference[("cfg", 256, "ES")] = (1.0, 10.0)
+        assert any("no model value" in e for e in t.shape_errors())
+
+    def test_custom_machine_label(self):
+        t = PaperTable("T", machines=[])
+        t.add(result(ES), machine_label="X1 (CAF)")
+        assert t.machines == ["X1 (CAF)"]
+        assert t.cell("cfg", 64, "X1 (CAF)") is not None
+
+
+class TestSpeedupTable:
+    def test_render(self):
+        text = render_speedup_table(
+            "Table 7", {"LBMHD": {"Power3": 30.6, "X1": 1.5},
+                        "GTC": {"Power3": 9.4}},
+            columns=["Power3", "X1"])
+        assert "30.6" in text and "9.4" in text
+        assert "—" in text  # missing GTC/X1 entry

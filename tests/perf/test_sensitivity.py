@@ -1,0 +1,134 @@
+"""Robustness of the headline findings to the calibrated constants."""
+
+import pytest
+
+from repro.apps import cactus, gtc, lbmhd, paratec
+from repro.machine import PLATFORMS
+from repro.perf.sensitivity import (
+    CALIBRATED_FIELDS,
+    Finding,
+    evaluate_finding,
+    perturbed,
+    sweep,
+)
+
+MACHINES = {m.name: m for m in PLATFORMS}
+
+
+class TestPerturbation:
+    def test_scalar_field(self):
+        es = MACHINES["ES"]
+        up = perturbed(es, "sustained_mem_fraction", 1.25)
+        assert up.sustained_mem_fraction == 1.0  # clamped
+        down = perturbed(es, "sustained_mem_fraction", 0.5)
+        assert down.sustained_mem_fraction == pytest.approx(0.475)
+
+    def test_vector_field(self):
+        es = MACHINES["ES"]
+        longer = perturbed(es, "half_length", 2.0, is_vector_field=True)
+        assert longer.vector.half_length == 28
+        assert es.vector.half_length == 14  # original untouched
+
+    def test_vector_field_on_scalar_machine_noop(self):
+        p3 = MACHINES["Power3"]
+        assert perturbed(p3, "half_length", 2.0,
+                         is_vector_field=True) is p3
+
+
+def _lbmhd_profile(machine):
+    return lbmhd.build_profile(lbmhd.LBMHDConfig(4096, 64))
+
+
+def _no_porting(machine):
+    return None
+
+
+class TestHeadlineFindingsRobust:
+    def test_vectors_dominate_lbmhd(self):
+        """'Vector machines >> superscalar on LBMHD' survives +-25%
+        perturbation of every calibrated constant."""
+        finding = Finding(
+            "vector dominance on LBMHD",
+            ("ES", "X1", "Power3", "Power4", "Altix"),
+            lambda r: min(r["ES"].gflops_per_proc,
+                          r["X1"].gflops_per_proc)
+            > 3 * max(r["Power3"].gflops_per_proc,
+                      r["Power4"].gflops_per_proc,
+                      r["Altix"].gflops_per_proc))
+        assert sweep(finding, _lbmhd_profile, _no_porting,
+                     MACHINES) == []
+
+    def test_es_beats_x1_pct_peak_lbmhd(self):
+        finding = Finding(
+            "ES %peak > X1 %peak (LBMHD)", ("ES", "X1"),
+            lambda r: r["ES"].pct_peak > r["X1"].pct_peak)
+        assert sweep(finding, _lbmhd_profile, _no_porting,
+                     MACHINES) == []
+
+    def test_gtc_x1_absolute_win(self):
+        cfg = gtc.GTCConfig(100, 32)
+
+        def profile_for(machine):
+            return gtc.build_profile(cfg)
+
+        def porting_for(machine):
+            return gtc.gtc_porting(cfg)
+
+        finding = Finding(
+            "X1 fastest absolute on GTC", ("ES", "X1"),
+            lambda r: r["X1"].gflops_per_proc > 0.9
+            * r["ES"].gflops_per_proc)
+        assert sweep(finding, profile_for, porting_for, MACHINES) == []
+
+    def test_paratec_x1_collapse(self):
+        def profile_for(machine):
+            return paratec.build_profile(paratec.ParatecConfig(686, 256))
+
+        def porting_for(machine):
+            return paratec.paratec_porting()
+
+        def profile_small(machine):
+            return paratec.build_profile(paratec.ParatecConfig(686, 64))
+
+        # Evaluate the drop ratio under perturbation of the X1 only.
+        def check(r):
+            return True
+
+        base = evaluate_finding(
+            Finding("x", ("X1",), lambda r: True), profile_for,
+            porting_for, MACHINES)
+        assert base
+        for field, is_vec in CALIBRATED_FIELDS:
+            for factor in (0.8, 1.25):
+                machines = dict(MACHINES)
+                machines["X1"] = perturbed(MACHINES["X1"], field,
+                                           factor, is_vector_field=is_vec)
+                from repro.perf import PerformanceModel
+                big = PerformanceModel(machines["X1"]).predict(
+                    profile_for(None), porting_for(None))
+                small = PerformanceModel(machines["X1"]).predict(
+                    profile_small(None), porting_for(None))
+                assert big.gflops_per_proc < 0.75 * \
+                    small.gflops_per_proc, (field, factor)
+
+    def test_cactus_grid_shape_effect(self):
+        def profile_for_big(machine):
+            return cactus.build_profile(
+                cactus.CactusConfig((250, 64, 64), 16))
+
+        cfg_big = cactus.CactusConfig((250, 64, 64), 16)
+        cfg_small = cactus.CactusConfig((80, 80, 80), 16)
+
+        from repro.perf import PerformanceModel
+        for field, is_vec in CALIBRATED_FIELDS:
+            for factor in (0.8, 1.25):
+                es = perturbed(MACHINES["ES"], field, factor,
+                               is_vector_field=is_vec)
+                big = PerformanceModel(es).predict(
+                    cactus.build_profile(cfg_big),
+                    cactus.cactus_porting(cfg_big))
+                small = PerformanceModel(es).predict(
+                    cactus.build_profile(cfg_small),
+                    cactus.cactus_porting(cfg_small))
+                assert big.gflops_per_proc > small.gflops_per_proc, \
+                    (field, factor)

@@ -1,0 +1,101 @@
+"""Work descriptors: validation, scaling, profile bookkeeping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.work import AccessPattern, AppProfile, CommPhase, WorkPhase
+
+
+class TestWorkPhase:
+    def test_intensity(self):
+        p = WorkPhase("w", flops=150, words=100)
+        assert p.intensity == 1.5
+
+    def test_intensity_compute_only(self):
+        assert WorkPhase("w", flops=1, words=0).intensity == float("inf")
+
+    def test_scaled(self):
+        p = WorkPhase("w", flops=100, words=50, trip=128)
+        q = p.scaled(4.0, trip_factor=2.0)
+        assert (q.flops, q.words, q.trip) == (400, 200, 256)
+        assert p.flops == 100  # original untouched
+
+    def test_scaled_validates(self):
+        with pytest.raises(ValueError):
+            WorkPhase("w", flops=1, words=1).scaled(-1.0)
+
+    @pytest.mark.parametrize("kw", [
+        {"flops": -1, "words": 0},
+        {"flops": 0, "words": -1},
+        {"flops": 0, "words": 0, "temporal_reuse": 1.5},
+        {"flops": 0, "words": 0, "bank_conflict": 1.0},
+        {"flops": 0, "words": 0, "trip": 0},
+    ])
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            WorkPhase("w", **kw)
+
+    @given(f=st.floats(0, 1e12), s=st.floats(0.01, 100.0))
+    def test_scaling_property(self, f, s):
+        p = WorkPhase("w", flops=f, words=f / 2 + 1)
+        q = p.scaled(s)
+        assert q.flops == pytest.approx(f * s)
+        assert q.intensity == pytest.approx(p.intensity, rel=1e-9)
+
+
+class TestCommPhase:
+    def test_valid_kinds(self):
+        for kind in ("p2p", "alltoall", "allreduce", "bcast", "gather"):
+            CommPhase("c", kind, 1, 100)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown comm kind"):
+            CommPhase("c", "scatterv", 1, 100)
+
+    def test_scaled(self):
+        c = CommPhase("c", "p2p", messages=4, bytes_total=100)
+        d = c.scaled(2.0, 3.0)
+        assert (d.messages, d.bytes_total) == (8, 300)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CommPhase("c", "p2p", -1, 0)
+
+
+class TestAppProfile:
+    def _profile(self):
+        return AppProfile(
+            "app", "cfg", 16,
+            phases=[WorkPhase("a", flops=100, words=10),
+                    WorkPhase("b", flops=50, words=20)],
+            comms=[CommPhase("halo", "p2p", 4, 1000)])
+
+    def test_totals(self):
+        p = self._profile()
+        assert p.total_flops == 150
+        assert p.total_words == 30
+        assert p.reported_flops == 150
+
+    def test_baseline_flops_override(self):
+        p = self._profile()
+        p.baseline_flops = 120
+        assert p.reported_flops == 120
+        assert p.total_flops == 150
+
+    def test_phase_lookup(self):
+        p = self._profile()
+        assert p.phase("a").flops == 100
+        with pytest.raises(KeyError):
+            p.phase("zz")
+
+    def test_duplicate_names_rejected(self):
+        p = self._profile()
+        p.phases.append(WorkPhase("a", flops=1, words=1))
+        with pytest.raises(ValueError, match="duplicate"):
+            p.validate()
+
+    def test_bad_nprocs(self):
+        p = self._profile()
+        p.nprocs = 0
+        with pytest.raises(ValueError):
+            p.validate()

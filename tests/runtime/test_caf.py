@@ -1,0 +1,102 @@
+"""CoArray one-sided layer: CAF semantics and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CoArray, ParallelJob, Transport
+
+
+class TestCoArray:
+    def test_put_visible_after_sync(self):
+        def prog(comm):
+            ca = CoArray(comm, (4,))
+            ca.local[:] = comm.rank
+            ca.sync()
+            right = (comm.rank + 1) % comm.size
+            ca.put(right, slice(0, 1), float(comm.rank + 100))
+            ca.sync()
+            return float(ca.local[0])
+
+        out = ParallelJob(4).run(prog)
+        assert out == [103.0, 100.0, 101.0, 102.0]
+
+    def test_get_reads_remote_image(self):
+        def prog(comm):
+            ca = CoArray(comm, (3,))
+            ca.local[:] = comm.rank * 10
+            ca.sync()
+            other = (comm.rank + 1) % comm.size
+            return ca.get(other, slice(None)).tolist()
+
+        out = ParallelJob(3).run(prog)
+        assert out[0] == [10.0, 10.0, 10.0]
+        assert out[2] == [0.0, 0.0, 0.0]
+
+    def test_get_returns_copy(self):
+        def prog(comm):
+            ca = CoArray(comm, (2,))
+            ca.local[:] = comm.rank
+            ca.sync()
+            got = ca.get((comm.rank + 1) % comm.size, slice(None))
+            got[:] = -99.0
+            ca.sync()
+            return float(ca.local[0])
+
+        out = ParallelJob(2).run(prog)
+        assert out == [0.0, 1.0]
+
+    def test_traffic_recorded_as_onesided(self):
+        tr = Transport(2)
+
+        def prog(comm):
+            ca = CoArray(comm, (8,))
+            ca.sync()
+            if comm.rank == 0:
+                ca.put(1, slice(0, 4), np.ones(4))
+            ca.sync()
+
+        ParallelJob(2, transport=tr).run(prog)
+        assert tr.total_bytes(onesided=True) == 32
+        assert tr.total_bytes(onesided=False) == 0
+
+    def test_local_indexing(self):
+        def prog(comm):
+            ca = CoArray(comm, (2, 2))
+            ca[0, 1] = 5.0
+            return float(ca[0, 1])
+
+        assert ParallelJob(2).run(prog) == [5.0, 5.0]
+
+    def test_shape_dtype(self):
+        def prog(comm):
+            ca = CoArray(comm, (3, 4), dtype=np.float32)
+            return (ca.shape, ca.dtype == np.float32)
+
+        assert ParallelJob(2).run(prog) == [((3, 4), True)] * 2
+
+    def test_caf_vs_mpi_message_granularity(self):
+        """CAF moves the same bytes in more, smaller messages (§3.2)."""
+        tr_mpi, tr_caf = Transport(2), Transport(2)
+        rows = 16
+
+        def mpi_prog(comm):
+            # MPI path: pack 16 rows into one buffer, one message.
+            buf = np.zeros((rows, 4))
+            if comm.rank == 0:
+                comm.send(buf, dest=1)
+            else:
+                comm.recv(source=0)
+
+        def caf_prog(comm):
+            # CAF path: 16 direct row puts, no packing.
+            ca = CoArray(comm, (rows, 4))
+            ca.sync()
+            if comm.rank == 0:
+                for i in range(rows):
+                    ca.put(1, (i, slice(None)), np.zeros(4))
+            ca.sync()
+
+        ParallelJob(2, transport=tr_mpi).run(mpi_prog)
+        ParallelJob(2, transport=tr_caf).run(caf_prog)
+        assert tr_caf.total_bytes(onesided=True) == tr_mpi.total_bytes()
+        assert tr_caf.message_count() > tr_mpi.message_count()

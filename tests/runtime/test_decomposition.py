@@ -1,0 +1,179 @@
+"""Decompositions: exact tiling, neighbours, PARATEC load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    Block1D,
+    BlockND,
+    ProcessorGrid,
+    balance_columns,
+    factor_grid,
+    split_extent,
+)
+
+
+class TestFactorGrid:
+    def test_known_factorizations(self):
+        assert factor_grid(64, 2) == (8, 8)
+        assert factor_grid(16, 2) == (4, 4)
+        assert factor_grid(1024, 2) == (32, 32)
+        assert factor_grid(16, 3) == (4, 2, 2)
+        assert factor_grid(7, 2) == (7, 1)
+
+    @given(n=st.integers(1, 4096), d=st.integers(1, 4))
+    def test_product_preserved(self, n, d):
+        dims = factor_grid(n, d)
+        assert int(np.prod(dims)) == n
+        assert len(dims) == d
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            factor_grid(0, 2)
+
+
+class TestSplitExtent:
+    def test_even_split(self):
+        assert split_extent(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread(self):
+        assert split_extent(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    @given(n=st.integers(1, 10000), p=st.integers(1, 64))
+    def test_partition_property(self, n, p):
+        if n < p:
+            with pytest.raises(ValueError):
+                split_extent(n, p)
+            return
+        parts = split_extent(n, p)
+        assert parts[0][0] == 0 and parts[-1][1] == n
+        sizes = [b - a for a, b in parts]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        for (a1, b1), (a2, _) in zip(parts, parts[1:]):
+            assert b1 == a2
+
+
+class TestProcessorGrid:
+    def test_coords_rank_roundtrip(self):
+        g = ProcessorGrid((4, 8))
+        for r in range(32):
+            assert g.rank(g.coords(r)) == r
+
+    def test_periodic_neighbors(self):
+        g = ProcessorGrid((4, 4))
+        assert g.neighbor(0, axis=0, step=-1) == g.rank((3, 0))
+        assert g.neighbor(15, axis=1, step=1) == g.rank((3, 0))
+
+    def test_walls_without_periodicity(self):
+        g = ProcessorGrid((2, 2), periodic=False)
+        assert g.neighbor(0, axis=0, step=-1) is None
+        assert g.neighbor(0, axis=1, step=1) == 1
+
+    def test_for_nprocs(self):
+        g = ProcessorGrid.for_nprocs(64, 2)
+        assert g.dims == (8, 8)
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid((2, 2)).coords(4)
+
+
+class TestBlockND:
+    def test_local_shapes_2d(self):
+        d = BlockND(ProcessorGrid((2, 2)), (64, 64))
+        assert all(d.local_shape(r) == (32, 32) for r in range(4))
+
+    def test_tiles_exactly_2d(self):
+        d = BlockND(ProcessorGrid((3, 2)), (17, 9))
+        assert d.tile_exactly()
+
+    def test_tiles_exactly_3d(self):
+        d = BlockND(ProcessorGrid((2, 3, 2)), (8, 9, 10))
+        assert d.tile_exactly()
+
+    @settings(max_examples=25)
+    @given(px=st.integers(1, 4), py=st.integers(1, 4),
+           nx=st.integers(4, 40), ny=st.integers(4, 40))
+    def test_tiling_property(self, px, py, nx, ny):
+        d = BlockND(ProcessorGrid((px, py)), (nx, ny))
+        assert d.tile_exactly()
+
+    def test_owner(self):
+        d = BlockND(ProcessorGrid((2, 2)), (8, 8))
+        assert d.owner((0, 0)) == 0
+        assert d.owner((7, 7)) == 3
+        assert d.owner((0, 7)) == 1
+
+    def test_owner_bounds_consistent(self):
+        d = BlockND(ProcessorGrid((3, 2)), (11, 7))
+        for r in range(6):
+            (x0, x1), (y0, y1) = d.bounds(r)
+            assert d.owner((x0, y0)) == r
+            assert d.owner((x1 - 1, y1 - 1)) == r
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError):
+            BlockND(ProcessorGrid((2, 2)), (8,))
+
+    def test_too_small_extent_rejected(self):
+        with pytest.raises(ValueError):
+            BlockND(ProcessorGrid((4, 1)), (2, 8))
+
+
+class TestBlock1D:
+    def test_gtc_domain_limit(self):
+        """§6.1: grid decomposition limited to 64 subdomains."""
+        Block1D(64, 640)
+        with pytest.raises(ValueError, match="64"):
+            Block1D(65, 1024)
+
+    def test_ring_neighbors(self):
+        d = Block1D(8, 64)
+        assert d.left(0) == 7
+        assert d.right(7) == 0
+
+    def test_owner(self):
+        d = Block1D(4, 16)
+        assert d.owner(0) == 0
+        assert d.owner(15) == 3
+
+
+class TestBalanceColumns:
+    def test_figure4_three_processor_example(self):
+        lengths = np.array([5, 4, 4, 3, 3, 2, 2, 1, 1])
+        assignment, loads = balance_columns(lengths, 3)
+        assert loads.sum() == lengths.sum()
+        assert loads.max() - loads.min() <= 1
+
+    def test_greedy_descending_rule(self):
+        # Longest column goes to proc 0, next to proc 1, etc.
+        assignment, _ = balance_columns(np.array([1, 9, 5]), 3)
+        assert assignment[1] == 0
+        assert assignment[2] == 1
+        assert assignment[0] == 2
+
+    def test_single_processor(self):
+        assignment, loads = balance_columns(np.array([3, 1, 2]), 1)
+        assert (assignment == 0).all()
+        assert loads[0] == 6
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200),
+           st.integers(1, 16))
+    def test_balance_quality_property(self, lengths, nprocs):
+        lengths = np.array(lengths)
+        assignment, loads = balance_columns(lengths, nprocs)
+        assert loads.sum() == lengths.sum()
+        # LPT bound: max load <= mean + longest column.
+        if lengths.sum() > 0:
+            assert loads.max() <= lengths.sum() / nprocs + lengths.max()
+        # Assignment consistent with loads.
+        recomputed = np.zeros(nprocs, dtype=np.int64)
+        for c, p in enumerate(assignment):
+            recomputed[p] += lengths[c]
+        assert (recomputed == loads).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            balance_columns(np.array([-1, 2]), 2)

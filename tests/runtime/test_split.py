@@ -1,0 +1,91 @@
+"""Sub-communicators (MPI_Comm_split semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ParallelJob, Transport
+
+
+class TestSplit:
+    def test_groups_by_color(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            return (sub.rank, sub.size)
+
+        out = ParallelJob(6).run(prog)
+        assert all(size == 3 for _, size in out)
+        assert sorted(r for r, _ in out[::2]) == [0, 1, 2]
+
+    def test_subgroup_allreduce(self):
+        def prog(comm):
+            sub = comm.split(comm.rank // 3)
+            return sub.allreduce(comm.rank)
+
+        out = ParallelJob(6).run(prog)
+        assert out[:3] == [3, 3, 3]      # 0+1+2
+        assert out[3:] == [12, 12, 12]   # 3+4+5
+
+    def test_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        out = ParallelJob(4).run(prog)
+        assert out == [3, 2, 1, 0]
+
+    def test_subgroup_p2p_translates_ranks(self):
+        """Sub-communicator sends reach the right global ranks."""
+        tr = Transport(4)
+
+        def prog(comm):
+            sub = comm.split(comm.rank // 2)
+            peer = 1 - sub.rank
+            return sub.sendrecv(comm.rank, dest=peer, source=peer)
+
+        out = ParallelJob(4, transport=tr).run(prog)
+        assert out == [1, 0, 3, 2]
+        pairs = {(m.src, m.dst) for m in tr.messages}
+        assert pairs == {(0, 1), (1, 0), (2, 3), (3, 2)}
+
+    def test_subgroup_arrays(self):
+        def prog(comm):
+            sub = comm.split(0)
+            return sub.allreduce(np.full(2, float(comm.rank)))
+
+        out = ParallelJob(3).run(prog)
+        np.testing.assert_array_equal(out[0], [3.0, 3.0])
+
+    def test_singleton_groups(self):
+        def prog(comm):
+            sub = comm.split(comm.rank)  # everyone alone
+            return (sub.size, sub.allreduce(comm.rank * 7))
+
+        out = ParallelJob(3).run(prog)
+        assert out == [(1, 0), (1, 7), (1, 14)]
+
+    def test_bcast_within_group(self):
+        def prog(comm):
+            sub = comm.split(comm.rank // 2)
+            return sub.bcast(comm.rank if sub.rank == 0 else None)
+
+        out = ParallelJob(4).run(prog)
+        assert out == [0, 0, 2, 2]
+
+    def test_nested_split_unsupported(self):
+        def prog(comm):
+            sub = comm.split(0)
+            with pytest.raises(NotImplementedError):
+                sub.split(0)
+            return True
+
+        assert all(ParallelJob(2).run(prog))
+
+    def test_repeated_splits(self):
+        """Splitting twice in a row must not deadlock or cross wires."""
+        def prog(comm):
+            a = comm.split(comm.rank % 2)
+            b = comm.split(comm.rank // 2)
+            return (a.allreduce(1), b.allreduce(1))
+
+        out = ParallelJob(4).run(prog)
+        assert out == [(2, 2)] * 4

@@ -1,0 +1,91 @@
+"""Transport accounting: every byte moved is recorded."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ParallelJob, Transport
+
+
+class TestAccounting:
+    def test_message_records(self):
+        tr = Transport(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), dest=1)
+            else:
+                comm.recv(source=0)
+
+        ParallelJob(2, transport=tr).run(prog)
+        assert tr.message_count() == 1
+        assert tr.total_bytes() == 800
+        rec = tr.messages[0]
+        assert (rec.src, rec.dst, rec.onesided) == (0, 1, False)
+
+    def test_collective_records(self):
+        tr = Transport(4)
+        ParallelJob(4, transport=tr).run(lambda c: c.allreduce(1.0))
+        kinds = [c.kind for c in tr.collectives]
+        assert kinds.count("allreduce") == 4  # one record per rank call
+
+    def test_per_rank_traffic(self):
+        tr = Transport(3)
+
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            comm.sendrecv(np.zeros(comm.rank + 1), dest=right,
+                          source=(comm.rank - 1) % comm.size)
+
+        ParallelJob(3, transport=tr).run(prog)
+        traffic = tr.per_rank_traffic()
+        assert traffic[0].nbytes == 8
+        assert traffic[2].nbytes == 24
+        assert all(t.messages == 1 for t in traffic.values())
+
+    def test_undelivered_zero_after_clean_run(self):
+        tr = Transport(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+            else:
+                comm.recv(source=0)
+
+        ParallelJob(2, transport=tr).run(prog)
+        assert tr.undelivered() == 0
+
+    def test_undelivered_counts_orphans(self):
+        tr = Transport(2)
+        ParallelJob(2, transport=tr).run(
+            lambda c: c.send(1, dest=1 - c.rank))
+        assert tr.undelivered() == 2
+
+    def test_recording_can_pause(self):
+        tr = Transport(2)
+        tr.recording = False
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)
+            else:
+                comm.recv(source=0)
+
+        ParallelJob(2, transport=tr).run(prog)
+        assert tr.message_count() == 0
+
+    def test_rank_range_checked(self):
+        tr = Transport(2)
+        with pytest.raises(ValueError, match="out of range"):
+            tr.post(0, 5, 0, None, 0)
+
+    def test_recv_timeout(self):
+        tr = Transport(1)
+        with pytest.raises(TimeoutError):
+            tr.fetch(0, 0, 0, timeout=0.05)
+
+    def test_onesided_separated_in_totals(self):
+        tr = Transport(2)
+        tr.record_onesided(0, 1, 64)
+        assert tr.total_bytes(onesided=True) == 64
+        assert tr.total_bytes(onesided=False) == 0
+        assert tr.message_count() == 1

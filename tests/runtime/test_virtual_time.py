@@ -1,0 +1,55 @@
+"""Virtual clocks: BSP critical-path semantics."""
+
+import pytest
+
+from repro.runtime import VirtualClocks
+
+
+class TestVirtualClocks:
+    def test_advance_and_read(self):
+        vc = VirtualClocks(2)
+        vc.advance(0, 1.5)
+        assert vc.time(0) == 1.5
+        assert vc.time(1) == 0.0
+
+    def test_synchronize_jumps_to_max(self):
+        vc = VirtualClocks(3)
+        vc.advance(0, 1.0)
+        vc.advance(1, 5.0)
+        t = vc.synchronize()
+        assert t == 5.0
+        assert all(vc.time(r) == 5.0 for r in range(3))
+
+    def test_synchronize_subset(self):
+        vc = VirtualClocks(4)
+        vc.advance(0, 2.0)
+        vc.advance(3, 9.0)
+        vc.synchronize([0, 1])
+        assert vc.time(0) == vc.time(1) == 2.0
+        assert vc.time(3) == 9.0
+
+    def test_barrier_overhead(self):
+        vc = VirtualClocks(2)
+        vc.advance(0, 1.0)
+        assert vc.synchronize(overhead=0.25) == 1.25
+
+    def test_makespan_and_imbalance(self):
+        vc = VirtualClocks(4)
+        for r in range(4):
+            vc.advance(r, float(r + 1))
+        assert vc.makespan == 4.0
+        assert vc.imbalance == pytest.approx(4.0 / 2.5)
+
+    def test_balanced_imbalance_is_one(self):
+        vc = VirtualClocks(3)
+        assert vc.imbalance == 1.0
+        for r in range(3):
+            vc.advance(r, 2.0)
+        assert vc.imbalance == 1.0
+
+    def test_negative_rejected(self):
+        vc = VirtualClocks(1)
+        with pytest.raises(ValueError):
+            vc.advance(0, -1.0)
+        with pytest.raises(ValueError):
+            vc.synchronize(overhead=-0.1)

@@ -1,0 +1,40 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Power3" in out and "2d-torus" in out
+
+    @pytest.mark.parametrize("n", ["1", "2", "6", "7", "9"])
+    def test_single_tables(self, n, capsys):
+        assert main(["table", n]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_table_range_checked(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table", "8"])
+
+    def test_bands(self, capsys):
+        assert main(["bands", "--ecut", "5.0", "--points", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "indirect gap" in out
+
+    def test_amr(self, capsys):
+        assert main(["amr", "--size", "32", "--steps", "2"]) == 0
+        assert "retained" in capsys.readouterr().out
+
+    def test_apps_validation(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") == 4
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
