@@ -15,7 +15,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...runtime import BlockND, Comm, ParallelJob, ProcessorGrid, Transport
+from ...resilience.checkpoint import Checkpointer
+from ...resilience.supervisor import ResilientJob
+from ...runtime import (
+    BlockND,
+    Comm,
+    FaultInjector,
+    ParallelJob,
+    ProcessorGrid,
+    Transport,
+)
 from .solver import CactusSolver
 from .stencils import extend
 
@@ -81,9 +90,20 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                  spacing: float | tuple[float, float, float] = 0.1,
                  dt: float | None = None, gauge: str = "harmonic",
                  integrator: str = "icn", order: int = 2,
-                 transport: Transport | None = None
+                 transport: Transport | None = None,
+                 injector: FaultInjector | None = None,
+                 checkpoint: Checkpointer | None = None,
+                 checkpoint_every: int = 0,
+                 max_restarts: int = 2
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha)."""
+    """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha).
+
+    ``injector``/``checkpoint``/``checkpoint_every``/``max_restarts``
+    enable fault injection and checkpoint/restart: each rank saves its
+    ADM state (and leapfrog history, when present) every
+    ``checkpoint_every`` steps, and a supervised restart after a planned
+    rank crash resumes from the last consistent checkpoint.
+    """
     shape = gamma.shape[2:]
     grid = ProcessorGrid.for_nprocs(nprocs, 3)
     decomp = BlockND(grid, shape)
@@ -92,11 +112,44 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
         solver = _RankCactus(comm, decomp, gamma, K, alpha,
                              spacing=spacing, dt=dt, gauge=gauge,
                              integrator=integrator, order=order)
-        with comm.phase("evolve"):
-            solver.step(nsteps)
+        start_step = 0
+        if checkpoint is not None:
+            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+                                if comm.rank == 0 else None)
+            if latest is not None:
+                data = checkpoint.load(latest, comm.rank)
+                solver.gamma[...] = data["gamma"]
+                solver.K[...] = data["K"]
+                solver.alpha[...] = data["alpha"]
+                solver.time = float(data["time"][()])
+                solver.step_count = latest
+                if "prev_gamma" in data:
+                    solver._prev_state = (data["prev_gamma"],
+                                          data["prev_K"],
+                                          data["prev_alpha"])
+                start_step = latest
+        for step_index in range(start_step, nsteps):
+            if injector is not None:
+                injector.tick(comm.rank, step_index)
+            with comm.phase("evolve"):
+                solver.step(1)
+            if (checkpoint is not None and checkpoint_every > 0
+                    and (step_index + 1) % checkpoint_every == 0):
+                state = dict(gamma=solver.gamma, K=solver.K,
+                             alpha=solver.alpha,
+                             time=np.float64(solver.time))
+                if solver._prev_state is not None:
+                    prev_g, prev_K, prev_a = solver._prev_state
+                    state.update(prev_gamma=prev_g, prev_K=prev_K,
+                                 prev_alpha=prev_a)
+                checkpoint.save(step_index + 1, comm.rank, **state)
         return solver.bounds, solver.gamma, solver.K, solver.alpha
 
-    results = ParallelJob(nprocs, transport=transport).run(rank_main)
+    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    if injector is not None or checkpoint is not None:
+        results = ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    else:
+        results = job.run(rank_main)
     gamma_out = np.empty_like(gamma)
     K_out = np.empty_like(K)
     alpha_out = np.empty_like(alpha)

@@ -17,7 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...runtime import Block1D, Comm, ParallelJob, Transport
+from ...resilience.checkpoint import Checkpointer
+from ...resilience.supervisor import ResilientJob
+from ...runtime import Block1D, Comm, FaultInjector, ParallelJob, Transport
 from .grid import TorusGeometry
 from .particles import ParticleArray
 from .shift import shift_particles
@@ -38,12 +40,21 @@ class GTCRankResult:
 def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                  nprocs: int, nsteps: int, dt: float = 0.05,
                  alpha: float = 1.0, depositor: str = "classic",
-                 transport: Transport | None = None) -> list[GTCRankResult]:
+                 transport: Transport | None = None,
+                 injector: FaultInjector | None = None,
+                 checkpoint: Checkpointer | None = None,
+                 checkpoint_every: int = 0,
+                 max_restarts: int = 2) -> list[GTCRankResult]:
     """Run GTC on ``nprocs`` ranks; returns per-rank results.
 
     ``geometry.nplanes`` must be divisible by ``nprocs`` and ``nprocs``
     respects GTC's 64-domain decomposition limit (via
     :class:`~repro.runtime.decomposition.Block1D`).
+
+    Resilience: checkpoints save each rank's particle population (the
+    fields are recomputed from the particles every step); a supervised
+    restart after an injected rank crash resumes from the last
+    consistent checkpoint and matches the uninterrupted run.
     """
     if geometry.nplanes % nprocs:
         raise ValueError("nplanes must be divisible by nprocs")
@@ -63,7 +74,21 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                           depositor=depositor, charge_scale=charge_scale,
                           plane_range=(rank * planes_per_rank,
                                        planes_per_rank))
-        for _ in range(nsteps):
+        start_step = 0
+        if checkpoint is not None:
+            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+                                if comm.rank == 0 else None)
+            if latest is not None:
+                data = checkpoint.load(latest, comm.rank)
+                local.particles = ParticleArray(
+                    r=data["r"], theta=data["theta"], zeta=data["zeta"],
+                    v_par=data["v_par"], mu=data["mu"], w=data["w"],
+                    tag=data["tag"])
+                local.step_count = latest
+                start_step = latest
+        for step_index in range(start_step, nsteps):
+            if injector is not None:
+                injector.tick(comm.rank, step_index)
             with comm.phase("charge"):
                 local.charge_deposition()
             with comm.phase("poisson"):
@@ -74,6 +99,12 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                 merged, _ = shift_particles(comm, geometry,
                                             local.particles, rank, nprocs)
                 local.particles = merged
+            if (checkpoint is not None and checkpoint_every > 0
+                    and (step_index + 1) % checkpoint_every == 0):
+                p = local.particles
+                checkpoint.save(step_index + 1, comm.rank,
+                                r=p.r, theta=p.theta, zeta=p.zeta,
+                                v_par=p.v_par, mu=p.mu, w=p.w, tag=p.tag)
         diag = local.diagnostics()
         return GTCRankResult(
             domain=rank,
@@ -85,7 +116,10 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
             tags=np.sort(local.particles.tag.copy()),
         )
 
-    return ParallelJob(nprocs, transport=transport).run(rank_main)
+    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    if injector is not None or checkpoint is not None:
+        return ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    return job.run(rank_main)
 
 
 def assemble_phi(results: list[GTCRankResult]) -> list[np.ndarray]:

@@ -22,7 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...runtime import BlockND, CoArray, Comm, ParallelJob, ProcessorGrid, Transport
+from ...resilience.checkpoint import Checkpointer
+from ...resilience.supervisor import ResilientJob
+from ...runtime import (
+    BlockND,
+    CoArray,
+    Comm,
+    FaultInjector,
+    ParallelJob,
+    ProcessorGrid,
+    Transport,
+)
 from .collision import collide
 from .equilibrium import f_equilibrium, g_equilibrium, moments
 from .lattice import _CUBIC_NODES, D2Q9, Lattice, lagrange_weights
@@ -210,13 +220,25 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  nprocs: int, nsteps: int, lattice: Lattice = D2Q9,
                  tau: float = 0.8, tau_m: float = 0.8,
                  use_caf: bool = False,
-                 transport: Transport | None = None
+                 transport: Transport | None = None,
+                 injector: FaultInjector | None = None,
+                 checkpoint: Checkpointer | None = None,
+                 checkpoint_every: int = 0,
+                 max_restarts: int = 2
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run LBMHD on ``nprocs`` simulated ranks; returns global (rho, u, B).
 
     The processor grid is the near-square factorization of ``nprocs``
     (the paper restricts to squared integers to maximize performance; any
     count works here).
+
+    Resilience: ``injector`` enables fault injection (message faults are
+    survived by the transport's retry path; a planned rank crash aborts
+    the job and triggers a supervised restart, up to ``max_restarts``
+    times).  With ``checkpoint`` set and ``checkpoint_every > 0``, every
+    rank saves its extended distributions each ``checkpoint_every``
+    steps, and a (re)started job resumes from the last consistent
+    checkpoint — bit-identical to an uninterrupted run.
     """
     grid = ProcessorGrid.for_nprocs(nprocs, 2)
     decomp = BlockND(grid, rho.shape)
@@ -225,7 +247,18 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         state = _RankState(comm, decomp, lattice, rho, u, B, tau, tau_m)
         images = _CafImages(state) if use_caf else None
         inter = state.interior
-        for _ in range(nsteps):
+        start_step = 0
+        if checkpoint is not None:
+            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+                                if comm.rank == 0 else None)
+            if latest is not None:
+                data = checkpoint.load(latest, comm.rank)
+                state.f[...] = data["f"]
+                state.g[...] = data["g"]
+                start_step = latest
+        for step_index in range(start_step, nsteps):
+            if injector is not None:
+                injector.tick(comm.rank, step_index)
             with comm.phase("collision"):
                 f_i, g_i = collide(state.f[(Ellipsis,) + inter],
                                    state.g[(Ellipsis,) + inter],
@@ -242,6 +275,10 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                 g_s = stream_extended(state.g, lattice, state.h)
                 state.f[(Ellipsis,) + inter] = f_s
                 state.g[(Ellipsis,) + inter] = g_s
+            if (checkpoint is not None and checkpoint_every > 0
+                    and (step_index + 1) % checkpoint_every == 0):
+                checkpoint.save(step_index + 1, comm.rank,
+                                f=state.f, g=state.g)
         rho_l, u_l, B_l = moments(state.f[(Ellipsis,) + inter],
                                   state.g[(Ellipsis,) + inter], lattice)
         mass = comm.allreduce(float(rho_l.sum()))
@@ -250,8 +287,11 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
             + 0.5 * (B_l ** 2).sum()))
         return RankResult(state.bounds, rho_l, u_l, B_l, mass, energy)
 
-    job = ParallelJob(nprocs, transport=transport)
-    results = job.run(rank_main)
+    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    if injector is not None or checkpoint is not None:
+        results = ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    else:
+        results = job.run(rank_main)
 
     rho_out = np.empty_like(rho)
     u_out = np.empty_like(u)

@@ -17,7 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...runtime import Comm, ParallelJob, Transport
+from ...resilience.checkpoint import Checkpointer
+from ...resilience.supervisor import ResilientJob
+from ...runtime import Comm, FaultInjector, ParallelJob, Transport
 from .basis import PlaneWaveBasis
 from .cg import random_bands
 from .fft3d import ParallelFFT3D, SphereLayout
@@ -144,12 +146,22 @@ class ParallelBandsResult:
 def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                          nprocs: int, n_outer: int = 3, n_inner: int = 4,
                          seed: int = 0,
-                         transport: Transport | None = None
+                         transport: Transport | None = None,
+                         injector: FaultInjector | None = None,
+                         checkpoint: Checkpointer | None = None,
+                         checkpoint_every: int = 0,
+                         max_restarts: int = 2
                          ) -> ParallelBandsResult:
     """Distributed all-band CG for the ionic Hamiltonian.
 
     Starts from the same deterministic random bands as the serial path
     (scattered by column ownership) so results are directly comparable.
+
+    Resilience: checkpoint granularity is one *outer* CG iteration; each
+    rank saves its coefficient block every ``checkpoint_every`` outer
+    iterations, and a supervised restart after an injected rank crash
+    (``injector.plan.crash_step`` counts outer iterations) resumes from
+    the last consistent checkpoint with identical eigenvalues.
     """
     basis = PlaneWaveBasis(cell, ecut)
     layout = SphereLayout(basis, nprocs)
@@ -162,15 +174,32 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
         x0, x1 = layout.x_range(comm.rank)
         ham = DistributedHamiltonian(basis, fft, v_real[x0:x1])
         coeff = start[:, fft.my_sphere].copy()
-        with comm.phase("cg"):
-            for _ in range(n_outer):
+        first_outer = 0
+        if checkpoint is not None:
+            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+                                if comm.rank == 0 else None)
+            if latest is not None:
+                coeff = checkpoint.load(latest, comm.rank)["coeff"]
+                first_outer = latest
+        for outer in range(first_outer, n_outer):
+            if injector is not None:
+                injector.tick(comm.rank, outer)
+            with comm.phase("cg"):
                 for _ in range(n_inner):
                     coeff = _cg_step(comm, ham, coeff)
                 evals, coeff = _subspace_rotate(comm, ham, coeff)
+            if (checkpoint is not None and checkpoint_every > 0
+                    and (outer + 1) % checkpoint_every == 0):
+                checkpoint.save(outer + 1, comm.rank, coeff=coeff)
+        with comm.phase("cg"):
             evals, coeff = _subspace_rotate(comm, ham, coeff)
         return evals, len(fft.my_sphere)
 
-    results = ParallelJob(nprocs, transport=transport).run(rank_main)
+    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    if injector is not None or checkpoint is not None:
+        results = ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    else:
+        results = job.run(rank_main)
     evals = results[0][0]
     for ev, _ in results[1:]:
         np.testing.assert_allclose(ev, evals, atol=1e-10)

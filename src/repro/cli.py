@@ -8,6 +8,7 @@ Commands
 ``bands``     silicon band structure along L-Gamma-X
 ``amr``       run the AMR vector-performance study
 ``apps``      run a short validation pass of all four applications
+``chaos``     run all four applications under a fault-injection plan
 """
 
 from __future__ import annotations
@@ -121,6 +122,16 @@ def _cmd_apps(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience.chaos import run_chaos
+
+    outcomes = run_chaos(seed=args.seed, echo=print)
+    failed = [o for o in outcomes if not o.ok]
+    print(f"\nchaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
+          f"applications survived the fault plan")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +162,13 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("apps", help="validate the four applications")
     p.set_defaults(fn=_cmd_apps)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection + checkpoint/restart pass of the four apps")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="fault plan seed (default 2004)")
+    p.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     np.set_printoptions(suppress=True)

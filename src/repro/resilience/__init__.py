@@ -1,0 +1,14 @@
+"""Checkpoint/restart and fault-tolerant job supervision.
+
+Pairs with :mod:`repro.runtime.faults`: the fault injector breaks runs
+deterministically, this package brings them back — per-rank ``.npz``
+checkpoints (:class:`Checkpointer`) and restart-on-crash job supervision
+(:class:`ResilientJob`).  The chaos harness that exercises all four
+applications under a fault plan lives in :mod:`repro.resilience.chaos`
+(imported lazily by the CLI; it pulls in every application package).
+"""
+
+from .checkpoint import Checkpointer
+from .supervisor import ResilientJob
+
+__all__ = ["Checkpointer", "ResilientJob"]

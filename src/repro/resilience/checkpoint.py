@@ -1,0 +1,113 @@
+"""Per-rank application checkpoints as ``.npz`` files.
+
+Checkpoint format
+-----------------
+A checkpoint directory holds one file per (step, rank):
+
+    ``step{step:08d}.rank{rank:05d}.npz``
+
+where *step* counts completed application steps (step ``k`` is the state
+*after* ``k`` steps).  Each file is a plain ``numpy.savez`` archive of
+the arrays the application needs to resume — numeric state only, loaded
+with ``allow_pickle=False`` so a checkpoint can never execute code.
+Scalars are stored as 0-d arrays; exact float64 bit patterns round-trip,
+which is what makes bitwise-identical restarts possible (LBMHD).
+
+Writes are atomic (temp file + ``os.replace``), so a rank killed mid-save
+leaves no torn file.  A step is *consistent* when all ``nranks`` files
+exist; restart always resumes from :meth:`Checkpointer.latest_consistent`,
+which is the newest such step — a crash while some ranks were still
+saving step *k* simply falls back to step *k - 1*'s complete set.
+
+Each rank prunes only its **own** old files (``keep`` newest), so pruning
+never races with another rank's save.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import numpy as np
+
+_FILE_RE = re.compile(r"^step(\d{8})\.rank(\d{5})\.npz$")
+
+
+class Checkpointer:
+    """Save/load per-rank state snapshots in one directory."""
+
+    def __init__(self, directory: str | Path, *, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    def _path(self, step: int, rank: int) -> Path:
+        return self.directory / f"step{step:08d}.rank{rank:05d}.npz"
+
+    # -- write ----------------------------------------------------------------
+    def save(self, step: int, rank: int, **arrays) -> Path:
+        """Atomically write one rank's state for ``step``.
+
+        Values are coerced with ``np.asarray``; pass exact arrays (no
+        object dtype) — the on-disk format is pickle-free by design.
+        """
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        data = {}
+        for name, value in arrays.items():
+            arr = np.asarray(value)
+            if arr.dtype == object:
+                raise TypeError(
+                    f"checkpoint field {name!r} is not numeric")
+            data[name] = arr
+        final = self._path(step, rank)
+        tmp = final.with_suffix(f".tmp{rank}")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **data)
+        os.replace(tmp, final)
+        self._prune_rank(rank)
+        return final
+
+    def _prune_rank(self, rank: int) -> None:
+        mine = sorted(self.rank_steps(rank))
+        for step in mine[:-self.keep]:
+            try:
+                self._path(step, rank).unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- read -----------------------------------------------------------------
+    def load(self, step: int, rank: int) -> dict[str, np.ndarray]:
+        """One rank's saved arrays for ``step`` (bitwise as saved)."""
+        with np.load(self._path(step, rank), allow_pickle=False) as z:
+            return {name: z[name] for name in z.files}
+
+    def rank_steps(self, rank: int) -> list[int]:
+        """Steps for which ``rank`` has a checkpoint file (sorted)."""
+        steps = []
+        for p in self.directory.iterdir():
+            m = _FILE_RE.match(p.name)
+            if m and int(m.group(2)) == rank:
+                steps.append(int(m.group(1)))
+        return sorted(steps)
+
+    def consistent_steps(self, nranks: int) -> list[int]:
+        """Steps for which every rank's file exists (sorted)."""
+        per_rank = [set(self.rank_steps(r)) for r in range(nranks)]
+        if not per_rank:
+            return []
+        return sorted(set.intersection(*per_rank))
+
+    def latest_consistent(self, nranks: int) -> int | None:
+        """Newest step with a complete set of rank files, if any."""
+        steps = self.consistent_steps(nranks)
+        return steps[-1] if steps else None
+
+    def clear(self) -> None:
+        """Delete every checkpoint file in the directory."""
+        for p in self.directory.iterdir():
+            if _FILE_RE.match(p.name):
+                p.unlink()

@@ -1,0 +1,54 @@
+"""Job-level supervision: detect an injected rank crash and restart.
+
+:class:`ResilientJob` wraps a :class:`~repro.runtime.comm.ParallelJob`.
+When a run fails because a rank crashed
+(:class:`~repro.runtime.faults.RankCrashError` as the root cause), the
+supervisor resets the transport — draining in-flight envelopes, sequence
+counters and the poison flag, while keeping the traffic records — and
+re-runs the same SPMD function.  Application drivers make the re-run
+resume from the last *consistent* checkpoint (every rank reloads the
+newest step for which all ranks saved state), so the combined
+faulted-and-restarted run reproduces the uninterrupted run's results.
+
+Any other failure (a genuine bug, a timeout) is re-raised unchanged:
+restarts are a recovery path for injected/operational crashes, not a way
+to mask application errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..runtime.comm import ParallelJob
+from ..runtime.faults import RankCrashError
+
+
+class ResilientJob:
+    """Run a :class:`ParallelJob` with restart-on-crash supervision."""
+
+    def __init__(self, job: ParallelJob, *, max_restarts: int = 2,
+                 on_restart: Callable[[int, RankCrashError], None]
+                 | None = None):
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.job = job
+        self.max_restarts = max_restarts
+        self.on_restart = on_restart
+        #: restarts performed by the most recent :meth:`run`
+        self.restarts = 0
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            rank_args: Sequence[tuple] | None = None) -> list:
+        self.restarts = 0
+        while True:
+            try:
+                return self.job.run(fn, *args, rank_args=rank_args)
+            except RuntimeError as exc:
+                cause = exc.__cause__
+                if (not isinstance(cause, RankCrashError)
+                        or self.restarts >= self.max_restarts):
+                    raise
+                self.restarts += 1
+                self.job.transport.reset()
+                if self.on_restart is not None:
+                    self.on_restart(self.restarts, cause)

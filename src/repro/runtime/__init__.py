@@ -10,17 +10,21 @@ from .decomposition import (
     factor_grid,
     split_extent,
 )
+from .faults import FaultInjector, FaultPlan, FaultRecord, RankCrashError
 from .transport import (
+    DEFAULT_TIMEOUT,
     CollectiveRecord,
     MessageRecord,
     TrafficSummary,
     Transport,
+    TransportPoisonedError,
 )
 from .virtual_time import VirtualClocks
 
 __all__ = [
     "Block1D", "BlockND", "CoArray", "CollectiveRecord", "Comm",
-    "MessageRecord", "ParallelJob", "ProcessorGrid", "TrafficSummary",
-    "Transport", "VirtualClocks", "balance_columns", "factor_grid",
-    "split_extent",
+    "DEFAULT_TIMEOUT", "FaultInjector", "FaultPlan", "FaultRecord",
+    "MessageRecord", "ParallelJob", "ProcessorGrid", "RankCrashError",
+    "TrafficSummary", "Transport", "TransportPoisonedError",
+    "VirtualClocks", "balance_columns", "factor_grid", "split_extent",
 ]

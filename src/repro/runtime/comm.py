@@ -22,9 +22,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from .transport import Transport
-
-_DEFAULT_TIMEOUT = 120.0
+from .transport import DEFAULT_TIMEOUT as _DEFAULT_TIMEOUT
+from .transport import Transport, TransportPoisonedError
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -32,7 +31,11 @@ def _payload_bytes(obj: Any) -> int:
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
-    if isinstance(obj, (int, float, complex, np.generic)):
+    if isinstance(obj, np.generic):
+        return obj.nbytes          # exact: np.complex128 is 16, float32 is 4
+    if isinstance(obj, complex):
+        return 16                  # two float64 components
+    if isinstance(obj, (bool, int, float)):
         return 8
     if isinstance(obj, (list, tuple)):
         return sum(_payload_bytes(x) for x in obj)
@@ -63,12 +66,14 @@ class _Shared:
     barrier: threading.Barrier
     coll_lock: threading.Lock
     coll_buf: list
+    timeout: float = _DEFAULT_TIMEOUT
 
     @classmethod
-    def create(cls, nprocs: int, transport: Transport) -> "_Shared":
+    def create(cls, nprocs: int, transport: Transport,
+               timeout: float = _DEFAULT_TIMEOUT) -> "_Shared":
         return cls(nprocs, transport,
-                   threading.Barrier(nprocs, timeout=_DEFAULT_TIMEOUT),
-                   threading.Lock(), [None] * nprocs)
+                   threading.Barrier(nprocs, timeout=timeout),
+                   threading.Lock(), [None] * nprocs, timeout)
 
 
 class Comm:
@@ -194,7 +199,10 @@ class Comm:
         for reg in registries:
             if color in reg:
                 shared = reg[color]
-        assert shared is not None
+        if shared is None:  # not an assert: must survive ``python -O``
+            raise RuntimeError(
+                f"comm split failed: no shared state published for "
+                f"color {color} (rank {self.rank})")
         return _SubComm(members.index(self.rank), shared)
 
     def alltoall(self, chunks: Sequence[Any]) -> list:
@@ -217,8 +225,9 @@ class _SubShared:
     def __init__(self, members: list[int], parent: _Shared):
         self.members = members
         self.transport = parent.transport
+        self.timeout = parent.timeout
         self.barrier = threading.Barrier(len(members),
-                                         timeout=_DEFAULT_TIMEOUT)
+                                         timeout=parent.timeout)
         self.coll_lock = threading.Lock()
         self.coll_buf = [None] * len(members)
 
@@ -256,6 +265,12 @@ class _SubComm(Comm):
                                     self._global(self.rank), tag)
 
     def split(self, color: int, key: int | None = None) -> "Comm":
+        """Unsupported: a sub-communicator cannot be split again.
+
+        Split from the parent :class:`Comm` instead — none of the four
+        applications needs nested sub-communicators (GTC's 2D
+        decomposition splits the world communicator exactly once).
+        """
         raise NotImplementedError(
             "splitting a sub-communicator is not supported")
 
@@ -289,15 +304,34 @@ class ParallelJob:
     >>> job = ParallelJob(4)
     >>> job.run(lambda comm: comm.allreduce(comm.rank))
     [6, 6, 6, 6]
+
+    ``timeout`` is the one recv/barrier timeout for the whole job (it
+    also bounds the reliability layer's retry window); ``injector``
+    attaches a :class:`~repro.runtime.faults.FaultInjector` to the
+    transport, enabling fault injection and the retry/ack recovery path.
     """
 
-    def __init__(self, nprocs: int, transport: Transport | None = None):
+    def __init__(self, nprocs: int, transport: Transport | None = None,
+                 *, timeout: float | None = None, injector=None,
+                 join_timeout: float = 600.0):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
-        self.transport = transport or Transport(nprocs)
+        if transport is None:
+            transport = Transport(
+                nprocs,
+                timeout=timeout if timeout is not None else _DEFAULT_TIMEOUT,
+                injector=injector)
+        else:
+            if timeout is not None:
+                transport.timeout = float(timeout)
+            if injector is not None:
+                transport.injector = injector
+        self.transport = transport
         if self.transport.nprocs != nprocs:
             raise ValueError("transport sized for a different job")
+        self.timeout = self.transport.timeout
+        self.join_timeout = join_timeout
 
     def run(self, fn: Callable[..., Any], *args: Any,
             rank_args: Sequence[tuple] | None = None) -> list:
@@ -305,11 +339,14 @@ class ParallelJob:
 
         ``rank_args`` optionally supplies distinct extra arguments per rank
         (e.g. per-rank initial data); otherwise ``args`` is shared.
-        Exceptions on any rank abort the job and re-raise on the caller.
+        Exceptions on any rank abort the job — the shared barrier is
+        broken and the transport poisoned so every other rank unwinds
+        promptly — and re-raise on the caller.
         """
         if rank_args is not None and len(rank_args) != self.nprocs:
             raise ValueError("rank_args length != nprocs")
-        shared = _Shared.create(self.nprocs, self.transport)
+        self.transport.clear_poison()
+        shared = _Shared.create(self.nprocs, self.transport, self.timeout)
         results: list = [None] * self.nprocs
         errors: list = [None] * self.nprocs
 
@@ -321,18 +358,30 @@ class ParallelJob:
             except BaseException as exc:  # noqa: BLE001 - propagated below
                 errors[rank] = exc
                 shared.barrier.abort()
+                self.transport.poison(f"rank {rank} failed: {exc!r}")
 
         threads = [threading.Thread(target=worker, args=(r,), daemon=True)
                    for r in range(self.nprocs)]
         for t in threads:
             t.start()
         for t in threads:
-            t.join(timeout=600.0)
+            t.join(timeout=self.join_timeout)
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            # Unstick lingering ranks instead of leaking daemon threads:
+            # break the barrier and poison the mailboxes, then give the
+            # ranks a grace period to unwind.
+            shared.barrier.abort()
+            self.transport.poison("job join timeout")
+            for t in alive:
+                t.join(timeout=5.0)
         # Prefer reporting a root-cause error: a rank that died aborts the
-        # shared barrier, making innocent ranks fail with BrokenBarrierError.
+        # shared barrier and poisons the transport, making innocent ranks
+        # fail with BrokenBarrierError / TransportPoisonedError.
         failed = [(r, e) for r, e in enumerate(errors) if e is not None]
         root = [(r, e) for r, e in failed
-                if not isinstance(e, threading.BrokenBarrierError)]
+                if not isinstance(e, (threading.BrokenBarrierError,
+                                      TransportPoisonedError))]
         for rank, err in root or failed:
             raise RuntimeError(f"rank {rank} failed: {err!r}") from err
         alive = [t for t in threads if t.is_alive()]

@@ -1,0 +1,183 @@
+"""Deterministic fault injection for the simulated SPMD runtime.
+
+Long bulk-synchronous jobs (LBMHD at production grid sizes, GTC pushing
+millions of particles) live or die on the runtime's behaviour under
+failure.  This module supplies the *schedule* of failures: a seeded
+:class:`FaultPlan` decides — as a pure function of the message identity —
+whether a given delivery attempt is dropped, duplicated, corrupted or
+delayed, and whether a given rank crashes at a given step.
+
+Determinism is the design constraint.  Decisions must not depend on
+thread scheduling (the runtime runs ranks on threads, so wall-clock
+ordering of sends is nondeterministic); instead every decision is a
+keyed hash of ``(seed, src, dst, tag, seq, attempt)``.  The same seed
+therefore yields the identical fault schedule on every run, which is
+what makes faulted runs reproducible and the recovery paths testable.
+
+The :class:`FaultInjector` wraps a plan with mutable bookkeeping: a log
+of injected faults (and receiver-side discards), and one-shot crash
+state so a supervised restart does not re-crash at the same step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from dataclasses import dataclass, field
+
+#: delivery-attempt actions, in the order the plan's probabilities stack
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+CORRUPT = "corrupt"
+DELAY = "delay"
+
+_ACTIONS = (DROP, DUPLICATE, CORRUPT, DELAY)
+
+
+class RankCrashError(RuntimeError):
+    """An injected crash of one rank (the supervisor's restart trigger)."""
+
+    def __init__(self, rank: int, step: int):
+        super().__init__(f"injected crash: rank {rank} at step {step}")
+        self.rank = rank
+        self.step = step
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault or receiver-side discard."""
+
+    kind: str          # drop/duplicate/corrupt/delay/crash/*-discard
+    src: int
+    dst: int
+    tag: int
+    seq: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, immutable fault schedule.
+
+    ``drop``/``duplicate``/``corrupt``/``delay`` are per-attempt
+    probabilities (summing to at most 1).  A dropped or corrupted attempt
+    is retried by the transport with exponential backoff
+    (``backoff_base * 2**attempt``, capped at ``backoff_max``) up to
+    ``max_attempts`` times; with attempt decisions independent, the
+    chance of exhausting retries is ``p ** max_attempts``.
+
+    ``crash_rank``/``crash_step`` name one rank to kill at the top of one
+    application step (both must be set for a crash to fire).
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.005
+    crash_rank: int | None = None
+    crash_step: int | None = None
+    max_attempts: int = 12
+    backoff_base: float = 0.001
+    backoff_max: float = 0.05
+
+    def __post_init__(self) -> None:
+        probs = (self.drop, self.duplicate, self.corrupt, self.delay)
+        if any(p < 0.0 or p > 1.0 for p in probs):
+            raise ValueError("fault probabilities must be in [0, 1]")
+        if sum(probs) > 1.0:
+            raise ValueError("fault probabilities sum to more than 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    # -- deterministic decisions ------------------------------------------
+    def _uniform(self, src: int, dst: int, tag: int, seq: int,
+                 attempt: int) -> float:
+        """Uniform [0, 1) as a keyed hash of the message identity."""
+        key = struct.pack("<q", self.seed)
+        msg = struct.pack("<5q", src, dst, tag, seq, attempt)
+        digest = hashlib.blake2b(msg, key=key, digest_size=8).digest()
+        return int.from_bytes(digest, "little") / 2.0 ** 64
+
+    def action(self, src: int, dst: int, tag: int, seq: int,
+               attempt: int = 0) -> str:
+        """Fate of delivery attempt ``attempt`` of message ``seq``."""
+        u = self._uniform(src, dst, tag, seq, attempt)
+        acc = 0.0
+        for name, p in zip(_ACTIONS,
+                           (self.drop, self.duplicate, self.corrupt,
+                            self.delay)):
+            acc += p
+            if u < acc:
+                return name
+        return DELIVER
+
+    def wants_crash(self, rank: int, step: int) -> bool:
+        return (self.crash_rank is not None
+                and self.crash_step is not None
+                and rank == self.crash_rank and step == self.crash_step)
+
+    def backoff(self, attempt: int) -> float:
+        return min(self.backoff_base * (2.0 ** attempt), self.backoff_max)
+
+
+@dataclass
+class FaultInjector:
+    """Mutable companion of a :class:`FaultPlan` for one (supervised) job.
+
+    The transport consults :meth:`action` per delivery attempt and the
+    application drivers call :meth:`tick` at the top of every step.  The
+    crash is one-shot: after it fires once, restarted runs proceed —
+    that is what lets a supervisor resume from checkpoint and finish.
+    """
+
+    plan: FaultPlan
+    records: list[FaultRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+    _crash_fired: bool = False
+
+    def action(self, src: int, dst: int, tag: int, seq: int,
+               attempt: int) -> str:
+        act = self.plan.action(src, dst, tag, seq, attempt)
+        if act != DELIVER:
+            self.note(act, src, dst, tag, seq, attempt)
+        return act
+
+    def note(self, kind: str, src: int, dst: int, tag: int, seq: int,
+             attempt: int) -> None:
+        """Log a fault or a receiver-side discard."""
+        with self._lock:
+            self.records.append(
+                FaultRecord(kind, src, dst, tag, seq, attempt))
+
+    def tick(self, rank: int, step: int) -> None:
+        """Raise :class:`RankCrashError` once if the plan kills ``rank``
+        at ``step``; no-op otherwise (and after the crash has fired)."""
+        if not self.plan.wants_crash(rank, step):
+            return
+        with self._lock:
+            if self._crash_fired:
+                return
+            self._crash_fired = True
+            self.records.append(FaultRecord("crash", rank, rank, -1,
+                                            step, 0))
+        raise RankCrashError(rank, step)
+
+    def backoff(self, attempt: int) -> float:
+        return self.plan.backoff(attempt)
+
+    @property
+    def crash_fired(self) -> bool:
+        return self._crash_fired
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of injected fault kinds (for reports and tests)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for rec in self.records:
+                out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out

@@ -6,18 +6,70 @@ communication profiles (:class:`~repro.perf.work.CommPhase`) are built —
 message counts and volumes are *measured*, not estimated, which matters
 for reproducing effects like LBMHD's CAF-vs-MPI tradeoff (CAF eliminates
 the user/system copies but issues more, smaller messages; §3.2).
+
+Reliability layer
+-----------------
+When a :class:`~repro.runtime.faults.FaultInjector` is attached, every
+point-to-point payload travels in a sequence-numbered, checksummed
+envelope and the injector decides the fate of each delivery attempt:
+
+* **drop** — the attempt is lost; the sender backs off exponentially and
+  retransmits (the simulated ack never arrives);
+* **corrupt** — the envelope is delivered with a failing checksum; the
+  receiver discards it and the sender retransmits (simulated NACK);
+* **duplicate** — the envelope is delivered twice; the receiver discards
+  the stale sequence number;
+* **delay** — delivery is held back by the plan's ``delay_seconds``.
+
+Every attempt that goes on the wire — including retransmissions and
+duplicate copies — is recorded as its own :class:`MessageRecord` with
+``resend=True`` for the extras, so the communication profile stays an
+honest account of the traffic actually moved.
+
+Failure semantics
+-----------------
+:meth:`Transport.poison` marks the fabric dead and wakes every blocked
+receiver with :class:`TransportPoisonedError`.  The job driver poisons
+the transport when a rank fails (or when the join times out), so ranks
+stuck in ``recv`` unwind promptly instead of waiting out their timeout.
+:meth:`Transport.reset` clears mailboxes, sequence state and the poison
+flag — message/collective records are kept — which is what a supervised
+restart needs before re-running ranks from a checkpoint.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+import zlib
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .faults import CORRUPT, DELAY, DROP, DUPLICATE
+
+#: one configurable recv/barrier timeout for the whole runtime
+DEFAULT_TIMEOUT = 120.0
+
+#: XOR mask applied to a corrupted envelope's checksum
+_CORRUPT_MASK = 0xDEADBEEF
+
+
+class TransportPoisonedError(RuntimeError):
+    """The transport was shut down while this rank was blocked on it."""
 
 
 @dataclass(frozen=True)
 class MessageRecord:
-    """One point-to-point message (MPI send or CAF put/get)."""
+    """One point-to-point message (MPI send or CAF put/get).
+
+    ``resend`` marks wire traffic beyond a payload's first transmission:
+    retransmissions after a dropped/corrupted attempt and duplicate
+    copies.  They are distinct records on purpose — retries are real
+    bytes on a real network.
+    """
 
     src: int
     dst: int
@@ -25,6 +77,7 @@ class MessageRecord:
     tag: int = 0
     onesided: bool = False
     phase: str = ""
+    resend: bool = False
 
 
 @dataclass(frozen=True)
@@ -45,6 +98,7 @@ class TrafficSummary:
     nbytes: int = 0
     onesided_messages: int = 0
     onesided_nbytes: int = 0
+    resends: int = 0
 
     def add(self, rec: MessageRecord) -> None:
         if rec.onesided:
@@ -53,18 +107,62 @@ class TrafficSummary:
         else:
             self.messages += 1
             self.nbytes += rec.nbytes
+        if rec.resend:
+            self.resends += 1
+
+
+def _checksum(obj: Any) -> int:
+    """Cheap structural CRC32 of a payload (reliability-layer integrity)."""
+    if isinstance(obj, np.ndarray):
+        return zlib.crc32(obj.tobytes())
+    if isinstance(obj, (bytes, bytearray)):
+        return zlib.crc32(bytes(obj))
+    if isinstance(obj, (bool, int, float, complex, np.generic, str)):
+        return zlib.crc32(repr(obj).encode())
+    if isinstance(obj, (list, tuple)):
+        acc = len(obj)
+        for x in obj:
+            acc = zlib.crc32(acc.to_bytes(4, "little") +
+                             _checksum(x).to_bytes(4, "little"))
+        return acc
+    if isinstance(obj, dict):
+        acc = len(obj)
+        for k, v in obj.items():
+            acc = zlib.crc32(acc.to_bytes(4, "little") +
+                             _checksum(k).to_bytes(4, "little") +
+                             _checksum(v).to_bytes(4, "little"))
+        return acc
+    return 0  # opaque object: integrity not modelled
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    """Wire format of the reliability layer."""
+
+    seq: int
+    checksum: int
+    payload: Any
 
 
 class Transport:
     """Shared mailbox fabric + event recorder for one parallel job."""
 
-    def __init__(self, nprocs: int):
+    def __init__(self, nprocs: int, *, timeout: float = DEFAULT_TIMEOUT,
+                 injector=None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
+        #: recv/barrier timeout in seconds, shared by the whole job
+        self.timeout = float(timeout)
+        #: optional FaultInjector; enables the reliability layer
+        self.injector = injector
         self._lock = threading.Lock()
         self._boxes: dict[tuple[int, int, int], list] = defaultdict(list)
         self._conds: dict[tuple[int, int, int], threading.Condition] = {}
+        self._send_seq: dict[tuple[int, int, int], int] = defaultdict(int)
+        self._recv_seq: dict[tuple[int, int, int], int] = defaultdict(int)
+        self._poisoned = False
+        self._poison_reason = ""
         self.messages: list[MessageRecord] = []
         self.collectives: list[CollectiveRecord] = []
         #: current phase label, set by Comm.phase(...) context manager
@@ -78,32 +176,144 @@ class Transport:
                 c = self._conds[key] = threading.Condition()
             return c
 
+    # -- failure control -----------------------------------------------------
+    def poison(self, reason: str = "") -> None:
+        """Mark the fabric dead and wake every blocked receiver."""
+        with self._lock:
+            if self._poisoned:
+                return
+            self._poisoned = True
+            self._poison_reason = reason
+            conds = list(self._conds.values())
+        for cond in conds:
+            with cond:
+                cond.notify_all()
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
+    def clear_poison(self) -> None:
+        with self._lock:
+            self._poisoned = False
+            self._poison_reason = ""
+
+    def reset(self) -> None:
+        """Drop in-flight payloads and sequence state; keep the records.
+
+        Called by the restart supervisor between job attempts: a crashed
+        run leaves undelivered envelopes and asymmetric sequence counters
+        behind, none of which may leak into the resumed run.
+        """
+        with self._lock:
+            self._boxes.clear()
+            self._send_seq.clear()
+            self._recv_seq.clear()
+            self._poisoned = False
+            self._poison_reason = ""
+
+    def _raise_if_poisoned(self) -> None:
+        if self._poisoned:
+            raise TransportPoisonedError(
+                f"transport poisoned: {self._poison_reason or 'job aborted'}")
+
     # -- point-to-point -------------------------------------------------------
+    def _deliver(self, key: tuple[int, int, int], item: Any) -> None:
+        cond = self._cond(key)
+        with cond:
+            self._boxes[key].append(item)
+            cond.notify_all()
+
+    def _record(self, src: int, dst: int, nbytes: int, tag: int,
+                onesided: bool, resend: bool = False) -> None:
+        if self.recording:
+            with self._lock:
+                self.messages.append(MessageRecord(
+                    src, dst, nbytes, tag, onesided, self.phase_label,
+                    resend))
+
     def post(self, src: int, dst: int, tag: int, payload,
              nbytes: int, *, onesided: bool = False) -> None:
         self._check_rank(src)
         self._check_rank(dst)
+        self._raise_if_poisoned()
         key = (src, dst, tag)
-        cond = self._cond(key)
-        with cond:
-            self._boxes[key].append(payload)
-            cond.notify_all()
-        if self.recording:
-            with self._lock:
-                self.messages.append(MessageRecord(
-                    src, dst, nbytes, tag, onesided, self.phase_label))
+        inj = self.injector
+        if inj is None:
+            self._deliver(key, payload)
+            self._record(src, dst, nbytes, tag, onesided)
+            return
+        with self._lock:
+            seq = self._send_seq[key]
+            self._send_seq[key] = seq + 1
+        csum = _checksum(payload)
+        for attempt in range(inj.plan.max_attempts):
+            self._raise_if_poisoned()
+            action = inj.action(src, dst, tag, seq, attempt)
+            resend = attempt > 0
+            if action == DROP:
+                # Lost on the wire: the bytes were still sent.
+                self._record(src, dst, nbytes, tag, onesided, resend)
+                time.sleep(inj.backoff(attempt))
+                continue
+            if action == CORRUPT:
+                # Damaged in transit: deliver with a failing checksum so
+                # the receiver-side discard path runs, then retransmit.
+                self._deliver(key, _Envelope(seq, csum ^ _CORRUPT_MASK,
+                                             payload))
+                self._record(src, dst, nbytes, tag, onesided, resend)
+                time.sleep(inj.backoff(attempt))
+                continue
+            if action == DELAY:
+                time.sleep(inj.plan.delay_seconds)
+            self._deliver(key, _Envelope(seq, csum, payload))
+            self._record(src, dst, nbytes, tag, onesided, resend)
+            if action == DUPLICATE:
+                self._deliver(key, _Envelope(seq, csum, payload))
+                self._record(src, dst, nbytes, tag, onesided, True)
+            return
+        raise RuntimeError(
+            f"message {src}->{dst} tag {tag} seq {seq} undeliverable "
+            f"after {inj.plan.max_attempts} attempts")
 
-    def fetch(self, src: int, dst: int, tag: int, timeout: float = 60.0):
+    def fetch(self, src: int, dst: int, tag: int,
+              timeout: float | None = None):
         self._check_rank(src)
         self._check_rank(dst)
+        if timeout is None:
+            timeout = self.timeout
         key = (src, dst, tag)
         cond = self._cond(key)
-        with cond:
-            ok = cond.wait_for(lambda: bool(self._boxes[key]), timeout)
-            if not ok:
-                raise TimeoutError(
-                    f"recv timeout: rank {dst} waiting on {src} tag {tag}")
-            return self._boxes[key].pop(0)
+        deadline = time.monotonic() + timeout
+        while True:
+            with cond:
+                ok = cond.wait_for(
+                    lambda: self._poisoned or bool(self._boxes[key]),
+                    max(0.0, deadline - time.monotonic()))
+                self._raise_if_poisoned()
+                if not ok:
+                    raise TimeoutError(
+                        f"recv timeout: rank {dst} waiting on {src} "
+                        f"tag {tag}")
+                item = self._boxes[key].pop(0)
+            if not isinstance(item, _Envelope):
+                return item
+            inj = self.injector
+            with self._lock:
+                expected = self._recv_seq[key]
+            if item.seq < expected:
+                if inj is not None:
+                    inj.note("duplicate-discard", src, dst, tag,
+                             item.seq, 0)
+                continue
+            if _checksum(item.payload) != item.checksum:
+                if inj is not None:
+                    inj.note("corrupt-discard", src, dst, tag,
+                             item.seq, 0)
+                continue
+            with self._lock:
+                self._recv_seq[key] = item.seq + 1
+            return item.payload
 
     def record_collective(self, kind: str, nbytes_per_rank: int) -> None:
         if self.recording:
@@ -140,6 +350,10 @@ class Transport:
     def message_count(self, *, onesided: bool | None = None) -> int:
         return sum(1 for m in self.messages
                    if onesided is None or m.onesided == onesided)
+
+    def resend_count(self) -> int:
+        """Wire messages beyond first transmissions (retries + dup copies)."""
+        return sum(1 for m in self.messages if m.resend)
 
     def undelivered(self) -> int:
         """Number of posted-but-unreceived payloads (0 after a clean run)."""

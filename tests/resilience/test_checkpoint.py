@@ -1,0 +1,124 @@
+"""Checkpointer: atomic per-rank .npz snapshots and consistency logic."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import Checkpointer, ResilientJob
+from repro.runtime import FaultInjector, FaultPlan, ParallelJob, RankCrashError
+
+
+class TestRoundtrip:
+    def test_bitwise_roundtrip(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        f = np.random.default_rng(0).standard_normal((3, 5))
+        c = (np.random.default_rng(1).standard_normal(4)
+             + 1j * np.random.default_rng(2).standard_normal(4))
+        tags = np.arange(7, dtype=np.int64)
+        ck.save(2, 0, f=f, c=c, tags=tags, t=np.float64(0.125))
+        data = ck.load(2, 0)
+        assert np.array_equal(data["f"], f)
+        assert np.array_equal(data["c"], c)
+        assert data["c"].dtype == np.complex128
+        assert np.array_equal(data["tags"], tags)
+        assert data["tags"].dtype == np.int64
+        assert float(data["t"][()]) == 0.125
+
+    def test_empty_arrays_roundtrip(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(1, 0, r=np.empty(0), tag=np.empty(0, dtype=np.int64))
+        data = ck.load(1, 0)
+        assert data["r"].shape == (0,)
+
+    def test_object_payload_rejected(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        with pytest.raises(TypeError, match="not numeric"):
+            ck.save(0, 0, bad=np.array([object()]))
+
+    def test_no_temp_files_left(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        for step in range(4):
+            for rank in range(2):
+                ck.save(step, rank, x=np.ones(2) * step)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if not p.name.endswith(".npz")]
+        assert leftovers == []
+
+
+class TestConsistency:
+    def test_latest_consistent_requires_all_ranks(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        assert ck.latest_consistent(2) is None
+        ck.save(1, 0, x=np.ones(1))
+        ck.save(1, 1, x=np.ones(1))
+        ck.save(2, 0, x=np.ones(1))      # rank 1 never finished step 2
+        assert ck.latest_consistent(2) == 1
+        ck.save(2, 1, x=np.ones(1))
+        assert ck.latest_consistent(2) == 2
+
+    def test_consistent_steps_sorted(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        for step in (3, 1, 2):
+            for rank in range(2):
+                ck.save(step, rank, x=np.ones(1))
+        assert ck.consistent_steps(2) == [1, 2, 3]
+
+    def test_prune_keeps_newest_per_rank(self, tmp_path):
+        ck = Checkpointer(tmp_path, keep=2)
+        for step in range(5):
+            ck.save(step, 0, x=np.ones(1))
+        assert ck.rank_steps(0) == [3, 4]
+
+    def test_clear(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(1, 0, x=np.ones(1))
+        ck.clear()
+        assert ck.rank_steps(0) == []
+
+
+class TestSupervisor:
+    def test_restart_on_crash_resumes_and_finishes(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        injector = FaultInjector(FaultPlan(crash_rank=1, crash_step=2))
+        job = ParallelJob(2, injector=injector)
+        supervised = ResilientJob(job)
+
+        def prog(comm):
+            latest = comm.bcast(ck.latest_consistent(comm.size)
+                                if comm.rank == 0 else None)
+            acc = float(ck.load(latest, comm.rank)["acc"][()]) \
+                if latest is not None else 0.0
+            start = latest or 0
+            for step in range(start, 4):
+                injector.tick(comm.rank, step)
+                acc += comm.allreduce(comm.rank + 1)
+                ck.save(step + 1, comm.rank, acc=np.float64(acc))
+            return acc
+
+        out = supervised.run(prog)
+        assert out == [12.0, 12.0]      # 4 steps x allreduce(1+2)
+        assert supervised.restarts == 1
+        assert injector.crash_fired
+
+    def test_restart_budget_exhausted_reraises(self):
+        injector = FaultInjector(FaultPlan(crash_rank=0, crash_step=0))
+        supervised = ResilientJob(ParallelJob(1, injector=injector),
+                                  max_restarts=0)
+
+        def prog(comm):
+            injector.tick(comm.rank, 0)
+
+        with pytest.raises(RuntimeError, match="injected crash") as info:
+            supervised.run(prog)
+        assert isinstance(info.value.__cause__, RankCrashError)
+
+    def test_non_crash_errors_not_retried(self):
+        calls = []
+        supervised = ResilientJob(ParallelJob(1), max_restarts=5)
+
+        def prog(comm):
+            calls.append(1)
+            raise ValueError("genuine bug")
+
+        with pytest.raises(RuntimeError, match="genuine bug"):
+            supervised.run(prog)
+        assert len(calls) == 1          # restarts must not mask bugs

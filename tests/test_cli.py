@@ -35,6 +35,11 @@ class TestCLI:
         out = capsys.readouterr().out
         assert out.count("ok") == 4
 
+    def test_chaos(self, capsys):
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
