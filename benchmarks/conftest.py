@@ -4,13 +4,33 @@ Every ``bench_table*`` module pairs (a) pytest-benchmark timings of the
 real kernels behind that table with (b) regeneration of the table itself
 from the performance model, printed model-vs-paper at the end of the
 session.
+
+Set ``BENCH_OBS=1`` to also dump a machine-readable metrics document
+(per-test wall-clock histograms in a :class:`repro.obs.MetricsRegistry`)
+to ``bench-metrics.json`` — or the path in ``BENCH_OBS_FILE`` — at the
+end of the session.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 _REPORTS: list[str] = []
+_OBS_REGISTRY = None
+
+
+def _obs_registry():
+    """The session metrics registry, or None when BENCH_OBS is unset."""
+    global _OBS_REGISTRY
+    if os.environ.get("BENCH_OBS") != "1":
+        return None
+    if _OBS_REGISTRY is None:
+        from repro.obs import MetricsRegistry
+        _OBS_REGISTRY = MetricsRegistry()
+    return _OBS_REGISTRY
 
 
 @pytest.fixture(scope="session")
@@ -21,7 +41,26 @@ def report():
     return add
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    reg = _obs_registry()
+    if reg is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - t0
+    reg.histogram(f"bench.{item.name}.seconds").observe(elapsed)
+    reg.counter("bench.tests").inc(1)
+    reg.counter("bench.total_seconds").inc(elapsed)
+
+
 def pytest_sessionfinish(session, exitstatus):
+    reg = _obs_registry()
+    if reg is not None:
+        from repro.obs import write_metrics_json
+        path = os.environ.get("BENCH_OBS_FILE", "bench-metrics.json")
+        write_metrics_json(path, reg)
     if _REPORTS:
         capman = session.config.pluginmanager.getplugin("capturemanager")
         if capman is not None:

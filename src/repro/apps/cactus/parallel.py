@@ -54,6 +54,13 @@ class _RankCactus(CactusSolver):
                                   grid.rank(tuple(hi)))
 
     def _extended(self, state):
+        # One RHS evaluation's ghost fill = one traced region per rank
+        # (inside the "evolve" phase; no barrier, the exchange is the
+        # synchronization).
+        with self.comm.region("ghost-exchange"):
+            return self._extended_traced(state)
+
+    def _extended_traced(self, state):
         exts = tuple(extend(f, self.ghost) for f in state)
         g = self.ghost
         for ax in range(3):
@@ -128,9 +135,13 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                                           data["prev_K"],
                                           data["prev_alpha"])
                 start_step = latest
+        tracer = comm.transport.tracer
         for step_index in range(start_step, nsteps):
             if injector is not None:
                 injector.tick(comm.rank, step_index)
+            if tracer.enabled:
+                tracer.instant(comm.rank, "step", "phase",
+                               {"step": step_index})
             with comm.phase("evolve"):
                 solver.step(1)
             if (checkpoint is not None and checkpoint_every > 0

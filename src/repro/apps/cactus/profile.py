@@ -169,6 +169,12 @@ def cactus_porting(config: CactusConfig, *,
     return spec
 
 
+def feed_metrics(registry, config: CactusConfig) -> None:
+    """Publish the model work profile into a shared metrics registry
+    (``cactus.model.*`` namespace)."""
+    registry.ingest_profile(build_profile(config))
+
+
 def table5_configs() -> list[CactusConfig]:
     out = []
     for grid in ((80, 80, 80), (250, 64, 64)):

@@ -60,10 +60,21 @@ def record_step(solver: GTCSolver, counters: HardwareCounters,
 
 
 def run_instrumented(solver: GTCSolver, machine: MachineSpec,
-                     nsteps: int) -> HardwareCounters:
-    """Advance the solver while accounting its counters."""
+                     nsteps: int, registry=None) -> HardwareCounters:
+    """Advance the solver while accounting its counters.
+
+    With ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`),
+    the counters are also published into the shared metrics namespace.
+    """
     counters = counters_for(machine)
     for _ in range(nsteps):
         solver.step(1)
         record_step(solver, counters, machine, 1)
+    if registry is not None:
+        feed_registry(counters, registry)
     return counters
+
+
+def feed_registry(counters: HardwareCounters, registry) -> None:
+    """Publish GTC hardware counters into a shared metrics registry."""
+    registry.ingest_counters(counters, prefix="gtc.hw")

@@ -86,9 +86,13 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                     tag=data["tag"])
                 local.step_count = latest
                 start_step = latest
+        tracer = comm.transport.tracer
         for step_index in range(start_step, nsteps):
             if injector is not None:
                 injector.tick(comm.rank, step_index)
+            if tracer.enabled:
+                tracer.instant(comm.rank, "step", "phase",
+                               {"step": step_index})
             with comm.phase("charge"):
                 local.charge_deposition()
             with comm.phase("poisson"):

@@ -224,6 +224,12 @@ def gtc_porting_2d(particles_per_cell: int, nprocs: int,
         GRID_POINTS_TOTAL / nprocs, **kwargs)
 
 
+def feed_metrics(registry, config: GTCConfig) -> None:
+    """Publish the model work profile into a shared metrics registry
+    (``gtc.model.*`` namespace)."""
+    registry.ingest_profile(build_profile(config))
+
+
 def table6_configs() -> list[GTCConfig]:
     out = [GTCConfig(ppc, p) for ppc in (10, 100) for p in (32, 64)]
     out.append(GTCConfig(100, 1024, hybrid_threads=16))

@@ -45,14 +45,23 @@ def record_step(solver: LBMHDSolver, counters: HardwareCounters,
 
 
 def run_instrumented(solver: LBMHDSolver, machine: MachineSpec,
-                     nsteps: int) -> HardwareCounters:
+                     nsteps: int, registry=None) -> HardwareCounters:
     """Advance the solver while accounting its counters.
 
     Returns the counter set; the solver state advances as usual (the
     instrumentation is free-standing bookkeeping, like the real tools).
+    With ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`),
+    the counters are also published into the shared metrics namespace.
     """
     counters = counters_for(machine)
     for _ in range(nsteps):
         solver.step(1)
         record_step(solver, counters, 1)
+    if registry is not None:
+        feed_registry(counters, registry)
     return counters
+
+
+def feed_registry(counters: HardwareCounters, registry) -> None:
+    """Publish LBMHD hardware counters into a shared metrics registry."""
+    registry.ingest_counters(counters, prefix="lbmhd.hw")

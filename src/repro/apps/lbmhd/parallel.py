@@ -256,9 +256,13 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                 state.f[...] = data["f"]
                 state.g[...] = data["g"]
                 start_step = latest
+        tracer = comm.transport.tracer
         for step_index in range(start_step, nsteps):
             if injector is not None:
                 injector.tick(comm.rank, step_index)
+            if tracer.enabled:
+                tracer.instant(comm.rank, "step", "phase",
+                               {"step": step_index})
             with comm.phase("collision"):
                 f_i, g_i = collide(state.f[(Ellipsis,) + inter],
                                    state.g[(Ellipsis,) + inter],

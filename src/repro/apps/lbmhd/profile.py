@@ -156,6 +156,17 @@ def build_profile(config: LBMHDConfig) -> AppProfile:
     return profile
 
 
+def feed_metrics(registry, config: LBMHDConfig) -> None:
+    """Publish the model work profile into a shared metrics registry.
+
+    Replaces the old pattern of each caller keeping its own dict of the
+    per-phase constants; every exporter now reads the same namespace
+    (``lbmhd.model.*``) the measured trace metrics live in.
+    """
+    registry.ingest_profile(build_profile(config))
+    registry.gauge("lbmhd.model.intensity").set(intensity())
+
+
 def table3_configs() -> list[LBMHDConfig]:
     """The exact (grid, P) points of Table 3, MPI variant."""
     out = []

@@ -98,11 +98,16 @@ class ParallelFFT3D:
 
         ``coeff_local`` is ordered like :meth:`sphere_indices_of`.
         Returns the real-space field slab ``[x0:x1, :, :]`` (complex).
+        The whole pipeline is one ``fft-forward`` trace region; its
+        transposes appear as the ``alltoall`` comm spans inside it.
         """
-        nx, ny, nz = self.basis.fft_shape
-        n_total = nx * ny * nz
         if len(coeff_local) != len(self.my_sphere):
             raise ValueError("local coefficient count mismatch")
+        with self.comm.region("fft-forward"):
+            return self._forward(coeff_local)
+
+    def _forward(self, coeff_local: np.ndarray) -> np.ndarray:
+        nx, ny, nz = self.basis.fft_shape
         # 1. scatter into owned columns and z-FFT.
         cols = {k: np.zeros(nz, dtype=np.complex128)
                 for k in self.my_columns}
@@ -136,7 +141,6 @@ class ParallelFFT3D:
         for (src_z0, src_z1), vals in incoming:
             slab[:, :, src_z0:src_z1] = vals
         # 5. x-FFT over the distributed x axis (one more transpose pair).
-        del n_total
         return self._finish_x_fft(slab)
 
     def _finish_x_fft(self, slab: np.ndarray) -> np.ndarray:
@@ -189,6 +193,13 @@ class ParallelFFT3D:
         x0, x1 = self.layout.x_range(comm.rank)
         if slab.shape != (x1 - x0, ny, nz):
             raise ValueError("slab shape mismatch")
+        with comm.region("fft-inverse"):
+            return self._inverse(slab)
+
+    def _inverse(self, slab: np.ndarray) -> np.ndarray:
+        nx, ny, nz = self.basis.fft_shape
+        comm = self.comm
+        x0, x1 = self.layout.x_range(comm.rank)
         # x-FFT (inverse of _finish_x_fft).
         y_blocks = split_extent(ny, min(comm.size, ny))
         while len(y_blocks) < comm.size:

@@ -181,9 +181,13 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
             if latest is not None:
                 coeff = checkpoint.load(latest, comm.rank)["coeff"]
                 first_outer = latest
+        tracer = comm.transport.tracer
         for outer in range(first_outer, n_outer):
             if injector is not None:
                 injector.tick(comm.rank, outer)
+            if tracer.enabled:
+                tracer.instant(comm.rank, "step", "phase",
+                               {"outer": outer})
             with comm.phase("cg"):
                 for _ in range(n_inner):
                     coeff = _cg_step(comm, ham, coeff)

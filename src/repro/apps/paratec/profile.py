@@ -166,6 +166,12 @@ def paratec_porting(*, simultaneous_ffts: bool = True) -> PortingSpec:
     return spec
 
 
+def feed_metrics(registry, config: ParatecConfig) -> None:
+    """Publish the model work profile into a shared metrics registry
+    (``paratec.model.*`` namespace)."""
+    registry.ingest_profile(build_profile(config))
+
+
 def table4_configs() -> list[ParatecConfig]:
     out = [ParatecConfig(432, p) for p in (32, 64, 128, 256, 512, 1024)]
     out += [ParatecConfig(686, p) for p in (64, 128, 256, 512, 1024)]

@@ -9,6 +9,7 @@ Commands
 ``amr``       run the AMR vector-performance study
 ``apps``      run a short validation pass of all four applications
 ``chaos``     run all four applications under a fault-injection plan
+``trace``     run one application traced; write trace.json + metrics.json
 """
 
 from __future__ import annotations
@@ -132,6 +133,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.runner import trace_app
+
+    run = trace_app(args.app, steps=args.steps, nprocs=args.nprocs,
+                    outdir=args.out)
+    print(f"{run.app}: {run.nprocs} ranks x {run.steps} steps, "
+          f"{run.report['events']} events")
+    print()
+    print(run.table())
+    vt = run.report["virtual_time"]
+    print(f"\nvirtual makespan {vt['makespan']:.6f} s, "
+          f"imbalance {vt['imbalance']:.3f}")
+    for path in (run.trace_path, run.events_path, run.metrics_path):
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,6 +187,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=2004,
                    help="fault plan seed (default 2004)")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one app with tracing on; write trace.json + metrics.json")
+    p.add_argument("app", choices=("lbmhd", "cactus", "gtc", "paratec"))
+    p.add_argument("--steps", type=int, default=None,
+                   help="time steps (paratec: outer CG iterations)")
+    p.add_argument("--nprocs", type=int, default=None,
+                   help="simulated ranks (default: per-app small config)")
+    p.add_argument("--out", default="trace-out",
+                   help="output directory (default ./trace-out)")
+    p.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     np.set_printoptions(suppress=True)

@@ -1,0 +1,40 @@
+"""Unified observability layer: tracing, metrics, exporters.
+
+``repro.obs`` is the telemetry substrate the rest of the system reports
+through: a per-rank :class:`Tracer` of structured span/instant events
+(stamped with wall *and* virtual time), a :class:`MetricsRegistry` of
+counters/gauges/histograms aggregatable across ranks, and exporters to
+Chrome ``trace_event`` JSON (Perfetto), a flat JSONL event log, and a
+paper-style phase table.  Tracing is zero-cost when disabled: every
+transport carries :data:`NULL_TRACER` until a real tracer is attached.
+"""
+
+from .events import (
+    CAT_CKPT,
+    CAT_COMM,
+    CAT_FAULT,
+    CAT_PHASE,
+    CAT_REGION,
+    CAT_SYNC,
+    INSTANT,
+    SPAN,
+    TraceEvent,
+)
+from .export import (
+    chrome_trace,
+    events_jsonl,
+    phase_table,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "CAT_CKPT", "CAT_COMM", "CAT_FAULT", "CAT_PHASE", "CAT_REGION",
+    "CAT_SYNC", "Counter", "Gauge", "Histogram", "INSTANT",
+    "MetricsRegistry", "NULL_SPAN", "NULL_TRACER", "NullTracer", "SPAN",
+    "TraceEvent", "Tracer", "chrome_trace", "events_jsonl", "phase_table",
+    "write_chrome_trace", "write_events_jsonl", "write_metrics_json",
+]

@@ -1,0 +1,257 @@
+"""Metrics registry: counters, gauges, histograms, rank aggregation.
+
+The paper's tables are all *aggregates* — Gflop/s per processor, total
+communication volume, AVL/VOR over a whole run.  The registry is the
+collection point those aggregates are computed from: application code
+and the runtime increment named instruments; per-rank registries merge
+into one run-level registry; the result serializes to plain dicts for
+``metrics.json`` and round-trips losslessly.
+
+Instrument semantics under aggregation (``MetricsRegistry.aggregate``):
+
+* **counter** — monotone totals; ranks *sum* (bytes moved, resends,
+  flops);
+* **gauge** — last-set values; ranks keep ``min``/``max``/``mean``
+  (imbalance, AVL — a ratio does not sum);
+* **histogram** — distribution sketches (count/sum/min/max); ranks
+  merge pointwise (halo-wait seconds, message sizes).
+
+Bridges :meth:`MetricsRegistry.ingest_counters` and
+:meth:`~MetricsRegistry.ingest_transport` pull the existing silos —
+:class:`~repro.machine.counters.HardwareCounters` and the transport's
+traffic records — into the same namespace, so every exporter sees one
+coherent set of instruments.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..machine.counters import HardwareCounters
+    from ..perf.work import AppProfile
+    from ..runtime.transport import Transport
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (a level, not a total)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution sketch: count, sum, min, max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """Named instruments for one rank (or one merged run).
+
+    Instruments are created on first use and are unique per name;
+    asking for an existing name with a different kind raises.  All
+    operations are thread-safe.
+    """
+
+    def __init__(self, rank: int | None = None):
+        self.rank = rank
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, others: tuple[dict, ...], name: str,
+             factory):
+        with self._lock:
+            inst = table.get(name)
+            if inst is None:
+                for other in others:
+                    if name in other:
+                        raise ValueError(
+                            f"metric {name!r} already registered as a "
+                            f"different kind")
+                inst = table[name] = factory()
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters,
+                         (self._gauges, self._histograms), name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges,
+                         (self._counters, self._histograms), name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms,
+                         (self._counters, self._gauges), name, Histogram)
+
+    # -- bridges from the existing silos -----------------------------------
+    def ingest_counters(self, counters: "HardwareCounters",
+                        prefix: str = "hw") -> None:
+        """Fold a :class:`HardwareCounters` set into the registry."""
+        self.counter(f"{prefix}.flops").inc(counters.flops)
+        self.counter(f"{prefix}.vector_element_ops").inc(
+            counters.vector_element_ops)
+        self.counter(f"{prefix}.vector_instructions").inc(
+            counters.vector_instructions)
+        self.counter(f"{prefix}.scalar_ops").inc(counters.scalar_ops)
+        self.counter(f"{prefix}.loads_stores").inc(counters.loads_stores)
+        self.gauge(f"{prefix}.avl").set(counters.avl)
+        self.gauge(f"{prefix}.vor").set(counters.vor)
+        for phase, flops in counters.by_phase.items():
+            self.counter(f"{prefix}.flops.{phase}").inc(flops)
+
+    def ingest_transport(self, transport: "Transport",
+                         prefix: str = "comm") -> None:
+        """Fold the transport's traffic records into the registry."""
+        self.counter(f"{prefix}.messages").inc(
+            transport.message_count(onesided=False))
+        self.counter(f"{prefix}.bytes").inc(
+            transport.total_bytes(onesided=False))
+        self.counter(f"{prefix}.onesided_messages").inc(
+            transport.message_count(onesided=True))
+        self.counter(f"{prefix}.onesided_bytes").inc(
+            transport.total_bytes(onesided=True))
+        self.counter(f"{prefix}.resends").inc(transport.resend_count())
+        sizes = self.histogram(f"{prefix}.message_bytes")
+        for rec in transport.messages:
+            sizes.observe(rec.nbytes)
+        for rec in transport.collectives:
+            self.counter(f"{prefix}.collective.{rec.kind}").inc()
+
+    def ingest_profile(self, profile: "AppProfile",
+                       prefix: str | None = None) -> None:
+        """Publish an app work profile's per-phase constants.
+
+        The model-side view of the run: expected flops/words per compute
+        phase and message counts/volumes per comm phase, per rank — the
+        numbers the measured trace is compared against.
+        """
+        prefix = profile.app if prefix is None else prefix
+        for phase in profile.phases:
+            self.gauge(f"{prefix}.model.{phase.name}.flops").set(
+                phase.flops)
+            self.gauge(f"{prefix}.model.{phase.name}.words").set(
+                phase.words)
+        for comm in profile.comms:
+            self.gauge(f"{prefix}.model.comm.{comm.name}.messages").set(
+                comm.messages)
+            self.gauge(f"{prefix}.model.comm.{comm.name}.bytes").set(
+                comm.bytes_total)
+        self.gauge(f"{prefix}.model.reported_flops").set(
+            profile.reported_flops)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            out: dict[str, Any] = {"rank": self.rank}
+            out["counters"] = {k: c.value
+                               for k, c in sorted(self._counters.items())}
+            out["gauges"] = {k: g.value
+                             for k, g in sorted(self._gauges.items())}
+            out["histograms"] = {
+                k: {"count": h.count, "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean}
+                for k, h in sorted(self._histograms.items())}
+            return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsRegistry":
+        reg = cls(rank=data.get("rank"))
+        for name, value in data.get("counters", {}).items():
+            reg.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            reg.gauge(name).set(value)
+        for name, h in data.get("histograms", {}).items():
+            hist = reg.histogram(name)
+            hist.count = int(h["count"])
+            hist.total = float(h["sum"])
+            hist.min = float("inf") if h["min"] is None else float(h["min"])
+            hist.max = float("-inf") if h["max"] is None else float(h["max"])
+        return reg
+
+    # -- cross-rank aggregation --------------------------------------------
+    @classmethod
+    def aggregate(cls, registries: "list[MetricsRegistry]"
+                  ) -> dict[str, Any]:
+        """Merge per-rank registries into one run-level report.
+
+        Counters sum; gauges report min/max/mean over ranks; histograms
+        merge.  The result also records which ranks contributed.
+        """
+        if not registries:
+            raise ValueError("nothing to aggregate")
+        counters: dict[str, float] = {}
+        gauges: dict[str, list[float]] = {}
+        histograms: dict[str, Histogram] = {}
+        for reg in registries:
+            with reg._lock:
+                for name, c in reg._counters.items():
+                    counters[name] = counters.get(name, 0.0) + c.value
+                for name, g in reg._gauges.items():
+                    gauges.setdefault(name, []).append(g.value)
+                for name, h in reg._histograms.items():
+                    histograms.setdefault(name, Histogram()).merge(h)
+        return {
+            "nranks": len(registries),
+            "ranks": [reg.rank for reg in registries],
+            "counters": dict(sorted(counters.items())),
+            "gauges": {
+                name: {"min": min(vals), "max": max(vals),
+                       "mean": sum(vals) / len(vals)}
+                for name, vals in sorted(gauges.items())},
+            "histograms": {
+                name: {"count": h.count, "sum": h.total,
+                       "min": h.min if h.count else None,
+                       "max": h.max if h.count else None,
+                       "mean": h.mean}
+                for name, h in sorted(histograms.items())},
+        }

@@ -1,0 +1,228 @@
+"""``python -m repro trace <app>``: run one application, emit telemetry.
+
+Runs one of the four applications at a small configuration on the
+simulated runtime with a real :class:`~repro.obs.tracer.Tracer`
+attached, then writes
+
+* ``trace.json`` — Chrome ``trace_event`` JSON, one track per rank
+  (open in Perfetto or ``chrome://tracing``);
+* ``events.jsonl`` — the flat event log in deterministic order;
+* ``metrics.json`` — per-rank metric registries plus the cross-rank
+  aggregate, the run-level traffic breakdown (per-pair, per-tag), the
+  virtual-time critical path, and the app's model-side work profile
+  for comparison.
+
+The tracer drives a :class:`~repro.runtime.virtual_time.VirtualClocks`
+(``advance_clocks=True``), so every event carries both timelines and
+the report can state measured load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from ..runtime.transport import Transport
+from ..runtime.virtual_time import VirtualClocks
+from .events import SPAN
+from .export import (
+    phase_table,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+)
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+#: per-app small-run defaults: (nprocs, steps)
+_DEFAULTS = {
+    "lbmhd": (4, 5),
+    "cactus": (2, 4),
+    "gtc": (2, 3),
+    "paratec": (2, 2),
+}
+
+
+@dataclass
+class TraceRun:
+    """Everything one traced run produced."""
+
+    app: str
+    nprocs: int
+    steps: int
+    tracer: Tracer
+    transport: Transport
+    clocks: VirtualClocks
+    report: dict[str, Any]
+    trace_path: Path | None = None
+    events_path: Path | None = None
+    metrics_path: Path | None = None
+
+    def table(self) -> str:
+        return phase_table(self.tracer)
+
+
+def _run_lbmhd(nprocs: int, steps: int, transport: Transport,
+               model: MetricsRegistry) -> None:
+    from ..apps.lbmhd import orszag_tang
+    from ..apps.lbmhd.parallel import run_parallel
+    from ..apps.lbmhd.profile import LBMHDConfig, feed_metrics
+
+    rho, u, B = orszag_tang(16, 16)
+    run_parallel(rho, u, B, nprocs=nprocs, nsteps=steps,
+                 transport=transport)
+    feed_metrics(model, LBMHDConfig(16, nprocs))
+
+
+def _run_cactus(nprocs: int, steps: int, transport: Transport,
+                model: MetricsRegistry) -> None:
+    from ..apps.cactus import gauge_wave
+    from ..apps.cactus.parallel import run_parallel
+    from ..apps.cactus.profile import CactusConfig, feed_metrics
+
+    dx = 1.0 / 8
+    g, K, a = gauge_wave((8, 4, 4), dx, amplitude=0.05)
+    run_parallel(g, K, a, nprocs=nprocs, nsteps=steps,
+                 spacing=dx, dt=0.2 * dx, transport=transport)
+    feed_metrics(model, CactusConfig((8, 4, 4), nprocs))
+
+
+def _run_gtc(nprocs: int, steps: int, transport: Transport,
+             model: MetricsRegistry) -> None:
+    from ..apps.gtc import AnnulusGrid, TorusGeometry, load_ring_perturbation
+    from ..apps.gtc.parallel import run_parallel
+    from ..apps.gtc.profile import GTCConfig, feed_metrics
+
+    geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 8, 8), nprocs)
+    parts = load_ring_perturbation(geom, 4.0)
+    run_parallel(geom, parts, nprocs=nprocs, nsteps=steps,
+                 transport=transport)
+    feed_metrics(model, GTCConfig(10, nprocs))
+
+
+def _run_paratec(nprocs: int, steps: int, transport: Transport,
+                 model: MetricsRegistry) -> None:
+    from ..apps.paratec import silicon_primitive
+    from ..apps.paratec.parallel import solve_bands_parallel
+    from ..apps.paratec.profile import ParatecConfig, feed_metrics
+
+    solve_bands_parallel(silicon_primitive(), 4.0, 4, nprocs=nprocs,
+                         n_outer=steps, n_inner=2, transport=transport)
+    feed_metrics(model, ParatecConfig(432, nprocs))
+
+
+_RUNNERS: dict[str, Callable[[int, int, Transport, MetricsRegistry],
+                             None]] = {
+    "lbmhd": _run_lbmhd,
+    "cactus": _run_cactus,
+    "gtc": _run_gtc,
+    "paratec": _run_paratec,
+}
+
+APPS = tuple(_RUNNERS)
+
+
+def _per_rank_registries(tracer: Tracer, transport: Transport
+                         ) -> list[MetricsRegistry]:
+    """One measured registry per rank: traffic totals + span rollups."""
+    traffic = transport.per_rank_traffic()
+    regs = []
+    for rank in range(tracer.nranks):
+        reg = MetricsRegistry(rank=rank)
+        ts = traffic.get(rank)
+        if ts is not None:
+            reg.counter("comm.messages").inc(ts.messages)
+            reg.counter("comm.bytes").inc(ts.nbytes)
+            reg.counter("comm.onesided_messages").inc(ts.onesided_messages)
+            reg.counter("comm.onesided_bytes").inc(ts.onesided_nbytes)
+            reg.counter("comm.resends").inc(ts.resends)
+        for ev in tracer.events(rank):
+            if ev.ph != SPAN:
+                continue
+            reg.histogram(f"span.{ev.cat}.{ev.name}.seconds").observe(
+                ev.dur)
+            if ev.name == "recv":
+                reg.counter("comm.recv_wait_seconds").inc(ev.dur)
+            elif ev.name == "barrier":
+                reg.counter("sync.barrier_wait_seconds").inc(ev.dur)
+        regs.append(reg)
+    return regs
+
+
+def build_report(app: str, nprocs: int, steps: int, tracer: Tracer,
+                 transport: Transport, clocks: VirtualClocks,
+                 model: MetricsRegistry) -> dict[str, Any]:
+    """Assemble the ``metrics.json`` document for one traced run."""
+    regs = _per_rank_registries(tracer, transport)
+    summary = transport.traffic_summary()
+    hottest = summary.hottest_pair()
+    coll_by_kind: dict[str, dict[str, float]] = {}
+    for rec in transport.collectives:
+        slot = coll_by_kind.setdefault(rec.kind, {"calls": 0, "bytes": 0.0})
+        slot["calls"] += 1
+        slot["bytes"] += rec.nbytes_per_rank * rec.nprocs
+    return {
+        "app": app,
+        "nprocs": nprocs,
+        "steps": steps,
+        "events": len(tracer),
+        "aggregate": MetricsRegistry.aggregate(regs),
+        "per_rank": [reg.to_dict() for reg in regs],
+        "traffic": {
+            "messages": summary.messages,
+            "bytes": summary.nbytes,
+            "onesided_messages": summary.onesided_messages,
+            "onesided_bytes": summary.onesided_nbytes,
+            "resends": summary.resends,
+            "by_pair": {f"{s}->{d}": n
+                        for (s, d), n in sorted(summary.by_pair.items())},
+            "by_tag": {str(t): n
+                       for t, n in sorted(summary.by_tag.items())},
+            "hottest_pair": (f"{hottest[0][0]}->{hottest[0][1]}"
+                             if hottest else None),
+            "collectives": coll_by_kind,
+        },
+        "virtual_time": {
+            "makespan": clocks.makespan,
+            "imbalance": clocks.imbalance,
+            "per_rank": [clocks.time(r) for r in range(nprocs)],
+        },
+        "model": model.to_dict(),
+    }
+
+
+def trace_app(app: str, *, steps: int | None = None,
+              nprocs: int | None = None,
+              outdir: str | Path | None = ".") -> TraceRun:
+    """Run ``app`` with tracing on; write trace/events/metrics files.
+
+    ``outdir=None`` skips the file writes (in-memory result only).
+    """
+    if app not in _RUNNERS:
+        raise ValueError(
+            f"unknown app {app!r}; choose from {', '.join(APPS)}")
+    d_nprocs, d_steps = _DEFAULTS[app]
+    nprocs = d_nprocs if nprocs is None else nprocs
+    steps = d_steps if steps is None else steps
+    if nprocs < 1 or steps < 1:
+        raise ValueError("nprocs and steps must be >= 1")
+
+    clocks = VirtualClocks(nprocs)
+    tracer = Tracer(nprocs, clocks=clocks, advance_clocks=True)
+    transport = Transport(nprocs)
+    transport.tracer = tracer
+    model = MetricsRegistry()
+    _RUNNERS[app](nprocs, steps, transport, model)
+
+    report = build_report(app, nprocs, steps, tracer, transport, clocks,
+                          model)
+    run = TraceRun(app, nprocs, steps, tracer, transport, clocks, report)
+    if outdir is not None:
+        out = Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        run.trace_path = write_chrome_trace(
+            out / "trace.json", tracer, process_name=f"repro {app}")
+        run.events_path = write_events_jsonl(out / "events.jsonl", tracer)
+        run.metrics_path = write_metrics_json(out / "metrics.json", report)
+    return run

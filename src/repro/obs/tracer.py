@@ -1,0 +1,174 @@
+"""Per-rank tracer with a zero-cost disabled path.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records :class:`~repro.obs.events.TraceEvent`
+  objects into one buffer per rank.  Each rank's buffer has its own
+  lock and its own emission counter, so concurrent ranks never contend
+  and every rank's event stream is deterministically ordered no matter
+  how the OS schedules the threads.
+* :class:`NullTracer` — the default everywhere.  ``enabled`` is
+  ``False``; its ``span`` returns one shared no-op context manager and
+  ``instant`` returns immediately.  Instrumented code guards argument
+  construction behind ``tracer.enabled``, so a disabled hot path costs
+  one attribute load and one branch — no allocation, no lock.
+
+Wall time is ``time.perf_counter()`` relative to the tracer's epoch.
+If a :class:`~repro.runtime.virtual_time.VirtualClocks` is attached,
+every event is additionally stamped with the emitting rank's virtual
+time; with ``advance_clocks=True`` the tracer also charges each span's
+wall duration to the rank's clock, turning the clocks into a measured
+critical-path model of the traced run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from .events import INSTANT, SPAN, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.virtual_time import VirtualClocks
+
+
+class _NullSpan:
+    """Shared do-nothing context manager (the disabled-tracing span)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: the one instance every disabled span call returns
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is shared by
+    every transport; ``span``/``instant`` allocate nothing.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, *args: Any, **kwargs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+#: process-wide default tracer (attached to every new Transport)
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager recording one span on one rank."""
+
+    __slots__ = ("_tracer", "_rank", "_name", "_cat", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", rank: int, name: str, cat: str,
+                 args: dict[str, Any] | None):
+        self._tracer = tracer
+        self._rank = rank
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t1 = time.perf_counter()
+        tr = self._tracer
+        tr._emit(self._rank, self._name, self._cat, SPAN,
+                 self._t0 - tr.epoch, t1 - self._t0, self._args)
+
+
+class Tracer:
+    """Structured event recorder for one parallel job.
+
+    ``nranks`` sizes the per-rank buffers; events from rank ``r`` go to
+    buffer ``r`` under that buffer's own lock, with a per-rank sequence
+    number as the deterministic ordering key.
+    """
+
+    enabled = True
+
+    def __init__(self, nranks: int, *,
+                 clocks: "VirtualClocks | None" = None,
+                 advance_clocks: bool = False):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if advance_clocks and clocks is None:
+            raise ValueError("advance_clocks requires clocks")
+        self.nranks = nranks
+        self.clocks = clocks
+        self.advance_clocks = advance_clocks
+        self.epoch = time.perf_counter()
+        self._buffers: list[list[TraceEvent]] = [[] for _ in range(nranks)]
+        self._locks = [threading.Lock() for _ in range(nranks)]
+        self._seq = [0] * nranks
+
+    # -- emission ----------------------------------------------------------
+    def span(self, rank: int, name: str, cat: str = "region",
+             args: dict[str, Any] | None = None) -> _Span:
+        """Context manager timing one interval on ``rank``'s track."""
+        return _Span(self, rank, name, cat, args)
+
+    def instant(self, rank: int, name: str, cat: str = "event",
+                args: dict[str, Any] | None = None) -> None:
+        """Record a point event on ``rank``'s track."""
+        self._emit(rank, name, cat, INSTANT,
+                   time.perf_counter() - self.epoch, 0.0, args)
+
+    def _emit(self, rank: int, name: str, cat: str, ph: str,
+              t_wall: float, dur: float,
+              args: dict[str, Any] | None) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        tv = None
+        if self.clocks is not None:
+            if ph == SPAN and self.advance_clocks:
+                self.clocks.advance(rank, dur)
+            tv = self.clocks.time(rank)
+        with self._locks[rank]:
+            seq = self._seq[rank]
+            self._seq[rank] = seq + 1
+            self._buffers[rank].append(TraceEvent(
+                name, cat, ph, rank, seq, t_wall, dur, tv,
+                args if args is not None else {}))
+
+    # -- access ------------------------------------------------------------
+    def events(self, rank: int | None = None) -> list[TraceEvent]:
+        """Events in deterministic ``(rank, seq)`` order.
+
+        ``rank`` restricts to one rank's stream.  The result is a copy;
+        emission may continue concurrently.
+        """
+        if rank is not None:
+            with self._locks[rank]:
+                return list(self._buffers[rank])
+        out: list[TraceEvent] = []
+        for r in range(self.nranks):
+            with self._locks[r]:
+                out.extend(self._buffers[r])
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buffers)
+
+    def clear(self) -> None:
+        """Drop all recorded events; sequence numbers keep counting."""
+        for r in range(self.nranks):
+            with self._locks[r]:
+                self._buffers[r].clear()

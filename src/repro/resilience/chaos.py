@@ -52,6 +52,19 @@ def default_plan(seed: int, *, crash_rank: int, crash_step: int,
                      backoff_base=0.0005)
 
 
+def _traffic_detail(transport: Transport) -> str:
+    """Compact per-pair/per-tag view of the faulted run's traffic."""
+    summary = transport.traffic_summary()
+    hot = summary.hottest_pair()
+    if hot is None:
+        return "no p2p traffic"
+    (src, dst), nbytes = hot
+    ntags = len(summary.by_tag)
+    return (f"hottest pair {src}->{dst} ({nbytes} B of "
+            f"{summary.nbytes} B over {len(summary.by_pair)} pairs, "
+            f"{ntags} tags)")
+
+
 def _rel_err(a: np.ndarray, b: np.ndarray) -> float:
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -85,7 +98,8 @@ def _chaos_lbmhd(seed: int, ckdir: str) -> str:
     if resends == 0:
         raise AssertionError("no retries recorded under a 5% drop plan")
     return (f"bitwise restart OK, mass conserved, "
-            f"{resends} retried messages, faults {injector.counts()}")
+            f"{resends} retried messages, faults {injector.counts()}, "
+            f"{_traffic_detail(transport)}")
 
 
 def _chaos_cactus(seed: int, ckdir: str) -> str:
@@ -114,7 +128,8 @@ def _chaos_cactus(seed: int, ckdir: str) -> str:
     if transport.resend_count() == 0:
         raise AssertionError("no retries recorded under a 5% drop plan")
     return (f"restart rel err {err:.1e}, fields finite, "
-            f"{transport.resend_count()} retried messages")
+            f"{transport.resend_count()} retried messages, "
+            f"{_traffic_detail(transport)}")
 
 
 def _chaos_gtc(seed: int, ckdir: str) -> str:
@@ -147,7 +162,8 @@ def _chaos_gtc(seed: int, ckdir: str) -> str:
             if not np.array_equal(p, q):
                 raise AssertionError("phi differs after restart")
     return (f"{n_fault} particles conserved, fields bitwise after "
-            f"restart, faults {injector.counts()}")
+            f"restart, faults {injector.counts()}, "
+            f"{_traffic_detail(transport)}")
 
 
 def _chaos_paratec(seed: int, ckdir: str) -> str:

@@ -31,18 +31,28 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.events import CAT_CKPT
+from ..obs.tracer import NULL_TRACER
+
 _FILE_RE = re.compile(r"^step(\d{8})\.rank(\d{5})\.npz$")
 
 
 class Checkpointer:
-    """Save/load per-rank state snapshots in one directory."""
+    """Save/load per-rank state snapshots in one directory.
 
-    def __init__(self, directory: str | Path, *, keep: int = 3):
+    ``tracer`` optionally receives one instant event per save/load
+    (rank-tracked, with step and byte size), so checkpoint activity is
+    visible on the same timeline as compute and communication.
+    """
+
+    def __init__(self, directory: str | Path, *, keep: int = 3,
+                 tracer=None):
         if keep < 1:
             raise ValueError("keep must be >= 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _path(self, step: int, rank: int) -> Path:
         return self.directory / f"step{step:08d}.rank{rank:05d}.npz"
@@ -68,6 +78,10 @@ class Checkpointer:
         with open(tmp, "wb") as fh:
             np.savez(fh, **data)
         os.replace(tmp, final)
+        if self.tracer.enabled:
+            self.tracer.instant(rank, "checkpoint-save", CAT_CKPT,
+                                {"step": step,
+                                 "nbytes": final.stat().st_size})
         self._prune_rank(rank)
         return final
 
@@ -83,7 +97,11 @@ class Checkpointer:
     def load(self, step: int, rank: int) -> dict[str, np.ndarray]:
         """One rank's saved arrays for ``step`` (bitwise as saved)."""
         with np.load(self._path(step, rank), allow_pickle=False) as z:
-            return {name: z[name] for name in z.files}
+            out = {name: z[name] for name in z.files}
+        if self.tracer.enabled:
+            self.tracer.instant(rank, "checkpoint-load", CAT_CKPT,
+                                {"step": step})
+        return out
 
     def rank_steps(self, rank: int) -> list[int]:
         """Steps for which ``rank`` has a checkpoint file (sorted)."""

@@ -52,6 +52,11 @@ class CoArray:
         target[key] = values
         nbytes = np.asarray(target[key]).nbytes
         self.comm.transport.record_onesided(self.comm.rank, image, nbytes)
+        tr = self.comm.transport.tracer
+        if tr.enabled:
+            tr.instant(self.comm.rank, "put", "comm",
+                       {"coarray": self.name, "image": image,
+                        "nbytes": nbytes})
 
     def get(self, image: int, key: Any) -> np.ndarray:
         """Fetch a slice of image ``image`` (one one-sided message)."""
@@ -59,6 +64,11 @@ class CoArray:
         out = np.array(source[key])
         self.comm.transport.record_onesided(image, self.comm.rank,
                                             out.nbytes)
+        tr = self.comm.transport.tracer
+        if tr.enabled:
+            tr.instant(self.comm.rank, "get", "comm",
+                       {"coarray": self.name, "image": image,
+                        "nbytes": out.nbytes})
         return out
 
     def sync(self) -> None:

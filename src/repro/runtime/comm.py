@@ -22,6 +22,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..obs.events import CAT_COMM, CAT_PHASE, CAT_SYNC
+from ..obs.tracer import NULL_SPAN
 from .transport import DEFAULT_TIMEOUT as _DEFAULT_TIMEOUT
 from .transport import Transport, TransportPoisonedError
 
@@ -88,6 +90,22 @@ class Comm:
     def size(self) -> int:
         return self._shared.nprocs
 
+    @property
+    def _track(self) -> int:
+        """Trace track (tid) for this rank: the job-global rank."""
+        return self.rank
+
+    def _span(self, name: str, cat: str = CAT_COMM, **args):
+        """Tracer span on this rank's track; free when tracing is off.
+
+        The argument dict is only built when a real tracer is attached,
+        so the disabled path is one attribute load and a branch.
+        """
+        tr = self.transport.tracer
+        if not tr.enabled:
+            return NULL_SPAN
+        return tr.span(self._track, name, cat, args if args else None)
+
     # -- phases --------------------------------------------------------------
     @contextlib.contextmanager
     def phase(self, label: str):
@@ -95,7 +113,8 @@ class Comm:
 
         The label is global to the job (SPMD: all ranks enter the same
         phase); entering is synchronized with a barrier so no rank's traffic
-        leaks across labels.
+        leaks across labels.  Each rank's stay in the phase is emitted as
+        one tracer span.
         """
         self.barrier()
         prev = self.transport.phase_label
@@ -103,20 +122,34 @@ class Comm:
             self.transport.phase_label = label
         self.barrier()
         try:
-            yield
+            with self._span(label, CAT_PHASE):
+                yield
         finally:
             self.barrier()
             if self.rank == 0:
                 self.transport.phase_label = prev
             self.barrier()
 
+    @contextlib.contextmanager
+    def region(self, label: str):
+        """Unsynchronized sub-phase span on this rank only (no barriers).
+
+        For fine-grained tagging inside a :meth:`phase` — e.g. the
+        transpose stages of a parallel FFT — where a barrier per label
+        would change the program being measured.
+        """
+        with self._span(label, "region"):
+            yield
+
     # -- point-to-point --------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        self.transport.post(self.rank, dest, tag, _copy(obj),
-                            _payload_bytes(obj))
+        nbytes = _payload_bytes(obj)
+        with self._span("send", dst=dest, tag=tag, nbytes=nbytes):
+            self.transport.post(self.rank, dest, tag, _copy(obj), nbytes)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        return self.transport.fetch(source, self.rank, tag)
+        with self._span("recv", src=source, tag=tag):
+            return self.transport.fetch(source, self.rank, tag)
 
     def sendrecv(self, obj: Any, dest: int, source: int,
                  tag: int = 0) -> Any:
@@ -142,7 +175,8 @@ class Comm:
 
     # -- collectives ------------------------------------------------------------
     def barrier(self) -> None:
-        self._shared.barrier.wait()
+        with self._span("barrier", CAT_SYNC):
+            self._shared.barrier.wait()
 
     def _allgather_raw(self, value: Any) -> list:
         """Barrier-protected gather of one value from each rank."""
@@ -154,24 +188,32 @@ class Comm:
         return result
 
     def allgather(self, value: Any) -> list:
-        self.transport.record_collective("allgather", _payload_bytes(value))
-        return [_copy(v) if isinstance(v, np.ndarray) else v
-                for v in self._allgather_raw(value)]
+        nbytes = _payload_bytes(value)
+        self.transport.record_collective("allgather", nbytes)
+        with self._span("allgather", nbytes=nbytes):
+            return [_copy(v) if isinstance(v, np.ndarray) else v
+                    for v in self._allgather_raw(value)]
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Reduction over ranks; deterministic rank-order combination."""
-        self.transport.record_collective("allreduce", _payload_bytes(value))
-        vals = self._allgather_raw(value)
-        return _reduce(vals, op)
+        nbytes = _payload_bytes(value)
+        self.transport.record_collective("allreduce", nbytes)
+        with self._span("allreduce", op=op, nbytes=nbytes):
+            vals = self._allgather_raw(value)
+            return _reduce(vals, op)
 
     def bcast(self, value: Any, root: int = 0) -> Any:
-        self.transport.record_collective("bcast", _payload_bytes(value))
-        vals = self._allgather_raw(value if self.rank == root else None)
-        return _copy(vals[root])
+        nbytes = _payload_bytes(value)
+        self.transport.record_collective("bcast", nbytes)
+        with self._span("bcast", root=root, nbytes=nbytes):
+            vals = self._allgather_raw(value if self.rank == root else None)
+            return _copy(vals[root])
 
     def gather(self, value: Any, root: int = 0) -> list | None:
-        self.transport.record_collective("gather", _payload_bytes(value))
-        vals = self._allgather_raw(value)
+        nbytes = _payload_bytes(value)
+        self.transport.record_collective("gather", nbytes)
+        with self._span("gather", root=root, nbytes=nbytes):
+            vals = self._allgather_raw(value)
         if self.rank == root:
             return [_copy(v) if isinstance(v, np.ndarray) else v
                     for v in vals]
@@ -213,10 +255,12 @@ class Comm:
         if len(chunks) != self.size:
             raise ValueError(
                 f"alltoall needs {self.size} chunks, got {len(chunks)}")
-        self.transport.record_collective(
-            "alltoall", sum(_payload_bytes(c) for c in chunks))
-        matrix = self._allgather_raw(list(chunks))
-        return [_copy(matrix[src][self.rank]) for src in range(self.size)]
+        nbytes = sum(_payload_bytes(c) for c in chunks)
+        self.transport.record_collective("alltoall", nbytes)
+        with self._span("alltoall", nbytes=nbytes):
+            matrix = self._allgather_raw(list(chunks))
+            return [_copy(matrix[src][self.rank])
+                    for src in range(self.size)]
 
 
 class _SubShared:
@@ -256,13 +300,21 @@ class _SubComm(Comm):
     def _global(self, local: int) -> int:
         return self._shared.members[local]
 
+    @property
+    def _track(self) -> int:
+        return self._global(self.rank)
+
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        self.transport.post(self._global(self.rank), self._global(dest),
-                            tag, _copy(obj), _payload_bytes(obj))
+        nbytes = _payload_bytes(obj)
+        with self._span("send", dst=self._global(dest), tag=tag,
+                        nbytes=nbytes):
+            self.transport.post(self._global(self.rank),
+                                self._global(dest), tag, _copy(obj), nbytes)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        return self.transport.fetch(self._global(source),
-                                    self._global(self.rank), tag)
+        with self._span("recv", src=self._global(source), tag=tag):
+            return self.transport.fetch(self._global(source),
+                                        self._global(self.rank), tag)
 
     def split(self, color: int, key: int | None = None) -> "Comm":
         """Unsupported: a sub-communicator cannot be split again.
@@ -308,12 +360,15 @@ class ParallelJob:
     ``timeout`` is the one recv/barrier timeout for the whole job (it
     also bounds the reliability layer's retry window); ``injector``
     attaches a :class:`~repro.runtime.faults.FaultInjector` to the
-    transport, enabling fault injection and the retry/ack recovery path.
+    transport, enabling fault injection and the retry/ack recovery path;
+    ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer`, turning on
+    span/instant emission for every comm op, phase, barrier and fault
+    (the default is the zero-cost null tracer).
     """
 
     def __init__(self, nprocs: int, transport: Transport | None = None,
                  *, timeout: float | None = None, injector=None,
-                 join_timeout: float = 600.0):
+                 tracer=None, join_timeout: float = 600.0):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
@@ -327,6 +382,10 @@ class ParallelJob:
                 transport.timeout = float(timeout)
             if injector is not None:
                 transport.injector = injector
+        if tracer is not None:
+            transport.tracer = tracer
+        if transport.injector is not None:
+            transport.injector.tracer = transport.tracer
         self.transport = transport
         if self.transport.nprocs != nprocs:
             raise ValueError("transport sized for a different job")

@@ -26,6 +26,9 @@ import struct
 import threading
 from dataclasses import dataclass, field
 
+from ..obs.events import CAT_FAULT
+from ..obs.tracer import NULL_TRACER
+
 #: delivery-attempt actions, in the order the plan's probabilities stack
 DELIVER = "deliver"
 DROP = "drop"
@@ -136,6 +139,9 @@ class FaultInjector:
 
     plan: FaultPlan
     records: list[FaultRecord] = field(default_factory=list)
+    #: tracer receiving one instant event per fault (the job attaches
+    #: its tracer here; the default records nothing)
+    tracer: object = field(default=NULL_TRACER, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
     _crash_fired: bool = False
@@ -153,6 +159,12 @@ class FaultInjector:
         with self._lock:
             self.records.append(
                 FaultRecord(kind, src, dst, tag, seq, attempt))
+        if self.tracer.enabled:
+            # Discards happen on the receiver, injections on the sender.
+            track = dst if kind.endswith("-discard") else src
+            self.tracer.instant(track, kind, CAT_FAULT,
+                                {"src": src, "dst": dst, "tag": tag,
+                                 "seq": seq, "attempt": attempt})
 
     def tick(self, rank: int, step: int) -> None:
         """Raise :class:`RankCrashError` once if the plan kills ``rank``
@@ -165,6 +177,9 @@ class FaultInjector:
             self._crash_fired = True
             self.records.append(FaultRecord("crash", rank, rank, -1,
                                             step, 0))
+        if self.tracer.enabled:
+            self.tracer.instant(rank, "crash", CAT_FAULT,
+                                {"rank": rank, "step": step})
         raise RankCrashError(rank, step)
 
     def backoff(self, attempt: int) -> float:

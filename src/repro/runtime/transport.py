@@ -43,11 +43,12 @@ import threading
 import time
 import zlib
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER
 from .faults import CORRUPT, DELAY, DROP, DUPLICATE
 
 #: one configurable recv/barrier timeout for the whole runtime
@@ -92,13 +93,21 @@ class CollectiveRecord:
 
 @dataclass
 class TrafficSummary:
-    """Aggregated per-phase traffic for one rank."""
+    """Aggregated traffic (for one rank or one whole run).
+
+    Beyond the global aggregates, ``by_pair`` breaks byte totals down
+    per ``(src, dst)`` rank pair and ``by_tag`` per message tag — the
+    views that show *which* link and *which* protocol stream carried
+    the volume (halo vs. shift vs. retry storms).
+    """
 
     messages: int = 0
     nbytes: int = 0
     onesided_messages: int = 0
     onesided_nbytes: int = 0
     resends: int = 0
+    by_pair: dict = field(default_factory=dict)   # (src, dst) -> bytes
+    by_tag: dict = field(default_factory=dict)    # tag -> bytes
 
     def add(self, rec: MessageRecord) -> None:
         if rec.onesided:
@@ -109,6 +118,16 @@ class TrafficSummary:
             self.nbytes += rec.nbytes
         if rec.resend:
             self.resends += 1
+        pair = (rec.src, rec.dst)
+        self.by_pair[pair] = self.by_pair.get(pair, 0) + rec.nbytes
+        self.by_tag[rec.tag] = self.by_tag.get(rec.tag, 0) + rec.nbytes
+
+    def hottest_pair(self) -> tuple[tuple[int, int], int] | None:
+        """The (src, dst) link carrying the most bytes, if any."""
+        if not self.by_pair:
+            return None
+        pair = max(self.by_pair, key=lambda p: (self.by_pair[p], p))
+        return pair, self.by_pair[pair]
 
 
 def _checksum(obj: Any) -> int:
@@ -156,6 +175,10 @@ class Transport:
         self.timeout = float(timeout)
         #: optional FaultInjector; enables the reliability layer
         self.injector = injector
+        #: tracer every Comm/CoArray built on this transport reports to;
+        #: NULL_TRACER (tracing disabled, zero-cost) unless a job attaches
+        #: a real :class:`~repro.obs.tracer.Tracer`
+        self.tracer = NULL_TRACER
         self._lock = threading.Lock()
         self._boxes: dict[tuple[int, int, int], list] = defaultdict(list)
         self._conds: dict[tuple[int, int, int], threading.Condition] = {}
@@ -342,6 +365,19 @@ class Transport:
                 continue
             out[rec.src].add(rec)
         return dict(out)
+
+    def traffic_summary(self, phase: str | None = None) -> TrafficSummary:
+        """One run-level summary over every recorded message.
+
+        Includes the per-(src, dst) and per-tag byte breakdowns; use
+        :meth:`per_rank_traffic` for the per-source view.
+        """
+        out = TrafficSummary()
+        for rec in self.messages:
+            if phase is not None and rec.phase != phase:
+                continue
+            out.add(rec)
+        return out
 
     def total_bytes(self, *, onesided: bool | None = None) -> int:
         return sum(m.nbytes for m in self.messages

@@ -40,6 +40,10 @@ class VirtualClocks:
         """
         if overhead < 0:
             raise ValueError("negative synchronization overhead")
+        if ranks is not None and len(ranks) == 0:
+            raise ValueError(
+                "synchronize over an empty rank list is meaningless; "
+                "pass None to synchronize all ranks")
         with self._lock:
             idx = slice(None) if ranks is None else ranks
             t = float(np.max(self._t[idx])) + overhead

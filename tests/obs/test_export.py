@@ -1,0 +1,105 @@
+"""Exporters: Chrome trace_event schema, JSONL log, phase table."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    events_jsonl,
+    phase_table,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+)
+
+
+def _sample_tracer():
+    tr = Tracer(2)
+    for rank in range(2):
+        with tr.span(rank, "collision", "phase"):
+            pass
+        with tr.span(rank, "send", "comm", {"dst": 1 - rank, "nbytes": 64}):
+            pass
+        tr.instant(rank, "fault", "fault", {"kind": "drop"})
+    return tr
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = chrome_trace(_sample_tracer(), process_name="unit")
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        # required keys on every event
+        for ev in events:
+            assert {"ph", "pid", "tid", "name"} <= set(ev)
+            assert ev["pid"] == 0
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["tid"]) for e in meta}
+        assert ("process_name", 0) in names
+        assert ("thread_name", 0) in names and ("thread_name", 1) in names
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 4
+        for ev in spans:
+            assert ev["dur"] >= 0 and ev["ts"] >= 0
+            assert "seq" in ev["args"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 2
+        assert all(ev["s"] == "t" for ev in instants)
+        # one track per rank
+        assert {e["tid"] for e in spans} == {0, 1}
+
+    def test_json_serializable(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json",
+                                  _sample_tracer())
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_virtual_time_in_args(self):
+        from repro.runtime import VirtualClocks
+
+        clocks = VirtualClocks(1)
+        tr = Tracer(1, clocks=clocks, advance_clocks=True)
+        with tr.span(0, "w"):
+            pass
+        (span,) = [e for e in chrome_trace(tr)["traceEvents"]
+                   if e["ph"] == "X"]
+        assert span["args"]["t_virtual"] > 0
+
+
+class TestJsonl:
+    def test_deterministic_order_and_parse(self, tmp_path):
+        tr = _sample_tracer()
+        path = write_events_jsonl(tmp_path / "events.jsonl", tr)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tr)
+        records = [json.loads(line) for line in lines]
+        keys = [(r["rank"], r["seq"]) for r in records]
+        assert keys == sorted(keys)
+
+    def test_empty_tracer(self):
+        assert events_jsonl(Tracer(1)) == ""
+
+
+class TestPhaseTable:
+    def test_contents(self):
+        text = phase_table(_sample_tracer())
+        assert "phase:collision" in text
+        assert "comm:send" in text
+        assert "total" in text
+        # instants and non-selected categories don't appear
+        assert "fault" not in text
+
+    def test_empty(self):
+        text = phase_table(Tracer(1))
+        assert "total" in text
+
+
+class TestMetricsJson:
+    def test_accepts_registry_or_report(self, tmp_path):
+        reg = MetricsRegistry(rank=0)
+        reg.counter("n").inc(3)
+        p1 = write_metrics_json(tmp_path / "a.json", reg)
+        assert json.loads(p1.read_text())["counters"]["n"] == 3
+        p2 = write_metrics_json(tmp_path / "b.json", {"custom": 1})
+        assert json.loads(p2.read_text()) == {"custom": 1}

@@ -1,0 +1,139 @@
+"""MetricsRegistry: instrument semantics, serialization, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.runtime import ParallelJob, Transport
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        assert reg.counter("c").value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4.0)
+        reg.gauge("g").set(2.0)
+        assert reg.gauge("g").value == 2.0
+
+    def test_histogram_sketch(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert (h.count, h.total, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+        assert h.mean == 2.0
+
+    def test_kind_conflicts_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.histogram("x")
+
+
+class TestSerialization:
+    def _populated(self, rank=0):
+        reg = MetricsRegistry(rank=rank)
+        reg.counter("comm.bytes").inc(100.0 * (rank + 1))
+        reg.gauge("hw.avl").set(200.0 + rank)
+        h = reg.histogram("halo.seconds")
+        h.observe(0.5)
+        h.observe(1.5 + rank)
+        return reg
+
+    def test_round_trip(self):
+        reg = self._populated(rank=3)
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+        assert back.rank == 3
+
+    def test_empty_histogram_serializes(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        d = reg.to_dict()["histograms"]["empty"]
+        assert d["count"] == 0 and d["min"] is None and d["max"] is None
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.histogram("empty").count == 0
+
+
+class TestAggregation:
+    def test_counters_sum_gauges_spread_histograms_merge(self):
+        regs = []
+        for rank in range(4):
+            reg = MetricsRegistry(rank=rank)
+            reg.counter("bytes").inc(10.0)
+            reg.gauge("avl").set(float(rank))
+            reg.histogram("wait").observe(float(rank))
+            regs.append(reg)
+        agg = MetricsRegistry.aggregate(regs)
+        assert agg["nranks"] == 4 and agg["ranks"] == [0, 1, 2, 3]
+        assert agg["counters"]["bytes"] == 40.0
+        assert agg["gauges"]["avl"] == {"min": 0.0, "max": 3.0,
+                                        "mean": 1.5}
+        w = agg["histograms"]["wait"]
+        assert (w["count"], w["min"], w["max"]) == (4, 0.0, 3.0)
+
+    def test_aggregation_round_trips_through_json_dicts(self):
+        # per-rank registries survive to_dict/from_dict and still
+        # aggregate to the same report (the runner's persistence path)
+        regs = [MetricsRegistry(rank=r) for r in range(3)]
+        for r, reg in enumerate(regs):
+            reg.counter("n").inc(r + 1)
+            reg.histogram("h").observe(2.0 * r)
+        direct = MetricsRegistry.aggregate(regs)
+        revived = MetricsRegistry.aggregate(
+            [MetricsRegistry.from_dict(reg.to_dict()) for reg in regs])
+        assert revived == direct
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.aggregate([])
+
+
+class TestBridges:
+    def test_ingest_transport(self):
+        tr = Transport(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(8), dest=1)
+            else:
+                comm.recv(source=0)
+            comm.allreduce(1.0)
+
+        ParallelJob(2, transport=tr).run(prog)
+        reg = MetricsRegistry()
+        reg.ingest_transport(tr)
+        assert reg.counter("comm.messages").value == 1
+        assert reg.counter("comm.bytes").value == 64
+        assert reg.counter("comm.collective.allreduce").value == 2
+        assert reg.histogram("comm.message_bytes").max == 64
+
+    def test_ingest_counters(self):
+        from repro.machine.counters import HardwareCounters
+
+        hw = HardwareCounters(vector_length=256)
+        hw.record_loop(256, 4.0, phase="collision")
+        reg = MetricsRegistry()
+        reg.ingest_counters(hw, prefix="hw")
+        assert reg.counter("hw.flops").value == 1024.0
+        assert reg.counter("hw.flops.collision").value == 1024.0
+        assert reg.gauge("hw.avl").value == 256.0
+
+    def test_ingest_profile(self):
+        from repro.apps.lbmhd.profile import LBMHDConfig, build_profile
+
+        reg = MetricsRegistry()
+        reg.ingest_profile(build_profile(LBMHDConfig(64, 4)))
+        assert reg.gauge("lbmhd.model.collision.flops").value > 0
+        assert reg.gauge("lbmhd.model.comm.halo.bytes").value > 0
+        assert reg.gauge("lbmhd.model.reported_flops").value > 0

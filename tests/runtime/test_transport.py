@@ -42,6 +42,29 @@ class TestAccounting:
         assert traffic[2].nbytes == 24
         assert all(t.messages == 1 for t in traffic.values())
 
+    def test_traffic_summary_by_pair_and_tag(self):
+        tr = Transport(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(4), dest=1, tag=7)
+                comm.send(np.zeros(2), dest=1, tag=9)
+                comm.recv(source=1, tag=9)
+            else:
+                comm.recv(source=0, tag=7)
+                comm.recv(source=0, tag=9)
+                comm.send(np.zeros(1), dest=0, tag=9)
+
+        ParallelJob(2, transport=tr).run(prog)
+        summary = tr.traffic_summary()
+        assert summary.by_pair == {(0, 1): 48, (1, 0): 8}
+        assert summary.by_tag == {7: 32, 9: 24}
+        assert summary.hottest_pair() == ((0, 1), 48)
+        # per-source views carry the same breakdowns
+        per_rank = tr.per_rank_traffic()
+        assert per_rank[0].by_pair == {(0, 1): 48}
+        assert per_rank[1].by_tag == {9: 8}
+
     def test_undelivered_zero_after_clean_run(self):
         tr = Transport(2)
 

@@ -47,6 +47,14 @@ class TestVirtualClocks:
             vc.advance(r, 2.0)
         assert vc.imbalance == 1.0
 
+    def test_synchronize_empty_ranks_rejected(self):
+        vc = VirtualClocks(3)
+        vc.advance(0, 1.0)
+        with pytest.raises(ValueError, match="empty rank list"):
+            vc.synchronize([])
+        # None still means "all ranks".
+        assert vc.synchronize(None) == 1.0
+
     def test_negative_rejected(self):
         vc = VirtualClocks(1)
         with pytest.raises(ValueError):

@@ -40,6 +40,22 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "4/4" in out
 
+    def test_trace(self, capsys, tmp_path):
+        out = str(tmp_path / "tr")
+        assert main(["trace", "lbmhd", "--steps", "2", "--nprocs", "2",
+                     "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "phase:collision" in text
+        assert "virtual makespan" in text
+        import json
+        doc = json.loads((tmp_path / "tr" / "trace.json").read_text())
+        assert doc["traceEvents"]
+        assert (tmp_path / "tr" / "metrics.json").exists()
+
+    def test_trace_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nosuchapp"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
