@@ -16,7 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
-from ...resilience.supervisor import ResilientJob
+from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import (
     BlockND,
     Comm,
@@ -101,7 +102,9 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                  injector: FaultInjector | None = None,
                  checkpoint: Checkpointer | None = None,
                  checkpoint_every: int = 0,
-                 max_restarts: int = 2
+                 max_restarts: int = 2,
+                 health: HealthConfig | None = None,
+                 policy: RecoveryPolicy | None = None
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha).
 
@@ -109,7 +112,12 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
     enable fault injection and checkpoint/restart: each rank saves its
     ADM state (and leapfrog history, when present) every
     ``checkpoint_every`` steps, and a supervised restart after a planned
-    rank crash resumes from the last consistent checkpoint.
+    rank crash resumes from the last *verified* checkpoint.  ``health``
+    turns the Hamiltonian-constraint norm into a corruption detector —
+    a valid evolution keeps it bounded; a bit flip in the metric or
+    extrinsic curvature makes it explode — alongside a NaN/Inf field
+    guard.  ``policy`` customizes (and records) restart/rollback
+    decisions.
     """
     shape = gamma.shape[2:]
     grid = ProcessorGrid.for_nprocs(nprocs, 3)
@@ -119,9 +127,11 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
         solver = _RankCactus(comm, decomp, gamma, K, alpha,
                              spacing=spacing, dt=dt, gauge=gauge,
                              integrator=integrator, order=order)
+        monitor = HealthMonitor(comm, health) if health is not None \
+            else None
         start_step = 0
         if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+            latest = comm.bcast(checkpoint.latest_verified(comm.size)
                                 if comm.rank == 0 else None)
             if latest is not None:
                 data = checkpoint.load(latest, comm.rank)
@@ -139,11 +149,22 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
         for step_index in range(start_step, nsteps):
             if injector is not None:
                 injector.tick(comm.rank, step_index)
+                injector.sdc(comm.rank, step_index,
+                             {"gamma": solver.gamma, "K": solver.K,
+                              "alpha": solver.alpha})
             if tracer.enabled:
                 tracer.instant(comm.rank, "step", "phase",
                                {"step": step_index})
             with comm.phase("evolve"):
                 solver.step(1)
+            if monitor is not None and monitor.due(step_index):
+                monitor.guard_finite(step_index, "cactus.finite",
+                                     solver.gamma, solver.K,
+                                     solver.alpha)
+                h_linf = comm.allreduce(
+                    solver.constraints().hamiltonian_linf, op="max")
+                monitor.check_bounded(step_index, "cactus.constraint",
+                                      h_linf, default_growth=50.0)
             if (checkpoint is not None and checkpoint_every > 0
                     and (step_index + 1) % checkpoint_every == 0):
                 state = dict(gamma=solver.gamma, K=solver.K,
@@ -157,8 +178,10 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
         return solver.bounds, solver.gamma, solver.K, solver.alpha
 
     job = ParallelJob(nprocs, transport=transport, injector=injector)
-    if injector is not None or checkpoint is not None:
-        results = ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    if injector is not None or checkpoint is not None or policy is not None:
+        results = ResilientJob(job, max_restarts=max_restarts,
+                               policy=policy,
+                               checkpoint=checkpoint).run(rank_main)
     else:
         results = job.run(rank_main)
     gamma_out = np.empty_like(gamma)

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
-from ...resilience.supervisor import ResilientJob
+from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import Block1D, Comm, FaultInjector, ParallelJob, Transport
 from .grid import TorusGeometry
 from .particles import ParticleArray
@@ -44,7 +45,10 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                  injector: FaultInjector | None = None,
                  checkpoint: Checkpointer | None = None,
                  checkpoint_every: int = 0,
-                 max_restarts: int = 2) -> list[GTCRankResult]:
+                 max_restarts: int = 2,
+                 health: HealthConfig | None = None,
+                 policy: RecoveryPolicy | None = None
+                 ) -> list[GTCRankResult]:
     """Run GTC on ``nprocs`` ranks; returns per-rank results.
 
     ``geometry.nplanes`` must be divisible by ``nprocs`` and ``nprocs``
@@ -54,7 +58,12 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
     Resilience: checkpoints save each rank's particle population (the
     fields are recomputed from the particles every step); a supervised
     restart after an injected rank crash resumes from the last
-    consistent checkpoint and matches the uninterrupted run.
+    *verified* checkpoint and matches the uninterrupted run.
+    ``health`` enables the PIC invariants as corruption detectors:
+    the global particle count is exactly conserved across shifts, the
+    total kinetic energy drifts only slowly, and every phase-space
+    array must stay finite.  ``policy`` customizes (and records)
+    restart/rollback decisions.
     """
     if geometry.nplanes % nprocs:
         raise ValueError("nplanes must be divisible by nprocs")
@@ -74,9 +83,11 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                           depositor=depositor, charge_scale=charge_scale,
                           plane_range=(rank * planes_per_rank,
                                        planes_per_rank))
+        monitor = HealthMonitor(comm, health) if health is not None \
+            else None
         start_step = 0
         if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+            latest = comm.bcast(checkpoint.latest_verified(comm.size)
                                 if comm.rank == 0 else None)
             if latest is not None:
                 data = checkpoint.load(latest, comm.rank)
@@ -90,6 +101,11 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
         for step_index in range(start_step, nsteps):
             if injector is not None:
                 injector.tick(comm.rank, step_index)
+                p = local.particles
+                injector.sdc(comm.rank, step_index,
+                             {"r": p.r, "theta": p.theta,
+                              "zeta": p.zeta, "v_par": p.v_par,
+                              "mu": p.mu, "w": p.w})
             if tracer.enabled:
                 tracer.instant(comm.rank, "step", "phase",
                                {"step": step_index})
@@ -103,6 +119,25 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                 merged, _ = shift_particles(comm, geometry,
                                             local.particles, rank, nprocs)
                 local.particles = merged
+            if monitor is not None and monitor.due(step_index):
+                p = local.particles
+                monitor.guard_finite(step_index, "gtc.finite",
+                                     p.r, p.theta, p.zeta, p.v_par,
+                                     p.mu, p.w)
+                count = comm.allreduce(len(p))
+                monitor.check_conserved(step_index, "gtc.particles",
+                                        float(count),
+                                        default_threshold=0.0)
+                energy = comm.allreduce(
+                    p.kinetic_energy(geometry.b0))
+                # The guiding-center push trades v_par^2 against mu*B,
+                # conserving kinetic energy to rounding (~1e-16/step);
+                # even a single zeroed fast particle shifts the total by
+                # >= its ~1% share, so 1e-6 separates the two regimes by
+                # many orders of magnitude on either side.
+                monitor.check_conserved(step_index, "gtc.energy",
+                                        energy,
+                                        default_threshold=1e-6)
             if (checkpoint is not None and checkpoint_every > 0
                     and (step_index + 1) % checkpoint_every == 0):
                 p = local.particles
@@ -121,8 +156,10 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
         )
 
     job = ParallelJob(nprocs, transport=transport, injector=injector)
-    if injector is not None or checkpoint is not None:
-        return ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    if injector is not None or checkpoint is not None or policy is not None:
+        return ResilientJob(job, max_restarts=max_restarts,
+                            policy=policy,
+                            checkpoint=checkpoint).run(rank_main)
     return job.run(rank_main)
 
 

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
-from ...resilience.supervisor import ResilientJob
+from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import (
     BlockND,
     CoArray,
@@ -224,7 +225,9 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  injector: FaultInjector | None = None,
                  checkpoint: Checkpointer | None = None,
                  checkpoint_every: int = 0,
-                 max_restarts: int = 2
+                 max_restarts: int = 2,
+                 health: HealthConfig | None = None,
+                 policy: RecoveryPolicy | None = None
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run LBMHD on ``nprocs`` simulated ranks; returns global (rho, u, B).
 
@@ -235,10 +238,18 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
     Resilience: ``injector`` enables fault injection (message faults are
     survived by the transport's retry path; a planned rank crash aborts
     the job and triggers a supervised restart, up to ``max_restarts``
-    times).  With ``checkpoint`` set and ``checkpoint_every > 0``, every
-    rank saves its extended distributions each ``checkpoint_every``
-    steps, and a (re)started job resumes from the last consistent
-    checkpoint — bit-identical to an uninterrupted run.
+    times; planned SDC flips land in the interior — owned — cells of
+    the ``f``/``g`` distributions at step boundaries, never in halo
+    copies the next exchange would silently repair).  With ``checkpoint`` set and
+    ``checkpoint_every > 0``, every rank saves its extended
+    distributions each ``checkpoint_every`` steps, and a (re)started job
+    resumes from the last *verified* (CRC-clean) checkpoint —
+    bit-identical to an uninterrupted run.  ``health`` enables the
+    collision invariants as corruption detectors: total mass and net
+    momentum conservation plus a NaN/Inf guard, checked after each step
+    and *before* the checkpoint save so corrupt state is never
+    checkpointed at cadence 1.  ``policy`` customizes (and records) the
+    restart/rollback decisions.
     """
     grid = ProcessorGrid.for_nprocs(nprocs, 2)
     decomp = BlockND(grid, rho.shape)
@@ -247,9 +258,11 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         state = _RankState(comm, decomp, lattice, rho, u, B, tau, tau_m)
         images = _CafImages(state) if use_caf else None
         inter = state.interior
+        monitor = HealthMonitor(comm, health) if health is not None \
+            else None
         start_step = 0
         if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+            latest = comm.bcast(checkpoint.latest_verified(comm.size)
                                 if comm.rank == 0 else None)
             if latest is not None:
                 data = checkpoint.load(latest, comm.rank)
@@ -260,6 +273,12 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         for step_index in range(start_step, nsteps):
             if injector is not None:
                 injector.tick(comm.rank, step_index)
+                # Corrupt only the owned interior: halo copies are
+                # rewritten by the next exchange, so a flip there is
+                # benign by construction (masked, not detected).
+                injector.sdc(comm.rank, step_index,
+                             {"f": state.f[(Ellipsis,) + inter],
+                              "g": state.g[(Ellipsis,) + inter]})
             if tracer.enabled:
                 tracer.instant(comm.rank, "step", "phase",
                                {"step": step_index})
@@ -279,6 +298,22 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                 g_s = stream_extended(state.g, lattice, state.h)
                 state.f[(Ellipsis,) + inter] = f_s
                 state.g[(Ellipsis,) + inter] = g_s
+            if monitor is not None and monitor.due(step_index):
+                monitor.guard_finite(step_index, "lbmhd.finite",
+                                     state.f, state.g)
+                rho_l, u_l, _ = moments(state.f[(Ellipsis,) + inter],
+                                        state.g[(Ellipsis,) + inter],
+                                        lattice)
+                mass = comm.allreduce(float(rho_l.sum()))
+                monitor.check_conserved(step_index, "lbmhd.mass", mass,
+                                        default_threshold=1e-8)
+                mom = comm.allreduce(
+                    (rho_l * u_l).sum(axis=(1, 2)))
+                for ax, label in enumerate(("x", "y")):
+                    monitor.check_conserved(
+                        step_index, f"lbmhd.momentum.{label}",
+                        float(mom[ax]), default_threshold=1e-8,
+                        scale=mass)
             if (checkpoint is not None and checkpoint_every > 0
                     and (step_index + 1) % checkpoint_every == 0):
                 checkpoint.save(step_index + 1, comm.rank,
@@ -292,8 +327,10 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         return RankResult(state.bounds, rho_l, u_l, B_l, mass, energy)
 
     job = ParallelJob(nprocs, transport=transport, injector=injector)
-    if injector is not None or checkpoint is not None:
-        results = ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    if injector is not None or checkpoint is not None or policy is not None:
+        results = ResilientJob(job, max_restarts=max_restarts,
+                               policy=policy,
+                               checkpoint=checkpoint).run(rank_main)
     else:
         results = job.run(rank_main)
 

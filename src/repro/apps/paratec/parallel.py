@@ -18,7 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
-from ...resilience.supervisor import ResilientJob
+from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import Comm, FaultInjector, ParallelJob, Transport
 from .basis import PlaneWaveBasis
 from .cg import random_bands
@@ -150,7 +151,9 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                          injector: FaultInjector | None = None,
                          checkpoint: Checkpointer | None = None,
                          checkpoint_every: int = 0,
-                         max_restarts: int = 2
+                         max_restarts: int = 2,
+                         health: HealthConfig | None = None,
+                         policy: RecoveryPolicy | None = None
                          ) -> ParallelBandsResult:
     """Distributed all-band CG for the ionic Hamiltonian.
 
@@ -161,7 +164,14 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
     rank saves its coefficient block every ``checkpoint_every`` outer
     iterations, and a supervised restart after an injected rank crash
     (``injector.plan.crash_step`` counts outer iterations) resumes from
-    the last consistent checkpoint with identical eigenvalues.
+    the last *verified* checkpoint with identical eigenvalues.
+    ``health`` enables the electronic-structure invariants as
+    corruption detectors: band normalization at outer-iteration entry
+    (the previous subspace rotation leaves the bands orthonormal, so
+    any deviation is damage — checked *before* orthonormalization
+    silently repairs it) and the variational monotonicity of the total
+    band energy, plus a NaN/Inf guard on the coefficients.  ``policy``
+    customizes (and records) restart/rollback decisions.
     """
     basis = PlaneWaveBasis(cell, ecut)
     layout = SphereLayout(basis, nprocs)
@@ -174,9 +184,11 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
         x0, x1 = layout.x_range(comm.rank)
         ham = DistributedHamiltonian(basis, fft, v_real[x0:x1])
         coeff = start[:, fft.my_sphere].copy()
+        monitor = HealthMonitor(comm, health) if health is not None \
+            else None
         first_outer = 0
         if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_consistent(comm.size)
+            latest = comm.bcast(checkpoint.latest_verified(comm.size)
                                 if comm.rank == 0 else None)
             if latest is not None:
                 coeff = checkpoint.load(latest, comm.rank)["coeff"]
@@ -185,13 +197,29 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
         for outer in range(first_outer, n_outer):
             if injector is not None:
                 injector.tick(comm.rank, outer)
+                injector.sdc(comm.rank, outer, {"coeff": coeff})
             if tracer.enabled:
                 tracer.instant(comm.rank, "step", "phase",
                                {"outer": outer})
+            if monitor is not None and outer > 0 and monitor.due(outer):
+                # At outer-iteration entry the previous subspace
+                # rotation left the bands orthonormal; check before
+                # _cg_step's orthonormalization repairs any damage
+                # (outer 0 starts from unnormalized random bands).
+                monitor.guard_finite(outer, "paratec.finite", coeff)
+                norms = _dots(comm, coeff, coeff).real
+                monitor.check_absolute(
+                    outer, "paratec.norm",
+                    float(np.max(np.abs(norms - 1.0))),
+                    default_threshold=1e-6)
             with comm.phase("cg"):
                 for _ in range(n_inner):
                     coeff = _cg_step(comm, ham, coeff)
                 evals, coeff = _subspace_rotate(comm, ham, coeff)
+            if monitor is not None and monitor.due(outer):
+                monitor.check_monotone(outer, "paratec.energy",
+                                       float(evals.sum().real),
+                                       default_slack=1e-9)
             if (checkpoint is not None and checkpoint_every > 0
                     and (outer + 1) % checkpoint_every == 0):
                 checkpoint.save(outer + 1, comm.rank, coeff=coeff)
@@ -200,8 +228,10 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
         return evals, len(fft.my_sphere)
 
     job = ParallelJob(nprocs, transport=transport, injector=injector)
-    if injector is not None or checkpoint is not None:
-        results = ResilientJob(job, max_restarts=max_restarts).run(rank_main)
+    if injector is not None or checkpoint is not None or policy is not None:
+        results = ResilientJob(job, max_restarts=max_restarts,
+                               policy=policy,
+                               checkpoint=checkpoint).run(rank_main)
     else:
         results = job.run(rank_main)
     evals = results[0][0]

@@ -9,6 +9,11 @@ Commands
 ``amr``       run the AMR vector-performance study
 ``apps``      run a short validation pass of all four applications
 ``chaos``     run all four applications under a fault-injection plan
+              (``--sdc`` switches to the silent-data-corruption +
+              rollback pass)
+``health``    run one application under its invariant monitors and
+              print the health report (``--sdc`` injects a bit flip
+              and demonstrates detection + rollback)
 ``trace``     run one application traced; write trace.json + metrics.json
 """
 
@@ -126,11 +131,40 @@ def _cmd_apps(_: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .resilience.chaos import run_chaos
 
-    outcomes = run_chaos(seed=args.seed, echo=print)
+    outcomes = run_chaos(seed=args.seed, echo=print, sdc=args.sdc)
     failed = [o for o in outcomes if not o.ok]
+    kind = "SDC plan" if args.sdc else "fault plan"
     print(f"\nchaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
-          f"applications survived the fault plan")
+          f"applications survived the {kind}")
     return 1 if failed else 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .obs.metrics import MetricsRegistry
+    from .resilience.health import render_report, run_monitored
+
+    with tempfile.TemporaryDirectory(prefix="repro-health-") as ckdir:
+        run = run_monitored(args.app, ckdir=ckdir, sdc=args.sdc,
+                            seed=args.seed,
+                            check_every=args.check_every)
+    print(render_report(run))
+    reg = MetricsRegistry()
+    reg.ingest_recovery(run.policy)
+    counters = reg.to_dict()["counters"]
+    if counters:
+        print("  metrics: " + ", ".join(
+            f"{k}={v:g}" for k, v in sorted(counters.items())))
+    if args.sdc:
+        recovered = (run.policy.detections()
+                     and run.policy.rollbacks() > 0
+                     and run.rel_err <= 1e-10)
+        print(f"  {'recovered' if recovered else 'UNRECOVERED'}: "
+              f"rel err {run.rel_err:.1e} vs fault-free run")
+        return 0 if recovered else 1
+    clean = not run.log.violations()
+    return 0 if clean else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -186,7 +220,24 @@ def main(argv: list[str] | None = None) -> int:
         help="fault-injection + checkpoint/restart pass of the four apps")
     p.add_argument("--seed", type=int, default=2004,
                    help="fault plan seed (default 2004)")
+    p.add_argument("--sdc", action="store_true",
+                   help="silent-data-corruption pass: bit flips + "
+                        "checkpoint damage, invariant detection, "
+                        "rollback to a verified checkpoint")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "health",
+        help="run one app under invariant monitors; print the report")
+    p.add_argument("app", choices=("lbmhd", "cactus", "gtc", "paratec"))
+    p.add_argument("--sdc", action="store_true",
+                   help="inject a deterministic bit flip and show "
+                        "detection + rollback")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="SDC plan seed (default 2004)")
+    p.add_argument("--check-every", type=int, default=1,
+                   help="invariant check cadence in steps (default 1)")
+    p.set_defaults(fn=_cmd_health)
 
     p = sub.add_parser(
         "trace",

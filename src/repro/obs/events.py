@@ -38,6 +38,7 @@ CAT_SYNC = "sync"          # barriers
 CAT_FAULT = "fault"        # injected faults, discards, rank crashes
 CAT_CKPT = "checkpoint"    # checkpoint save/load
 CAT_REGION = "region"      # unsynchronized sub-phase regions
+CAT_HEALTH = "health"      # invariant checks, SDC detections, rollbacks
 
 
 @dataclass(frozen=True)

@@ -165,6 +165,26 @@ class MetricsRegistry:
         for rec in transport.collectives:
             self.counter(f"{prefix}.collective.{rec.kind}").inc()
 
+    def ingest_recovery(self, policy, prefix: str = "health") -> None:
+        """Fold a :class:`~repro.resilience.supervisor.RecoveryPolicy`'s
+        event history into the registry.
+
+        Publishes SDC detections, restarts/rollbacks/aborts, and the
+        detection latency (steps between a scheduled flip and the
+        invariant violation that caught it) — the resilience-layer
+        counterpart of the traffic and counter bridges above.
+        """
+        latency = self.histogram(f"{prefix}.detection_latency_steps")
+        for ev in policy.events:
+            self.counter(f"{prefix}.failures.{ev.kind}").inc()
+            self.counter(f"{prefix}.actions.{ev.action}").inc()
+            if ev.kind == "sdc":
+                self.counter(f"{prefix}.detections").inc()
+            if ev.action == "rollback":
+                self.counter(f"{prefix}.rollbacks").inc()
+            if ev.latency_steps is not None:
+                latency.observe(ev.latency_steps)
+
     def ingest_profile(self, profile: "AppProfile",
                        prefix: str | None = None) -> None:
         """Publish an app work profile's per-phase constants.

@@ -1,14 +1,34 @@
-"""Checkpoint/restart and fault-tolerant job supervision.
+"""Checkpoint/restart, SDC detection and fault-tolerant supervision.
 
 Pairs with :mod:`repro.runtime.faults`: the fault injector breaks runs
-deterministically, this package brings them back — per-rank ``.npz``
-checkpoints (:class:`Checkpointer`) and restart-on-crash job supervision
-(:class:`ResilientJob`).  The chaos harness that exercises all four
-applications under a fault plan lives in :mod:`repro.resilience.chaos`
-(imported lazily by the CLI; it pulls in every application package).
+deterministically — crashes, wire faults, silent bit flips, checkpoint
+damage — and this package brings them back.  CRC-verified per-rank
+``.npz`` checkpoints (:class:`Checkpointer`), per-application invariant
+watchdogs (:mod:`repro.resilience.health`), and a recovery-policy-driven
+supervisor (:class:`ResilientJob` + :class:`RecoveryPolicy`) that
+classifies failures and rolls back to the last verified checkpoint.
+The chaos harness that exercises all four applications under a fault
+plan lives in :mod:`repro.resilience.chaos` (imported lazily by the
+CLI; it pulls in every application package).
 """
 
-from .checkpoint import Checkpointer
-from .supervisor import ResilientJob
+from .checkpoint import (
+    Checkpointer,
+    CheckpointCorruptError,
+    CheckpointError,
+)
+from .health import (
+    CheckRecord,
+    HealthConfig,
+    HealthLog,
+    HealthMonitor,
+    SDCDetectedError,
+)
+from .supervisor import RecoveryEvent, RecoveryPolicy, ResilientJob
 
-__all__ = ["Checkpointer", "ResilientJob"]
+__all__ = [
+    "CheckRecord", "Checkpointer", "CheckpointCorruptError",
+    "CheckpointError", "HealthConfig", "HealthLog", "HealthMonitor",
+    "RecoveryEvent", "RecoveryPolicy", "ResilientJob",
+    "SDCDetectedError",
+]

@@ -17,6 +17,15 @@ harness then checks that
 
 PARATEC's communication is entirely collective (allreduce/alltoall), so
 its pass exercises crash/restart but not the message-fault path.
+
+``python -m repro chaos --sdc`` runs the *silent-data-corruption* pass
+instead: each application runs under its demonstration SDC plan
+(:func:`repro.resilience.health.sdc_plan` — one deterministic bit flip
+in live state plus one damaged checkpoint file), and the harness checks
+that the app's invariant monitor detected the corruption, the policy
+rolled back to a verified checkpoint, and the final answer matches the
+fault-free run (bitwise for LBMHD/GTC; ≤1e-10 relative for Cactus and
+PARATEC).
 """
 
 from __future__ import annotations
@@ -190,6 +199,41 @@ def _chaos_paratec(seed: int, ckdir: str) -> str:
     return f"eigenvalues rel err {err:.1e} after crash/restart"
 
 
+#: bitwise apps match exactly; iterative/constraint apps to tolerance
+_SDC_TOLERANCE = {"lbmhd": 0.0, "gtc": 0.0, "cactus": 1e-12,
+                  "paratec": 1e-10}
+
+
+def _sdc_pass(name: str, seed: int, ckdir: str) -> str:
+    """One application's SDC chaos pass; raises on any recovery gap."""
+    from .health import run_monitored
+
+    app = name.lower()
+    run = run_monitored(app, ckdir=ckdir, sdc=True, seed=seed)
+    if not run.injector.sdc_records:
+        raise AssertionError("planned bit flip did not fire")
+    detections = run.policy.detections()
+    if not detections:
+        raise AssertionError(
+            f"corruption was not detected: {run.detail}")
+    if run.policy.rollbacks() == 0:
+        raise AssertionError("detection did not trigger a rollback")
+    if "ckpt-corrupt" not in run.injector.counts():
+        raise AssertionError("planned checkpoint corruption did not fire")
+    tol = _SDC_TOLERANCE[app]
+    if run.rel_err > tol:
+        raise AssertionError(
+            f"recovered result deviates: rel err {run.rel_err:.2e} "
+            f"> {tol:.0e} ({run.detail})")
+    det = detections[0]
+    flip = run.injector.sdc_records[0]
+    match = "bitwise" if run.bitwise else f"rel err {run.rel_err:.1e}"
+    return (f"bit {flip.bit} flip in {flip.array} on rank {flip.rank} "
+            f"at step {flip.step} caught by {det.monitor} after "
+            f"{det.latency_steps} step(s); rolled back past the "
+            f"corrupted checkpoint; final result {match} vs clean")
+
+
 _APPS: tuple[tuple[str, Callable[[int, str], str]], ...] = (
     ("LBMHD", _chaos_lbmhd),
     ("Cactus", _chaos_cactus),
@@ -199,21 +243,27 @@ _APPS: tuple[tuple[str, Callable[[int, str], str]], ...] = (
 
 
 def run_chaos(seed: int = 2004,
-              echo: Callable[[str], None] | None = None
-              ) -> list[ChaosOutcome]:
+              echo: Callable[[str], None] | None = None,
+              *, sdc: bool = False) -> list[ChaosOutcome]:
     """Run the chaos pass for all four applications.
 
-    Each app gets its own checkpoint directory inside a temporary root;
+    ``sdc=False`` (default) is the wire-fault + crash/restart pass;
+    ``sdc=True`` is the silent-data-corruption + rollback pass.  Each
+    app gets its own checkpoint directory inside a temporary root;
     failures are captured per app so one broken recovery path does not
     hide the others.
     """
     outcomes = []
+    kind = "SDC plan" if sdc else "fault plan"
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
         for name, fn in _APPS:
             if echo is not None:
-                echo(f"{name}: fault plan seed {seed} ...")
+                echo(f"{name}: {kind} seed {seed} ...")
             try:
-                detail = fn(seed, f"{root}/{name.lower()}")
+                if sdc:
+                    detail = _sdc_pass(name, seed, f"{root}/{name.lower()}")
+                else:
+                    detail = fn(seed, f"{root}/{name.lower()}")
                 outcomes.append(ChaosOutcome(name, True, detail))
             except Exception as exc:  # noqa: BLE001 - reported per app
                 outcomes.append(ChaosOutcome(name, False, repr(exc)))

@@ -10,10 +10,17 @@ from .decomposition import (
     factor_grid,
     split_extent,
 )
-from .faults import FaultInjector, FaultPlan, FaultRecord, RankCrashError
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    RankCrashError,
+    SDCRecord,
+)
 from .transport import (
     DEFAULT_TIMEOUT,
     CollectiveRecord,
+    DeliveryFailedError,
     MessageRecord,
     TrafficSummary,
     Transport,
@@ -23,8 +30,9 @@ from .virtual_time import VirtualClocks
 
 __all__ = [
     "Block1D", "BlockND", "CoArray", "CollectiveRecord", "Comm",
-    "DEFAULT_TIMEOUT", "FaultInjector", "FaultPlan", "FaultRecord",
-    "MessageRecord", "ParallelJob", "ProcessorGrid", "RankCrashError",
-    "TrafficSummary", "Transport", "TransportPoisonedError",
-    "VirtualClocks", "balance_columns", "factor_grid", "split_extent",
+    "DEFAULT_TIMEOUT", "DeliveryFailedError", "FaultInjector",
+    "FaultPlan", "FaultRecord", "MessageRecord", "ParallelJob",
+    "ProcessorGrid", "RankCrashError", "SDCRecord", "TrafficSummary",
+    "Transport", "TransportPoisonedError", "VirtualClocks",
+    "balance_columns", "factor_grid", "split_extent",
 ]

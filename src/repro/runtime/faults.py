@@ -14,9 +14,18 @@ keyed hash of ``(seed, src, dst, tag, seq, attempt)``.  The same seed
 therefore yields the identical fault schedule on every run, which is
 what makes faulted runs reproducible and the recovery paths testable.
 
+Beyond wire faults, the plan schedules *silent data corruption* (SDC):
+keyed-hash-decided single-bit flips in named application-state arrays
+at step boundaries (:meth:`FaultPlan.sdc_site` /
+:meth:`FaultInjector.sdc`), and corruption of checkpoint files after
+they are written (:meth:`FaultPlan.ckpt_corrupt_site`).  Neither is
+visible to the wire protocol — that is the point: SDC sails past
+checksummed retry and must be caught by the invariant monitors in
+:mod:`repro.resilience.health`.
+
 The :class:`FaultInjector` wraps a plan with mutable bookkeeping: a log
-of injected faults (and receiver-side discards), and one-shot crash
-state so a supervised restart does not re-crash at the same step.
+of injected faults (and receiver-side discards), and one-shot crash and
+SDC state so a supervised restart does not re-inject at the same site.
 """
 
 from __future__ import annotations
@@ -24,7 +33,10 @@ from __future__ import annotations
 import hashlib
 import struct
 import threading
+import zlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..obs.events import CAT_FAULT
 from ..obs.tracer import NULL_TRACER
@@ -61,6 +73,33 @@ class FaultRecord:
 
 
 @dataclass(frozen=True)
+class SDCRecord:
+    """One injected silent-data-corruption event (a bit flip)."""
+
+    rank: int
+    step: int
+    array: str         # name of the app-state array hit
+    index: int         # flat element index within the array
+    bit: int           # bit flipped within the float64 word
+    old: float         # element value before the flip
+    new: float         # element value after the flip
+
+
+#: domain separators for the plan's auxiliary keyed hashes (distinct
+#: from the 5-int wire-action hash by message length)
+_DOM_SDC_FIRE = 1
+_DOM_SDC_ELEM = 2
+_DOM_SDC_BIT = 3
+_DOM_CKPT = 4
+
+#: bits eligible for a hash-chosen flip: the float64 exponent field.
+#: Flipping an exponent bit rescales the value by >= 4x, so a single
+#: flip always produces a physically loud corruption — which is what
+#: makes detection (and therefore the tests) deterministic.
+_EXPONENT_BITS = tuple(range(53, 63))
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Seeded, immutable fault schedule.
 
@@ -73,6 +112,21 @@ class FaultPlan:
 
     ``crash_rank``/``crash_step`` name one rank to kill at the top of one
     application step (both must be set for a crash to fire).
+
+    SDC faults: ``sdc_rate`` is the per-``(rank, step, array)``
+    probability that one bit flips in that array at that step boundary.
+    ``sdc_arrays`` restricts eligible array names (empty = all offered);
+    ``sdc_rank``/``sdc_step`` restrict the site (``None`` = any).
+    ``sdc_bit`` pins the flipped bit (``None`` = hash-chosen exponent
+    bit).  ``sdc_once`` makes each site one-shot — a transient upset
+    that does not recur when a supervised rollback replays the step;
+    ``sdc_once=False`` models persistent (stuck-at) corruption that
+    re-fires on every replay, which a recovery policy must classify as
+    unrecoverable.  ``ckpt_corrupt`` is the per-``(step, rank)``
+    probability that a checkpoint file is damaged after being written
+    (``ckpt_corrupt_rank``/``ckpt_corrupt_step`` narrow it; always
+    one-shot per site, so a rollback that re-writes the same step saves
+    clean).
     """
 
     seed: int = 0
@@ -86,6 +140,15 @@ class FaultPlan:
     max_attempts: int = 12
     backoff_base: float = 0.001
     backoff_max: float = 0.05
+    sdc_rate: float = 0.0
+    sdc_arrays: tuple[str, ...] = ()
+    sdc_rank: int | None = None
+    sdc_step: int | None = None
+    sdc_bit: int | None = None
+    sdc_once: bool = True
+    ckpt_corrupt: float = 0.0
+    ckpt_corrupt_rank: int | None = None
+    ckpt_corrupt_step: int | None = None
 
     def __post_init__(self) -> None:
         probs = (self.drop, self.duplicate, self.corrupt, self.delay)
@@ -95,6 +158,12 @@ class FaultPlan:
             raise ValueError("fault probabilities sum to more than 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.sdc_rate <= 1.0:
+            raise ValueError("sdc_rate must be in [0, 1]")
+        if not 0.0 <= self.ckpt_corrupt <= 1.0:
+            raise ValueError("ckpt_corrupt must be in [0, 1]")
+        if self.sdc_bit is not None and not 0 <= self.sdc_bit < 64:
+            raise ValueError("sdc_bit must be in [0, 64)")
 
     # -- deterministic decisions ------------------------------------------
     def _uniform(self, src: int, dst: int, tag: int, seq: int,
@@ -126,25 +195,111 @@ class FaultPlan:
     def backoff(self, attempt: int) -> float:
         return min(self.backoff_base * (2.0 ** attempt), self.backoff_max)
 
+    # -- silent-data-corruption schedule ----------------------------------
+    def _aux_hash(self, domain: int, *parts: int) -> int:
+        """Keyed hash over a domain-separated integer tuple.
+
+        The message is ``1 + len(parts)`` little-endian int64 words, so
+        it can never collide with the 5-word wire-action hash.
+        """
+        key = struct.pack("<q", self.seed)
+        msg = struct.pack(f"<{len(parts) + 1}q", domain, *parts)
+        digest = hashlib.blake2b(msg, key=key, digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+
+    def sdc_site(self, rank: int, step: int,
+                 name: str) -> tuple[int, int] | None:
+        """``(element_hash, bit)`` if array ``name`` on ``rank`` flips at
+        the top of ``step``; ``None`` otherwise.
+
+        ``element_hash`` is an unreduced 64-bit draw — the injector takes
+        it modulo the array size, so the schedule does not depend on the
+        (rank-local) array shape.
+        """
+        if self.sdc_rate <= 0.0:
+            return None
+        if self.sdc_arrays and name not in self.sdc_arrays:
+            return None
+        if self.sdc_rank is not None and rank != self.sdc_rank:
+            return None
+        if self.sdc_step is not None and step != self.sdc_step:
+            return None
+        tag = zlib.crc32(name.encode())
+        u = self._aux_hash(_DOM_SDC_FIRE, rank, step, tag) / 2.0 ** 64
+        if u >= self.sdc_rate:
+            return None
+        elem = self._aux_hash(_DOM_SDC_ELEM, rank, step, tag)
+        if self.sdc_bit is not None:
+            bit = self.sdc_bit
+        else:
+            draw = self._aux_hash(_DOM_SDC_BIT, rank, step, tag)
+            bit = _EXPONENT_BITS[draw % len(_EXPONENT_BITS)]
+        return elem, bit
+
+    def ckpt_corrupt_site(self, step: int, rank: int) -> int | None:
+        """Byte-offset hash if the checkpoint ``(step, rank)`` writes is
+        to be damaged; ``None`` otherwise (reduced modulo file size by
+        the checkpointer)."""
+        if self.ckpt_corrupt <= 0.0:
+            return None
+        if (self.ckpt_corrupt_rank is not None
+                and rank != self.ckpt_corrupt_rank):
+            return None
+        if (self.ckpt_corrupt_step is not None
+                and step != self.ckpt_corrupt_step):
+            return None
+        u = self._aux_hash(_DOM_CKPT, step, rank, 0) / 2.0 ** 64
+        if u >= self.ckpt_corrupt:
+            return None
+        return self._aux_hash(_DOM_CKPT, step, rank, 1)
+
+
+def _flip_float64_bit(arr: np.ndarray, elem: int,
+                      bit: int) -> tuple[int, float, float] | None:
+    """Flip ``bit`` of element ``elem % size`` of a float64(-backed) array.
+
+    Complex arrays are corrupted through their real component view.
+    Returns ``(flat_index, old, new)``, or ``None`` when the array is
+    empty or not float64-backed (integer state, e.g. particle tags, is
+    not a bit-flip target).
+    """
+    target = arr.real if np.iscomplexobj(arr) else arr
+    if target.size == 0 or target.dtype != np.float64:
+        return None
+    flat = elem % target.size
+    idx = np.unravel_index(flat, target.shape)
+    old = np.float64(target[idx])
+    word = old.view(np.uint64) ^ (np.uint64(1) << np.uint64(bit))
+    new = word.view(np.float64)
+    target[idx] = new
+    return flat, float(old), float(new)
+
 
 @dataclass
 class FaultInjector:
     """Mutable companion of a :class:`FaultPlan` for one (supervised) job.
 
     The transport consults :meth:`action` per delivery attempt and the
-    application drivers call :meth:`tick` at the top of every step.  The
-    crash is one-shot: after it fires once, restarted runs proceed —
-    that is what lets a supervisor resume from checkpoint and finish.
+    application drivers call :meth:`tick` at the top of every step
+    (crashes) and :meth:`sdc` right after it (memory bit flips).  Crash
+    and (by default) SDC sites are one-shot: after an injection fires
+    once, restarted runs proceed clean past it — that is what lets a
+    supervisor resume from checkpoint and finish.
     """
 
     plan: FaultPlan
     records: list[FaultRecord] = field(default_factory=list)
+    #: log of injected memory bit flips (kind ``sdc`` in :attr:`records`
+    #: mirrors these with less detail)
+    sdc_records: list[SDCRecord] = field(default_factory=list)
     #: tracer receiving one instant event per fault (the job attaches
     #: its tracer here; the default records nothing)
     tracer: object = field(default=NULL_TRACER, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
     _crash_fired: bool = False
+    _sdc_fired: set = field(default_factory=set, repr=False)
+    _ckpt_fired: set = field(default_factory=set, repr=False)
 
     def action(self, src: int, dst: int, tag: int, seq: int,
                attempt: int) -> str:
@@ -184,6 +339,70 @@ class FaultInjector:
 
     def backoff(self, attempt: int) -> float:
         return self.plan.backoff(attempt)
+
+    # -- silent data corruption -------------------------------------------
+    def sdc(self, rank: int, step: int,
+            arrays: dict[str, np.ndarray]) -> list[SDCRecord]:
+        """Apply the plan's scheduled bit flips to named state arrays.
+
+        Called by the drivers at the top of each step with the live
+        (mutable) application-state arrays; flips happen in place.
+        Arrays are visited in sorted-name order so the injection log is
+        deterministic.  Returns the records for the flips that fired.
+        """
+        fired: list[SDCRecord] = []
+        for name in sorted(arrays):
+            site = self.plan.sdc_site(rank, step, name)
+            if site is None:
+                continue
+            key = (rank, step, name)
+            with self._lock:
+                if self.plan.sdc_once and key in self._sdc_fired:
+                    continue
+                self._sdc_fired.add(key)
+            flip = _flip_float64_bit(arrays[name], *site)
+            if flip is None:
+                continue
+            flat, old, new = flip
+            rec = SDCRecord(rank, step, name, flat, site[1], old, new)
+            with self._lock:
+                self.sdc_records.append(rec)
+                self.records.append(
+                    FaultRecord("sdc", rank, rank, -1, step, 0))
+            fired.append(rec)
+            if self.tracer.enabled:
+                self.tracer.instant(rank, "sdc", CAT_FAULT,
+                                    {"step": step, "array": name,
+                                     "index": flat, "bit": site[1]})
+        return fired
+
+    def ckpt_corrupt_offset(self, step: int, rank: int,
+                            nbytes: int) -> int | None:
+        """Byte offset to damage in checkpoint ``(step, rank)``, if any.
+
+        One-shot per site, so a rollback that re-writes the same step
+        saves clean.  The offset avoids the first/last 128 bytes so the
+        flip tends to land in array payload rather than the zip
+        directory — the file still *exists* and looks plausible; only
+        reading it back reveals the damage (zip or per-array CRC
+        mismatch), which is exactly what ``latest_verified`` checks.
+        """
+        if nbytes <= 256:
+            return None
+        raw = self.plan.ckpt_corrupt_site(step, rank)
+        if raw is None:
+            return None
+        key = (step, rank)
+        with self._lock:
+            if key in self._ckpt_fired:
+                return None
+            self._ckpt_fired.add(key)
+            self.records.append(
+                FaultRecord("ckpt-corrupt", rank, rank, -2, step, 0))
+        if self.tracer.enabled:
+            self.tracer.instant(rank, "ckpt-corrupt", CAT_FAULT,
+                                {"step": step})
+        return 128 + raw % (nbytes - 256)
 
     @property
     def crash_fired(self) -> bool:

@@ -62,6 +62,27 @@ class TransportPoisonedError(RuntimeError):
     """The transport was shut down while this rank was blocked on it."""
 
 
+class DeliveryFailedError(RuntimeError):
+    """A payload exhausted the reliability layer's retry budget.
+
+    Raised on the *sender* after ``max_attempts`` delivery attempts all
+    failed (dropped or corrupted) — the wire-fault analogue of a dead
+    link.  Carries the message identity so supervisors and tests can
+    diagnose which channel died instead of matching on message text.
+    """
+
+    def __init__(self, src: int, dst: int, tag: int, seq: int,
+                 attempts: int):
+        super().__init__(
+            f"message {src}->{dst} tag {tag} seq {seq} undeliverable "
+            f"after {attempts} attempts")
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.seq = seq
+        self.attempts = attempts
+
+
 @dataclass(frozen=True)
 class MessageRecord:
     """One point-to-point message (MPI send or CAF put/get).
@@ -295,9 +316,8 @@ class Transport:
                 self._deliver(key, _Envelope(seq, csum, payload))
                 self._record(src, dst, nbytes, tag, onesided, True)
             return
-        raise RuntimeError(
-            f"message {src}->{dst} tag {tag} seq {seq} undeliverable "
-            f"after {inj.plan.max_attempts} attempts")
+        raise DeliveryFailedError(src, dst, tag, seq,
+                                  inj.plan.max_attempts)
 
     def fetch(self, src: int, dst: int, tag: int,
               timeout: float | None = None):

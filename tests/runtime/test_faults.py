@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.runtime import FaultInjector, FaultPlan, ParallelJob, Transport
-from repro.runtime.faults import DELIVER, RankCrashError
+from repro.runtime import (
+    DeliveryFailedError,
+    FaultInjector,
+    FaultPlan,
+    ParallelJob,
+    Transport,
+)
+from repro.runtime.faults import DELIVER, RankCrashError, _flip_float64_bit
 
 _GRID = [(s, d, t, q, a)
          for s in range(2) for d in range(2) for t in range(2)
@@ -107,8 +113,28 @@ class TestRecovery:
         plan = FaultPlan(seed=1, drop=1.0, max_attempts=3,
                          backoff_base=0.0001)
         transport = Transport(2, injector=FaultInjector(plan))
-        with pytest.raises(RuntimeError, match="undeliverable"):
-            transport.post(0, 1, 0, b"x", 1)
+        with pytest.raises(DeliveryFailedError,
+                           match="undeliverable") as info:
+            transport.post(0, 1, 7, b"x", 1)
+        err = info.value
+        assert (err.src, err.dst, err.tag, err.attempts) == (0, 1, 7, 3)
+
+    def test_exhausted_retries_abort_job_not_hang(self):
+        # A dead link must surface as a clear sender-side error (with
+        # the job naming the root cause), never as a receiver hang.
+        plan = FaultPlan(seed=2, drop=1.0, max_attempts=2,
+                         backoff_base=0.0001)
+        transport = Transport(2, injector=FaultInjector(plan))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(2), dest=1, tag=0)
+            else:
+                comm.recv(source=0, tag=0)
+
+        with pytest.raises(RuntimeError, match="undeliverable") as info:
+            ParallelJob(2, transport=transport).run(prog)
+        assert isinstance(info.value.__cause__, DeliveryFailedError)
 
     def test_faultless_injector_is_transparent(self):
         plan = FaultPlan(seed=9)
@@ -139,3 +165,129 @@ class TestCrash:
         with pytest.raises(RuntimeError, match="injected crash") as info:
             ParallelJob(2, injector=inj).run(prog)
         assert isinstance(info.value.__cause__, RankCrashError)
+
+
+class TestSDCSchedule:
+    KW = dict(seed=11, sdc_rate=1.0, sdc_arrays=("f",), sdc_rank=1,
+              sdc_step=3)
+
+    def test_site_deterministic(self):
+        a = FaultPlan(**self.KW).sdc_site(1, 3, "f")
+        b = FaultPlan(**self.KW).sdc_site(1, 3, "f")
+        assert a is not None and a == b
+        c = FaultPlan(**dict(self.KW, seed=12)).sdc_site(1, 3, "f")
+        assert a != c
+
+    def test_site_filters(self):
+        plan = FaultPlan(**self.KW)
+        assert plan.sdc_site(0, 3, "f") is None     # wrong rank
+        assert plan.sdc_site(1, 2, "f") is None     # wrong step
+        assert plan.sdc_site(1, 3, "g") is None     # array not targeted
+        assert FaultPlan(seed=11).sdc_site(1, 3, "f") is None  # rate 0
+
+    def test_hash_chosen_bit_lands_in_exponent(self):
+        plan = FaultPlan(seed=5, sdc_rate=1.0)
+        bits = {plan.sdc_site(r, s, "x")[1]
+                for r in range(4) for s in range(8)}
+        assert bits <= set(range(53, 63))
+        assert len(bits) > 1            # the bit is actually drawn
+
+    def test_pinned_bit(self):
+        plan = FaultPlan(**dict(self.KW, sdc_bit=7))
+        assert plan.sdc_site(1, 3, "f")[1] == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(sdc_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(sdc_bit=64)
+        with pytest.raises(ValueError):
+            FaultPlan(ckpt_corrupt=-0.1)
+
+
+class TestBitFlip:
+    def test_flip_twice_restores_bitwise(self):
+        arr = np.array([1.5, -2.25])
+        flat, old, new = _flip_float64_bit(arr, 1, 62)
+        assert (flat, old) == (1, -2.25)
+        assert arr[1] == new and new != old
+        assert _flip_float64_bit(arr, 1, 62)[2] == old
+        assert arr[1] == -2.25
+
+    def test_index_wraps_modulo_size(self):
+        arr = np.ones(3)
+        flat, _, _ = _flip_float64_bit(arr, 7, 55)
+        assert flat == 7 % 3
+
+    def test_complex_corrupted_through_real_part(self):
+        arr = np.full(2, 1.0 + 2.0j)
+        flat, old, new = _flip_float64_bit(arr, 0, 62)
+        assert old == 1.0
+        assert arr[0].real == new
+        assert arr[0].imag == 2.0       # imaginary part untouched
+
+    def test_non_float64_and_empty_are_skipped(self):
+        assert _flip_float64_bit(np.arange(4, dtype=np.int64), 0, 5) \
+            is None
+        assert _flip_float64_bit(np.empty(0), 0, 5) is None
+        assert _flip_float64_bit(np.ones(2, dtype=np.float32), 0, 5) \
+            is None
+
+
+class TestSDCInjector:
+    def _injector(self, **extra):
+        return FaultInjector(FaultPlan(
+            seed=11, sdc_rate=1.0, sdc_arrays=("f",), sdc_rank=1,
+            sdc_step=3, sdc_bit=62, **extra))
+
+    def test_transient_fires_once_per_site(self):
+        inj = self._injector()
+        arr = np.ones(8)
+        (rec,) = inj.sdc(1, 3, {"f": arr, "tags": np.arange(8)})
+        assert (rec.rank, rec.step, rec.array, rec.bit) == (1, 3, "f", 62)
+        assert arr[rec.index] == rec.new != rec.old
+        # Supervised replay of the same step: the upset was transient.
+        assert inj.sdc(1, 3, {"f": arr}) == []
+        assert arr[rec.index] == rec.new
+        assert inj.counts()["sdc"] == 1
+        assert inj.sdc_records == [rec]
+
+    def test_persistent_refires_on_replay(self):
+        inj = self._injector(sdc_once=False)
+        arr = np.ones(8)
+        (first,) = inj.sdc(1, 3, {"f": arr})
+        (again,) = inj.sdc(1, 3, {"f": arr})
+        assert first.index == again.index
+        assert arr[first.index] == 1.0  # same bit flipped back and forth
+        assert inj.counts()["sdc"] == 2
+
+    def test_untargeted_call_is_silent(self):
+        inj = self._injector()
+        arr = np.ones(8)
+        assert inj.sdc(0, 3, {"f": arr}) == []
+        assert inj.sdc(1, 2, {"f": arr}) == []
+        assert np.all(arr == 1.0)
+        assert inj.records == []
+
+    def test_ckpt_corrupt_offset_one_shot_in_payload_range(self):
+        inj = FaultInjector(FaultPlan(
+            seed=4, ckpt_corrupt=1.0, ckpt_corrupt_rank=0,
+            ckpt_corrupt_step=2))
+        off = inj.ckpt_corrupt_offset(2, 0, 1000)
+        assert off is not None and 128 <= off < 1000 - 128
+        assert inj.ckpt_corrupt_offset(2, 0, 1000) is None  # one-shot
+        assert inj.counts() == {"ckpt-corrupt": 1}
+
+    def test_ckpt_corrupt_filters(self):
+        plan = FaultPlan(seed=4, ckpt_corrupt=1.0, ckpt_corrupt_rank=0,
+                         ckpt_corrupt_step=2)
+        assert plan.ckpt_corrupt_site(2, 0) is not None
+        assert plan.ckpt_corrupt_site(1, 0) is None     # wrong step
+        assert plan.ckpt_corrupt_site(2, 1) is None     # wrong rank
+        assert FaultPlan(seed=4).ckpt_corrupt_site(2, 0) is None
+
+    def test_tiny_files_never_damaged(self):
+        inj = FaultInjector(FaultPlan(seed=4, ckpt_corrupt=1.0))
+        assert inj.ckpt_corrupt_offset(1, 0, 256) is None
+        assert inj.records == []        # size guard consumes nothing
+        assert inj.ckpt_corrupt_offset(1, 0, 1000) is not None
