@@ -71,44 +71,77 @@ def _shifted(f: np.ndarray, ax: int, offset: int,
     return f[(Ellipsis, *sl)]
 
 
-def deriv1(f: np.ndarray, ax: int, h: float,
-           order: int = 2) -> np.ndarray:
+def _accumulate(terms, out: np.ndarray | None) -> np.ndarray:
+    """``sum(c * view for view, c in terms)`` with one scratch buffer.
+
+    ``terms`` yields (view, coefficient) pairs; the first product lands
+    in ``out`` and the rest are added through a single reused scratch
+    array, keeping the naive sum's accumulation order (and therefore its
+    bits) while allocating at most two buffers total.
+    """
+    it = iter(terms)
+    view, c = next(it)
+    out = np.multiply(view, c, out=out)
+    scratch = None
+    for view, c in it:
+        if scratch is None:
+            scratch = np.empty_like(out)
+        np.multiply(view, c, out=scratch)
+        out += scratch
+    return out
+
+
+def deriv1(f: np.ndarray, ax: int, h: float, order: int = 2,
+           out: np.ndarray | None = None) -> np.ndarray:
     """Centered first derivative along grid axis ``ax``.
 
     Input has ghost width g; output shrinks by ``order // 2`` cells per
     side on *all* grid axes (the valid region after one application).
+    ``out`` receives the result in place when given (fused strided
+    update: no intermediate per-offset temporaries).
     """
     if order == 2:
-        return (_shifted(f, ax, 1) - _shifted(f, ax, -1)) / (2.0 * h)
+        out = np.subtract(_shifted(f, ax, 1), _shifted(f, ax, -1),
+                          out=out)
+        out /= 2.0 * h
+        return out
     if order == 4:
-        acc = sum(c * _shifted(f, ax, o, pad=2)
-                  for o, c in zip((-2, -1, 0, 1, 2), _D1_O4) if c)
-        return acc / h
+        out = _accumulate(((_shifted(f, ax, o, pad=2), c)
+                           for o, c in zip((-2, -1, 0, 1, 2), _D1_O4)
+                           if c), out)
+        out /= h
+        return out
     raise ValueError("supported orders: 2, 4")
 
 
-def deriv2(f: np.ndarray, ax: int, h: float,
-           order: int = 2) -> np.ndarray:
+def deriv2(f: np.ndarray, ax: int, h: float, order: int = 2,
+           out: np.ndarray | None = None) -> np.ndarray:
     """Centered second derivative along ``ax``; shrinks by order//2."""
     if order == 2:
-        return (_shifted(f, ax, 1) - 2.0 * _shifted(f, ax, 0)
-                + _shifted(f, ax, -1)) / (h * h)
+        out = np.multiply(_shifted(f, ax, 0), 2.0, out=out)
+        np.subtract(_shifted(f, ax, 1), out, out=out)
+        out += _shifted(f, ax, -1)
+        out /= h * h
+        return out
     if order == 4:
-        acc = sum(c * _shifted(f, ax, o, pad=2)
-                  for o, c in zip((-2, -1, 0, 1, 2), _D2_O4))
-        return acc / (h * h)
+        out = _accumulate(((_shifted(f, ax, o, pad=2), c)
+                           for o, c in zip((-2, -1, 0, 1, 2), _D2_O4)),
+                          out)
+        out /= h * h
+        return out
     raise ValueError("supported orders: 2, 4")
 
 
 def deriv_mixed(f: np.ndarray, ax1: int, ax2: int, h1: float,
-                h2: float, order: int = 2) -> np.ndarray:
+                h2: float, order: int = 2,
+                out: np.ndarray | None = None) -> np.ndarray:
     """Mixed second derivative; shrinks by order//2 per side.
 
     The 4th-order form is the tensor product of two 4th-order
     first-derivative stencils (offsets -2..2 in both directions).
     """
     if ax1 == ax2:
-        return deriv2(f, ax1, h1, order)
+        return deriv2(f, ax1, h1, order, out=out)
     pad = order // 2
     n1 = f.shape[ax1 - 3]
     n2 = f.shape[ax2 - 3]
@@ -120,39 +153,53 @@ def deriv_mixed(f: np.ndarray, ax1: int, ax2: int, h1: float,
         return f[(Ellipsis, *sl)]
 
     if order == 2:
-        return (corner(1, 1) - corner(1, -1) - corner(-1, 1)
-                + corner(-1, -1)) / (4.0 * h1 * h2)
-    acc = None
-    for o1, c1 in zip((-2, -1, 0, 1, 2), _D1_O4):
-        if not c1:
-            continue
-        for o2, c2 in zip((-2, -1, 0, 1, 2), _D1_O4):
-            if not c2:
-                continue
-            term = (c1 * c2) * corner(o1, o2)
-            acc = term if acc is None else acc + term
-    return acc / (h1 * h2)
+        out = np.subtract(corner(1, 1), corner(1, -1), out=out)
+        out -= corner(-1, 1)
+        out += corner(-1, -1)
+        out /= 4.0 * h1 * h2
+        return out
+    out = _accumulate(((corner(o1, o2), c1 * c2)
+                       for o1, c1 in zip((-2, -1, 0, 1, 2), _D1_O4)
+                       if c1
+                       for o2, c2 in zip((-2, -1, 0, 1, 2), _D1_O4)
+                       if c2), out)
+    out /= h1 * h2
+    return out
+
+
+def _shrunk_shape(f: np.ndarray, pad: int) -> tuple[int, ...]:
+    return f.shape[:-3] + tuple(n - 2 * pad for n in f.shape[-3:])
 
 
 def grad(f: np.ndarray, spacing: tuple[float, float, float],
-         order: int = 2) -> np.ndarray:
-    """All three first derivatives, stacked on a new leading axis."""
-    return np.stack([deriv1(f, ax, spacing[ax], order)
-                     for ax in range(3)])
+         order: int = 2, out: np.ndarray | None = None) -> np.ndarray:
+    """All three first derivatives, stacked on a new leading axis.
+
+    Each derivative is computed directly into its slot of ``out`` —
+    the axis loop is fused into three strided in-place expressions with
+    no stack copy.
+    """
+    if out is None:
+        out = np.empty((3, *_shrunk_shape(f, order // 2)),
+                       dtype=np.result_type(f.dtype, np.float64))
+    for ax in range(3):
+        deriv1(f, ax, spacing[ax], order, out=out[ax])
+    return out
 
 
 def hessian(f: np.ndarray, spacing: tuple[float, float, float],
-            order: int = 2) -> np.ndarray:
+            order: int = 2, out: np.ndarray | None = None) -> np.ndarray:
     """Symmetric (3,3,...) matrix of second derivatives."""
-    out_shape = deriv2(f, 0, spacing[0], order).shape
-    h = np.empty((3, 3, *out_shape))
+    if out is None:
+        out = np.empty((3, 3, *_shrunk_shape(f, order // 2)),
+                       dtype=np.result_type(f.dtype, np.float64))
     for a in range(3):
         for b in range(a, 3):
-            h[a, b] = deriv_mixed(f, a, b, spacing[a], spacing[b],
-                                  order)
+            deriv_mixed(f, a, b, spacing[a], spacing[b], order,
+                        out=out[a, b])
             if a != b:
-                h[b, a] = h[a, b]
-    return h
+                out[b, a] = out[a, b]
+    return out
 
 
 def interior(ext: np.ndarray, shrink: int) -> np.ndarray:
@@ -173,7 +220,8 @@ def extend(field: np.ndarray, ghost: int = GHOST) -> np.ndarray:
 
 
 def kreiss_oliger(ext: np.ndarray, spacing: tuple[float, float, float],
-                  sigma: float, ghost: int = GHOST) -> np.ndarray:
+                  sigma: float, ghost: int = GHOST,
+                  out: np.ndarray | None = None) -> np.ndarray:
     """Fourth-derivative Kreiss-Oliger dissipation, interior-shaped.
 
     ``Q f = -sigma/(16 h) (f_{i-2} - 4 f_{i-1} + 6 f_i - 4 f_{i+1}
@@ -187,9 +235,15 @@ def kreiss_oliger(ext: np.ndarray, spacing: tuple[float, float, float],
         raise ValueError("Kreiss-Oliger needs ghost width >= 2")
     g = ghost
     core = (Ellipsis,) + (slice(g, -g),) * 3
-    out = np.zeros(ext[core].shape, dtype=ext.dtype)
+    shape = ext[core].shape
+    if out is None:
+        out = np.zeros(shape, dtype=ext.dtype)
+    else:
+        out[...] = 0.0
     if sigma == 0.0:
         return out
+    acc = np.empty(shape, dtype=ext.dtype)
+    term = np.empty(shape, dtype=ext.dtype)
     for ax in range(3):
         n = ext.shape[ax - 3]
 
@@ -198,7 +252,16 @@ def kreiss_oliger(ext: np.ndarray, spacing: tuple[float, float, float],
             sl[ax] = slice(g + o, n - g + o)
             return ext[(Ellipsis, *sl)]
 
-        out += (-sigma / (16.0 * spacing[ax])) * (
-            off(-2) - 4.0 * off(-1) + 6.0 * off(0)
-            - 4.0 * off(1) + off(2))
+        # acc = off(-2) - 4 off(-1) + 6 off(0) - 4 off(1) + off(2),
+        # evaluated in the naive expression's order through two scratch
+        # buffers instead of five temporaries.
+        np.multiply(off(-1), 4.0, out=term)
+        np.subtract(off(-2), term, out=acc)
+        np.multiply(off(0), 6.0, out=term)
+        acc += term
+        np.multiply(off(1), 4.0, out=term)
+        acc -= term
+        acc += off(2)
+        acc *= -sigma / (16.0 * spacing[ax])
+        out += acc
     return out

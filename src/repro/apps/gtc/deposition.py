@@ -15,18 +15,24 @@ that blocks naive vectorization.  Three algorithms are implemented:
   that blocked OpenMP on the ES (§6.1);
 * :func:`deposit_sorted` — the sorting alternative the paper mentions:
   order scatter targets, then segment-reduce (extra compute, no extra
-  memory).
+  memory);
+* :func:`deposit_fast` — the production fast path: one ``np.bincount``
+  scatter-reduce over all scatter targets, no sort and no lane copies.
 
-All three produce identical physics; tests assert element-wise agreement
-to rounding error.
+All variants produce identical physics; tests assert element-wise
+agreement to rounding error.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from .grid import AnnulusGrid
 from .particles import ParticleArray
+
+_FAST_LOCAL = threading.local()
 
 #: Gyro-ring sampling angles of the 4-point average (Fig. 8b).
 _GYRO_ANGLES = np.array([0.0, 0.5 * np.pi, np.pi, 1.5 * np.pi])
@@ -114,6 +120,112 @@ def deposit_sorted(grid: AnnulusGrid, particles: ParticleArray,
     idx_s, vals_s = idx[order], vals[order]
     out = np.bincount(idx_s, weights=vals_s, minlength=grid.npoints)
     return out.reshape(grid.shape)
+
+
+class FusedDeposition:
+    """Scratch-reusing fused deposition (the measured hot-path kernel).
+
+    The naive pipeline builds the full (4, n) gyro-point arrays, stacks
+    16 corner index/weight planes, and scatters 16n values in one go —
+    allocating ~a dozen megabyte-scale temporaries per call.  This kernel
+    walks the four gyro points one at a time with preallocated n-sized
+    buffers (the working set stays cache-resident), computes the bilinear
+    stencil in place, and accumulates each corner with ``np.bincount`` —
+    the gather/scatter vectorization of §6.1 without the work-vector
+    memory blowup and without the sort :func:`deposit_sorted` pays for.
+
+    Results agree with :func:`deposit_classic` to rounding error
+    (test-enforced at rtol <= 1e-12); the summation *order* differs, so
+    agreement is not bitwise.  Instances hold scratch and must not be
+    shared across threads (ranks build their own, see
+    :func:`deposit_fast`).
+    """
+
+    _COS = np.cos(_GYRO_ANGLES)
+    _SIN = np.sin(_GYRO_ANGLES)
+
+    def __init__(self, grid: AnnulusGrid):
+        self.grid = grid
+        self._n: int | None = None
+
+    def _ensure(self, n: int) -> None:
+        if self._n == n:
+            return
+        self._n = n
+        for name in ("_rk", "_tk", "_fx", "_fy", "_gx", "_gy", "_wk"):
+            setattr(self, name, np.empty(n))
+        for name in ("_i0", "_j0", "_i1", "_j1", "_fl"):
+            setattr(self, name, np.empty(n, dtype=np.int64))
+        self._out = np.empty(self.grid.npoints)
+
+    def __call__(self, particles: ParticleArray,
+                 b: float | np.ndarray = 1.0) -> np.ndarray:
+        g = self.grid
+        nr, nth = g.shape
+        self._ensure(len(particles))
+        rho = particles.gyroradius(b)
+        w4 = particles.w / 4.0
+        out = self._out
+        out[...] = 0.0
+        rk, tk, fx, fy = self._rk, self._tk, self._fx, self._fy
+        gx, gy, wk = self._gx, self._gy, self._wk
+        i0, j0, i1, j1, fl = (self._i0, self._j0, self._i1, self._j1,
+                              self._fl)
+        inv_dr, inv_dth = 1.0 / g.dr, 1.0 / g.dtheta
+        for k in range(4):
+            # Gyro point k: r_k = r + rho cos, theta_k = theta + arc/r_k.
+            np.multiply(rho, self._COS[k], out=rk)
+            rk += particles.r
+            np.multiply(rho, self._SIN[k], out=tk)
+            np.maximum(rk, 1e-12, out=gx)
+            tk /= gx
+            tk += particles.theta
+            # Bilinear stencil, in place (same clamping as grid.bilinear).
+            rk -= g.r0
+            rk *= inv_dr
+            np.clip(rk, 0.0, nr - 1 - 1e-9, out=rk)
+            np.floor(rk, out=gx)
+            np.subtract(rk, gx, out=fx)
+            i0[...] = gx                       # cast, no allocation
+            np.mod(tk, 2.0 * np.pi, out=tk)
+            tk *= inv_dth
+            np.floor(tk, out=gy)
+            np.subtract(tk, gy, out=fy)
+            j0[...] = gy
+            j0 %= nth
+            np.add(i0, 1, out=i1)
+            np.minimum(i1, nr - 1, out=i1)
+            np.add(j0, 1, out=j1)
+            j1 %= nth
+            i0 *= nth
+            i1 *= nth
+            # Corner weights carry w/4 each; accumulate per corner.
+            np.subtract(1.0, fx, out=gx)
+            np.subtract(1.0, fy, out=gy)
+            gx *= w4
+            fx *= w4
+            for wr, wc, ir, jc in ((gx, gy, i0, j0), (fx, gy, i1, j0),
+                                   (gx, fy, i0, j1), (fx, fy, i1, j1)):
+                np.multiply(wr, wc, out=wk)
+                np.add(ir, jc, out=fl)
+                out += np.bincount(fl, weights=wk, minlength=g.npoints)
+        return out.reshape(g.shape).copy()
+
+
+def deposit_fast(grid: AnnulusGrid, particles: ParticleArray,
+                 b: float | np.ndarray = 1.0) -> np.ndarray:
+    """Fused vectorized deposition; one-shot front-end.
+
+    Builds a thread-local :class:`FusedDeposition` per grid so repeated
+    calls (the solver's inner loop) reuse scratch buffers.
+    """
+    cache = getattr(_FAST_LOCAL, "cache", None)
+    if cache is None:
+        cache = _FAST_LOCAL.cache = {}
+    kern = cache.get(grid)
+    if kern is None:
+        kern = cache[grid] = FusedDeposition(grid)
+    return kern(particles, b)
 
 
 def deposited_charge_total(grid: AnnulusGrid, charge: np.ndarray) -> float:

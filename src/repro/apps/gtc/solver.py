@@ -11,13 +11,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .deposition import deposit_classic, deposit_sorted, deposit_work_vector
+from .deposition import (
+    deposit_classic,
+    deposit_fast,
+    deposit_sorted,
+    deposit_work_vector,
+)
 from .grid import TorusGeometry
 from .particles import ParticleArray
 from .poisson import PoissonSolver
 from .push import electric_field, field_energy, push_rk2
 
-_DEPOSITORS = ("classic", "work-vector", "sorted")
+_DEPOSITORS = ("classic", "work-vector", "sorted", "fast")
 
 
 @dataclass
@@ -78,6 +83,8 @@ class GTCSolver:
         b = self.geometry.b0
         if self.depositor == "classic":
             rho = deposit_classic(g, plane_particles, b)
+        elif self.depositor == "fast":
+            rho = deposit_fast(g, plane_particles, b)
         elif self.depositor == "sorted":
             rho = deposit_sorted(g, plane_particles, b)
         else:

@@ -36,6 +36,7 @@ from ...runtime import (
 )
 from .collision import collide
 from .equilibrium import f_equilibrium, g_equilibrium, moments
+from .fused import FusedStepper
 from .lattice import _CUBIC_NODES, D2Q9, Lattice, lagrange_weights
 
 #: the 8 halo directions (dy, dx)
@@ -70,16 +71,20 @@ def _region(dy: int, dx: int, h: int, ly: int, lx: int, *,
             _side_slices(dx, h, lx, halo=halo))
 
 
-def stream_extended(ext: np.ndarray, lattice: Lattice,
-                    h: int) -> np.ndarray:
+def stream_extended(ext: np.ndarray, lattice: Lattice, h: int,
+                    out: np.ndarray | None = None,
+                    scratch: np.ndarray | None = None) -> np.ndarray:
     """Streaming on a halo-extended array; returns the interior result.
 
     ``ext`` has shape (Q, ..., ly+2h, lx+2h) with valid halos.  Equivalent
     to global periodic streaming followed by cropping to this block.
+    ``out`` (and, for interpolating lattices, ``scratch``) may be passed
+    to reuse buffers across steps; results are identical either way.
     """
     q = ext.shape[0]
     ly, lx = ext.shape[-2] - 2 * h, ext.shape[-1] - 2 * h
-    out = np.empty(ext.shape[:-2] + (ly, lx), dtype=ext.dtype)
+    if out is None:
+        out = np.empty(ext.shape[:-2] + (ly, lx), dtype=ext.dtype)
 
     def shifted(i: int, oy: int, ox: int) -> np.ndarray:
         return ext[i][..., h + oy:h + oy + ly, h + ox:h + ox + lx]
@@ -94,10 +99,14 @@ def stream_extended(ext: np.ndarray, lattice: Lattice,
             out[i] = shifted(i, -dy, -dx)
         else:
             weights = lagrange_weights(_CUBIC_NODES, -frac)
-            acc = np.zeros(ext.shape[1:-2] + (ly, lx), dtype=ext.dtype)
+            if scratch is None:
+                scratch = np.empty(ext.shape[1:-2] + (ly, lx),
+                                   dtype=ext.dtype)
+            out[i][...] = 0.0
             for node, w in zip(_CUBIC_NODES.astype(np.int64), weights):
-                acc += w * shifted(i, node * dy, node * dx)
-            out[i] = acc
+                np.multiply(shifted(i, node * dy, node * dx), w,
+                            out=scratch)
+                out[i] += scratch
     return out
 
 
@@ -162,13 +171,28 @@ class _RankState:
         return _region(dy, dx, self.h, self.ly, self.lx, halo=True)
 
 
+def _pack_strip(strip: np.ndarray, pool) -> np.ndarray:
+    """Pack a boundary strip into a pooled (or fresh) send buffer."""
+    if pool is None:
+        return strip.copy()
+    buf = pool.take(strip.shape, strip.dtype)
+    np.copyto(buf, strip)
+    return buf
+
+
 def _exchange_mpi(state: _RankState) -> None:
-    """Packed-buffer halo exchange: one message per neighbour (§3.1)."""
+    """Packed-buffer halo exchange: one message per neighbour (§3.1).
+
+    With the zero-copy transport, packing buffers come from the shared
+    :class:`~repro.runtime.buffers.BufferPool` and are recycled by the
+    receiver once unpacked — steady-state stepping allocates nothing on
+    the halo path.  Logical traffic records are identical either way.
+    """
     comm = state.comm
+    tp = comm.transport
+    pool = tp.pool if tp.zero_copy else None
     for k, (dy, dx) in enumerate(_DIRS):
         nb = state.neighbors[(dy, dx)]
-        payload = (state.strip(state.f, dy, dx).copy(),
-                   state.strip(state.g, dy, dx).copy())
         if nb == comm.rank:
             # Periodic wrap onto self (grid dimension 1 along this axis):
             # halo on side d holds this rank's own strip from side -d.
@@ -176,6 +200,8 @@ def _exchange_mpi(state: _RankState) -> None:
             state.f[..., ys, xs] = state.strip(state.f, -dy, -dx)
             state.g[..., ys, xs] = state.strip(state.g, -dy, -dx)
         else:
+            payload = (_pack_strip(state.strip(state.f, dy, dx), pool),
+                       _pack_strip(state.strip(state.g, dy, dx), pool))
             comm.send(payload, dest=nb, tag=k)
     for k, (dy, dx) in enumerate(_DIRS):
         nb = state.neighbors[(dy, dx)]
@@ -186,6 +212,9 @@ def _exchange_mpi(state: _RankState) -> None:
         ys, xs = state.halo_region(dy, dx)
         state.f[..., ys, xs] = f_strip
         state.g[..., ys, xs] = g_strip
+        if pool is not None:
+            pool.give(f_strip)
+            pool.give(g_strip)
 
 
 class _CafImages:
@@ -220,7 +249,7 @@ def _exchange_caf(state: _RankState, images: _CafImages) -> None:
 def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  nprocs: int, nsteps: int, lattice: Lattice = D2Q9,
                  tau: float = 0.8, tau_m: float = 0.8,
-                 use_caf: bool = False,
+                 use_caf: bool = False, fused: bool = False,
                  transport: Transport | None = None,
                  injector: FaultInjector | None = None,
                  checkpoint: Checkpointer | None = None,
@@ -233,7 +262,10 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
 
     The processor grid is the near-square factorization of ``nprocs``
     (the paper restricts to squared integers to maximize performance; any
-    count works here).
+    count works here).  ``fused=True`` runs the collision and streaming
+    phases through :class:`~repro.apps.lbmhd.fused.FusedStepper`
+    (in-place relaxation, reused stream buffers) — bitwise identical to
+    the naive kernels, just without their per-step temporaries.
 
     Resilience: ``injector`` enables fault injection (message faults are
     survived by the transport's retry path; a planned rank crash aborts
@@ -258,6 +290,11 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         state = _RankState(comm, decomp, lattice, rho, u, B, tau, tau_m)
         images = _CafImages(state) if use_caf else None
         inter = state.interior
+        stepper = FusedStepper(lattice, tau, tau_m) if fused else None
+        f_out = g_out = None
+        if fused:
+            f_out = np.empty(state.f.shape[:-2] + (state.ly, state.lx))
+            g_out = np.empty(state.g.shape[:-2] + (state.ly, state.lx))
         monitor = HealthMonitor(comm, health) if health is not None \
             else None
         start_step = 0
@@ -283,19 +320,27 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                 tracer.instant(comm.rank, "step", "phase",
                                {"step": step_index})
             with comm.phase("collision"):
-                f_i, g_i = collide(state.f[(Ellipsis,) + inter],
-                                   state.g[(Ellipsis,) + inter],
-                                   lattice, tau, tau_m)
-                state.f[(Ellipsis,) + inter] = f_i
-                state.g[(Ellipsis,) + inter] = g_i
+                if stepper is not None:
+                    stepper.collide(state.f[(Ellipsis,) + inter],
+                                    state.g[(Ellipsis,) + inter])
+                else:
+                    f_i, g_i = collide(state.f[(Ellipsis,) + inter],
+                                       state.g[(Ellipsis,) + inter],
+                                       lattice, tau, tau_m)
+                    state.f[(Ellipsis,) + inter] = f_i
+                    state.g[(Ellipsis,) + inter] = g_i
             with comm.phase("halo"):
                 if use_caf:
                     _exchange_caf(state, images)
                 else:
                     _exchange_mpi(state)
             with comm.phase("stream"):
-                f_s = stream_extended(state.f, lattice, state.h)
-                g_s = stream_extended(state.g, lattice, state.h)
+                if stepper is not None:
+                    f_s = stepper.stream_halo(state.f, state.h, f_out)
+                    g_s = stepper.stream_halo(state.g, state.h, g_out)
+                else:
+                    f_s = stream_extended(state.f, lattice, state.h)
+                    g_s = stream_extended(state.g, lattice, state.h)
                 state.f[(Ellipsis,) + inter] = f_s
                 state.g[(Ellipsis,) + inter] = g_s
             if monitor is not None and monitor.due(step_index):

@@ -14,6 +14,7 @@ import numpy as np
 
 from .collision import collide, resistivity, viscosity
 from .equilibrium import f_equilibrium, g_equilibrium, moments
+from .fused import FusedStepper
 from .lattice import D2Q9, Lattice, stream_all
 
 
@@ -46,7 +47,7 @@ class LBMHDSolver:
 
     def __init__(self, rho: np.ndarray, u: np.ndarray, B: np.ndarray,
                  *, lattice: Lattice = D2Q9, tau: float = 0.8,
-                 tau_m: float = 0.8):
+                 tau_m: float = 0.8, fused: bool = False):
         rho = np.asarray(rho, dtype=np.float64)
         if rho.ndim != 2:
             raise ValueError("rho must be 2-D (ny, nx)")
@@ -59,16 +60,23 @@ class LBMHDSolver:
                                np.asarray(B, dtype=np.float64), lattice)
         self.g = g_equilibrium(np.asarray(u, dtype=np.float64),
                                np.asarray(B, dtype=np.float64), lattice)
+        self._stepper = (FusedStepper(lattice, tau, tau_m)
+                         if fused else None)
         self.step_count = 0
 
     # -- simulation ------------------------------------------------------------
     def step(self, nsteps: int = 1) -> None:
         """Advance ``nsteps`` collision+stream cycles."""
         for _ in range(nsteps):
-            self.f, self.g = collide(self.f, self.g, self.lattice,
-                                     self.tau, self.tau_m)
-            self.f = stream_all(self.f, self.lattice)
-            self.g = stream_all(self.g, self.lattice)
+            if self._stepper is not None:
+                self._stepper.collide(self.f, self.g)
+                self.f = self._stepper.stream(self.f, "f")
+                self.g = self._stepper.stream(self.g, "g")
+            else:
+                self.f, self.g = collide(self.f, self.g, self.lattice,
+                                         self.tau, self.tau_m)
+                self.f = stream_all(self.f, self.lattice)
+                self.g = stream_all(self.g, self.lattice)
             self.step_count += 1
 
     # -- fields ----------------------------------------------------------------

@@ -22,6 +22,12 @@ Pipeline (forward = sphere -> real space):
 The inverse runs the pipeline backwards.  Conventions match
 :meth:`repro.apps.paratec.basis.PlaneWaveBasis.to_grid` exactly, which
 the tests exploit for serial-vs-parallel comparison.
+
+Transpose chunks are handed to ``alltoall`` as strided views: the
+runtime's buffer-ownership protocol (:mod:`repro.runtime.buffers`)
+performs the one packing copy a real MPI transpose would, instead of the
+explicit ``.copy()`` + deep-copy-on-send double copy this module used to
+pay.
 """
 
 from __future__ import annotations
@@ -134,7 +140,7 @@ class ParallelFFT3D:
         chunks = []
         for dest in range(self.comm.size):
             x0, x1 = self.layout.x_range(dest)
-            chunks.append(((z0, z1), plane[x0:x1].copy()))
+            chunks.append(((z0, z1), plane[x0:x1]))
         incoming = self.comm.alltoall(chunks)
         x0, x1 = self.layout.x_range(self.comm.rank)
         slab = np.zeros((x1 - x0, ny, nz), dtype=np.complex128)
@@ -162,7 +168,7 @@ class ParallelFFT3D:
         chunks = []
         for dest in range(comm.size):
             yd0, yd1 = y_blocks[dest]
-            chunks.append(((x0, x1), slab[:, yd0:yd1, :].copy()))
+            chunks.append(((x0, x1), slab[:, yd0:yd1, :]))
         incoming = comm.alltoall(chunks)
         my_y0, my_y1 = y_blocks[comm.rank]
         lines = np.zeros((nx, my_y1 - my_y0, nz), dtype=np.complex128)
@@ -173,7 +179,7 @@ class ParallelFFT3D:
         chunks = []
         for dest in range(comm.size):
             xd0, xd1 = self.layout.x_range(dest)
-            chunks.append(((my_y0, my_y1), lines[xd0:xd1].copy()))
+            chunks.append(((my_y0, my_y1), lines[xd0:xd1]))
         incoming = comm.alltoall(chunks)
         out = np.zeros((x1 - x0, ny, nz), dtype=np.complex128)
         for (sy0, sy1), vals in incoming:
@@ -207,7 +213,7 @@ class ParallelFFT3D:
         chunks = []
         for dest in range(comm.size):
             yd0, yd1 = y_blocks[dest]
-            chunks.append(((x0, x1), slab[:, yd0:yd1, :].copy()))
+            chunks.append(((x0, x1), slab[:, yd0:yd1, :]))
         incoming = comm.alltoall(chunks)
         my_y0, my_y1 = y_blocks[comm.rank]
         lines = np.zeros((nx, my_y1 - my_y0, nz), dtype=np.complex128)
@@ -217,7 +223,7 @@ class ParallelFFT3D:
         chunks = []
         for dest in range(comm.size):
             xd0, xd1 = self.layout.x_range(dest)
-            chunks.append(((my_y0, my_y1), lines[xd0:xd1].copy()))
+            chunks.append(((my_y0, my_y1), lines[xd0:xd1]))
         incoming = comm.alltoall(chunks)
         mine = np.zeros((x1 - x0, ny, nz), dtype=np.complex128)
         for (sy0, sy1), vals in incoming:
@@ -227,7 +233,7 @@ class ParallelFFT3D:
         chunks = []
         for dest in range(comm.size):
             zd0, zd1 = self.layout.z_range(dest)
-            chunks.append(((x0, x1), mine[:, :, zd0:zd1].copy()))
+            chunks.append(((x0, x1), mine[:, :, zd0:zd1]))
         incoming = comm.alltoall(chunks)
         plane = np.zeros((nx, ny, z1 - z0), dtype=np.complex128)
         for (sx0, sx1), vals in incoming:
@@ -236,7 +242,7 @@ class ParallelFFT3D:
         # z-FFT on active columns only, then gather our sphere coeffs.
         chunks = [[] for _ in range(comm.size)]
         for (cx, cy), owner in self.layout.column_owner.items():
-            chunks[owner].append(((cx, cy), plane[cx, cy, :].copy()))
+            chunks[owner].append(((cx, cy), plane[cx, cy, :]))
         incoming = comm.alltoall(chunks)
         cols = {k: np.zeros(nz, dtype=np.complex128)
                 for k in self.my_columns}

@@ -184,6 +184,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf.bench import (check_regression, format_report,
+                             load_baseline, run_bench)
+
+    only = args.only.split(",") if args.only else None
+    doc = run_bench(quick=args.quick, only=only)
+    print(format_report(doc))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        baseline = load_baseline(args.check)
+        failures = check_regression(doc, baseline,
+                                    tolerance=args.tolerance)
+        if failures:
+            print("\nperf regression check FAILED:")
+            for line in failures:
+                print(f"  - {line}")
+            return 1
+        print(f"\nperf regression check passed "
+              f"(tolerance {args.tolerance:.0%} vs {args.check})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,6 +278,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default="trace-out",
                    help="output directory (default ./trace-out)")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="time optimized kernels vs naive references; compare "
+             "speedup ratios against a committed baseline")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the benchmark document (BENCH_PERF.json)")
+    p.add_argument("--check", default=None, metavar="BASELINE",
+                   help="fail if any speedup falls below BASELINE by "
+                        "more than the tolerance band")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="relative tolerance band for --check "
+                        "(default 0.30)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller problems / fewer repeats (CI smoke)")
+    p.add_argument("--only", default=None,
+                   help="comma-separated subset of benchmarks")
+    p.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     np.set_printoptions(suppress=True)

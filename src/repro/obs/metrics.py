@@ -164,6 +164,18 @@ class MetricsRegistry:
             sizes.observe(rec.nbytes)
         for rec in transport.collectives:
             self.counter(f"{prefix}.collective.{rec.kind}").inc()
+        # Physical-copy accounting of the buffer-ownership protocol.
+        # Logical bytes (above) describe the algorithm; these describe
+        # what the fast path actually had to memcpy.
+        self.counter(f"{prefix}.buffer.borrows").inc(
+            transport.buffers.borrows)
+        self.counter(f"{prefix}.buffer.copies").inc(
+            transport.buffers.copies)
+        self.counter(f"{prefix}.buffer.copy_bytes").inc(
+            transport.buffers.copy_bytes)
+        pool = transport.pool.stats()
+        self.counter(f"{prefix}.pool.hits").inc(pool["hits"])
+        self.counter(f"{prefix}.pool.misses").inc(pool["misses"])
 
     def ingest_recovery(self, policy, prefix: str = "health") -> None:
         """Fold a :class:`~repro.resilience.supervisor.RecoveryPolicy`'s

@@ -1,5 +1,6 @@
 """Simulated SPMD runtime: communicator, co-arrays, decompositions."""
 
+from .buffers import BufferPool, BufferStats, borrow, writable
 from .caf import CoArray
 from .comm import Comm, ParallelJob
 from .decomposition import (
@@ -29,10 +30,11 @@ from .transport import (
 from .virtual_time import VirtualClocks
 
 __all__ = [
-    "Block1D", "BlockND", "CoArray", "CollectiveRecord", "Comm",
-    "DEFAULT_TIMEOUT", "DeliveryFailedError", "FaultInjector",
-    "FaultPlan", "FaultRecord", "MessageRecord", "ParallelJob",
-    "ProcessorGrid", "RankCrashError", "SDCRecord", "TrafficSummary",
-    "Transport", "TransportPoisonedError", "VirtualClocks",
-    "balance_columns", "factor_grid", "split_extent",
+    "Block1D", "BlockND", "BufferPool", "BufferStats", "CoArray",
+    "CollectiveRecord", "Comm", "DEFAULT_TIMEOUT", "DeliveryFailedError",
+    "FaultInjector", "FaultPlan", "FaultRecord", "MessageRecord",
+    "ParallelJob", "ProcessorGrid", "RankCrashError", "SDCRecord",
+    "TrafficSummary", "Transport", "TransportPoisonedError",
+    "VirtualClocks", "balance_columns", "borrow", "factor_grid",
+    "split_extent", "writable",
 ]

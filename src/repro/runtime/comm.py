@@ -3,10 +3,14 @@
 :class:`ParallelJob` runs one Python function per rank on threads; the
 per-rank :class:`Comm` handle provides the MPI-flavoured operations the
 four applications need (send/recv, sendrecv, halo ``exchange``, allreduce,
-alltoall, bcast, gather).  Data genuinely moves between per-rank address
-spaces (arrays are copied on send, like MPI's user/system buffering), and
-every transfer is recorded by the :class:`~repro.runtime.transport.
-Transport` for communication-profile accounting.
+alltoall, bcast, gather).  Payloads travel under the buffer-ownership
+protocol of :mod:`repro.runtime.buffers`: owning arrays are *borrowed*
+(flagged non-writeable in transit and shared zero-copy), writable views
+are packed once, and mutation of a borrowed buffer goes through
+:func:`~repro.runtime.buffers.writable` (copy-on-write).  Every transfer
+is recorded by the :class:`~repro.runtime.transport.Transport` for
+communication-profile accounting — the *logical* bytes moved, regardless
+of how few physical copies the fast path performs.
 
 The GIL makes this a *simulation* of parallelism, not a speedup mechanism —
 which is exactly what is needed: the runtime exists to execute the same
@@ -24,8 +28,11 @@ import numpy as np
 
 from ..obs.events import CAT_COMM, CAT_PHASE, CAT_SYNC
 from ..obs.tracer import NULL_SPAN
+from .buffers import borrow, writable
 from .transport import DEFAULT_TIMEOUT as _DEFAULT_TIMEOUT
 from .transport import Transport, TransportPoisonedError
+
+__all__ = ["Comm", "ParallelJob", "writable"]
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -141,14 +148,31 @@ class Comm:
         with self._span(label, "region"):
             yield
 
+    def _outgoing(self, obj: Any) -> Any:
+        """Wire payload for ``obj``: borrowed (zero-copy) or deep-copied."""
+        tp = self.transport
+        if tp.zero_copy:
+            return borrow(obj, tp.buffers)
+        return _copy(obj)
+
     # -- point-to-point --------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         nbytes = _payload_bytes(obj)
-        with self._span("send", dst=dest, tag=tag, nbytes=nbytes):
-            self.transport.post(self.rank, dest, tag, _copy(obj), nbytes)
+        payload = self._outgoing(obj)
+        tr = self.transport.tracer
+        if not tr.enabled:          # hot path: no span, no args dict
+            self.transport.post(self.rank, dest, tag, payload, nbytes)
+            return
+        with tr.span(self._track, "send", CAT_COMM,
+                     {"dst": dest, "tag": tag, "nbytes": nbytes}):
+            self.transport.post(self.rank, dest, tag, payload, nbytes)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        with self._span("recv", src=source, tag=tag):
+        tr = self.transport.tracer
+        if not tr.enabled:
+            return self.transport.fetch(source, self.rank, tag)
+        with tr.span(self._track, "recv", CAT_COMM,
+                     {"src": source, "tag": tag}):
             return self.transport.fetch(source, self.rank, tag)
 
     def sendrecv(self, obj: Any, dest: int, source: int,
@@ -175,7 +199,11 @@ class Comm:
 
     # -- collectives ------------------------------------------------------------
     def barrier(self) -> None:
-        with self._span("barrier", CAT_SYNC):
+        tr = self.transport.tracer
+        if not tr.enabled:          # hot path: no span object, no kwargs
+            self._shared.barrier.wait()
+            return
+        with tr.span(self._track, "barrier", CAT_SYNC):
             self._shared.barrier.wait()
 
     def _allgather_raw(self, value: Any) -> list:
@@ -189,7 +217,11 @@ class Comm:
 
     def allgather(self, value: Any) -> list:
         nbytes = _payload_bytes(value)
-        self.transport.record_collective("allgather", nbytes)
+        tp = self.transport
+        tp.record_collective("allgather", nbytes)
+        if tp.zero_copy:
+            with self._span("allgather", nbytes=nbytes):
+                return list(self._allgather_raw(self._outgoing(value)))
         with self._span("allgather", nbytes=nbytes):
             return [_copy(v) if isinstance(v, np.ndarray) else v
                     for v in self._allgather_raw(value)]
@@ -204,17 +236,26 @@ class Comm:
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         nbytes = _payload_bytes(value)
-        self.transport.record_collective("bcast", nbytes)
+        tp = self.transport
+        tp.record_collective("bcast", nbytes)
         with self._span("bcast", root=root, nbytes=nbytes):
+            if tp.zero_copy:
+                contrib = (self._outgoing(value) if self.rank == root
+                           else None)
+                return self._allgather_raw(contrib)[root]
             vals = self._allgather_raw(value if self.rank == root else None)
             return _copy(vals[root])
 
     def gather(self, value: Any, root: int = 0) -> list | None:
         nbytes = _payload_bytes(value)
-        self.transport.record_collective("gather", nbytes)
+        tp = self.transport
+        tp.record_collective("gather", nbytes)
         with self._span("gather", root=root, nbytes=nbytes):
-            vals = self._allgather_raw(value)
+            out = self._outgoing(value) if tp.zero_copy else value
+            vals = self._allgather_raw(out)
         if self.rank == root:
+            if tp.zero_copy:
+                return list(vals)
             return [_copy(v) if isinstance(v, np.ndarray) else v
                     for v in vals]
         return None
@@ -256,8 +297,14 @@ class Comm:
             raise ValueError(
                 f"alltoall needs {self.size} chunks, got {len(chunks)}")
         nbytes = sum(_payload_bytes(c) for c in chunks)
-        self.transport.record_collective("alltoall", nbytes)
+        tp = self.transport
+        tp.record_collective("alltoall", nbytes)
         with self._span("alltoall", nbytes=nbytes):
+            if tp.zero_copy:
+                matrix = self._allgather_raw(
+                    [self._outgoing(c) for c in chunks])
+                return [matrix[src][self.rank]
+                        for src in range(self.size)]
             matrix = self._allgather_raw(list(chunks))
             return [_copy(matrix[src][self.rank])
                     for src in range(self.size)]
@@ -306,13 +353,25 @@ class _SubComm(Comm):
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         nbytes = _payload_bytes(obj)
-        with self._span("send", dst=self._global(dest), tag=tag,
-                        nbytes=nbytes):
+        payload = self._outgoing(obj)
+        tr = self.transport.tracer
+        if not tr.enabled:
             self.transport.post(self._global(self.rank),
-                                self._global(dest), tag, _copy(obj), nbytes)
+                                self._global(dest), tag, payload, nbytes)
+            return
+        with tr.span(self._track, "send", CAT_COMM,
+                     {"dst": self._global(dest), "tag": tag,
+                      "nbytes": nbytes}):
+            self.transport.post(self._global(self.rank),
+                                self._global(dest), tag, payload, nbytes)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        with self._span("recv", src=self._global(source), tag=tag):
+        tr = self.transport.tracer
+        if not tr.enabled:
+            return self.transport.fetch(self._global(source),
+                                        self._global(self.rank), tag)
+        with tr.span(self._track, "recv", CAT_COMM,
+                     {"src": self._global(source), "tag": tag}):
             return self.transport.fetch(self._global(source),
                                         self._global(self.rank), tag)
 
@@ -368,7 +427,8 @@ class ParallelJob:
 
     def __init__(self, nprocs: int, transport: Transport | None = None,
                  *, timeout: float | None = None, injector=None,
-                 tracer=None, join_timeout: float = 600.0):
+                 tracer=None, join_timeout: float = 600.0,
+                 zero_copy: bool | None = None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
@@ -376,12 +436,15 @@ class ParallelJob:
             transport = Transport(
                 nprocs,
                 timeout=timeout if timeout is not None else _DEFAULT_TIMEOUT,
-                injector=injector)
+                injector=injector,
+                zero_copy=zero_copy if zero_copy is not None else True)
         else:
             if timeout is not None:
                 transport.timeout = float(timeout)
             if injector is not None:
                 transport.injector = injector
+            if zero_copy is not None:
+                transport.zero_copy = bool(zero_copy)
         if tracer is not None:
             transport.tracer = tracer
         if transport.injector is not None:

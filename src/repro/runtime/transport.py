@@ -49,10 +49,15 @@ from typing import Any
 import numpy as np
 
 from ..obs.tracer import NULL_TRACER
+from .buffers import BufferPool, BufferStats
 from .faults import CORRUPT, DELAY, DROP, DUPLICATE
 
 #: one configurable recv/barrier timeout for the whole runtime
 DEFAULT_TIMEOUT = 120.0
+
+#: number of channel shards; (src, dst, tag) keys hash across these so
+#: unrelated channels never contend on one global lock
+_NSHARDS = 16
 
 #: XOR mask applied to a corrupted envelope's checksum
 _CORRUPT_MASK = 0xDEADBEEF
@@ -184,11 +189,28 @@ class _Envelope:
     payload: Any
 
 
+class _ChannelShard:
+    """Lock domain for a subset of (src, dst, tag) channels.
+
+    Each shard owns the condition variables and send/recv sequence
+    counters of the channels that hash into it, so two ranks talking on
+    unrelated channels never serialize on a global transport lock.
+    """
+
+    __slots__ = ("lock", "conds", "send_seq", "recv_seq")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.conds: dict[tuple[int, int, int], threading.Condition] = {}
+        self.send_seq: dict[tuple[int, int, int], int] = defaultdict(int)
+        self.recv_seq: dict[tuple[int, int, int], int] = defaultdict(int)
+
+
 class Transport:
     """Shared mailbox fabric + event recorder for one parallel job."""
 
     def __init__(self, nprocs: int, *, timeout: float = DEFAULT_TIMEOUT,
-                 injector=None):
+                 injector=None, zero_copy: bool = True):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
@@ -200,11 +222,17 @@ class Transport:
         #: NULL_TRACER (tracing disabled, zero-cost) unless a job attaches
         #: a real :class:`~repro.obs.tracer.Tracer`
         self.tracer = NULL_TRACER
-        self._lock = threading.Lock()
+        #: borrowed-buffer fast path (False restores unconditional
+        #: deep-copy semantics — the legacy reference for benchmarks)
+        self.zero_copy = bool(zero_copy)
+        #: physical-copy accounting of the ownership protocol
+        self.buffers = BufferStats()
+        #: recycled packing buffers for halo/transpose exchanges
+        self.pool = BufferPool()
+        self._state_lock = threading.Lock()
+        self._rec_lock = threading.Lock()
+        self._shards = [_ChannelShard() for _ in range(_NSHARDS)]
         self._boxes: dict[tuple[int, int, int], list] = defaultdict(list)
-        self._conds: dict[tuple[int, int, int], threading.Condition] = {}
-        self._send_seq: dict[tuple[int, int, int], int] = defaultdict(int)
-        self._recv_seq: dict[tuple[int, int, int], int] = defaultdict(int)
         self._poisoned = False
         self._poison_reason = ""
         self.messages: list[MessageRecord] = []
@@ -213,22 +241,29 @@ class Transport:
         self.phase_label: str = ""
         self.recording: bool = True
 
+    def _shard(self, key: tuple[int, int, int]) -> _ChannelShard:
+        return self._shards[hash(key) % _NSHARDS]
+
     def _cond(self, key: tuple[int, int, int]) -> threading.Condition:
-        with self._lock:
-            c = self._conds.get(key)
+        shard = self._shard(key)
+        with shard.lock:
+            c = shard.conds.get(key)
             if c is None:
-                c = self._conds[key] = threading.Condition()
+                c = shard.conds[key] = threading.Condition()
             return c
 
     # -- failure control -----------------------------------------------------
     def poison(self, reason: str = "") -> None:
         """Mark the fabric dead and wake every blocked receiver."""
-        with self._lock:
+        with self._state_lock:
             if self._poisoned:
                 return
             self._poisoned = True
             self._poison_reason = reason
-            conds = list(self._conds.values())
+        conds = []
+        for shard in self._shards:
+            with shard.lock:
+                conds.extend(shard.conds.values())
         for cond in conds:
             with cond:
                 cond.notify_all()
@@ -238,7 +273,7 @@ class Transport:
         return self._poisoned
 
     def clear_poison(self) -> None:
-        with self._lock:
+        with self._state_lock:
             self._poisoned = False
             self._poison_reason = ""
 
@@ -249,12 +284,14 @@ class Transport:
         run leaves undelivered envelopes and asymmetric sequence counters
         behind, none of which may leak into the resumed run.
         """
-        with self._lock:
+        with self._state_lock:
             self._boxes.clear()
-            self._send_seq.clear()
-            self._recv_seq.clear()
             self._poisoned = False
             self._poison_reason = ""
+        for shard in self._shards:
+            with shard.lock:
+                shard.send_seq.clear()
+                shard.recv_seq.clear()
 
     def _raise_if_poisoned(self) -> None:
         if self._poisoned:
@@ -271,7 +308,7 @@ class Transport:
     def _record(self, src: int, dst: int, nbytes: int, tag: int,
                 onesided: bool, resend: bool = False) -> None:
         if self.recording:
-            with self._lock:
+            with self._rec_lock:
                 self.messages.append(MessageRecord(
                     src, dst, nbytes, tag, onesided, self.phase_label,
                     resend))
@@ -287,9 +324,10 @@ class Transport:
             self._deliver(key, payload)
             self._record(src, dst, nbytes, tag, onesided)
             return
-        with self._lock:
-            seq = self._send_seq[key]
-            self._send_seq[key] = seq + 1
+        shard = self._shard(key)
+        with shard.lock:
+            seq = shard.send_seq[key]
+            shard.send_seq[key] = seq + 1
         csum = _checksum(payload)
         for attempt in range(inj.plan.max_attempts):
             self._raise_if_poisoned()
@@ -342,8 +380,9 @@ class Transport:
             if not isinstance(item, _Envelope):
                 return item
             inj = self.injector
-            with self._lock:
-                expected = self._recv_seq[key]
+            shard = self._shard(key)
+            with shard.lock:
+                expected = shard.recv_seq[key]
             if item.seq < expected:
                 if inj is not None:
                     inj.note("duplicate-discard", src, dst, tag,
@@ -354,20 +393,20 @@ class Transport:
                     inj.note("corrupt-discard", src, dst, tag,
                              item.seq, 0)
                 continue
-            with self._lock:
-                self._recv_seq[key] = item.seq + 1
+            with shard.lock:
+                shard.recv_seq[key] = item.seq + 1
             return item.payload
 
     def record_collective(self, kind: str, nbytes_per_rank: int) -> None:
         if self.recording:
-            with self._lock:
+            with self._rec_lock:
                 self.collectives.append(CollectiveRecord(
                     kind, self.nprocs, nbytes_per_rank, self.phase_label))
 
     def record_onesided(self, src: int, dst: int, nbytes: int) -> None:
         """Account a one-sided transfer that bypassed the mailboxes."""
         if self.recording:
-            with self._lock:
+            with self._rec_lock:
                 self.messages.append(MessageRecord(
                     src, dst, nbytes, 0, True, self.phase_label))
 
@@ -413,5 +452,5 @@ class Transport:
 
     def undelivered(self) -> int:
         """Number of posted-but-unreceived payloads (0 after a clean run)."""
-        with self._lock:
+        with self._state_lock:
             return sum(len(v) for v in self._boxes.values())

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.apps.gtc.deposition import (
     deposit_classic,
+    deposit_fast,
     deposit_sorted,
     deposit_work_vector,
     deposited_charge_total,
@@ -49,12 +50,14 @@ class TestGyroRing:
 
 
 class TestDepositionEquivalence:
-    def test_all_three_algorithms_agree(self, setup):
+    def test_all_algorithms_agree(self, setup):
         grid, particles = setup
         classic = deposit_classic(grid, particles)
         sorted_ = deposit_sorted(grid, particles)
+        fast = deposit_fast(grid, particles)
         workvec, _ = deposit_work_vector(grid, particles, vector_length=64)
         np.testing.assert_allclose(sorted_, classic, atol=1e-12)
+        np.testing.assert_allclose(fast, classic, atol=1e-12)
         np.testing.assert_allclose(workvec, classic, atol=1e-12)
 
     @settings(max_examples=10, deadline=None)
@@ -73,6 +76,7 @@ class TestDepositionEquivalence:
         grid, particles = setup
         for rho in (deposit_classic(grid, particles),
                     deposit_sorted(grid, particles),
+                    deposit_fast(grid, particles),
                     deposit_work_vector(grid, particles)[0]):
             assert deposited_charge_total(grid, rho) == pytest.approx(
                 particles.w.sum(), rel=1e-12)

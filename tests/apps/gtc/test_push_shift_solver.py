@@ -190,7 +190,7 @@ class TestSolverCycle:
     def test_depositor_variants_give_same_evolution(self):
         geom = geometry()
         phis = {}
-        for dep in ("classic", "work-vector", "sorted"):
+        for dep in ("classic", "work-vector", "sorted", "fast"):
             solver = GTCSolver(geom, load_ring_perturbation(
                 geom, 4.0, seed=5), dt=0.05, depositor=dep)
             solver.step(3)
@@ -198,6 +198,8 @@ class TestSolverCycle:
         np.testing.assert_allclose(phis["work-vector"], phis["classic"],
                                    atol=1e-12)
         np.testing.assert_allclose(phis["sorted"], phis["classic"],
+                                   atol=1e-12)
+        np.testing.assert_allclose(phis["fast"], phis["classic"],
                                    atol=1e-12)
 
     def test_dt_guard_against_domain_jumps(self):

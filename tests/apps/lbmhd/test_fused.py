@@ -1,0 +1,133 @@
+"""Fused-kernel equivalence: FusedStepper vs the naive collide+stream.
+
+The ISSUE's acceptance bar: the optimized kernels must agree with the
+naive reference at rtol <= 1e-12 (atol covers populations that are
+exactly zero by symmetry).  Fused parallel vs fused serial is bitwise,
+since both sides run the identical kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd.fused import FusedStepper
+from repro.apps.lbmhd.initial import orszag_tang
+from repro.apps.lbmhd.lattice import D2Q9, OCT9
+from repro.apps.lbmhd.parallel import run_parallel
+from repro.apps.lbmhd.solver import LBMHDSolver
+from repro.runtime.transport import Transport
+
+RTOL = 1e-12
+ATOL = 1e-14
+
+
+@pytest.mark.parametrize("lattice", [D2Q9, OCT9], ids=["d2q9", "oct9"])
+def test_fused_solver_matches_naive(lattice):
+    naive = LBMHDSolver(*orszag_tang(48, 40), lattice=lattice,
+                        tau=0.8, tau_m=0.9)
+    fused = LBMHDSolver(*orszag_tang(48, 40), lattice=lattice,
+                        tau=0.8, tau_m=0.9, fused=True)
+    for _ in range(20):
+        naive.step()
+        fused.step()
+    np.testing.assert_allclose(fused.f, naive.f, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(fused.g, naive.g, rtol=RTOL, atol=ATOL)
+
+
+@pytest.mark.parametrize("lattice", [D2Q9, OCT9], ids=["d2q9", "oct9"])
+def test_fused_collide_single_step(lattice):
+    """One collision, no streaming: isolates the matmul reformulation."""
+    from repro.apps.lbmhd.collision import collide
+
+    solver = LBMHDSolver(*orszag_tang(24, 32), lattice=lattice,
+                         tau=0.7, tau_m=1.1)
+    f0, g0 = solver.f.copy(), solver.g.copy()
+    f_ref, g_ref = collide(f0.copy(), g0.copy(), lattice, 0.7, 1.1)
+    stepper = FusedStepper(lattice, 0.7, 1.1)
+    f_fused, g_fused = f0.copy(), g0.copy()
+    stepper.collide(f_fused, g_fused)
+    np.testing.assert_allclose(f_fused, f_ref, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(g_fused, g_ref, rtol=RTOL, atol=ATOL)
+
+
+def test_fused_collide_on_strided_interior_view():
+    """Halo-extended interiors are strided; collide must handle them."""
+    from repro.apps.lbmhd.collision import collide
+
+    lattice = D2Q9
+    solver = LBMHDSolver(*orszag_tang(16, 20), lattice=lattice)
+    q, ny, nx = solver.f.shape
+    ext_f = np.zeros((q, ny + 4, nx + 4))
+    ext_g = np.zeros((q, 2, ny + 4, nx + 4))
+    inner = (slice(2, -2), slice(2, -2))
+    ext_f[(slice(None),) + inner] = solver.f
+    ext_g[(slice(None), slice(None)) + inner] = solver.g
+    fv = ext_f[(slice(None),) + inner]
+    gv = ext_g[(slice(None), slice(None)) + inner]
+    assert not fv.flags["C_CONTIGUOUS"]
+    f_ref, g_ref = collide(solver.f.copy(), solver.g.copy(),
+                           lattice, 0.8, 0.8)
+    stepper = FusedStepper(lattice, 0.8, 0.8)
+    stepper.collide(fv, gv)
+    np.testing.assert_allclose(fv, f_ref, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(gv, g_ref, rtol=RTOL, atol=ATOL)
+    # Halo ring untouched.
+    assert np.all(ext_f[:, :2] == 0.0) and np.all(ext_f[:, -2:] == 0.0)
+
+
+@pytest.mark.parametrize("lattice", [D2Q9, OCT9], ids=["d2q9", "oct9"])
+def test_fused_stream_matches_naive(lattice):
+    from repro.apps.lbmhd.lattice import stream_all
+
+    rng = np.random.default_rng(7)
+    f = rng.normal(size=(lattice.q, 12, 18))
+    stepper = FusedStepper(lattice, 0.8, 0.8)
+    out = stepper.stream(f.copy(), "f")
+    np.testing.assert_array_equal(out, stream_all(f, lattice))
+
+
+@pytest.mark.parametrize("lattice", [D2Q9, OCT9], ids=["d2q9", "oct9"])
+def test_fused_parallel_matches_fused_serial_bitwise(lattice):
+    """Same kernel on both sides -> decomposition must not change bits."""
+    rho, u, B = orszag_tang(32, 48)
+    serial = LBMHDSolver(rho, u, B, lattice=lattice, tau=0.8, tau_m=0.9,
+                         fused=True)
+    for _ in range(8):
+        serial.step()
+    rho_p, u_p, B_p = run_parallel(rho, u, B, nprocs=4, nsteps=8,
+                                   lattice=lattice, tau=0.8, tau_m=0.9,
+                                   fused=True)
+    rho_s, u_s, B_s = serial.fields
+    np.testing.assert_array_equal(rho_p, rho_s)
+    np.testing.assert_array_equal(u_p, u_s)
+    np.testing.assert_array_equal(B_p, B_s)
+
+
+def test_fused_parallel_matches_naive_parallel_legacy_transport():
+    """Fused + zero-copy vs naive + legacy deep-copy transport."""
+    rho, u, B = orszag_tang(32, 32)
+    legacy = Transport(4, zero_copy=False)
+    out_naive = run_parallel(rho, u, B, nprocs=4, nsteps=6, lattice=OCT9,
+                             tau=0.8, tau_m=0.9, transport=legacy)
+    out_fused = run_parallel(rho, u, B, nprocs=4, nsteps=6, lattice=OCT9,
+                             tau=0.8, tau_m=0.9, fused=True)
+    for a, b in zip(out_naive, out_fused):
+        np.testing.assert_allclose(b, a, rtol=RTOL, atol=ATOL)
+
+
+def test_fused_stepper_steady_state_reuses_buffers():
+    """After warmup, repeated steps must not grow scratch allocations."""
+    solver = LBMHDSolver(*orszag_tang(24, 24), lattice=OCT9, fused=True)
+    solver.step(3)
+    stepper = solver._stepper
+    ids = {name: id(getattr(stepper, name))
+           for name in ("_mom", "_u", "_m2", "_feq", "_geq")}
+    solver.step(5)
+    for name, before in ids.items():
+        assert id(getattr(stepper, name)) == before
+
+
+def test_fused_stepper_rejects_unstable_tau():
+    with pytest.raises(ValueError):
+        FusedStepper(D2Q9, 0.5, 0.8)
+    with pytest.raises(ValueError):
+        FusedStepper(D2Q9, 0.8, 0.4)

@@ -1,0 +1,73 @@
+"""NULL_TRACER hot-path guards: disabled tracing must build nothing.
+
+Every call site in the runtime checks ``tracer.enabled`` before touching
+the tracer, so a run with the default null tracer never constructs a
+span object or an args dict.  The micro-assertion: poison every
+NullTracer method; if any hot path forgets its guard, the run blows up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.runtime import CoArray, ParallelJob
+
+
+@pytest.fixture
+def poisoned_null_tracer(monkeypatch):
+    calls = []
+
+    def boom(name):
+        def _record(*a, **k):
+            calls.append(name)
+            raise AssertionError(
+                f"NullTracer.{name} called despite enabled=False — "
+                f"a hot path is missing its tracer.enabled guard")
+        return _record
+
+    for name in ("span", "instant", "counter"):
+        if hasattr(NullTracer, name):
+            monkeypatch.setattr(NullTracer, name, boom(name))
+    assert NULL_TRACER.enabled is False
+    return calls
+
+
+def test_comm_hot_paths_never_touch_null_tracer(poisoned_null_tracer):
+    def prog(comm):
+        comm.send(np.arange(4.0), dest=(comm.rank + 1) % comm.size,
+                  tag=0)
+        data = comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+        comm.barrier()
+        with comm.phase("work"):
+            total = comm.allreduce(float(data.sum()))
+        comm.alltoall([np.full(2, comm.rank)] * comm.size)
+        comm.bcast(total if comm.rank == 0 else None)
+        return total
+
+    results = ParallelJob(4).run(prog)
+    assert len(set(results)) == 1
+    assert poisoned_null_tracer == []
+
+
+def test_caf_hot_paths_never_touch_null_tracer(poisoned_null_tracer):
+    def prog(comm):
+        ca = CoArray(comm, (4,), name="x")
+        ca.local[...] = comm.rank
+        ca.sync()
+        ca.put((comm.rank + 1) % comm.size, slice(0, 2),
+               np.full(2, float(comm.rank)))
+        ca.sync()
+        return ca.local.copy()
+
+    ParallelJob(4).run(prog)
+    assert poisoned_null_tracer == []
+
+
+def test_lbmhd_parallel_step_never_touches_null_tracer(
+        poisoned_null_tracer):
+    from repro.apps.lbmhd.initial import orszag_tang
+    from repro.apps.lbmhd.parallel import run_parallel
+
+    rho, u, B = orszag_tang(16, 16)
+    run_parallel(rho, u, B, nprocs=4, nsteps=2, fused=True)
+    assert poisoned_null_tracer == []

@@ -1,0 +1,110 @@
+"""Unit tests for the perf-regression harness (pure functions only).
+
+The heavy kernel benchmarks run in CI via ``repro bench --check``; here
+we pin the comparison logic itself — tolerance bands, logical-traffic
+equality gating, report formatting — with synthetic documents, plus a
+repo-wide guard that all timing goes through ``time.perf_counter``.
+"""
+
+import pathlib
+import re
+
+from repro.perf.bench import (
+    DEFAULT_TOLERANCE,
+    SCHEMA_VERSION,
+    check_regression,
+    format_report,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def _doc(speedup, **extra):
+    entry = {"speedup": speedup}
+    entry.update(extra)
+    return {"schema_version": SCHEMA_VERSION,
+            "benchmarks": {"kernel_x": entry}}
+
+
+class TestCheckRegression:
+    def test_equal_speedup_passes(self):
+        assert check_regression(_doc(3.0), _doc(3.0)) == []
+
+    def test_within_tolerance_passes(self):
+        # floor = 3.0 * (1 - 0.30) = 2.1
+        assert check_regression(_doc(2.2), _doc(3.0)) == []
+
+    def test_below_tolerance_fails(self):
+        failures = check_regression(_doc(2.0), _doc(3.0))
+        assert len(failures) == 1
+        assert "kernel_x" in failures[0]
+
+    def test_improvement_always_passes(self):
+        assert check_regression(_doc(9.0), _doc(3.0)) == []
+
+    def test_custom_tolerance(self):
+        assert check_regression(_doc(2.0), _doc(3.0), tolerance=0.5) == []
+        assert check_regression(_doc(1.4), _doc(3.0), tolerance=0.5)
+
+    def test_missing_benchmark_in_current_is_flagged(self):
+        cur = {"schema_version": SCHEMA_VERSION, "benchmarks": {}}
+        failures = check_regression(cur, _doc(3.0))
+        assert any("kernel_x" in f for f in failures)
+
+    def test_logical_traffic_mismatch_within_run_fails(self):
+        cur = _doc(3.0, naive_logical_bytes=100, fused_logical_bytes=96)
+        failures = check_regression(cur, _doc(3.0))
+        assert any("logical" in f.lower() for f in failures)
+
+    def test_logical_traffic_cross_run_gated_on_scale(self):
+        # Different problem scale: cross-run byte comparison must be
+        # skipped rather than reported as a regression.
+        cur = _doc(3.0, grid=[64, 64], naive_logical_bytes=100,
+                   fused_logical_bytes=100)
+        base = _doc(3.0, grid=[128, 128], naive_logical_bytes=400,
+                    fused_logical_bytes=400)
+        assert check_regression(cur, base) == []
+        # Same scale: a silent change in traffic volume is a failure.
+        cur_same = _doc(3.0, grid=[128, 128], naive_logical_bytes=100,
+                        fused_logical_bytes=100)
+        assert check_regression(cur_same, base)
+
+    def test_default_tolerance_matches_ci(self):
+        assert DEFAULT_TOLERANCE == 0.30
+
+
+class TestFormatReport:
+    def test_report_lists_each_benchmark(self):
+        text = format_report(_doc(3.14, naive_seconds=0.30,
+                                  fast_seconds=0.0955))
+        assert "kernel_x" in text
+        assert "3.14" in text
+
+
+class TestTimingSourceGuard:
+    """Satellite guard: all wall-clock timing in src/ must come from
+    ``time.perf_counter`` — ``time.time`` is not monotonic and breaks
+    interval math across clock adjustments."""
+
+    def test_no_time_time_in_src(self):
+        pattern = re.compile(r"\btime\.time\s*\(")
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if pattern.search(line):
+                    offenders.append(f"{path}:{lineno}: {line.strip()}")
+        assert offenders == [], (
+            "use time.perf_counter() for timing:\n"
+            + "\n".join(offenders))
+
+    def test_no_bare_clock_imports(self):
+        # `from time import time` smuggles the same wall clock in
+        # under a bare name; forbid it alongside the attribute form.
+        pattern = re.compile(r"from\s+time\s+import\s+.*\btime\b")
+        offenders = [
+            str(path)
+            for path in sorted(SRC.rglob("*.py"))
+            if pattern.search(path.read_text())
+        ]
+        assert offenders == []

@@ -1,0 +1,249 @@
+"""Aliasing safety of the buffer-ownership protocol (tentpole tests).
+
+The zero-copy fast path shares arrays by reference; these tests pin the
+safety contract: in-flight buffers are immutable, mutation goes through
+copy-on-write, pooled buffers never alias live data, and the guarantees
+hold on the MPI-like two-sided path and the CAF one-sided path alike —
+with and without fault injection replaying messages underneath.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    BufferPool,
+    BufferStats,
+    CoArray,
+    FaultInjector,
+    FaultPlan,
+    ParallelJob,
+    Transport,
+    borrow,
+    writable,
+)
+
+
+class TestBorrow:
+    def test_owning_array_is_frozen_and_shared(self):
+        a = np.arange(5.0)
+        stats = BufferStats()
+        b = borrow(a, stats)
+        assert b is a and not a.flags.writeable
+        assert stats.borrows == 1 and stats.copies == 0
+
+    def test_view_is_packed_once(self):
+        base = np.arange(20.0).reshape(4, 5)
+        view = base[:, 1:3]
+        stats = BufferStats()
+        b = borrow(view, stats)
+        assert b is not view and b.base is None
+        assert not b.flags.writeable
+        assert base.flags.writeable  # the base is untouched
+        assert stats.copies == 1 and stats.copy_bytes == view.nbytes
+
+    def test_frozen_array_passes_through(self):
+        a = np.arange(3.0)
+        a.flags.writeable = False
+        stats = BufferStats()
+        assert borrow(a, stats) is a
+        assert stats.borrows == 1
+
+    def test_containers_rebuilt_with_borrowed_leaves(self):
+        a, b = np.arange(3.0), np.arange(4.0)
+        out = borrow({"x": [a, (b, 1.5)], "y": "tag"})
+        assert out["x"][0] is a and out["x"][1][0] is b
+        assert not a.flags.writeable and not b.flags.writeable
+        assert out["y"] == "tag"
+
+    def test_mutating_frozen_buffer_raises(self):
+        a = np.arange(4.0)
+        borrow(a)
+        with pytest.raises(ValueError):
+            a[0] = 99.0
+
+    def test_writable_is_identity_on_writable_arrays(self):
+        a = np.arange(4.0)
+        assert writable(a) is a
+
+    def test_writable_copies_frozen_buffer(self):
+        a = np.arange(4.0)
+        borrow(a)
+        w = writable(a)
+        assert w is not a and w.flags.writeable
+        w[0] = 99.0
+        assert a[0] == 0.0  # other holders see pre-mutation values
+
+
+class TestBufferPool:
+    def test_take_give_recycles(self):
+        pool = BufferPool()
+        a = pool.take((3, 4))
+        pool.give(a)
+        b = pool.take((3, 4))
+        assert b is a and b.flags.writeable
+        assert pool.stats()["hits"] == 1
+
+    def test_frozen_owning_buffer_unfrozen_on_take(self):
+        pool = BufferPool()
+        a = pool.take((8,))
+        a.flags.writeable = False  # as after borrow()
+        pool.give(a)
+        b = pool.take((8,))
+        assert b is a and b.flags.writeable
+
+    def test_views_are_not_pooled(self):
+        pool = BufferPool()
+        base = np.zeros((4, 4))
+        pool.give(base[1:3])
+        assert pool.stats()["pooled"] == 0
+
+    def test_shape_dtype_keyed(self):
+        pool = BufferPool()
+        a = pool.take((4,), np.float64)
+        pool.give(a)
+        assert pool.take((4,), np.complex128) is not a
+        assert pool.take((5,), np.float64) is not a
+        assert pool.take((4,), np.float64) is a
+
+    def test_capacity_bound(self):
+        pool = BufferPool(max_per_key=2)
+        bufs = [np.zeros(3) for _ in range(4)]
+        for b in bufs:
+            pool.give(b)
+        s = pool.stats()
+        assert s["pooled"] == 2 and s["drops"] == 2
+
+
+class TestMpiPathAliasing:
+    def test_received_buffer_is_immutable_and_cow_works(self):
+        def prog(comm):
+            payload = np.full(4, float(comm.rank))
+            comm.send(payload, dest=(comm.rank + 1) % comm.size, tag=0)
+            got = comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+            assert not got.flags.writeable
+            with pytest.raises(ValueError):
+                got[0] = -1.0
+            mine = writable(got)
+            mine += 1.0
+            return float(got[0]), float(mine[0])
+
+        for frozen, cow in ParallelJob(3).run(prog):
+            assert cow == frozen + 1.0
+
+    def test_sender_side_freeze_prevents_halo_corruption(self):
+        """The classic aliasing bug: sender reuses its send buffer while
+        the message is logically in flight.  The freeze makes it raise
+        instead of corrupting the receiver's halo."""
+        def prog(comm):
+            buf = np.full(4, float(comm.rank))
+            comm.send(buf, dest=(comm.rank + 1) % comm.size, tag=0)
+            with pytest.raises(ValueError):
+                buf[:] = -7.0  # would alias the receiver's copy
+            got = comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+            return float(got.sum())
+
+        out = ParallelJob(2).run(prog)
+        assert out == [4.0, 0.0]
+
+    def test_logical_traffic_identical_between_modes(self):
+        def prog(comm):
+            comm.send(np.arange(16.0),
+                      dest=(comm.rank + 1) % comm.size, tag=0)
+            comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+            comm.alltoall([np.zeros(4)] * comm.size)
+
+        stats = {}
+        for zero_copy in (False, True):
+            tp = Transport(2, zero_copy=zero_copy)
+            ParallelJob(2, transport=tp).run(prog)
+            stats[zero_copy] = (tp.message_count(), tp.total_bytes())
+        assert stats[False] == stats[True]
+
+    def test_physical_copies_differ_between_modes(self):
+        def prog(comm):
+            comm.send(np.arange(16.0),
+                      dest=(comm.rank + 1) % comm.size, tag=0)
+            comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+
+        tp_fast = Transport(2, zero_copy=True)
+        ParallelJob(2, transport=tp_fast).run(prog)
+        assert tp_fast.buffers.borrows > 0
+        assert tp_fast.buffers.copy_bytes == 0
+        tp_slow = Transport(2, zero_copy=False)
+        ParallelJob(2, transport=tp_slow).run(prog)
+        # Legacy mode never borrows: payloads are deep-copied outside
+        # the ownership protocol entirely.
+        assert tp_slow.buffers.borrows == 0
+
+
+class TestCafPathAliasing:
+    def test_put_source_safe_after_call(self):
+        """One-sided put copies out of the source strip synchronously:
+        mutating the source after put() must not change the target."""
+        def prog(comm):
+            ca = CoArray(comm, (4,), name="x")
+            ca.local[...] = 0.0
+            ca.sync()
+            src = np.full(2, float(comm.rank + 1))
+            ca.put((comm.rank + 1) % comm.size, slice(0, 2), src)
+            src[:] = -99.0  # must not retroactively change the put
+            ca.sync()
+            return ca.local.copy()
+
+        for rank, local in enumerate(ParallelJob(2).run(prog)):
+            writer = (rank - 1) % 2
+            np.testing.assert_array_equal(local[:2], writer + 1.0)
+
+    def test_lbmhd_caf_matches_mpi_path_bitwise(self):
+        from repro.apps.lbmhd.initial import orszag_tang
+        from repro.apps.lbmhd.parallel import run_parallel
+
+        rho, u, B = orszag_tang(16, 16)
+        out_mpi = run_parallel(rho, u, B, nprocs=4, nsteps=3)
+        out_caf = run_parallel(rho, u, B, nprocs=4, nsteps=3,
+                               use_caf=True)
+        for a, b in zip(out_mpi, out_caf):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestAliasingUnderFaults:
+    """Message replay (the retry path) must not break ownership: a
+    resent borrowed buffer is the same frozen array, and the receiver's
+    dedup keeps exactly one logical delivery."""
+
+    def test_ring_with_fault_injection_zero_copy(self):
+        plan = FaultPlan(seed=7, drop=0.4, duplicate=0.4)
+        injector = FaultInjector(plan)
+
+        def prog(comm):
+            total = 0.0
+            for step in range(4):
+                injector.tick(comm.rank, step)
+                payload = np.full(4, float(comm.rank * 10 + step))
+                comm.send(payload, dest=(comm.rank + 1) % comm.size,
+                          tag=step)
+                got = comm.recv(source=(comm.rank - 1) % comm.size,
+                                tag=step)
+                assert not got.flags.writeable
+                total += float(got.sum())
+            return total
+
+        tp = Transport(2, injector=injector)
+        assert tp.zero_copy
+        out = ParallelJob(2, transport=tp, injector=injector).run(prog)
+        # rank r hears from (r-1)%2: sum_s 4*(10*sender + s), 4 steps.
+        assert out == [160.0 * 1 + 24.0, 160.0 * 0 + 24.0]
+
+    def test_lbmhd_fault_injection_matches_fault_free(self):
+        from repro.apps.lbmhd.initial import orszag_tang
+        from repro.apps.lbmhd.parallel import run_parallel
+
+        rho, u, B = orszag_tang(16, 16)
+        clean = run_parallel(rho, u, B, nprocs=4, nsteps=3, fused=True)
+        plan = FaultPlan(seed=11, drop=0.3, duplicate=0.3)
+        injector = FaultInjector(plan)
+        tp = Transport(4, injector=injector)
+        faulty = run_parallel(rho, u, B, nprocs=4, nsteps=3, fused=True,
+                              transport=tp, injector=injector)
+        for a, b in zip(clean, faulty):
+            np.testing.assert_array_equal(a, b)

@@ -19,12 +19,17 @@ class TestPointToPoint:
         out = ParallelJob(2).run(prog)
         np.testing.assert_array_equal(out[1], np.arange(10.0))
 
-    def test_send_copies_buffer(self):
-        """MPI semantics: mutating after send must not affect the receiver."""
+    def test_send_borrow_then_cow(self):
+        """Ownership semantics: mutating after send must not affect the
+        receiver.  The sent buffer is borrowed (frozen in transit); the
+        sender mutates through writable(), which copies on write."""
+        from repro.runtime import writable
+
         def prog(comm):
             if comm.rank == 0:
                 a = np.ones(4)
                 comm.send(a, dest=1)
+                a = writable(a)       # copy-on-write: private copy
                 a[:] = -1.0
                 comm.barrier()
                 return None
@@ -32,6 +37,37 @@ class TestPointToPoint:
             return comm.recv(source=0)
 
         out = ParallelJob(2).run(prog)
+        np.testing.assert_array_equal(out[1], np.ones(4))
+
+    def test_send_freezes_borrowed_buffer(self):
+        """In-place mutation of a buffer in transit fails loudly."""
+        def prog(comm):
+            if comm.rank == 0:
+                a = np.ones(4)
+                comm.send(a, dest=1)
+                with pytest.raises(ValueError, match="read-only"):
+                    a[:] = -1.0
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0)
+
+        out = ParallelJob(2).run(prog)
+        np.testing.assert_array_equal(out[1], np.ones(4))
+
+    def test_legacy_copy_mode(self):
+        """zero_copy=False restores unconditional deep-copy semantics."""
+        def prog(comm):
+            if comm.rank == 0:
+                a = np.ones(4)
+                comm.send(a, dest=1)
+                a[:] = -1.0           # legal: the runtime copied
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0)
+
+        out = ParallelJob(2, zero_copy=False).run(prog)
         np.testing.assert_array_equal(out[1], np.ones(4))
 
     def test_tags_disambiguate(self):
