@@ -1,0 +1,48 @@
+"""Static-analysis + sanitizer-companion layer (``repro.analysis``).
+
+Three instruments over one finding model:
+
+* the **AST lint engine** (:mod:`.engine`, :mod:`.rules`) — repo-specific
+  rules (wall-clock discipline, seeded RNG, typed validation, zero-copy
+  hygiene, tracer guards) with per-rule enable/disable and a committed
+  baseline-suppression file;
+* the **communication-matching checker** (:mod:`.commcheck`) — deadlock-
+  shaped patterns in driver/runtime ASTs, plus a **trace-replay**
+  variant (:mod:`.tracecheck`) that confirms every posted send was
+  consumed and every collective round had all ranks in a recorded run;
+* the **report/baseline machinery** (:mod:`.findings`, :mod:`.baseline`)
+  shared by ``python -m repro lint`` and ``python -m repro analyze``.
+
+The runtime-side third of the subsystem — the borrowed-buffer / pool /
+halo **sanitizer** — lives in :mod:`repro.runtime.sanitize`, wired into
+the transport via ``Transport(sanitize=True)`` or ``REPRO_SANITIZE=1``.
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .commcheck import COMM_RULES, CommOp, extract_comm_ops
+from .engine import (
+    SCHEMA_VERSION,
+    LintReport,
+    LintRule,
+    lint_source,
+    register,
+    resolve_rules,
+    rule_names,
+    run_lint,
+)
+from .findings import SEVERITIES, Finding, sort_findings
+from .rules import CORE_RULES
+from .tracecheck import check_trace, load_trace
+
+__all__ = [
+    "COMM_RULES", "CORE_RULES", "DEFAULT_BASELINE", "CommOp", "Finding",
+    "LintReport", "LintRule", "SCHEMA_VERSION", "SEVERITIES",
+    "apply_baseline", "check_trace", "extract_comm_ops", "lint_source",
+    "load_baseline", "load_trace", "register", "resolve_rules",
+    "rule_names", "run_lint", "save_baseline", "sort_findings",
+]

@@ -1,0 +1,94 @@
+"""Baseline suppression: accepted findings live in a committed file.
+
+A baseline lets the linter gate *new* violations while the accepted
+remainder (e.g. the buffer protocol's own packing copies, which the
+``hidden-copy`` rule must flag everywhere else) stays recorded and
+reviewed rather than silently ignored.
+
+Entries match on :attr:`Finding.fingerprint` — ``(rule, path, message)``
+with a count — so pure line-number drift never churns the file.  A
+fingerprint seen more often than its baselined count surfaces the
+excess as new findings; one seen *less* often is reported as a stale
+entry (``lint --check`` fails on staleness too, keeping the file an
+honest ratchet in both directions).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+SCHEMA_VERSION = 1
+
+#: the committed baseline's conventional name (repo root)
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def fingerprint_counts(findings: Iterable[Finding]) -> Counter:
+    return Counter(f.fingerprint for f in findings)
+
+
+def save_baseline(findings: Iterable[Finding],
+                  path: str | Path) -> Path:
+    """Write the full current finding set as the new baseline."""
+    counts = fingerprint_counts(findings)
+    entries = [
+        {"rule": rule, "path": fpath, "message": message, "count": n}
+        for (rule, fpath, message), n in sorted(counts.items())
+    ]
+    doc = {
+        "version": SCHEMA_VERSION,
+        "comment": ("accepted findings; regenerate with "
+                    "`python -m repro lint --update-baseline`"),
+        "entries": entries,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path | None) -> Counter:
+    """Fingerprint counts from a baseline file ({} when absent)."""
+    if path is None:
+        return Counter()
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {doc.get('version')!r}")
+    counts: Counter = Counter()
+    for entry in doc.get("entries", []):
+        fp = (entry["rule"], entry["path"], entry["message"])
+        counts[fp] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(findings: list[Finding], baseline: Counter
+                   ) -> tuple[list[Finding], int, list[dict]]:
+    """Split findings into (new, suppressed count, stale entries).
+
+    The first ``count`` occurrences of each baselined fingerprint are
+    suppressed; extras are new findings.  Baseline entries with fewer
+    matches than their count are reported stale.
+    """
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    suppressed = 0
+    for f in findings:
+        if budget[f.fingerprint] > 0:
+            budget[f.fingerprint] -= 1
+            suppressed += 1
+        else:
+            new.append(f)
+    stale = [
+        {"rule": rule, "path": path, "message": message, "unmatched": n}
+        for (rule, path, message), n in sorted(budget.items())
+        if n > 0
+    ]
+    return new, suppressed, stale

@@ -1,0 +1,226 @@
+"""AST lint engine: rule registry, file walker, report assembly.
+
+The engine is deliberately small: a rule is a class with a ``name``, a
+``severity``, a one-line ``description``, a fix ``hint`` and a
+``check(tree, path, source)`` generator over :class:`Finding` objects.
+Rules register themselves into one process-wide registry; callers select
+subsets with ``enable``/``disable`` (the CLI's ``--enable``/``--disable``
+flags), and the baseline file (:mod:`repro.analysis.baseline`) suppresses
+known findings so only *new* violations fail a run.
+
+Each source file is parsed exactly once per run; every selected rule
+walks the same tree.  Unparseable files surface as a ``parse-error``
+finding instead of crashing the run — a lint engine that dies on the
+worst file checks nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .findings import SEVERITIES, Finding, sort_findings
+
+#: schema of the ``--json`` document (mirrors the bench harness's shape:
+#: a version field plus one top-level mapping of results)
+SCHEMA_VERSION = 1
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set ``name``/``severity``/``description``/``hint`` and
+    implement :meth:`check`.  Rules are stateless across files; a fresh
+    instance is created per run.
+    """
+
+    name: str = ""
+    severity: str = "warning"
+    description: str = ""
+    hint: str = ""
+
+    def __init__(self) -> None:
+        self._path = "<unknown>"
+
+    def run(self, tree: ast.AST, path: str,
+            source: str) -> list[Finding]:
+        """Check one parsed file; ``finding()`` anchors to ``path``."""
+        self._path = path
+        return list(self.check(tree, path, source))
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(self, node: ast.AST | int, message: str,
+                hint: str | None = None) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Finding(self.name, self.severity, self._path, line, message,
+                       self.hint if hint is None else hint)
+
+
+#: name -> rule class, in registration order
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.name}: bad severity {cls.severity!r}")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def rule_names() -> list[str]:
+    _ensure_rules_loaded()
+    return list(_REGISTRY)
+
+
+def _ensure_rules_loaded() -> None:
+    # Rule modules register on import; import them lazily so the engine
+    # itself stays importable from rule modules without a cycle.
+    from . import commcheck, rules  # noqa: F401
+
+
+def resolve_rules(enable: Iterable[str] | None = None,
+                  disable: Iterable[str] | None = None) -> list[LintRule]:
+    """Instantiate the selected subset of registered rules.
+
+    ``enable`` restricts the run to exactly those rules; ``disable``
+    removes rules from the (possibly restricted) set.  Unknown names
+    raise — a typo silently linting nothing is worse than an error.
+    """
+    _ensure_rules_loaded()
+    unknown = [n for n in list(enable or []) + list(disable or [])
+               if n not in _REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {unknown}; available: {sorted(_REGISTRY)}")
+    names = list(enable) if enable else list(_REGISTRY)
+    dropped = set(disable or [])
+    return [_REGISTRY[n]() for n in names if n not in dropped]
+
+
+def iter_source_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(source: str, path: str, *,
+                enable: Iterable[str] | None = None,
+                disable: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one in-memory source string (the test fixture entry point)."""
+    rules = resolve_rules(enable, disable)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("parse-error", "error", path, exc.lineno or 0,
+                        f"unparseable source: {exc.msg}")]
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run(tree, path, source))
+    return sort_findings(findings)
+
+
+def run_lint(paths: Iterable[str | Path], *,
+             enable: Iterable[str] | None = None,
+             disable: Iterable[str] | None = None,
+             root: str | Path | None = None
+             ) -> tuple[list[Finding], int]:
+    """Lint files under ``paths``; returns (findings, files checked).
+
+    ``root`` anchors the repo-relative display paths (default: cwd) so
+    fingerprints match the committed baseline no matter where the
+    engine object itself lives.
+    """
+    rules = resolve_rules(enable, disable)
+    root = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    nfiles = 0
+    for path in iter_source_files(paths):
+        nfiles += 1
+        rel = _display_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError) as exc:
+            findings.append(Finding("parse-error", "error", rel, 0,
+                                    f"cannot lint: {exc}"))
+            continue
+        for rule in rules:
+            findings.extend(rule.run(tree, rel, source))
+    return sort_findings(findings), nfiles
+
+
+@dataclass
+class LintReport:
+    """One lint/analyze run after baseline suppression."""
+
+    tool: str
+    findings: list[Finding]                # new (not in the baseline)
+    suppressed: int = 0                    # matched baseline entries
+    stale: list[dict] = field(default_factory=list)  # unmatched entries
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_doc(self) -> dict:
+        """Machine-readable document (``--json``), bench-report shaped."""
+        return {
+            "version": SCHEMA_VERSION,
+            "tool": self.tool,
+            "files": self.files,
+            "rules": list(self.rules),
+            "counts": self.counts(),
+            "suppressed": self.suppressed,
+            "stale_baseline": list(self.stale),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_doc(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        by_rule = ", ".join(f"{r}={n}" for r, n in self.counts().items())
+        summary = (f"{self.tool}: {self.files} files, "
+                   f"{len(self.findings)} finding(s)")
+        if by_rule:
+            summary += f" ({by_rule})"
+        if self.suppressed:
+            summary += f", {self.suppressed} suppressed by baseline"
+        if self.stale:
+            summary += f", {len(self.stale)} stale baseline entr(ies)"
+        lines.append(summary)
+        return "\n".join(lines)

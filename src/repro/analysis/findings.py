@@ -1,0 +1,63 @@
+"""Finding model shared by the lint engine, comm checker and trace replay.
+
+A :class:`Finding` is one diagnosed problem at one location.  Its
+``fingerprint`` deliberately excludes the line number: baselines must
+survive unrelated edits above a finding, so suppression matches on
+``(rule, path, message)`` with per-fingerprint counts rather than exact
+positions (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: severity levels, most severe first (sort order for reports)
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at ``path:line``."""
+
+    rule: str
+    severity: str
+    path: str          # posix path, repo-relative when possible
+    line: int
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across pure line-number shifts."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self, *, with_hint: bool = True) -> str:
+        text = (f"{self.path}:{self.line}: [{self.severity}] "
+                f"{self.rule}: {self.message}")
+        if with_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable presentation order: path, then line, then rule name."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule,
+                                           f.message))

@@ -1,0 +1,317 @@
+"""Repo-specific lint rules for the SPMD correctness analyzer.
+
+Each rule encodes one invariant the runtime's performance and
+reproducibility story depends on:
+
+* ``wall-clock`` — interval math must use ``time.perf_counter``; the
+  wall clock jumps under NTP adjustment and breaks speedup ratios.
+* ``unseeded-rng`` — every result in the repo is bit-reproducible; a
+  draw from the global ``np.random`` stream (or a legacy
+  ``RandomState``) silently breaks that.
+* ``bare-assert`` — ``assert`` vanishes under ``python -O``; library
+  validation must raise typed exceptions.
+* ``mutable-default`` — the classic shared-default aliasing trap.
+* ``hidden-copy`` — ``.copy()``/``np.copy``/``astype`` on the zero-copy
+  hot paths reintroduces exactly the memory traffic PR 4 removed.
+* ``tracer-guard`` — instrumented hot loops must gate tracer calls on
+  ``tracer.enabled`` so the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import LintRule, register
+from .findings import Finding
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _snippet(node: ast.AST, limit: int = 48) -> str:
+    text = ast.unparse(node)
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+@register
+class WallClockRule(LintRule):
+    name = "wall-clock"
+    severity = "error"
+    description = ("wall-clock reads (time.time, argless datetime.now) "
+                   "outside repro.perf")
+    hint = ("use time.perf_counter() for intervals; wall-clock "
+            "timestamps belong in repro.perf only")
+
+    #: path fragments where wall-clock reads are legitimate
+    allowed_fragments = ("/perf/",)
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        if any(frag in f"/{path}" for frag in self.allowed_fragments):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.finding(
+                            node, "`from time import time` smuggles the "
+                                  "wall clock in under a bare name")
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("time.time", "time.time_ns"):
+                yield self.finding(node, f"wall-clock call `{name}()`")
+            elif (name is not None
+                    and name.split(".")[0] == "datetime"
+                    and name.split(".")[-1] in ("now", "utcnow", "today")
+                    and not node.args and not node.keywords):
+                yield self.finding(
+                    node, f"argless wall-clock call `{name}()`")
+
+
+@register
+class UnseededRngRule(LintRule):
+    name = "unseeded-rng"
+    severity = "error"
+    description = ("draws from the global np.random stream, legacy "
+                   "RandomState, or an unseeded default_rng")
+    hint = ("construct np.random.default_rng(seed) once and thread the "
+            "generator through; global-stream draws are "
+            "order-dependent and unreproducible")
+
+    #: module-level functions that draw from the hidden global stream
+    global_draws = frozenset({
+        "rand", "randn", "random", "randint", "random_sample",
+        "normal", "uniform", "choice", "shuffle", "permutation",
+        "standard_normal", "poisson", "exponential", "binomial",
+    })
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            name = name.replace("numpy.", "np.")
+            if name == "np.random.RandomState":
+                yield self.finding(
+                    node, "legacy `np.random.RandomState` generator")
+            elif (name.endswith("random.default_rng")
+                    and not node.args and not node.keywords):
+                yield self.finding(
+                    node, "`np.random.default_rng()` without a seed")
+            elif (name.startswith("np.random.")
+                    and name.split(".")[-1] in self.global_draws):
+                yield self.finding(
+                    node, f"draw `{name}` from the unseeded global "
+                          f"np.random stream")
+
+
+@register
+class BareAssertRule(LintRule):
+    name = "bare-assert"
+    severity = "warning"
+    description = "assert used for validation in library code"
+    hint = ("raise a typed exception with a message; `assert` "
+            "disappears under `python -O`")
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    node, f"bare assert `{_snippet(node.test)}`")
+
+
+@register
+class MutableDefaultRule(LintRule):
+    name = "mutable-default"
+    severity = "error"
+    description = "mutable default argument shared across calls"
+    hint = "default to None and construct the container in the body"
+
+    _mutable_calls = frozenset({"list", "dict", "set", "bytearray",
+                                "defaultdict", "collections.defaultdict"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in self._mutable_calls
+        return False
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            pos = args.posonlyargs + args.args
+            for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                                    args.defaults):
+                if self._is_mutable(default):
+                    yield self.finding(
+                        default, f"mutable default "
+                                 f"`{arg.arg}={_snippet(default)}` in "
+                                 f"`{node.name}()`")
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None and self._is_mutable(default):
+                    yield self.finding(
+                        default, f"mutable default "
+                                 f"`{arg.arg}={_snippet(default)}` in "
+                                 f"`{node.name}()`")
+
+
+@register
+class HiddenCopyRule(LintRule):
+    name = "hidden-copy"
+    severity = "warning"
+    description = ("array copies (.copy/np.copy/astype) inside "
+                   "zero-copy runtime modules and fused kernels")
+    hint = ("reuse a pooled or preallocated buffer (BufferPool, "
+            "np.copyto); if the copy is protocol-required, record it "
+            "in the lint baseline")
+
+    #: modules on the zero-copy fast path (PR 4's hot set)
+    hot_fragments = ("/runtime/",)
+    hot_basenames = ("fused.py", "stencils.py", "deposition.py")
+
+    def _is_hot(self, path: str) -> bool:
+        slashed = f"/{path}"
+        return (any(f in slashed for f in self.hot_fragments)
+                or path.rsplit("/", 1)[-1] in self.hot_basenames)
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        if not self._is_hot(path):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = dotted_name(func)
+            if name in ("np.copy", "numpy.copy"):
+                yield self.finding(node, f"hidden copy `{_snippet(node)}`")
+            elif isinstance(func, ast.Attribute) and func.attr == "copy" \
+                    and not node.args and not node.keywords:
+                yield self.finding(
+                    node, f"hidden copy `{_snippet(func.value, 40)}"
+                          f".copy()` on a zero-copy hot path")
+            elif isinstance(func, ast.Attribute) and func.attr == "astype":
+                no_copy = any(k.arg == "copy"
+                              and isinstance(k.value, ast.Constant)
+                              and k.value.value is False
+                              for k in node.keywords)
+                if not no_copy:
+                    yield self.finding(
+                        node, f"hidden copy `{_snippet(node)}` "
+                              f"(astype allocates; pass copy=False or "
+                              f"hoist off the hot path)")
+
+
+@register
+class TracerGuardRule(LintRule):
+    name = "tracer-guard"
+    severity = "error"
+    description = ("tracer span/instant on a hot path without a "
+                   "`.enabled` guard")
+    hint = ("wrap in `if tracer.enabled:` (or an early "
+            "`if not tracer.enabled: return` fast path) so disabled "
+            "tracing allocates nothing")
+
+    _TERMINAL = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for fn in ast.walk(tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(fn, path)
+
+    def _check_function(self, fn: ast.AST,
+                        path: str) -> Iterator[Finding]:
+        tracked: set[str] = set()
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                src = dotted_name(node.value)
+                if src is not None and src.endswith(".tracer"):
+                    tracked.add(node.targets[0].id)
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(fn):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("span", "instant")):
+                continue
+            recv = node.func.value
+            key: str | None = None
+            if isinstance(recv, ast.Name) and recv.id in tracked:
+                key = recv.id
+            else:
+                name = dotted_name(recv)
+                if name is not None and name.endswith(".tracer"):
+                    key = name
+            if key is None:
+                continue
+            if not self._guarded(node, key, parents):
+                yield self.finding(
+                    node, f"`{key}.{node.func.attr}(...)` without a "
+                          f"`{key}.enabled` guard")
+
+    def _guarded(self, node: ast.AST, key: str,
+                 parents: dict[ast.AST, ast.AST]) -> bool:
+        enabled = f"{key}.enabled"
+        child: ast.AST = node
+        parent = parents.get(node)
+        while parent is not None:
+            if isinstance(parent, ast.If):
+                test = ast.unparse(parent.test)
+                in_body = any(child is stmt for stmt in parent.body)
+                in_else = any(child is stmt for stmt in parent.orelse)
+                negated = (isinstance(parent.test, ast.UnaryOp)
+                           and isinstance(parent.test.op, ast.Not))
+                if in_body and enabled in test and not negated:
+                    return True
+                if in_else and negated and test == f"not {enabled}":
+                    return True
+            if self._early_return_guard(parent, child, enabled):
+                return True
+            child = parent
+            parent = parents.get(parent)
+        return False
+
+    def _early_return_guard(self, parent: ast.AST, child: ast.AST,
+                            enabled: str) -> bool:
+        """A preceding `if not X.enabled: ...; return` dominates ``child``."""
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(parent, field, None)
+            if not isinstance(block, list) or child not in block:
+                continue
+            idx = block.index(child)
+            for stmt in block[:idx]:
+                if (isinstance(stmt, ast.If) and stmt.body
+                        and isinstance(stmt.body[-1], self._TERMINAL)
+                        and ast.unparse(stmt.test) == f"not {enabled}"):
+                    return True
+        return False
+
+
+#: rule names of the core lint set (excludes the comm checker's rules)
+CORE_RULES = ("wall-clock", "unseeded-rng", "bare-assert",
+              "mutable-default", "hidden-copy", "tracer-guard")

@@ -1,0 +1,98 @@
+"""Trace-replay checker: confirm SPMD matching from a Chrome trace.
+
+The static comm checker proves structure; this module proves a *run*.
+Given a PR-2 trace (``python -m repro trace <app>`` writes one), it
+replays the recorded comm spans and verifies:
+
+* every posted ``send`` was consumed by a matching ``recv`` on the
+  (src, dst, tag) channel — and no recv consumed a phantom message;
+* every collective round had all ranks: per-rank span counts for
+  ``barrier``/``allreduce``/... must agree across the job (a rank that
+  skipped a barrier is the runtime signature of a rank-divergent
+  branch that happened not to deadlock *this* time).
+
+Findings use the trace file as their path, so they flow through the
+same report/baseline machinery as static lint findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from .findings import Finding, sort_findings
+
+#: collective span names whose per-rank counts must agree
+COLLECTIVE_SPANS = ("barrier", "allreduce", "allgather", "alltoall",
+                    "bcast", "gather")
+
+_RULE_SEND = "trace-unconsumed-send"
+_RULE_RECV = "trace-unmatched-recv"
+_RULE_COLL = "trace-collective-ranks"
+
+
+def load_trace(source: str | Path | dict[str, Any]) -> dict[str, Any]:
+    """A Chrome trace document from a path or an already-loaded dict."""
+    if isinstance(source, dict):
+        return source
+    with open(source, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_trace(source: str | Path | dict[str, Any],
+                label: str | None = None) -> list[Finding]:
+    """Replay a Chrome trace; returns matching-violation findings."""
+    doc = load_trace(source)
+    if label is None:
+        label = (str(source) if isinstance(source, (str, Path))
+                 else "<trace>")
+    events = doc.get("traceEvents", [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    ranks = sorted({e["tid"] for e in events
+                    if e.get("ph") == "M"
+                    and e.get("name") == "thread_name"})
+    if not ranks:
+        ranks = sorted({e["tid"] for e in spans})
+
+    findings: list[Finding] = []
+    sends: Counter = Counter()
+    recvs: Counter = Counter()
+    for e in spans:
+        args = e.get("args", {})
+        if e.get("name") == "send" and "dst" in args:
+            sends[(e["tid"], args["dst"], args.get("tag", 0))] += 1
+        elif e.get("name") == "recv" and "src" in args:
+            recvs[(args["src"], e["tid"], args.get("tag", 0))] += 1
+    for channel in sorted(set(sends) | set(recvs)):
+        src, dst, tag = channel
+        posted, consumed = sends[channel], recvs[channel]
+        if posted > consumed:
+            findings.append(Finding(
+                _RULE_SEND, "error", label, 0,
+                f"{posted - consumed} of {posted} send(s) on channel "
+                f"{src}->{dst} tag {tag} never consumed by a recv"))
+        elif consumed > posted:
+            findings.append(Finding(
+                _RULE_RECV, "error", label, 0,
+                f"{consumed - posted} recv(s) on channel {src}->{dst} "
+                f"tag {tag} with no posted send"))
+
+    per_rank: dict[str, Counter] = {name: Counter()
+                                    for name in COLLECTIVE_SPANS}
+    for e in spans:
+        if e.get("name") in per_rank:
+            per_rank[e["name"]][e["tid"]] += 1
+    for name, counts in per_rank.items():
+        if not counts:
+            continue
+        observed = {r: counts.get(r, 0) for r in ranks}
+        if len(set(observed.values())) > 1:
+            detail = ", ".join(f"rank {r}: {n}"
+                               for r, n in sorted(observed.items()))
+            findings.append(Finding(
+                _RULE_COLL, "error", label, 0,
+                f"collective `{name}` rank participation differs "
+                f"({detail}) — some round was missing ranks"))
+    return sort_findings(findings)

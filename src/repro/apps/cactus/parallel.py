@@ -104,7 +104,8 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                  checkpoint_every: int = 0,
                  max_restarts: int = 2,
                  health: HealthConfig | None = None,
-                 policy: RecoveryPolicy | None = None
+                 policy: RecoveryPolicy | None = None,
+                 sanitize: bool | None = None
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha).
 
@@ -177,7 +178,8 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                 checkpoint.save(step_index + 1, comm.rank, **state)
         return solver.bounds, solver.gamma, solver.K, solver.alpha
 
-    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    job = ParallelJob(nprocs, transport=transport, injector=injector,
+                      sanitize=sanitize)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,

@@ -47,7 +47,8 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                  checkpoint_every: int = 0,
                  max_restarts: int = 2,
                  health: HealthConfig | None = None,
-                 policy: RecoveryPolicy | None = None
+                 policy: RecoveryPolicy | None = None,
+                 sanitize: bool | None = None
                  ) -> list[GTCRankResult]:
     """Run GTC on ``nprocs`` ranks; returns per-rank results.
 
@@ -155,7 +156,8 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
             tags=np.sort(local.particles.tag.copy()),
         )
 
-    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    job = ParallelJob(nprocs, transport=transport, injector=injector,
+                      sanitize=sanitize)
     if injector is not None or checkpoint is not None or policy is not None:
         return ResilientJob(job, max_restarts=max_restarts,
                             policy=policy,

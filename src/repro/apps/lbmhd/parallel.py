@@ -30,6 +30,7 @@ from ...runtime import (
     CoArray,
     Comm,
     FaultInjector,
+    HaloGuard,
     ParallelJob,
     ProcessorGrid,
     Transport,
@@ -256,7 +257,8 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  checkpoint_every: int = 0,
                  max_restarts: int = 2,
                  health: HealthConfig | None = None,
-                 policy: RecoveryPolicy | None = None
+                 policy: RecoveryPolicy | None = None,
+                 sanitize: bool | None = None
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run LBMHD on ``nprocs`` simulated ranks; returns global (rho, u, B).
 
@@ -282,6 +284,13 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
     and *before* the checkpoint save so corrupt state is never
     checkpointed at cadence 1.  ``policy`` customizes (and records) the
     restart/rollback decisions.
+
+    ``sanitize`` (or ``REPRO_SANITIZE=1``) arms the buffer-ownership
+    sanitizer (:mod:`repro.runtime.sanitize`): borrowed halo buffers
+    raise on mutation with their borrow site, pool misuse raises, and a
+    per-rank :class:`~repro.runtime.HaloGuard` NaN-poisons the halo ring
+    each step and proves the exchange rewrote it before streaming reads
+    it.  Results are bit-identical with the sanitizer on or off.
     """
     grid = ProcessorGrid.for_nprocs(nprocs, 2)
     decomp = BlockND(grid, rho.shape)
@@ -290,6 +299,18 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         state = _RankState(comm, decomp, lattice, rho, u, B, tau, tau_m)
         images = _CafImages(state) if use_caf else None
         inter = state.interior
+        guards: list[HaloGuard] = []
+        if comm.transport.sanitize:
+            # One guard per distribution: poison the halo ring at step
+            # start, prove the exchange rewrote all 8 strips, and fail
+            # loudly if streaming runs before the exchange.
+            for label, arr in (("lbmhd.f", state.f), ("lbmhd.g", state.g)):
+                guard = HaloGuard(label)
+                for dy, dx in _DIRS:
+                    ys, xs = _region(dy, dx, state.h, state.ly, state.lx,
+                                     halo=True)
+                    guard.watch(arr, (Ellipsis, ys, xs))
+                guards.append(guard)
         stepper = FusedStepper(lattice, tau, tau_m) if fused else None
         f_out = g_out = None
         if fused:
@@ -319,6 +340,8 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
             if tracer.enabled:
                 tracer.instant(comm.rank, "step", "phase",
                                {"step": step_index})
+            for guard in guards:
+                guard.begin_step()
             with comm.phase("collision"):
                 if stepper is not None:
                     stepper.collide(state.f[(Ellipsis,) + inter],
@@ -334,7 +357,11 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                     _exchange_caf(state, images)
                 else:
                     _exchange_mpi(state)
+            for guard in guards:
+                guard.mark_exchanged()
             with comm.phase("stream"):
+                for guard in guards:
+                    guard.require_exchanged("stream")
                 if stepper is not None:
                     f_s = stepper.stream_halo(state.f, state.h, f_out)
                     g_s = stepper.stream_halo(state.g, state.h, g_out)
@@ -371,7 +398,8 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
             + 0.5 * (B_l ** 2).sum()))
         return RankResult(state.bounds, rho_l, u_l, B_l, mass, energy)
 
-    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    job = ParallelJob(nprocs, transport=transport, injector=injector,
+                      sanitize=sanitize)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,

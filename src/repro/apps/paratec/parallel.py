@@ -153,7 +153,8 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                          checkpoint_every: int = 0,
                          max_restarts: int = 2,
                          health: HealthConfig | None = None,
-                         policy: RecoveryPolicy | None = None
+                         policy: RecoveryPolicy | None = None,
+                         sanitize: bool | None = None
                          ) -> ParallelBandsResult:
     """Distributed all-band CG for the ionic Hamiltonian.
 
@@ -227,7 +228,8 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
             evals, coeff = _subspace_rotate(comm, ham, coeff)
         return evals, len(fft.my_sphere)
 
-    job = ParallelJob(nprocs, transport=transport, injector=injector)
+    job = ParallelJob(nprocs, transport=transport, injector=injector,
+                      sanitize=sanitize)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,

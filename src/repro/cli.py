@@ -15,6 +15,11 @@ Commands
               print the health report (``--sdc`` injects a bit flip
               and demonstrates detection + rollback)
 ``trace``     run one application traced; write trace.json + metrics.json
+``lint``      static SPMD-correctness lint of the source tree
+              (``--check`` gates against the committed baseline)
+``analyze``   communication-matching checks only; ``--trace`` replays a
+              recorded Chrome trace and verifies send/recv/collective
+              matching of the actual run
 """
 
 from __future__ import annotations
@@ -23,6 +28,19 @@ import argparse
 import sys
 
 import numpy as np
+
+
+class ValidationError(RuntimeError):
+    """A CLI validation pass produced out-of-tolerance results.
+
+    Raised instead of ``assert`` so the ``apps`` gate still fires under
+    ``python -O`` and failures carry a diagnosable message.
+    """
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -95,7 +113,10 @@ def _cmd_apps(_: argparse.Namespace) -> int:
     e0 = s.diagnostics().total_energy
     s.step(30)
     d = s.diagnostics()
-    assert abs(d.mass - 48 * 48) < 1e-8 and d.total_energy < e0
+    _require(abs(d.mass - 48 * 48) < 1e-8,
+             f"LBMHD mass not conserved: {d.mass} != {48 * 48}")
+    _require(d.total_energy < e0,
+             f"LBMHD energy did not decay: {d.total_energy} >= {e0}")
     print(f"ok (energy {e0:.3f}->{d.total_energy:.3f})")
 
     print("Cactus: gauge wave, n=16 ...", end=" ", flush=True)
@@ -106,7 +127,8 @@ def _cmd_apps(_: argparse.Namespace) -> int:
     c.step(10)
     err = c.deviation_from(*cactus.gauge_wave((16, 4, 4), dx,
                                               amplitude=0.05, t=c.time))
-    assert err < 5e-3
+    _require(err < 5e-3,
+             f"Cactus gauge-wave error vs exact too large: {err:.3e}")
     print(f"ok (error vs exact {err:.1e})")
 
     print("GTC: 16x16x2 PIC, 5 steps ...", end=" ", flush=True)
@@ -115,7 +137,9 @@ def _cmd_apps(_: argparse.Namespace) -> int:
                       dt=0.05)
     n0 = len(g.particles)
     g.step(5)
-    assert g.diagnostics().nparticles == n0
+    _require(g.diagnostics().nparticles == n0,
+             f"GTC particle count not conserved: "
+             f"{g.diagnostics().nparticles} != {n0}")
     print(f"ok ({n0} particles conserved)")
 
     print("PARATEC: Si Gamma bands ...", end=" ", flush=True)
@@ -123,7 +147,8 @@ def _cmd_apps(_: argparse.Namespace) -> int:
     ham = paratec.Hamiltonian.ionic(basis)
     evals, _ = paratec.solve_dense(ham, 5)
     gap = (evals[4] - evals[3]) * 27.2114
-    assert 2.5 < gap < 4.5
+    _require(2.5 < gap < 4.5,
+             f"PARATEC Gamma gap {gap:.2f} eV outside [2.5, 4.5]")
     print(f"ok (Gamma gap {gap:.2f} eV)")
     return 0
 
@@ -212,6 +237,100 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_run(args: argparse.Namespace, *, tool: str,
+              enable: list[str] | None) -> int:
+    """Shared body of ``lint`` and ``analyze``."""
+    from .analysis import (
+        LintReport,
+        apply_baseline,
+        check_trace,
+        load_baseline,
+        rule_names,
+        run_lint,
+        save_baseline,
+    )
+
+    paths = args.paths or ["src/repro"]
+    if args.enable:
+        enable = args.enable
+    try:
+        findings, nfiles = run_lint(paths, enable=enable,
+                                    disable=args.disable or None)
+    except ValueError as err:          # e.g. an unknown rule name
+        raise SystemExit(f"{tool}: {err}") from err
+    dropped = set(args.disable or [])
+    rules = [r for r in (enable or rule_names()) if r not in dropped]
+    if args.update_baseline:
+        path = save_baseline(findings, args.baseline)
+        print(f"{tool}: recorded {len(findings)} finding(s) from "
+              f"{nfiles} file(s) into {path}")
+        return 0
+    baseline = load_baseline(None if args.no_baseline else args.baseline)
+    # Judge staleness only against the rules this run executed: an
+    # `analyze` pass must not call the lint-only entries stale.
+    active = set(rules)
+    baseline = type(baseline)({fp: n for fp, n in baseline.items()
+                               if fp[0] in active})
+    new, suppressed, stale = apply_baseline(findings, baseline)
+    if getattr(args, "trace", None):
+        new.extend(check_trace(args.trace))
+    report = LintReport(tool, new, suppressed=suppressed, stale=stale,
+                        files=nfiles, rules=rules)
+    print(report.render())
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    if report.findings:
+        return 1
+    if args.check and stale:
+        print(f"{tool}: baseline has {len(stale)} stale entr(ies) — "
+              f"regenerate with --update-baseline")
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import resolve_rules
+
+    if args.list_rules:
+        for rule in resolve_rules():
+            print(f"{rule.name:28} [{rule.severity}] {rule.description}")
+        return 0
+    return _lint_run(args, tool="lint", enable=None)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import COMM_RULES
+
+    return _lint_run(args, tool="analyze", enable=list(COMM_RULES))
+
+
+def _add_lint_arguments(p: argparse.ArgumentParser, *,
+                        with_trace: bool) -> None:
+    from .analysis import DEFAULT_BASELINE
+
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src/repro)")
+    p.add_argument("--enable", action="append", metavar="RULE",
+                   help="restrict to these rules (repeatable)")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="drop these rules (repeatable)")
+    p.add_argument("--baseline", default=DEFAULT_BASELINE,
+                   help=f"baseline file (default {DEFAULT_BASELINE})")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report every finding, ignoring the baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept the current findings as the new baseline")
+    p.add_argument("--check", action="store_true",
+                   help="CI gate: also fail on stale baseline entries")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the machine-readable report")
+    if with_trace:
+        p.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                       help="replay a recorded Chrome trace and verify "
+                            "send/recv/collective matching")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -296,6 +415,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--only", default=None,
                    help="comma-separated subset of benchmarks")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="static SPMD-correctness lint (all rules) against the "
+             "committed baseline")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the registered rules and exit")
+    _add_lint_arguments(p, with_trace=False)
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="communication-matching checks; --trace replays a "
+             "recorded run")
+    _add_lint_arguments(p, with_trace=True)
+    p.set_defaults(fn=_cmd_analyze)
 
     args = parser.parse_args(argv)
     np.set_printoptions(suppress=True)

@@ -92,7 +92,10 @@ class ProcessorModel:
         vec = vectorized if vectorized is not None else phase.vectorizable
         stream = (multistreamed if multistreamed is not None
                   else phase.streamable)
-        assert m.vector is not None and m.scalar is not None
+        if m.vector is None or m.scalar is None:
+            raise ValueError(
+                f"machine {m.name!r} is flagged is_vector but lacks "
+                f"vector/scalar unit specs")
 
         if vec:
             avl = strip_mined_avl(phase.trip, m.vector.vector_length)

@@ -18,6 +18,15 @@ from .faults import (
     RankCrashError,
     SDCRecord,
 )
+from .sanitize import (
+    BorrowWriteError,
+    FrozenBorrow,
+    HaloGuard,
+    HaloReadError,
+    PoolDoubleReleaseError,
+    PoolUseAfterReleaseError,
+    SanitizeError,
+)
 from .transport import (
     DEFAULT_TIMEOUT,
     CollectiveRecord,
@@ -30,10 +39,13 @@ from .transport import (
 from .virtual_time import VirtualClocks
 
 __all__ = [
-    "Block1D", "BlockND", "BufferPool", "BufferStats", "CoArray",
-    "CollectiveRecord", "Comm", "DEFAULT_TIMEOUT", "DeliveryFailedError",
-    "FaultInjector", "FaultPlan", "FaultRecord", "MessageRecord",
-    "ParallelJob", "ProcessorGrid", "RankCrashError", "SDCRecord",
+    "Block1D", "BlockND", "BorrowWriteError", "BufferPool",
+    "BufferStats", "CoArray", "CollectiveRecord", "Comm",
+    "DEFAULT_TIMEOUT", "DeliveryFailedError", "FaultInjector",
+    "FaultPlan", "FaultRecord", "FrozenBorrow", "HaloGuard",
+    "HaloReadError", "MessageRecord", "ParallelJob",
+    "PoolDoubleReleaseError", "PoolUseAfterReleaseError",
+    "ProcessorGrid", "RankCrashError", "SDCRecord", "SanitizeError",
     "TrafficSummary", "Transport", "TransportPoisonedError",
     "VirtualClocks", "balance_columns", "borrow", "factor_grid",
     "split_extent", "writable",

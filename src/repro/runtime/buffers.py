@@ -33,10 +33,20 @@ copies actually performed are tracked separately in :class:`BufferStats`
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
+
+from .sanitize import (
+    FrozenBorrow,
+    PoolDoubleReleaseError,
+    PoolUseAfterReleaseError,
+    caller_site,
+    freeze_with_site,
+    is_poisoned,
+    poison,
+)
 
 
 @dataclass
@@ -59,7 +69,8 @@ class BufferStats:
                 "copy_bytes": self.copy_bytes}
 
 
-def borrow(obj: Any, stats: BufferStats | None = None) -> Any:
+def borrow(obj: Any, stats: BufferStats | None = None, *,
+           sanitize: bool = False, site: str | None = None) -> Any:
     """Lend ``obj`` to the runtime for an in-flight message.
 
     Arrays that own their data are frozen (``writeable=False``) and
@@ -68,29 +79,40 @@ def borrow(obj: Any, stats: BufferStats | None = None) -> Any:
     are rebuilt with borrowed leaves.  Non-array leaves pass through
     unchanged (value semantics for scalars; opaque objects are shared,
     as before).
+
+    In sanitize mode the shipped leaves are
+    :class:`~repro.runtime.sanitize.FrozenBorrow` views stamped with the
+    borrow ``site``, so a receiver mutating one gets a
+    ``BorrowWriteError`` naming the send that froze it instead of
+    numpy's anonymous read-only ``ValueError``.
     """
+    if sanitize and site is None:
+        site = caller_site()
     if isinstance(obj, np.ndarray):
         if not obj.flags.writeable:
             if stats is not None:
                 stats.borrows += 1
-            return obj
+            return freeze_with_site(obj, site) if sanitize else obj
         if obj.base is None and obj.flags.owndata:
             obj.flags.writeable = False
             if stats is not None:
                 stats.borrows += 1
-            return obj
+            return freeze_with_site(obj, site) if sanitize else obj
         packed = obj.copy()
         packed.flags.writeable = False
         if stats is not None:
             stats.copies += 1
             stats.copy_bytes += packed.nbytes
-        return packed
+        return freeze_with_site(packed, site) if sanitize else packed
     if isinstance(obj, list):
-        return [borrow(x, stats) for x in obj]
+        return [borrow(x, stats, sanitize=sanitize, site=site)
+                for x in obj]
     if isinstance(obj, tuple):
-        return tuple(borrow(x, stats) for x in obj)
+        return tuple(borrow(x, stats, sanitize=sanitize, site=site)
+                     for x in obj)
     if isinstance(obj, dict):
-        return {k: borrow(v, stats) for k, v in obj.items()}
+        return {k: borrow(v, stats, sanitize=sanitize, site=site)
+                for k, v in obj.items()}
     return obj
 
 
@@ -106,6 +128,9 @@ def writable(arr: np.ndarray) -> np.ndarray:
         raise TypeError("writable() expects a numpy array")
     if arr.flags.writeable:
         return arr
+    if isinstance(arr, FrozenBorrow):
+        # Decay: the private copy is an ordinary array, not a borrow.
+        return np.array(arr, copy=True)
     return arr.copy()
 
 
@@ -119,14 +144,31 @@ class BufferPool:
     back — ``take`` lifts the freeze, which is what makes the
     borrow-send / consume / recycle cycle allocation-free in steady
     state.
+
+    In **sanitize mode** every release is policed: a second ``give`` of
+    a buffer already in the free list raises
+    :class:`~repro.runtime.sanitize.PoolDoubleReleaseError`; released
+    float buffers are NaN-poisoned (so reads through a stale handle go
+    loudly non-finite) and checked on re-issue — a poison byte
+    overwritten while the buffer sat in the free list means somebody
+    kept writing after release, and ``take`` raises
+    :class:`~repro.runtime.sanitize.PoolUseAfterReleaseError` naming
+    the release site.  Generation counters let long-lived holders
+    assert their handle was not recycled
+    (:meth:`generation_of` / :meth:`check_generation`).
     """
 
-    def __init__(self, max_per_key: int = 64):
+    def __init__(self, max_per_key: int = 64, *, sanitize: bool = False):
         if max_per_key < 1:
             raise ValueError("max_per_key must be >= 1")
         self.max_per_key = max_per_key
+        self.sanitize = bool(sanitize)
         self._lock = threading.Lock()
         self._free: dict[tuple, list[np.ndarray]] = {}
+        #: ids of buffers currently sitting in the free lists
+        self._free_ids: dict[int, str] = {}
+        #: re-issue count per live pooled-buffer id
+        self._gen: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         self.returns = 0
@@ -142,16 +184,25 @@ class BufferPool:
         Contents are undefined (the caller packs over them).
         """
         key = self._key(shape, dtype)
+        released_at = ""
         with self._lock:
             free = self._free.get(key)
             if free:
                 self.hits += 1
                 arr = free.pop()
+                released_at = self._free_ids.pop(id(arr), "")
+                if self.sanitize:
+                    self._gen[id(arr)] = self._gen.get(id(arr), 0) + 1
             else:
                 self.misses += 1
                 arr = None
         if arr is None:
             return np.empty(shape, dtype=dtype)
+        if self.sanitize and not is_poisoned(arr):
+            raise PoolUseAfterReleaseError(
+                f"pool buffer {arr.shape}/{arr.dtype} was written after "
+                f"its release (released at {released_at or 'unknown'}); "
+                f"the writer holds a stale handle to a recycled buffer")
         arr.flags.writeable = True
         return arr
 
@@ -162,13 +213,43 @@ class BufferPool:
                 or not arr.flags.owndata:
             return
         key = self._key(arr.shape, arr.dtype)
+        site = caller_site() if self.sanitize else ""
         with self._lock:
+            if self.sanitize and id(arr) in self._free_ids:
+                first = self._free_ids[id(arr)]
+                raise PoolDoubleReleaseError(
+                    f"pool buffer {arr.shape}/{arr.dtype} released twice "
+                    f"(first at {first}, again at {site}); the second "
+                    f"holder no longer owns it")
             free = self._free.setdefault(key, [])
             if len(free) >= self.max_per_key:
                 self.drops += 1
                 return
             self.returns += 1
+            if self.sanitize:
+                # Poison before publishing so a concurrent take never
+                # sees a released-but-not-yet-poisoned buffer.
+                was_frozen = not arr.flags.writeable
+                arr.flags.writeable = True
+                poison(arr)
+                if was_frozen:
+                    arr.flags.writeable = False
+                self._free_ids[id(arr)] = site
             free.append(arr)
+
+    def generation_of(self, arr: np.ndarray) -> int:
+        """How many times this pooled buffer has been (re-)issued."""
+        with self._lock:
+            return self._gen.get(id(arr), 0)
+
+    def check_generation(self, arr: np.ndarray, expected: int) -> None:
+        """Assert a held handle was not recycled out from under us."""
+        current = self.generation_of(arr)
+        if current != expected:
+            raise PoolUseAfterReleaseError(
+                f"stale pool handle: buffer {arr.shape}/{arr.dtype} was "
+                f"re-issued (generation {current}, holder expected "
+                f"{expected}); the holder released it and kept using it")
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -180,3 +261,5 @@ class BufferPool:
     def clear(self) -> None:
         with self._lock:
             self._free.clear()
+            self._free_ids.clear()
+            self._gen.clear()

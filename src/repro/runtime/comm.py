@@ -29,6 +29,8 @@ import numpy as np
 from ..obs.events import CAT_COMM, CAT_PHASE, CAT_SYNC
 from ..obs.tracer import NULL_SPAN
 from .buffers import borrow, writable
+from .sanitize import caller_site, enrich_readonly_error, \
+    record_borrow_sites
 from .transport import DEFAULT_TIMEOUT as _DEFAULT_TIMEOUT
 from .transport import Transport, TransportPoisonedError
 
@@ -151,9 +153,16 @@ class Comm:
     def _outgoing(self, obj: Any) -> Any:
         """Wire payload for ``obj``: borrowed (zero-copy) or deep-copied."""
         tp = self.transport
-        if tp.zero_copy:
+        if not tp.zero_copy:
+            return _copy(obj)
+        if not tp.sanitize:
             return borrow(obj, tp.buffers)
-        return _copy(obj)
+        # Sanitize mode: stamp the borrow with the app-level call site so
+        # a later violation (any rank, any phase) names this send.
+        site = caller_site()
+        payload = borrow(obj, tp.buffers, sanitize=True, site=site)
+        record_borrow_sites(payload, site, tp.borrow_log)
+        return payload
 
     # -- point-to-point --------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -428,7 +437,8 @@ class ParallelJob:
     def __init__(self, nprocs: int, transport: Transport | None = None,
                  *, timeout: float | None = None, injector=None,
                  tracer=None, join_timeout: float = 600.0,
-                 zero_copy: bool | None = None):
+                 zero_copy: bool | None = None,
+                 sanitize: bool | None = None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
@@ -437,7 +447,8 @@ class ParallelJob:
                 nprocs,
                 timeout=timeout if timeout is not None else _DEFAULT_TIMEOUT,
                 injector=injector,
-                zero_copy=zero_copy if zero_copy is not None else True)
+                zero_copy=zero_copy if zero_copy is not None else True,
+                sanitize=sanitize)
         else:
             if timeout is not None:
                 transport.timeout = float(timeout)
@@ -445,6 +456,12 @@ class ParallelJob:
                 transport.injector = injector
             if zero_copy is not None:
                 transport.zero_copy = bool(zero_copy)
+            if sanitize is not None:
+                if sanitize:
+                    transport.enable_sanitize()
+                else:
+                    transport.sanitize = False
+                    transport.pool.sanitize = False
         if tracer is not None:
             transport.tracer = tracer
         if transport.injector is not None:
@@ -505,6 +522,15 @@ class ParallelJob:
                 if not isinstance(e, (threading.BrokenBarrierError,
                                       TransportPoisonedError))]
         for rank, err in root or failed:
+            if self.transport.sanitize:
+                # Sender-side borrow violations surface as numpy's
+                # anonymous read-only ValueError; upgrade the message
+                # with recent borrow provenance.
+                hint = enrich_readonly_error(
+                    err, self.transport.borrow_log.values())
+                if hint is not None:
+                    raise RuntimeError(
+                        f"rank {rank} failed: {hint}") from err
             raise RuntimeError(f"rank {rank} failed: {err!r}") from err
         alive = [t for t in threads if t.is_alive()]
         if alive:

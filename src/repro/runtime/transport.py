@@ -51,6 +51,7 @@ import numpy as np
 from ..obs.tracer import NULL_TRACER
 from .buffers import BufferPool, BufferStats
 from .faults import CORRUPT, DELAY, DROP, DUPLICATE
+from .sanitize import env_enabled as _sanitize_env_enabled
 
 #: one configurable recv/barrier timeout for the whole runtime
 DEFAULT_TIMEOUT = 120.0
@@ -210,7 +211,8 @@ class Transport:
     """Shared mailbox fabric + event recorder for one parallel job."""
 
     def __init__(self, nprocs: int, *, timeout: float = DEFAULT_TIMEOUT,
-                 injector=None, zero_copy: bool = True):
+                 injector=None, zero_copy: bool = True,
+                 sanitize: bool | None = None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
@@ -225,10 +227,16 @@ class Transport:
         #: borrowed-buffer fast path (False restores unconditional
         #: deep-copy semantics — the legacy reference for benchmarks)
         self.zero_copy = bool(zero_copy)
+        #: ownership sanitizer (:mod:`repro.runtime.sanitize`); ``None``
+        #: defers to the ``REPRO_SANITIZE`` environment variable
+        self.sanitize = (_sanitize_env_enabled() if sanitize is None
+                         else bool(sanitize))
+        #: borrow provenance in sanitize mode: id(frozen leaf) -> site
+        self.borrow_log: dict[int, str] = {}
         #: physical-copy accounting of the ownership protocol
         self.buffers = BufferStats()
         #: recycled packing buffers for halo/transpose exchanges
-        self.pool = BufferPool()
+        self.pool = BufferPool(sanitize=self.sanitize)
         self._state_lock = threading.Lock()
         self._rec_lock = threading.Lock()
         self._shards = [_ChannelShard() for _ in range(_NSHARDS)]
@@ -240,6 +248,17 @@ class Transport:
         #: current phase label, set by Comm.phase(...) context manager
         self.phase_label: str = ""
         self.recording: bool = True
+
+    def enable_sanitize(self) -> None:
+        """Turn on the ownership sanitizer for subsequent traffic.
+
+        The pool is cleared first: buffers recycled before sanitize mode
+        carry no poison pattern, and re-issuing one would be
+        misdiagnosed as a write-after-release.
+        """
+        self.sanitize = True
+        self.pool.clear()
+        self.pool.sanitize = True
 
     def _shard(self, key: tuple[int, int, int]) -> _ChannelShard:
         return self._shards[hash(key) % _NSHARDS]

@@ -1,0 +1,193 @@
+"""Communication-matching checker on synthetic drivers.
+
+The positive fixtures are miniature versions of the three deadlock
+shapes; the negative fixtures are distilled from the repo's real
+drivers (LBMHD's opposite-direction halo pairing, GTC's shift tags,
+xor-partner pairwise exchanges), so the checker stays quiet on the
+patterns the codebase legitimately uses.
+"""
+
+import ast
+
+from repro.analysis import extract_comm_ops, lint_source
+
+COMM = ["rank-divergent-collective", "unmatched-tag",
+        "comm-direction-mismatch"]
+
+
+def rules_of(src: str, path: str = "driver.py") -> list[str]:
+    return [f.rule for f in lint_source(src, path, enable=COMM)]
+
+
+class TestExtractCommOps:
+    def test_send_recv_structure(self):
+        src = (
+            "def step(comm, left, right):\n"
+            "    comm.send(buf, dest=left, tag=101)\n"
+            "    comm.send(buf, right, 102)\n"
+            "    got = comm.recv(source=right, tag=101)\n"
+            "    comm.sendrecv(buf, left, right)\n"
+        )
+        fn = ast.parse(src).body[0]
+        ops = extract_comm_ops(fn)
+        kinds = [op.kind for op in ops]
+        assert kinds == ["send", "send", "recv", "sendrecv"]
+        assert ops[0].peer == "left" and ops[0].tag == 101
+        assert ops[1].peer == "right" and ops[1].tag == 102
+        assert ops[2].peer == "right" and ops[2].tag == 101
+        assert ops[3].peer is None          # buffered both ways
+
+    def test_dynamic_tag_is_marked_unknown(self):
+        src = "def f(comm, k):\n    comm.send(b, dest=1, tag=k)\n"
+        (op,) = extract_comm_ops(ast.parse(src).body[0])
+        assert op.tag is None and op.tag_text == "k"
+
+    def test_default_tag_is_zero(self):
+        src = "def f(comm):\n    comm.send(b, dest=1)\n"
+        (op,) = extract_comm_ops(ast.parse(src).body[0])
+        assert op.tag == 0
+
+
+class TestRankDivergentCollective:
+    def test_flags_barrier_under_rank_branch(self):
+        src = (
+            "def step(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.barrier()\n"
+        )
+        assert rules_of(src) == ["rank-divergent-collective"]
+
+    def test_flags_collective_under_tainted_name(self):
+        src = (
+            "def step(comm):\n"
+            "    me = comm.rank\n"
+            "    if me % 2 == 0:\n"
+            "        total = comm.allreduce(1.0)\n"
+        )
+        assert rules_of(src) == ["rank-divergent-collective"]
+
+    def test_accepts_collective_in_both_branches(self):
+        # Every rank still calls the collective: rank-dependent
+        # *arguments*, not rank-dependent *participation*.
+        src = (
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        out = comm.bcast(x)\n"
+            "    else:\n"
+            "        out = comm.bcast(None)\n"
+            "    return out\n"
+        )
+        assert rules_of(src) == []
+
+    def test_accepts_rank_dependent_p2p(self):
+        # Point-to-point under a rank branch is the normal SPMD idiom.
+        src = (
+            "def step(comm, buf):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send(buf, dest=1, tag=7)\n"
+            "    else:\n"
+            "        buf = comm.recv(source=0, tag=7)\n"
+            "    return buf\n"
+        )
+        assert rules_of(src) == []
+
+    def test_str_split_is_not_a_collective(self):
+        src = (
+            "def parse(comm, line):\n"
+            "    if comm.rank == 0:\n"
+            "        return line.split(',')\n"
+            "    return None\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestUnmatchedTag:
+    def test_flags_send_with_no_recv_for_tag(self):
+        src = (
+            "def step(comm, left, right, buf):\n"
+            "    comm.send(buf, dest=left, tag=101)\n"
+            "    comm.send(buf, dest=right, tag=102)\n"
+            "    a = comm.recv(source=right, tag=101)\n"
+            "    b = comm.recv(source=left, tag=103)\n"
+        )
+        assert sorted(rules_of(src)) == ["unmatched-tag",
+                                         "unmatched-tag"]
+
+    def test_accepts_gtc_shift_pairing(self):
+        # send left on 101 / recv right on 101, and vice versa.
+        src = (
+            "def shift(comm, left, right, lo, hi):\n"
+            "    comm.send(lo, dest=left, tag=101)\n"
+            "    comm.send(hi, dest=right, tag=102)\n"
+            "    from_right = comm.recv(source=right, tag=101)\n"
+            "    from_left = comm.recv(source=left, tag=102)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_send_only_module_is_not_judged(self):
+        src = "def post(comm, buf):\n    comm.send(buf, dest=1, tag=9)\n"
+        assert rules_of(src) == []
+
+
+class TestDirectionMismatch:
+    def test_flags_recv_on_send_channel(self):
+        # Shift exchange that recvs from the rank it sent to, on the
+        # same tag — the message it waits for went the other way.
+        src = (
+            "def shift(comm, left, right, lo, hi):\n"
+            "    comm.send(lo, dest=left, tag=5)\n"
+            "    comm.send(hi, dest=right, tag=6)\n"
+            "    a = comm.recv(source=left, tag=5)\n"
+            "    b = comm.recv(source=right, tag=6)\n"
+        )
+        assert sorted(rules_of(src)) == ["comm-direction-mismatch",
+                                         "comm-direction-mismatch"]
+
+    def test_accepts_opposite_direction_recv(self):
+        src = (
+            "def shift(comm, left, right, lo, hi):\n"
+            "    comm.send(lo, dest=left, tag=5)\n"
+            "    comm.send(hi, dest=right, tag=6)\n"
+            "    a = comm.recv(source=right, tag=5)\n"
+            "    b = comm.recv(source=left, tag=6)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_accepts_pairwise_partner_exchange(self):
+        # One xor partner: send to and recv from the same peer is the
+        # correct pairwise pattern (PARATEC transpose style).
+        src = (
+            "def swap(comm, partner, buf):\n"
+            "    comm.send(buf, dest=partner, tag=3)\n"
+            "    return comm.recv(source=partner, tag=3)\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestSyntheticDeadlockDriver:
+    def test_all_three_shapes_in_one_driver(self):
+        src = (
+            "def broken_halo(comm, left, right, buf):\n"
+            "    me = comm.rank\n"
+            "    if me == 0:\n"
+            "        comm.barrier()\n"
+            "    comm.send(buf, dest=left, tag=11)\n"
+            "    comm.send(buf, dest=right, tag=12)\n"
+            "    a = comm.recv(source=left, tag=11)\n"
+            "    b = comm.recv(source=left, tag=99)\n"
+        )
+        found = sorted(rules_of(src))
+        assert "rank-divergent-collective" in found
+        assert "comm-direction-mismatch" in found
+        assert "unmatched-tag" in found
+
+    def test_repo_drivers_are_clean(self):
+        import pathlib
+
+        from repro.analysis import run_lint
+        src_root = (pathlib.Path(__file__).resolve().parents[2]
+                    / "src" / "repro")
+        findings, nfiles = run_lint(
+            [src_root / "apps", src_root / "runtime"], enable=COMM)
+        assert nfiles > 0
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,142 @@
+"""Engine mechanics: rule selection, reports, baseline ratchet."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    SCHEMA_VERSION,
+    Finding,
+    LintReport,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    resolve_rules,
+    rule_names,
+    run_lint,
+    save_baseline,
+    sort_findings,
+)
+
+BAD = "import time\nstart = time.time()\nassert start > 0\n"
+
+
+class TestRuleSelection:
+    def test_registry_has_all_nine_rules(self):
+        names = rule_names()
+        for expected in ("wall-clock", "unseeded-rng", "bare-assert",
+                         "mutable-default", "hidden-copy", "tracer-guard",
+                         "rank-divergent-collective", "unmatched-tag",
+                         "comm-direction-mismatch"):
+            assert expected in names
+
+    def test_enable_restricts(self):
+        findings = lint_source(BAD, "x.py", enable=["bare-assert"])
+        assert [f.rule for f in findings] == ["bare-assert"]
+
+    def test_disable_removes(self):
+        findings = lint_source(BAD, "x.py", disable=["wall-clock"])
+        assert [f.rule for f in findings] == ["bare-assert"]
+
+    def test_unknown_rule_name_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_rules(enable=["wall-clcok"])
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source(BAD, "x.py", disable=["nope"])
+
+
+class TestEngineWalk:
+    def test_run_lint_walks_directories(self, tmp_path):
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("def f(x=[]):\n    return x\n")
+        findings, nfiles = run_lint([tmp_path], root=tmp_path)
+        assert nfiles == 2
+        assert sorted(f.rule for f in findings) \
+            == ["mutable-default", "wall-clock"]
+        # Paths are root-relative and stable (baseline fingerprints).
+        assert {f.path for f in findings} == {"a.py", "pkg/b.py"}
+
+    def test_parse_error_is_a_finding_not_a_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        findings, nfiles = run_lint([tmp_path], root=tmp_path)
+        assert nfiles == 2
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_findings_sorted_by_location(self):
+        fs = [Finding("r", "warning", "b.py", 9, "m"),
+              Finding("r", "error", "a.py", 2, "m"),
+              Finding("r", "error", "a.py", 1, "m")]
+        ordered = sort_findings(fs)
+        assert [(f.path, f.line) for f in ordered] \
+            == [("a.py", 1), ("a.py", 2), ("b.py", 9)]
+
+
+class TestReport:
+    def test_doc_shape_mirrors_bench_report(self, tmp_path):
+        findings = lint_source(BAD, "x.py")
+        report = LintReport("lint", findings, files=1,
+                            rules=rule_names())
+        doc = report.to_doc()
+        assert doc["version"] == SCHEMA_VERSION
+        assert set(doc) == {"version", "tool", "files", "rules",
+                            "counts", "suppressed", "stale_baseline",
+                            "findings"}
+        out = tmp_path / "lint.json"
+        report.write_json(out)
+        assert json.loads(out.read_text())["counts"]["wall-clock"] == 1
+
+    def test_render_includes_location_and_summary(self):
+        findings = lint_source(BAD, "x.py")
+        text = LintReport("lint", findings, files=1).render()
+        assert "x.py:2" in text
+        assert "finding(s)" in text
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_exactly(self, tmp_path):
+        findings = lint_source(BAD, "x.py")
+        path = tmp_path / "baseline.json"
+        save_baseline(findings, path)
+        new, suppressed, stale = apply_baseline(
+            findings, load_baseline(path))
+        assert (new, suppressed, stale) == ([], len(findings), [])
+
+    def test_new_findings_exceed_budget(self, tmp_path):
+        findings = lint_source(BAD, "x.py")
+        path = tmp_path / "baseline.json"
+        save_baseline(findings, path)
+        doubled = findings + findings     # same fingerprints, 2x count
+        new, suppressed, _ = apply_baseline(doubled, load_baseline(path))
+        assert suppressed == len(findings)
+        assert len(new) == len(findings)
+
+    def test_fixed_findings_become_stale_entries(self, tmp_path):
+        findings = lint_source(BAD, "x.py")
+        path = tmp_path / "baseline.json"
+        save_baseline(findings, path)
+        new, suppressed, stale = apply_baseline([], load_baseline(path))
+        assert new == [] and suppressed == 0
+        assert len(stale) == len(findings)
+        assert all(e["unmatched"] == 1 for e in stale)
+
+    def test_line_drift_does_not_churn(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(lint_source(BAD, "x.py"), path)
+        shifted = lint_source("\n\n\n" + BAD, "x.py")   # lines moved
+        new, suppressed, stale = apply_baseline(
+            shifted, load_baseline(path))
+        assert (new, stale) == ([], [])
+        assert suppressed == len(shifted)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+        assert load_baseline(None) == {}
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)

@@ -1,0 +1,162 @@
+"""Per-rule positive/negative fixtures for the core lint rules.
+
+Each rule gets at least one source string it must flag and one idiomatic
+counterpart it must accept — the counterparts are the patterns the repo
+actually uses, so a rule that starts false-positive-ing on house style
+fails here before it fails on ``repro lint`` in CI.
+"""
+
+from repro.analysis import lint_source
+
+
+def rules_of(src: str, path: str = "x.py", **kw) -> list[str]:
+    return [f.rule for f in lint_source(src, path, **kw)]
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        src = "import time\nstart = time.time()\n"
+        assert rules_of(src, enable=["wall-clock"]) == ["wall-clock"]
+
+    def test_flags_time_time_ns(self):
+        src = "import time\nstart = time.time_ns()\n"
+        assert rules_of(src, enable=["wall-clock"]) == ["wall-clock"]
+
+    def test_flags_argless_datetime_now(self):
+        src = "import datetime\nstamp = datetime.datetime.now()\n"
+        assert rules_of(src, enable=["wall-clock"]) == ["wall-clock"]
+
+    def test_accepts_tz_aware_now(self):
+        src = ("import datetime\n"
+               "stamp = datetime.datetime.now(datetime.timezone.utc)\n")
+        assert rules_of(src, enable=["wall-clock"]) == []
+
+    def test_flags_bare_import(self):
+        src = "from time import time\n"
+        assert rules_of(src, enable=["wall-clock"]) == ["wall-clock"]
+
+    def test_accepts_perf_counter(self):
+        src = ("import time\n"
+               "from time import perf_counter\n"
+               "t0 = time.perf_counter()\n"
+               "t1 = time.monotonic()\n")
+        assert rules_of(src, enable=["wall-clock"]) == []
+
+    def test_perf_module_is_exempt(self):
+        src = "import time\nstart = time.time()\n"
+        assert rules_of(src, path="src/repro/perf/bench.py",
+                        enable=["wall-clock"]) == []
+
+    def test_mention_in_docstring_is_not_flagged(self):
+        src = '"""never call time.time() here"""\nx = 1\n'
+        assert rules_of(src, enable=["wall-clock"]) == []
+
+
+class TestUnseededRng:
+    def test_flags_global_np_random(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_of(src, enable=["unseeded-rng"]) == ["unseeded-rng"]
+
+    def test_flags_legacy_randomstate(self):
+        src = "import numpy as np\nr = np.random.RandomState(0)\n"
+        assert rules_of(src, enable=["unseeded-rng"]) == ["unseeded-rng"]
+
+    def test_flags_unseeded_default_rng(self):
+        src = "import numpy as np\nr = np.random.default_rng()\n"
+        assert rules_of(src, enable=["unseeded-rng"]) == ["unseeded-rng"]
+
+    def test_accepts_seeded_default_rng(self):
+        src = "import numpy as np\nr = np.random.default_rng(2004)\n"
+        assert rules_of(src, enable=["unseeded-rng"]) == []
+
+
+class TestBareAssert:
+    def test_flags_assert(self):
+        src = "def f(x):\n    assert x > 0\n    return x\n"
+        assert rules_of(src, enable=["bare-assert"]) == ["bare-assert"]
+
+    def test_accepts_typed_raise(self):
+        src = ("def f(x):\n"
+               "    if x <= 0:\n"
+               "        raise ValueError('x must be positive')\n"
+               "    return x\n")
+        assert rules_of(src, enable=["bare-assert"]) == []
+
+    def test_message_carries_the_condition(self):
+        src = "assert total == n\n"
+        (f,) = lint_source(src, "x.py", enable=["bare-assert"])
+        assert "total == n" in f.message
+
+
+class TestMutableDefault:
+    def test_flags_list_literal_default(self):
+        src = "def f(xs=[]):\n    return xs\n"
+        assert rules_of(src, enable=["mutable-default"]) \
+            == ["mutable-default"]
+
+    def test_flags_dict_call_default(self):
+        src = "def f(m=dict()):\n    return m\n"
+        assert rules_of(src, enable=["mutable-default"]) \
+            == ["mutable-default"]
+
+    def test_flags_kwonly_default(self):
+        src = "def f(*, xs=set()):\n    return xs\n"
+        assert rules_of(src, enable=["mutable-default"]) \
+            == ["mutable-default"]
+
+    def test_accepts_none_sentinel(self):
+        src = ("def f(xs=None):\n"
+               "    xs = [] if xs is None else xs\n"
+               "    return xs\n")
+        assert rules_of(src, enable=["mutable-default"]) == []
+
+    def test_accepts_immutable_defaults(self):
+        src = "def f(a=0, b=(), c='x', d=frozenset()):\n    return a\n"
+        assert rules_of(src, enable=["mutable-default"]) == []
+
+
+class TestHiddenCopy:
+    def test_flags_copy_in_runtime_module(self):
+        src = "def pack(arr):\n    return arr.copy()\n"
+        assert rules_of(src, path="src/repro/runtime/comm.py",
+                        enable=["hidden-copy"]) == ["hidden-copy"]
+
+    def test_flags_astype_in_fused_kernel(self):
+        src = "def k(a):\n    return a.astype('int64')\n"
+        assert rules_of(src, path="src/repro/apps/lbmhd/fused.py",
+                        enable=["hidden-copy"]) == ["hidden-copy"]
+
+    def test_accepts_astype_with_copy_false(self):
+        src = "def k(a):\n    return a.astype('f8', copy=False)\n"
+        assert rules_of(src, path="src/repro/apps/lbmhd/fused.py",
+                        enable=["hidden-copy"]) == []
+
+    def test_copy_outside_hot_modules_is_fine(self):
+        src = "def snapshot(arr):\n    return arr.copy()\n"
+        assert rules_of(src, path="src/repro/experiments/tables.py",
+                        enable=["hidden-copy"]) == []
+
+
+class TestTracerGuard:
+    def test_flags_unguarded_instant(self):
+        src = ("def step(self, rank):\n"
+               "    tracer = self.transport.tracer\n"
+               "    tracer.instant(rank, 'step', 'phase')\n")
+        assert rules_of(src, enable=["tracer-guard"]) == ["tracer-guard"]
+
+    def test_accepts_enabled_body_guard(self):
+        src = ("def step(self, rank):\n"
+               "    tracer = self.transport.tracer\n"
+               "    if tracer.enabled:\n"
+               "        tracer.instant(rank, 'step', 'phase')\n")
+        assert rules_of(src, enable=["tracer-guard"]) == []
+
+    def test_accepts_early_return_guard(self):
+        src = ("def send(self, obj):\n"
+               "    tr = self.transport.tracer\n"
+               "    if not tr.enabled:\n"
+               "        self.post(obj)\n"
+               "        return\n"
+               "    with tr.span(0, 'send', 'comm'):\n"
+               "        self.post(obj)\n")
+        assert rules_of(src, enable=["tracer-guard"]) == []

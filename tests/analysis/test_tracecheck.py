@@ -1,0 +1,99 @@
+"""Trace-replay checker on synthetic and real Chrome traces."""
+
+import json
+
+from repro.analysis import check_trace
+
+
+def span(name, tid, args=None, ts=0):
+    e = {"ph": "X", "name": name, "cat": "comm", "pid": 1, "tid": tid,
+         "ts": ts, "dur": 1}
+    if args:
+        e["args"] = args
+    return e
+
+
+def meta(tid):
+    return {"ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+            "args": {"name": f"rank {tid}"}}
+
+
+def trace(events):
+    return {"traceEvents": events}
+
+
+class TestSendRecvMatching:
+    def test_clean_pairing_passes(self):
+        doc = trace([
+            meta(0), meta(1),
+            span("send", 0, {"dst": 1, "tag": 7, "nbytes": 64}),
+            span("recv", 1, {"src": 0, "tag": 7}),
+        ])
+        assert check_trace(doc) == []
+
+    def test_unconsumed_send_flagged(self):
+        doc = trace([
+            meta(0), meta(1),
+            span("send", 0, {"dst": 1, "tag": 7, "nbytes": 64}),
+        ])
+        (f,) = check_trace(doc, label="t.json")
+        assert f.rule == "trace-unconsumed-send"
+        assert f.path == "t.json"
+        assert "0->1" in f.message and "tag 7" in f.message
+
+    def test_phantom_recv_flagged(self):
+        doc = trace([
+            meta(0), meta(1),
+            span("recv", 1, {"src": 0, "tag": 3}),
+        ])
+        (f,) = check_trace(doc)
+        assert f.rule == "trace-unmatched-recv"
+
+    def test_tag_mismatch_is_two_findings(self):
+        doc = trace([
+            meta(0), meta(1),
+            span("send", 0, {"dst": 1, "tag": 1, "nbytes": 8}),
+            span("recv", 1, {"src": 0, "tag": 2}),
+        ])
+        assert sorted(f.rule for f in check_trace(doc)) \
+            == ["trace-unconsumed-send", "trace-unmatched-recv"]
+
+
+class TestCollectiveParticipation:
+    def test_equal_counts_pass(self):
+        doc = trace([meta(0), meta(1),
+                     span("barrier", 0), span("barrier", 1),
+                     span("allreduce", 0), span("allreduce", 1)])
+        assert check_trace(doc) == []
+
+    def test_missing_rank_flagged(self):
+        doc = trace([meta(0), meta(1), meta(2),
+                     span("barrier", 0), span("barrier", 1)])
+        (f,) = check_trace(doc)
+        assert f.rule == "trace-collective-ranks"
+        assert "barrier" in f.message
+
+    def test_ranks_fall_back_to_span_tids(self):
+        # No thread_name metadata: ranks inferred from spans.
+        doc = trace([span("barrier", 0), span("barrier", 1),
+                     span("allreduce", 0)])
+        (f,) = check_trace(doc)
+        assert f.rule == "trace-collective-ranks"
+
+
+class TestRealTrace:
+    def test_recorded_lbmhd_trace_is_clean(self, tmp_path):
+        from repro.obs.runner import trace_app
+
+        run = trace_app("lbmhd", steps=2, nprocs=4, outdir=tmp_path)
+        findings = check_trace(run.trace_path)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_loads_from_file_path(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(trace([
+            meta(0), span("send", 0, {"dst": 0, "tag": 1, "nbytes": 8}),
+        ])))
+        (f,) = check_trace(path)
+        assert f.rule == "trace-unconsumed-send"
+        assert f.path == str(path)

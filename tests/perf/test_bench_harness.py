@@ -7,8 +7,8 @@ repo-wide guard that all timing goes through ``time.perf_counter``.
 """
 
 import pathlib
-import re
 
+from repro.analysis import lint_source, run_lint
 from repro.perf.bench import (
     DEFAULT_TOLERANCE,
     SCHEMA_VERSION,
@@ -84,27 +84,30 @@ class TestFormatReport:
 class TestTimingSourceGuard:
     """Satellite guard: all wall-clock timing in src/ must come from
     ``time.perf_counter`` — ``time.time`` is not monotonic and breaks
-    interval math across clock adjustments."""
+    interval math across clock adjustments.
 
-    def test_no_time_time_in_src(self):
-        pattern = re.compile(r"\btime\.time\s*\(")
-        offenders = []
-        for path in sorted(SRC.rglob("*.py")):
-            for lineno, line in enumerate(
-                    path.read_text().splitlines(), start=1):
-                if pattern.search(line):
-                    offenders.append(f"{path}:{lineno}: {line.strip()}")
-        assert offenders == [], (
+    Enforcement now lives in the ``wall-clock`` rule of
+    :mod:`repro.analysis` (AST-based, so mentions of the pattern in
+    strings and docstrings no longer false-positive); this class pins
+    that the repo stays clean under it and that the rule still bites.
+    """
+
+    def test_no_wall_clock_findings_in_src(self):
+        findings, nfiles = run_lint([SRC / "repro"],
+                                    enable=["wall-clock"])
+        assert nfiles > 0
+        assert findings == [], (
             "use time.perf_counter() for timing:\n"
-            + "\n".join(offenders))
+            + "\n".join(f.render() for f in findings))
 
-    def test_no_bare_clock_imports(self):
+    def test_rule_flags_time_time(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        findings = lint_source(src, "x.py", enable=["wall-clock"])
+        assert [f.rule for f in findings] == ["wall-clock"]
+
+    def test_rule_flags_bare_clock_import(self):
         # `from time import time` smuggles the same wall clock in
-        # under a bare name; forbid it alongside the attribute form.
-        pattern = re.compile(r"from\s+time\s+import\s+.*\btime\b")
-        offenders = [
-            str(path)
-            for path in sorted(SRC.rglob("*.py"))
-            if pattern.search(path.read_text())
-        ]
-        assert offenders == []
+        # under a bare name; forbidden alongside the attribute form.
+        src = "from time import time\n"
+        findings = lint_source(src, "x.py", enable=["wall-clock"])
+        assert findings and findings[0].rule == "wall-clock"

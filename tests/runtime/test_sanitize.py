@@ -1,0 +1,236 @@
+"""Buffer-ownership sanitizer: violations fail loudly, results unchanged.
+
+Three families: borrowed-buffer writes (receiver side via FrozenBorrow,
+sender side via the job driver's enriched read-only error), BufferPool
+release policing (double release, write-after-release, stale
+generations), and the HaloGuard step protocol — each exercised both as
+a unit and inside a real parallel step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lbmhd.initial import orszag_tang
+from repro.apps.lbmhd.parallel import run_parallel
+from repro.runtime import (
+    BorrowWriteError,
+    BufferPool,
+    HaloGuard,
+    HaloReadError,
+    ParallelJob,
+    PoolDoubleReleaseError,
+    PoolUseAfterReleaseError,
+    Transport,
+    writable,
+)
+from repro.runtime.buffers import borrow
+from repro.runtime.sanitize import ENV_VAR, env_enabled
+
+
+class TestFrozenBorrow:
+    def test_write_raises_with_borrow_site(self):
+        arr = np.arange(6.0)
+        fb = borrow(arr, sanitize=True, site="driver.py:42 in exchange")
+        with pytest.raises(BorrowWriteError, match="driver.py:42"):
+            fb[0] = 1.0
+
+    def test_inplace_ufunc_raises(self):
+        fb = borrow(np.arange(4.0), sanitize=True, site="s")
+        with pytest.raises(BorrowWriteError):
+            fb += 1.0
+        with pytest.raises(BorrowWriteError):
+            np.add(fb, 1.0, out=fb)
+
+    def test_reads_and_arithmetic_decay_to_ndarray(self):
+        fb = borrow(np.arange(4.0), sanitize=True, site="s")
+        assert float(fb.sum()) == 6.0
+        out = fb * 2.0
+        assert type(out) is np.ndarray
+        assert out.flags.writeable
+
+    def test_writable_returns_plain_private_copy(self):
+        arr = np.arange(4.0)
+        fb = borrow(arr, sanitize=True, site="s")
+        w = writable(fb)
+        assert type(w) is np.ndarray
+        w[0] = 99.0
+        assert fb[0] == 0.0          # borrow unchanged
+
+    def test_container_leaves_are_stamped(self):
+        payload = borrow({"f": np.ones(3), "g": [np.zeros(2)]},
+                         sanitize=True, site="pack.py:7 in pack")
+        with pytest.raises(BorrowWriteError, match="pack.py:7"):
+            payload["f"][0] = 2.0
+        with pytest.raises(BorrowWriteError, match="pack.py:7"):
+            payload["g"][0][0] = 2.0
+
+
+class TestPoolSanitize:
+    def test_double_release_raises(self):
+        pool = BufferPool(sanitize=True)
+        buf = pool.take((4,))
+        pool.give(buf)
+        with pytest.raises(PoolDoubleReleaseError, match="released twice"):
+            pool.give(buf)
+
+    def test_write_after_release_detected_on_reissue(self):
+        pool = BufferPool(sanitize=True)
+        buf = pool.take((4,))
+        pool.give(buf)
+        buf[1] = 7.0                  # stale handle keeps writing
+        with pytest.raises(PoolUseAfterReleaseError,
+                           match="written after its release"):
+            pool.take((4,))
+
+    def test_released_float_buffer_is_poisoned(self):
+        pool = BufferPool(sanitize=True)
+        buf = pool.take((3,))
+        buf[:] = 5.0
+        pool.give(buf)
+        assert np.isnan(buf).all()    # reads through stale handle scream
+
+    def test_generation_counter_catches_stale_holder(self):
+        pool = BufferPool(sanitize=True)
+        buf = pool.take((2,))
+        pool.give(buf)
+        again = pool.take((2,))       # same storage, generation bumped
+        assert again is buf
+        gen = pool.generation_of(again)
+        pool.check_generation(again, gen)          # current: fine
+        with pytest.raises(PoolUseAfterReleaseError, match="re-issued"):
+            pool.check_generation(again, gen - 1)  # stale snapshot
+
+    def test_clean_cycle_passes(self):
+        pool = BufferPool(sanitize=True)
+        for _ in range(3):
+            buf = pool.take((8,), np.float64)
+            buf[:] = 1.0
+            pool.give(buf)
+        assert pool.stats()["hits"] >= 2
+
+    def test_plain_pool_is_unpoliced(self):
+        pool = BufferPool()
+        buf = pool.take((4,))
+        buf[:] = 2.0
+        pool.give(buf)
+        pool.give(buf)                # tolerated when sanitize is off
+        assert not np.isnan(buf).any()
+
+
+class TestHaloGuard:
+    def _guarded(self):
+        field = np.ones((6, 6))
+        guard = HaloGuard("test")
+        for region in ((0, slice(None)), (-1, slice(None)),
+                       (slice(1, -1), 0), (slice(1, -1), -1)):
+            guard.watch(field, region)
+        return field, guard
+
+    def test_read_before_exchange_raises(self):
+        _, guard = self._guarded()
+        guard.begin_step()
+        with pytest.raises(HaloReadError, match="before this step"):
+            guard.require_exchanged("stream")
+
+    def test_partial_exchange_raises(self):
+        field, guard = self._guarded()
+        guard.begin_step()
+        field[0, :] = 2.0             # only one strip rewritten
+        with pytest.raises(HaloReadError, match="did not rewrite"):
+            guard.mark_exchanged()
+
+    def test_full_cycle_passes_and_interior_untouched(self):
+        field, guard = self._guarded()
+        interior = field[1:-1, 1:-1].copy()
+        guard.begin_step()
+        assert (field[1:-1, 1:-1] == interior).all()
+        field[0, :] = field[-1, :] = 2.0
+        field[1:-1, 0] = field[1:-1, -1] = 2.0
+        guard.mark_exchanged()
+        guard.require_exchanged("stream")
+
+
+class TestSanitizedJobs:
+    def test_env_variable_arms_the_transport(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        assert env_enabled()
+        assert Transport(2).sanitize
+        monkeypatch.setenv(ENV_VAR, "0")
+        assert not Transport(2).sanitize
+
+    def test_sender_side_write_raises_with_hint(self):
+        def bad(comm):
+            x = np.full(4, 1.0)
+            comm.send(x, dest=(comm.rank + 1) % comm.size, tag=1)
+            x[0] = 5.0                # still borrowed by the message
+            comm.recv(source=(comm.rank - 1) % comm.size, tag=1)
+
+        with pytest.raises(RuntimeError,
+                           match="borrowed by an in-flight message"):
+            ParallelJob(2, sanitize=True).run(bad)
+
+    def test_receiver_side_write_raises_with_borrow_site(self):
+        def bad(comm):
+            x = np.full(4, float(comm.rank))
+            comm.send(x, dest=(comm.rank + 1) % comm.size, tag=2)
+            got = comm.recv(source=(comm.rank - 1) % comm.size, tag=2)
+            got[0] = -1.0             # mutating a borrowed buffer
+
+        with pytest.raises(RuntimeError, match="borrowed at"):
+            ParallelJob(2, sanitize=True).run(bad)
+
+    def test_receiver_writable_copy_is_the_fix(self):
+        def good(comm):
+            x = np.full(4, float(comm.rank))
+            comm.send(x, dest=(comm.rank + 1) % comm.size, tag=3)
+            got = writable(
+                comm.recv(source=(comm.rank - 1) % comm.size, tag=3))
+            got[0] = -1.0
+            return float(got.sum())
+
+        results = ParallelJob(2, sanitize=True).run(good)
+        assert results == [2.0, -1.0]
+
+    def test_pool_use_after_release_in_parallel_step(self):
+        def bad(comm):
+            pool = comm.transport.pool
+            buf = pool.take((8,))
+            buf[:] = float(comm.rank)
+            comm.send(float(buf.sum()), dest=(comm.rank + 1) % comm.size)
+            comm.recv(source=(comm.rank - 1) % comm.size)
+            pool.give(buf)
+            if comm.rank == 0:
+                buf[0] = 9.0          # write through released handle
+                pool.take((8,))       # re-issue detects the damage
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="written after its release"):
+            ParallelJob(2, sanitize=True).run(bad)
+
+
+class TestResultNeutrality:
+    @pytest.mark.parametrize("kw", [{}, {"use_caf": True},
+                                    {"fused": True}])
+    def test_lbmhd_bit_identical_with_sanitizer(self, kw):
+        rho, u, B = orszag_tang(16, 16)
+        ref = run_parallel(rho.copy(), u.copy(), B.copy(),
+                           nprocs=4, nsteps=3, **kw)
+        san = run_parallel(rho.copy(), u.copy(), B.copy(),
+                           nprocs=4, nsteps=3, sanitize=True, **kw)
+        for a, b in zip(ref, san):
+            assert (a == b).all()
+
+    def test_gtc_bit_identical_with_sanitizer(self):
+        from repro.apps.gtc.grid import AnnulusGrid, TorusGeometry
+        from repro.apps.gtc.parallel import assemble_phi
+        from repro.apps.gtc.parallel import run_parallel as gtc_run
+        from repro.apps.gtc.particles import load_ring_perturbation
+
+        geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), 4)
+        parts = load_ring_perturbation(geom, 3.0, mode_m=3,
+                                       amplitude=0.3, seed=1)
+        ref = gtc_run(geom, parts, nprocs=4, nsteps=2, dt=0.05)
+        san = gtc_run(geom, parts, nprocs=4, nsteps=2, dt=0.05,
+                      sanitize=True)
+        for a, b in zip(assemble_phi(ref), assemble_phi(san)):
+            assert (a == b).all()

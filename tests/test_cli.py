@@ -59,3 +59,114 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLintCLI:
+    BAD = ("import time\n"
+           "def f(xs=[]):\n"
+           "    return time.time()\n")
+
+    def test_lint_src_clean_against_committed_baseline(self, capsys):
+        assert main(["lint", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_lint_flags_violations_in_tmp_tree(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(self.BAD)
+        assert main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "mutable-default" in out
+
+    def test_update_baseline_then_clean(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(self.BAD)
+        base = str(tmp_path / "baseline.json")
+        assert main(["lint", str(tmp_path), "--baseline", base,
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--baseline", base,
+                     "--check"]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_check_fails_on_stale_baseline(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        base = str(tmp_path / "baseline.json")
+        main(["lint", str(tmp_path), "--baseline", base,
+              "--update-baseline"])
+        bad.write_text("x = 1\n")          # violations fixed
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--baseline", base]) == 0
+        assert main(["lint", str(tmp_path), "--baseline", base,
+                     "--check"]) == 1      # ratchet: tighten the baseline
+        assert "stale" in capsys.readouterr().out
+
+    def test_json_report_shape(self, capsys, tmp_path):
+        import json
+        (tmp_path / "bad.py").write_text(self.BAD)
+        out = tmp_path / "lint.json"
+        main(["lint", str(tmp_path), "--no-baseline",
+              "--json", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["tool"] == "lint"
+        assert doc["counts"]["wall-clock"] == 1
+        assert {"rule", "severity", "path", "line", "message"} \
+            <= set(doc["findings"][0])
+
+    def test_enable_narrows_rules(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(self.BAD)
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--enable", "bare-assert"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "comm-direction-mismatch" in out
+
+    def test_unknown_rule_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--enable", "no-such-rule"])
+
+
+class TestAnalyzeCLI:
+    def test_analyze_src_is_clean(self, capsys):
+        assert main(["analyze", "--check"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_analyze_flags_deadlocking_driver(self, capsys, tmp_path):
+        (tmp_path / "driver.py").write_text(
+            "def step(comm, buf):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.barrier()\n"
+            "    comm.send(buf, dest=1, tag=4)\n"
+            "    comm.recv(source=2, tag=9)\n")
+        assert main(["analyze", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "rank-divergent-collective" in out
+        assert "unmatched-tag" in out
+
+    def test_analyze_trace_replay_flags_bad_trace(self, capsys, tmp_path):
+        import json
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({"traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0,
+             "args": {"name": "rank 0"}},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+             "args": {"name": "rank 1"}},
+            {"ph": "X", "name": "send", "cat": "comm", "pid": 1,
+             "tid": 0, "ts": 0, "dur": 1,
+             "args": {"dst": 1, "tag": 7, "nbytes": 8}},
+        ]}))
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        assert main(["analyze", str(tmp_path / "empty.py"),
+                     "--trace", str(trace)]) == 1
+        assert "trace-unconsumed-send" in capsys.readouterr().out
+
+    def test_analyze_trace_replay_accepts_recorded_run(self, capsys,
+                                                       tmp_path):
+        out = str(tmp_path / "tr")
+        main(["trace", "lbmhd", "--steps", "2", "--nprocs", "2",
+              "--out", out])
+        capsys.readouterr()
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        assert main(["analyze", str(tmp_path / "empty.py"), "--trace",
+                     str(tmp_path / "tr" / "trace.json")]) == 0
