@@ -257,6 +257,50 @@ class DirectionMismatchRule(LintRule):
                                  f"multi-neighbour exchange")
 
 
+@register
+class BlockingTimeoutRule(LintRule):
+    name = "blocking-recv-timeout"
+    severity = "warning"
+    description = ("recv/fetch with a hard-coded or disabled timeout "
+                   "bypasses the configurable failure-detection window")
+    hint = ("leave `timeout` unset so the transport's configured "
+            "timeout — the bound the heartbeat detector wakes blocked "
+            "waiters within — applies; `timeout=None` blocks forever "
+            "on a dead peer and a numeric literal can't be tuned per "
+            "job")
+
+    _CALLS = frozenset({"recv", "fetch"})
+
+    @staticmethod
+    def _transport_like(node: ast.AST) -> bool:
+        text = ast.unparse(node).lower()
+        return ("comm" in text or "transport" in text
+                or text in ("tp", "self.tp") or text.endswith(".tp"))
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._CALLS
+                    and self._transport_like(node.func.value)):
+                continue
+            kw = _keyword(node, "timeout")
+            if not isinstance(kw, ast.Constant):
+                continue       # unset or computed: configurable
+            op = node.func.attr
+            if kw.value is None:
+                yield self.finding(
+                    node, f"blocking `{op}` with timeout=None never "
+                          f"observes a dead peer")
+            elif (isinstance(kw.value, (int, float))
+                    and not isinstance(kw.value, bool)):
+                yield self.finding(
+                    node, f"blocking `{op}` hard-codes "
+                          f"timeout={kw.value!r}, bypassing the "
+                          f"transport's configured window")
+
+
 #: the comm checker's rule subset (what `repro analyze` runs)
 COMM_RULES = ("rank-divergent-collective", "unmatched-tag",
-              "comm-direction-mismatch")
+              "comm-direction-mismatch", "blocking-recv-timeout")

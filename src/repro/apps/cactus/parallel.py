@@ -17,6 +17,7 @@ import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
 from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.online import OnlineRunner
 from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import (
     BlockND,
@@ -24,6 +25,7 @@ from ...runtime import (
     FaultInjector,
     ParallelJob,
     ProcessorGrid,
+    RepairRecord,
     Transport,
 )
 from .solver import CactusSolver
@@ -105,7 +107,9 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                  max_restarts: int = 2,
                  health: HealthConfig | None = None,
                  policy: RecoveryPolicy | None = None,
-                 sanitize: bool | None = None
+                 sanitize: bool | None = None,
+                 spares: int = 0,
+                 on_shrink: "bool | callable" = False
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha).
 
@@ -119,35 +123,120 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
     extrinsic curvature makes it explode — alongside a NaN/Inf field
     guard.  ``policy`` customizes (and records) restart/rollback
     decisions.
+
+    Online recovery: ``spares > 0`` respawns a killed rank in place
+    (log replay from the last checkpoint, bit-identical completion);
+    ``on_shrink`` falls back to re-decomposing the 3D grid over the
+    survivors and rolling everyone back to the last checkpoint (pass a
+    callable to observe the remap: ``on_shrink(comm, record)``).
     """
     shape = gamma.shape[2:]
     grid = ProcessorGrid.for_nprocs(nprocs, 3)
     decomp = BlockND(grid, shape)
 
     def rank_main(comm: Comm):
-        solver = _RankCactus(comm, decomp, gamma, K, alpha,
-                             spacing=spacing, dt=dt, gauge=gauge,
-                             integrator=integrator, order=order)
         monitor = HealthMonitor(comm, health) if health is not None \
             else None
-        start_step = 0
-        if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_verified(comm.size)
-                                if comm.rank == 0 else None)
-            if latest is not None:
-                data = checkpoint.load(latest, comm.rank)
-                solver.gamma[...] = data["gamma"]
-                solver.K[...] = data["K"]
-                solver.alpha[...] = data["alpha"]
-                solver.time = float(data["time"][()])
-                solver.step_count = latest
-                if "prev_gamma" in data:
-                    solver._prev_state = (data["prev_gamma"],
-                                          data["prev_K"],
-                                          data["prev_alpha"])
-                start_step = latest
         tracer = comm.transport.tracer
-        for step_index in range(start_step, nsteps):
+
+        def build(dc: BlockND) -> _RankCactus:
+            return _RankCactus(comm, dc, gamma, K, alpha,
+                               spacing=spacing, dt=dt, gauge=gauge,
+                               integrator=integrator, order=order)
+
+        solver = build(decomp)
+
+        def save(label: int) -> None:
+            state = dict(gamma=solver.gamma, K=solver.K,
+                         alpha=solver.alpha,
+                         time=np.float64(solver.time))
+            if solver._prev_state is not None:
+                prev_g, prev_K, prev_a = solver._prev_state
+                state.update(prev_gamma=prev_g, prev_K=prev_K,
+                             prev_alpha=prev_a)
+            checkpoint.save(label, comm.rank, **state)
+
+        def load(label: int) -> None:
+            data = checkpoint.load(label, comm.rank)
+            solver.gamma[...] = data["gamma"]
+            solver.K[...] = data["K"]
+            solver.alpha[...] = data["alpha"]
+            solver.time = float(data["time"][()])
+            solver.step_count = label
+            if "prev_gamma" in data:
+                solver._prev_state = (data["prev_gamma"],
+                                      data["prev_K"],
+                                      data["prev_alpha"])
+            else:
+                solver._prev_state = None
+
+        def snapshot():
+            prev = solver._prev_state
+            return (solver.gamma.copy(), solver.K.copy(),
+                    solver.alpha.copy(), solver.time,
+                    solver.step_count,
+                    None if prev is None else tuple(p.copy()
+                                                    for p in prev))
+
+        def restore(snap) -> None:
+            solver.gamma[...] = snap[0]
+            solver.K[...] = snap[1]
+            solver.alpha[...] = snap[2]
+            solver.time = snap[3]
+            solver.step_count = snap[4]
+            solver._prev_state = snap[5]
+
+        def _neighbor_set(s: _RankCactus) -> set:
+            return {comm._global(r)
+                    for pair in s.neighbors.values() for r in pair
+                    if r != comm.rank}
+
+        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+            # Re-decompose over the shrunken grid and reassemble the
+            # rollback state from the *old* decomposition's shards
+            # (solver shards are interior-only: no halo crop needed).
+            nonlocal solver
+            solver = build(BlockND(
+                ProcessorGrid.for_nprocs(comm.size, 3), shape))
+            label = record.rollback_step
+            if label > 0 and checkpoint is not None:
+                fields = {"gamma": np.zeros_like(gamma),
+                          "K": np.zeros_like(K),
+                          "alpha": np.zeros_like(alpha)}
+                prev = None
+                time = 0.0
+                for old in range(nprocs):
+                    data = checkpoint.load(label, old)
+                    loc = tuple(slice(a, b)
+                                for a, b in decomp.bounds(old))
+                    key = (slice(None), slice(None)) + loc
+                    fields["gamma"][key] = data["gamma"]
+                    fields["K"][key] = data["K"]
+                    fields["alpha"][loc] = data["alpha"]
+                    time = float(data["time"][()])
+                    if "prev_gamma" in data:
+                        if prev is None:
+                            prev = (np.zeros_like(gamma),
+                                    np.zeros_like(K),
+                                    np.zeros_like(alpha))
+                        prev[0][key] = data["prev_gamma"]
+                        prev[1][key] = data["prev_K"]
+                        prev[2][loc] = data["prev_alpha"]
+                loc = tuple(slice(a, b) for a, b in solver.bounds)
+                key = (slice(None), slice(None)) + loc
+                solver.gamma[...] = fields["gamma"][key]
+                solver.K[...] = fields["K"][key]
+                solver.alpha[...] = fields["alpha"][loc]
+                solver.time = time
+                solver.step_count = label
+                solver._prev_state = None if prev is None else (
+                    prev[0][key].copy(), prev[1][key].copy(),
+                    prev[2][loc].copy())
+            runner.neighbors = _neighbor_set(solver)
+            if callable(on_shrink):
+                on_shrink(comm, record)
+
+        def body(step_index: int) -> None:
             if injector is not None:
                 injector.tick(comm.rank, step_index)
                 injector.sdc(comm.rank, step_index,
@@ -166,20 +255,20 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                     solver.constraints().hamiltonian_linf, op="max")
                 monitor.check_bounded(step_index, "cactus.constraint",
                                       h_linf, default_growth=50.0)
-            if (checkpoint is not None and checkpoint_every > 0
-                    and (step_index + 1) % checkpoint_every == 0):
-                state = dict(gamma=solver.gamma, K=solver.K,
-                             alpha=solver.alpha,
-                             time=np.float64(solver.time))
-                if solver._prev_state is not None:
-                    prev_g, prev_K, prev_a = solver._prev_state
-                    state.update(prev_gamma=prev_g, prev_K=prev_K,
-                                 prev_alpha=prev_a)
-                checkpoint.save(step_index + 1, comm.rank, **state)
+
+        runner = OnlineRunner(
+            comm, nsteps=nsteps, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            save=save if checkpoint is not None else None,
+            load=load if checkpoint is not None else None,
+            snapshot=snapshot, restore=restore, policy=policy,
+            on_shrink=shrink_hook if on_shrink else None,
+            neighbors=_neighbor_set(solver))
+        runner.run(body)
         return solver.bounds, solver.gamma, solver.K, solver.alpha
 
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize)
+                      sanitize=sanitize, spares=spares)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,
@@ -189,7 +278,10 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
     gamma_out = np.empty_like(gamma)
     K_out = np.empty_like(K)
     alpha_out = np.empty_like(alpha)
-    for bounds, g_l, K_l, a_l in results:
+    for res in results:
+        if res is None:       # rank lost to a kill, shrunk around
+            continue
+        bounds, g_l, K_l, a_l = res
         loc = tuple(slice(a, b) for a, b in bounds)
         gamma_out[(slice(None), slice(None)) + loc] = g_l
         K_out[(slice(None), slice(None)) + loc] = K_l

@@ -19,8 +19,17 @@ import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
 from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.online import OnlineRunner
 from ...resilience.supervisor import RecoveryPolicy, ResilientJob
-from ...runtime import Block1D, Comm, FaultInjector, ParallelJob, Transport
+from ...runtime import (
+    Block1D,
+    Comm,
+    FaultInjector,
+    OnlineRecoveryError,
+    ParallelJob,
+    RepairRecord,
+    Transport,
+)
 from .grid import TorusGeometry
 from .particles import ParticleArray
 from .shift import shift_particles
@@ -48,7 +57,9 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                  max_restarts: int = 2,
                  health: HealthConfig | None = None,
                  policy: RecoveryPolicy | None = None,
-                 sanitize: bool | None = None
+                 sanitize: bool | None = None,
+                 spares: int = 0,
+                 on_shrink: "bool | callable" = False
                  ) -> list[GTCRankResult]:
     """Run GTC on ``nprocs`` ranks; returns per-rank results.
 
@@ -65,41 +76,101 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
     total kinetic energy drifts only slowly, and every phase-space
     array must stay finite.  ``policy`` customizes (and records)
     restart/rollback decisions.
+
+    Online recovery: ``spares > 0`` respawns a killed domain in place
+    (log replay from the last checkpoint, bit-identical completion);
+    ``on_shrink`` re-partitions the poloidal planes over the survivors
+    and redistributes the checkpointed particles by the new plane
+    ownership — only possible when ``geometry.nplanes`` divides evenly
+    by the shrunken size (pass a callable to observe the remap:
+    ``on_shrink(comm, record)``).
     """
     if geometry.nplanes % nprocs:
         raise ValueError("nplanes must be divisible by nprocs")
     Block1D(nprocs, max(geometry.nplanes, nprocs))  # enforce 64-domain cap
-    planes_per_rank = geometry.nplanes // nprocs
     npts_global = geometry.plane.npoints * geometry.nplanes
     charge_scale = npts_global / max(len(particles), 1)
 
     def rank_main(comm: Comm) -> GTCRankResult:
-        rank = comm.rank
-        plane_ids = geometry.plane_of(particles.zeta)
-        mine = particles.select(
-            (plane_ids >= rank * planes_per_rank)
-            & (plane_ids < (rank + 1) * planes_per_rank))
-        # Local solver over this rank's plane group; zeta stays global.
-        local = GTCSolver(geometry, mine, dt=dt, alpha=alpha,
-                          depositor=depositor, charge_scale=charge_scale,
-                          plane_range=(rank * planes_per_rank,
-                                       planes_per_rank))
         monitor = HealthMonitor(comm, health) if health is not None \
             else None
-        start_step = 0
-        if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_verified(comm.size)
-                                if comm.rank == 0 else None)
-            if latest is not None:
-                data = checkpoint.load(latest, comm.rank)
-                local.particles = ParticleArray(
-                    r=data["r"], theta=data["theta"], zeta=data["zeta"],
-                    v_par=data["v_par"], mu=data["mu"], w=data["w"],
-                    tag=data["tag"])
-                local.step_count = latest
-                start_step = latest
         tracer = comm.transport.tracer
-        for step_index in range(start_step, nsteps):
+
+        def build(pool: ParticleArray) -> GTCSolver:
+            rank = comm.rank
+            per = geometry.nplanes // comm.size
+            plane_ids = geometry.plane_of(pool.zeta)
+            mine = pool.select(
+                (plane_ids >= rank * per)
+                & (plane_ids < (rank + 1) * per))
+            # Local solver over this rank's plane group; zeta stays
+            # global.
+            return GTCSolver(geometry, mine, dt=dt, alpha=alpha,
+                             depositor=depositor,
+                             charge_scale=charge_scale,
+                             plane_range=(rank * per, per))
+
+        local = build(particles)
+
+        def _copy_particles(p: ParticleArray) -> ParticleArray:
+            return ParticleArray(
+                r=p.r.copy(), theta=p.theta.copy(), zeta=p.zeta.copy(),
+                v_par=p.v_par.copy(), mu=p.mu.copy(), w=p.w.copy(),
+                tag=p.tag.copy())
+
+        def save(label: int) -> None:
+            p = local.particles
+            checkpoint.save(label, comm.rank,
+                            r=p.r, theta=p.theta, zeta=p.zeta,
+                            v_par=p.v_par, mu=p.mu, w=p.w, tag=p.tag)
+
+        def load(label: int) -> None:
+            data = checkpoint.load(label, comm.rank)
+            local.particles = ParticleArray(
+                r=data["r"], theta=data["theta"], zeta=data["zeta"],
+                v_par=data["v_par"], mu=data["mu"], w=data["w"],
+                tag=data["tag"])
+            local.step_count = label
+
+        def snapshot():
+            return _copy_particles(local.particles), local.step_count
+
+        def restore(snap) -> None:
+            local.particles = _copy_particles(snap[0])
+            local.step_count = snap[1]
+
+        def _neighbor_set() -> set:
+            return {comm._global((comm.rank - 1) % comm.size),
+                    comm._global((comm.rank + 1) % comm.size)} \
+                - {comm._global(comm.rank)}
+
+        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+            # Re-partition the planes over the survivors and rebuild
+            # this rank's particle population from the *old* ranks'
+            # checkpoint shards (particles carry global coordinates, so
+            # ownership is just re-selection by the new plane ranges).
+            nonlocal local
+            if geometry.nplanes % comm.size:
+                raise OnlineRecoveryError(
+                    f"cannot shrink GTC to {comm.size} domains: "
+                    f"{geometry.nplanes} planes do not divide evenly")
+            label = record.rollback_step
+            if label > 0 and checkpoint is not None:
+                shards = [checkpoint.load(label, old)
+                          for old in range(nprocs)]
+                pool = ParticleArray(**{
+                    k: np.concatenate([s[k] for s in shards])
+                    for k in ("r", "theta", "zeta", "v_par", "mu",
+                              "w", "tag")})
+            else:
+                pool = particles
+            local = build(pool)
+            local.step_count = label
+            runner.neighbors = _neighbor_set()
+            if callable(on_shrink):
+                on_shrink(comm, record)
+
+        def body(step_index: int) -> None:
             if injector is not None:
                 injector.tick(comm.rank, step_index)
                 p = local.particles
@@ -118,7 +189,8 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                 local.gather_push()
             with comm.phase("shift"):
                 merged, _ = shift_particles(comm, geometry,
-                                            local.particles, rank, nprocs)
+                                            local.particles,
+                                            comm.rank, comm.size)
                 local.particles = merged
             if monitor is not None and monitor.due(step_index):
                 p = local.particles
@@ -139,15 +211,19 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                 monitor.check_conserved(step_index, "gtc.energy",
                                         energy,
                                         default_threshold=1e-6)
-            if (checkpoint is not None and checkpoint_every > 0
-                    and (step_index + 1) % checkpoint_every == 0):
-                p = local.particles
-                checkpoint.save(step_index + 1, comm.rank,
-                                r=p.r, theta=p.theta, zeta=p.zeta,
-                                v_par=p.v_par, mu=p.mu, w=p.w, tag=p.tag)
+
+        runner = OnlineRunner(
+            comm, nsteps=nsteps, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            save=save if checkpoint is not None else None,
+            load=load if checkpoint is not None else None,
+            snapshot=snapshot, restore=restore, policy=policy,
+            on_shrink=shrink_hook if on_shrink else None,
+            neighbors=_neighbor_set())
+        runner.run(body)
         diag = local.diagnostics()
         return GTCRankResult(
-            domain=rank,
+            domain=comm.rank,
             nparticles=diag.nparticles,
             kinetic_energy=diag.kinetic_energy,
             field_energy=diag.field_energy,
@@ -157,12 +233,14 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
         )
 
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize)
+                      sanitize=sanitize, spares=spares)
     if injector is not None or checkpoint is not None or policy is not None:
-        return ResilientJob(job, max_restarts=max_restarts,
-                            policy=policy,
-                            checkpoint=checkpoint).run(rank_main)
-    return job.run(rank_main)
+        results = ResilientJob(job, max_restarts=max_restarts,
+                               policy=policy,
+                               checkpoint=checkpoint).run(rank_main)
+    else:
+        results = job.run(rank_main)
+    return [res for res in results if res is not None]
 
 
 def assemble_phi(results: list[GTCRankResult]) -> list[np.ndarray]:

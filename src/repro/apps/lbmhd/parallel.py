@@ -24,6 +24,7 @@ import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
 from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.online import OnlineRunner
 from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import (
     BlockND,
@@ -33,6 +34,7 @@ from ...runtime import (
     HaloGuard,
     ParallelJob,
     ProcessorGrid,
+    RepairRecord,
     Transport,
 )
 from .collision import collide
@@ -258,7 +260,9 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  max_restarts: int = 2,
                  health: HealthConfig | None = None,
                  policy: RecoveryPolicy | None = None,
-                 sanitize: bool | None = None
+                 sanitize: bool | None = None,
+                 spares: int = 0,
+                 on_shrink: "bool | callable" = False
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run LBMHD on ``nprocs`` simulated ranks; returns global (rho, u, B).
 
@@ -291,44 +295,100 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
     per-rank :class:`~repro.runtime.HaloGuard` NaN-poisons the halo ring
     each step and proves the exchange rewrote it before streaming reads
     it.  Results are bit-identical with the sanitizer on or off.
+
+    Online recovery: ``spares > 0`` holds that many spare ranks in
+    reserve — a rank killed mid-run (the fault plan's ``kill_rank``) is
+    respawned in place, catches up by log replay, and the run completes
+    bit-identically without a whole-job restart.  ``on_shrink`` enables
+    the shrink fallback once spares run out: the survivors renumber,
+    the domain is re-decomposed over the smaller grid, and everyone
+    rolls back to the last checkpoint (pass a callable to observe the
+    remap: called as ``on_shrink(comm, record)`` after the rebuild).
+    The CAF path does not support online recovery (one-sided images
+    are pinned to the original rank set).
     """
+    if (spares > 0 or on_shrink) and use_caf:
+        raise ValueError("online recovery is not supported on the CAF "
+                         "path (co-array images pin the rank set)")
     grid = ProcessorGrid.for_nprocs(nprocs, 2)
     decomp = BlockND(grid, rho.shape)
 
     def rank_main(comm: Comm) -> RankResult:
-        state = _RankState(comm, decomp, lattice, rho, u, B, tau, tau_m)
-        images = _CafImages(state) if use_caf else None
-        inter = state.interior
-        guards: list[HaloGuard] = []
-        if comm.transport.sanitize:
-            # One guard per distribution: poison the halo ring at step
-            # start, prove the exchange rewrote all 8 strips, and fail
-            # loudly if streaming runs before the exchange.
-            for label, arr in (("lbmhd.f", state.f), ("lbmhd.g", state.g)):
-                guard = HaloGuard(label)
-                for dy, dx in _DIRS:
-                    ys, xs = _region(dy, dx, state.h, state.ly, state.lx,
-                                     halo=True)
-                    guard.watch(arr, (Ellipsis, ys, xs))
-                guards.append(guard)
         stepper = FusedStepper(lattice, tau, tau_m) if fused else None
-        f_out = g_out = None
-        if fused:
-            f_out = np.empty(state.f.shape[:-2] + (state.ly, state.lx))
-            g_out = np.empty(state.g.shape[:-2] + (state.ly, state.lx))
         monitor = HealthMonitor(comm, health) if health is not None \
             else None
-        start_step = 0
-        if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_verified(comm.size)
-                                if comm.rank == 0 else None)
-            if latest is not None:
-                data = checkpoint.load(latest, comm.rank)
-                state.f[...] = data["f"]
-                state.g[...] = data["g"]
-                start_step = latest
         tracer = comm.transport.tracer
-        for step_index in range(start_step, nsteps):
+
+        def build(dc: BlockND):
+            st = _RankState(comm, dc, lattice, rho, u, B, tau, tau_m)
+            im = _CafImages(st) if use_caf else None
+            gds: list[HaloGuard] = []
+            if comm.transport.sanitize:
+                # One guard per distribution: poison the halo ring at
+                # step start, prove the exchange rewrote all 8 strips,
+                # and fail loudly if streaming runs before the exchange.
+                for label, arr in (("lbmhd.f", st.f), ("lbmhd.g", st.g)):
+                    guard = HaloGuard(label)
+                    for dy, dx in _DIRS:
+                        ys, xs = _region(dy, dx, st.h, st.ly, st.lx,
+                                         halo=True)
+                        guard.watch(arr, (Ellipsis, ys, xs))
+                    gds.append(guard)
+            fo = go = None
+            if fused:
+                fo = np.empty(st.f.shape[:-2] + (st.ly, st.lx))
+                go = np.empty(st.g.shape[:-2] + (st.ly, st.lx))
+            return st, im, gds, fo, go
+
+        state, images, guards, f_out, g_out = build(decomp)
+
+        def save(label: int) -> None:
+            checkpoint.save(label, comm.rank, f=state.f, g=state.g)
+
+        def load(label: int) -> None:
+            data = checkpoint.load(label, comm.rank)
+            state.f[...] = data["f"]
+            state.g[...] = data["g"]
+
+        def snapshot():
+            return state.f.copy(), state.g.copy()
+
+        def restore(snap) -> None:
+            state.f[...] = snap[0]
+            state.g[...] = snap[1]
+
+        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+            # Remap the domain over the shrunken grid: re-decompose for
+            # the new size, rebuild this rank's block, and reload the
+            # rollback state from the *old* decomposition's shards.
+            nonlocal state, images, guards, f_out, g_out
+            new_decomp = BlockND(
+                ProcessorGrid.for_nprocs(comm.size, 2), rho.shape)
+            state, images, guards, f_out, g_out = build(new_decomp)
+            label = record.rollback_step
+            if label > 0 and checkpoint is not None:
+                h = halo_width(lattice)
+                f_g = np.zeros((lattice.q,) + rho.shape)
+                g_g = np.zeros((lattice.q, 2) + rho.shape)
+                for old in range(nprocs):
+                    (y0, y1), (x0, x1) = decomp.bounds(old)
+                    data = checkpoint.load(label, old)
+                    cut = (Ellipsis, slice(h, h + (y1 - y0)),
+                           slice(h, h + (x1 - x0)))
+                    f_g[..., y0:y1, x0:x1] = data["f"][cut]
+                    g_g[..., y0:y1, x0:x1] = data["g"][cut]
+                (y0, y1), (x0, x1) = state.bounds
+                inter2 = (Ellipsis,) + state.interior
+                state.f[inter2] = f_g[..., y0:y1, x0:x1]
+                state.g[inter2] = g_g[..., y0:y1, x0:x1]
+            runner.neighbors = {
+                comm._global(r) for r in state.neighbors.values()
+                if r != comm.rank}
+            if callable(on_shrink):
+                on_shrink(comm, record)
+
+        def body(step_index: int) -> None:
+            inter = state.interior
             if injector is not None:
                 injector.tick(comm.rank, step_index)
                 # Corrupt only the owned interior: halo copies are
@@ -386,10 +446,18 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                         step_index, f"lbmhd.momentum.{label}",
                         float(mom[ax]), default_threshold=1e-8,
                         scale=mass)
-            if (checkpoint is not None and checkpoint_every > 0
-                    and (step_index + 1) % checkpoint_every == 0):
-                checkpoint.save(step_index + 1, comm.rank,
-                                f=state.f, g=state.g)
+
+        runner = OnlineRunner(
+            comm, nsteps=nsteps, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            save=save if checkpoint is not None else None,
+            load=load if checkpoint is not None else None,
+            snapshot=snapshot, restore=restore, policy=policy,
+            on_shrink=shrink_hook if on_shrink else None,
+            neighbors={comm._global(r) for r in state.neighbors.values()
+                       if r != comm.rank})
+        runner.run(body)
+        inter = state.interior
         rho_l, u_l, B_l = moments(state.f[(Ellipsis,) + inter],
                                   state.g[(Ellipsis,) + inter], lattice)
         mass = comm.allreduce(float(rho_l.sum()))
@@ -399,7 +467,7 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
         return RankResult(state.bounds, rho_l, u_l, B_l, mass, energy)
 
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize)
+                      sanitize=sanitize, spares=spares)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,
@@ -411,6 +479,8 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
     u_out = np.empty_like(u)
     B_out = np.empty_like(B)
     for res in results:
+        if res is None:       # rank lost to a kill, shrunk around
+            continue
         (y0, y1), (x0, x1) = res.bounds
         rho_out[y0:y1, x0:x1] = res.rho
         u_out[:, y0:y1, x0:x1] = res.u

@@ -19,8 +19,15 @@ import numpy as np
 
 from ...resilience.checkpoint import Checkpointer
 from ...resilience.health import HealthConfig, HealthMonitor
+from ...resilience.online import OnlineRunner
 from ...resilience.supervisor import RecoveryPolicy, ResilientJob
-from ...runtime import Comm, FaultInjector, ParallelJob, Transport
+from ...runtime import (
+    Comm,
+    FaultInjector,
+    ParallelJob,
+    RepairRecord,
+    Transport,
+)
 from .basis import PlaneWaveBasis
 from .cg import random_bands
 from .fft3d import ParallelFFT3D, SphereLayout
@@ -154,7 +161,9 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                          max_restarts: int = 2,
                          health: HealthConfig | None = None,
                          policy: RecoveryPolicy | None = None,
-                         sanitize: bool | None = None
+                         sanitize: bool | None = None,
+                         spares: int = 0,
+                         on_shrink: "bool | callable" = False
                          ) -> ParallelBandsResult:
     """Distributed all-band CG for the ionic Hamiltonian.
 
@@ -173,6 +182,13 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
     silently repairs it) and the variational monotonicity of the total
     band energy, plus a NaN/Inf guard on the coefficients.  ``policy``
     customizes (and records) restart/rollback decisions.
+
+    Online recovery: ``spares > 0`` respawns a killed rank in place
+    (the collective log replays its missed reductions from the last
+    checkpointed outer iteration); ``on_shrink`` rebalances the
+    G-sphere columns over the survivors and reassembles the rollback
+    coefficient block from the old layout's checkpoint shards (pass a
+    callable to observe the remap: ``on_shrink(comm, record)``).
     """
     basis = PlaneWaveBasis(cell, ecut)
     layout = SphereLayout(basis, nprocs)
@@ -181,21 +197,55 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
     start = random_bands(basis.size, nbands, seed)
 
     def rank_main(comm: Comm):
-        fft = ParallelFFT3D(basis, layout, comm)
-        x0, x1 = layout.x_range(comm.rank)
-        ham = DistributedHamiltonian(basis, fft, v_real[x0:x1])
-        coeff = start[:, fft.my_sphere].copy()
         monitor = HealthMonitor(comm, health) if health is not None \
             else None
-        first_outer = 0
-        if checkpoint is not None:
-            latest = comm.bcast(checkpoint.latest_verified(comm.size)
-                                if comm.rank == 0 else None)
-            if latest is not None:
-                coeff = checkpoint.load(latest, comm.rank)["coeff"]
-                first_outer = latest
         tracer = comm.transport.tracer
-        for outer in range(first_outer, n_outer):
+
+        def build(lay: SphereLayout):
+            ft = ParallelFFT3D(basis, lay, comm)
+            x0, x1 = lay.x_range(comm.rank)
+            return ft, DistributedHamiltonian(basis, ft, v_real[x0:x1])
+
+        fft, ham = build(layout)
+        coeff = start[:, fft.my_sphere].copy()
+        evals = None
+
+        def save(label: int) -> None:
+            checkpoint.save(label, comm.rank, coeff=coeff)
+
+        def load(label: int) -> None:
+            nonlocal coeff
+            coeff = checkpoint.load(label, comm.rank)["coeff"]
+
+        def snapshot():
+            return coeff.copy()
+
+        def restore(snap) -> None:
+            nonlocal coeff
+            coeff = snap.copy()
+
+        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+            # Rebalance the columns over the survivors; reassemble the
+            # rollback coefficients from the old layout's shards (each
+            # shard's columns are indexed by the old sphere indices).
+            nonlocal fft, ham, coeff
+            new_layout = SphereLayout(basis, comm.size)
+            fft, ham = build(new_layout)
+            label = record.rollback_step
+            if label > 0 and checkpoint is not None:
+                coeff_g = np.zeros((nbands, basis.size),
+                                   dtype=np.complex128)
+                for old in range(nprocs):
+                    shard = checkpoint.load(label, old)["coeff"]
+                    coeff_g[:, layout.sphere_indices_of(old)] = shard
+            else:
+                coeff_g = start
+            coeff = coeff_g[:, fft.my_sphere].copy()
+            if callable(on_shrink):
+                on_shrink(comm, record)
+
+        def body(outer: int) -> None:
+            nonlocal coeff, evals
             if injector is not None:
                 injector.tick(comm.rank, outer)
                 injector.sdc(comm.rank, outer, {"coeff": coeff})
@@ -221,21 +271,28 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                 monitor.check_monotone(outer, "paratec.energy",
                                        float(evals.sum().real),
                                        default_slack=1e-9)
-            if (checkpoint is not None and checkpoint_every > 0
-                    and (outer + 1) % checkpoint_every == 0):
-                checkpoint.save(outer + 1, comm.rank, coeff=coeff)
+
+        runner = OnlineRunner(
+            comm, nsteps=n_outer, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            save=save if checkpoint is not None else None,
+            load=load if checkpoint is not None else None,
+            snapshot=snapshot, restore=restore, policy=policy,
+            on_shrink=shrink_hook if on_shrink else None)
+        runner.run(body)
         with comm.phase("cg"):
             evals, coeff = _subspace_rotate(comm, ham, coeff)
         return evals, len(fft.my_sphere)
 
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize)
+                      sanitize=sanitize, spares=spares)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,
                                checkpoint=checkpoint).run(rank_main)
     else:
         results = job.run(rank_main)
+    results = [r for r in results if r is not None]
     evals = results[0][0]
     for ev, _ in results[1:]:
         np.testing.assert_allclose(ev, evals, atol=1e-10)

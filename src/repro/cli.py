@@ -154,6 +154,28 @@ def _cmd_apps(_: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.kill_rank is not None:
+        import json
+
+        from .resilience.chaos import run_kill_chaos
+
+        apps = [a.lower() for a in args.app] if args.app else None
+        outcomes, summary = run_kill_chaos(
+            args.kill_rank, args.at_step, shrink=args.shrink,
+            apps=apps, echo=print)
+        failed = [o for o in outcomes if not o.ok]
+        print(f"\nchaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
+              f"applications survived the rank kill "
+              f"(recovered: {summary['recovered']})")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        else:
+            print(json.dumps(summary, indent=2))
+        return 1 if failed else 0
+
     from .resilience.chaos import run_chaos
 
     outcomes = run_chaos(seed=args.seed, echo=print, sdc=args.sdc)
@@ -371,6 +393,21 @@ def main(argv: list[str] | None = None) -> int:
                    help="silent-data-corruption pass: bit flips + "
                         "checkpoint damage, invariant detection, "
                         "rollback to a verified checkpoint")
+    p.add_argument("--kill-rank", type=int, default=None, metavar="R",
+                   help="online rank-failure pass: kill rank R mid-run "
+                        "and recover in place (respawn from the spare "
+                        "pool; no job restart)")
+    p.add_argument("--at-step", type=int, default=3, metavar="S",
+                   help="step the kill fires at (default 3)")
+    p.add_argument("--shrink", action="store_true",
+                   help="recover by shrinking over the survivors "
+                        "instead of respawning a spare")
+    p.add_argument("--app", action="append", default=None,
+                   choices=("lbmhd", "cactus", "gtc", "paratec"),
+                   help="restrict the kill pass to one app "
+                        "(repeatable; default all four)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the kill-pass summary JSON")
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(

@@ -197,6 +197,35 @@ class MetricsRegistry:
             if ev.latency_steps is not None:
                 latency.observe(ev.latency_steps)
 
+    def ingest_repairs(self, transport: "Transport", checkpoint=None,
+                       prefix: str = "health") -> None:
+        """Fold completed communicator repairs into the registry.
+
+        Publishes per-mode repair counts, ranks lost / rolled back, and
+        the detect/repair/rollback timing distributions recorded by
+        :class:`~repro.runtime.transport.RepairRecord`.  With a
+        ``checkpoint`` (a :class:`~repro.resilience.checkpoint.
+        Checkpointer`), its per-rank load ledger is published too — the
+        counters the localized-rollback acceptance reads to prove only
+        the replacement (+ neighbors) reloaded shards.
+        """
+        detect = self.histogram(f"{prefix}.repair.detect_latency_s")
+        spent = self.histogram(f"{prefix}.repair.repair_seconds")
+        depth = self.histogram(f"{prefix}.repair.rollback_depth_steps")
+        for rec in transport.repairs:
+            self.counter(f"{prefix}.repairs.{rec.mode}").inc()
+            self.counter(f"{prefix}.repairs.ranks_lost").inc(
+                len(rec.dead))
+            self.counter(f"{prefix}.repairs.ranks_rolled_back").inc(
+                len(rec.rolled_back))
+            detect.observe(rec.detect_latency)
+            spent.observe(rec.repair_seconds)
+            depth.observe(max(rec.resume_step - rec.rollback_step, 0))
+        if checkpoint is not None:
+            for rank, n in sorted(checkpoint.load_counts.items()):
+                self.counter(
+                    f"{prefix}.ckpt.loads.rank{rank:05d}").inc(n)
+
     def ingest_profile(self, profile: "AppProfile",
                        prefix: str | None = None) -> None:
         """Publish an app work profile's per-phase constants.

@@ -24,11 +24,12 @@ from .health import (
     HealthMonitor,
     SDCDetectedError,
 )
+from .online import OnlineRunner
 from .supervisor import RecoveryEvent, RecoveryPolicy, ResilientJob
 
 __all__ = [
     "CheckRecord", "Checkpointer", "CheckpointCorruptError",
     "CheckpointError", "HealthConfig", "HealthLog", "HealthMonitor",
-    "RecoveryEvent", "RecoveryPolicy", "ResilientJob",
+    "OnlineRunner", "RecoveryEvent", "RecoveryPolicy", "ResilientJob",
     "SDCDetectedError",
 ]

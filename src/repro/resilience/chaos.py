@@ -26,6 +26,16 @@ that the app's invariant monitor detected the corruption, the policy
 rolled back to a verified checkpoint, and the final answer matches the
 fault-free run (bitwise for LBMHD/GTC; ≤1e-10 relative for Cactus and
 PARATEC).
+
+``python -m repro chaos --kill-rank R --at-step S`` runs the *online
+rank-failure* pass: one rank is killed mid-run and the job recovers
+*without restarting* — a spare rank is respawned in the dead rank's
+place and catches up by replaying the message/collective logs
+(``--shrink`` re-decomposes over the survivors instead).  The harness
+checks the final answer against the unfaulted same-seed run
+(bit-identical for respawn), that the rollback was *localized* (the
+checkpoint-load ledger shows only the replacement reloading shards),
+and that exactly the replacement + its neighbours were rolled back.
 """
 
 from __future__ import annotations
@@ -240,6 +250,241 @@ _APPS: tuple[tuple[str, Callable[[int, str], str]], ...] = (
     ("GTC", _chaos_gtc),
     ("PARATEC", _chaos_paratec),
 )
+
+
+# -- online rank-failure (kill) pass ---------------------------------------
+
+def kill_plan(*, kill_rank: int, kill_step: int, nprocs: int) -> FaultPlan:
+    """A clean wire with one planned kill: isolates the online-repair
+    path from the retry/ack machinery the default plan also exercises."""
+    if not 0 <= kill_rank < nprocs:
+        raise ValueError("kill_rank outside the job")
+    if kill_step < 0:
+        raise ValueError("kill_step must be >= 0")
+    return FaultPlan(kill_rank=kill_rank, kill_step=kill_step)
+
+
+def _kill_verify(app: str, transport: Transport, ckpt: Checkpointer,
+                 injector: FaultInjector, *, kill_rank: int,
+                 shrink: bool) -> dict:
+    """Shared post-run checks; returns the pass's metrics dump."""
+    from ..obs.metrics import MetricsRegistry
+
+    if not injector.kill_fired:
+        raise AssertionError("planned kill did not fire")
+    if not transport.repairs:
+        raise AssertionError("kill fired but no communicator repair ran")
+    rec = transport.repairs[-1]
+    want = "shrink" if shrink else "respawn"
+    if rec.mode != want:
+        raise AssertionError(f"repair mode {rec.mode!r}, wanted {want!r}")
+    if kill_rank not in rec.dead:
+        raise AssertionError(f"rank {kill_rank} not in dead set {rec.dead}")
+    if not shrink:
+        # Localized rollback: only the replacement (+ declared
+        # neighbours) refreshed state, and only the replacement
+        # touched the checkpoint store.
+        extra = set(ckpt.load_counts) - set(rec.dead)
+        if extra:
+            raise AssertionError(
+                f"survivors reloaded checkpoints: {sorted(extra)}")
+        if not set(rec.replacements) <= set(rec.rolled_back):
+            raise AssertionError(
+                f"replacements {rec.replacements} missing from "
+                f"rolled-back set {rec.rolled_back}")
+    reg = MetricsRegistry()
+    reg.ingest_repairs(transport, ckpt)
+    return reg.to_dict()
+
+
+def _kill_lbmhd(ckdir: str, kill_rank: int, kill_step: int,
+                shrink: bool) -> tuple[str, dict]:
+    from ..apps.lbmhd import orszag_tang
+    from ..apps.lbmhd.parallel import run_parallel
+
+    nprocs, nsteps = 4, max(6, kill_step + 3)
+    rho, u, B = orszag_tang(16, 16)
+    clean = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps)
+    plan = kill_plan(kill_rank=kill_rank, kill_step=kill_step,
+                     nprocs=nprocs)
+    injector = FaultInjector(plan)
+    transport = Transport(nprocs)
+    ckpt = Checkpointer(ckdir)
+    faulted = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
+                           transport=transport, injector=injector,
+                           checkpoint=ckpt, checkpoint_every=2,
+                           spares=0 if shrink else 1,
+                           on_shrink=shrink)
+    for name, a, b in zip(("rho", "u", "B"), clean, faulted):
+        if shrink:
+            if _rel_err(a, b) > 1e-11:
+                raise AssertionError(f"{name} deviates after shrink")
+        elif not np.array_equal(a, b):
+            raise AssertionError(f"{name} differs after online repair")
+    metrics = _kill_verify("lbmhd", transport, ckpt, injector,
+                           kill_rank=kill_rank, shrink=shrink)
+    match = "within 1e-11 of" if shrink else "bit-identical to"
+    return (f"rank {kill_rank} killed at step {kill_step}, "
+            f"{'shrunk to ' + str(nprocs - 1) if shrink else 'respawned'}"
+            f", result {match} the unfaulted run"), metrics
+
+
+def _kill_cactus(ckdir: str, kill_rank: int, kill_step: int,
+                 shrink: bool) -> tuple[str, dict]:
+    from ..apps.cactus import gauge_wave
+    from ..apps.cactus.parallel import run_parallel
+
+    nprocs, nsteps = 4, max(6, kill_step + 3)
+    dx = 1.0 / 8
+    g, K, a = gauge_wave((8, 8, 4), dx, amplitude=0.05)
+    kw = dict(nprocs=nprocs, nsteps=nsteps, spacing=dx, dt=0.2 * dx)
+    clean = run_parallel(g, K, a, **kw)
+    injector = FaultInjector(kill_plan(kill_rank=kill_rank,
+                                       kill_step=kill_step,
+                                       nprocs=nprocs))
+    transport = Transport(nprocs)
+    ckpt = Checkpointer(ckdir)
+    faulted = run_parallel(g, K, a, **kw, transport=transport,
+                           injector=injector, checkpoint=ckpt,
+                           checkpoint_every=2,
+                           spares=0 if shrink else 1,
+                           on_shrink=shrink)
+    tol = 1e-11 if shrink else 0.0
+    for x, y in zip(clean, faulted):
+        if tol == 0.0 and not np.array_equal(x, y):
+            raise AssertionError("fields differ after online repair")
+        if tol and _rel_err(x, y) > tol:
+            raise AssertionError("fields deviate after shrink")
+    metrics = _kill_verify("cactus", transport, ckpt, injector,
+                           kill_rank=kill_rank, shrink=shrink)
+    return (f"rank {kill_rank} killed at step {kill_step}, "
+            f"{'shrink' if shrink else 'respawn'} recovered the ADM "
+            f"fields"), metrics
+
+
+def _kill_gtc(ckdir: str, kill_rank: int, kill_step: int,
+              shrink: bool) -> tuple[str, dict]:
+    from ..apps.gtc import AnnulusGrid, TorusGeometry, load_ring_perturbation
+    from ..apps.gtc.parallel import assemble_phi, run_parallel
+
+    nprocs, nsteps = 4, max(6, kill_step + 3)
+    geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), 12)
+    parts = load_ring_perturbation(geom, 3.0, mode_m=3, amplitude=0.3,
+                                   seed=1)
+    clean = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps)
+    injector = FaultInjector(kill_plan(kill_rank=kill_rank,
+                                       kill_step=kill_step,
+                                       nprocs=nprocs))
+    transport = Transport(nprocs)
+    ckpt = Checkpointer(ckdir)
+    faulted = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps,
+                           transport=transport, injector=injector,
+                           checkpoint=ckpt, checkpoint_every=2,
+                           spares=0 if shrink else 1,
+                           on_shrink=shrink)
+    n_clean = sum(r.nparticles for r in clean)
+    n_fault = sum(r.nparticles for r in faulted)
+    if n_fault != n_clean or n_fault != len(parts):
+        raise AssertionError(
+            f"particles not conserved: {n_fault} vs {n_clean}")
+    tol = 1e-10 if shrink else 0.0
+    for p, q in zip(assemble_phi(clean), assemble_phi(faulted)):
+        if tol == 0.0 and not np.array_equal(p, q):
+            raise AssertionError("phi differs after online repair")
+        if tol:
+            np.testing.assert_allclose(p, q, atol=tol)
+    metrics = _kill_verify("gtc", transport, ckpt, injector,
+                           kill_rank=kill_rank, shrink=shrink)
+    return (f"rank {kill_rank} killed at step {kill_step}, "
+            f"{n_fault} particles conserved through "
+            f"{'shrink' if shrink else 'respawn'}"), metrics
+
+
+def _kill_paratec(ckdir: str, kill_rank: int, kill_step: int,
+                  shrink: bool) -> tuple[str, dict]:
+    from ..apps.paratec import silicon_primitive
+    from ..apps.paratec.parallel import solve_bands_parallel
+
+    nprocs = 4
+    n_outer = max(6, kill_step + 3)
+    cell = silicon_primitive()
+    kw = dict(nprocs=nprocs, n_outer=n_outer, n_inner=2)
+    clean = solve_bands_parallel(cell, 4.0, 4, **kw)
+    injector = FaultInjector(kill_plan(kill_rank=kill_rank,
+                                       kill_step=kill_step,
+                                       nprocs=nprocs))
+    transport = Transport(nprocs)
+    ckpt = Checkpointer(ckdir)
+    faulted = solve_bands_parallel(cell, 4.0, 4, **kw,
+                                   transport=transport,
+                                   injector=injector, checkpoint=ckpt,
+                                   checkpoint_every=2,
+                                   spares=0 if shrink else 1,
+                                   on_shrink=shrink)
+    if shrink:
+        np.testing.assert_allclose(faulted.eigenvalues,
+                                   clean.eigenvalues, atol=1e-8)
+    elif not np.array_equal(clean.eigenvalues, faulted.eigenvalues):
+        raise AssertionError("eigenvalues differ after online repair")
+    metrics = _kill_verify("paratec", transport, ckpt, injector,
+                           kill_rank=kill_rank, shrink=shrink)
+    return (f"rank {kill_rank} killed at outer iteration {kill_step}, "
+            f"eigenvalues recovered via "
+            f"{'shrink' if shrink else 'respawn'}"), metrics
+
+
+_KILL_APPS: tuple[tuple[str, Callable[..., tuple[str, dict]]], ...] = (
+    ("LBMHD", _kill_lbmhd),
+    ("Cactus", _kill_cactus),
+    ("GTC", _kill_gtc),
+    ("PARATEC", _kill_paratec),
+)
+
+
+def run_kill_chaos(kill_rank: int = 1, kill_step: int = 3, *,
+                   shrink: bool = False, apps: list[str] | None = None,
+                   echo: Callable[[str], None] | None = None
+                   ) -> tuple[list[ChaosOutcome], dict]:
+    """Run the online rank-failure pass; returns outcomes + summary.
+
+    The summary dict (the CLI's ``--json`` payload) reports
+    ``recovered: "online"`` only when every selected application
+    repaired the kill in place and reproduced the unfaulted answer.
+    """
+    selected = [(n, f) for n, f in _KILL_APPS
+                if apps is None or n.lower() in apps]
+    if not selected:
+        raise ValueError(f"no applications match {apps!r}")
+    outcomes = []
+    per_app: dict[str, dict] = {}
+    mode = "shrink" if shrink else "respawn"
+    with tempfile.TemporaryDirectory(prefix="repro-kill-") as root:
+        for name, fn in selected:
+            if echo is not None:
+                echo(f"{name}: kill rank {kill_rank} at step "
+                     f"{kill_step} ({mode}) ...")
+            try:
+                detail, metrics = fn(f"{root}/{name.lower()}",
+                                     kill_rank, kill_step, shrink)
+                outcomes.append(ChaosOutcome(name, True, detail))
+                per_app[name.lower()] = {"ok": True, "detail": detail,
+                                         "metrics": metrics}
+            except Exception as exc:  # noqa: BLE001 - reported per app
+                outcomes.append(ChaosOutcome(name, False, repr(exc)))
+                per_app[name.lower()] = {"ok": False,
+                                         "detail": repr(exc)}
+            if echo is not None:
+                last = outcomes[-1]
+                echo(f"  {'ok' if last.ok else 'FAIL'}: {last.detail}")
+    summary = {
+        "pass": "kill",
+        "kill_rank": kill_rank,
+        "kill_step": kill_step,
+        "mode": mode,
+        "recovered": "online" if all(o.ok for o in outcomes) else "failed",
+        "apps": per_app,
+    }
+    return outcomes, summary
 
 
 def run_chaos(seed: int = 2004,

@@ -91,6 +91,12 @@ class Checkpointer:
         #: been checkpointed before it was detected); cleared per step
         #: when a monitored re-run saves fresh bytes over the label
         self._quarantined: set[int] = set()
+        #: rank -> number of *state-restoring* loads (``count=True``);
+        #: verification scans don't count.  This is the ledger the
+        #: localized-rollback acceptance reads: online recovery must
+        #: show loads only on the replacement (+ neighbors), never a
+        #: whole-job reload.
+        self.load_counts: dict[int, int] = {}
 
     def _path(self, step: int, rank: int) -> Path:
         return self.directory / f"step{step:08d}.rank{rank:05d}.npz"
@@ -158,13 +164,15 @@ class Checkpointer:
                 pass
 
     # -- read -----------------------------------------------------------------
-    def load(self, step: int, rank: int, *,
-             verify: bool = True) -> dict[str, np.ndarray]:
+    def load(self, step: int, rank: int, *, verify: bool = True,
+             count: bool = True) -> dict[str, np.ndarray]:
         """One rank's saved arrays for ``step`` (bitwise as saved).
 
         Raises :class:`CheckpointError` when the file is missing or
         unreadable, and :class:`CheckpointCorruptError` when an array's
         bytes do not match its stored CRC (``verify=True``, default).
+        ``count=False`` marks a verification-only read that must not
+        inflate :attr:`load_counts` (the localized-rollback ledger).
         """
         path = self._path(step, rank)
         if not path.exists():
@@ -190,10 +198,15 @@ class Checkpointer:
                         f"array {name!r} CRC mismatch "
                         f"(stored {int(stored):#010x}, "
                         f"read {actual:#010x})", step=step, rank=rank)
+        if count:
+            self.load_counts[rank] = self.load_counts.get(rank, 0) + 1
         if self.tracer.enabled:
             self.tracer.instant(rank, "checkpoint-load", CAT_CKPT,
-                                {"step": step})
+                                {"step": step, "counted": count})
         return out
+
+    def reset_load_counts(self) -> None:
+        self.load_counts.clear()
 
     def rank_steps(self, rank: int) -> list[int]:
         """Steps for which ``rank`` has a checkpoint file (sorted)."""
@@ -216,7 +229,7 @@ class Checkpointer:
     def verified(self, step: int, rank: int) -> bool:
         """True when ``(step, rank)`` loads cleanly and passes its CRCs."""
         try:
-            self.load(step, rank, verify=True)
+            self.load(step, rank, verify=True, count=False)
             return True
         except CheckpointError:
             return False

@@ -32,17 +32,19 @@ ingest_recovery`.
 from __future__ import annotations
 
 import dataclasses
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..obs.events import CAT_HEALTH
 from ..runtime.comm import ParallelJob
-from ..runtime.faults import RankCrashError
+from ..runtime.faults import RankCrashError, RankKilledError
 from .health import SDCDetectedError
 
 #: failure classes the policy can retry
 KIND_CRASH = "crash"
+KIND_KILL = "kill"
 KIND_SDC = "sdc"
 KIND_FATAL = "fatal"
 
@@ -82,12 +84,19 @@ class RecoveryPolicy:
     """Decides restart vs. abort and keeps the recovery history.
 
     ``max_restarts`` bounds the total restart budget per :meth:`
-    ResilientJob.run`.  ``backoff_base`` seeds the exponential backoff
-    (``base * 2**attempt``, capped at ``backoff_max``) applied before
-    every retry — pointless for an in-process simulation's own sake, but
-    it is the shape a real job supervisor needs and the slept duration
-    is recorded so tests can assert the schedule.  ``retry_crash`` /
-    ``retry_sdc`` gate the two recoverable fault classes.
+    ResilientJob.run`.  ``backoff_base`` seeds the retry backoff —
+    *decorrelated jitter* (AWS architecture-blog flavor): each pause is
+    drawn uniformly from ``[base, 3 * previous]``, capped at
+    ``backoff_max``, so simultaneous per-rank retries spread out
+    instead of synchronizing into a retry storm the way a bare
+    ``base * 2**attempt`` schedule does.  The draw is seeded
+    (``seed``) and therefore reproducible; ``jitter=False`` restores
+    the deterministic exponential schedule.  Pointless for an
+    in-process simulation's own sake, but it is the shape a real job
+    supervisor needs and the slept duration is recorded
+    (``RecoveryEvent.backoff``) so tests can assert the schedule.
+    ``retry_crash`` / ``retry_sdc`` gate the recoverable fault classes
+    (rank kills ride the ``retry_crash`` gate).
     """
 
     max_restarts: int = 2
@@ -95,19 +104,28 @@ class RecoveryPolicy:
     backoff_max: float = 1.0
     retry_crash: bool = True
     retry_sdc: bool = True
+    #: decorrelated jitter on retry pauses (seeded, reproducible)
+    jitter: bool = True
+    seed: int = 0
     #: decisions made by the most recent supervised run
     events: list[RecoveryEvent] = field(default_factory=list)
     _seen: set = field(default_factory=set, repr=False)
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore
+    _prev_backoff: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ValueError("backoff must be >= 0")
+        self._rng = random.Random(self.seed)
+        self._prev_backoff = self.backoff_base
 
     def reset(self) -> None:
         self.events.clear()
         self._seen.clear()
+        self._rng = random.Random(self.seed)
+        self._prev_backoff = self.backoff_base
 
     # -- classification -----------------------------------------------------
     @staticmethod
@@ -116,6 +134,12 @@ class RecoveryPolicy:
         """(kind, rank, step, monitor) of a root-cause exception."""
         if isinstance(cause, SDCDetectedError):
             return KIND_SDC, cause.rank, cause.step, cause.monitor
+        if isinstance(cause, RankKilledError):
+            # A fail-stop loss that online recovery did *not* absorb
+            # (no spares, no shrink hook, or repair itself failed):
+            # degrade gracefully to the whole-job restart path.
+            return (KIND_KILL, getattr(cause, "rank", None),
+                    getattr(cause, "step", None), None)
         if isinstance(cause, RankCrashError):
             return (KIND_CRASH, getattr(cause, "rank", None),
                     getattr(cause, "step", None), None)
@@ -136,7 +160,8 @@ class RecoveryPolicy:
         """
         kind, rank, step, monitor = self.describe_cause(cause)
         exc = type(cause).__name__
-        retryable = ((kind == KIND_CRASH and self.retry_crash)
+        retryable = ((kind in (KIND_CRASH, KIND_KILL)
+                      and self.retry_crash)
                      or (kind == KIND_SDC and self.retry_sdc))
         if kind == KIND_FATAL or not retryable:
             classification = "fatal"
@@ -156,9 +181,23 @@ class RecoveryPolicy:
             monitor=monitor, attempt=attempt)
 
     def backoff(self, attempt: int) -> float:
-        """Backoff before restart number ``attempt + 1`` (seconds)."""
-        return min(self.backoff_base * (2.0 ** attempt),
-                   self.backoff_max)
+        """Backoff before restart number ``attempt + 1`` (seconds).
+
+        With ``jitter`` (default): decorrelated jitter — uniform in
+        ``[base, 3 * previous pause]``, capped at ``backoff_max``; the
+        drawn value feeds the next draw.  Without: deterministic
+        ``min(base * 2**attempt, max)``.
+        """
+        if not self.jitter:
+            return min(self.backoff_base * (2.0 ** attempt),
+                       self.backoff_max)
+        if self.backoff_base == 0.0:
+            return 0.0
+        pause = min(self.backoff_max,
+                    self._rng.uniform(self.backoff_base,
+                                      self._prev_backoff * 3.0))
+        self._prev_backoff = pause
+        return pause
 
     # -- reporting ----------------------------------------------------------
     @property

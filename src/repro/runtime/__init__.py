@@ -2,7 +2,7 @@
 
 from .buffers import BufferPool, BufferStats, borrow, writable
 from .caf import CoArray
-from .comm import Comm, ParallelJob
+from .comm import Comm, OnlineRecoveryError, ParallelJob, ReplayInfo
 from .decomposition import (
     Block1D,
     BlockND,
@@ -16,6 +16,7 @@ from .faults import (
     FaultPlan,
     FaultRecord,
     RankCrashError,
+    RankKilledError,
     SDCRecord,
 )
 from .sanitize import (
@@ -30,8 +31,13 @@ from .sanitize import (
 from .transport import (
     DEFAULT_TIMEOUT,
     CollectiveRecord,
+    CommRevokedError,
     DeliveryFailedError,
+    HeartbeatDetector,
     MessageRecord,
+    RankFailedError,
+    RepairRecord,
+    ReplayGapError,
     TrafficSummary,
     Transport,
     TransportPoisonedError,
@@ -41,12 +47,14 @@ from .virtual_time import VirtualClocks
 __all__ = [
     "Block1D", "BlockND", "BorrowWriteError", "BufferPool",
     "BufferStats", "CoArray", "CollectiveRecord", "Comm",
-    "DEFAULT_TIMEOUT", "DeliveryFailedError", "FaultInjector",
-    "FaultPlan", "FaultRecord", "FrozenBorrow", "HaloGuard",
-    "HaloReadError", "MessageRecord", "ParallelJob",
-    "PoolDoubleReleaseError", "PoolUseAfterReleaseError",
-    "ProcessorGrid", "RankCrashError", "SDCRecord", "SanitizeError",
-    "TrafficSummary", "Transport", "TransportPoisonedError",
-    "VirtualClocks", "balance_columns", "borrow", "factor_grid",
-    "split_extent", "writable",
+    "CommRevokedError", "DEFAULT_TIMEOUT", "DeliveryFailedError",
+    "FaultInjector", "FaultPlan", "FaultRecord", "FrozenBorrow",
+    "HaloGuard", "HaloReadError", "HeartbeatDetector", "MessageRecord",
+    "OnlineRecoveryError", "ParallelJob", "PoolDoubleReleaseError",
+    "PoolUseAfterReleaseError", "ProcessorGrid", "RankCrashError",
+    "RankFailedError", "RankKilledError", "RepairRecord", "ReplayGapError",
+    "ReplayInfo", "SDCRecord", "SanitizeError", "TrafficSummary",
+    "Transport", "TransportPoisonedError", "VirtualClocks",
+    "balance_columns", "borrow", "factor_grid", "split_extent",
+    "writable",
 ]

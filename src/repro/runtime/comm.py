@@ -21,20 +21,50 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..obs.events import CAT_COMM, CAT_PHASE, CAT_SYNC
+from ..obs.events import CAT_COMM, CAT_HEALTH, CAT_PHASE, CAT_SYNC
 from ..obs.tracer import NULL_SPAN
 from .buffers import borrow, writable
+from .faults import RankKilledError
 from .sanitize import caller_site, enrich_readonly_error, \
     record_borrow_sites
 from .transport import DEFAULT_TIMEOUT as _DEFAULT_TIMEOUT
-from .transport import Transport, TransportPoisonedError
+from .transport import CommRevokedError, RankFailedError, RepairRecord, \
+    Transport, TransportPoisonedError
 
-__all__ = ["Comm", "ParallelJob", "writable"]
+__all__ = ["Comm", "OnlineRecoveryError", "ParallelJob", "ReplayInfo",
+           "writable"]
+
+#: control-plane tag space for communicator repair (per repair epoch)
+_REPAIR_TAG_BASE = -100
+
+
+class OnlineRecoveryError(RuntimeError):
+    """Communicator repair itself failed; fall back to a full restart."""
+
+
+@dataclass(frozen=True)
+class ReplayInfo:
+    """Catch-up instructions handed to a replacement rank.
+
+    The replacement reloads the checkpoint of ``rollback_step``, then
+    re-executes steps ``rollback_step .. resume_step - 1`` in *replay
+    mode*: receives are served from the transport's sender-side message
+    log starting at ``cursors`` (the dead rank's consumed-count marks at
+    the rollback checkpoint), collectives from the logged results, and
+    sends/barriers are suppressed.  At ``resume_step`` it rejoins the
+    survivors live.
+    """
+
+    rank: int
+    rollback_step: int
+    resume_step: int
+    cursors: dict = field(default_factory=dict)
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -68,41 +98,174 @@ def _copy(obj: Any) -> Any:
     return obj
 
 
+class _Barrier:
+    """Reusable barrier whose ``abort`` breaks only unfilled generations.
+
+    ``threading.Barrier.abort`` can break threads draining out of an
+    already-completed generation (state goes broken before they re-check
+    it), which would let two survivors of a rank failure observe the
+    break one step apart.  Online recovery needs the guarantee that a
+    generation the dead rank helped fill *completes normally* on every
+    rank — then all survivors provably stop at the same step boundary.
+    API-compatible with ``threading.Barrier`` for ``wait``/``abort``.
+    """
+
+    def __init__(self, parties: int, timeout: float | None = None):
+        self.parties = parties
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        self._count = 0
+        self._gen = 0
+        self._broken_from: int | None = None
+
+    def wait(self, timeout: float | None = None) -> int:
+        if timeout is None:
+            timeout = self.timeout
+        with self._cond:
+            gen = self._gen
+            if self._broken_from is not None \
+                    and self._broken_from <= gen:
+                raise threading.BrokenBarrierError
+            self._count += 1
+            if self._count == self.parties:
+                self._count = 0
+                self._gen = gen + 1
+                self._cond.notify_all()
+                return 0
+            ok = self._cond.wait_for(
+                lambda: self._gen > gen
+                or (self._broken_from is not None
+                    and self._broken_from <= gen),
+                timeout)
+            if self._gen > gen:
+                # Generation filled: released normally, even if the
+                # barrier broke immediately afterwards.
+                return 1
+            if not ok:
+                self._broken_from = gen
+                self._cond.notify_all()
+            raise threading.BrokenBarrierError
+
+    def abort(self) -> None:
+        with self._cond:
+            if self._broken_from is None or self._broken_from > self._gen:
+                self._broken_from = self._gen
+            self._cond.notify_all()
+
+    @property
+    def broken(self) -> bool:
+        with self._cond:
+            return (self._broken_from is not None
+                    and self._broken_from <= self._gen)
+
+
 @dataclass
 class _Shared:
-    """State shared by all ranks of one job."""
+    """State shared by all ranks of one job (or one repair epoch)."""
 
     nprocs: int
     transport: Transport
-    barrier: threading.Barrier
+    barrier: "_Barrier"
     coll_lock: threading.Lock
     coll_buf: list
     timeout: float = _DEFAULT_TIMEOUT
+    #: global (transport) rank of each member; identity until a shrink
+    members: list = field(default_factory=list)
+    #: repair generation: 0 for the original communicator
+    epoch: int = 0
+    #: spare-rank tokens held in reserve (popped per respawn)
+    spares: list = field(default_factory=list)
+    #: job callback spawning a replacement worker thread
+    spawn_replacement: Callable | None = None
 
     @classmethod
     def create(cls, nprocs: int, transport: Transport,
                timeout: float = _DEFAULT_TIMEOUT) -> "_Shared":
         return cls(nprocs, transport,
-                   threading.Barrier(nprocs, timeout=timeout),
-                   threading.Lock(), [None] * nprocs, timeout)
+                   _Barrier(nprocs, timeout=timeout),
+                   threading.Lock(), [None] * nprocs, timeout,
+                   list(range(nprocs)))
 
 
 class Comm:
     """Per-rank communicator handle."""
 
-    def __init__(self, rank: int, shared: _Shared):
+    def __init__(self, rank: int, shared: _Shared,
+                 replay_info: ReplayInfo | None = None):
         self.rank = rank
         self._shared = shared
         self.transport = shared.transport
+        #: set on a replacement rank spawned by :meth:`repair`
+        self.replay_info = replay_info
+        self._replay_active = False
+        self._replay_cursors: dict = {}
+        self._step: int | None = None
+        self._coll_index = 0
 
     @property
     def size(self) -> int:
         return self._shared.nprocs
 
+    def _global(self, r: int) -> int:
+        """Transport (global) rank of local rank ``r``.
+
+        Identity until a shrink renumbers the survivors; the transport,
+        its traffic records and the failure detector always speak
+        global ranks.
+        """
+        members = self._shared.members
+        return members[r] if members else r
+
     @property
     def _track(self) -> int:
         """Trace track (tid) for this rank: the job-global rank."""
-        return self.rank
+        return self._global(self.rank)
+
+    # -- step bookkeeping (heartbeats + collective call indexing) -----------
+    def begin_step(self, step: int) -> None:
+        """Mark the top of application step ``step`` on this rank.
+
+        Beats the transport's heartbeat detector (virtual time = step
+        index) and resets the per-step collective call counter that
+        keys the collective-result replay log.  With the replay logs
+        armed it also snapshots this rank's per-channel consumption —
+        the mark communicator repair rolls the logs back to when this
+        very step is interrupted (replacement catch-up skips the mark:
+        its live counters resume at the original rank's values).
+        """
+        self._step = step
+        self._coll_index = 0
+        tp = self.transport
+        gid = self._global(self.rank)
+        tp.detector.beat(gid, float(step))
+        if tp.online and not self._replay_active:
+            tp.mark_consumed(step, gid)
+
+    # -- replay mode (replacement-rank catch-up) ----------------------------
+    @property
+    def in_replay(self) -> bool:
+        return self._replay_active
+
+    def begin_replay(self) -> None:
+        """Enter catch-up replay (replacement ranks only)."""
+        if self.replay_info is None:
+            raise OnlineRecoveryError("begin_replay on a non-replacement "
+                                      "rank")
+        self._replay_cursors = dict(self.replay_info.cursors)
+        self._replay_active = True
+
+    def end_replay(self) -> None:
+        """Leave replay mode; subsequent operations run live."""
+        self._replay_active = False
+
+    def _barrier_wait(self) -> None:
+        """Barrier wait that surfaces rank failure as the typed error."""
+        try:
+            self._shared.barrier.wait()
+        except threading.BrokenBarrierError:
+            if self.transport._failure_pending():
+                self.transport.raise_rank_failed()
+            raise
 
     def _span(self, name: str, cat: str = CAT_COMM, **args):
         """Tracer span on this rank's track; free when tracing is off.
@@ -125,6 +288,11 @@ class Comm:
         leaks across labels.  Each rank's stay in the phase is emitted as
         one tracer span.
         """
+        if self._replay_active:
+            # Catch-up replay is single-rank: no barriers, no label
+            # changes — the traffic was already accounted live.
+            yield
+            return
         self.barrier()
         prev = self.transport.phase_label
         if self.rank == 0:
@@ -166,23 +334,35 @@ class Comm:
 
     # -- point-to-point --------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if self._replay_active:
+            return            # already on the wire in the original run
         nbytes = _payload_bytes(obj)
         payload = self._outgoing(obj)
+        src, dst = self._global(self.rank), self._global(dest)
         tr = self.transport.tracer
         if not tr.enabled:          # hot path: no span, no args dict
-            self.transport.post(self.rank, dest, tag, payload, nbytes)
+            self.transport.post(src, dst, tag, payload, nbytes)
             return
         with tr.span(self._track, "send", CAT_COMM,
-                     {"dst": dest, "tag": tag, "nbytes": nbytes}):
-            self.transport.post(self.rank, dest, tag, payload, nbytes)
+                     {"dst": dst, "tag": tag, "nbytes": nbytes}):
+            self.transport.post(src, dst, tag, payload, nbytes)
+
+    def _replay_recv(self, src: int, dst: int, tag: int) -> Any:
+        key = (src, dst, tag)
+        index = self._replay_cursors.get(key, 0)
+        self._replay_cursors[key] = index + 1
+        return self.transport.replay_fetch(src, dst, tag, index)
 
     def recv(self, source: int, tag: int = 0) -> Any:
+        src, dst = self._global(source), self._global(self.rank)
+        if self._replay_active:
+            return self._replay_recv(src, dst, tag)
         tr = self.transport.tracer
         if not tr.enabled:
-            return self.transport.fetch(source, self.rank, tag)
+            return self.transport.fetch(src, dst, tag)
         with tr.span(self._track, "recv", CAT_COMM,
-                     {"src": source, "tag": tag}):
-            return self.transport.fetch(source, self.rank, tag)
+                     {"src": src, "tag": tag}):
+            return self.transport.fetch(src, dst, tag)
 
     def sendrecv(self, obj: Any, dest: int, source: int,
                  tag: int = 0) -> Any:
@@ -208,26 +388,52 @@ class Comm:
 
     # -- collectives ------------------------------------------------------------
     def barrier(self) -> None:
+        if self._replay_active:
+            return
         tr = self.transport.tracer
         if not tr.enabled:          # hot path: no span object, no kwargs
-            self._shared.barrier.wait()
+            self._barrier_wait()
             return
         with tr.span(self._track, "barrier", CAT_SYNC):
-            self._shared.barrier.wait()
+            self._barrier_wait()
 
     def _allgather_raw(self, value: Any) -> list:
-        """Barrier-protected gather of one value from each rank."""
+        """Barrier-protected gather of one value from each rank.
+
+        With the online replay logs armed, rank 0 logs the gathered
+        list per ``(step, call index)`` — the sequence is identical on
+        every rank of a bulk-synchronous program, so one log entry
+        reproduces the collective for any replacement.  In replay mode
+        the list is served straight from that log.
+        """
+        tp = self.transport
+        if self._replay_active:
+            index = self._coll_index
+            self._coll_index += 1
+            return tp.coll_get(0, self._step, index)
+        index = None
+        if tp.online and self._step is not None:
+            index = self._coll_index
+            self._coll_index += 1
         sh = self._shared
         sh.coll_buf[self.rank] = value
-        sh.barrier.wait()
+        self._barrier_wait()
         result = list(sh.coll_buf)
-        sh.barrier.wait()          # everyone has read; buffer reusable
+        if index is not None and self.rank == 0:
+            tp.coll_put(0, self._step, index, result)
+        self._barrier_wait()       # everyone has read; buffer reusable
         return result
+
+    def _record_collective(self, kind: str, nbytes: int) -> None:
+        """Account one collective call — except in catch-up replay,
+        where the traffic was already recorded by the original run."""
+        if not self._replay_active:
+            self.transport.record_collective(kind, nbytes)
 
     def allgather(self, value: Any) -> list:
         nbytes = _payload_bytes(value)
         tp = self.transport
-        tp.record_collective("allgather", nbytes)
+        self._record_collective("allgather", nbytes)
         if tp.zero_copy:
             with self._span("allgather", nbytes=nbytes):
                 return list(self._allgather_raw(self._outgoing(value)))
@@ -238,7 +444,7 @@ class Comm:
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Reduction over ranks; deterministic rank-order combination."""
         nbytes = _payload_bytes(value)
-        self.transport.record_collective("allreduce", nbytes)
+        self._record_collective("allreduce", nbytes)
         with self._span("allreduce", op=op, nbytes=nbytes):
             vals = self._allgather_raw(value)
             return _reduce(vals, op)
@@ -246,7 +452,7 @@ class Comm:
     def bcast(self, value: Any, root: int = 0) -> Any:
         nbytes = _payload_bytes(value)
         tp = self.transport
-        tp.record_collective("bcast", nbytes)
+        self._record_collective("bcast", nbytes)
         with self._span("bcast", root=root, nbytes=nbytes):
             if tp.zero_copy:
                 contrib = (self._outgoing(value) if self.rank == root
@@ -258,7 +464,7 @@ class Comm:
     def gather(self, value: Any, root: int = 0) -> list | None:
         nbytes = _payload_bytes(value)
         tp = self.transport
-        tp.record_collective("gather", nbytes)
+        self._record_collective("gather", nbytes)
         with self._span("gather", root=root, nbytes=nbytes):
             out = self._outgoing(value) if tp.zero_copy else value
             vals = self._allgather_raw(out)
@@ -307,7 +513,7 @@ class Comm:
                 f"alltoall needs {self.size} chunks, got {len(chunks)}")
         nbytes = sum(_payload_bytes(c) for c in chunks)
         tp = self.transport
-        tp.record_collective("alltoall", nbytes)
+        self._record_collective("alltoall", nbytes)
         with self._span("alltoall", nbytes=nbytes):
             if tp.zero_copy:
                 matrix = self._allgather_raw(
@@ -317,6 +523,172 @@ class Comm:
             matrix = self._allgather_raw(list(chunks))
             return [_copy(matrix[src][self.rank])
                     for src in range(self.size)]
+
+    # -- communicator repair (ULFM-style) ------------------------------------
+    def revoke(self) -> None:
+        """Revoke the communicator: every rank's pending op unwinds.
+
+        Idempotent; the first survivor to observe a failure calls this
+        so stragglers not blocked on the dead rank also enter repair
+        promptly (``MPI_Comm_revoke`` semantics).
+        """
+        self.transport.revoke()
+
+    def spares_left(self) -> int:
+        return len(self._shared.spares)
+
+    def shrink(self, *, resume_step: int = 0, rollback_step: int = 0,
+               is_neighbor: bool = False) -> RepairRecord:
+        """Repair by renumbering the survivors densely (no replacement)."""
+        return self.repair(mode="shrink", resume_step=resume_step,
+                           rollback_step=rollback_step,
+                           is_neighbor=is_neighbor)
+
+    def respawn(self, *, resume_step: int = 0, rollback_step: int = 0,
+                is_neighbor: bool = False) -> RepairRecord:
+        """Repair by refilling dead ranks from the job's spare pool."""
+        return self.repair(mode="respawn", resume_step=resume_step,
+                           rollback_step=rollback_step,
+                           is_neighbor=is_neighbor)
+
+    def repair(self, *, resume_step: int, rollback_step: int,
+               mode: str | None = None,
+               is_neighbor: bool = False) -> RepairRecord:
+        """Rebuild the communicator around the current dead set.
+
+        Collective over the survivors (every survivor must call it with
+        the same ``resume_step``/``rollback_step``; the leader — lowest
+        surviving global rank — verifies agreement).  The broken barrier
+        cannot carry the handshake, so it runs over reserved control
+        tags on the transport mailboxes:
+
+        1. survivors post ``join`` to the leader;
+        2. the leader drains stale in-flight traffic, builds a fresh
+           shared state (respawn: same size, spare threads refill the
+           dead ranks and catch up via log replay; shrink: survivors
+           renumber densely and the caller remaps the decomposition),
+           revives the transport and answers every survivor;
+        3. everyone swaps the new shared state into their ``Comm`` in
+           place, so application handles stay valid.
+
+        Returns the :class:`~repro.runtime.transport.RepairRecord`
+        appended to ``transport.repairs``.
+        """
+        tp = self.transport
+        sh = self._shared
+        t0 = time.perf_counter()
+        dead = tp.dead_ranks()
+        if not dead:
+            raise OnlineRecoveryError("repair called with no dead rank")
+        gid = self._global(self.rank)
+        members = list(sh.members) if sh.members \
+            else list(range(sh.nprocs))
+        survivors = [m for m in members if m not in dead]
+        if not survivors:
+            raise OnlineRecoveryError("no survivors to repair around")
+        lost = tuple(m for m in members if m in dead)
+        leader = survivors[0]
+        epoch = sh.epoch + 1
+        tag = _REPAIR_TAG_BASE - epoch
+        if mode is None:
+            mode = "respawn" if len(sh.spares) >= len(lost) else "shrink"
+        if mode not in ("respawn", "shrink"):
+            raise ValueError(f"unknown repair mode {mode!r}")
+        if gid != leader:
+            tp.post(gid, leader, tag,
+                    ("join", gid, resume_step, rollback_step,
+                     is_neighbor), 0, control=True)
+            reply = tp.fetch(leader, gid, tag, control=True)
+            if reply[0] != "repaired":
+                raise OnlineRecoveryError(
+                    f"unexpected repair reply {reply[0]!r}")
+            _, new_shared, record = reply
+        else:
+            new_shared, record = self._lead_repair(
+                mode, epoch, tag, members, survivors, lost,
+                resume_step, rollback_step, is_neighbor, t0)
+        self._shared = new_shared
+        if mode == "shrink":
+            self.rank = new_shared.members.index(gid)
+        self._coll_index = 0
+        if tp.tracer.enabled:
+            tp.tracer.instant(gid, "comm-repair", CAT_HEALTH,
+                              {"epoch": epoch, "mode": mode,
+                               "dead": list(lost),
+                               "resume_step": resume_step,
+                               "rollback_step": rollback_step})
+        return record
+
+    def _lead_repair(self, mode: str, epoch: int, tag: int,
+                     members: list, survivors: list, lost: tuple,
+                     resume_step: int, rollback_step: int,
+                     is_neighbor: bool, t0: float):
+        tp = self.transport
+        sh = self._shared
+        leader = survivors[0]
+        joins = {leader: (resume_step, rollback_step, is_neighbor)}
+        for r in survivors[1:]:
+            msg = tp.fetch(r, leader, tag, control=True)
+            if msg[0] != "join":
+                raise OnlineRecoveryError(
+                    f"unexpected repair message {msg[0]!r} from rank {r}")
+            joins[msg[1]] = msg[2:]
+        agreed = {(s, c) for s, c, _ in joins.values()}
+        if len(agreed) != 1:
+            raise OnlineRecoveryError(
+                f"survivors disagree on rollback point: {sorted(agreed)} "
+                f"(online repair needs a step-aligned failure)")
+        detect = max((tp.dead_record(d).latency if tp.dead_record(d)
+                      else 0.0) for d in lost)
+        tp.drain_boxes()
+        # Survivors re-execute the interrupted step; drop its partial
+        # log entries and roll the consumption counters back with them.
+        tp.truncate_logs(resume_step)
+        if mode == "respawn":
+            if len(sh.spares) < len(lost):
+                raise OnlineRecoveryError(
+                    f"{len(lost)} dead ranks but only {len(sh.spares)} "
+                    f"spares; use shrink")
+            if sh.spawn_replacement is None:
+                raise OnlineRecoveryError(
+                    "no spawn hook: job was not started with spares")
+            new_shared = _Shared(
+                sh.nprocs, tp,
+                _Barrier(sh.nprocs, timeout=sh.timeout),
+                threading.Lock(), [None] * sh.nprocs, sh.timeout,
+                members, epoch, sh.spares, sh.spawn_replacement)
+            replacements = lost
+        else:
+            n = len(survivors)
+            new_shared = _Shared(
+                n, tp, _Barrier(n, timeout=sh.timeout),
+                threading.Lock(), [None] * n, sh.timeout,
+                list(survivors), epoch, sh.spares,
+                sh.spawn_replacement)
+            replacements = ()
+        neighbors = tuple(r for r, (_, _, nb) in sorted(joins.items())
+                          if nb)
+        record = RepairRecord(
+            epoch, mode, lost, tuple(survivors), replacements,
+            tuple(sorted(set(replacements) | set(neighbors))),
+            resume_step, rollback_step, detect,
+            time.perf_counter() - t0)
+        # Arm the new barrier for a possible second failure, then lift
+        # the failure state *before* anyone resumes normal traffic.
+        tp.dead_callbacks[:] = [new_shared.barrier.abort]
+        tp.phase_label = ""
+        tp.revive_all()
+        if mode == "respawn":
+            for d in lost:
+                sh.spares.pop(0)
+                info = ReplayInfo(d, rollback_step, resume_step,
+                                  tp.consumed_mark(rollback_step, d))
+                sh.spawn_replacement(d, new_shared, info)
+        tp.repairs.append(record)
+        for r in survivors[1:]:
+            tp.post(leader, r, tag, ("repaired", new_shared, record),
+                    0, control=True)
+        return new_shared, record
 
 
 class _SubShared:
@@ -348,6 +720,11 @@ class _SubComm(Comm):
         self._shared = shared      # duck-typed: barrier/coll_buf/nprocs
         self.transport = shared.transport
         self.rank = local_rank
+        self.replay_info = None
+        self._replay_active = False
+        self._replay_cursors: dict = {}
+        self._step: int | None = None
+        self._coll_index = 0
 
     @property
     def size(self) -> int:
@@ -438,10 +815,17 @@ class ParallelJob:
                  *, timeout: float | None = None, injector=None,
                  tracer=None, join_timeout: float = 600.0,
                  zero_copy: bool | None = None,
-                 sanitize: bool | None = None):
+                 sanitize: bool | None = None,
+                 spares: int = 0, online: bool | None = None):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if spares < 0:
+            raise ValueError("spares must be >= 0")
         self.nprocs = nprocs
+        #: spare-rank pool held in reserve for online respawn
+        self.spares = int(spares)
+        #: arm the replay logs (implied by a non-empty spare pool)
+        self.online = bool(online) if online is not None else spares > 0
         if transport is None:
             transport = Transport(
                 nprocs,
@@ -469,8 +853,12 @@ class ParallelJob:
         self.transport = transport
         if self.transport.nprocs != nprocs:
             raise ValueError("transport sized for a different job")
+        if self.online:
+            self.transport.enable_online()
         self.timeout = self.transport.timeout
         self.join_timeout = join_timeout
+        self._threads: list[threading.Thread] = []
+        self._tlock = threading.Lock()
 
     def run(self, fn: Callable[..., Any], *args: Any,
             rank_args: Sequence[tuple] | None = None) -> list:
@@ -485,26 +873,69 @@ class ParallelJob:
         if rank_args is not None and len(rank_args) != self.nprocs:
             raise ValueError("rank_args length != nprocs")
         self.transport.clear_poison()
+        self.transport.revive_all()
         shared = _Shared.create(self.nprocs, self.transport, self.timeout)
+        shared.spares = list(range(self.spares))
         results: list = [None] * self.nprocs
         errors: list = [None] * self.nprocs
 
-        def worker(rank: int) -> None:
-            comm = Comm(rank, shared)
+        def worker(rank: int, shared_: _Shared = shared,
+                   replay_info: ReplayInfo | None = None) -> None:
+            comm = Comm(rank, shared_, replay_info=replay_info)
             extra = rank_args[rank] if rank_args is not None else args
             try:
                 results[rank] = fn(comm, *extra)
+            except RankKilledError as exc:
+                # Fail-stop loss: mark this rank dead on the transport
+                # (typed wake-up for the survivors, no poison) and let
+                # the thread die.  Survivors repair the communicator; if
+                # nothing repairs it, the error surfaces below.
+                errors[rank] = exc
+                self.transport.mark_dead(rank, step=exc.step,
+                                         reason="injected kill")
             except BaseException as exc:  # noqa: BLE001 - propagated below
                 errors[rank] = exc
-                shared.barrier.abort()
+                # Abort the *current* barrier: repair may have swapped a
+                # fresh shared state into this rank's comm.
+                comm._shared.barrier.abort()
                 self.transport.poison(f"rank {rank} failed: {exc!r}")
 
-        threads = [threading.Thread(target=worker, args=(r,), daemon=True)
-                   for r in range(self.nprocs)]
-        for t in threads:
+        def spawn_replacement(rank: int, shared_: _Shared,
+                              info: ReplayInfo) -> None:
+            t = threading.Thread(target=worker,
+                                 args=(rank, shared_, info), daemon=True)
+            with self._tlock:
+                self._threads.append(t)
             t.start()
-        for t in threads:
-            t.join(timeout=self.join_timeout)
+
+        shared.spawn_replacement = spawn_replacement
+        self.transport.dead_callbacks[:] = [shared.barrier.abort]
+        with self._tlock:
+            self._threads = [
+                threading.Thread(target=worker, args=(r,), daemon=True)
+                for r in range(self.nprocs)]
+            initial = list(self._threads)
+        for t in initial:
+            t.start()
+        # Join until quiescent: communicator repair may spawn
+        # replacement threads while the original ones are still draining.
+        deadline = time.monotonic() + self.join_timeout
+        while True:
+            with self._tlock:
+                snapshot = list(self._threads)
+            pending = [t for t in snapshot if t.is_alive()]
+            if not pending:
+                with self._tlock:
+                    if len(self._threads) == len(snapshot):
+                        break
+                continue
+            for t in pending:
+                t.join(timeout=max(0.05, min(
+                    1.0, deadline - time.monotonic())))
+            if time.monotonic() >= deadline:
+                break
+        with self._tlock:
+            threads = list(self._threads)
         alive = [t for t in threads if t.is_alive()]
         if alive:
             # Unstick lingering ranks instead of leaking daemon threads:
@@ -514,13 +945,26 @@ class ParallelJob:
             self.transport.poison("job join timeout")
             for t in alive:
                 t.join(timeout=5.0)
+        # A rank lost to a kill whose communicator was repaired is not a
+        # failure: either a replacement re-ran it (respawn) or the
+        # survivors shrank around it.
+        repaired = set()
+        for rec in self.transport.repairs:
+            repaired.update(rec.dead)
+        failed = [(r, e) for r, e in enumerate(errors)
+                  if e is not None
+                  and not (isinstance(e, RankKilledError)
+                           and r in repaired)]
         # Prefer reporting a root-cause error: a rank that died aborts the
         # shared barrier and poisons the transport, making innocent ranks
-        # fail with BrokenBarrierError / TransportPoisonedError.
-        failed = [(r, e) for r, e in enumerate(errors) if e is not None]
+        # fail with BrokenBarrierError / TransportPoisonedError (or, for
+        # fail-stop losses, RankFailedError / CommRevokedError).
         root = [(r, e) for r, e in failed
                 if not isinstance(e, (threading.BrokenBarrierError,
-                                      TransportPoisonedError))]
+                                      TransportPoisonedError,
+                                      RankFailedError,
+                                      CommRevokedError,
+                                      OnlineRecoveryError))]
         for rank, err in root or failed:
             if self.transport.sanitize:
                 # Sender-side borrow violations surface as numpy's
@@ -536,3 +980,9 @@ class ParallelJob:
         if alive:
             raise TimeoutError(f"{len(alive)} ranks failed to finish")
         return results
+
+    @property
+    def spares_left(self) -> int:
+        """Spare ranks still in reserve (valid during/after ``run``)."""
+        return self.spares - sum(len(rec.replacements)
+                                 for rec in self.transport.repairs)

@@ -60,6 +60,22 @@ class RankCrashError(RuntimeError):
         self.step = step
 
 
+class RankKilledError(RuntimeError):
+    """An injected fail-stop loss of one rank (the *online* recovery
+    trigger).
+
+    Unlike :class:`RankCrashError` — which poisons the whole job and
+    hands control to the restart supervisor — a killed rank is marked
+    dead on the transport and the survivors repair the communicator and
+    continue (:mod:`repro.resilience.online`).
+    """
+
+    def __init__(self, rank: int, step: int):
+        super().__init__(f"injected kill: rank {rank} at step {step}")
+        self.rank = rank
+        self.step = step
+
+
 @dataclass(frozen=True)
 class FaultRecord:
     """One injected fault or receiver-side discard."""
@@ -137,6 +153,8 @@ class FaultPlan:
     delay_seconds: float = 0.005
     crash_rank: int | None = None
     crash_step: int | None = None
+    kill_rank: int | None = None
+    kill_step: int | None = None
     max_attempts: int = 12
     backoff_base: float = 0.001
     backoff_max: float = 0.05
@@ -191,6 +209,12 @@ class FaultPlan:
         return (self.crash_rank is not None
                 and self.crash_step is not None
                 and rank == self.crash_rank and step == self.crash_step)
+
+    def wants_kill(self, rank: int, step: int) -> bool:
+        """True iff ``rank`` is scheduled for a fail-stop loss at ``step``."""
+        return (self.kill_rank is not None
+                and self.kill_step is not None
+                and rank == self.kill_rank and step == self.kill_step)
 
     def backoff(self, attempt: int) -> float:
         return min(self.backoff_base * (2.0 ** attempt), self.backoff_max)
@@ -298,6 +322,7 @@ class FaultInjector:
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
     _crash_fired: bool = False
+    _kill_fired: bool = False
     _sdc_fired: set = field(default_factory=set, repr=False)
     _ckpt_fired: set = field(default_factory=set, repr=False)
 
@@ -322,8 +347,24 @@ class FaultInjector:
                                  "seq": seq, "attempt": attempt})
 
     def tick(self, rank: int, step: int) -> None:
-        """Raise :class:`RankCrashError` once if the plan kills ``rank``
-        at ``step``; no-op otherwise (and after the crash has fired)."""
+        """Raise the scheduled process fault for ``(rank, step)``, if any.
+
+        Crashes (:class:`RankCrashError`, whole-job restart) and kills
+        (:class:`RankKilledError`, online repair) are each one-shot, so
+        a recovered run proceeds clean past the site.
+        """
+        if self.plan.wants_kill(rank, step):
+            with self._lock:
+                fire = not self._kill_fired
+                if fire:
+                    self._kill_fired = True
+                    self.records.append(FaultRecord("kill", rank, rank,
+                                                    -1, step, 0))
+            if fire:
+                if self.tracer.enabled:
+                    self.tracer.instant(rank, "kill", CAT_FAULT,
+                                        {"rank": rank, "step": step})
+                raise RankKilledError(rank, step)
         if not self.plan.wants_crash(rank, step):
             return
         with self._lock:
@@ -407,6 +448,10 @@ class FaultInjector:
     @property
     def crash_fired(self) -> bool:
         return self._crash_fired
+
+    @property
+    def kill_fired(self) -> bool:
+        return self._kill_fired
 
     def counts(self) -> dict[str, int]:
         """Histogram of injected fault kinds (for reports and tests)."""

@@ -12,7 +12,7 @@ import ast
 from repro.analysis import extract_comm_ops, lint_source
 
 COMM = ["rank-divergent-collective", "unmatched-tag",
-        "comm-direction-mismatch"]
+        "comm-direction-mismatch", "blocking-recv-timeout"]
 
 
 def rules_of(src: str, path: str = "driver.py") -> list[str]:
@@ -191,3 +191,32 @@ class TestSyntheticDeadlockDriver:
             [src_root / "apps", src_root / "runtime"], enable=COMM)
         assert nfiles > 0
         assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestBlockingTimeout:
+    def test_flags_timeout_none_recv(self):
+        src = ("def f(comm):\n"
+               "    return comm.recv(source=1, tag=0, timeout=None)\n")
+        assert rules_of(src) == ["blocking-recv-timeout"]
+
+    def test_flags_hardcoded_numeric_timeout(self):
+        src = ("def f(tp):\n"
+               "    return tp.transport.fetch(0, 1, 0, timeout=30.0)\n")
+        assert rules_of(src) == ["blocking-recv-timeout"]
+
+    def test_accepts_unset_timeout(self):
+        src = ("def f(comm):\n"
+               "    comm.send(x, dest=1, tag=0)\n"
+               "    return comm.recv(source=1, tag=0)\n")
+        assert rules_of(src) == []
+
+    def test_accepts_computed_timeout(self):
+        src = ("def f(comm, deadline):\n"
+               "    comm.send(x, dest=1, tag=0)\n"
+               "    return comm.recv(source=1, tag=0, timeout=deadline)\n")
+        assert rules_of(src) == []
+
+    def test_non_transport_receivers_are_ignored(self):
+        src = ("def f(sock):\n"
+               "    return sock.recv(1024, timeout=None)\n")
+        assert rules_of(src) == []

@@ -211,9 +211,44 @@ class TestRecoveryPolicy:
         assert ev.action == "abort"
 
     def test_backoff_schedule_doubles_and_caps(self):
-        policy = RecoveryPolicy(backoff_base=0.02, backoff_max=0.05)
+        policy = RecoveryPolicy(backoff_base=0.02, backoff_max=0.05,
+                                jitter=False)
         assert [policy.backoff(a) for a in range(4)] == \
             [0.02, 0.04, 0.05, 0.05]
+
+    def test_jittered_backoff_is_decorrelated_and_bounded(self):
+        # Decorrelated jitter: each pause is uniform in
+        # [base, 3 * previous], clipped at the cap.
+        policy = RecoveryPolicy(backoff_base=0.02, backoff_max=0.5,
+                                seed=42)
+        prev = 0.02
+        draws = []
+        for attempt in range(50):
+            pause = policy.backoff(attempt)
+            assert 0.02 <= pause <= 0.5
+            assert pause <= max(3.0 * prev, 0.02) + 1e-12
+            draws.append(pause)
+            prev = pause
+        assert len(set(draws)) > 10      # actually jittered, not a ramp
+        # Seeded: the same policy replays the same schedule.
+        replay = RecoveryPolicy(backoff_base=0.02, backoff_max=0.5,
+                                seed=42)
+        assert [replay.backoff(a) for a in range(50)] == draws
+        # A different seed gives a different schedule.
+        other = RecoveryPolicy(backoff_base=0.02, backoff_max=0.5,
+                               seed=43)
+        assert [other.backoff(a) for a in range(50)] != draws
+
+    def test_jittered_backoff_resets_with_policy(self):
+        policy = RecoveryPolicy(backoff_base=0.02, backoff_max=0.5,
+                                seed=7)
+        first = [policy.backoff(a) for a in range(5)]
+        policy.reset()
+        assert [policy.backoff(a) for a in range(5)] == first
+
+    def test_zero_base_backoff_stays_zero(self):
+        policy = RecoveryPolicy(backoff_base=0.0)
+        assert [policy.backoff(a) for a in range(3)] == [0.0, 0.0, 0.0]
 
     def test_describe_is_diagnostic(self):
         policy = RecoveryPolicy()
@@ -284,7 +319,7 @@ class TestSupervisor:
     def test_backoff_slept_and_recorded(self):
         slept = []
         policy = RecoveryPolicy(max_restarts=3, backoff_base=0.01,
-                                backoff_max=1.0)
+                                backoff_max=1.0, jitter=False)
         supervised = ResilientJob(ParallelJob(1), policy=policy,
                                   sleep=slept.append)
         crashes = iter((True, True, False))

@@ -1,0 +1,201 @@
+"""Failure detection and typed wake-ups: the runtime half of online
+rank-failure recovery.
+
+Covers the heartbeat detector's seeded virtual-time timeouts, the typed
+:class:`RankFailedError` observed by survivors blocked in collectives
+when a peer is killed mid-step, the replay-log truncation that keeps
+log indices and consumption counters aligned across repairs, and the
+:meth:`Transport.reset` regression (a restart must not inherit
+undelivered payloads, resend accounting, or failure state from the
+previous attempt).
+"""
+
+import pytest
+
+from repro.runtime import (
+    HeartbeatDetector,
+    ParallelJob,
+    RankFailedError,
+    RankKilledError,
+    ReplayGapError,
+    Transport,
+)
+
+
+class TestHeartbeatDetector:
+    def test_timeouts_seeded_and_desynchronized(self):
+        d1 = HeartbeatDetector(8, seed=7)
+        d2 = HeartbeatDetector(8, seed=7)
+        touts = [d1.timeout_for(r) for r in range(8)]
+        assert touts == [d2.timeout_for(r) for r in range(8)]
+        assert len(set(touts)) == 8          # per-rank jitter
+        for t in touts:
+            assert 2.0 <= t <= 3.0           # base 2.0, jitter 0.5
+        d3 = HeartbeatDetector(8, seed=8)
+        assert touts != [d3.timeout_for(r) for r in range(8)]
+
+    def test_detection_latency_equals_timeout(self):
+        d = HeartbeatDetector(4, seed=1)
+        assert d.latency(2) == d.timeout_for(2)
+
+    def test_suspects_only_overdue_ranks(self):
+        d = HeartbeatDetector(2, seed=0, base_timeout=1.0, jitter=0.0)
+        d.beat(0, 10.0)
+        d.beat(1, 5.0)
+        assert d.suspects(6.5) == [1]
+        assert d.suspects(5.9) == []
+        assert d.suspects(12.5, exclude={1}) == [0]
+
+    def test_beats_are_monotone(self):
+        d = HeartbeatDetector(1, seed=0)
+        d.beat(0, 10.0)
+        d.beat(0, 3.0)                       # stale beat ignored
+        assert d.last_beat(0) == 10.0
+
+    def test_check_heartbeats_marks_overdue_dead(self):
+        tr = Transport(2)
+        now = 100.0 + tr.detector.timeout_for(1) + 0.1
+        tr.detector.beat(0, now)             # rank 1 never beats
+        assert tr.check_heartbeats(now) == [1]
+        with pytest.raises(RankFailedError) as ei:
+            tr.fetch(1, 0, 0, timeout=1.0)
+        assert ei.value.rank == 1
+        assert ei.value.latency == tr.detector.latency(1)
+        # already-dead ranks are not re-reported
+        assert tr.check_heartbeats(now) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatDetector(0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(2, base_timeout=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(2, jitter=-1.0)
+
+
+def _kill_during(collective):
+    """Run 3 ranks; rank 1 dies before the collective.  Returns the
+    RankFailedError each survivor observed."""
+    tr = Transport(3)
+    seen = {}
+
+    def prog(comm):
+        if comm.rank == 1:
+            raise RankKilledError(1, 0)
+        try:
+            collective(comm)
+        except RankFailedError as exc:
+            seen[comm.rank] = exc
+            raise
+
+    with pytest.raises(RuntimeError, match="injected kill"):
+        ParallelJob(3, transport=tr, online=True).run(prog)
+    return tr, seen
+
+
+class TestTypedFailureInCollectives:
+    def test_allreduce_raises_rank_failed(self):
+        tr, seen = _kill_during(lambda c: c.allreduce(1.0))
+        assert sorted(seen) == [0, 2]
+        for exc in seen.values():
+            assert exc.rank == 1
+            assert 0.0 < exc.latency <= tr.detector.timeout_for(1)
+
+    def test_barrier_raises_rank_failed(self):
+        tr, seen = _kill_during(lambda c: c.barrier())
+        assert sorted(seen) == [0, 2]
+        assert all(e.rank == 1 for e in seen.values())
+
+    def test_alltoall_raises_rank_failed(self):
+        tr, seen = _kill_during(
+            lambda c: c.alltoall([c.rank] * c.size))
+        assert sorted(seen) == [0, 2]
+        assert all(e.rank == 1 for e in seen.values())
+
+    def test_recv_from_dead_rank_raises_typed(self):
+        tr = Transport(2)
+        seen = {}
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise RankKilledError(1, 0)
+            try:
+                comm.recv(source=1, tag=0)
+            except RankFailedError as exc:
+                seen[comm.rank] = exc
+                raise
+
+        with pytest.raises(RuntimeError, match="injected kill"):
+            ParallelJob(2, transport=tr, online=True).run(prog)
+        assert seen[0].rank == 1
+
+
+class TestReplayLogTruncation:
+    def test_truncate_drops_entries_past_the_step_mark(self):
+        tr = Transport(2)
+        tr.enable_online()
+        tr.post(0, 1, 0, "a", 1)
+        tr.fetch(0, 1, 0)
+        tr.mark_consumed(5, 1)              # step-5 consumption mark
+        tr.post(0, 1, 0, "b", 1)            # partial-step traffic
+        tr.fetch(0, 1, 0)
+        assert tr.replay_fetch(0, 1, 0, 1) == "b"
+        tr.truncate_logs(5)
+        assert tr.replay_fetch(0, 1, 0, 0) == "a"
+        with pytest.raises(ReplayGapError):
+            tr.replay_fetch(0, 1, 0, 1)     # truncated with the step
+
+    def test_truncate_rolls_consumption_counters_back(self):
+        # After truncation the next post lands at the mark's index, so
+        # replay cursors computed from the mark stay valid.
+        tr = Transport(2)
+        tr.enable_online()
+        tr.post(0, 1, 0, "a", 1)
+        tr.fetch(0, 1, 0)
+        tr.mark_consumed(3, 1)
+        tr.post(0, 1, 0, "stale", 1)
+        tr.truncate_logs(3)
+        tr.post(0, 1, 0, "fresh", 1)
+        assert tr.replay_fetch(0, 1, 0, 1) == "fresh"
+
+
+class TestResetRegression:
+    def test_reset_drains_undelivered_payloads(self):
+        tr = Transport(2)
+        ParallelJob(2, transport=tr).run(
+            lambda c: c.send(1, dest=1 - c.rank))   # two orphans
+        assert tr.undelivered() == 2
+        tr.reset()
+        assert tr.last_reset_drained == 2
+        assert tr.undelivered() == 0
+
+    def test_reset_clears_failure_and_replay_state(self):
+        tr = Transport(2)
+        tr.enable_online()
+        tr.post(0, 1, 0, "logged", 6)
+        tr.mark_dead(1, step=3)
+        tr.reset()
+        # dead set cleared: a fetch times out instead of raising the
+        # stale typed failure
+        with pytest.raises(TimeoutError):
+            tr.fetch(0, 1, 0, timeout=0.05)
+        # message log cleared: nothing to replay
+        with pytest.raises(ReplayGapError):
+            tr.replay_fetch(0, 1, 0, 0)
+
+    def test_reset_restarts_epoch_accounting(self):
+        tr = Transport(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+            else:
+                comm.recv(source=0)
+
+        ParallelJob(2, transport=tr).run(prog)
+        total = tr.message_count()
+        tr.reset()
+        assert tr.resend_count(epoch=True) == 0
+        assert tr.undelivered() == 0
+        # cumulative records survive the reset
+        assert tr.message_count() == total
