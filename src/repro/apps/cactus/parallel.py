@@ -56,6 +56,13 @@ class _RankCactus(CactusSolver):
             self.neighbors[ax] = (grid.rank(tuple(lo)),
                                   grid.rank(tuple(hi)))
 
+    def _rhs(self, state):
+        # One traced region per RHS evaluation, so `repro report` can
+        # split "evolve" into stencil work vs ghost exchange (the
+        # exchange region below nests inside this one).
+        with self.comm.region("rhs"):
+            return super()._rhs(state)
+
     def _extended(self, state):
         # One RHS evaluation's ghost fill = one traced region per rank
         # (inside the "evolve" phase; no barrier, the exchange is the
@@ -248,13 +255,15 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
             with comm.phase("evolve"):
                 solver.step(1)
             if monitor is not None and monitor.due(step_index):
-                monitor.guard_finite(step_index, "cactus.finite",
-                                     solver.gamma, solver.K,
-                                     solver.alpha)
-                h_linf = comm.allreduce(
-                    solver.constraints().hamiltonian_linf, op="max")
-                monitor.check_bounded(step_index, "cactus.constraint",
-                                      h_linf, default_growth=50.0)
+                with comm.phase("diagnostics"):
+                    monitor.guard_finite(step_index, "cactus.finite",
+                                         solver.gamma, solver.K,
+                                         solver.alpha)
+                    h_linf = comm.allreduce(
+                        solver.constraints().hamiltonian_linf, op="max")
+                    monitor.check_bounded(step_index,
+                                          "cactus.constraint",
+                                          h_linf, default_growth=50.0)
 
         runner = OnlineRunner(
             comm, nsteps=nsteps, checkpoint=checkpoint,

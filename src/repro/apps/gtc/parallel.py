@@ -193,24 +193,26 @@ def run_parallel(geometry: TorusGeometry, particles: ParticleArray, *,
                                             comm.rank, comm.size)
                 local.particles = merged
             if monitor is not None and monitor.due(step_index):
-                p = local.particles
-                monitor.guard_finite(step_index, "gtc.finite",
-                                     p.r, p.theta, p.zeta, p.v_par,
-                                     p.mu, p.w)
-                count = comm.allreduce(len(p))
-                monitor.check_conserved(step_index, "gtc.particles",
-                                        float(count),
-                                        default_threshold=0.0)
-                energy = comm.allreduce(
-                    p.kinetic_energy(geometry.b0))
-                # The guiding-center push trades v_par^2 against mu*B,
-                # conserving kinetic energy to rounding (~1e-16/step);
-                # even a single zeroed fast particle shifts the total by
-                # >= its ~1% share, so 1e-6 separates the two regimes by
-                # many orders of magnitude on either side.
-                monitor.check_conserved(step_index, "gtc.energy",
-                                        energy,
-                                        default_threshold=1e-6)
+                with comm.phase("diagnostics"):
+                    p = local.particles
+                    monitor.guard_finite(step_index, "gtc.finite",
+                                         p.r, p.theta, p.zeta, p.v_par,
+                                         p.mu, p.w)
+                    count = comm.allreduce(len(p))
+                    monitor.check_conserved(step_index, "gtc.particles",
+                                            float(count),
+                                            default_threshold=0.0)
+                    energy = comm.allreduce(
+                        p.kinetic_energy(geometry.b0))
+                    # The guiding-center push trades v_par^2 against
+                    # mu*B, conserving kinetic energy to rounding
+                    # (~1e-16/step); even a single zeroed fast particle
+                    # shifts the total by >= its ~1% share, so 1e-6
+                    # separates the two regimes by many orders of
+                    # magnitude on either side.
+                    monitor.check_conserved(step_index, "gtc.energy",
+                                            energy,
+                                            default_threshold=1e-6)
 
         runner = OnlineRunner(
             comm, nsteps=nsteps, checkpoint=checkpoint,

@@ -431,21 +431,27 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                 state.f[(Ellipsis,) + inter] = f_s
                 state.g[(Ellipsis,) + inter] = g_s
             if monitor is not None and monitor.due(step_index):
-                monitor.guard_finite(step_index, "lbmhd.finite",
-                                     state.f, state.g)
-                rho_l, u_l, _ = moments(state.f[(Ellipsis,) + inter],
-                                        state.g[(Ellipsis,) + inter],
-                                        lattice)
-                mass = comm.allreduce(float(rho_l.sum()))
-                monitor.check_conserved(step_index, "lbmhd.mass", mass,
-                                        default_threshold=1e-8)
-                mom = comm.allreduce(
-                    (rho_l * u_l).sum(axis=(1, 2)))
-                for ax, label in enumerate(("x", "y")):
-                    monitor.check_conserved(
-                        step_index, f"lbmhd.momentum.{label}",
-                        float(mom[ax]), default_threshold=1e-8,
-                        scale=mass)
+                # Uniform condition across ranks, so the phase's entry
+                # barrier is collective-safe; labeling the watchdog
+                # reductions keeps them out of the step phases'
+                # attribution in `repro report`.
+                with comm.phase("diagnostics"):
+                    monitor.guard_finite(step_index, "lbmhd.finite",
+                                         state.f, state.g)
+                    rho_l, u_l, _ = moments(
+                        state.f[(Ellipsis,) + inter],
+                        state.g[(Ellipsis,) + inter], lattice)
+                    mass = comm.allreduce(float(rho_l.sum()))
+                    monitor.check_conserved(step_index, "lbmhd.mass",
+                                            mass,
+                                            default_threshold=1e-8)
+                    mom = comm.allreduce(
+                        (rho_l * u_l).sum(axis=(1, 2)))
+                    for ax, label in enumerate(("x", "y")):
+                        monitor.check_conserved(
+                            step_index, f"lbmhd.momentum.{label}",
+                            float(mom[ax]), default_threshold=1e-8,
+                            scale=mass)
 
         runner = OnlineRunner(
             comm, nsteps=nsteps, checkpoint=checkpoint,

@@ -257,20 +257,23 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                 # rotation left the bands orthonormal; check before
                 # _cg_step's orthonormalization repairs any damage
                 # (outer 0 starts from unnormalized random bands).
-                monitor.guard_finite(outer, "paratec.finite", coeff)
-                norms = _dots(comm, coeff, coeff).real
-                monitor.check_absolute(
-                    outer, "paratec.norm",
-                    float(np.max(np.abs(norms - 1.0))),
-                    default_threshold=1e-6)
+                with comm.phase("diagnostics"):
+                    monitor.guard_finite(outer, "paratec.finite", coeff)
+                    norms = _dots(comm, coeff, coeff).real
+                    monitor.check_absolute(
+                        outer, "paratec.norm",
+                        float(np.max(np.abs(norms - 1.0))),
+                        default_threshold=1e-6)
             with comm.phase("cg"):
                 for _ in range(n_inner):
                     coeff = _cg_step(comm, ham, coeff)
+            with comm.phase("rotate"):
                 evals, coeff = _subspace_rotate(comm, ham, coeff)
             if monitor is not None and monitor.due(outer):
-                monitor.check_monotone(outer, "paratec.energy",
-                                       float(evals.sum().real),
-                                       default_slack=1e-9)
+                with comm.phase("diagnostics"):
+                    monitor.check_monotone(outer, "paratec.energy",
+                                           float(evals.sum().real),
+                                           default_slack=1e-9)
 
         runner = OnlineRunner(
             comm, nsteps=n_outer, checkpoint=checkpoint,
@@ -280,7 +283,7 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
             snapshot=snapshot, restore=restore, policy=policy,
             on_shrink=shrink_hook if on_shrink else None)
         runner.run(body)
-        with comm.phase("cg"):
+        with comm.phase("rotate"):
             evals, coeff = _subspace_rotate(comm, ham, coeff)
         return evals, len(fft.my_sphere)
 

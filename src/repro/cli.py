@@ -218,7 +218,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.runner import trace_app
 
     run = trace_app(args.app, steps=args.steps, nprocs=args.nprocs,
-                    outdir=args.out)
+                    outdir=None if args.summary else args.out)
     print(f"{run.app}: {run.nprocs} ranks x {run.steps} steps, "
           f"{run.report['events']} events")
     print()
@@ -226,8 +226,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     vt = run.report["virtual_time"]
     print(f"\nvirtual makespan {vt['makespan']:.6f} s, "
           f"imbalance {vt['imbalance']:.3f}")
+    if args.summary:
+        return 0
     for path in (run.trace_path, run.events_path, run.metrics_path):
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.profile import ProfileError, render_report
+    from .obs.runner import report_app, report_from_files
+
+    try:
+        if args.trace is not None:
+            doc = report_from_files(
+                args.trace, metrics=args.metrics, app=args.app,
+                nprocs=args.nprocs, machine=args.machine,
+                threshold=args.threshold, outdir=args.out)
+            print(render_report(doc))
+            if args.out is not None:
+                print(f"\nwrote {args.out}/report.json")
+            return 0
+        if args.app is None:
+            raise ProfileError(
+                "nothing to profile: name an app (repro report lbmhd) "
+                "or pass a recorded trace (--trace trace.json)")
+        run, doc = report_app(
+            args.app, steps=args.steps, nprocs=args.nprocs,
+            machine=args.machine, threshold=args.threshold,
+            outdir=args.out)
+    except ProfileError as err:
+        print(f"repro report: {err}", file=sys.stderr)
+        return 2
+    print(render_report(doc))
+    print(f"\nwrote {args.out}/trace.json, metrics.json, report.json")
     return 0
 
 
@@ -433,7 +465,35 @@ def main(argv: list[str] | None = None) -> int:
                    help="simulated ranks (default: per-app small config)")
     p.add_argument("--out", default="trace-out",
                    help="output directory (default ./trace-out)")
+    p.add_argument("--summary", action="store_true",
+                   help="print the per-phase table only; write no files")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="cross-rank performance attribution: critical path, "
+             "wait states, measured-vs-modeled roofline join")
+    p.add_argument("app", nargs="?", default=None,
+                   choices=("lbmhd", "cactus", "gtc", "paratec"),
+                   help="run this app traced, then analyze it")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="analyze a recorded trace.json/events.jsonl "
+                        "instead of running an app")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="metrics.json from the same run (supplies app "
+                        "+ nprocs for the model join in --trace mode)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="time steps (paratec: outer CG iterations)")
+    p.add_argument("--nprocs", type=int, default=None,
+                   help="simulated ranks (default: per-app small config)")
+    p.add_argument("--machine", default="ES",
+                   help="platform for the model join (default ES)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="divergence flag threshold on run-share "
+                        "difference (default 0.25)")
+    p.add_argument("--out", default="report-out",
+                   help="output directory (default ./report-out)")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
         "bench",

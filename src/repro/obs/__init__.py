@@ -29,12 +29,24 @@ from .export import (
     write_metrics_json,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    Attribution,
+    CausalGraph,
+    CriticalPath,
+    ProfileError,
+    analyze,
+    build_report,
+    render_report,
+    validate_report,
+)
 from .tracer import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
-    "CAT_CKPT", "CAT_COMM", "CAT_FAULT", "CAT_PHASE", "CAT_REGION",
-    "CAT_SYNC", "Counter", "Gauge", "Histogram", "INSTANT",
-    "MetricsRegistry", "NULL_SPAN", "NULL_TRACER", "NullTracer", "SPAN",
-    "TraceEvent", "Tracer", "chrome_trace", "events_jsonl", "phase_table",
+    "Attribution", "CAT_CKPT", "CAT_COMM", "CAT_FAULT", "CAT_PHASE",
+    "CAT_REGION", "CAT_SYNC", "CausalGraph", "Counter", "CriticalPath",
+    "Gauge", "Histogram", "INSTANT", "MetricsRegistry", "NULL_SPAN",
+    "NULL_TRACER", "NullTracer", "ProfileError", "SPAN", "TraceEvent",
+    "Tracer", "analyze", "build_report", "chrome_trace", "events_jsonl",
+    "phase_table", "render_report", "validate_report",
     "write_chrome_trace", "write_events_jsonl", "write_metrics_json",
 ]

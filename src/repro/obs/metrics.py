@@ -25,6 +25,7 @@ coherent set of instruments.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import TYPE_CHECKING, Any
 
@@ -61,15 +62,31 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution sketch: count, sum, min, max."""
+    """Streaming distribution sketch: count, sum, min, max, percentiles.
 
-    __slots__ = ("count", "total", "min", "max")
+    Percentiles come from a bounded sample buffer with deterministic
+    stride decimation: once :data:`SAMPLE_CAP` samples accumulate,
+    every other one is dropped and the sampling stride doubles — no
+    randomness (reservoir sampling would trip the unseeded-rng lint
+    and break run-to-run determinism), bounded memory, and exact
+    values until the cap is ever reached.  Decimated percentiles are
+    approximations of the full stream.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "stride",
+                 "_seen")
+
+    #: max retained samples before stride decimation kicks in
+    SAMPLE_CAP = 2048
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
+        self.stride = 1
+        self._seen = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -79,16 +96,46 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self._seen % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > self.SAMPLE_CAP:
+                del self.samples[::2]
+                self.stride *= 2
+        self._seen += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile over the retained samples.
+
+        ``None`` when nothing has been observed.
+        """
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        if q <= 0:
+            return ordered[0]
+        rank = math.ceil(q / 100.0 * len(ordered)) - 1
+        return ordered[min(max(rank, 0), len(ordered) - 1)]
+
+    def percentiles(self) -> dict[str, float | None]:
+        """The p50/p95/p99 summary exported into ``metrics.json``."""
+        return {"p50": self.percentile(50), "p95": self.percentile(95),
+                "p99": self.percentile(99)}
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        self.samples.extend(other.samples)
+        self.stride = max(self.stride, other.stride)
+        self._seen += other._seen
+        while len(self.samples) > self.SAMPLE_CAP:
+            del self.samples[::2]
+            self.stride *= 2
 
 
 class MetricsRegistry:
@@ -226,6 +273,41 @@ class MetricsRegistry:
                 self.counter(
                     f"{prefix}.ckpt.loads.rank{rank:05d}").inc(n)
 
+    def ingest_attribution(self, attribution: Any,
+                           prefix: str = "profile") -> None:
+        """Publish a cross-rank attribution's per-phase split.
+
+        ``attribution`` is either an :class:`~repro.obs.profile.
+        Attribution` or a report document produced by
+        :func:`~repro.obs.profile.build_report` (the ``attribution``
+        sub-dict is found automatically).  Per-phase compute / transfer
+        / wait seconds and the run totals land as counters, so chaos
+        and online-recovery runs can state where repair time went in
+        the same ``metrics.json`` namespace as everything else.
+        """
+        if isinstance(attribution, dict):
+            attr = attribution.get("attribution", attribution)
+            phases = [(p["name"], p["compute_s"], p["comm_s"],
+                       p["wait_s"]) for p in attr["phases"]]
+            totals = (attr["compute_s"], attr["comm_s"], attr["wait_s"])
+        else:
+            phases = [(p.name, p.compute_s, p.comm_s, p.wait_s)
+                      for p in attribution.phases]
+            totals = (attribution.compute_s, attribution.comm_s,
+                      attribution.wait_s)
+        # clamp at zero: attribution is an exact partition up to float
+        # rounding, and counters reject negative increments
+        for (name, compute, comm, wait) in phases:
+            self.counter(f"{prefix}.phase.{name}.compute_s").inc(
+                max(compute, 0.0))
+            self.counter(f"{prefix}.phase.{name}.comm_s").inc(
+                max(comm, 0.0))
+            self.counter(f"{prefix}.phase.{name}.wait_s").inc(
+                max(wait, 0.0))
+        self.counter(f"{prefix}.total.compute_s").inc(max(totals[0], 0.0))
+        self.counter(f"{prefix}.total.comm_s").inc(max(totals[1], 0.0))
+        self.counter(f"{prefix}.total.wait_s").inc(max(totals[2], 0.0))
+
     def ingest_profile(self, profile: "AppProfile",
                        prefix: str | None = None) -> None:
         """Publish an app work profile's per-phase constants.
@@ -260,7 +342,9 @@ class MetricsRegistry:
                 k: {"count": h.count, "sum": h.total,
                     "min": h.min if h.count else None,
                     "max": h.max if h.count else None,
-                    "mean": h.mean}
+                    "mean": h.mean,
+                    **h.percentiles(),
+                    "samples": list(h.samples), "stride": h.stride}
                 for k, h in sorted(self._histograms.items())}
             return out
 
@@ -277,6 +361,8 @@ class MetricsRegistry:
             hist.total = float(h["sum"])
             hist.min = float("inf") if h["min"] is None else float(h["min"])
             hist.max = float("-inf") if h["max"] is None else float(h["max"])
+            hist.samples = [float(v) for v in h.get("samples", [])]
+            hist.stride = int(h.get("stride", 1))
         return reg
 
     # -- cross-rank aggregation --------------------------------------------
@@ -313,6 +399,7 @@ class MetricsRegistry:
                 name: {"count": h.count, "sum": h.total,
                        "min": h.min if h.count else None,
                        "max": h.max if h.count else None,
-                       "mean": h.mean}
+                       "mean": h.mean,
+                       **h.percentiles()}
                 for name, h in sorted(histograms.items())},
         }

@@ -19,6 +19,7 @@ the report can state measured load imbalance.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -226,3 +227,104 @@ def trace_app(app: str, *, steps: int | None = None,
         run.events_path = write_events_jsonl(out / "events.jsonl", tracer)
         run.metrics_path = write_metrics_json(out / "metrics.json", report)
     return run
+
+
+def model_profile(app: str, nprocs: int):
+    """The :class:`~repro.perf.work.AppProfile` for the configuration
+    :func:`trace_app` runs — the model-side half of the measured-vs-
+    modeled join.  Kept next to the ``_run_*`` runners so the two
+    cannot drift apart.
+    """
+    if app == "lbmhd":
+        from ..apps.lbmhd.profile import LBMHDConfig, build_profile
+        return build_profile(LBMHDConfig(16, nprocs))
+    if app == "cactus":
+        from ..apps.cactus.profile import CactusConfig, build_profile
+        return build_profile(CactusConfig((8, 4, 4), nprocs))
+    if app == "gtc":
+        from ..apps.gtc.profile import GTCConfig, build_profile
+        return build_profile(GTCConfig(10, nprocs))
+    if app == "paratec":
+        from ..apps.paratec.profile import ParatecConfig, build_profile
+        return build_profile(ParatecConfig(432, nprocs))
+    raise ValueError(
+        f"unknown app {app!r}; choose from {', '.join(APPS)}")
+
+
+def report_app(app: str, *, steps: int | None = None,
+               nprocs: int | None = None, machine: str = "ES",
+               threshold: float | None = None,
+               outdir: str | Path | None = ".",
+               ) -> tuple[TraceRun, dict[str, Any]]:
+    """Run ``app`` traced, then profile it: the ``repro report`` path.
+
+    Writes the usual trace/events/metrics files plus ``report.json``
+    when ``outdir`` is given; returns the run and the report document.
+    """
+    from .profile import DEFAULT_THRESHOLD, build_report
+
+    run = trace_app(app, steps=steps, nprocs=nprocs, outdir=outdir)
+    doc = build_report(
+        run.tracer, app=app, nprocs=run.nprocs,
+        profile=model_profile(app, run.nprocs), machine=machine,
+        threshold=DEFAULT_THRESHOLD if threshold is None else threshold)
+    # Publish the attribution as run-level metrics so metrics.json
+    # answers "where did the time go" without re-parsing the trace.
+    prof = MetricsRegistry()
+    prof.ingest_attribution(doc)
+    agg = run.report["aggregate"]
+    agg["counters"] = dict(sorted(
+        {**agg["counters"], **prof.to_dict()["counters"]}.items()))
+    if outdir is not None:
+        run.metrics_path = write_metrics_json(
+            Path(outdir) / "metrics.json", run.report)
+        path = Path(outdir) / "report.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return run, doc
+
+
+def report_from_files(trace: str | Path, *,
+                      metrics: str | Path | None = None,
+                      app: str | None = None, nprocs: int | None = None,
+                      machine: str = "ES",
+                      threshold: float | None = None,
+                      outdir: str | Path | None = None) -> dict[str, Any]:
+    """Profile a previously recorded trace: the offline report path.
+
+    The (app, nprocs) context for the model join comes from ``app``/
+    ``nprocs`` or from a ``metrics.json`` written by :func:`trace_app`;
+    without either the report still carries attribution, wait states
+    and the critical path, just no model comparison.
+    """
+    from .profile import DEFAULT_THRESHOLD, ProfileError, build_report
+
+    if metrics is not None:
+        mpath = Path(metrics)
+        if not mpath.exists():
+            raise ProfileError(f"metrics file not found: {mpath}")
+        try:
+            mdoc = json.loads(mpath.read_text())
+        except json.JSONDecodeError as err:
+            raise ProfileError(
+                f"{mpath} is not valid JSON: {err}") from err
+        if not isinstance(mdoc, dict):
+            raise ProfileError(f"{mpath} is not a metrics.json document")
+        app = app if app is not None else mdoc.get("app")
+        nprocs = nprocs if nprocs is not None else mdoc.get("nprocs")
+    profile = None
+    if app is not None:
+        if app not in _RUNNERS:
+            raise ProfileError(
+                f"unknown app {app!r}; choose from {', '.join(APPS)}")
+        if nprocs is not None:
+            profile = model_profile(app, int(nprocs))
+    doc = build_report(
+        trace, app=app, nprocs=int(nprocs) if nprocs is not None else None,
+        profile=profile, machine=machine,
+        threshold=DEFAULT_THRESHOLD if threshold is None else threshold)
+    if outdir is not None:
+        out = Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "report.json").write_text(
+            json.dumps(doc, indent=2, sort_keys=True))
+    return doc

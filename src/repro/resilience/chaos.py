@@ -264,6 +264,16 @@ def kill_plan(*, kill_rank: int, kill_step: int, nprocs: int) -> FaultPlan:
     return FaultPlan(kill_rank=kill_rank, kill_step=kill_step)
 
 
+def _traced_transport(nprocs: int) -> Transport:
+    """A kill-pass transport with a tracer attached, so the repair
+    window is observable and :func:`_kill_verify` can attribute it."""
+    from ..obs.tracer import Tracer
+
+    transport = Transport(nprocs)
+    transport.tracer = Tracer(nprocs)
+    return transport
+
+
 def _kill_verify(app: str, transport: Transport, ckpt: Checkpointer,
                  injector: FaultInjector, *, kill_rank: int,
                  shrink: bool) -> dict:
@@ -294,6 +304,19 @@ def _kill_verify(app: str, transport: Transport, ckpt: Checkpointer,
                 f"rolled-back set {rec.rolled_back}")
     reg = MetricsRegistry()
     reg.ingest_repairs(transport, ckpt)
+    # With the tracer attached (every kill pass does), fold in the
+    # cross-rank attribution so the metrics dump states where the
+    # faulted run's time went — repair shows up as wait/(between-
+    # phases) time next to the repair_seconds histogram above.
+    if transport.tracer.enabled and len(transport.tracer):
+        from ..obs.profile import ProfileError, analyze
+
+        try:
+            _, attribution, _ = analyze(transport.tracer)
+        except ProfileError:
+            pass                  # span-free trace: nothing to attribute
+        else:
+            reg.ingest_attribution(attribution)
     return reg.to_dict()
 
 
@@ -308,7 +331,7 @@ def _kill_lbmhd(ckdir: str, kill_rank: int, kill_step: int,
     plan = kill_plan(kill_rank=kill_rank, kill_step=kill_step,
                      nprocs=nprocs)
     injector = FaultInjector(plan)
-    transport = Transport(nprocs)
+    transport = _traced_transport(nprocs)
     ckpt = Checkpointer(ckdir)
     faulted = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
                            transport=transport, injector=injector,
@@ -342,7 +365,7 @@ def _kill_cactus(ckdir: str, kill_rank: int, kill_step: int,
     injector = FaultInjector(kill_plan(kill_rank=kill_rank,
                                        kill_step=kill_step,
                                        nprocs=nprocs))
-    transport = Transport(nprocs)
+    transport = _traced_transport(nprocs)
     ckpt = Checkpointer(ckdir)
     faulted = run_parallel(g, K, a, **kw, transport=transport,
                            injector=injector, checkpoint=ckpt,
@@ -375,7 +398,7 @@ def _kill_gtc(ckdir: str, kill_rank: int, kill_step: int,
     injector = FaultInjector(kill_plan(kill_rank=kill_rank,
                                        kill_step=kill_step,
                                        nprocs=nprocs))
-    transport = Transport(nprocs)
+    transport = _traced_transport(nprocs)
     ckpt = Checkpointer(ckdir)
     faulted = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps,
                            transport=transport, injector=injector,
@@ -413,7 +436,7 @@ def _kill_paratec(ckdir: str, kill_rank: int, kill_step: int,
     injector = FaultInjector(kill_plan(kill_rank=kill_rank,
                                        kill_step=kill_step,
                                        nprocs=nprocs))
-    transport = Transport(nprocs)
+    transport = _traced_transport(nprocs)
     ckpt = Checkpointer(ckdir)
     faulted = solve_bands_parallel(cell, 4.0, 4, **kw,
                                    transport=transport,

@@ -137,3 +137,64 @@ class TestBridges:
         assert reg.gauge("lbmhd.model.collision.flops").value > 0
         assert reg.gauge("lbmhd.model.comm.halo.bytes").value > 0
         assert reg.gauge("lbmhd.model.reported_flops").value > 0
+
+
+class TestPercentiles:
+    def test_known_values(self):
+        h = Histogram()
+        for v in range(1, 101):       # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+        assert h.percentiles() == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+    def test_empty_is_none(self):
+        h = Histogram()
+        assert h.percentile(50) is None
+        assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_decimation_is_deterministic_and_bounded(self):
+        a, b = Histogram(), Histogram()
+        for v in range(10 * Histogram.SAMPLE_CAP):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.samples == b.samples
+        assert len(a.samples) <= Histogram.SAMPLE_CAP
+        assert a.stride > 1
+        # the sketch still tracks the distribution
+        assert a.percentile(50) == pytest.approx(
+            10 * Histogram.SAMPLE_CAP / 2, rel=0.05)
+
+    def test_merge_combines_samples(self):
+        a, b = Histogram(), Histogram()
+        for v in range(100):
+            a.observe(float(v))          # 0..99
+            b.observe(float(v) + 1000)   # 1000..1099
+        a.merge(b)
+        assert a.count == 200
+        assert a.percentile(50) == pytest.approx(99, abs=5)
+        assert a.percentile(99) == pytest.approx(1098, abs=5)
+
+    def test_serialization_round_trips_percentiles(self):
+        reg = MetricsRegistry(rank=0)
+        h = reg.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        doc = reg.to_dict()
+        assert doc["histograms"]["lat"]["p50"] == 3.0
+        assert doc["histograms"]["lat"]["p99"] == 100.0
+        back = MetricsRegistry.from_dict(doc)
+        assert back.to_dict() == doc
+
+    def test_ingest_attribution_from_report_doc(self):
+        reg = MetricsRegistry()
+        reg.ingest_attribution({"attribution": {
+            "compute_s": 2.0, "comm_s": 1.0, "wait_s": 0.5,
+            "phases": [{"name": "halo", "compute_s": 0.0,
+                        "comm_s": 1.0, "wait_s": 0.5}],
+        }})
+        assert reg.counter("profile.total.compute_s").value == 2.0
+        assert reg.counter("profile.phase.halo.comm_s").value == 1.0
+        assert reg.counter("profile.phase.halo.wait_s").value == 0.5

@@ -1,0 +1,109 @@
+"""End-to-end ``repro report`` over the four applications.
+
+Every app is run at a tiny configuration with tracing on, profiled, and
+the resulting report document is checked against the acceptance
+criteria: exact attribution (compute + comm + wait within 1% of the
+total traced time), a non-empty critical-path rank sequence, and a
+model join that covers every traced phase.  A second same-seed run must
+produce a structurally identical report (phase names, call counts,
+comm-matching counts, model fractions) — timings are wall-clock and are
+deliberately excluded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.profile import validate_report
+from repro.obs.runner import APPS, report_app
+
+_SMALL = {
+    "lbmhd": dict(nprocs=2, steps=2),
+    "cactus": dict(nprocs=2, steps=2),
+    "gtc": dict(nprocs=2, steps=2),
+    "paratec": dict(nprocs=2, steps=1),
+}
+
+
+@pytest.fixture(scope="module")
+def reports(tmp_path_factory):
+    out = {}
+    for app in APPS:
+        outdir = tmp_path_factory.mktemp(f"report-{app}")
+        run, doc = report_app(app, outdir=outdir, **_SMALL[app])
+        out[app] = (run, doc, outdir)
+    return out
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestReportPerApp:
+    def test_attribution_sums_to_total(self, reports, app):
+        _, doc, _ = reports[app]
+        attr = doc["attribution"]
+        total = doc["total_traced_s"]
+        assert total > 0
+        parts = attr["compute_s"] + attr["comm_s"] + attr["wait_s"]
+        assert parts == pytest.approx(total, rel=0.01)
+
+    def test_wait_fractions_bounded(self, reports, app):
+        _, doc, _ = reports[app]
+        fracs = doc["wait_states"]["fractions"]
+        assert all(v >= 0 for v in fracs.values())
+        assert sum(fracs.values()) <= 1.0 + 1e-9
+
+    def test_critical_path_nonempty(self, reports, app):
+        _, doc, _ = reports[app]
+        cp = doc["critical_path"]
+        assert cp["rank_sequence"]
+        assert cp["length_s"] > 0
+        assert cp["segments"]
+
+    def test_join_covers_every_traced_phase(self, reports, app):
+        _, doc, _ = reports[app]
+        joined = {row["phase"] for row in doc["model_join"]["phases"]}
+        traced = {p["name"] for p in doc["attribution"]["phases"]}
+        assert traced <= joined
+        for row in doc["model_join"]["phases"]:
+            assert "diverged" in row
+
+    def test_report_json_written_and_valid(self, reports, app):
+        _, doc, outdir = reports[app]
+        path = outdir / "report.json"
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        validate_report(loaded)
+        assert loaded == doc
+
+    def test_metrics_carry_attribution(self, reports, app):
+        run, _, _ = reports[app]
+        counters = run.report["aggregate"]["counters"]
+        profile_keys = [k for k in counters if k.startswith("profile.")]
+        assert "profile.total.compute_s" in profile_keys
+        assert counters["profile.total.compute_s"] > 0
+
+
+def _structure(doc):
+    """The deterministic skeleton of a report: everything but timings."""
+    return {
+        "app": doc["app"],
+        "nprocs": doc["nprocs"],
+        # attribution orders phases by measured time, which is wall
+        # clock — sort by name before comparing runs
+        "phases": sorted((p["name"], p["calls"])
+                         for p in doc["attribution"]["phases"]),
+        "comm": doc["comm_matching"],
+        # model_frac is None for unmapped phases
+        "join": sorted((r["phase"], r["mapped"],
+                        None if r["model_frac"] is None
+                        else round(r["model_frac"], 12))
+                       for r in doc["model_join"]["phases"]),
+    }
+
+
+@pytest.mark.parametrize("app", ["lbmhd", "gtc"])
+def test_report_structurally_deterministic(app):
+    _, doc_a = report_app(app, outdir=None, **_SMALL[app])
+    _, doc_b = report_app(app, outdir=None, **_SMALL[app])
+    assert _structure(doc_a) == _structure(doc_b)

@@ -170,3 +170,56 @@ class TestAnalyzeCLI:
         (tmp_path / "empty.py").write_text("x = 1\n")
         assert main(["analyze", str(tmp_path / "empty.py"), "--trace",
                      str(tmp_path / "tr" / "trace.json")]) == 0
+
+
+class TestReportCLI:
+    def test_report_run_and_analyze(self, capsys, tmp_path):
+        out = str(tmp_path / "rep")
+        assert main(["report", "lbmhd", "--steps", "2", "--nprocs", "2",
+                     "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "performance attribution" in text
+        assert "critical path" in text
+        assert "measured vs modeled" in text
+        import json
+        doc = json.loads((tmp_path / "rep" / "report.json").read_text())
+        from repro.obs.profile import validate_report
+        validate_report(doc)
+        assert doc["app"] == "lbmhd"
+
+    def test_report_offline_from_trace(self, capsys, tmp_path):
+        out = str(tmp_path / "tr")
+        assert main(["trace", "lbmhd", "--steps", "2", "--nprocs", "2",
+                     "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", f"{out}/trace.json",
+                     "--metrics", f"{out}/metrics.json"]) == 0
+        text = capsys.readouterr().out
+        assert "performance attribution" in text
+        assert "measured vs modeled" in text
+
+    def test_report_spanfree_trace_is_typed_error(self, capsys, tmp_path):
+        import json
+        trace = tmp_path / "empty.json"
+        trace.write_text(json.dumps({"traceEvents": [
+            {"ph": "i", "pid": 0, "tid": 0, "ts": 0.0, "name": "mark",
+             "cat": "phase", "s": "t"}]}))
+        assert main(["report", "--trace", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "repro report:" in err
+        assert "no span events" in err
+        assert "Traceback" not in err
+
+    def test_report_without_app_or_trace_is_typed_error(self, capsys):
+        assert main(["report"]) == 2
+        assert "repro report:" in capsys.readouterr().err
+
+    def test_trace_summary_writes_nothing(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "lbmhd", "--steps", "2", "--nprocs", "2",
+                     "--summary"]) == 0
+        text = capsys.readouterr().out
+        assert "phase:collision" in text
+        assert "wrote" not in text
+        assert list(tmp_path.iterdir()) == []
