@@ -15,6 +15,10 @@ reproducibility story depends on:
   hot paths reintroduces exactly the memory traffic PR 4 removed.
 * ``tracer-guard`` — instrumented hot loops must gate tracer calls on
   ``tracer.enabled`` so the disabled path allocates nothing.
+* ``constant-backoff`` — retry loops must not sleep a constant (or
+  constant arithmetic): simultaneous retriers re-collide every round.
+  Backoff belongs to ``RecoveryPolicy.backoff`` (seeded decorrelated
+  jitter).
 """
 
 from __future__ import annotations
@@ -312,6 +316,66 @@ class TracerGuardRule(LintRule):
         return False
 
 
+@register
+class ConstantBackoffRule(LintRule):
+    name = "constant-backoff"
+    severity = "warning"
+    description = ("retry loop sleeps a constant/deterministic delay "
+                   "instead of seeded jittered backoff")
+    hint = ("use RecoveryPolicy(seed=...).backoff(attempt): constant "
+            "delays make every failed rank retry in lockstep "
+            "(retry storms); decorrelated jitter spreads them out")
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        sleep_names = {"time.sleep"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_names.add(alias.asname or "sleep")
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            # a retry loop: the body catches exceptions to go around
+            # again; plain polling/pacing loops are not flagged
+            if not any(isinstance(n, ast.Try) for n in ast.walk(loop)):
+                continue
+            for call in ast.walk(loop):
+                if not isinstance(call, ast.Call) or not call.args:
+                    continue
+                if dotted_name(call.func) not in sleep_names:
+                    continue
+                if self._deterministic(call.args[0]):
+                    yield self.finding(
+                        call, f"retry loop sleeps `{_snippet(call)}` "
+                              f"— constant backoff, retriers collide "
+                              f"every round")
+
+    def _deterministic(self, node: ast.AST) -> bool:
+        """Literal delays and pure arithmetic over them (``0.1``,
+        ``2 ** attempt``, ``BASE * (n + 1)``): no jitter source at
+        all.  A Name or Call operand is given the benefit of the
+        doubt — jitter usually arrives through one."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float))
+        if isinstance(node, ast.UnaryOp):
+            return self._deterministic(node.operand)
+        if isinstance(node, ast.BinOp):
+            return (self._either_constant(node.left, node.right)
+                    and self._no_call(node))
+        return False
+
+    @staticmethod
+    def _either_constant(*nodes: ast.AST) -> bool:
+        return any(isinstance(n, ast.Constant) for n in nodes)
+
+    @staticmethod
+    def _no_call(node: ast.AST) -> bool:
+        return not any(isinstance(n, ast.Call) for n in ast.walk(node))
+
+
 #: rule names of the core lint set (excludes the comm checker's rules)
 CORE_RULES = ("wall-clock", "unseeded-rng", "bare-assert",
-              "mutable-default", "hidden-copy", "tracer-guard")
+              "mutable-default", "hidden-copy", "tracer-guard",
+              "constant-backoff")

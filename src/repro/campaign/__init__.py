@@ -1,0 +1,54 @@
+"""Fault-tolerant campaign engine: DAG experiment workflows.
+
+The paper's results are a matrix of (app × machine × concurrency) runs;
+this package turns those matrices from ad-hoc scripts into reproducible,
+restartable pipelines:
+
+* :mod:`~repro.campaign.spec` — a small YAML/JSON spec expresses a
+  parameter sweep (matrix expansion) plus explicit steps with
+  dependencies, and canonicalizes each step's config into a content
+  hash;
+* :mod:`~repro.campaign.dag` — the dependency DAG (validation, topo
+  order, descendant propagation);
+* :mod:`~repro.campaign.store` — a content-addressed result store that
+  memoizes step outputs by config hash, making re-runs no-ops;
+* :mod:`~repro.campaign.journal` — a crash-safe append-only journal
+  (atomic append + fsync, same discipline as the checkpointer) that
+  lets a SIGKILL'd campaign resume exactly its incomplete steps;
+* :mod:`~repro.campaign.pool` — a worker pool with per-step wall-clock
+  timeouts, seeded decorrelated-jitter retry/backoff (reusing
+  :meth:`~repro.resilience.supervisor.RecoveryPolicy.backoff`), and the
+  transient/persistent/fatal taxonomy from
+  :mod:`repro.resilience.failures`;
+* :mod:`~repro.campaign.engine` / :mod:`~repro.campaign.report` — the
+  ``repro campaign run|status|resume`` entry points and the
+  deterministic campaign report (byte-identical across interrupted and
+  uninterrupted runs of the same spec).
+"""
+
+from .dag import DAGError, StepDAG
+from .engine import CampaignResult, load_campaign_dir, run_campaign
+from .journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalError,
+    replay_journal,
+    validate_journal,
+)
+from .report import (
+    CAMPAIGN_SCHEMA,
+    build_campaign_doc,
+    render_campaign,
+    validate_campaign,
+)
+from .spec import CampaignSpec, SpecError, StepSpec, config_hash
+from .store import ResultStore, canonical_json
+
+__all__ = [
+    "CAMPAIGN_SCHEMA", "CampaignResult", "CampaignSpec", "DAGError",
+    "JOURNAL_SCHEMA", "Journal", "JournalError", "ResultStore",
+    "SpecError", "StepDAG", "StepSpec", "build_campaign_doc",
+    "canonical_json", "config_hash", "load_campaign_dir",
+    "render_campaign", "replay_journal", "run_campaign",
+    "validate_campaign", "validate_journal",
+]

@@ -1,0 +1,86 @@
+"""Dependency DAG over campaign steps: validation and scheduling order.
+
+The DAG is small and explicit: nodes are step ids, edges point from a
+dependency to its dependents.  Validation runs Kahn's algorithm once at
+construction — a cycle is a spec error, found before anything executes.
+The pool asks two questions at runtime: *which steps are ready* (every
+dependency succeeded) and *which descendants must be skipped* when a
+step fails for good.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .spec import SpecError, StepSpec
+
+
+class DAGError(SpecError):
+    """The step graph is not a DAG (cycle) or references unknown ids."""
+
+
+class StepDAG:
+    """Validated dependency graph over a list of :class:`StepSpec`."""
+
+    def __init__(self, steps: Iterable[StepSpec]):
+        self.steps: dict[str, StepSpec] = {}
+        for s in steps:
+            if s.id in self.steps:
+                raise DAGError(f"duplicate step id {s.id!r}")
+            self.steps[s.id] = s
+        self.dependents: dict[str, list[str]] = {i: []
+                                                 for i in self.steps}
+        for s in self.steps.values():
+            for dep in s.after:
+                if dep not in self.steps:
+                    raise DAGError(
+                        f"step {s.id!r}: unknown dependency {dep!r}")
+                self.dependents[dep].append(s.id)
+        self.topo_order = self._toposort()
+
+    def _toposort(self) -> list[str]:
+        indeg = {i: len(s.after) for i, s in self.steps.items()}
+        # deterministic order: ready steps are visited in id order
+        ready = sorted(i for i, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            changed = False
+            for dep in sorted(self.dependents[node]):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+                    changed = True
+            if changed:
+                ready.sort()
+        if len(order) != len(self.steps):
+            cyclic = sorted(i for i, d in indeg.items() if d > 0)
+            raise DAGError(f"dependency cycle among {cyclic}")
+        return order
+
+    def ready(self, done: set[str], blocked: set[str],
+              in_flight: set[str]) -> list[str]:
+        """Steps whose every dependency is in ``done``, excluding steps
+        already finished, blocked, or running (deterministic id order).
+        """
+        out = []
+        for step_id in self.topo_order:
+            if step_id in done or step_id in blocked \
+                    or step_id in in_flight:
+                continue
+            if all(dep in done for dep in self.steps[step_id].after):
+                out.append(step_id)
+        return out
+
+    def descendants(self, step_id: str) -> set[str]:
+        """Every transitive dependent of ``step_id``."""
+        out: set[str] = set()
+        frontier = list(self.dependents[step_id])
+        while frontier:
+            node = frontier.pop()
+            if node in out:
+                continue
+            out.add(node)
+            frontier.extend(self.dependents[node])
+        return out

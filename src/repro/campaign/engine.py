@@ -1,0 +1,256 @@
+"""Campaign engine: run / resume a campaign directory end to end.
+
+A campaign directory is self-describing::
+
+    <outdir>/
+      spec.json        # canonical spec snapshot (resume needs no spec file)
+      journal.jsonl    # append-only progress journal (crash-safe)
+      store/           # content-addressed step results
+      work/            # per-attempt scratch directories
+      report/
+        campaign.json  # canonical report (byte-identical across resume)
+        campaign.txt   # human-readable rendering
+        metrics.json   # execution texture: timings, retries, cache hits
+
+Resume is *store-driven*: a step whose config hash is present in the
+store is already done, whatever the journal says; the journal supplies
+the guard rails (same spec hash, what was in flight, attempt counts)
+and the audit trail.  ``run`` on an existing directory therefore *is*
+resume — ``repro campaign resume`` merely insists the directory already
+exists and the journal opened, so a typo'd path fails loudly instead
+of silently starting a fresh campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..obs.metrics import MetricsRegistry
+from ..resilience.failures import (
+    EXIT_CONFIG,
+    EXIT_OK,
+    EXIT_PARTIAL,
+)
+from ..runtime.atomic_io import atomic_write_text
+from .dag import StepDAG
+from .journal import Journal, JournalError, replay_journal
+from .pool import CampaignPool, PoolOutcome
+from .report import build_campaign_doc, campaign_json, render_campaign
+from .spec import CampaignSpec, SpecError, load_spec
+from .store import ResultStore, canonical_json
+
+SPEC_SNAPSHOT = "spec.json"
+JOURNAL_FILE = "journal.jsonl"
+REPORT_JSON = "report/campaign.json"
+REPORT_TEXT = "report/campaign.txt"
+METRICS_JSON = "report/metrics.json"
+
+
+class CampaignError(RuntimeError):
+    """The campaign directory cannot be (re)used as asked."""
+
+
+@dataclass
+class CampaignResult:
+    """What one ``run_campaign`` call produced."""
+
+    name: str
+    status: str                       # "ok" | "partial" | "fatal"
+    outdir: Path
+    outcome: PoolOutcome
+    resumed: bool = False
+    #: journal-visible sessions after this run (1 = never interrupted)
+    sessions: int = 1
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        if self.status == "ok":
+            return EXIT_OK
+        if self.status == "fatal":
+            return EXIT_CONFIG
+        return EXIT_PARTIAL
+
+    @property
+    def report_path(self) -> Path:
+        return self.outdir / REPORT_JSON
+
+    @property
+    def journal_path(self) -> Path:
+        return self.outdir / JOURNAL_FILE
+
+
+def _load_snapshot(path: Path) -> CampaignSpec:
+    import json
+
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(
+            f"unreadable spec snapshot {path}: {exc}") from exc
+    return CampaignSpec.from_doc(doc)
+
+
+def _resolve_spec(spec: CampaignSpec | str | Path,
+                  outdir: Path, resume: bool) -> CampaignSpec:
+    snapshot = outdir / SPEC_SNAPSHOT
+    if isinstance(spec, (str, Path)):
+        spec = load_spec(spec)
+    elif spec is None:
+        if not snapshot.exists():
+            raise CampaignError(
+                f"{outdir} has no {SPEC_SNAPSHOT}; pass a spec file")
+        spec = _load_snapshot(snapshot)
+    if snapshot.exists():
+        prior = _load_snapshot(snapshot)
+        if prior.spec_hash != spec.spec_hash:
+            raise CampaignError(
+                f"campaign directory {outdir} belongs to a different "
+                f"spec ({prior.spec_hash[:12]} != "
+                f"{spec.spec_hash[:12]}); use a fresh directory")
+    else:
+        if resume:
+            raise CampaignError(
+                f"nothing to resume: {outdir} has no {SPEC_SNAPSHOT}")
+        atomic_write_text(snapshot,
+                          canonical_json(spec.to_doc()) + "\n")
+    return spec
+
+
+def run_campaign(spec: CampaignSpec | str | Path | None,
+                 outdir: str | Path, *,
+                 resume: bool = False,
+                 workers: int | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 backoff_base: float = 0.02,
+                 backoff_max: float = 1.0,
+                 sync: bool = True,
+                 echo: Callable[[str], None] | None = None
+                 ) -> CampaignResult:
+    """Run (or resume) a campaign into ``outdir``.
+
+    ``spec`` may be a parsed :class:`CampaignSpec`, a path to a spec
+    file, or ``None`` to reuse the directory's snapshot (how
+    ``campaign resume`` works).  Never raises for step failures —
+    those degrade the status; raises :class:`CampaignError` /
+    :class:`SpecError` only when nothing can be run at all.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    spec = _resolve_spec(spec, outdir, resume)
+    if workers is not None:
+        spec.workers = max(1, int(workers))
+
+    journal_path = outdir / JOURNAL_FILE
+    state = replay_journal(journal_path)
+    if resume and state.records == 0:
+        raise CampaignError(
+            f"nothing to resume: {journal_path} has no records")
+    if state.spec_hash is not None \
+            and state.spec_hash != spec.spec_hash:
+        raise JournalError(
+            f"journal {journal_path} was written by a different spec")
+    resumed = state.records > 0
+
+    store = ResultStore(outdir / "store")
+    registry = metrics if metrics is not None else MetricsRegistry()
+    if resumed:
+        registry.counter("campaign.resumes").inc()
+
+    with Journal(journal_path, sync=sync) as journal:
+        journal.campaign_start(
+            campaign=spec.name, spec_hash=spec.spec_hash,
+            nsteps=len(spec.steps), seed=spec.seed, resumed=resumed)
+        dag = StepDAG(spec.steps)
+        pool = CampaignPool(spec, dag, store, journal,
+                            metrics=registry,
+                            backoff_base=backoff_base,
+                            backoff_max=backoff_max, echo=echo)
+        outcome = pool.run(outdir)
+        journal.campaign_end(outcome.status, outcome.counts())
+
+    doc = build_campaign_doc(spec, outcome, store)
+    report_dir = outdir / "report"
+    report_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(outdir / REPORT_JSON, campaign_json(doc))
+    atomic_write_text(outdir / REPORT_TEXT,
+                      render_campaign(doc, outcome))
+    metrics_doc = {
+        "campaign": spec.name,
+        "status": doc["status"],
+        "resumed": resumed,
+        "executed": outcome.executed,
+        "cache_hits": outcome.cache_hits,
+        "retries": outcome.retries,
+        "timeouts": outcome.timeouts,
+        "instruments": registry.to_dict(),
+    }
+    atomic_write_text(outdir / METRICS_JSON,
+                      canonical_json(metrics_doc) + "\n")
+
+    return CampaignResult(
+        name=spec.name, status=doc["status"], outdir=outdir,
+        outcome=outcome, resumed=resumed,
+        sessions=state.sessions + 1, metrics=metrics_doc)
+
+
+def load_campaign_dir(outdir: str | Path) -> dict:
+    """Status snapshot of a campaign directory (for ``campaign
+    status``): spec identity, journal progress, store occupancy.
+    Read-only; safe to call while a run is in flight.
+    """
+    import json
+
+    outdir = Path(outdir)
+    snapshot = outdir / SPEC_SNAPSHOT
+    if not snapshot.exists():
+        raise CampaignError(
+            f"{outdir} is not a campaign directory "
+            f"(no {SPEC_SNAPSHOT})")
+    spec = _load_snapshot(snapshot)
+    state = replay_journal(outdir / JOURNAL_FILE)
+    store_dir = outdir / "store"
+    cached = len(ResultStore(store_dir, clean=False)) \
+        if store_dir.exists() else 0
+    counts = {"ok": 0, "cached": 0, "failed": 0, "skipped": 0}
+    for status in state.finished.values():
+        counts[status] = counts.get(status, 0) + 1
+    doc = {
+        "campaign": spec.name,
+        "spec_hash": spec.spec_hash,
+        "nsteps": len(spec.steps),
+        "finished": counts,
+        "in_flight": state.in_flight,
+        "incomplete": sorted(
+            s.id for s in spec.steps
+            if s.id not in state.finished
+            or state.finished[s.id] == "failed"),
+        "end_status": state.end_status,
+        "sessions": state.sessions,
+        "torn_tail": state.torn_tail,
+        "store_entries": cached,
+    }
+    report_path = outdir / REPORT_JSON
+    if report_path.exists():
+        try:
+            report = json.loads(report_path.read_text(encoding="utf-8"))
+            doc["report_status"] = report.get("status")
+        except (OSError, json.JSONDecodeError):
+            doc["report_status"] = "unreadable"
+    return doc
+
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "JOURNAL_FILE",
+    "METRICS_JSON",
+    "REPORT_JSON",
+    "REPORT_TEXT",
+    "SPEC_SNAPSHOT",
+    "SpecError",
+    "load_campaign_dir",
+    "run_campaign",
+]

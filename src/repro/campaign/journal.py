@@ -1,0 +1,248 @@
+"""Append-only campaign journal: crash-safe progress record.
+
+One JSON record per line, written through
+:class:`~repro.runtime.atomic_io.AppendLog` (flush + fsync per record),
+so everything acknowledged before a SIGKILL is replayable afterwards
+and at most the final line can be torn.  Replay treats an unparseable
+*last* line as "the crash ate it" and an unparseable interior line as
+corruption (:class:`JournalError`) — fsync ordering guarantees interior
+lines were durable, so a bad one means the file was damaged, not torn.
+
+Record types (all carry ``t`` and the schema version rides the opening
+record)::
+
+    {"t": "campaign-start", "schema": ..., "campaign", "spec_hash",
+     "nsteps", "seed", "resumed": bool}
+    {"t": "step-start",  "id", "attempt", "key"}
+    {"t": "step-retry",  "id", "attempt", "class", "reason",
+     "backoff_s"}
+    {"t": "step-end",    "id", "attempt", "status", "key",
+     "class"?, "error"?}        # status: ok|cached|failed|skipped
+    {"t": "campaign-end", "status", "counts"}
+
+The journal is *not* the source of truth for step outputs — the
+content-addressed store is.  The journal answers "what was in flight",
+"how many attempts", "what failed and why", and guards resume against
+running a different spec into an existing campaign directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime.atomic_io import AppendLog, read_lines
+
+JOURNAL_SCHEMA = "repro.campaign.journal/1"
+
+#: legal record types and their required fields
+_REQUIRED = {
+    "campaign-start": ("schema", "campaign", "spec_hash", "nsteps",
+                       "seed", "resumed"),
+    "step-start": ("id", "attempt", "key"),
+    "step-retry": ("id", "attempt", "class", "reason", "backoff_s"),
+    "step-end": ("id", "attempt", "status", "key"),
+    "campaign-end": ("status", "counts"),
+}
+
+_END_STATUSES = ("ok", "cached", "failed", "skipped")
+
+
+class JournalError(RuntimeError):
+    """The journal is structurally damaged (not merely torn at the end)."""
+
+
+class Journal:
+    """Writer handle for one campaign's journal file."""
+
+    def __init__(self, path: str | Path, *, sync: bool = True):
+        self.path = Path(path)
+        self._log = AppendLog(self.path, sync=sync)
+
+    def record(self, rtype: str, **fields) -> dict:
+        if rtype not in _REQUIRED:
+            raise ValueError(f"unknown journal record type {rtype!r}")
+        missing = [f for f in _REQUIRED[rtype] if f not in fields]
+        if missing:
+            raise ValueError(
+                f"journal record {rtype!r} missing fields {missing}")
+        rec = {"t": rtype, **fields}
+        self._log.append(json.dumps(rec, sort_keys=True))
+        return rec
+
+    def campaign_start(self, *, campaign: str, spec_hash: str,
+                       nsteps: int, seed: int, resumed: bool) -> None:
+        self.record("campaign-start", schema=JOURNAL_SCHEMA,
+                    campaign=campaign, spec_hash=spec_hash,
+                    nsteps=nsteps, seed=seed, resumed=resumed)
+
+    def step_start(self, step_id: str, attempt: int, key: str) -> None:
+        self.record("step-start", id=step_id, attempt=attempt, key=key)
+
+    def step_retry(self, step_id: str, attempt: int, cls: str,
+                   reason: str, backoff_s: float) -> None:
+        self.record("step-retry", id=step_id, attempt=attempt,
+                    **{"class": cls}, reason=reason,
+                    backoff_s=round(backoff_s, 6))
+
+    def step_end(self, step_id: str, attempt: int, status: str,
+                 key: str, *, cls: str | None = None,
+                 error: str | None = None) -> None:
+        if status not in _END_STATUSES:
+            raise ValueError(f"bad step-end status {status!r}")
+        extra = {}
+        if cls is not None:
+            extra["class"] = cls
+        if error is not None:
+            extra["error"] = error
+        self.record("step-end", id=step_id, attempt=attempt,
+                    status=status, key=key, **extra)
+
+    def campaign_end(self, status: str, counts: dict) -> None:
+        self.record("campaign-end", status=status, counts=counts)
+
+    def close(self) -> None:
+        self._log.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Everything replay recovers from a (possibly interrupted) journal."""
+
+    campaign: str | None = None
+    spec_hash: str | None = None
+    nsteps: int = 0
+    seed: int = 0
+    #: final status per finished step id ("ok"|"cached"|"failed"|"skipped")
+    finished: dict[str, str] = field(default_factory=dict)
+    #: failure class per failed step
+    failure_class: dict[str, str] = field(default_factory=dict)
+    #: executed attempts seen per step id
+    attempts: dict[str, int] = field(default_factory=dict)
+    #: retries recorded per step id
+    retries: dict[str, int] = field(default_factory=dict)
+    #: steps with a step-start but no matching step-end (in flight at
+    #: the crash — exactly what resume must re-execute)
+    in_flight: list[str] = field(default_factory=list)
+    #: campaign-end status, if the run completed
+    end_status: str | None = None
+    #: number of campaign-start records (1 + resumes)
+    sessions: int = 0
+    #: True when the final line was torn (discarded)
+    torn_tail: bool = False
+    records: int = 0
+
+
+def replay_journal(path: str | Path) -> JournalState:
+    """Rebuild campaign progress from the journal.
+
+    Raises :class:`JournalError` for structural damage; a torn final
+    line is tolerated and flagged (``torn_tail``).
+    """
+    path = Path(path)
+    state = JournalState()
+    if not path.exists():
+        return state
+    lines = read_lines(path)
+    open_steps: dict[str, int] = {}
+    for n, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if n == len(lines) - 1:
+                state.torn_tail = True
+                break
+            raise JournalError(
+                f"{path}:{n + 1}: unreadable journal record "
+                f"({exc})") from exc
+        if not isinstance(rec, dict) or "t" not in rec:
+            raise JournalError(f"{path}:{n + 1}: not a journal record")
+        state.records += 1
+        rtype = rec["t"]
+        if rtype == "campaign-start":
+            if state.sessions == 0:
+                state.campaign = rec.get("campaign")
+                state.spec_hash = rec.get("spec_hash")
+                state.nsteps = int(rec.get("nsteps", 0))
+                state.seed = int(rec.get("seed", 0))
+            elif rec.get("spec_hash") != state.spec_hash:
+                raise JournalError(
+                    f"{path}:{n + 1}: resume with a different spec "
+                    f"({rec.get('spec_hash')} != {state.spec_hash})")
+            state.sessions += 1
+            state.end_status = None
+            open_steps.clear()
+        elif rtype == "step-start":
+            sid = rec["id"]
+            open_steps[sid] = rec.get("attempt", 0)
+            state.attempts[sid] = state.attempts.get(sid, 0) + 1
+        elif rtype == "step-retry":
+            sid = rec["id"]
+            state.retries[sid] = state.retries.get(sid, 0) + 1
+        elif rtype == "step-end":
+            sid = rec["id"]
+            open_steps.pop(sid, None)
+            state.finished[sid] = rec["status"]
+            if rec["status"] == "failed" and "class" in rec:
+                state.failure_class[sid] = rec["class"]
+        elif rtype == "campaign-end":
+            state.end_status = rec.get("status")
+        else:
+            raise JournalError(
+                f"{path}:{n + 1}: unknown record type {rtype!r}")
+    state.in_flight = sorted(open_steps)
+    return state
+
+
+def validate_journal(path: str | Path) -> list[str]:
+    """Schema check for CI: every record well-formed, fields present,
+    statuses legal, opening record first.  Returns human-readable
+    problems (empty = valid); a torn final line is *not* a problem.
+    """
+    path = Path(path)
+    problems: list[str] = []
+    if not path.exists():
+        return [f"journal missing: {path}"]
+    lines = read_lines(path)
+    if not lines:
+        return [f"journal empty: {path}"]
+    for n, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if n == len(lines) - 1:
+                continue                      # torn tail: acceptable
+            problems.append(f"line {n + 1}: unreadable record")
+            continue
+        if not isinstance(rec, dict):
+            problems.append(f"line {n + 1}: record is not an object")
+            continue
+        rtype = rec.get("t")
+        if rtype not in _REQUIRED:
+            problems.append(f"line {n + 1}: unknown type {rtype!r}")
+            continue
+        missing = [f for f in _REQUIRED[rtype] if f not in rec]
+        if missing:
+            problems.append(
+                f"line {n + 1}: {rtype} missing fields {missing}")
+        if n == 0:
+            if rtype != "campaign-start":
+                problems.append(
+                    "line 1: journal must open with campaign-start")
+            elif rec.get("schema") != JOURNAL_SCHEMA:
+                problems.append(
+                    f"line 1: schema {rec.get('schema')!r} != "
+                    f"{JOURNAL_SCHEMA!r}")
+        if rtype == "step-end" \
+                and rec.get("status") not in _END_STATUSES:
+            problems.append(
+                f"line {n + 1}: bad step-end status "
+                f"{rec.get('status')!r}")
+    return problems

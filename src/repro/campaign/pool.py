@@ -1,0 +1,393 @@
+"""Retrying worker pool: schedules ready DAG steps onto worker threads.
+
+Scheduling discipline (one scheduler thread, N workers):
+
+* a step becomes *ready* when every dependency succeeded; ready steps
+  dispatch in deterministic id order onto fresh daemon worker threads,
+  at most ``workers`` live at once;
+* before dispatch the content-addressed store is consulted — a hit is
+  a **cache hit**: the step completes instantly as ``cached`` (this is
+  also the whole resume path: a re-run of a finished campaign is a
+  sequence of no-ops);
+* every running attempt carries a wall-clock deadline; the scheduler
+  wakes for the earliest deadline, sets the attempt's cancel event and
+  classifies the failure as a *transient* timeout.  A worker that
+  honors the cancel returns its slot; one that doesn't is abandoned
+  (its late result is recognized stale and dropped);
+* failures classify transient / persistent / fatal via
+  :mod:`repro.resilience.failures`.  Transient failures retry up to
+  ``max_retries`` with seeded decorrelated-jitter backoff
+  (:meth:`~repro.resilience.supervisor.RecoveryPolicy.backoff` — the
+  same schedule the job supervisor uses, seeded per step so a sweep's
+  simultaneous retries decorrelate); persistent failures abandon the
+  step and *skip* its descendants; a fatal failure (broken spec) stops
+  scheduling and skips everything unfinished;
+* every decision is journaled before it takes effect, so a SIGKILL at
+  any point leaves a replayable record.
+
+The pool never raises for step failures — it degrades to a ``partial``
+(or ``fatal``) outcome the report layer renders; one poisoned config
+must not abort the sweep.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..obs.metrics import MetricsRegistry
+from ..resilience.failures import (
+    FATAL,
+    PERSISTENT,
+    TRANSIENT,
+    StepTimeoutError,
+    classify_failure,
+)
+from ..resilience.supervisor import RecoveryPolicy
+from .dag import StepDAG
+from .journal import Journal
+from .spec import CampaignSpec
+from .steps import StepContext, StepOutcome, execute
+from .store import ResultStore
+
+#: terminal step statuses
+_DONE = ("ok", "cached")
+_BLOCKED = ("failed", "skipped")
+
+
+@dataclass
+class StepRecord:
+    """Terminal state of one step after the pool ran."""
+
+    id: str
+    kind: str
+    key: str
+    status: str = "pending"
+    attempts: int = 0
+    retries: int = 0
+    failure_class: str | None = None
+    error: str | None = None
+    duration_s: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in _DONE
+
+
+@dataclass
+class _Running:
+    attempt: int
+    deadline: float
+    cancel: threading.Event
+    started: float
+    timed_out: bool = False
+
+
+@dataclass
+class PoolOutcome:
+    """What one pool run produced (consumed by the report layer)."""
+
+    status: str                          # "ok" | "partial" | "fatal"
+    steps: dict[str, StepRecord]
+    retries: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def counts(self) -> dict[str, int]:
+        out = {"ok": 0, "cached": 0, "failed": 0, "skipped": 0}
+        for rec in self.steps.values():
+            out[rec.status] = out.get(rec.status, 0) + 1
+        return out
+
+
+class CampaignPool:
+    """Run one campaign's DAG to completion (or graceful degradation)."""
+
+    def __init__(self, spec: CampaignSpec, dag: StepDAG,
+                 store: ResultStore, journal: Journal, *,
+                 metrics: MetricsRegistry | None = None,
+                 backoff_base: float = 0.02, backoff_max: float = 1.0,
+                 echo: Callable[[str], None] | None = None):
+        self.spec = spec
+        self.dag = dag
+        self.store = store
+        self.journal = journal
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.echo = echo or (lambda line: None)
+        self.workers = max(1, spec.workers)
+        self._q: queue.Queue = queue.Queue()
+        self._policies: dict[str, RecoveryPolicy] = {}
+        self._fatal = False
+
+    # -- seeded per-step backoff ----------------------------------------------
+    def _policy(self, step_id: str) -> RecoveryPolicy:
+        policy = self._policies.get(step_id)
+        if policy is None:
+            seed = self.spec.seed ^ zlib.crc32(step_id.encode("utf-8"))
+            policy = RecoveryPolicy(
+                seed=seed, backoff_base=self.backoff_base,
+                backoff_max=self.backoff_max)
+            self._policies[step_id] = policy
+        return policy
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, out_root: str | Path) -> PoolOutcome:
+        out_root = Path(out_root)
+        records = {sid: StepRecord(id=sid, kind=s.kind, key=s.key)
+                   for sid, s in self.dag.steps.items()}
+        running: dict[str, _Running] = {}
+        not_before: dict[str, float] = {}
+        outcome = PoolOutcome(status="ok", steps=records)
+
+        def finished(rec: StepRecord) -> bool:
+            return rec.status in _DONE or rec.status in _BLOCKED
+
+        while True:
+            done = {sid for sid, r in records.items() if r.succeeded}
+            blocked = {sid for sid, r in records.items()
+                       if r.status in _BLOCKED}
+            if all(finished(r) for r in records.values()) \
+                    and not running:
+                break
+            # -- dispatch ready steps up to the worker limit --------------
+            now = time.monotonic()
+            progressed = False
+            for sid in self.dag.ready(done, blocked, set(running)):
+                if self._fatal:
+                    break
+                if not_before.get(sid, 0.0) > now:
+                    continue
+                rec = records[sid]
+                if self.store.has(rec.key):
+                    # cache hits need no worker slot and may unlock
+                    # dependents: finish them inline, rescan after.
+                    self._complete_cached(rec, outcome)
+                    progressed = True
+                    continue
+                if len(running) >= self.workers:
+                    continue
+                self._dispatch(sid, rec, records, running, out_root)
+            if self._fatal:
+                self._drain_fatal(records, running, outcome)
+                continue
+            if progressed:
+                continue
+            if not running:
+                pending = [sid for sid, r in records.items()
+                           if not finished(r)]
+                if not pending:
+                    continue
+                waiting = [sid for sid in pending if sid in not_before]
+                if waiting:
+                    pause = min(not_before[sid] for sid in waiting) \
+                        - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                    continue
+                # Only reachable if ready() can never surface them —
+                # a scheduling bug, not a user error.  Skip rather
+                # than spin forever.
+                for sid in pending:
+                    self._skip(records[sid], "unschedulable")
+                continue
+            # -- wait for a completion or the earliest deadline -----------
+            deadline = min(r.deadline for r in running.values())
+            budget = [deadline]
+            budget.extend(t for sid, t in not_before.items()
+                          if not finished(records[sid]))
+            wait_s = max(min(budget) - time.monotonic(), 0.001)
+            try:
+                sid, attempt, payload = self._q.get(timeout=wait_s)
+            except queue.Empty:
+                self._expire_timeouts(records, running, not_before,
+                                      outcome)
+                continue
+            run_info = running.get(sid)
+            if run_info is None or run_info.attempt != attempt \
+                    or run_info.timed_out:
+                continue                     # stale (timed-out) result
+            del running[sid]
+            duration = time.monotonic() - run_info.started
+            rec = records[sid]
+            if isinstance(payload, StepOutcome):
+                self._complete_ok(rec, payload, duration, outcome)
+            else:
+                self._fail_attempt(rec, payload, duration, records,
+                                   not_before, outcome)
+
+        outcome.status = self._final_status(records)
+        return outcome
+
+    # -- transitions ----------------------------------------------------------
+    def _dispatch(self, sid: str, rec: StepRecord,
+                  records: dict[str, StepRecord],
+                  running: dict[str, _Running],
+                  out_root: Path) -> None:
+        spec_step = self.dag.steps[sid]
+        attempt = rec.attempts
+        rec.attempts += 1
+        workdir = out_root / "work" / sid / f"attempt-{attempt}"
+        workdir.mkdir(parents=True, exist_ok=True)
+        dep_results: dict[str, dict | None] = {}
+        for dep in spec_step.after:
+            dep_key = records[dep].key
+            try:
+                dep_results[dep] = self.store.get(dep_key)["result"]
+            except Exception:
+                dep_results[dep] = None
+        cancel = threading.Event()
+        ctx = StepContext(step=spec_step, attempt=attempt,
+                          workdir=workdir, store=self.store,
+                          seed=self.spec.seed, cancel=cancel,
+                          dep_results=dep_results)
+        self.journal.step_start(sid, attempt, rec.key)
+        self.echo(f"run   {sid} (attempt {attempt})")
+
+        def work() -> None:
+            try:
+                result = execute(ctx)
+            except BaseException as exc:   # classified by the scheduler
+                self._q.put((sid, attempt, exc))
+                return
+            self._q.put((sid, attempt, result))
+
+        thread = threading.Thread(
+            target=work, name=f"campaign-{sid}-a{attempt}", daemon=True)
+        running[sid] = _Running(
+            attempt=attempt,
+            deadline=time.monotonic() + spec_step.timeout_s,
+            cancel=cancel, started=time.monotonic())
+        thread.start()
+
+    def _complete_cached(self, rec: StepRecord,
+                         outcome: PoolOutcome) -> None:
+        rec.status = "cached"
+        outcome.cache_hits += 1
+        self.metrics.counter("campaign.cache.hits").inc()
+        self.metrics.counter("campaign.steps.cached").inc()
+        self.journal.step_end(rec.id, 0, "cached", rec.key)
+        self.echo(f"cache {rec.id}")
+
+    def _complete_ok(self, rec: StepRecord, result: StepOutcome,
+                     duration: float, outcome: PoolOutcome) -> None:
+        spec_step = self.dag.steps[rec.id]
+        artifacts = {name: Path(p)
+                     for name, p in result.artifacts.items()
+                     if p is not None}
+        self.store.put(rec.key, kind=spec_step.kind,
+                       config=spec_step.config, result=result.result,
+                       artifacts=artifacts)
+        rec.status = "ok"
+        rec.duration_s = duration
+        outcome.executed += 1
+        self.metrics.counter("campaign.cache.misses").inc()
+        self.metrics.counter("campaign.steps.ok").inc()
+        self.metrics.histogram("campaign.step_seconds").observe(duration)
+        self.journal.step_end(rec.id, rec.attempts - 1, "ok", rec.key)
+        self.echo(f"ok    {rec.id} ({duration:.2f}s)")
+
+    def _fail_attempt(self, rec: StepRecord, exc: BaseException,
+                      duration: float, records: dict[str, StepRecord],
+                      not_before: dict[str, float],
+                      outcome: PoolOutcome) -> None:
+        cls = classify_failure(exc)
+        attempt = rec.attempts - 1
+        timed_out = isinstance(exc, StepTimeoutError)
+        if timed_out:
+            outcome.timeouts += 1
+            self.metrics.counter("campaign.timeouts").inc()
+        self.metrics.histogram("campaign.step_seconds").observe(duration)
+        spec_step = self.dag.steps[rec.id]
+        if cls == TRANSIENT and attempt < spec_step.max_retries:
+            pause = self._policy(rec.id).backoff(attempt)
+            outcome.retries += 1
+            rec.retries += 1
+            self.metrics.counter("campaign.retries").inc()
+            self.metrics.histogram("campaign.backoff_s").observe(pause)
+            self.journal.step_retry(rec.id, attempt, cls,
+                                    type(exc).__name__, pause)
+            not_before[rec.id] = time.monotonic() + pause
+            self.echo(f"retry {rec.id} in {pause:.3f}s ({exc})")
+            return
+        self._fail_final(rec, cls, str(exc), records, outcome)
+
+    def _fail_final(self, rec: StepRecord, cls: str, error: str,
+                    records: dict[str, StepRecord],
+                    outcome: PoolOutcome) -> None:
+        rec.status = "failed"
+        rec.failure_class = cls
+        rec.error = error
+        outcome.executed += 1
+        self.metrics.counter("campaign.steps.failed").inc()
+        self.metrics.counter(f"campaign.failures.{cls}").inc()
+        self.journal.step_end(rec.id, max(rec.attempts - 1, 0),
+                              "failed", rec.key, cls=cls, error=error)
+        self.echo(f"fail  {rec.id} [{cls}] {error}")
+        if cls == FATAL:
+            self._fatal = True
+            return
+        for desc in sorted(self.dag.descendants(rec.id)):
+            desc_rec = records[desc]
+            if desc_rec.status == "pending":
+                self._skip(desc_rec,
+                           f"dependency {rec.id} failed ({cls})")
+
+    def _skip(self, rec: StepRecord, reason: str) -> None:
+        rec.status = "skipped"
+        rec.error = reason
+        self.metrics.counter("campaign.steps.skipped").inc()
+        self.journal.step_end(rec.id, 0, "skipped", rec.key,
+                              error=reason)
+        self.echo(f"skip  {rec.id} ({reason})")
+
+    def _expire_timeouts(self, records: dict[str, StepRecord],
+                         running: dict[str, _Running],
+                         not_before: dict[str, float],
+                         outcome: PoolOutcome) -> None:
+        now = time.monotonic()
+        for sid in sorted(running):
+            info = running[sid]
+            if info.deadline > now or info.timed_out:
+                continue
+            info.cancel.set()
+            info.timed_out = True
+            del running[sid]
+            exc = StepTimeoutError(
+                f"step {sid} exceeded its wall-clock budget "
+                f"{self.dag.steps[sid].timeout_s}s")
+            self._fail_attempt(records[sid], exc, now - info.started,
+                               records, not_before, outcome)
+
+    def _drain_fatal(self, records: dict[str, StepRecord],
+                     running: dict[str, _Running],
+                     outcome: PoolOutcome) -> None:
+        """A fatal failure: cancel in-flight work, skip the rest."""
+        for info in running.values():
+            info.cancel.set()
+            info.timed_out = True
+        running.clear()
+        for sid in self.dag.topo_order:
+            rec = records[sid]
+            if rec.status == "pending":
+                self._skip(rec, "campaign aborted by fatal failure")
+
+    @staticmethod
+    def _final_status(records: dict[str, StepRecord]) -> str:
+        if any(r.failure_class == FATAL for r in records.values()):
+            return "fatal"
+        if all(r.succeeded for r in records.values()):
+            return "ok"
+        return "partial"
+
+
+#: re-exported for the report layer's class names
+FAILURE_CLASSES = (TRANSIENT, PERSISTENT, FATAL)

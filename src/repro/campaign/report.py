@@ -1,0 +1,149 @@
+"""Campaign report: canonical JSON document + human-readable rendering.
+
+The JSON report is **canonical**: it contains only deterministic facts
+(step ids, config hashes, final statuses, failure classes, result
+payloads from the content-addressed store) and none of the execution
+texture (timings, attempt counts, which steps were cache hits).  A
+``cached`` step collapses to ``ok`` — a memoized success *is* a
+success.  Consequence: a campaign that was SIGKILLed and resumed
+produces a byte-identical ``campaign.json`` to one that ran straight
+through, which is the property the kill-resume test pins.  Timing and
+retry detail live in the journal and ``metrics.json`` instead.
+"""
+
+from __future__ import annotations
+
+from .pool import PoolOutcome, StepRecord
+from .spec import CampaignSpec
+from .store import ResultStore, StoreError, canonical_json
+
+CAMPAIGN_SCHEMA = "repro.campaign.report/1"
+
+_REPORT_STATUSES = ("ok", "failed", "skipped")
+
+
+def build_campaign_doc(spec: CampaignSpec, outcome: PoolOutcome,
+                       store: ResultStore) -> dict:
+    """The canonical campaign report document."""
+    steps = []
+    for sid in sorted(outcome.steps):
+        rec: StepRecord = outcome.steps[sid]
+        status = "ok" if rec.status == "cached" else rec.status
+        entry: dict = {
+            "id": rec.id,
+            "kind": rec.kind,
+            "key": rec.key,
+            "status": status,
+        }
+        if status == "ok":
+            try:
+                entry["result"] = store.get(rec.key)["result"]
+            except StoreError as exc:
+                entry["status"] = "failed"
+                entry["class"] = "persistent"
+                entry["error"] = f"store entry lost: {exc}"
+        elif status == "failed":
+            entry["class"] = rec.failure_class
+            entry["error"] = rec.error
+        elif status == "skipped":
+            entry["error"] = rec.error
+        steps.append(entry)
+    counts = {"ok": 0, "failed": 0, "skipped": 0}
+    for entry in steps:
+        counts[entry["status"]] += 1
+    status = outcome.status
+    if status == "ok" and counts["failed"] + counts["skipped"]:
+        status = "partial"
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "campaign": spec.name,
+        "spec_hash": spec.spec_hash,
+        "seed": spec.seed,
+        "status": status,
+        "counts": counts,
+        "steps": steps,
+    }
+
+
+def campaign_json(doc: dict) -> str:
+    """Serialize the report document to its canonical byte form."""
+    return canonical_json(doc) + "\n"
+
+
+def validate_campaign(doc: dict) -> list[str]:
+    """Schema check; returns human-readable problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["report is not an object"]
+    if doc.get("schema") != CAMPAIGN_SCHEMA:
+        problems.append(
+            f"schema {doc.get('schema')!r} != {CAMPAIGN_SCHEMA!r}")
+    for fieldname in ("campaign", "spec_hash", "status", "counts",
+                      "steps"):
+        if fieldname not in doc:
+            problems.append(f"missing field {fieldname!r}")
+    if doc.get("status") not in ("ok", "partial", "fatal"):
+        problems.append(f"bad campaign status {doc.get('status')!r}")
+    steps = doc.get("steps")
+    if not isinstance(steps, list):
+        return problems + ["steps is not a list"]
+    seen: set[str] = set()
+    for n, entry in enumerate(steps):
+        if not isinstance(entry, dict):
+            problems.append(f"step[{n}]: not an object")
+            continue
+        sid = entry.get("id")
+        if not isinstance(sid, str) or not sid:
+            problems.append(f"step[{n}]: missing id")
+        elif sid in seen:
+            problems.append(f"step[{n}]: duplicate id {sid!r}")
+        else:
+            seen.add(sid)
+        if entry.get("status") not in _REPORT_STATUSES:
+            problems.append(
+                f"step[{n}]: bad status {entry.get('status')!r}")
+        if entry.get("status") == "failed" and "class" not in entry:
+            problems.append(f"step[{n}]: failed without a class")
+    counts = doc.get("counts")
+    if isinstance(counts, dict) and isinstance(steps, list):
+        tally = {"ok": 0, "failed": 0, "skipped": 0}
+        for entry in steps:
+            if isinstance(entry, dict) \
+                    and entry.get("status") in tally:
+                tally[entry["status"]] += 1
+        if {k: counts.get(k, 0) for k in tally} != tally:
+            problems.append(f"counts {counts} do not match steps")
+    return problems
+
+
+def render_campaign(doc: dict, outcome: PoolOutcome | None = None) -> str:
+    """Human-readable campaign summary (not canonical — may include
+    execution texture when the live ``outcome`` is available)."""
+    lines = [
+        f"campaign : {doc.get('campaign')}",
+        f"status   : {doc.get('status')}",
+        f"spec     : {str(doc.get('spec_hash'))[:16]}",
+    ]
+    counts = doc.get("counts", {})
+    lines.append("steps    : "
+                 + "  ".join(f"{k}={counts.get(k, 0)}"
+                             for k in ("ok", "failed", "skipped")))
+    if outcome is not None:
+        lines.append(f"executed : {outcome.executed}  "
+                     f"cache-hits={outcome.cache_hits}  "
+                     f"retries={outcome.retries}  "
+                     f"timeouts={outcome.timeouts}")
+    lines.append("")
+    width = max((len(e.get("id", "")) for e in doc.get("steps", [])),
+                default=4)
+    for entry in doc.get("steps", []):
+        sid = entry.get("id", "?")
+        status = entry.get("status", "?")
+        tail = ""
+        if status == "failed":
+            tail = f"  [{entry.get('class')}] {entry.get('error', '')}"
+        elif status == "skipped":
+            tail = f"  ({entry.get('error', '')})"
+        lines.append(f"  {sid:<{width}}  {status:<7}{tail}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,468 @@
+"""Campaign specs: sweep matrices, explicit steps, canonical hashing.
+
+A spec is a YAML (or JSON) document::
+
+    campaign: lbmhd-scaling
+    seed: 2004
+    defaults:
+      timeout_s: 120
+      max_retries: 2
+    matrix:                     # one step per cartesian combination
+      - kind: trace
+        app: [lbmhd, cactus]
+        nprocs: [2, 4]
+        steps: 2
+    steps:                      # explicit steps, referenced by id
+      - id: roundup
+        kind: summary
+        after: ["trace-*"]     # globs match expanded matrix ids
+
+Matrix entries expand over every key whose value is a list (the sweep
+axes); scalar keys are shared.  Expanded ids are deterministic:
+``<kind>-<app>-<axis><value>...`` in axis order.  ``after`` accepts
+exact ids and ``fnmatch`` globs over them.
+
+**Canonical config hash.**  Each step's identity in the result store is
+:func:`config_hash` over ``{"kind", "config"}`` — canonical JSON
+(sorted keys, minimal separators), SHA-256.  Execution-policy fields
+(``timeout_s``, ``max_retries``, ``after``, ``inject``, the id itself)
+are *excluded*: they change how a step is driven, not what it computes,
+so tightening a timeout or adding a retry does not invalidate cached
+results.
+
+YAML parsing uses PyYAML when available and otherwise falls back to a
+small built-in subset parser (nested maps, block and inline lists,
+scalars, comments) sufficient for campaign specs — the engine must not
+grow a hard dependency the container may lack.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from .store import canonical_json, sha256_hex
+
+#: spec keys that steer execution rather than define the computation
+_POLICY_KEYS = ("id", "after", "timeout_s", "max_retries", "inject")
+
+#: defaults applied when neither the step nor the spec sets them
+DEFAULT_TIMEOUT_S = 300.0
+DEFAULT_MAX_RETRIES = 2
+
+
+class SpecError(ValueError):
+    """The campaign spec is malformed (fatal: nothing can be run)."""
+
+
+def config_hash(kind: str, config: dict) -> str:
+    """Content hash of one step's computation (kind + canonical config)."""
+    return sha256_hex(canonical_json({"kind": kind, "config": config}))
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One schedulable step of a campaign."""
+
+    id: str
+    kind: str
+    config: dict = field(default_factory=dict)
+    after: tuple[str, ...] = ()
+    timeout_s: float = DEFAULT_TIMEOUT_S
+    max_retries: int = DEFAULT_MAX_RETRIES
+    #: test/chaos-only failure injection, applied by the pool *before*
+    #: the executor runs: {"transient": N} fails the first N attempts,
+    #: {"persistent": true} fails every attempt, {"fatal": true} aborts
+    #: the campaign, {"hang": true} blocks until the timeout cancels it
+    inject: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return config_hash(self.kind, self.config)
+
+
+@dataclass
+class CampaignSpec:
+    """A parsed, expanded, validated campaign."""
+
+    name: str
+    steps: list[StepSpec]
+    seed: int = 0
+    workers: int = 2
+    source: dict = field(default_factory=dict)
+
+    @property
+    def spec_hash(self) -> str:
+        """Identity of the whole campaign: name + every step's id, kind,
+        canonical config and dependency edges (policy fields included —
+        two campaigns that retry differently are different campaigns,
+        even though their *steps* share cache entries)."""
+        doc = {
+            "name": self.name,
+            "seed": self.seed,
+            "steps": [{
+                "id": s.id, "kind": s.kind, "config": s.config,
+                "after": sorted(s.after), "timeout_s": s.timeout_s,
+                "max_retries": s.max_retries, "inject": s.inject,
+            } for s in sorted(self.steps, key=lambda s: s.id)],
+        }
+        return sha256_hex(canonical_json(doc))
+
+    def step(self, step_id: str) -> StepSpec:
+        for s in self.steps:
+            if s.id == step_id:
+                return s
+        raise KeyError(step_id)
+
+    def to_doc(self) -> dict:
+        """Canonical snapshot persisted into the campaign directory so
+        ``resume`` never needs the original spec file."""
+        return {
+            "campaign": self.name,
+            "seed": self.seed,
+            "workers": self.workers,
+            "spec_hash": self.spec_hash,
+            "steps": [{
+                "id": s.id, "kind": s.kind, "config": s.config,
+                "after": list(s.after), "timeout_s": s.timeout_s,
+                "max_retries": s.max_retries, "inject": s.inject,
+            } for s in self.steps],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "CampaignSpec":
+        steps = [StepSpec(
+            id=d["id"], kind=d["kind"], config=dict(d.get("config", {})),
+            after=tuple(d.get("after", ())),
+            timeout_s=float(d.get("timeout_s", DEFAULT_TIMEOUT_S)),
+            max_retries=int(d.get("max_retries", DEFAULT_MAX_RETRIES)),
+            inject=dict(d.get("inject", {})),
+        ) for d in doc.get("steps", [])]
+        spec = cls(name=str(doc.get("campaign", "campaign")),
+                   steps=steps, seed=int(doc.get("seed", 0)),
+                   workers=int(doc.get("workers", 2)), source=doc)
+        _validate(spec)
+        return spec
+
+
+# -- loading ------------------------------------------------------------------
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Parse and expand a spec file (YAML or JSON by extension)."""
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file not found: {path}")
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".json":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{path} is not valid JSON: {exc}") from exc
+    else:
+        raw = load_yaml(text, name=str(path))
+    if not isinstance(raw, dict):
+        raise SpecError(f"{path}: spec root must be a mapping")
+    return parse_spec(raw)
+
+
+def parse_spec(raw: dict) -> CampaignSpec:
+    """Expand matrices, apply defaults, resolve globs, validate."""
+    name = raw.get("campaign")
+    if not isinstance(name, str) or not name:
+        raise SpecError("spec needs a non-empty `campaign:` name")
+    defaults = raw.get("defaults", {}) or {}
+    if not isinstance(defaults, dict):
+        raise SpecError("`defaults:` must be a mapping")
+    steps: list[StepSpec] = []
+    for entry in _as_list(raw.get("matrix"), "matrix"):
+        steps.extend(_expand_matrix_entry(entry, defaults))
+    for entry in _as_list(raw.get("steps"), "steps"):
+        steps.append(_parse_step(entry, defaults))
+    if not steps:
+        raise SpecError("spec defines no steps")
+    steps = _resolve_afters(steps)
+    spec = CampaignSpec(
+        name=name, steps=steps, seed=int(raw.get("seed", 0)),
+        workers=int(raw.get("workers", 2)), source=raw)
+    _validate(spec)
+    return spec
+
+
+def _as_list(value, label: str) -> list:
+    if value is None:
+        return []
+    if not isinstance(value, list):
+        raise SpecError(f"`{label}:` must be a list")
+    return value
+
+
+def _expand_matrix_entry(entry: dict, defaults: dict) -> list[StepSpec]:
+    if not isinstance(entry, dict):
+        raise SpecError("matrix entries must be mappings")
+    if "kind" not in entry:
+        raise SpecError("matrix entry missing `kind:`")
+    axes = [(k, v) for k, v in entry.items()
+            if isinstance(v, list) and k not in ("after",)]
+    scalars = {k: v for k, v in entry.items()
+               if not (isinstance(v, list) and k not in ("after",))}
+    out = []
+    for combo in itertools.product(*(v for _, v in axes)) if axes \
+            else [()]:
+        cfg = dict(scalars)
+        cfg.update({k: val for (k, _), val in zip(axes, combo)})
+        parts = [str(cfg["kind"])]
+        for (k, _), val in zip(axes, combo):
+            parts.append(str(val) if k == "app" else f"{k}{val}")
+        cfg.setdefault("id", "-".join(parts))
+        out.append(_parse_step(cfg, defaults))
+    return out
+
+
+def _parse_step(entry: dict, defaults: dict) -> StepSpec:
+    if not isinstance(entry, dict):
+        raise SpecError("step entries must be mappings")
+    kind = entry.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise SpecError(f"step {entry.get('id', '?')!r} missing `kind:`")
+    step_id = entry.get("id") or kind
+    after = entry.get("after", ())
+    if isinstance(after, str):
+        after = (after,)
+    config = {k: v for k, v in entry.items()
+              if k not in _POLICY_KEYS and k != "kind"}
+    return StepSpec(
+        id=str(step_id), kind=kind, config=config,
+        after=tuple(str(a) for a in after),
+        timeout_s=float(entry.get(
+            "timeout_s", defaults.get("timeout_s", DEFAULT_TIMEOUT_S))),
+        max_retries=int(entry.get(
+            "max_retries",
+            defaults.get("max_retries", DEFAULT_MAX_RETRIES))),
+        inject=dict(entry.get("inject", {}) or {}),
+    )
+
+
+def _resolve_afters(steps: list[StepSpec]) -> list[StepSpec]:
+    """Expand glob dependencies against the full id set."""
+    ids = [s.id for s in steps]
+    out = []
+    for s in steps:
+        resolved: list[str] = []
+        for pattern in s.after:
+            if pattern in ids:
+                matches = [pattern]
+            else:
+                matches = [i for i in ids
+                           if i != s.id and fnmatchcase(i, pattern)]
+                if not matches and not _is_glob(pattern):
+                    raise SpecError(
+                        f"step {s.id!r}: unknown dependency {pattern!r}")
+                if not matches:
+                    raise SpecError(
+                        f"step {s.id!r}: dependency glob {pattern!r} "
+                        f"matches nothing")
+            resolved.extend(m for m in matches if m not in resolved)
+        out.append(StepSpec(
+            id=s.id, kind=s.kind, config=s.config,
+            after=tuple(resolved), timeout_s=s.timeout_s,
+            max_retries=s.max_retries, inject=s.inject))
+    return out
+
+
+def _is_glob(pattern: str) -> bool:
+    return any(c in pattern for c in "*?[")
+
+
+def _validate(spec: CampaignSpec) -> None:
+    from .dag import StepDAG  # local import to avoid a cycle
+
+    seen: set[str] = set()
+    for s in spec.steps:
+        if s.id in seen:
+            raise SpecError(f"duplicate step id {s.id!r}")
+        seen.add(s.id)
+        if s.timeout_s <= 0:
+            raise SpecError(f"step {s.id!r}: timeout_s must be > 0")
+        if s.max_retries < 0:
+            raise SpecError(f"step {s.id!r}: max_retries must be >= 0")
+    for s in spec.steps:
+        for dep in s.after:
+            if dep not in seen:
+                raise SpecError(
+                    f"step {s.id!r}: unknown dependency {dep!r}")
+    StepDAG(spec.steps)  # raises DAGError (a SpecError) on cycles
+
+
+# -- YAML subset parser -------------------------------------------------------
+
+def load_yaml(text: str, *, name: str = "<spec>"):
+    """Parse YAML via PyYAML when installed, else the subset parser."""
+    try:
+        import yaml
+    except ImportError:
+        return parse_simple_yaml(text, name=name)
+    try:
+        return yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise SpecError(f"{name} is not valid YAML: {exc}") from exc
+
+
+def _scalar(token: str):
+    token = token.strip()
+    if token.startswith(("'", '"')) and token.endswith(token[0]) \
+            and len(token) >= 2:
+        return token[1:-1]
+    low = token.lower()
+    if low in ("true", "yes"):
+        return True
+    if low in ("false", "no"):
+        return False
+    if low in ("null", "~", ""):
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _inline(token: str):
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_scalar(t) for t in inner.split(",")]
+    if token.startswith("{") and token.endswith("}"):
+        inner = token[1:-1].strip()
+        out = {}
+        if inner:
+            for part in inner.split(","):
+                if ":" not in part:
+                    raise SpecError(
+                        f"bad inline mapping entry {part.strip()!r}")
+                k, _, v = part.partition(":")
+                out[k.strip().strip("'\"")] = _scalar(v)
+        return out
+    return _scalar(token)
+
+
+def parse_simple_yaml(text: str, *, name: str = "<spec>"):
+    """A deliberately small YAML subset: nested block mappings, block
+    sequences (``- item`` / ``- key: value`` mappings), inline
+    ``[a, b]`` lists and ``{k: v}`` maps, plain scalars, ``#``
+    comments.  Enough for campaign specs without a PyYAML dependency;
+    anything outside the subset raises :class:`SpecError` rather than
+    guessing.
+    """
+    lines: list[tuple[int, str]] = []
+    for ln, raw_line in enumerate(text.split("\n"), start=1):
+        stripped = _strip_comment(raw_line)
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        if "\t" in raw_line[:indent + 1]:
+            raise SpecError(f"{name}:{ln}: tabs are not allowed")
+        lines.append((indent, stripped.strip()))
+    value, rest = _parse_block(lines, 0, indent=0, name=name)
+    if rest != len(lines):
+        raise SpecError(f"{name}: trailing unparsed content")
+    return value
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "#":
+            break
+        out.append(ch)
+    return "".join(out).rstrip()
+
+
+def _parse_block(lines, i, *, indent, name):
+    if i >= len(lines):
+        return None, i
+    this_indent = lines[i][0]
+    if this_indent < indent:
+        return None, i
+    if lines[i][1].startswith("- ") or lines[i][1] == "-":
+        return _parse_sequence(lines, i, indent=this_indent, name=name)
+    return _parse_mapping(lines, i, indent=this_indent, name=name)
+
+
+def _parse_sequence(lines, i, *, indent, name):
+    items = []
+    while i < len(lines):
+        ind, content = lines[i]
+        if ind < indent or not (content.startswith("- ")
+                                or content == "-"):
+            break
+        if ind != indent:
+            raise SpecError(f"{name}: inconsistent list indentation")
+        body = content[1:].strip()
+        if not body:                      # item on following lines
+            value, i = _parse_block(lines, i + 1, indent=indent + 1,
+                                    name=name)
+            items.append(value)
+            continue
+        if ":" in body and not body.startswith(("[", "{", "'", '"')):
+            # inline first key of a mapping item: "- kind: trace"
+            synthetic = [(indent + 2, body)]
+            j = i + 1
+            while j < len(lines) and lines[j][0] > indent:
+                synthetic.append(lines[j])
+                j += 1
+            value, used = _parse_mapping(synthetic, 0, indent=indent + 2,
+                                         name=name)
+            if used != len(synthetic):
+                raise SpecError(f"{name}: bad list-item mapping")
+            items.append(value)
+            i = j
+            continue
+        items.append(_inline(body))
+        i += 1
+    return items, i
+
+
+def _parse_mapping(lines, i, *, indent, name):
+    out: dict = {}
+    while i < len(lines):
+        ind, content = lines[i]
+        if ind < indent:
+            break
+        if ind != indent:
+            raise SpecError(f"{name}: inconsistent mapping indentation "
+                            f"near {content!r}")
+        if content.startswith("- "):
+            break
+        if ":" not in content:
+            raise SpecError(f"{name}: expected `key: value`, got "
+                            f"{content!r}")
+        key, _, rest = content.partition(":")
+        key = key.strip().strip("'\"")
+        rest = rest.strip()
+        if rest:
+            out[key] = _inline(rest)
+            i += 1
+            continue
+        value, i = _parse_block(lines, i + 1, indent=indent + 1,
+                                name=name)
+        out[key] = value
+    return out, i

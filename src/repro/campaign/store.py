@@ -1,0 +1,181 @@
+"""Content-addressed result store: memoized step outputs by config hash.
+
+Layout (under a campaign directory's ``store/``)::
+
+    objects/
+      ab/
+        abcdef0123.../        # one entry per config hash
+          result.json          # canonical result envelope
+          trace.json, ...      # step artifacts (opaque files)
+        .tmp-abcdef0123...-4217/   # in-flight staging (ignored)
+
+An entry is *published atomically*: the writer stages ``result.json``
+and every artifact in a ``.tmp-<key>-<pid>`` sibling, fsyncs the files,
+then one ``os.replace`` renames the staging directory over the final
+name and fsyncs the parent.  A SIGKILL mid-write leaves only a staging
+directory the next run silently clears; an entry that *exists* is by
+construction complete — which is exactly the property crash-safe resume
+leans on: "is this step's hash present?" is the whole recovery
+protocol for succeeded steps.
+
+The envelope separates the **deterministic result payload** (what the
+campaign report may embed byte-identically) from **artifacts** (trace
+files, reports — possibly timing-dependent, never hashed into the
+campaign report).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any
+
+from ..runtime.atomic_io import (
+    atomic_write_text,
+    fsync_dir,
+    replace_entry,
+)
+
+#: schema tag of the per-entry result envelope
+RESULT_SCHEMA = "repro.campaign.result/1"
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, no NaN.
+
+    The same logical config always serializes to the same bytes, so
+    the SHA-256 over it is a stable content address.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def sha256_hex(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class StoreError(RuntimeError):
+    """A store entry is missing or unreadable."""
+
+
+class ResultStore:
+    """Content-addressed step-result cache rooted at ``root``."""
+
+    def __init__(self, root: str | Path, *, clean: bool = True):
+        """``clean=False`` opens the store read-only-politely: stale
+        staging directories are left alone, which is required when
+        another process may be mid-publish (``campaign status`` on a
+        live run)."""
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        if clean:
+            self.clear_staging()
+
+    # -- addressing -----------------------------------------------------------
+    def _shard(self, key: str) -> Path:
+        return self.objects / key[:2]
+
+    def path_for(self, key: str) -> Path:
+        return self._shard(key) / key
+
+    def has(self, key: str) -> bool:
+        return (self.path_for(key) / "result.json").exists()
+
+    def keys(self) -> list[str]:
+        out = []
+        for shard in sorted(self.objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.is_dir() and not entry.name.startswith(".tmp-") \
+                        and (entry / "result.json").exists():
+                    out.append(entry.name)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- write ----------------------------------------------------------------
+    def put(self, key: str, *, kind: str, config: dict, result: dict,
+            artifacts: dict[str, Path] | None = None) -> Path:
+        """Publish one entry atomically; idempotent for an existing key.
+
+        ``artifacts`` maps stored file names to source paths (copied in
+        whole).  Returns the entry directory.
+        """
+        final = self.path_for(key)
+        if self.has(key):
+            return final
+        shard = self._shard(key)
+        shard.mkdir(parents=True, exist_ok=True)
+        staging = shard / f".tmp-{key}-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir()
+        envelope = {
+            "schema": RESULT_SCHEMA,
+            "key": key,
+            "kind": kind,
+            "config": config,
+            "result": result,
+        }
+        atomic_write_text(staging / "result.json",
+                          canonical_json(envelope) + "\n")
+        for name, src in (artifacts or {}).items():
+            if Path(name).name != name:
+                raise ValueError(
+                    f"artifact name {name!r} must be a bare file name")
+            shutil.copyfile(src, staging / name)
+            with open(staging / name, "rb") as fh:
+                os.fsync(fh.fileno())
+        fsync_dir(staging)
+        if self.has(key):               # lost a benign race: keep theirs
+            shutil.rmtree(staging)
+            return final
+        replace_entry(staging, final)
+        return final
+
+    # -- read -----------------------------------------------------------------
+    def get(self, key: str) -> dict:
+        """The result envelope for ``key``.
+
+        Raises :class:`StoreError` when absent or unreadable — a store
+        read must never silently hand back a torn entry.
+        """
+        path = self.path_for(key) / "result.json"
+        if not path.exists():
+            raise StoreError(f"no store entry for {key}")
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(
+                f"unreadable store entry {key}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("schema") != RESULT_SCHEMA:
+            raise StoreError(f"store entry {key} has a foreign schema")
+        return doc
+
+    def artifacts(self, key: str) -> list[Path]:
+        entry = self.path_for(key)
+        if not entry.is_dir():
+            return []
+        return sorted(p for p in entry.iterdir()
+                      if p.name != "result.json")
+
+    # -- maintenance ----------------------------------------------------------
+    def clear_staging(self) -> int:
+        """Remove staging directories a killed writer left behind."""
+        removed = 0
+        if not self.objects.exists():
+            return 0
+        for shard in self.objects.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.iterdir():
+                if entry.is_dir() and entry.name.startswith(".tmp-"):
+                    shutil.rmtree(entry)
+                    removed += 1
+        return removed

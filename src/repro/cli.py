@@ -20,6 +20,19 @@ Commands
 ``analyze``   communication-matching checks only; ``--trace`` replays a
               recorded Chrome trace and verifies send/recv/collective
               matching of the actual run
+``campaign``  fault-tolerant experiment campaigns: ``run`` a sweep spec
+              as a dependency DAG with retries + result caching,
+              ``status`` a campaign directory, ``resume`` after a crash
+
+Exit codes (stable contract — campaign steps classify these without
+string matching; see :mod:`repro.resilience.failures`)::
+
+    0  success
+    1  generic error (lint findings, unexpected exception)
+    2  configuration error: bad spec / profile input        -> fatal
+    3  runtime failure: chaos/health run did not survive    -> transient
+    4  check failure: perf regression, validation gate      -> persistent
+    5  partial success: campaign finished degraded          -> persistent
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from .resilience.failures import EXIT_CHECK, EXIT_CONFIG, EXIT_RUN
 
 
 class ValidationError(RuntimeError):
@@ -174,7 +189,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         else:
             print(json.dumps(summary, indent=2))
-        return 1 if failed else 0
+        return EXIT_RUN if failed else 0
 
     from .resilience.chaos import run_chaos
 
@@ -183,7 +198,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     kind = "SDC plan" if args.sdc else "fault plan"
     print(f"\nchaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
           f"applications survived the {kind}")
-    return 1 if failed else 0
+    return EXIT_RUN if failed else 0
 
 
 def _cmd_health(args: argparse.Namespace) -> int:
@@ -209,9 +224,9 @@ def _cmd_health(args: argparse.Namespace) -> int:
                      and run.rel_err <= 1e-10)
         print(f"  {'recovered' if recovered else 'UNRECOVERED'}: "
               f"rel err {run.rel_err:.1e} vs fault-free run")
-        return 0 if recovered else 1
+        return 0 if recovered else EXIT_RUN
     clean = not run.log.violations()
-    return 0 if clean else 1
+    return 0 if clean else EXIT_RUN
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -257,7 +272,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             outdir=args.out)
     except ProfileError as err:
         print(f"repro report: {err}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
     print(render_report(doc))
     print(f"\nwrote {args.out}/trace.json, metrics.json, report.json")
     return 0
@@ -285,10 +300,66 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("\nperf regression check FAILED:")
             for line in failures:
                 print(f"  - {line}")
-            return 1
+            return EXIT_CHECK
         print(f"\nperf regression check passed "
               f"(tolerance {args.tolerance:.0%} vs {args.check})")
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from .campaign.engine import (
+        CampaignError,
+        load_campaign_dir,
+        run_campaign,
+    )
+    from .campaign.journal import JournalError, validate_journal
+    from .campaign.spec import SpecError
+
+    echo = None if args.quiet else print
+    try:
+        if args.action == "status":
+            doc = load_campaign_dir(args.target)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                print(f"campaign : {doc['campaign']}")
+                print(f"spec     : {doc['spec_hash'][:16]}")
+                print(f"sessions : {doc['sessions']}"
+                      + ("  (torn tail)" if doc["torn_tail"] else ""))
+                print(f"steps    : {doc['nsteps']} total, "
+                      + "  ".join(f"{k}={v}"
+                                  for k, v in doc["finished"].items()))
+                print(f"store    : {doc['store_entries']} cached "
+                      f"result(s)")
+                if doc["in_flight"]:
+                    print(f"in-flight: {', '.join(doc['in_flight'])}")
+                if doc["incomplete"]:
+                    print(f"todo     : {', '.join(doc['incomplete'])}")
+                if doc.get("report_status"):
+                    print(f"report   : {doc['report_status']}")
+            problems = validate_journal(
+                f"{args.target}/journal.jsonl")
+            if problems:
+                for line in problems:
+                    print(f"journal problem: {line}", file=sys.stderr)
+                return 1
+            return 0
+        if args.action == "resume":
+            result = run_campaign(None, args.target, resume=True,
+                                  workers=args.workers, echo=echo)
+        else:                                       # run
+            result = run_campaign(args.spec, args.out,
+                                  workers=args.workers, echo=echo)
+    except (SpecError, CampaignError, JournalError) as err:
+        print(f"repro campaign: {err}", file=sys.stderr)
+        return EXIT_CONFIG
+    print()
+    print((result.outdir / "report" / "campaign.txt")
+          .read_text(encoding="utf-8"), end="")
+    print(f"wrote {result.report_path}")
+    return result.exit_code
 
 
 def _lint_run(args: argparse.Namespace, *, tool: str,
@@ -512,6 +583,37 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--only", default=None,
                    help="comma-separated subset of benchmarks")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "campaign",
+        help="fault-tolerant experiment campaigns: DAG sweeps with "
+             "retries, result caching, crash-safe resume")
+    csub = p.add_subparsers(dest="action", required=True)
+    pr = csub.add_parser("run", help="run a campaign spec")
+    pr.add_argument("spec", help="campaign spec file (YAML or JSON)")
+    pr.add_argument("--out", default="campaign-out",
+                    help="campaign directory (default ./campaign-out); "
+                         "re-running into it resumes")
+    pr.add_argument("--workers", type=int, default=None,
+                    help="concurrent steps (default: spec's `workers`)")
+    pr.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-step progress lines")
+    pr.set_defaults(fn=_cmd_campaign)
+    ps = csub.add_parser("status",
+                         help="inspect a campaign directory")
+    ps.add_argument("target", help="campaign directory")
+    ps.add_argument("--json", action="store_true",
+                    help="print the machine-readable status document")
+    ps.set_defaults(fn=_cmd_campaign, quiet=True, workers=None)
+    pz = csub.add_parser(
+        "resume",
+        help="resume an interrupted campaign from its journal + store")
+    pz.add_argument("target", help="campaign directory")
+    pz.add_argument("--workers", type=int, default=None,
+                    help="concurrent steps (default: spec's `workers`)")
+    pz.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-step progress lines")
+    pz.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser(
         "lint",

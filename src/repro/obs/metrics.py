@@ -308,6 +308,35 @@ class MetricsRegistry:
         self.counter(f"{prefix}.total.comm_s").inc(max(totals[1], 0.0))
         self.counter(f"{prefix}.total.wait_s").inc(max(totals[2], 0.0))
 
+    def ingest_campaign(self, outcome: Any,
+                        prefix: str = "campaign") -> None:
+        """Fold a finished campaign's :class:`~repro.campaign.pool.
+        PoolOutcome` into the registry.
+
+        Publishes terminal step counts, retry/timeout/cache-hit
+        totals, per-failure-class counts, and the executed-step
+        latency distribution (p50/p95/p99 via the histogram).  The
+        pool also writes these names live during a run; this bridge
+        exists for folding an already-completed outcome into a fresh
+        registry (duck-typed to avoid an import cycle with
+        :mod:`repro.campaign`).
+        """
+        for status, n in sorted(outcome.counts().items()):
+            self.counter(f"{prefix}.steps.{status}").inc(n)
+        self.counter(f"{prefix}.retries").inc(outcome.retries)
+        self.counter(f"{prefix}.timeouts").inc(outcome.timeouts)
+        self.counter(f"{prefix}.cache.hits").inc(outcome.cache_hits)
+        self.counter(f"{prefix}.cache.misses").inc(outcome.executed)
+        latency = self.histogram(f"{prefix}.step_seconds")
+        for rec in outcome.steps.values():
+            if rec.failure_class is not None:
+                self.counter(
+                    f"{prefix}.failures.{rec.failure_class}").inc()
+            if rec.status in ("ok", "failed"):
+                latency.observe(rec.duration_s)
+            if rec.retries:
+                self.counter(f"{prefix}.steps.retried").inc()
+
     def ingest_profile(self, profile: "AppProfile",
                        prefix: str | None = None) -> None:
         """Publish an app work profile's per-phase constants.

@@ -17,6 +17,21 @@ from .checkpoint import (
     CheckpointCorruptError,
     CheckpointError,
 )
+from .failures import (
+    EXIT_CHECK,
+    EXIT_CONFIG,
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_RUN,
+    FatalStepError,
+    PersistentStepError,
+    StepError,
+    StepTimeoutError,
+    TransientStepError,
+    classify_exit,
+    classify_failure,
+)
 from .health import (
     CheckRecord,
     HealthConfig,
@@ -29,7 +44,10 @@ from .supervisor import RecoveryEvent, RecoveryPolicy, ResilientJob
 
 __all__ = [
     "CheckRecord", "Checkpointer", "CheckpointCorruptError",
-    "CheckpointError", "HealthConfig", "HealthLog", "HealthMonitor",
-    "OnlineRunner", "RecoveryEvent", "RecoveryPolicy", "ResilientJob",
-    "SDCDetectedError",
+    "CheckpointError", "EXIT_CHECK", "EXIT_CONFIG", "EXIT_ERROR",
+    "EXIT_OK", "EXIT_PARTIAL", "EXIT_RUN", "FatalStepError",
+    "HealthConfig", "HealthLog", "HealthMonitor", "OnlineRunner",
+    "PersistentStepError", "RecoveryEvent", "RecoveryPolicy",
+    "ResilientJob", "SDCDetectedError", "StepError", "StepTimeoutError",
+    "TransientStepError", "classify_exit", "classify_failure",
 ]

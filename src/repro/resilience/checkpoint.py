@@ -22,8 +22,9 @@ restored.  Unreadable and CRC-failing files raise
 :class:`CheckpointError` / :class:`CheckpointCorruptError` naming the
 rank and step.
 
-Writes are atomic (temp file + ``os.replace``), so a rank killed mid-save
-leaves no torn file.  A step is *consistent* when all ``nranks`` files
+Writes are atomic and durable (temp file + fsync + rename + directory
+fsync via :mod:`repro.runtime.atomic_io`), so a rank killed mid-save
+leaves no torn file and a completed save survives power loss.  A step is *consistent* when all ``nranks`` files
 exist and are readable archives; it is *verified* when every rank's file
 additionally passes its CRCs.  Restart resumes from
 :meth:`Checkpointer.latest_verified` — the newest fully-trusted step —
@@ -36,7 +37,6 @@ never races with another rank's save.
 
 from __future__ import annotations
 
-import os
 import re
 import zipfile
 import zlib
@@ -46,6 +46,7 @@ import numpy as np
 
 from ..obs.events import CAT_CKPT
 from ..obs.tracer import NULL_TRACER
+from ..runtime.atomic_io import atomic_write
 
 _FILE_RE = re.compile(r"^step(\d{8})\.rank(\d{5})\.npz$")
 
@@ -126,10 +127,8 @@ class Checkpointer:
             data[_CRC_PREFIX + name] = np.uint32(
                 zlib.crc32(np.ascontiguousarray(arr).tobytes()))
         final = self._path(step, rank)
-        tmp = final.with_suffix(f".tmp{rank}")
-        with open(tmp, "wb") as fh:
+        with atomic_write(final, tmp_suffix=f".tmp{rank}") as fh:
             np.savez(fh, **data)
-        os.replace(tmp, final)
         # Fresh bytes from a monitored run supersede any earlier
         # distrust of this label.
         self._quarantined.discard(step)

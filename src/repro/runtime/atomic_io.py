@@ -1,0 +1,175 @@
+"""Crash-safe file primitives: atomic publish and durable append.
+
+Every durable artifact in the repo — checkpoints, the campaign result
+store, the campaign journal — follows one of two disciplines:
+
+* **atomic publish** (:func:`atomic_write`, :func:`replace_entry`): new
+  content is written to a temporary name in the *same directory*,
+  flushed and ``fsync``'d, then moved over the final name with
+  ``os.replace``.  A reader never observes a torn file: it sees either
+  the old content or the new content, even across a SIGKILL mid-write.
+* **durable append** (:class:`AppendLog`): records go to an append-only
+  line log; each line is flushed and ``fsync``'d before the append
+  returns, so at most the *last* line can be torn by a crash — and a
+  torn last line is detectable (it fails to parse) and safely
+  discardable on replay.
+
+The subtlety both disciplines share is the **directory fsync**: on
+POSIX, ``os.replace`` makes the rename atomic but not *durable* — the
+new directory entry lives in the page cache until the directory inode
+itself is flushed.  A power loss after the rename but before the
+directory sync can resurrect the old name.  :func:`fsync_dir` closes
+that gap (and degrades to a no-op on platforms where directories cannot
+be opened, e.g. Windows).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush directory ``path``'s entries to stable storage.
+
+    Durability companion of ``os.replace``: without it a crash shortly
+    after a rename can lose the new directory entry.  Best-effort —
+    platforms that cannot ``open()`` a directory are silently skipped
+    (the rename is still atomic there, just not provably durable).
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write(path: str | Path, *, mode: str = "wb",
+                 tmp_suffix: str = ".tmp",
+                 sync: bool = True) -> Iterator[IO]:
+    """Write ``path`` atomically: tmp file + fsync + rename + dir fsync.
+
+    Yields an open file object for the temporary file (same directory
+    as ``path`` so the final ``os.replace`` never crosses filesystems).
+    On clean exit the content is fsync'd and published over ``path``;
+    on an exception the temporary file is removed and ``path`` is left
+    untouched.  ``tmp_suffix`` keeps concurrent writers of *different*
+    final names apart (e.g. per-rank checkpoint shards pass a
+    rank-unique suffix).  ``sync=False`` skips the fsyncs for
+    throwaway/test data.
+    """
+    final = Path(path)
+    tmp = final.with_name(final.name + tmp_suffix)
+    fh = open(tmp, mode)
+    try:
+        yield fh
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
+    except BaseException:
+        fh.close()
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    fh.close()
+    os.replace(tmp, final)
+    if sync:
+        fsync_dir(final.parent)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *,
+                       tmp_suffix: str = ".tmp",
+                       sync: bool = True) -> Path:
+    """Atomically publish ``data`` as the content of ``path``."""
+    with atomic_write(path, mode="wb", tmp_suffix=tmp_suffix,
+                      sync=sync) as fh:
+        fh.write(data)
+    return Path(path)
+
+
+def atomic_write_text(path: str | Path, text: str, *,
+                      tmp_suffix: str = ".tmp",
+                      sync: bool = True) -> Path:
+    """Atomically publish ``text`` (UTF-8) as the content of ``path``."""
+    return atomic_write_bytes(Path(path), text.encode("utf-8"),
+                              tmp_suffix=tmp_suffix, sync=sync)
+
+
+def replace_entry(tmp: str | Path, final: str | Path, *,
+                  sync: bool = True) -> None:
+    """Atomically publish a fully-written ``tmp`` path (file *or*
+    directory tree) over ``final``, then fsync the parent directory.
+
+    The directory flavor is what the content-addressed result store
+    uses: stage every artifact under ``objects/.tmp-<key>``, then one
+    rename makes the whole entry appear — a killed writer leaves only
+    an ignorable staging directory, never a half-populated entry.
+    """
+    os.replace(os.fspath(tmp), os.fspath(final))
+    if sync:
+        fsync_dir(Path(final).parent)
+
+
+class AppendLog:
+    """Append-only line log with per-record durability.
+
+    Each :meth:`append` writes one ``\\n``-terminated line, flushes and
+    ``fsync``'s before returning, so an acknowledged record survives a
+    crash.  The first append also fsyncs the parent directory (the file
+    creation itself must be durable).  A SIGKILL mid-append can tear at
+    most the final line; readers must treat an unparseable last line as
+    "the crash ate it" (see the campaign journal's replay).
+    """
+
+    def __init__(self, path: str | Path, *, sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        existed = self.path.exists()
+        self._fh: IO[str] | None = open(self.path, "a",
+                                        encoding="utf-8")
+        if sync and not existed:
+            fsync_dir(self.path.parent)
+
+    def append(self, line: str) -> None:
+        if self._fh is None:
+            raise ValueError(f"append log {self.path} is closed")
+        if "\n" in line:
+            raise ValueError("append log records are single lines")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "AppendLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_lines(path: str | Path) -> list[str]:
+    """All complete lines of an append log (no trailing-newline strip
+    surprises: a final unterminated fragment is returned as-is and left
+    to the caller's torn-line policy)."""
+    text = Path(path).read_text(encoding="utf-8")
+    if not text:
+        return []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines

@@ -160,3 +160,68 @@ class TestTracerGuard:
                "    with tr.span(0, 'send', 'comm'):\n"
                "        self.post(obj)\n")
         assert rules_of(src, enable=["tracer-guard"]) == []
+
+
+class TestConstantBackoff:
+    def test_flags_constant_sleep_in_retry_loop(self):
+        src = ("import time\n"
+               "def fetch(self):\n"
+               "    for attempt in range(3):\n"
+               "        try:\n"
+               "            return self.get()\n"
+               "        except OSError:\n"
+               "            time.sleep(0.5)\n")
+        assert rules_of(src, enable=["constant-backoff"]) \
+            == ["constant-backoff"]
+
+    def test_flags_exponential_but_unjittered_backoff(self):
+        src = ("import time\n"
+               "def fetch(self):\n"
+               "    attempt = 0\n"
+               "    while True:\n"
+               "        try:\n"
+               "            return self.get()\n"
+               "        except OSError:\n"
+               "            time.sleep(2 ** attempt)\n"
+               "            attempt += 1\n")
+        assert rules_of(src, enable=["constant-backoff"]) \
+            == ["constant-backoff"]
+
+    def test_flags_from_import_alias(self):
+        src = ("from time import sleep\n"
+               "def fetch(self):\n"
+               "    for attempt in range(3):\n"
+               "        try:\n"
+               "            return self.get()\n"
+               "        except OSError:\n"
+               "            sleep(1)\n")
+        assert rules_of(src, enable=["constant-backoff"]) \
+            == ["constant-backoff"]
+
+    def test_accepts_policy_backoff(self):
+        src = ("import time\n"
+               "def fetch(self, policy):\n"
+               "    for attempt in range(3):\n"
+               "        try:\n"
+               "            return self.get()\n"
+               "        except OSError:\n"
+               "            time.sleep(policy.backoff(attempt))\n")
+        assert rules_of(src, enable=["constant-backoff"]) == []
+
+    def test_accepts_computed_pause_variable(self):
+        src = ("import time\n"
+               "def run(self):\n"
+               "    while True:\n"
+               "        try:\n"
+               "            self.poll()\n"
+               "        except TimeoutError:\n"
+               "            pause = self.policy.backoff(1)\n"
+               "            time.sleep(pause)\n")
+        assert rules_of(src, enable=["constant-backoff"]) == []
+
+    def test_accepts_sleep_outside_retry_loops(self):
+        src = ("import time\n"
+               "def pace(self):\n"
+               "    for _ in range(3):\n"
+               "        time.sleep(0.01)\n")
+        assert rules_of(src, enable=["constant-backoff"]) == []

@@ -1,0 +1,123 @@
+"""`repro campaign run|status|resume`: exit codes and directory flow."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+_SPEC = {
+    "campaign": "cli-t",
+    "seed": 5,
+    "workers": 2,
+    "defaults": {"timeout_s": 30, "max_retries": 1},
+    "steps": [
+        {"id": "a", "kind": "probe", "payload": "a"},
+        {"id": "b", "kind": "probe", "payload": "b", "after": ["a"]},
+        {"id": "bad", "kind": "probe", "payload": "bad",
+         "inject": {"persistent": True}},
+    ],
+}
+
+
+def _write_spec(tmp_path, doc=None):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(doc or _SPEC))
+    return str(path)
+
+
+class TestCampaignRun:
+    def test_partial_campaign_exits_5(self, tmp_path, capsys):
+        code = main(["campaign", "run", _write_spec(tmp_path),
+                     "--out", str(tmp_path / "c"), "-q"])
+        assert code == 5
+        out = capsys.readouterr().out
+        assert "status   : partial" in out
+        assert "wrote" in out
+
+    def test_clean_campaign_exits_0(self, tmp_path):
+        doc = {**_SPEC, "steps": _SPEC["steps"][:2]}
+        code = main(["campaign", "run", _write_spec(tmp_path, doc),
+                     "--out", str(tmp_path / "c"), "-q"])
+        assert code == 0
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"campaign": "x", "steps": [
+            {"id": "a", "kind": "probe", "after": ["ghost"]}]}))
+        code = main(["campaign", "run", str(bad),
+                     "--out", str(tmp_path / "c"), "-q"])
+        assert code == 2
+        assert "repro campaign" in capsys.readouterr().err
+
+    def test_missing_spec_exits_2(self, tmp_path):
+        assert main(["campaign", "run", str(tmp_path / "ghost.yaml"),
+                     "--out", str(tmp_path / "c"), "-q"]) == 2
+
+
+class TestCampaignStatusResume:
+    def test_status_and_resume_roundtrip(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path)
+        out = str(tmp_path / "c")
+        assert main(["campaign", "run", spec, "--out", out, "-q"]) == 5
+        capsys.readouterr()
+
+        assert main(["campaign", "status", out]) == 0
+        text = capsys.readouterr().out
+        assert "cli-t" in text
+        assert "todo     : bad" in text
+
+        # resume re-runs only the poisoned step; successes are cached
+        assert main(["campaign", "resume", out, "-q"]) == 5
+        text = capsys.readouterr().out
+        assert "cache-hits=2" in text
+
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path)
+        out = str(tmp_path / "c")
+        main(["campaign", "run", spec, "--out", out, "-q"])
+        capsys.readouterr()
+        assert main(["campaign", "status", out, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["campaign"] == "cli-t"
+        assert doc["nsteps"] == 3
+        assert doc["store_entries"] == 2
+
+    def test_status_of_nondir_exits_2(self, tmp_path):
+        assert main(["campaign", "status",
+                     str(tmp_path / "nothing")]) == 2
+
+    def test_resume_without_history_exits_2(self, tmp_path):
+        assert main(["campaign", "resume",
+                     str(tmp_path / "nothing"), "-q"]) == 2
+
+
+class TestCampaignReportArtifacts:
+    def test_report_tree_written_and_valid(self, tmp_path):
+        from repro.campaign.journal import validate_journal
+        from repro.campaign.report import validate_campaign
+
+        out = tmp_path / "c"
+        main(["campaign", "run", _write_spec(tmp_path),
+              "--out", str(out), "-q"])
+        doc = json.loads((out / "report" / "campaign.json").read_text())
+        assert validate_campaign(doc) == []
+        assert validate_journal(out / "journal.jsonl") == []
+        assert (out / "report" / "campaign.txt").exists()
+        metrics = json.loads(
+            (out / "report" / "metrics.json").read_text())
+        assert metrics["status"] == "partial"
+        counters = metrics["instruments"]["counters"]
+        assert counters["campaign.steps.ok"] == 2
+        assert counters["campaign.steps.failed"] == 1
+
+    def test_validate_campaign_flags_damage(self, tmp_path):
+        from repro.campaign.report import validate_campaign
+
+        out = tmp_path / "c"
+        main(["campaign", "run", _write_spec(tmp_path),
+              "--out", str(out), "-q"])
+        doc = json.loads((out / "report" / "campaign.json").read_text())
+        doc["steps"][0]["status"] = "exploded"
+        problems = validate_campaign(doc)
+        assert any("bad status" in p for p in problems)

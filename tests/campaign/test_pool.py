@@ -1,0 +1,228 @@
+"""Worker pool semantics: retries, taxonomy, timeouts, caching."""
+
+import pytest
+
+from repro.campaign.engine import (
+    CampaignError,
+    load_campaign_dir,
+    run_campaign,
+)
+from repro.campaign.journal import replay_journal
+from repro.campaign.spec import parse_spec
+from repro.obs.metrics import MetricsRegistry
+
+
+def _spec(steps, **over):
+    raw = {"campaign": "pool-t", "seed": 11, "workers": 3,
+           "defaults": {"timeout_s": 20, "max_retries": 2},
+           "steps": steps}
+    raw.update(over)
+    return parse_spec(raw)
+
+
+def _probe(i, **over):
+    step = {"id": f"p{i}", "kind": "probe", "payload": f"p{i}"}
+    step.update(over)
+    return step
+
+
+class TestHappyPath:
+    def test_diamond_dag_runs_in_dependency_order(self, tmp_path):
+        spec = _spec([
+            _probe(0),
+            _probe(1, after=["p0"]),
+            _probe(2, after=["p0"]),
+            {"id": "join", "kind": "summary", "after": ["p1", "p2"]},
+        ])
+        res = run_campaign(spec, tmp_path / "c")
+        assert res.status == "ok"
+        assert res.exit_code == 0
+        assert res.outcome.counts() == {"ok": 4, "cached": 0,
+                                        "failed": 0, "skipped": 0}
+        join = res.outcome.steps["join"]
+        assert join.status == "ok"
+
+    def test_summary_sees_dependency_results(self, tmp_path):
+        spec = _spec([
+            _probe(0),
+            {"id": "join", "kind": "summary", "after": ["p0"]},
+        ])
+        res = run_campaign(spec, tmp_path / "c")
+        from repro.campaign.store import ResultStore
+        store = ResultStore(tmp_path / "c" / "store")
+        doc = store.get(res.outcome.steps["join"].key)
+        assert doc["result"]["steps"] == ["p0"]
+
+
+class TestRetry:
+    def test_transient_injection_retries_then_succeeds(self, tmp_path):
+        spec = _spec([_probe(0, inject={"transient": 2})])
+        reg = MetricsRegistry()
+        res = run_campaign(spec, tmp_path / "c", metrics=reg)
+        assert res.status == "ok"
+        assert res.outcome.retries == 2
+        assert res.outcome.steps["p0"].attempts == 3
+        assert reg.counter("campaign.retries").value == 2
+
+    def test_exhausted_retries_fail_the_step(self, tmp_path):
+        spec = _spec([_probe(0, inject={"transient": 9},
+                             max_retries=1)])
+        res = run_campaign(spec, tmp_path / "c")
+        assert res.status == "partial"
+        rec = res.outcome.steps["p0"]
+        assert rec.status == "failed"
+        assert rec.failure_class == "transient"
+        assert rec.attempts == 2                  # 1 + max_retries
+
+    def test_backoff_is_seeded_and_reproducible(self, tmp_path):
+        spec = _spec([_probe(0, inject={"transient": 2})])
+        first = run_campaign(spec, tmp_path / "a")
+        second = run_campaign(spec, tmp_path / "b")
+        waits = [
+            [r["backoff_s"] for r in _retry_records(p)]
+            for p in (first.journal_path, second.journal_path)]
+        assert waits[0] == waits[1]
+        assert len(waits[0]) == 2
+        assert all(w > 0 for w in waits[0])
+
+
+def _retry_records(journal_path):
+    import json
+    out = []
+    for line in journal_path.read_text().splitlines():
+        rec = json.loads(line)
+        if rec["t"] == "step-retry":
+            out.append(rec)
+    return out
+
+
+class TestTaxonomy:
+    def test_persistent_failure_skips_descendants_only(self, tmp_path):
+        spec = _spec([
+            _probe(0, inject={"persistent": True}),
+            _probe(1, after=["p0"]),
+            _probe(2, after=["p1"]),
+            _probe(3),
+        ])
+        res = run_campaign(spec, tmp_path / "c")
+        assert res.status == "partial"
+        assert res.exit_code == 5
+        steps = res.outcome.steps
+        assert steps["p0"].status == "failed"
+        assert steps["p0"].failure_class == "persistent"
+        assert steps["p1"].status == "skipped"
+        assert steps["p2"].status == "skipped"
+        assert steps["p3"].status == "ok"
+        assert steps["p0"].retries == 0           # no pointless retries
+
+    def test_fatal_failure_aborts_the_campaign(self, tmp_path):
+        spec = _spec([
+            _probe(0, inject={"fatal": True}),
+            _probe(1),
+            _probe(2, after=["p1"]),
+        ])
+        res = run_campaign(spec, tmp_path / "c")
+        assert res.status == "fatal"
+        assert res.exit_code == 2
+        statuses = {sid: r.status
+                    for sid, r in res.outcome.steps.items()}
+        assert statuses["p0"] == "failed"
+        assert "pending" not in statuses.values()
+
+    def test_unknown_kind_is_fatal(self, tmp_path):
+        spec = _spec([{"id": "x", "kind": "warp-drive"}])
+        res = run_campaign(spec, tmp_path / "c")
+        assert res.status == "fatal"
+        assert res.outcome.steps["x"].failure_class == "fatal"
+
+
+class TestTimeout:
+    def test_hang_times_out_as_transient_and_exhausts(self, tmp_path):
+        spec = _spec([_probe(0, inject={"hang": True}, timeout_s=0.2,
+                             max_retries=1)])
+        reg = MetricsRegistry()
+        res = run_campaign(spec, tmp_path / "c", metrics=reg,
+                           backoff_base=0.01, backoff_max=0.05)
+        assert res.status == "partial"
+        rec = res.outcome.steps["p0"]
+        assert rec.status == "failed"
+        assert rec.failure_class == "transient"
+        assert res.outcome.timeouts == 2          # both attempts
+        assert reg.counter("campaign.timeouts").value == 2
+
+
+class TestCacheAndResume:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = _spec([_probe(i) for i in range(4)])
+        first = run_campaign(spec, tmp_path / "c")
+        assert first.outcome.cache_hits == 0
+        second = run_campaign(spec, tmp_path / "c")
+        assert second.outcome.cache_hits == 4
+        assert second.outcome.executed == 0
+        assert second.resumed
+
+    def test_reports_are_byte_identical_across_reruns(self, tmp_path):
+        spec = _spec([_probe(i) for i in range(3)]
+                     + [{"id": "join", "kind": "summary",
+                         "after": ["p0", "p1", "p2"]}])
+        first = run_campaign(spec, tmp_path / "c")
+        blob = first.report_path.read_bytes()
+        second = run_campaign(spec, tmp_path / "c")
+        assert second.report_path.read_bytes() == blob
+
+    def test_identical_configs_share_one_cache_entry(self, tmp_path):
+        spec = _spec([
+            {"id": "a", "kind": "probe", "payload": "same"},
+            {"id": "b", "kind": "probe", "payload": "same",
+             "after": ["a"]},
+        ])
+        res = run_campaign(spec, tmp_path / "c")
+        assert res.outcome.steps["a"].key == res.outcome.steps["b"].key
+        assert res.outcome.executed == 1
+        assert res.outcome.cache_hits == 1
+
+    def test_different_spec_in_same_dir_rejected(self, tmp_path):
+        run_campaign(_spec([_probe(0)]), tmp_path / "c")
+        with pytest.raises(CampaignError, match="different"):
+            run_campaign(_spec([_probe(1)]), tmp_path / "c")
+
+    def test_resume_flag_requires_history(self, tmp_path):
+        with pytest.raises(CampaignError, match="no spec.json"):
+            run_campaign(None, tmp_path / "void", resume=True)
+
+    def test_status_doc_reflects_progress(self, tmp_path):
+        spec = _spec([_probe(0, inject={"persistent": True}),
+                      _probe(1)])
+        run_campaign(spec, tmp_path / "c")
+        doc = load_campaign_dir(tmp_path / "c")
+        assert doc["nsteps"] == 2
+        assert doc["finished"]["ok"] == 1
+        assert doc["finished"]["failed"] == 1
+        assert doc["incomplete"] == ["p0"]
+        assert doc["end_status"] == "partial"
+        assert doc["store_entries"] == 1
+
+
+class TestJournalIntegration:
+    def test_journal_records_every_transition(self, tmp_path):
+        spec = _spec([_probe(0, inject={"transient": 1}),
+                      _probe(1, inject={"persistent": True}),
+                      _probe(2, after=["p1"])])
+        res = run_campaign(spec, tmp_path / "c")
+        state = replay_journal(res.journal_path)
+        assert state.finished == {"p0": "ok", "p1": "failed",
+                                  "p2": "skipped"}
+        assert state.retries == {"p0": 1}
+        assert state.failure_class == {"p1": "persistent"}
+        assert state.end_status == "partial"
+        assert state.in_flight == []
+
+    def test_ingest_campaign_bridge(self, tmp_path):
+        spec = _spec([_probe(0), _probe(1, inject={"persistent": True})])
+        res = run_campaign(spec, tmp_path / "c")
+        reg = MetricsRegistry()
+        reg.ingest_campaign(res.outcome)
+        assert reg.counter("campaign.steps.ok").value == 1
+        assert reg.counter("campaign.steps.failed").value == 1
+        assert reg.counter("campaign.failures.persistent").value == 1
+        assert reg.histogram("campaign.step_seconds").count == 2

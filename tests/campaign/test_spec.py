@@ -1,0 +1,180 @@
+"""Campaign specs: matrix expansion, hashing, globs, the YAML subset."""
+
+import json
+
+import pytest
+
+from repro.campaign.dag import DAGError, StepDAG
+from repro.campaign.spec import (
+    CampaignSpec,
+    SpecError,
+    StepSpec,
+    config_hash,
+    load_spec,
+    parse_simple_yaml,
+    parse_spec,
+)
+
+
+def _raw(**over):
+    raw = {
+        "campaign": "t",
+        "seed": 3,
+        "matrix": [
+            {"kind": "probe", "app": ["lbmhd", "gtc"], "nprocs": [2, 4]},
+        ],
+        "steps": [
+            {"id": "sum", "kind": "summary", "after": ["probe-*"]},
+        ],
+    }
+    raw.update(over)
+    return raw
+
+
+class TestMatrixExpansion:
+    def test_cartesian_product_with_deterministic_ids(self):
+        spec = parse_spec(_raw())
+        ids = [s.id for s in spec.steps]
+        assert ids == ["probe-lbmhd-nprocs2", "probe-lbmhd-nprocs4",
+                       "probe-gtc-nprocs2", "probe-gtc-nprocs4", "sum"]
+
+    def test_scalar_keys_are_shared_config(self):
+        spec = parse_spec(_raw(matrix=[
+            {"kind": "probe", "app": ["a", "b"], "size": 7}]))
+        for s in spec.steps[:-1]:
+            assert s.config["size"] == 7
+
+    def test_glob_after_expands_to_every_match(self):
+        spec = parse_spec(_raw())
+        assert set(spec.step("sum").after) == {
+            "probe-lbmhd-nprocs2", "probe-lbmhd-nprocs4",
+            "probe-gtc-nprocs2", "probe-gtc-nprocs4"}
+
+    def test_unknown_exact_dependency_rejected(self):
+        with pytest.raises(SpecError, match="unknown dependency"):
+            parse_spec(_raw(steps=[
+                {"id": "sum", "kind": "summary", "after": ["nope"]}]))
+
+    def test_empty_glob_rejected(self):
+        with pytest.raises(SpecError, match="matches nothing"):
+            parse_spec(_raw(steps=[
+                {"id": "sum", "kind": "summary", "after": ["zz-*"]}]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            parse_spec(_raw(steps=[
+                {"id": "x", "kind": "probe"},
+                {"id": "x", "kind": "probe"}]))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec(_raw(matrix=[], steps=[
+                {"id": "a", "kind": "probe", "after": ["b"]},
+                {"id": "b", "kind": "probe", "after": ["a"]}]))
+
+
+class TestHashing:
+    def test_policy_fields_do_not_change_the_config_hash(self):
+        a = StepSpec(id="a", kind="probe", config={"x": 1},
+                     timeout_s=10, max_retries=0)
+        b = StepSpec(id="b", kind="probe", config={"x": 1},
+                     timeout_s=99, max_retries=5, after=("a",),
+                     inject={"transient": 2})
+        assert a.key == b.key
+
+    def test_config_changes_the_hash(self):
+        assert config_hash("probe", {"x": 1}) \
+            != config_hash("probe", {"x": 2})
+        assert config_hash("probe", {"x": 1}) \
+            != config_hash("trace", {"x": 1})
+
+    def test_spec_hash_does_include_policy(self):
+        a = parse_spec(_raw())
+        b = parse_spec(_raw(defaults={"max_retries": 9}))
+        assert a.spec_hash != b.spec_hash
+
+    def test_snapshot_roundtrip_preserves_hash(self):
+        spec = parse_spec(_raw())
+        back = CampaignSpec.from_doc(
+            json.loads(json.dumps(spec.to_doc())))
+        assert back.spec_hash == spec.spec_hash
+        assert [s.id for s in back.steps] == [s.id for s in spec.steps]
+
+
+class TestDAG:
+    def test_topo_order_is_deterministic_and_respects_deps(self):
+        spec = parse_spec(_raw())
+        dag = StepDAG(spec.steps)
+        assert dag.topo_order[-1] == "sum"
+        assert dag.topo_order[:-1] == sorted(dag.topo_order[:-1])
+
+    def test_ready_excludes_blocked_and_inflight(self):
+        spec = parse_spec(_raw(matrix=[], steps=[
+            {"id": "a", "kind": "probe"},
+            {"id": "b", "kind": "probe", "after": ["a"]},
+            {"id": "c", "kind": "probe"}]))
+        dag = StepDAG(spec.steps)
+        assert dag.ready(set(), set(), set()) == ["a", "c"]
+        assert dag.ready({"a"}, set(), {"c"}) == ["b"]
+        assert dag.ready(set(), {"a"}, set()) == ["c"]
+
+    def test_descendants_are_transitive(self):
+        spec = parse_spec(_raw(matrix=[], steps=[
+            {"id": "a", "kind": "probe"},
+            {"id": "b", "kind": "probe", "after": ["a"]},
+            {"id": "c", "kind": "probe", "after": ["b"]},
+            {"id": "d", "kind": "probe"}]))
+        assert StepDAG(spec.steps).descendants("a") == {"b", "c"}
+
+
+class TestYamlSubset:
+    def test_nested_maps_lists_and_inline_forms(self):
+        text = (
+            "campaign: demo   # comment\n"
+            "seed: 4\n"
+            "defaults:\n"
+            "  timeout_s: 30\n"
+            "matrix:\n"
+            "  - kind: probe\n"
+            "    app: [a, b]\n"
+            "    inject: {transient: 1}\n"
+            "steps:\n"
+            "  - id: sum\n"
+            "    kind: summary\n"
+            "    after:\n"
+            "      - probe-a\n"
+            "      - probe-b\n")
+        doc = parse_simple_yaml(text)
+        assert doc["campaign"] == "demo"
+        assert doc["defaults"] == {"timeout_s": 30}
+        assert doc["matrix"][0]["app"] == ["a", "b"]
+        assert doc["matrix"][0]["inject"] == {"transient": 1}
+        assert doc["steps"][0]["after"] == ["probe-a", "probe-b"]
+
+    def test_scalar_coercion(self):
+        doc = parse_simple_yaml(
+            "a: 1\nb: 1.5\nc: true\nd: null\ne: 'q'\nf: plain\n")
+        assert doc == {"a": 1, "b": 1.5, "c": True, "d": None,
+                       "e": "q", "f": "plain"}
+
+    def test_tabs_rejected(self):
+        with pytest.raises(SpecError, match="tabs"):
+            parse_simple_yaml("a:\n\tb: 1\n")
+
+    def test_matches_pyyaml_on_the_shipped_example_specs(self):
+        yaml = pytest.importorskip("yaml")
+        from pathlib import Path
+        specs = sorted(Path("examples/campaigns").glob("*.yaml"))
+        assert len(specs) >= 3
+        for path in specs:
+            text = path.read_text(encoding="utf-8")
+            assert parse_simple_yaml(text) == yaml.safe_load(text), path
+
+    def test_load_spec_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(_raw()))
+        assert load_spec(path).name == "t"
+
+    def test_load_spec_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="not found"):
+            load_spec(tmp_path / "absent.yaml")

@@ -1,0 +1,173 @@
+"""Content-addressed store + crash-safe journal durability semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalError,
+    replay_journal,
+    validate_journal,
+)
+from repro.campaign.store import RESULT_SCHEMA, ResultStore, StoreError
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.put(key, kind="probe", config={"x": 1},
+                  result={"value": 7})
+        doc = store.get(key)
+        assert doc["schema"] == RESULT_SCHEMA
+        assert doc["result"] == {"value": 7}
+        assert store.has(key)
+        assert store.keys() == [key]
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "1" * 62
+        store.put(key, kind="probe", config={}, result={"v": 1})
+        store.put(key, kind="probe", config={}, result={"v": 2})
+        assert store.get(key)["result"] == {"v": 1}   # first wins
+
+    def test_artifacts_published_with_the_entry(self, tmp_path):
+        src = tmp_path / "a.txt"
+        src.write_text("payload")
+        store = ResultStore(tmp_path / "store")
+        key = "ef" + "2" * 62
+        store.put(key, kind="probe", config={}, result={},
+                  artifacts={"a.txt": src})
+        names = [p.name for p in store.artifacts(key)]
+        assert names == ["a.txt"]
+
+    def test_artifact_names_must_be_bare(self, tmp_path):
+        store = ResultStore(tmp_path)
+        src = tmp_path / "x"
+        src.write_text("x")
+        with pytest.raises(ValueError, match="bare file name"):
+            store.put("aa" + "3" * 62, kind="probe", config={},
+                      result={}, artifacts={"../evil": src})
+
+    def test_get_missing_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no store entry"):
+            ResultStore(tmp_path).get("ab" + "9" * 62)
+
+    def test_stale_staging_cleared_on_init(self, tmp_path):
+        store = ResultStore(tmp_path)
+        staging = store.objects / "ab" / ".tmp-abc-999"
+        staging.mkdir(parents=True)
+        (staging / "result.json").write_text("torn")
+        assert ResultStore(tmp_path).clear_staging() == 0  # init cleared
+        assert not staging.exists()
+        assert store.keys() == []
+
+    def test_interrupted_put_leaves_no_entry(self, tmp_path):
+        """An entry either exists completely or not at all."""
+        store = ResultStore(tmp_path)
+        key = "ab" + "4" * 62
+        # simulate a writer killed after staging, before publish
+        staging = store.objects / "ab" / f".tmp-{key}-{os.getpid()}"
+        staging.mkdir(parents=True)
+        (staging / "result.json").write_text("{}")
+        assert not store.has(key)
+        assert store.keys() == []
+
+
+class TestJournal:
+    def _write(self, path, torn=False):
+        with Journal(path) as j:
+            j.campaign_start(campaign="c", spec_hash="h", nsteps=2,
+                             seed=1, resumed=False)
+            j.step_start("a", 0, "k1")
+            j.step_retry("a", 0, "transient", "TransientStepError", 0.02)
+            j.step_start("a", 1, "k1")
+            j.step_end("a", 1, "ok", "k1")
+            j.step_start("b", 0, "k2")
+        if torn:
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write('{"t": "step-end", "id": "b"')   # no newline
+
+    def test_replay_recovers_progress_and_inflight(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path)
+        state = replay_journal(path)
+        assert state.campaign == "c"
+        assert state.spec_hash == "h"
+        assert state.finished == {"a": "ok"}
+        assert state.in_flight == ["b"]
+        assert state.attempts == {"a": 2, "b": 1}
+        assert state.retries == {"a": 1}
+        assert state.end_status is None
+        assert not state.torn_tail
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, torn=True)
+        state = replay_journal(path)
+        assert state.torn_tail
+        assert state.in_flight == ["b"]      # torn end discarded
+
+    def test_interior_damage_is_an_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]              # damage an interior line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="unreadable"):
+            replay_journal(path)
+
+    def test_resume_with_different_spec_hash_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path)
+        with Journal(path) as j:
+            j.campaign_start(campaign="c", spec_hash="OTHER", nsteps=2,
+                             seed=1, resumed=True)
+        with pytest.raises(JournalError, match="different spec"):
+            replay_journal(path)
+
+    def test_second_session_resets_inflight(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path)
+        with Journal(path) as j:
+            j.campaign_start(campaign="c", spec_hash="h", nsteps=2,
+                             seed=1, resumed=True)
+            j.step_start("b", 0, "k2")
+            j.step_end("b", 0, "ok", "k2")
+            j.campaign_end("ok", {"ok": 2})
+        state = replay_journal(path)
+        assert state.sessions == 2
+        assert state.in_flight == []
+        assert state.end_status == "ok"
+
+    def test_records_reject_missing_fields(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(ValueError, match="missing fields"):
+            j.record("step-end", id="a")
+        with pytest.raises(ValueError, match="unknown journal record"):
+            j.record("nonsense", id="a")
+        with pytest.raises(ValueError, match="bad step-end status"):
+            j.step_end("a", 0, "exploded", "k")
+        j.close()
+
+    def test_validate_journal_clean_and_dirty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, torn=True)
+        assert validate_journal(path) == []    # torn tail is fine
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"t": "step-end", "id": "a"}) + "\n"
+                       + "garbage\n" + "{}\n")
+        problems = validate_journal(bad)
+        assert any("campaign-start" in p for p in problems)
+        assert any("unreadable" in p for p in problems)
+        assert validate_journal(tmp_path / "absent.jsonl") \
+            == [f"journal missing: {tmp_path / 'absent.jsonl'}"]
+
+    def test_schema_rides_the_opening_record(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["schema"] == JOURNAL_SCHEMA

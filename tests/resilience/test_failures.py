@@ -1,0 +1,79 @@
+"""Shared failure taxonomy: exit codes and step-error classification."""
+
+import pytest
+
+from repro.resilience.failures import (
+    EXIT_CHECK,
+    EXIT_CONFIG,
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_RUN,
+    FATAL,
+    PERSISTENT,
+    TRANSIENT,
+    FatalStepError,
+    PersistentStepError,
+    StepError,
+    StepTimeoutError,
+    TransientStepError,
+    classify_exit,
+    classify_failure,
+)
+
+
+class TestExitCodes:
+    def test_codes_are_a_stable_contract(self):
+        assert (EXIT_OK, EXIT_ERROR, EXIT_CONFIG, EXIT_RUN,
+                EXIT_CHECK, EXIT_PARTIAL) == (0, 1, 2, 3, 4, 5)
+
+    def test_success_classifies_to_none(self):
+        assert classify_exit(EXIT_OK) is None
+
+    def test_config_errors_are_fatal(self):
+        assert classify_exit(EXIT_CONFIG) == FATAL
+
+    def test_check_and_partial_are_persistent(self):
+        assert classify_exit(EXIT_CHECK) == PERSISTENT
+        assert classify_exit(EXIT_PARTIAL) == PERSISTENT
+
+    def test_everything_else_is_transient(self):
+        assert classify_exit(EXIT_ERROR) == TRANSIENT
+        assert classify_exit(EXIT_RUN) == TRANSIENT
+        assert classify_exit(-9) == TRANSIENT    # SIGKILL death
+        assert classify_exit(137) == TRANSIENT
+
+
+class TestStepErrors:
+    def test_typed_errors_carry_their_class(self):
+        assert classify_failure(TransientStepError("x")) == TRANSIENT
+        assert classify_failure(PersistentStepError("x")) == PERSISTENT
+        assert classify_failure(FatalStepError("x")) == FATAL
+
+    def test_timeout_is_a_transient(self):
+        err = StepTimeoutError("budget exceeded")
+        assert isinstance(err, TransientStepError)
+        assert classify_failure(err) == TRANSIENT
+
+    def test_config_shaped_exceptions_are_fatal(self):
+        assert classify_failure(ValueError("bad")) == FATAL
+        assert classify_failure(TypeError("bad")) == FATAL
+        assert classify_failure(KeyError("bad")) == FATAL
+
+    def test_unknown_exceptions_are_transient(self):
+        assert classify_failure(OSError("flaky disk")) == TRANSIENT
+        assert classify_failure(RuntimeError("??")) == TRANSIENT
+
+    def test_hierarchy_is_catchable_as_steperror(self):
+        with pytest.raises(StepError):
+            raise StepTimeoutError("x")
+
+
+class TestCliContract:
+    """The CLI's documented exit codes line up with the taxonomy."""
+
+    def test_cli_docstring_documents_the_codes(self):
+        from repro import cli
+
+        for code in ("0", "1", "2", "3", "4", "5"):
+            assert f"\n    {code}  " in cli.__doc__

@@ -1,0 +1,111 @@
+"""Atomic publish + durable append primitives shared by checkpoints,
+the campaign store, and the campaign journal."""
+
+import os
+
+import pytest
+
+from repro.runtime.atomic_io import (
+    AppendLog,
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    read_lines,
+    replace_entry,
+)
+
+
+class TestAtomicWrite:
+    def test_publishes_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_no_tmp_residue_on_success(self, tmp_path):
+        path = tmp_path / "f.bin"
+        atomic_write_bytes(path, b"x" * 100)
+        assert os.listdir(tmp_path) == ["f.bin"]
+
+    def test_exception_leaves_old_content_and_no_tmp(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path, mode="w") as fh:
+                fh.write("half-writ")
+                raise RuntimeError("boom")
+        assert path.read_text() == "old"
+        assert os.listdir(tmp_path) == ["f.txt"]
+
+    def test_overwrites_existing_atomically(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_tmp_suffix_separates_writers(self, tmp_path):
+        path = tmp_path / "f.txt"
+        with atomic_write(path, mode="w", tmp_suffix=".tmp7") as fh:
+            assert (tmp_path / "f.txt.tmp7").exists()
+            fh.write("rank7")
+        assert path.read_text() == "rank7"
+
+    def test_replace_entry_publishes_directory_tree(self, tmp_path):
+        staging = tmp_path / ".tmp-entry"
+        staging.mkdir()
+        (staging / "result.json").write_text("{}")
+        final = tmp_path / "entry"
+        replace_entry(staging, final)
+        assert (final / "result.json").exists()
+        assert not staging.exists()
+
+
+class TestAppendLog:
+    def test_appends_are_readable_lines(self, tmp_path):
+        path = tmp_path / "log"
+        with AppendLog(path) as log:
+            log.append("one")
+            log.append("two")
+        assert read_lines(path) == ["one", "two"]
+
+    def test_reopen_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "log"
+        with AppendLog(path) as log:
+            log.append("a")
+        with AppendLog(path) as log:
+            log.append("b")
+        assert read_lines(path) == ["a", "b"]
+
+    def test_embedded_newline_rejected(self, tmp_path):
+        with AppendLog(tmp_path / "log") as log:
+            with pytest.raises(ValueError, match="single lines"):
+                log.append("two\nlines")
+
+    def test_append_after_close_rejected(self, tmp_path):
+        log = AppendLog(tmp_path / "log")
+        log.close()
+        with pytest.raises(ValueError, match="closed"):
+            log.append("late")
+
+    def test_read_lines_returns_torn_fragment(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("complete\nfragment-without-newline")
+        assert read_lines(path) == ["complete",
+                                    "fragment-without-newline"]
+
+    def test_read_lines_empty_file(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("")
+        assert read_lines(path) == []
+
+
+class TestCheckpointerUsesAtomicWrite:
+    def test_checkpoint_roundtrip_and_no_residue(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        from repro.resilience.checkpoint import Checkpointer
+
+        ck = Checkpointer(tmp_path)
+        ck.save(3, 0, u=np.arange(4.0))
+        data = ck.load(3, 0)
+        assert np.array_equal(data["u"], np.arange(4.0))
+        residue = [p for p in os.listdir(tmp_path) if ".tmp" in p]
+        assert residue == []
