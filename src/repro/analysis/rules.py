@@ -19,6 +19,11 @@ reproducibility story depends on:
   constant arithmetic): simultaneous retriers re-collide every round.
   Backoff belongs to ``RecoveryPolicy.backoff`` (seeded decorrelated
   jitter).
+* ``process-unsafe-state`` — runtime modules must stay correct under
+  the process backend: spawned workers re-import the module, so any
+  module-level mutable container silently forks into independent
+  per-process copies, and bare ``fork`` inherits locks/threads in
+  undefined states.
 """
 
 from __future__ import annotations
@@ -375,7 +380,89 @@ class ConstantBackoffRule(LintRule):
         return not any(isinstance(n, ast.Call) for n in ast.walk(node))
 
 
+@register
+class ProcessUnsafeStateRule(LintRule):
+    name = "process-unsafe-state"
+    severity = "warning"
+    description = ("module-level mutable state or bare fork usage in "
+                   "runtime modules (unsafe under the process backend)")
+    hint = ("spawned workers re-import the module, so a module-level "
+            "container silently forks into independent per-process "
+            "copies; keep worker-visible state on picklable objects "
+            "passed through the rank entry point, and always use the "
+            "spawn start method (fork inherits locks mid-acquire)")
+
+    #: modules that must stay correct across OS-process workers
+    hot_fragments = ("/runtime/",)
+
+    _mutable_calls = frozenset({
+        "list", "dict", "set", "bytearray",
+        "deque", "collections.deque",
+        "defaultdict", "collections.defaultdict",
+        "OrderedDict", "collections.OrderedDict",
+    })
+    _mutable_literals = (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)
+
+    def _is_hot(self, path: str) -> bool:
+        return any(f in f"/{path}" for f in self.hot_fragments)
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, self._mutable_literals):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in self._mutable_calls
+        return False
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        if not self._is_hot(path):
+            return
+        # (a) module-level mutable containers — only statements at
+        # module scope; function/class bodies are per-call state.
+        for stmt in getattr(tree, "body", ()):
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            if not self._is_mutable(value):
+                continue
+            named = [t.id for t in targets if isinstance(t, ast.Name)]
+            # Dunders (__all__ & co) are interpreter conventions, set
+            # once at import and never mutated — not worker state.
+            if named and all(n.startswith("__") and n.endswith("__")
+                             for n in named):
+                continue
+            names = ", ".join(named) or "<target>"
+            yield self.finding(
+                stmt, f"module-level mutable container `{names} = "
+                      f"{_snippet(value, 40)}` diverges across "
+                      f"spawned worker processes")
+        # (b) bare fork — anywhere in the module.
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("os.fork", "os.forkpty"):
+                yield self.finding(
+                    node, f"bare `{name}()` (inherits locks and "
+                          f"threads in undefined states)")
+                continue
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail in ("get_context", "set_start_method") and node.args:
+                arg = node.args[0]
+                if (isinstance(arg, ast.Constant)
+                        and arg.value in ("fork", "forkserver")):
+                    yield self.finding(
+                        node, f"`{tail}({arg.value!r})` — the runtime "
+                              f"is only fork-safe under spawn")
+
+
 #: rule names of the core lint set (excludes the comm checker's rules)
 CORE_RULES = ("wall-clock", "unseeded-rng", "bare-assert",
               "mutable-default", "hidden-copy", "tracer-guard",
-              "constant-backoff")
+              "constant-backoff", "process-unsafe-state")

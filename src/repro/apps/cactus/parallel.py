@@ -116,7 +116,8 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
                  policy: RecoveryPolicy | None = None,
                  sanitize: bool | None = None,
                  spares: int = 0,
-                 on_shrink: "bool | callable" = False
+                 on_shrink: "bool | callable" = False,
+                 backend: str = "thread"
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Evolve on ``nprocs`` ranks; returns assembled (gamma, K, alpha).
 
@@ -136,148 +137,23 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
     ``on_shrink`` falls back to re-decomposing the 3D grid over the
     survivors and rolling everyone back to the last checkpoint (pass a
     callable to observe the remap: ``on_shrink(comm, record)``).
+
+    ``backend="process"`` runs the ranks as OS processes (zero-copy
+    shared-memory transport); results are bit-identical to the thread
+    backend.
     """
     shape = gamma.shape[2:]
     grid = ProcessorGrid.for_nprocs(nprocs, 3)
     decomp = BlockND(grid, shape)
 
-    def rank_main(comm: Comm):
-        monitor = HealthMonitor(comm, health) if health is not None \
-            else None
-        tracer = comm.transport.tracer
-
-        def build(dc: BlockND) -> _RankCactus:
-            return _RankCactus(comm, dc, gamma, K, alpha,
-                               spacing=spacing, dt=dt, gauge=gauge,
-                               integrator=integrator, order=order)
-
-        solver = build(decomp)
-
-        def save(label: int) -> None:
-            state = dict(gamma=solver.gamma, K=solver.K,
-                         alpha=solver.alpha,
-                         time=np.float64(solver.time))
-            if solver._prev_state is not None:
-                prev_g, prev_K, prev_a = solver._prev_state
-                state.update(prev_gamma=prev_g, prev_K=prev_K,
-                             prev_alpha=prev_a)
-            checkpoint.save(label, comm.rank, **state)
-
-        def load(label: int) -> None:
-            data = checkpoint.load(label, comm.rank)
-            solver.gamma[...] = data["gamma"]
-            solver.K[...] = data["K"]
-            solver.alpha[...] = data["alpha"]
-            solver.time = float(data["time"][()])
-            solver.step_count = label
-            if "prev_gamma" in data:
-                solver._prev_state = (data["prev_gamma"],
-                                      data["prev_K"],
-                                      data["prev_alpha"])
-            else:
-                solver._prev_state = None
-
-        def snapshot():
-            prev = solver._prev_state
-            return (solver.gamma.copy(), solver.K.copy(),
-                    solver.alpha.copy(), solver.time,
-                    solver.step_count,
-                    None if prev is None else tuple(p.copy()
-                                                    for p in prev))
-
-        def restore(snap) -> None:
-            solver.gamma[...] = snap[0]
-            solver.K[...] = snap[1]
-            solver.alpha[...] = snap[2]
-            solver.time = snap[3]
-            solver.step_count = snap[4]
-            solver._prev_state = snap[5]
-
-        def _neighbor_set(s: _RankCactus) -> set:
-            return {comm._global(r)
-                    for pair in s.neighbors.values() for r in pair
-                    if r != comm.rank}
-
-        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
-            # Re-decompose over the shrunken grid and reassemble the
-            # rollback state from the *old* decomposition's shards
-            # (solver shards are interior-only: no halo crop needed).
-            nonlocal solver
-            solver = build(BlockND(
-                ProcessorGrid.for_nprocs(comm.size, 3), shape))
-            label = record.rollback_step
-            if label > 0 and checkpoint is not None:
-                fields = {"gamma": np.zeros_like(gamma),
-                          "K": np.zeros_like(K),
-                          "alpha": np.zeros_like(alpha)}
-                prev = None
-                time = 0.0
-                for old in range(nprocs):
-                    data = checkpoint.load(label, old)
-                    loc = tuple(slice(a, b)
-                                for a, b in decomp.bounds(old))
-                    key = (slice(None), slice(None)) + loc
-                    fields["gamma"][key] = data["gamma"]
-                    fields["K"][key] = data["K"]
-                    fields["alpha"][loc] = data["alpha"]
-                    time = float(data["time"][()])
-                    if "prev_gamma" in data:
-                        if prev is None:
-                            prev = (np.zeros_like(gamma),
-                                    np.zeros_like(K),
-                                    np.zeros_like(alpha))
-                        prev[0][key] = data["prev_gamma"]
-                        prev[1][key] = data["prev_K"]
-                        prev[2][loc] = data["prev_alpha"]
-                loc = tuple(slice(a, b) for a, b in solver.bounds)
-                key = (slice(None), slice(None)) + loc
-                solver.gamma[...] = fields["gamma"][key]
-                solver.K[...] = fields["K"][key]
-                solver.alpha[...] = fields["alpha"][loc]
-                solver.time = time
-                solver.step_count = label
-                solver._prev_state = None if prev is None else (
-                    prev[0][key].copy(), prev[1][key].copy(),
-                    prev[2][loc].copy())
-            runner.neighbors = _neighbor_set(solver)
-            if callable(on_shrink):
-                on_shrink(comm, record)
-
-        def body(step_index: int) -> None:
-            if injector is not None:
-                injector.tick(comm.rank, step_index)
-                injector.sdc(comm.rank, step_index,
-                             {"gamma": solver.gamma, "K": solver.K,
-                              "alpha": solver.alpha})
-            if tracer.enabled:
-                tracer.instant(comm.rank, "step", "phase",
-                               {"step": step_index})
-            with comm.phase("evolve"):
-                solver.step(1)
-            if monitor is not None and monitor.due(step_index):
-                with comm.phase("diagnostics"):
-                    monitor.guard_finite(step_index, "cactus.finite",
-                                         solver.gamma, solver.K,
-                                         solver.alpha)
-                    h_linf = comm.allreduce(
-                        solver.constraints().hamiltonian_linf, op="max")
-                    monitor.check_bounded(step_index,
-                                          "cactus.constraint",
-                                          h_linf, default_growth=50.0)
-
-        runner = OnlineRunner(
-            comm, nsteps=nsteps, checkpoint=checkpoint,
-            checkpoint_every=checkpoint_every,
-            save=save if checkpoint is not None else None,
-            load=load if checkpoint is not None else None,
-            snapshot=snapshot, restore=restore, policy=policy,
-            on_shrink=shrink_hook if on_shrink else None,
-            neighbors=_neighbor_set(solver))
-        runner.run(body)
-        return solver.bounds, solver.gamma, solver.K, solver.alpha
-
+    rank_main = _CactusRankMain(
+        gamma, K, alpha, spacing=spacing, dt=dt, gauge=gauge,
+        integrator=integrator, order=order, nsteps=nsteps, decomp=decomp,
+        nprocs=nprocs, injector=injector, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every, health=health, policy=policy,
+        on_shrink=on_shrink)
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize, spares=spares)
+                      sanitize=sanitize, spares=spares, backend=backend)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,
@@ -296,3 +172,179 @@ def run_parallel(gamma: np.ndarray, K: np.ndarray, alpha: np.ndarray, *,
         K_out[(slice(None), slice(None)) + loc] = K_l
         alpha_out[loc] = a_l
     return gamma_out, K_out, alpha_out
+
+
+class _CactusRankMain:
+    """Picklable per-rank entry point (shared by both backends)."""
+
+    def __init__(self, gamma, K, alpha, *, spacing, dt, gauge, integrator,
+                 order, nsteps, decomp, nprocs, injector, checkpoint,
+                 checkpoint_every, health, policy, on_shrink):
+        self.gamma = gamma
+        self.K = K
+        self.alpha = alpha
+        self.spacing = spacing
+        self.dt = dt
+        self.gauge = gauge
+        self.integrator = integrator
+        self.order = order
+        self.nsteps = nsteps
+        self.decomp = decomp
+        self.nprocs = nprocs
+        self.injector = injector
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.health = health
+        self.policy = policy
+        self.on_shrink = on_shrink
+
+    def __call__(self, comm: Comm):
+        return _cactus_rank_body(
+            comm, self.gamma, self.K, self.alpha, spacing=self.spacing,
+            dt=self.dt, gauge=self.gauge, integrator=self.integrator,
+            order=self.order, nsteps=self.nsteps, decomp=self.decomp,
+            nprocs=self.nprocs, injector=self.injector,
+            checkpoint=self.checkpoint,
+            checkpoint_every=self.checkpoint_every, health=self.health,
+            policy=self.policy, on_shrink=self.on_shrink)
+
+
+def _cactus_rank_body(comm: Comm, gamma, K, alpha, *, spacing, dt, gauge,
+                      integrator, order, nsteps, decomp, nprocs, injector,
+                      checkpoint, checkpoint_every, health, policy,
+                      on_shrink):
+    """One rank's full Cactus program (shared by both backends)."""
+    shape = gamma.shape[2:]
+    monitor = HealthMonitor(comm, health) if health is not None \
+        else None
+    tracer = comm.transport.tracer
+
+    def build(dc: BlockND) -> _RankCactus:
+        return _RankCactus(comm, dc, gamma, K, alpha,
+                           spacing=spacing, dt=dt, gauge=gauge,
+                           integrator=integrator, order=order)
+
+    solver = build(decomp)
+
+    def save(label: int) -> None:
+        state = dict(gamma=solver.gamma, K=solver.K,
+                     alpha=solver.alpha,
+                     time=np.float64(solver.time))
+        if solver._prev_state is not None:
+            prev_g, prev_K, prev_a = solver._prev_state
+            state.update(prev_gamma=prev_g, prev_K=prev_K,
+                         prev_alpha=prev_a)
+        checkpoint.save(label, comm.rank, **state)
+
+    def load(label: int) -> None:
+        data = checkpoint.load(label, comm.rank)
+        solver.gamma[...] = data["gamma"]
+        solver.K[...] = data["K"]
+        solver.alpha[...] = data["alpha"]
+        solver.time = float(data["time"][()])
+        solver.step_count = label
+        if "prev_gamma" in data:
+            solver._prev_state = (data["prev_gamma"],
+                                  data["prev_K"],
+                                  data["prev_alpha"])
+        else:
+            solver._prev_state = None
+
+    def snapshot():
+        prev = solver._prev_state
+        return (solver.gamma.copy(), solver.K.copy(),
+                solver.alpha.copy(), solver.time,
+                solver.step_count,
+                None if prev is None else tuple(p.copy()
+                                                for p in prev))
+
+    def restore(snap) -> None:
+        solver.gamma[...] = snap[0]
+        solver.K[...] = snap[1]
+        solver.alpha[...] = snap[2]
+        solver.time = snap[3]
+        solver.step_count = snap[4]
+        solver._prev_state = snap[5]
+
+    def _neighbor_set(s: _RankCactus) -> set:
+        return {comm._global(r)
+                for pair in s.neighbors.values() for r in pair
+                if r != comm.rank}
+
+    def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+        # Re-decompose over the shrunken grid and reassemble the
+        # rollback state from the *old* decomposition's shards
+        # (solver shards are interior-only: no halo crop needed).
+        nonlocal solver
+        solver = build(BlockND(
+            ProcessorGrid.for_nprocs(comm.size, 3), shape))
+        label = record.rollback_step
+        if label > 0 and checkpoint is not None:
+            fields = {"gamma": np.zeros_like(gamma),
+                      "K": np.zeros_like(K),
+                      "alpha": np.zeros_like(alpha)}
+            prev = None
+            time = 0.0
+            for old in range(nprocs):
+                data = checkpoint.load(label, old)
+                loc = tuple(slice(a, b)
+                            for a, b in decomp.bounds(old))
+                key = (slice(None), slice(None)) + loc
+                fields["gamma"][key] = data["gamma"]
+                fields["K"][key] = data["K"]
+                fields["alpha"][loc] = data["alpha"]
+                time = float(data["time"][()])
+                if "prev_gamma" in data:
+                    if prev is None:
+                        prev = (np.zeros_like(gamma),
+                                np.zeros_like(K),
+                                np.zeros_like(alpha))
+                    prev[0][key] = data["prev_gamma"]
+                    prev[1][key] = data["prev_K"]
+                    prev[2][loc] = data["prev_alpha"]
+            loc = tuple(slice(a, b) for a, b in solver.bounds)
+            key = (slice(None), slice(None)) + loc
+            solver.gamma[...] = fields["gamma"][key]
+            solver.K[...] = fields["K"][key]
+            solver.alpha[...] = fields["alpha"][loc]
+            solver.time = time
+            solver.step_count = label
+            solver._prev_state = None if prev is None else (
+                prev[0][key].copy(), prev[1][key].copy(),
+                prev[2][loc].copy())
+        runner.neighbors = _neighbor_set(solver)
+        if callable(on_shrink):
+            on_shrink(comm, record)
+
+    def body(step_index: int) -> None:
+        if injector is not None:
+            injector.tick(comm.rank, step_index)
+            injector.sdc(comm.rank, step_index,
+                         {"gamma": solver.gamma, "K": solver.K,
+                          "alpha": solver.alpha})
+        if tracer.enabled:
+            tracer.instant(comm.rank, "step", "phase",
+                           {"step": step_index})
+        with comm.phase("evolve"):
+            solver.step(1)
+        if monitor is not None and monitor.due(step_index):
+            with comm.phase("diagnostics"):
+                monitor.guard_finite(step_index, "cactus.finite",
+                                     solver.gamma, solver.K,
+                                     solver.alpha)
+                h_linf = comm.allreduce(
+                    solver.constraints().hamiltonian_linf, op="max")
+                monitor.check_bounded(step_index,
+                                      "cactus.constraint",
+                                      h_linf, default_growth=50.0)
+
+    runner = OnlineRunner(
+        comm, nsteps=nsteps, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        save=save if checkpoint is not None else None,
+        load=load if checkpoint is not None else None,
+        snapshot=snapshot, restore=restore, policy=policy,
+        on_shrink=shrink_hook if on_shrink else None,
+        neighbors=_neighbor_set(solver))
+    runner.run(body)
+    return solver.bounds, solver.gamma, solver.K, solver.alpha

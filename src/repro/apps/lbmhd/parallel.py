@@ -27,6 +27,7 @@ from ...resilience.health import HealthConfig, HealthMonitor
 from ...resilience.online import OnlineRunner
 from ...resilience.supervisor import RecoveryPolicy, ResilientJob
 from ...runtime import (
+    BackendError,
     BlockND,
     CoArray,
     Comm,
@@ -249,6 +250,217 @@ def _exchange_caf(state: _RankState, images: _CafImages) -> None:
     images.ca_f.sync()
 
 
+def _lbmhd_rank_body(comm: Comm, rho, u, B, lattice, tau, tau_m,
+                     use_caf, fused, nsteps, decomp, nprocs,
+                     injector, checkpoint, checkpoint_every,
+                     health, policy, on_shrink) -> RankResult:
+    """One rank's full LBMHD program (shared by both backends)."""
+    stepper = FusedStepper(lattice, tau, tau_m) if fused else None
+    monitor = HealthMonitor(comm, health) if health is not None \
+        else None
+    tracer = comm.transport.tracer
+
+    def build(dc: BlockND):
+        st = _RankState(comm, dc, lattice, rho, u, B, tau, tau_m)
+        im = _CafImages(st) if use_caf else None
+        gds: list[HaloGuard] = []
+        if comm.transport.sanitize:
+            # One guard per distribution: poison the halo ring at
+            # step start, prove the exchange rewrote all 8 strips,
+            # and fail loudly if streaming runs before the exchange.
+            for label, arr in (("lbmhd.f", st.f), ("lbmhd.g", st.g)):
+                guard = HaloGuard(label)
+                for dy, dx in _DIRS:
+                    ys, xs = _region(dy, dx, st.h, st.ly, st.lx,
+                                     halo=True)
+                    guard.watch(arr, (Ellipsis, ys, xs))
+                gds.append(guard)
+        fo = go = None
+        if fused:
+            fo = np.empty(st.f.shape[:-2] + (st.ly, st.lx))
+            go = np.empty(st.g.shape[:-2] + (st.ly, st.lx))
+        return st, im, gds, fo, go
+
+    state, images, guards, f_out, g_out = build(decomp)
+
+    def save(label: int) -> None:
+        checkpoint.save(label, comm.rank, f=state.f, g=state.g)
+
+    def load(label: int) -> None:
+        data = checkpoint.load(label, comm.rank)
+        state.f[...] = data["f"]
+        state.g[...] = data["g"]
+
+    def snapshot():
+        return state.f.copy(), state.g.copy()
+
+    def restore(snap) -> None:
+        state.f[...] = snap[0]
+        state.g[...] = snap[1]
+
+    def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+        # Remap the domain over the shrunken grid: re-decompose for
+        # the new size, rebuild this rank's block, and reload the
+        # rollback state from the *old* decomposition's shards.
+        nonlocal state, images, guards, f_out, g_out
+        new_decomp = BlockND(
+            ProcessorGrid.for_nprocs(comm.size, 2), rho.shape)
+        state, images, guards, f_out, g_out = build(new_decomp)
+        label = record.rollback_step
+        if label > 0 and checkpoint is not None:
+            h = halo_width(lattice)
+            f_g = np.zeros((lattice.q,) + rho.shape)
+            g_g = np.zeros((lattice.q, 2) + rho.shape)
+            for old in range(nprocs):
+                (y0, y1), (x0, x1) = decomp.bounds(old)
+                data = checkpoint.load(label, old)
+                cut = (Ellipsis, slice(h, h + (y1 - y0)),
+                       slice(h, h + (x1 - x0)))
+                f_g[..., y0:y1, x0:x1] = data["f"][cut]
+                g_g[..., y0:y1, x0:x1] = data["g"][cut]
+            (y0, y1), (x0, x1) = state.bounds
+            inter2 = (Ellipsis,) + state.interior
+            state.f[inter2] = f_g[..., y0:y1, x0:x1]
+            state.g[inter2] = g_g[..., y0:y1, x0:x1]
+        runner.neighbors = {
+            comm._global(r) for r in state.neighbors.values()
+            if r != comm.rank}
+        if callable(on_shrink):
+            on_shrink(comm, record)
+
+    def body(step_index: int) -> None:
+        inter = state.interior
+        if injector is not None:
+            injector.tick(comm.rank, step_index)
+            # Corrupt only the owned interior: halo copies are
+            # rewritten by the next exchange, so a flip there is
+            # benign by construction (masked, not detected).
+            injector.sdc(comm.rank, step_index,
+                         {"f": state.f[(Ellipsis,) + inter],
+                          "g": state.g[(Ellipsis,) + inter]})
+        if tracer.enabled:
+            tracer.instant(comm.rank, "step", "phase",
+                           {"step": step_index})
+        for guard in guards:
+            guard.begin_step()
+        with comm.phase("collision"):
+            if stepper is not None:
+                stepper.collide(state.f[(Ellipsis,) + inter],
+                                state.g[(Ellipsis,) + inter])
+            else:
+                f_i, g_i = collide(state.f[(Ellipsis,) + inter],
+                                   state.g[(Ellipsis,) + inter],
+                                   lattice, tau, tau_m)
+                state.f[(Ellipsis,) + inter] = f_i
+                state.g[(Ellipsis,) + inter] = g_i
+        with comm.phase("halo"):
+            if use_caf:
+                _exchange_caf(state, images)
+            else:
+                _exchange_mpi(state)
+        for guard in guards:
+            guard.mark_exchanged()
+        with comm.phase("stream"):
+            for guard in guards:
+                guard.require_exchanged("stream")
+            if stepper is not None:
+                f_s = stepper.stream_halo(state.f, state.h, f_out)
+                g_s = stepper.stream_halo(state.g, state.h, g_out)
+            else:
+                f_s = stream_extended(state.f, lattice, state.h)
+                g_s = stream_extended(state.g, lattice, state.h)
+            state.f[(Ellipsis,) + inter] = f_s
+            state.g[(Ellipsis,) + inter] = g_s
+        if monitor is not None and monitor.due(step_index):
+            # Uniform condition across ranks, so the phase's entry
+            # barrier is collective-safe; labeling the watchdog
+            # reductions keeps them out of the step phases'
+            # attribution in `repro report`.
+            with comm.phase("diagnostics"):
+                monitor.guard_finite(step_index, "lbmhd.finite",
+                                     state.f, state.g)
+                rho_l, u_l, _ = moments(
+                    state.f[(Ellipsis,) + inter],
+                    state.g[(Ellipsis,) + inter], lattice)
+                mass = comm.allreduce(float(rho_l.sum()))
+                monitor.check_conserved(step_index, "lbmhd.mass",
+                                        mass,
+                                        default_threshold=1e-8)
+                mom = comm.allreduce(
+                    (rho_l * u_l).sum(axis=(1, 2)))
+                for ax, label in enumerate(("x", "y")):
+                    monitor.check_conserved(
+                        step_index, f"lbmhd.momentum.{label}",
+                        float(mom[ax]), default_threshold=1e-8,
+                        scale=mass)
+
+    runner = OnlineRunner(
+        comm, nsteps=nsteps, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        save=save if checkpoint is not None else None,
+        load=load if checkpoint is not None else None,
+        snapshot=snapshot, restore=restore, policy=policy,
+        on_shrink=shrink_hook if on_shrink else None,
+        neighbors={comm._global(r) for r in state.neighbors.values()
+                   if r != comm.rank})
+    runner.run(body)
+    inter = state.interior
+    rho_l, u_l, B_l = moments(state.f[(Ellipsis,) + inter],
+                              state.g[(Ellipsis,) + inter], lattice)
+    mass = comm.allreduce(float(rho_l.sum()))
+    energy = comm.allreduce(float(
+        0.5 * (rho_l * (u_l ** 2).sum(axis=0)).sum()
+        + 0.5 * (B_l ** 2).sum()))
+    return RankResult(state.bounds, rho_l, u_l, B_l, mass, energy)
+
+
+class _LbmhdRankMain:
+    """The SPMD rank program as a picklable callable.
+
+    One instance is shared by every rank (thread backend) or pickled
+    into every rank process (process backend); ``__call__`` touches
+    only per-rank state derived from ``comm``.  The ``injector`` /
+    ``checkpoint`` / ``health`` / ``policy`` attributes are the merge
+    contract with :mod:`repro.runtime.process_backend`: worker-local
+    ledgers accumulated on their copies are folded back into the
+    caller's objects at job end.
+    """
+
+    def __init__(self, rho, u, B, *, lattice, tau, tau_m, use_caf,
+                 fused, nsteps, decomp, nprocs, injector, checkpoint,
+                 checkpoint_every, health, policy, on_shrink):
+        self.rho, self.u, self.B = rho, u, B
+        self.lattice = lattice
+        self.tau, self.tau_m = tau, tau_m
+        self.use_caf = use_caf
+        self.fused = fused
+        self.nsteps = nsteps
+        self.decomp = decomp
+        self.nprocs = nprocs
+        self.injector = injector
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.health = health
+        self.policy = policy
+        self.on_shrink = on_shrink
+
+    def __call__(self, comm: Comm) -> RankResult:
+        rho, u, B = self.rho, self.u, self.B
+        lattice = self.lattice
+        tau, tau_m = self.tau, self.tau_m
+        use_caf, fused = self.use_caf, self.fused
+        nsteps = self.nsteps
+        decomp, nprocs = self.decomp, self.nprocs
+        injector, checkpoint = self.injector, self.checkpoint
+        checkpoint_every = self.checkpoint_every
+        health, policy = self.health, self.policy
+        on_shrink = self.on_shrink
+        return _lbmhd_rank_body(
+            comm, rho, u, B, lattice, tau, tau_m, use_caf, fused,
+            nsteps, decomp, nprocs, injector, checkpoint,
+            checkpoint_every, health, policy, on_shrink)
+
+
 def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  nprocs: int, nsteps: int, lattice: Lattice = D2Q9,
                  tau: float = 0.8, tau_m: float = 0.8,
@@ -262,7 +474,8 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
                  policy: RecoveryPolicy | None = None,
                  sanitize: bool | None = None,
                  spares: int = 0,
-                 on_shrink: "bool | callable" = False
+                 on_shrink: "bool | callable" = False,
+                 backend: str = "thread"
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run LBMHD on ``nprocs`` simulated ranks; returns global (rho, u, B).
 
@@ -310,170 +523,21 @@ def run_parallel(rho: np.ndarray, u: np.ndarray, B: np.ndarray, *,
     if (spares > 0 or on_shrink) and use_caf:
         raise ValueError("online recovery is not supported on the CAF "
                          "path (co-array images pin the rank set)")
+    if use_caf and backend == "process":
+        raise BackendError(
+            "the CAF one-sided path requires in-process shared images; "
+            "run use_caf jobs with backend='thread'")
     grid = ProcessorGrid.for_nprocs(nprocs, 2)
     decomp = BlockND(grid, rho.shape)
-
-    def rank_main(comm: Comm) -> RankResult:
-        stepper = FusedStepper(lattice, tau, tau_m) if fused else None
-        monitor = HealthMonitor(comm, health) if health is not None \
-            else None
-        tracer = comm.transport.tracer
-
-        def build(dc: BlockND):
-            st = _RankState(comm, dc, lattice, rho, u, B, tau, tau_m)
-            im = _CafImages(st) if use_caf else None
-            gds: list[HaloGuard] = []
-            if comm.transport.sanitize:
-                # One guard per distribution: poison the halo ring at
-                # step start, prove the exchange rewrote all 8 strips,
-                # and fail loudly if streaming runs before the exchange.
-                for label, arr in (("lbmhd.f", st.f), ("lbmhd.g", st.g)):
-                    guard = HaloGuard(label)
-                    for dy, dx in _DIRS:
-                        ys, xs = _region(dy, dx, st.h, st.ly, st.lx,
-                                         halo=True)
-                        guard.watch(arr, (Ellipsis, ys, xs))
-                    gds.append(guard)
-            fo = go = None
-            if fused:
-                fo = np.empty(st.f.shape[:-2] + (st.ly, st.lx))
-                go = np.empty(st.g.shape[:-2] + (st.ly, st.lx))
-            return st, im, gds, fo, go
-
-        state, images, guards, f_out, g_out = build(decomp)
-
-        def save(label: int) -> None:
-            checkpoint.save(label, comm.rank, f=state.f, g=state.g)
-
-        def load(label: int) -> None:
-            data = checkpoint.load(label, comm.rank)
-            state.f[...] = data["f"]
-            state.g[...] = data["g"]
-
-        def snapshot():
-            return state.f.copy(), state.g.copy()
-
-        def restore(snap) -> None:
-            state.f[...] = snap[0]
-            state.g[...] = snap[1]
-
-        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
-            # Remap the domain over the shrunken grid: re-decompose for
-            # the new size, rebuild this rank's block, and reload the
-            # rollback state from the *old* decomposition's shards.
-            nonlocal state, images, guards, f_out, g_out
-            new_decomp = BlockND(
-                ProcessorGrid.for_nprocs(comm.size, 2), rho.shape)
-            state, images, guards, f_out, g_out = build(new_decomp)
-            label = record.rollback_step
-            if label > 0 and checkpoint is not None:
-                h = halo_width(lattice)
-                f_g = np.zeros((lattice.q,) + rho.shape)
-                g_g = np.zeros((lattice.q, 2) + rho.shape)
-                for old in range(nprocs):
-                    (y0, y1), (x0, x1) = decomp.bounds(old)
-                    data = checkpoint.load(label, old)
-                    cut = (Ellipsis, slice(h, h + (y1 - y0)),
-                           slice(h, h + (x1 - x0)))
-                    f_g[..., y0:y1, x0:x1] = data["f"][cut]
-                    g_g[..., y0:y1, x0:x1] = data["g"][cut]
-                (y0, y1), (x0, x1) = state.bounds
-                inter2 = (Ellipsis,) + state.interior
-                state.f[inter2] = f_g[..., y0:y1, x0:x1]
-                state.g[inter2] = g_g[..., y0:y1, x0:x1]
-            runner.neighbors = {
-                comm._global(r) for r in state.neighbors.values()
-                if r != comm.rank}
-            if callable(on_shrink):
-                on_shrink(comm, record)
-
-        def body(step_index: int) -> None:
-            inter = state.interior
-            if injector is not None:
-                injector.tick(comm.rank, step_index)
-                # Corrupt only the owned interior: halo copies are
-                # rewritten by the next exchange, so a flip there is
-                # benign by construction (masked, not detected).
-                injector.sdc(comm.rank, step_index,
-                             {"f": state.f[(Ellipsis,) + inter],
-                              "g": state.g[(Ellipsis,) + inter]})
-            if tracer.enabled:
-                tracer.instant(comm.rank, "step", "phase",
-                               {"step": step_index})
-            for guard in guards:
-                guard.begin_step()
-            with comm.phase("collision"):
-                if stepper is not None:
-                    stepper.collide(state.f[(Ellipsis,) + inter],
-                                    state.g[(Ellipsis,) + inter])
-                else:
-                    f_i, g_i = collide(state.f[(Ellipsis,) + inter],
-                                       state.g[(Ellipsis,) + inter],
-                                       lattice, tau, tau_m)
-                    state.f[(Ellipsis,) + inter] = f_i
-                    state.g[(Ellipsis,) + inter] = g_i
-            with comm.phase("halo"):
-                if use_caf:
-                    _exchange_caf(state, images)
-                else:
-                    _exchange_mpi(state)
-            for guard in guards:
-                guard.mark_exchanged()
-            with comm.phase("stream"):
-                for guard in guards:
-                    guard.require_exchanged("stream")
-                if stepper is not None:
-                    f_s = stepper.stream_halo(state.f, state.h, f_out)
-                    g_s = stepper.stream_halo(state.g, state.h, g_out)
-                else:
-                    f_s = stream_extended(state.f, lattice, state.h)
-                    g_s = stream_extended(state.g, lattice, state.h)
-                state.f[(Ellipsis,) + inter] = f_s
-                state.g[(Ellipsis,) + inter] = g_s
-            if monitor is not None and monitor.due(step_index):
-                # Uniform condition across ranks, so the phase's entry
-                # barrier is collective-safe; labeling the watchdog
-                # reductions keeps them out of the step phases'
-                # attribution in `repro report`.
-                with comm.phase("diagnostics"):
-                    monitor.guard_finite(step_index, "lbmhd.finite",
-                                         state.f, state.g)
-                    rho_l, u_l, _ = moments(
-                        state.f[(Ellipsis,) + inter],
-                        state.g[(Ellipsis,) + inter], lattice)
-                    mass = comm.allreduce(float(rho_l.sum()))
-                    monitor.check_conserved(step_index, "lbmhd.mass",
-                                            mass,
-                                            default_threshold=1e-8)
-                    mom = comm.allreduce(
-                        (rho_l * u_l).sum(axis=(1, 2)))
-                    for ax, label in enumerate(("x", "y")):
-                        monitor.check_conserved(
-                            step_index, f"lbmhd.momentum.{label}",
-                            float(mom[ax]), default_threshold=1e-8,
-                            scale=mass)
-
-        runner = OnlineRunner(
-            comm, nsteps=nsteps, checkpoint=checkpoint,
-            checkpoint_every=checkpoint_every,
-            save=save if checkpoint is not None else None,
-            load=load if checkpoint is not None else None,
-            snapshot=snapshot, restore=restore, policy=policy,
-            on_shrink=shrink_hook if on_shrink else None,
-            neighbors={comm._global(r) for r in state.neighbors.values()
-                       if r != comm.rank})
-        runner.run(body)
-        inter = state.interior
-        rho_l, u_l, B_l = moments(state.f[(Ellipsis,) + inter],
-                                  state.g[(Ellipsis,) + inter], lattice)
-        mass = comm.allreduce(float(rho_l.sum()))
-        energy = comm.allreduce(float(
-            0.5 * (rho_l * (u_l ** 2).sum(axis=0)).sum()
-            + 0.5 * (B_l ** 2).sum()))
-        return RankResult(state.bounds, rho_l, u_l, B_l, mass, energy)
+    rank_main = _LbmhdRankMain(
+        rho, u, B, lattice=lattice, tau=tau, tau_m=tau_m,
+        use_caf=use_caf, fused=fused, nsteps=nsteps, decomp=decomp,
+        nprocs=nprocs, injector=injector, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every, health=health, policy=policy,
+        on_shrink=on_shrink)
 
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize, spares=spares)
+                      sanitize=sanitize, spares=spares, backend=backend)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,

@@ -163,7 +163,8 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
                          policy: RecoveryPolicy | None = None,
                          sanitize: bool | None = None,
                          spares: int = 0,
-                         on_shrink: "bool | callable" = False
+                         on_shrink: "bool | callable" = False,
+                         backend: str = "thread"
                          ) -> ParallelBandsResult:
     """Distributed all-band CG for the ionic Hamiltonian.
 
@@ -189,6 +190,10 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
     G-sphere columns over the survivors and reassembles the rollback
     coefficient block from the old layout's checkpoint shards (pass a
     callable to observe the remap: ``on_shrink(comm, record)``).
+
+    ``backend="process"`` runs the ranks as OS processes (zero-copy
+    shared-memory transport); results are bit-identical to the thread
+    backend.
     """
     basis = PlaneWaveBasis(cell, ecut)
     layout = SphereLayout(basis, nprocs)
@@ -196,99 +201,13 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
     v_real = basis.to_grid(v_ion_g).real
     start = random_bands(basis.size, nbands, seed)
 
-    def rank_main(comm: Comm):
-        monitor = HealthMonitor(comm, health) if health is not None \
-            else None
-        tracer = comm.transport.tracer
-
-        def build(lay: SphereLayout):
-            ft = ParallelFFT3D(basis, lay, comm)
-            x0, x1 = lay.x_range(comm.rank)
-            return ft, DistributedHamiltonian(basis, ft, v_real[x0:x1])
-
-        fft, ham = build(layout)
-        coeff = start[:, fft.my_sphere].copy()
-        evals = None
-
-        def save(label: int) -> None:
-            checkpoint.save(label, comm.rank, coeff=coeff)
-
-        def load(label: int) -> None:
-            nonlocal coeff
-            coeff = checkpoint.load(label, comm.rank)["coeff"]
-
-        def snapshot():
-            return coeff.copy()
-
-        def restore(snap) -> None:
-            nonlocal coeff
-            coeff = snap.copy()
-
-        def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
-            # Rebalance the columns over the survivors; reassemble the
-            # rollback coefficients from the old layout's shards (each
-            # shard's columns are indexed by the old sphere indices).
-            nonlocal fft, ham, coeff
-            new_layout = SphereLayout(basis, comm.size)
-            fft, ham = build(new_layout)
-            label = record.rollback_step
-            if label > 0 and checkpoint is not None:
-                coeff_g = np.zeros((nbands, basis.size),
-                                   dtype=np.complex128)
-                for old in range(nprocs):
-                    shard = checkpoint.load(label, old)["coeff"]
-                    coeff_g[:, layout.sphere_indices_of(old)] = shard
-            else:
-                coeff_g = start
-            coeff = coeff_g[:, fft.my_sphere].copy()
-            if callable(on_shrink):
-                on_shrink(comm, record)
-
-        def body(outer: int) -> None:
-            nonlocal coeff, evals
-            if injector is not None:
-                injector.tick(comm.rank, outer)
-                injector.sdc(comm.rank, outer, {"coeff": coeff})
-            if tracer.enabled:
-                tracer.instant(comm.rank, "step", "phase",
-                               {"outer": outer})
-            if monitor is not None and outer > 0 and monitor.due(outer):
-                # At outer-iteration entry the previous subspace
-                # rotation left the bands orthonormal; check before
-                # _cg_step's orthonormalization repairs any damage
-                # (outer 0 starts from unnormalized random bands).
-                with comm.phase("diagnostics"):
-                    monitor.guard_finite(outer, "paratec.finite", coeff)
-                    norms = _dots(comm, coeff, coeff).real
-                    monitor.check_absolute(
-                        outer, "paratec.norm",
-                        float(np.max(np.abs(norms - 1.0))),
-                        default_threshold=1e-6)
-            with comm.phase("cg"):
-                for _ in range(n_inner):
-                    coeff = _cg_step(comm, ham, coeff)
-            with comm.phase("rotate"):
-                evals, coeff = _subspace_rotate(comm, ham, coeff)
-            if monitor is not None and monitor.due(outer):
-                with comm.phase("diagnostics"):
-                    monitor.check_monotone(outer, "paratec.energy",
-                                           float(evals.sum().real),
-                                           default_slack=1e-9)
-
-        runner = OnlineRunner(
-            comm, nsteps=n_outer, checkpoint=checkpoint,
-            checkpoint_every=checkpoint_every,
-            save=save if checkpoint is not None else None,
-            load=load if checkpoint is not None else None,
-            snapshot=snapshot, restore=restore, policy=policy,
-            on_shrink=shrink_hook if on_shrink else None)
-        runner.run(body)
-        with comm.phase("rotate"):
-            evals, coeff = _subspace_rotate(comm, ham, coeff)
-        return evals, len(fft.my_sphere)
-
+    rank_main = _ParatecRankMain(
+        basis, layout, v_real, start, nbands=nbands, n_outer=n_outer,
+        n_inner=n_inner, nprocs=nprocs, injector=injector,
+        checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+        health=health, policy=policy, on_shrink=on_shrink)
     job = ParallelJob(nprocs, transport=transport, injector=injector,
-                      sanitize=sanitize, spares=spares)
+                      sanitize=sanitize, spares=spares, backend=backend)
     if injector is not None or checkpoint is not None or policy is not None:
         results = ResilientJob(job, max_restarts=max_restarts,
                                policy=policy,
@@ -303,3 +222,130 @@ def solve_bands_parallel(cell: Cell, ecut: float, nbands: int, *,
         eigenvalues=evals,
         rank_sizes=[r[1] for r in results],
         loads=layout.loads)
+
+
+class _ParatecRankMain:
+    """Picklable per-rank entry point (shared by both backends)."""
+
+    def __init__(self, basis, layout, v_real, start, *, nbands, n_outer,
+                 n_inner, nprocs, injector, checkpoint, checkpoint_every,
+                 health, policy, on_shrink):
+        self.basis = basis
+        self.layout = layout
+        self.v_real = v_real
+        self.start = start
+        self.nbands = nbands
+        self.n_outer = n_outer
+        self.n_inner = n_inner
+        self.nprocs = nprocs
+        self.injector = injector
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.health = health
+        self.policy = policy
+        self.on_shrink = on_shrink
+
+    def __call__(self, comm: Comm):
+        return _paratec_rank_body(
+            comm, self.basis, self.layout, self.v_real, self.start,
+            nbands=self.nbands, n_outer=self.n_outer,
+            n_inner=self.n_inner, nprocs=self.nprocs,
+            injector=self.injector, checkpoint=self.checkpoint,
+            checkpoint_every=self.checkpoint_every, health=self.health,
+            policy=self.policy, on_shrink=self.on_shrink)
+
+
+def _paratec_rank_body(comm: Comm, basis, layout, v_real, start, *,
+                       nbands, n_outer, n_inner, nprocs, injector,
+                       checkpoint, checkpoint_every, health, policy,
+                       on_shrink):
+    """One rank's full PARATEC program (shared by both backends)."""
+    monitor = HealthMonitor(comm, health) if health is not None \
+        else None
+    tracer = comm.transport.tracer
+
+    def build(lay: SphereLayout):
+        ft = ParallelFFT3D(basis, lay, comm)
+        x0, x1 = lay.x_range(comm.rank)
+        return ft, DistributedHamiltonian(basis, ft, v_real[x0:x1])
+
+    fft, ham = build(layout)
+    coeff = start[:, fft.my_sphere].copy()
+    evals = None
+
+    def save(label: int) -> None:
+        checkpoint.save(label, comm.rank, coeff=coeff)
+
+    def load(label: int) -> None:
+        nonlocal coeff
+        coeff = checkpoint.load(label, comm.rank)["coeff"]
+
+    def snapshot():
+        return coeff.copy()
+
+    def restore(snap) -> None:
+        nonlocal coeff
+        coeff = snap.copy()
+
+    def shrink_hook(comm_: Comm, record: RepairRecord) -> None:
+        # Rebalance the columns over the survivors; reassemble the
+        # rollback coefficients from the old layout's shards (each
+        # shard's columns are indexed by the old sphere indices).
+        nonlocal fft, ham, coeff
+        new_layout = SphereLayout(basis, comm.size)
+        fft, ham = build(new_layout)
+        label = record.rollback_step
+        if label > 0 and checkpoint is not None:
+            coeff_g = np.zeros((nbands, basis.size),
+                               dtype=np.complex128)
+            for old in range(nprocs):
+                shard = checkpoint.load(label, old)["coeff"]
+                coeff_g[:, layout.sphere_indices_of(old)] = shard
+        else:
+            coeff_g = start
+        coeff = coeff_g[:, fft.my_sphere].copy()
+        if callable(on_shrink):
+            on_shrink(comm, record)
+
+    def body(outer: int) -> None:
+        nonlocal coeff, evals
+        if injector is not None:
+            injector.tick(comm.rank, outer)
+            injector.sdc(comm.rank, outer, {"coeff": coeff})
+        if tracer.enabled:
+            tracer.instant(comm.rank, "step", "phase",
+                           {"outer": outer})
+        if monitor is not None and outer > 0 and monitor.due(outer):
+            # At outer-iteration entry the previous subspace
+            # rotation left the bands orthonormal; check before
+            # _cg_step's orthonormalization repairs any damage
+            # (outer 0 starts from unnormalized random bands).
+            with comm.phase("diagnostics"):
+                monitor.guard_finite(outer, "paratec.finite", coeff)
+                norms = _dots(comm, coeff, coeff).real
+                monitor.check_absolute(
+                    outer, "paratec.norm",
+                    float(np.max(np.abs(norms - 1.0))),
+                    default_threshold=1e-6)
+        with comm.phase("cg"):
+            for _ in range(n_inner):
+                coeff = _cg_step(comm, ham, coeff)
+        with comm.phase("rotate"):
+            evals, coeff = _subspace_rotate(comm, ham, coeff)
+        if monitor is not None and monitor.due(outer):
+            with comm.phase("diagnostics"):
+                monitor.check_monotone(outer, "paratec.energy",
+                                       float(evals.sum().real),
+                                       default_slack=1e-9)
+
+    runner = OnlineRunner(
+        comm, nsteps=n_outer, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        save=save if checkpoint is not None else None,
+        load=load if checkpoint is not None else None,
+        snapshot=snapshot, restore=restore, policy=policy,
+        on_shrink=shrink_hook if on_shrink else None)
+    runner.run(body)
+    with comm.phase("rotate"):
+        evals, coeff = _subspace_rotate(comm, ham, coeff)
+    return evals, len(fft.my_sphere)

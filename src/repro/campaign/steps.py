@@ -26,6 +26,10 @@ Kinds
               classify its *typed exit code* (see README) — the
               string-matching-free contract with the CLI
 ``summary``   aggregate the dependency results already in the store
+
+``trace``, ``report`` and ``bench`` steps accept a ``backend`` config
+key (``thread`` | ``process``), making the execution backend a natural
+campaign matrix axis (``matrix: {backend: [thread, process]}``).
 """
 
 from __future__ import annotations
@@ -143,17 +147,20 @@ def run_trace(ctx: StepContext) -> StepOutcome:
     app = cfg.get("app")
     if app is None:
         raise FatalStepError(f"trace step {ctx.step.id}: missing `app`")
+    backend = _cfg_backend(cfg, ctx.step.id)
     run = trace_app(str(app),
                     steps=_opt_int(cfg, "steps"),
                     nprocs=_opt_int(cfg, "nprocs"),
-                    outdir=ctx.workdir)
+                    outdir=ctx.workdir, backend=backend)
     # Deterministic structure only: counts agree bit-for-bit across
-    # runs, while the virtual makespan is wall-time-derived and lives
-    # in the metrics.json artifact instead.
+    # runs (and across backends — that parity is part of the process
+    # backend's contract), while the virtual makespan is
+    # wall-time-derived and lives in the metrics.json artifact instead.
     result = {
         "app": run.app,
         "nprocs": run.nprocs,
         "steps": run.steps,
+        "backend": backend,
         "events": run.report["events"],
         "comm_messages": run.report["traffic"]["messages"],
         "comm_bytes": run.report["traffic"]["bytes"],
@@ -173,12 +180,13 @@ def run_report(ctx: StepContext) -> StepOutcome:
     app = cfg.get("app")
     if app is None:
         raise FatalStepError(f"report step {ctx.step.id}: missing `app`")
+    backend = _cfg_backend(cfg, ctx.step.id)
     try:
         run, doc = report_app(str(app),
                               steps=_opt_int(cfg, "steps"),
                               nprocs=_opt_int(cfg, "nprocs"),
                               machine=str(cfg.get("machine", "ES")),
-                              outdir=ctx.workdir)
+                              outdir=ctx.workdir, backend=backend)
         validate_report(doc)
     except ProfileError as exc:
         raise FatalStepError(f"report step {ctx.step.id}: {exc}") from exc
@@ -186,6 +194,7 @@ def run_report(ctx: StepContext) -> StepOutcome:
         "app": run.app,
         "nprocs": run.nprocs,
         "steps": run.steps,
+        "backend": backend,
         "machine": str(cfg.get("machine", "ES")),
         "phases": sorted(p["name"] for p in doc["attribution"]["phases"]),
         "validated": True,
@@ -284,11 +293,14 @@ def run_bench(ctx: StepContext) -> StepOutcome:
     only = cfg.get("only")
     if isinstance(only, str):
         only = [s for s in only.split(",") if s]
-    doc = perf_run_bench(quick=bool(cfg.get("quick", True)), only=only)
+    backend = _cfg_backend(cfg, ctx.step.id)
+    doc = perf_run_bench(quick=bool(cfg.get("quick", True)), only=only,
+                         backend=backend)
     out = ctx.workdir / "bench.json"
     out.write_text(json.dumps(doc, indent=2) + "\n")
     result = {"benchmarks": sorted(doc["benchmarks"]),
-              "quick": bool(cfg.get("quick", True))}
+              "quick": bool(cfg.get("quick", True)),
+              "backend": backend}
     return StepOutcome(result=result, artifacts={"bench.json": out})
 
 
@@ -374,3 +386,13 @@ def execute(ctx: StepContext) -> StepOutcome:
 def _opt_int(cfg: dict, key: str) -> int | None:
     value = cfg.get(key)
     return None if value is None else int(value)
+
+
+def _cfg_backend(cfg: dict, step_id: str) -> str:
+    """Validate the step's `backend` config key (matrix-axis friendly)."""
+    backend = str(cfg.get("backend", "thread"))
+    if backend not in ("thread", "process"):
+        raise FatalStepError(
+            f"step {step_id}: unknown backend {backend!r} "
+            f"(choose thread or process)")
+    return backend

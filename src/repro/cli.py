@@ -169,15 +169,21 @@ def _cmd_apps(_: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .runtime import BackendError
+
     if args.kill_rank is not None:
         import json
 
         from .resilience.chaos import run_kill_chaos
 
         apps = [a.lower() for a in args.app] if args.app else None
-        outcomes, summary = run_kill_chaos(
-            args.kill_rank, args.at_step, shrink=args.shrink,
-            apps=apps, echo=print)
+        try:
+            outcomes, summary = run_kill_chaos(
+                args.kill_rank, args.at_step, shrink=args.shrink,
+                apps=apps, echo=print, backend=args.backend)
+        except BackendError as err:
+            print(f"repro chaos: {err}", file=sys.stderr)
+            return EXIT_CONFIG
         failed = [o for o in outcomes if not o.ok]
         print(f"\nchaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
               f"applications survived the rank kill "
@@ -193,7 +199,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from .resilience.chaos import run_chaos
 
-    outcomes = run_chaos(seed=args.seed, echo=print, sdc=args.sdc)
+    outcomes = run_chaos(seed=args.seed, echo=print, sdc=args.sdc,
+                         backend=args.backend)
     failed = [o for o in outcomes if not o.ok]
     kind = "SDC plan" if args.sdc else "fault plan"
     print(f"\nchaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
@@ -210,7 +217,8 @@ def _cmd_health(args: argparse.Namespace) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-health-") as ckdir:
         run = run_monitored(args.app, ckdir=ckdir, sdc=args.sdc,
                             seed=args.seed,
-                            check_every=args.check_every)
+                            check_every=args.check_every,
+                            backend=args.backend)
     print(render_report(run))
     reg = MetricsRegistry()
     reg.ingest_recovery(run.policy)
@@ -233,7 +241,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.runner import trace_app
 
     run = trace_app(args.app, steps=args.steps, nprocs=args.nprocs,
-                    outdir=None if args.summary else args.out)
+                    outdir=None if args.summary else args.out,
+                    backend=args.backend)
     print(f"{run.app}: {run.nprocs} ranks x {run.steps} steps, "
           f"{run.report['events']} events")
     print()
@@ -269,7 +278,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         run, doc = report_app(
             args.app, steps=args.steps, nprocs=args.nprocs,
             machine=args.machine, threshold=args.threshold,
-            outdir=args.out)
+            outdir=args.out, backend=args.backend)
     except ProfileError as err:
         print(f"repro report: {err}", file=sys.stderr)
         return EXIT_CONFIG
@@ -285,7 +294,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              load_baseline, run_bench)
 
     only = args.only.split(",") if args.only else None
-    doc = run_bench(quick=args.quick, only=only)
+    doc = run_bench(quick=args.quick, only=only, backend=args.backend)
     print(format_report(doc))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -456,6 +465,14 @@ def _add_lint_arguments(p: argparse.ArgumentParser, *,
                             "send/recv/collective matching")
 
 
+def _add_backend_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="execution backend: deterministic in-process "
+                        "threads (default) or real OS processes with "
+                        "shared-memory zero-copy transport")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -511,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
                         "(repeatable; default all four)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the kill-pass summary JSON")
+    _add_backend_argument(p)
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
@@ -524,6 +542,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="SDC plan seed (default 2004)")
     p.add_argument("--check-every", type=int, default=1,
                    help="invariant check cadence in steps (default 1)")
+    _add_backend_argument(p)
     p.set_defaults(fn=_cmd_health)
 
     p = sub.add_parser(
@@ -538,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="output directory (default ./trace-out)")
     p.add_argument("--summary", action="store_true",
                    help="print the per-phase table only; write no files")
+    _add_backend_argument(p)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -564,6 +584,7 @@ def main(argv: list[str] | None = None) -> int:
                         "difference (default 0.25)")
     p.add_argument("--out", default="report-out",
                    help="output directory (default ./report-out)")
+    _add_backend_argument(p)
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
@@ -582,6 +603,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="smaller problems / fewer repeats (CI smoke)")
     p.add_argument("--only", default=None,
                    help="comma-separated subset of benchmarks")
+    _add_backend_argument(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(

@@ -65,19 +65,19 @@ class TraceRun:
 
 
 def _run_lbmhd(nprocs: int, steps: int, transport: Transport,
-               model: MetricsRegistry) -> None:
+               model: MetricsRegistry, backend: str = "thread") -> None:
     from ..apps.lbmhd import orszag_tang
     from ..apps.lbmhd.parallel import run_parallel
     from ..apps.lbmhd.profile import LBMHDConfig, feed_metrics
 
     rho, u, B = orszag_tang(16, 16)
     run_parallel(rho, u, B, nprocs=nprocs, nsteps=steps,
-                 transport=transport)
+                 transport=transport, backend=backend)
     feed_metrics(model, LBMHDConfig(16, nprocs))
 
 
 def _run_cactus(nprocs: int, steps: int, transport: Transport,
-                model: MetricsRegistry) -> None:
+                model: MetricsRegistry, backend: str = "thread") -> None:
     from ..apps.cactus import gauge_wave
     from ..apps.cactus.parallel import run_parallel
     from ..apps.cactus.profile import CactusConfig, feed_metrics
@@ -85,12 +85,13 @@ def _run_cactus(nprocs: int, steps: int, transport: Transport,
     dx = 1.0 / 8
     g, K, a = gauge_wave((8, 4, 4), dx, amplitude=0.05)
     run_parallel(g, K, a, nprocs=nprocs, nsteps=steps,
-                 spacing=dx, dt=0.2 * dx, transport=transport)
+                 spacing=dx, dt=0.2 * dx, transport=transport,
+                 backend=backend)
     feed_metrics(model, CactusConfig((8, 4, 4), nprocs))
 
 
 def _run_gtc(nprocs: int, steps: int, transport: Transport,
-             model: MetricsRegistry) -> None:
+             model: MetricsRegistry, backend: str = "thread") -> None:
     from ..apps.gtc import AnnulusGrid, TorusGeometry, load_ring_perturbation
     from ..apps.gtc.parallel import run_parallel
     from ..apps.gtc.profile import GTCConfig, feed_metrics
@@ -98,23 +99,23 @@ def _run_gtc(nprocs: int, steps: int, transport: Transport,
     geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 8, 8), nprocs)
     parts = load_ring_perturbation(geom, 4.0)
     run_parallel(geom, parts, nprocs=nprocs, nsteps=steps,
-                 transport=transport)
+                 transport=transport, backend=backend)
     feed_metrics(model, GTCConfig(10, nprocs))
 
 
 def _run_paratec(nprocs: int, steps: int, transport: Transport,
-                 model: MetricsRegistry) -> None:
+                 model: MetricsRegistry, backend: str = "thread") -> None:
     from ..apps.paratec import silicon_primitive
     from ..apps.paratec.parallel import solve_bands_parallel
     from ..apps.paratec.profile import ParatecConfig, feed_metrics
 
     solve_bands_parallel(silicon_primitive(), 4.0, 4, nprocs=nprocs,
-                         n_outer=steps, n_inner=2, transport=transport)
+                         n_outer=steps, n_inner=2, transport=transport,
+                         backend=backend)
     feed_metrics(model, ParatecConfig(432, nprocs))
 
 
-_RUNNERS: dict[str, Callable[[int, int, Transport, MetricsRegistry],
-                             None]] = {
+_RUNNERS: dict[str, Callable[..., None]] = {
     "lbmhd": _run_lbmhd,
     "cactus": _run_cactus,
     "gtc": _run_gtc,
@@ -195,10 +196,14 @@ def build_report(app: str, nprocs: int, steps: int, tracer: Tracer,
 
 def trace_app(app: str, *, steps: int | None = None,
               nprocs: int | None = None,
-              outdir: str | Path | None = ".") -> TraceRun:
+              outdir: str | Path | None = ".",
+              backend: str = "thread") -> TraceRun:
     """Run ``app`` with tracing on; write trace/events/metrics files.
 
     ``outdir=None`` skips the file writes (in-memory result only).
+    ``backend="process"`` runs the ranks as OS processes; each worker
+    spools its events to JSONL and the merged trace lands in the same
+    files (wall-clock timestamps share one monotonic timebase).
     """
     if app not in _RUNNERS:
         raise ValueError(
@@ -214,7 +219,7 @@ def trace_app(app: str, *, steps: int | None = None,
     transport = Transport(nprocs)
     transport.tracer = tracer
     model = MetricsRegistry()
-    _RUNNERS[app](nprocs, steps, transport, model)
+    _RUNNERS[app](nprocs, steps, transport, model, backend)
 
     report = build_report(app, nprocs, steps, tracer, transport, clocks,
                           model)
@@ -255,6 +260,7 @@ def report_app(app: str, *, steps: int | None = None,
                nprocs: int | None = None, machine: str = "ES",
                threshold: float | None = None,
                outdir: str | Path | None = ".",
+               backend: str = "thread",
                ) -> tuple[TraceRun, dict[str, Any]]:
     """Run ``app`` traced, then profile it: the ``repro report`` path.
 
@@ -263,7 +269,8 @@ def report_app(app: str, *, steps: int | None = None,
     """
     from .profile import DEFAULT_THRESHOLD, build_report
 
-    run = trace_app(app, steps=steps, nprocs=nprocs, outdir=outdir)
+    run = trace_app(app, steps=steps, nprocs=nprocs, outdir=outdir,
+                    backend=backend)
     doc = build_report(
         run.tracer, app=app, nprocs=run.nprocs,
         profile=model_profile(app, run.nprocs), machine=machine,

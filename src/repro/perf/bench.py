@@ -17,7 +17,16 @@ without caring how fast the runner host is in absolute terms:
   allocating reference forms in
   :mod:`repro.apps.cactus.stencils_ref`;
 * ``paratec_transpose`` — the parallel FFT roundtrip on the zero-copy
-  transport vs the legacy deep-copy transport.
+  transport vs the legacy deep-copy transport;
+* ``backend_scaling`` (enabled by ``--backend process``) — the fused
+  4-rank LBMHD step on OS-process ranks vs the GIL-sharing thread
+  backend.  The gated quantity is the **kernel-path** time (wall
+  seconds inside the rank program, interpreter spawn/import excluded);
+  end-to-end job times are recorded alongside.  Unlike the other
+  entries this speedup depends on physical core count, so the check
+  gates it on ``cpu_count >= min_cores`` and on matching scale, while
+  bit-identical results and unchanged logical traffic are enforced
+  everywhere.
 
 Each entry also records tracemalloc peak allocation for one call of
 either side — the "allocation count" evidence that the fast paths hold
@@ -30,6 +39,7 @@ standard way to suppress scheduler noise for sub-second kernels.
 from __future__ import annotations
 
 import json
+import os
 import time
 import tracemalloc
 from typing import Any, Callable
@@ -274,19 +284,107 @@ def bench_paratec_transpose(quick: bool = False) -> dict:
     }
 
 
+def bench_backend_scaling(quick: bool = False) -> dict:
+    """Fused 4-rank LBMHD: OS-process ranks vs GIL-sharing threads.
+
+    ``naive_seconds``/``fused_seconds`` are kernel-path times — the
+    slowest rank's wall seconds *inside* the rank program, so process
+    spawn and interpreter import are excluded (they are a fixed cost,
+    amortized over any real campaign; the raw end-to-end times are
+    recorded as ``job_*_seconds``).  Both backends must produce
+    bit-identical fields and identical logical traffic.
+    """
+    from ..apps.lbmhd.initial import orszag_tang
+    from ..apps.lbmhd.lattice import OCT9
+    from ..apps.lbmhd.parallel import run_parallel
+    from ..runtime.transport import Transport
+
+    n = 64 if quick else 256
+    nsteps = 6 if quick else 24
+    nprocs = 4
+    reps = 1 if quick else 2
+    warmup = 0 if quick else 1
+    rho, u, B = orszag_tang(n, n)
+
+    def run(backend: str):
+        tp = Transport(nprocs, zero_copy=True)
+        t0 = time.perf_counter()
+        out = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
+                           lattice=OCT9, tau=0.8, tau_m=0.9, fused=True,
+                           transport=tp, backend=backend)
+        job_s = time.perf_counter() - t0
+        return out, tp, job_s, max(tp.body_seconds.values())
+
+    kernel: dict[str, float] = {}
+    job: dict[str, float] = {}
+    keep: dict[str, tuple] = {}
+    for backend in ("thread", "process"):
+        for _ in range(warmup):
+            run(backend)
+        kernel[backend] = job[backend] = float("inf")
+        for _ in range(reps):
+            out, tp, job_s, kern_s = run(backend)
+            kernel[backend] = min(kernel[backend], kern_s)
+            job[backend] = min(job[backend], job_s)
+        keep[backend] = (out, tp)
+    (rho_t, u_t, B_t), tp_t = keep["thread"]
+    (rho_p, u_p, B_p), tp_p = keep["process"]
+    identical = (np.array_equal(rho_t, rho_p)
+                 and np.array_equal(u_t, u_p)
+                 and np.array_equal(B_t, B_p))
+    return {
+        "grid": [n, n],
+        "nprocs": nprocs,
+        "steps": nsteps,
+        # The thread/process ratio is physical-parallelism dependent —
+        # meaningless on fewer cores than ranks, so the regression
+        # check gates the speedup floor on the *current* host's count.
+        "cpu_count": os.cpu_count() or 1,
+        "min_cores": 4,
+        "speedup_floor": 2.0,
+        "requires_backend": "process",
+        "naive_seconds": kernel["thread"],
+        "fused_seconds": kernel["process"],
+        "speedup": kernel["thread"] / kernel["process"],
+        "job_naive_seconds": job["thread"],
+        "job_fused_seconds": job["process"],
+        "bit_identical": identical,
+        "naive_logical_messages": tp_t.message_count(),
+        "fused_logical_messages": tp_p.message_count(),
+        "naive_logical_bytes": tp_t.total_bytes(),
+        "fused_logical_bytes": tp_p.total_bytes(),
+    }
+
+
 _BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "gtc_deposition": bench_gtc_deposition,
     "lbmhd_serial": bench_lbmhd_serial,
     "lbmhd_parallel": bench_lbmhd_parallel,
     "cactus_stencils": bench_cactus_stencils,
     "paratec_transpose": bench_paratec_transpose,
+    "backend_scaling": bench_backend_scaling,
 }
+
+#: benchmarks that only run when the process backend is requested
+_BACKEND_ONLY = {"backend_scaling": "process"}
 
 
 def run_bench(quick: bool = False,
-              only: list[str] | None = None) -> dict:
-    """Run the benchmark suite; returns the BENCH_PERF document."""
-    names = only if only else list(_BENCHMARKS)
+              only: list[str] | None = None,
+              backend: str = "thread") -> dict:
+    """Run the benchmark suite; returns the BENCH_PERF document.
+
+    ``backend="process"`` adds the thread-vs-process ``backend_scaling``
+    comparison to the default set (the remaining entries time kernels
+    against their naive references exactly as before — their ratios do
+    not depend on the execution backend).
+    """
+    if backend not in ("thread", "process"):
+        raise ValueError(
+            f"unknown backend {backend!r} (choose thread or process)")
+    names = only if only else [
+        n for n in _BENCHMARKS
+        if _BACKEND_ONLY.get(n, backend) == backend]
     unknown = [n for n in names if n not in _BENCHMARKS]
     if unknown:
         raise ValueError(f"unknown benchmarks: {unknown}")
@@ -296,6 +394,8 @@ def run_bench(quick: bool = False,
     return {
         "version": SCHEMA_VERSION,
         "quick": quick,
+        "backend": backend,
+        "cpu_count": os.cpu_count() or 1,
         "benchmarks": benchmarks,
     }
 
@@ -314,19 +414,32 @@ def check_regression(current: dict, baseline: dict,
     failures: list[str] = []
     base_marks = baseline.get("benchmarks", {})
     cur_marks = current.get("benchmarks", {})
+    cur_backend = current.get("backend", "thread")
     for name, base in base_marks.items():
         cur = cur_marks.get(name)
         if cur is None:
+            if base.get("requires_backend", "thread") != cur_backend:
+                continue    # suite member not enabled for this backend
             failures.append(f"{name}: missing from current run")
             continue
+        same_scale = all(cur.get(k) == base.get(k)
+                         for k in ("grid", "steps", "nprocs"))
         floor = base["speedup"] * (1.0 - tolerance)
-        if cur["speedup"] < floor:
+        check_speedup = True
+        min_cores = int(base.get("min_cores", 0))
+        if min_cores:
+            # Physical-parallelism entry: the floor is an absolute
+            # acceptance number, only meaningful with enough cores and
+            # at the baseline's scale.  Parity and traffic equality
+            # below are enforced unconditionally.
+            floor = float(base.get("speedup_floor", floor))
+            if int(cur.get("cpu_count", 0)) < min_cores or not same_scale:
+                check_speedup = False
+        if check_speedup and cur["speedup"] < floor:
             failures.append(
                 f"{name}: speedup {cur['speedup']:.2f}x fell below "
                 f"{floor:.2f}x (baseline {base['speedup']:.2f}x "
                 f"- {tolerance:.0%} band)")
-        same_scale = all(cur.get(k) == base.get(k)
-                         for k in ("grid", "steps", "nprocs"))
         if same_scale:
             for key in ("naive_logical_messages", "naive_logical_bytes",
                         "fused_logical_messages", "fused_logical_bytes"):
@@ -335,6 +448,10 @@ def check_regression(current: dict, baseline: dict,
                         f"{name}: {key} changed "
                         f"{base[key]} -> {cur.get(key)}")
     for name, cur in cur_marks.items():
+        if cur.get("bit_identical") is False:
+            failures.append(
+                f"{name}: process backend result diverged from the "
+                f"thread backend (bit parity broken)")
         # Logical traffic must also agree *within* a run: the fast path
         # may not change what the paper's tables count.
         if ("naive_logical_bytes" in cur

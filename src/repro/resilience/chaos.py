@@ -91,20 +91,21 @@ def _rel_err(a: np.ndarray, b: np.ndarray) -> float:
                         / np.maximum(np.abs(a), 1e-300), initial=0.0))
 
 
-def _chaos_lbmhd(seed: int, ckdir: str) -> str:
+def _chaos_lbmhd(seed: int, ckdir: str, backend: str = "thread") -> str:
     from ..apps.lbmhd import orszag_tang
     from ..apps.lbmhd.parallel import run_parallel
 
     nprocs, nsteps = 4, 5
     rho, u, B = orszag_tang(16, 16)
-    clean = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps)
+    clean = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
+                         backend=backend)
     plan = default_plan(seed, crash_rank=2, crash_step=2, nprocs=nprocs)
     injector = FaultInjector(plan)
     transport = Transport(nprocs)
     faulted = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
                            transport=transport, injector=injector,
                            checkpoint=Checkpointer(ckdir),
-                           checkpoint_every=2)
+                           checkpoint_every=2, backend=backend)
     for name, a, b in zip(("rho", "u", "B"), clean, faulted):
         if not np.array_equal(a, b):
             raise AssertionError(f"{name} differs after restart")
@@ -121,7 +122,7 @@ def _chaos_lbmhd(seed: int, ckdir: str) -> str:
             f"{_traffic_detail(transport)}")
 
 
-def _chaos_cactus(seed: int, ckdir: str) -> str:
+def _chaos_cactus(seed: int, ckdir: str, backend: str = "thread") -> str:
     from ..apps.cactus import gauge_wave
     from ..apps.cactus.parallel import run_parallel
 
@@ -129,7 +130,7 @@ def _chaos_cactus(seed: int, ckdir: str) -> str:
     dx = 1.0 / 8
     g, K, a = gauge_wave((8, 4, 4), dx, amplitude=0.05)
     clean = run_parallel(g, K, a, nprocs=nprocs, nsteps=nsteps,
-                         spacing=dx, dt=0.2 * dx)
+                         spacing=dx, dt=0.2 * dx, backend=backend)
     plan = default_plan(seed + 1, crash_rank=1, crash_step=2,
                         nprocs=nprocs)
     injector = FaultInjector(plan)
@@ -138,7 +139,7 @@ def _chaos_cactus(seed: int, ckdir: str) -> str:
                            spacing=dx, dt=0.2 * dx,
                            transport=transport, injector=injector,
                            checkpoint=Checkpointer(ckdir),
-                           checkpoint_every=1)
+                           checkpoint_every=1, backend=backend)
     err = max(_rel_err(x, y) for x, y in zip(clean, faulted))
     if err > 1e-12:
         raise AssertionError(f"restart deviates: rel err {err:.2e}")
@@ -151,14 +152,15 @@ def _chaos_cactus(seed: int, ckdir: str) -> str:
             f"{_traffic_detail(transport)}")
 
 
-def _chaos_gtc(seed: int, ckdir: str) -> str:
+def _chaos_gtc(seed: int, ckdir: str, backend: str = "thread") -> str:
     from ..apps.gtc import AnnulusGrid, TorusGeometry, load_ring_perturbation
     from ..apps.gtc.parallel import run_parallel
 
     nprocs, nsteps = 2, 3
     geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 8, 8), 2)
     parts = load_ring_perturbation(geom, 4.0)
-    clean = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps)
+    clean = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps,
+                         backend=backend)
     plan = default_plan(seed + 2, crash_rank=0, crash_step=1,
                         nprocs=nprocs)
     injector = FaultInjector(plan)
@@ -166,7 +168,7 @@ def _chaos_gtc(seed: int, ckdir: str) -> str:
     faulted = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps,
                            transport=transport, injector=injector,
                            checkpoint=Checkpointer(ckdir),
-                           checkpoint_every=1)
+                           checkpoint_every=1, backend=backend)
     n_clean = sum(r.nparticles for r in clean)
     n_fault = sum(r.nparticles for r in faulted)
     if n_fault != n_clean or n_fault != len(parts):
@@ -185,14 +187,14 @@ def _chaos_gtc(seed: int, ckdir: str) -> str:
             f"{_traffic_detail(transport)}")
 
 
-def _chaos_paratec(seed: int, ckdir: str) -> str:
+def _chaos_paratec(seed: int, ckdir: str, backend: str = "thread") -> str:
     from ..apps.paratec import silicon_primitive
     from ..apps.paratec.parallel import solve_bands_parallel
 
     nprocs = 2
     cell = silicon_primitive()
     clean = solve_bands_parallel(cell, 4.0, 4, nprocs=nprocs,
-                                 n_outer=3, n_inner=2)
+                                 n_outer=3, n_inner=2, backend=backend)
     plan = default_plan(seed + 3, crash_rank=1, crash_step=1,
                         nprocs=nprocs)
     injector = FaultInjector(plan)
@@ -200,7 +202,7 @@ def _chaos_paratec(seed: int, ckdir: str) -> str:
                                    n_outer=3, n_inner=2,
                                    injector=injector,
                                    checkpoint=Checkpointer(ckdir),
-                                   checkpoint_every=1)
+                                   checkpoint_every=1, backend=backend)
     err = _rel_err(clean.eigenvalues, faulted.eigenvalues)
     if err > 1e-12:
         raise AssertionError(f"eigenvalues deviate: rel err {err:.2e}")
@@ -214,12 +216,14 @@ _SDC_TOLERANCE = {"lbmhd": 0.0, "gtc": 0.0, "cactus": 1e-12,
                   "paratec": 1e-10}
 
 
-def _sdc_pass(name: str, seed: int, ckdir: str) -> str:
+def _sdc_pass(name: str, seed: int, ckdir: str,
+              backend: str = "thread") -> str:
     """One application's SDC chaos pass; raises on any recovery gap."""
     from .health import run_monitored
 
     app = name.lower()
-    run = run_monitored(app, ckdir=ckdir, sdc=True, seed=seed)
+    run = run_monitored(app, ckdir=ckdir, sdc=True, seed=seed,
+                        backend=backend)
     if not run.injector.sdc_records:
         raise AssertionError("planned bit flip did not fire")
     detections = run.policy.detections()
@@ -262,6 +266,17 @@ def kill_plan(*, kill_rank: int, kill_step: int, nprocs: int) -> FaultPlan:
     if kill_step < 0:
         raise ValueError("kill_step must be >= 0")
     return FaultPlan(kill_rank=kill_rank, kill_step=kill_step)
+
+
+def _kill_ckpt_every(backend: str) -> int:
+    """Checkpoint cadence for the kill pass.
+
+    The process backend cannot replay a dead rank's missed messages
+    (its log cursors died with it), so online recovery must resume
+    exactly at the rollback checkpoint: checkpoint every step.  The
+    thread backend keeps the sparser cadence and replays the gap.
+    """
+    return 1 if backend == "process" else 2
 
 
 def _traced_transport(nprocs: int) -> Transport:
@@ -321,13 +336,14 @@ def _kill_verify(app: str, transport: Transport, ckpt: Checkpointer,
 
 
 def _kill_lbmhd(ckdir: str, kill_rank: int, kill_step: int,
-                shrink: bool) -> tuple[str, dict]:
+                shrink: bool, backend: str = "thread") -> tuple[str, dict]:
     from ..apps.lbmhd import orszag_tang
     from ..apps.lbmhd.parallel import run_parallel
 
     nprocs, nsteps = 4, max(6, kill_step + 3)
     rho, u, B = orszag_tang(16, 16)
-    clean = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps)
+    clean = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
+                         backend=backend)
     plan = kill_plan(kill_rank=kill_rank, kill_step=kill_step,
                      nprocs=nprocs)
     injector = FaultInjector(plan)
@@ -335,9 +351,10 @@ def _kill_lbmhd(ckdir: str, kill_rank: int, kill_step: int,
     ckpt = Checkpointer(ckdir)
     faulted = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps,
                            transport=transport, injector=injector,
-                           checkpoint=ckpt, checkpoint_every=2,
+                           checkpoint=ckpt,
+                           checkpoint_every=_kill_ckpt_every(backend),
                            spares=0 if shrink else 1,
-                           on_shrink=shrink)
+                           on_shrink=shrink, backend=backend)
     for name, a, b in zip(("rho", "u", "B"), clean, faulted):
         if shrink:
             if _rel_err(a, b) > 1e-11:
@@ -353,14 +370,15 @@ def _kill_lbmhd(ckdir: str, kill_rank: int, kill_step: int,
 
 
 def _kill_cactus(ckdir: str, kill_rank: int, kill_step: int,
-                 shrink: bool) -> tuple[str, dict]:
+                 shrink: bool, backend: str = "thread") -> tuple[str, dict]:
     from ..apps.cactus import gauge_wave
     from ..apps.cactus.parallel import run_parallel
 
     nprocs, nsteps = 4, max(6, kill_step + 3)
     dx = 1.0 / 8
     g, K, a = gauge_wave((8, 8, 4), dx, amplitude=0.05)
-    kw = dict(nprocs=nprocs, nsteps=nsteps, spacing=dx, dt=0.2 * dx)
+    kw = dict(nprocs=nprocs, nsteps=nsteps, spacing=dx, dt=0.2 * dx,
+              backend=backend)
     clean = run_parallel(g, K, a, **kw)
     injector = FaultInjector(kill_plan(kill_rank=kill_rank,
                                        kill_step=kill_step,
@@ -369,7 +387,7 @@ def _kill_cactus(ckdir: str, kill_rank: int, kill_step: int,
     ckpt = Checkpointer(ckdir)
     faulted = run_parallel(g, K, a, **kw, transport=transport,
                            injector=injector, checkpoint=ckpt,
-                           checkpoint_every=2,
+                           checkpoint_every=_kill_ckpt_every(backend),
                            spares=0 if shrink else 1,
                            on_shrink=shrink)
     tol = 1e-11 if shrink else 0.0
@@ -386,7 +404,7 @@ def _kill_cactus(ckdir: str, kill_rank: int, kill_step: int,
 
 
 def _kill_gtc(ckdir: str, kill_rank: int, kill_step: int,
-              shrink: bool) -> tuple[str, dict]:
+              shrink: bool, backend: str = "thread") -> tuple[str, dict]:
     from ..apps.gtc import AnnulusGrid, TorusGeometry, load_ring_perturbation
     from ..apps.gtc.parallel import assemble_phi, run_parallel
 
@@ -394,7 +412,8 @@ def _kill_gtc(ckdir: str, kill_rank: int, kill_step: int,
     geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 16, 16), 12)
     parts = load_ring_perturbation(geom, 3.0, mode_m=3, amplitude=0.3,
                                    seed=1)
-    clean = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps)
+    clean = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps,
+                         backend=backend)
     injector = FaultInjector(kill_plan(kill_rank=kill_rank,
                                        kill_step=kill_step,
                                        nprocs=nprocs))
@@ -402,9 +421,10 @@ def _kill_gtc(ckdir: str, kill_rank: int, kill_step: int,
     ckpt = Checkpointer(ckdir)
     faulted = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps,
                            transport=transport, injector=injector,
-                           checkpoint=ckpt, checkpoint_every=2,
+                           checkpoint=ckpt,
+                           checkpoint_every=_kill_ckpt_every(backend),
                            spares=0 if shrink else 1,
-                           on_shrink=shrink)
+                           on_shrink=shrink, backend=backend)
     n_clean = sum(r.nparticles for r in clean)
     n_fault = sum(r.nparticles for r in faulted)
     if n_fault != n_clean or n_fault != len(parts):
@@ -424,14 +444,15 @@ def _kill_gtc(ckdir: str, kill_rank: int, kill_step: int,
 
 
 def _kill_paratec(ckdir: str, kill_rank: int, kill_step: int,
-                  shrink: bool) -> tuple[str, dict]:
+                  shrink: bool, backend: str = "thread") -> tuple[str, dict]:
     from ..apps.paratec import silicon_primitive
     from ..apps.paratec.parallel import solve_bands_parallel
 
     nprocs = 4
     n_outer = max(6, kill_step + 3)
     cell = silicon_primitive()
-    kw = dict(nprocs=nprocs, n_outer=n_outer, n_inner=2)
+    kw = dict(nprocs=nprocs, n_outer=n_outer, n_inner=2,
+              backend=backend)
     clean = solve_bands_parallel(cell, 4.0, 4, **kw)
     injector = FaultInjector(kill_plan(kill_rank=kill_rank,
                                        kill_step=kill_step,
@@ -441,7 +462,7 @@ def _kill_paratec(ckdir: str, kill_rank: int, kill_step: int,
     faulted = solve_bands_parallel(cell, 4.0, 4, **kw,
                                    transport=transport,
                                    injector=injector, checkpoint=ckpt,
-                                   checkpoint_every=2,
+                                   checkpoint_every=_kill_ckpt_every(backend),
                                    spares=0 if shrink else 1,
                                    on_shrink=shrink)
     if shrink:
@@ -466,14 +487,24 @@ _KILL_APPS: tuple[tuple[str, Callable[..., tuple[str, dict]]], ...] = (
 
 def run_kill_chaos(kill_rank: int = 1, kill_step: int = 3, *,
                    shrink: bool = False, apps: list[str] | None = None,
-                   echo: Callable[[str], None] | None = None
+                   echo: Callable[[str], None] | None = None,
+                   backend: str = "thread"
                    ) -> tuple[list[ChaosOutcome], dict]:
     """Run the online rank-failure pass; returns outcomes + summary.
 
     The summary dict (the CLI's ``--json`` payload) reports
     ``recovered: "online"`` only when every selected application
     repaired the kill in place and reproduced the unfaulted answer.
+    ``backend="process"`` kills a real OS process mid-run (respawn
+    only — shrinking re-decomposes in place, which needs the thread
+    backend's shared address space).
     """
+    if shrink and backend == "process":
+        from ..runtime.transport import BackendError
+
+        raise BackendError(
+            "shrink recovery is not supported on the process backend; "
+            "use respawn (spares) or backend='thread'")
     selected = [(n, f) for n, f in _KILL_APPS
                 if apps is None or n.lower() in apps]
     if not selected:
@@ -488,7 +519,8 @@ def run_kill_chaos(kill_rank: int = 1, kill_step: int = 3, *,
                      f"{kill_step} ({mode}) ...")
             try:
                 detail, metrics = fn(f"{root}/{name.lower()}",
-                                     kill_rank, kill_step, shrink)
+                                     kill_rank, kill_step, shrink,
+                                     backend)
                 outcomes.append(ChaosOutcome(name, True, detail))
                 per_app[name.lower()] = {"ok": True, "detail": detail,
                                          "metrics": metrics}
@@ -512,14 +544,17 @@ def run_kill_chaos(kill_rank: int = 1, kill_step: int = 3, *,
 
 def run_chaos(seed: int = 2004,
               echo: Callable[[str], None] | None = None,
-              *, sdc: bool = False) -> list[ChaosOutcome]:
+              *, sdc: bool = False,
+              backend: str = "thread") -> list[ChaosOutcome]:
     """Run the chaos pass for all four applications.
 
     ``sdc=False`` (default) is the wire-fault + crash/restart pass;
     ``sdc=True`` is the silent-data-corruption + rollback pass.  Each
     app gets its own checkpoint directory inside a temporary root;
     failures are captured per app so one broken recovery path does not
-    hide the others.
+    hide the others.  ``backend`` selects the execution backend for
+    every pass (faults are injected inside the worker processes when
+    ``"process"``).
     """
     outcomes = []
     kind = "SDC plan" if sdc else "fault plan"
@@ -529,9 +564,10 @@ def run_chaos(seed: int = 2004,
                 echo(f"{name}: {kind} seed {seed} ...")
             try:
                 if sdc:
-                    detail = _sdc_pass(name, seed, f"{root}/{name.lower()}")
+                    detail = _sdc_pass(name, seed,
+                                       f"{root}/{name.lower()}", backend)
                 else:
-                    detail = fn(seed, f"{root}/{name.lower()}")
+                    detail = fn(seed, f"{root}/{name.lower()}", backend)
                 outcomes.append(ChaosOutcome(name, True, detail))
             except Exception as exc:  # noqa: BLE001 - reported per app
                 outcomes.append(ChaosOutcome(name, False, repr(exc)))

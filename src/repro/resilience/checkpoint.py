@@ -60,8 +60,18 @@ class CheckpointError(RuntimeError):
     def __init__(self, message: str, *, step: int, rank: int):
         super().__init__(
             f"checkpoint step {step} rank {rank}: {message}")
+        self._raw_message = message
         self.step = step
         self.rank = rank
+
+    def __reduce__(self):
+        return (_rebuild_checkpoint_error,
+                (type(self), self._raw_message, self.step, self.rank))
+
+
+def _rebuild_checkpoint_error(cls, message: str, step: int, rank: int):
+    """Unpickle helper: the constructor re-adds the step/rank prefix."""
+    return cls(message, step=step, rank=rank)
 
 
 class CheckpointCorruptError(CheckpointError):
@@ -98,6 +108,13 @@ class Checkpointer:
         #: show loads only on the replacement (+ neighbors), never a
         #: whole-job reload.
         self.load_counts: dict[int, int] = {}
+
+    def __getstate__(self):
+        # Tracers hold live buffers/locks and never cross a process
+        # boundary; the worker reattaches its own after unpickling.
+        state = dict(self.__dict__)
+        state["tracer"] = NULL_TRACER
+        return state
 
     def _path(self, step: int, rank: int) -> Path:
         return self.directory / f"step{step:08d}.rank{rank:05d}.npz"

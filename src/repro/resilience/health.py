@@ -67,6 +67,11 @@ class SDCDetectedError(RuntimeError):
         self.drift = drift
         self.threshold = threshold
 
+    def __reduce__(self):
+        return (type(self),
+                (self.rank, self.step, self.monitor, self.value,
+                 self.reference, self.drift, self.threshold))
+
 
 @dataclass(frozen=True)
 class CheckRecord:
@@ -88,6 +93,14 @@ class HealthLog:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[CheckRecord] = []
+
+    def __getstate__(self) -> dict:
+        """Lock-free snapshot so a log can ship to worker processes."""
+        return {"_records": list(self._records)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._records = list(state["_records"])
+        self._lock = threading.Lock()
 
     def append(self, rec: CheckRecord) -> None:
         with self._lock:
@@ -329,7 +342,8 @@ def sdc_plan(app: str, seed: int) -> "Any":
 
 def run_monitored(app: str, *, ckdir: str, sdc: bool = False,
                   seed: int = 2004, persistent: bool = False,
-                  check_every: int = 1) -> MonitoredRun:
+                  check_every: int = 1,
+                  backend: str = "thread") -> MonitoredRun:
     """Run ``app`` twice — fault-free, then monitored (optionally under
     the demonstration SDC plan) — and compare the results.
 
@@ -363,7 +377,7 @@ def run_monitored(app: str, *, ckdir: str, sdc: bool = False,
     runner = _RUNNERS[app]
     try:
         rel, bitwise, detail = runner(health, policy, injector,
-                                      checkpoint)
+                                      checkpoint, backend)
     except RuntimeError as exc:
         # Unrecovered (e.g. persistent corruption aborted by policy):
         # surface the diagnosis instead of a result.
@@ -375,14 +389,15 @@ def run_monitored(app: str, *, ckdir: str, sdc: bool = False,
                         policy=policy, injector=injector, detail=detail)
 
 
-def _run_lbmhd(health, policy, injector, checkpoint):
+def _run_lbmhd(health, policy, injector, checkpoint, backend="thread"):
     from ..apps.lbmhd import orszag_tang
     from ..apps.lbmhd.parallel import run_parallel
 
     nprocs, nsteps = 4, 6
     rho, u, B = orszag_tang(16, 16)
     clean = run_parallel(rho, u, B, nprocs=nprocs, nsteps=nsteps)
-    kw = dict(nprocs=nprocs, nsteps=nsteps, health=health, policy=policy)
+    kw = dict(nprocs=nprocs, nsteps=nsteps, health=health,
+              policy=policy, backend=backend)
     if injector is not None:
         kw.update(injector=injector, checkpoint=checkpoint,
                   checkpoint_every=1)
@@ -396,7 +411,7 @@ def _run_lbmhd(health, policy, injector, checkpoint):
                           f" vs clean")
 
 
-def _run_cactus(health, policy, injector, checkpoint):
+def _run_cactus(health, policy, injector, checkpoint, backend="thread"):
     from ..apps.cactus import gauge_wave
     from ..apps.cactus.parallel import run_parallel
 
@@ -405,7 +420,7 @@ def _run_cactus(health, policy, injector, checkpoint):
     g, K, a = gauge_wave((8, 4, 4), dx, amplitude=0.05)
     kw0 = dict(nprocs=nprocs, nsteps=nsteps, spacing=dx, dt=0.2 * dx)
     clean = run_parallel(g, K, a, **kw0)
-    kw = dict(kw0, health=health, policy=policy)
+    kw = dict(kw0, health=health, policy=policy, backend=backend)
     if injector is not None:
         kw.update(injector=injector, checkpoint=checkpoint,
                   checkpoint_every=1)
@@ -416,7 +431,7 @@ def _run_cactus(health, policy, injector, checkpoint):
     return rel, bitwise, f"constraint bounded, rel {rel:.1e} vs clean"
 
 
-def _run_gtc(health, policy, injector, checkpoint):
+def _run_gtc(health, policy, injector, checkpoint, backend="thread"):
     from ..apps.gtc import (
         AnnulusGrid,
         TorusGeometry,
@@ -428,7 +443,8 @@ def _run_gtc(health, policy, injector, checkpoint):
     geom = TorusGeometry(AnnulusGrid(0.2, 1.0, 8, 8), 2)
     parts = load_ring_perturbation(geom, 4.0)
     clean = run_parallel(geom, parts, nprocs=nprocs, nsteps=nsteps)
-    kw = dict(nprocs=nprocs, nsteps=nsteps, health=health, policy=policy)
+    kw = dict(nprocs=nprocs, nsteps=nsteps, health=health,
+              policy=policy, backend=backend)
     if injector is not None:
         kw.update(injector=injector, checkpoint=checkpoint,
                   checkpoint_every=1)
@@ -448,7 +464,7 @@ def _run_gtc(health, policy, injector, checkpoint):
                           f"energy rel {rel:.1e} vs clean")
 
 
-def _run_paratec(health, policy, injector, checkpoint):
+def _run_paratec(health, policy, injector, checkpoint, backend="thread"):
     from ..apps.paratec import silicon_primitive
     from ..apps.paratec.parallel import solve_bands_parallel
 
@@ -456,7 +472,7 @@ def _run_paratec(health, policy, injector, checkpoint):
     cell = silicon_primitive()
     kw0 = dict(nprocs=nprocs, n_outer=4, n_inner=2)
     clean = solve_bands_parallel(cell, 4.0, 4, **kw0)
-    kw = dict(kw0, health=health, policy=policy)
+    kw = dict(kw0, health=health, policy=policy, backend=backend)
     if injector is not None:
         kw.update(injector=injector, checkpoint=checkpoint,
                   checkpoint_every=1)

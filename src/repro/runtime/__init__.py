@@ -30,6 +30,7 @@ from .sanitize import (
 )
 from .transport import (
     DEFAULT_TIMEOUT,
+    BackendError,
     CollectiveRecord,
     CommRevokedError,
     DeliveryFailedError,
@@ -45,7 +46,7 @@ from .transport import (
 from .virtual_time import VirtualClocks
 
 __all__ = [
-    "Block1D", "BlockND", "BorrowWriteError", "BufferPool",
+    "BackendError", "Block1D", "BlockND", "BorrowWriteError", "BufferPool",
     "BufferStats", "CoArray", "CollectiveRecord", "Comm",
     "CommRevokedError", "DEFAULT_TIMEOUT", "DeliveryFailedError",
     "FaultInjector", "FaultPlan", "FaultRecord", "FrozenBorrow",

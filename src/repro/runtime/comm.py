@@ -34,8 +34,8 @@ from .faults import RankKilledError
 from .sanitize import caller_site, enrich_readonly_error, \
     record_borrow_sites
 from .transport import DEFAULT_TIMEOUT as _DEFAULT_TIMEOUT
-from .transport import CommRevokedError, RankFailedError, RepairRecord, \
-    Transport, TransportPoisonedError
+from .transport import BackendError, CommRevokedError, RankFailedError, \
+    RepairRecord, Transport, TransportPoisonedError
 
 __all__ = ["Comm", "OnlineRecoveryError", "ParallelJob", "ReplayInfo",
            "writable"]
@@ -816,11 +816,20 @@ class ParallelJob:
                  tracer=None, join_timeout: float = 600.0,
                  zero_copy: bool | None = None,
                  sanitize: bool | None = None,
-                 spares: int = 0, online: bool | None = None):
+                 spares: int = 0, online: bool | None = None,
+                 backend: str = "thread"):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if spares < 0:
             raise ValueError("spares must be >= 0")
+        if backend not in ("thread", "process"):
+            raise BackendError(
+                f"unknown execution backend {backend!r}; expected "
+                f"'thread' or 'process'")
+        #: execution backend: 'thread' (deterministic in-process
+        #: reference) or 'process' (OS-process ranks, true parallelism;
+        #: :mod:`repro.runtime.process_backend`)
+        self.backend = backend
         self.nprocs = nprocs
         #: spare-rank pool held in reserve for online respawn
         self.spares = int(spares)
@@ -872,6 +881,9 @@ class ParallelJob:
         """
         if rank_args is not None and len(rank_args) != self.nprocs:
             raise ValueError("rank_args length != nprocs")
+        if self.backend == "process":
+            from .process_backend import run_process_job
+            return run_process_job(self, fn, args, rank_args)
         self.transport.clear_poison()
         self.transport.revive_all()
         shared = _Shared.create(self.nprocs, self.transport, self.timeout)
@@ -884,7 +896,10 @@ class ParallelJob:
             comm = Comm(rank, shared_, replay_info=replay_info)
             extra = rank_args[rank] if rank_args is not None else args
             try:
+                t_body = time.perf_counter()
                 results[rank] = fn(comm, *extra)
+                self.transport.body_seconds[rank] = (
+                    time.perf_counter() - t_body)
             except RankKilledError as exc:
                 # Fail-stop loss: mark this rank dead on the transport
                 # (typed wake-up for the survivors, no poison) and let

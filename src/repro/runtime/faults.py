@@ -59,6 +59,9 @@ class RankCrashError(RuntimeError):
         self.rank = rank
         self.step = step
 
+    def __reduce__(self):
+        return type(self), (self.rank, self.step)
+
 
 class RankKilledError(RuntimeError):
     """An injected fail-stop loss of one rank (the *online* recovery
@@ -74,6 +77,9 @@ class RankKilledError(RuntimeError):
         super().__init__(f"injected kill: rank {rank} at step {step}")
         self.rank = rank
         self.step = step
+
+    def __reduce__(self):
+        return type(self), (self.rank, self.step)
 
 
 @dataclass(frozen=True)
@@ -325,6 +331,21 @@ class FaultInjector:
     _kill_fired: bool = False
     _sdc_fired: set = field(default_factory=set, repr=False)
     _ckpt_fired: set = field(default_factory=set, repr=False)
+
+    def __getstate__(self) -> dict:
+        """Picklable snapshot for shipping to spawned worker processes.
+
+        The lock is process-local (recreated on unpickle) and the tracer
+        never crosses an address space — each worker attaches its own.
+        """
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state["tracer"] = NULL_TRACER
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def action(self, src: int, dst: int, tag: int, seq: int,
                attempt: int) -> str:

@@ -67,6 +67,16 @@ _NSHARDS = 16
 _CORRUPT_MASK = 0xDEADBEEF
 
 
+class BackendError(RuntimeError):
+    """An execution backend was misconfigured or cannot run this job.
+
+    Raised for unknown ``backend=`` names and for job shapes a backend
+    does not support (e.g. the process backend cannot run CAF one-sided
+    jobs or unpicklable rank functions).  Typed so CLI/campaign layers
+    can classify configuration errors without string matching.
+    """
+
+
 class TransportPoisonedError(RuntimeError):
     """The transport was shut down while this rank was blocked on it."""
 
@@ -92,6 +102,15 @@ class RankFailedError(RuntimeError):
         self.step = step
         #: seeded virtual-time detection latency (heartbeat timeout)
         self.latency = latency
+
+    def __reduce__(self):
+        return (_rebuild_rank_failed,
+                (self.rank, self.step, self.latency))
+
+
+def _rebuild_rank_failed(rank: int, step, latency) -> "RankFailedError":
+    """Unpickle helper: :class:`RankFailedError` takes keyword-only args."""
+    return RankFailedError(rank, step=step, latency=latency)
 
 
 class CommRevokedError(RuntimeError):
@@ -258,6 +277,10 @@ class DeliveryFailedError(RuntimeError):
         self.tag = tag
         self.seq = seq
         self.attempts = attempts
+
+    def __reduce__(self):
+        return (type(self),
+                (self.src, self.dst, self.tag, self.seq, self.attempts))
 
 
 @dataclass(frozen=True)
@@ -448,6 +471,10 @@ class Transport:
         self.dead_callbacks: list[Callable[[], None]] = []
         #: completed communicator repairs (cumulative, like messages)
         self.repairs: list[RepairRecord] = []
+        #: per-rank wall seconds spent inside the rank program (kernel
+        #: path only — excludes spawn/import for process workers);
+        #: filled by both execution backends after the job completes
+        self.body_seconds: dict[int, float] = {}
         #: replay logging armed (spare-rank recovery); off by default
         #: because every logged payload is a deep copy
         self.online = False

@@ -25,6 +25,17 @@ class VirtualClocks:
         self._t = np.zeros(nprocs)
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Lock-free snapshot; the lock is rebuilt on unpickle so clocks
+        can ship to spawned worker processes."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def advance(self, rank: int, seconds: float) -> None:
         """Charge ``seconds`` of local work to ``rank``."""
         if seconds < 0:

@@ -225,3 +225,60 @@ class TestConstantBackoff:
                "    for _ in range(3):\n"
                "        time.sleep(0.01)\n")
         assert rules_of(src, enable=["constant-backoff"]) == []
+
+
+class TestProcessUnsafeState:
+    RT = "src/repro/runtime/example.py"
+
+    def test_flags_module_level_mutable_global(self):
+        src = "_PENDING = []\n"
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) \
+            == ["process-unsafe-state"]
+
+    def test_flags_dict_call_and_annassign(self):
+        src = ("_CACHE = dict()\n"
+               "_SEEN: set = set()\n")
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) \
+            == ["process-unsafe-state"] * 2
+
+    def test_accepts_dunder_conventions(self):
+        src = "__all__ = ['ParallelJob', 'Transport']\n"
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) == []
+
+    def test_accepts_function_local_state(self):
+        src = ("def pump():\n"
+               "    backlog = []\n"
+               "    return backlog\n")
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) == []
+
+    def test_flags_bare_fork(self):
+        src = ("import os\n"
+               "def split():\n"
+               "    pid = os.fork()\n")
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) \
+            == ["process-unsafe-state"]
+
+    def test_flags_fork_start_method(self):
+        src = ("import multiprocessing as mp\n"
+               "def start():\n"
+               "    ctx = mp.get_context('fork')\n")
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) \
+            == ["process-unsafe-state"]
+
+    def test_accepts_spawn_start_method(self):
+        src = ("import multiprocessing as mp\n"
+               "def start():\n"
+               "    ctx = mp.get_context('spawn')\n")
+        assert rules_of(src, path=self.RT,
+                        enable=["process-unsafe-state"]) == []
+
+    def test_non_runtime_paths_are_exempt(self):
+        src = "_PENDING = []\n"
+        assert rules_of(src, path="src/repro/apps/lbmhd/serial.py",
+                        enable=["process-unsafe-state"]) == []

@@ -178,3 +178,23 @@ class TestYamlSubset:
     def test_load_spec_missing_file(self, tmp_path):
         with pytest.raises(SpecError, match="not found"):
             load_spec(tmp_path / "absent.yaml")
+
+
+class TestBackendAxis:
+    def test_backend_expands_as_matrix_axis(self):
+        spec = parse_spec(_raw(matrix=[
+            {"kind": "trace", "app": ["lbmhd"],
+             "backend": ["thread", "process"]},
+        ], steps=[]))
+        ids = sorted(s.id for s in spec.steps)
+        assert ids == ["trace-lbmhd-backendprocess",
+                       "trace-lbmhd-backendthread"]
+        backends = sorted(s.config["backend"] for s in spec.steps)
+        assert backends == ["process", "thread"]
+
+    def test_unknown_backend_is_fatal(self):
+        from repro.campaign.steps import FatalStepError, _cfg_backend
+        with pytest.raises(FatalStepError, match="gpu"):
+            _cfg_backend({"backend": "gpu"}, "trace-x")
+        assert _cfg_backend({}, "trace-x") == "thread"
+        assert _cfg_backend({"backend": "process"}, "trace-x") == "process"

@@ -1,0 +1,100 @@
+"""Process backend: real OS ranks behind the same Transport/Comm API.
+
+Rank programs live at module level so the spawn pickler can ship them by
+reference (pytest imports this module as ``tests.runtime.<name>`` and the
+parent's ``sys.path`` travels with each worker).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.machine.platforms import ES
+from repro.resilience.checkpoint import Checkpointer
+from repro.runtime import BackendError, ParallelJob, Transport
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.process_backend import SHM_MIN_BYTES
+from repro.runtime.virtual_time import VirtualClocks
+
+
+def _primitive_ring(comm):
+    """Exercise p2p + both collectives; return everything for comparison."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    got = comm.sendrecv(np.full(4, float(comm.rank)),
+                        dest=right, source=left)
+    total = comm.allreduce(float(comm.rank) + 1.0)
+    gathered = comm.allgather(comm.rank * 10)
+    return (os.getpid(), float(got[0]), total, tuple(gathered))
+
+
+def _big_exchange(comm):
+    """Ship an array comfortably above the shared-memory threshold."""
+    n = SHM_MIN_BYTES // 8 + 64          # float64 payload > SHM_MIN_BYTES
+    peer = 1 - comm.rank
+    got = comm.sendrecv(np.full(n, float(comm.rank + 1)),
+                        dest=peer, source=peer)
+    return float(got.sum())
+
+
+class TestProcessRanks:
+    def test_ranks_are_distinct_processes_with_thread_parity(self):
+        out_p = ParallelJob(4, backend="process").run(_primitive_ring)
+        out_t = ParallelJob(4).run(_primitive_ring)
+
+        pids = [r[0] for r in out_p]
+        assert len(set(pids)) == 4, "each rank must be its own OS process"
+        assert os.getpid() not in pids
+        # everything except the PID must agree bit-for-bit with threads
+        assert [r[1:] for r in out_p] == [r[1:] for r in out_t]
+
+    def test_shared_memory_payloads_keep_logical_accounting(self):
+        tp_p, tp_t = Transport(2), Transport(2)
+        out_p = ParallelJob(2, transport=tp_p,
+                            backend="process").run(_big_exchange)
+        out_t = ParallelJob(2, transport=tp_t).run(_big_exchange)
+        assert out_p == out_t
+        # zero-copy transport must not change what the app "sent"
+        assert tp_p.message_count() == tp_t.message_count()
+        assert tp_p.total_bytes() == tp_t.total_bytes()
+
+
+class TestBackendErrors:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError, match="bogus"):
+            ParallelJob(2, backend="bogus")
+
+    def test_unpicklable_rank_fn_fails_fast(self):
+        # preflight must catch this before any worker spawns
+        with pytest.raises(BackendError, match="pickl"):
+            ParallelJob(2, backend="process").run(lambda comm: comm.rank)
+
+
+class TestSpawnPicklability:
+    """Everything a worker config can carry must survive a round trip."""
+
+    def test_fault_plan_and_injector(self):
+        plan = FaultPlan(seed=7, drop=0.25, kill_rank=1, kill_step=3)
+        back = pickle.loads(pickle.dumps(plan))
+        assert back == plan
+        inj = pickle.loads(pickle.dumps(FaultInjector(plan)))
+        assert inj.plan == plan
+
+    def test_virtual_clocks(self):
+        clocks = VirtualClocks(4)
+        clocks.advance(2, 1.5)
+        back = pickle.loads(pickle.dumps(clocks))
+        assert back.nprocs == 4
+        assert back.time(2) == clocks.time(2)
+
+    def test_machine_spec(self):
+        back = pickle.loads(pickle.dumps(ES))
+        assert back.name == ES.name
+        assert back.peak_gflops == ES.peak_gflops
+
+    def test_checkpointer(self, tmp_path):
+        ck = Checkpointer(tmp_path, keep=2)
+        back = pickle.loads(pickle.dumps(ck))
+        assert back.keep == 2
