@@ -10,6 +10,12 @@ Three instruments over one finding model:
   shaped patterns in driver/runtime ASTs, plus a **trace-replay**
   variant (:mod:`.tracecheck`) that confirms every posted send was
   consumed and every collective round had all ranks in a recorded run;
+* the **happens-before race & deadlock analyzers** (:mod:`.racecheck`,
+  :mod:`.deadlock`) — vector-clock replay of recorded traces checking
+  buffer-epoch ordering (``repro analyze --races``) and wait-for-graph
+  cycles among blocked ops (``--deadlocks``), with static lifetime and
+  comm-ordering rules covering the same bug shapes before a trace
+  exists;
 * the **report/baseline machinery** (:mod:`.findings`, :mod:`.baseline`)
   shared by ``python -m repro lint`` and ``python -m repro analyze``.
 
@@ -25,6 +31,7 @@ from .baseline import (
     save_baseline,
 )
 from .commcheck import COMM_RULES, CommOp, extract_comm_ops
+from .deadlock import DEADLOCK_RULES, check_trace_deadlocks
 from .engine import (
     SCHEMA_VERSION,
     LintReport,
@@ -36,13 +43,22 @@ from .engine import (
     run_lint,
 )
 from .findings import SEVERITIES, Finding, sort_findings
+from .racecheck import (
+    RACE_RULES,
+    check_trace_races,
+    happens_before,
+    replay,
+)
 from .rules import CORE_RULES
-from .tracecheck import check_trace, load_trace
+from .tracecheck import TraceError, check_trace, load_trace
 
 __all__ = [
-    "COMM_RULES", "CORE_RULES", "DEFAULT_BASELINE", "CommOp", "Finding",
-    "LintReport", "LintRule", "SCHEMA_VERSION", "SEVERITIES",
-    "apply_baseline", "check_trace", "extract_comm_ops", "lint_source",
-    "load_baseline", "load_trace", "register", "resolve_rules",
-    "rule_names", "run_lint", "save_baseline", "sort_findings",
+    "COMM_RULES", "CORE_RULES", "DEADLOCK_RULES", "DEFAULT_BASELINE",
+    "CommOp", "Finding", "LintReport", "LintRule", "RACE_RULES",
+    "SCHEMA_VERSION", "SEVERITIES", "TraceError", "apply_baseline",
+    "check_trace", "check_trace_deadlocks", "check_trace_races",
+    "extract_comm_ops", "happens_before", "lint_source",
+    "load_baseline", "load_trace", "register", "replay",
+    "resolve_rules", "rule_names", "run_lint", "save_baseline",
+    "sort_findings",
 ]

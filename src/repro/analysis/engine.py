@@ -87,7 +87,7 @@ def rule_names() -> list[str]:
 def _ensure_rules_loaded() -> None:
     # Rule modules register on import; import them lazily so the engine
     # itself stays importable from rule modules without a cycle.
-    from . import commcheck, rules  # noqa: F401
+    from . import commcheck, deadlock, racecheck, rules  # noqa: F401
 
 
 def resolve_rules(enable: Iterable[str] | None = None,
@@ -182,6 +182,12 @@ class LintReport:
     stale: list[dict] = field(default_factory=list)  # unmatched entries
     files: int = 0
     rules: list[str] = field(default_factory=list)
+    #: document schema tag ("repro.analysis.<tool>/<version>"); the
+    #: race/deadlock analyzer stamps "repro.analysis.races/1"
+    schema: str = ""
+    #: resilience.failures exit code this run will return (0 ok,
+    #: 4 findings/stale check, 2 config error); stamped by the CLI
+    exit_code: int = 0
 
     @property
     def ok(self) -> bool:
@@ -197,7 +203,10 @@ class LintReport:
         """Machine-readable document (``--json``), bench-report shaped."""
         return {
             "version": SCHEMA_VERSION,
+            "schema": self.schema or f"repro.analysis.{self.tool}"
+                                     f"/{SCHEMA_VERSION}",
             "tool": self.tool,
+            "exit_code": self.exit_code,
             "files": self.files,
             "rules": list(self.rules),
             "counts": self.counts(),

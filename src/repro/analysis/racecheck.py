@@ -1,0 +1,543 @@
+"""Happens-before race analyzer for the zero-copy SPMD runtime.
+
+The zero-copy buffer protocol (PR 6) makes message payloads *shared
+storage*: a borrowed array travels by reference, every receiver observes
+the sender's bytes, and :meth:`~repro.runtime.comm.Comm.reclaim` hands
+the storage back to the owner for mutation.  The protocol is fast
+precisely because nothing copies — which means nothing *isolates*
+either, and an owner that reclaims too early overwrites halos its
+neighbours are still reading.  This module proves the ordering instead:
+
+**Dynamic half** — :func:`check_trace_races` replays a recorded trace
+(a live :class:`~repro.obs.tracer.Tracer`, a Chrome ``trace.json``, or
+an ``events.jsonl`` log) into per-rank vector clocks.  Message edges
+come from the same FIFO channel matching the PR-7 critical-path
+profiler uses (k-th send on ``(src, dst, tag)`` pairs with the k-th
+recv); collective rounds are the k-th occurrence of each collective
+name per rank, joined as a barrier.  The runtime emits lightweight
+``buf-epoch`` instants (``publish`` when a borrow freezes a buffer for
+flight, ``read`` when a receiver observes it, ``reclaim`` when the
+owner thaws it) — a write epoch is the interval from a ``reclaim`` to
+the owner's next ``publish`` of the same buffer, and every read must be
+ordered entirely before or entirely after every write epoch.  Unordered
+pairs are races, reported with both witness access sites.
+
+**Static half** — three lint rules over the AST catch the same bug
+shape before a trace exists: mutating an array after ``send`` without
+an intervening acknowledgement (``send-then-mutate``), mutating a
+buffer lent to ``borrow`` without reclaiming it (``write-after-borrow``)
+and stashing a received zero-copy view into long-lived state
+(``escaped-zero-copy-view``).  All three are line-order heuristics
+within one function — cross-function protocols are the dynamic half's
+job.
+
+Known false negatives (see DESIGN §13): arrays shared through
+collectives (``allgather``/``bcast``/``alltoall``) are not
+epoch-tracked, and an untraced run (NullTracer) records nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..obs.events import (CAT_BUFFER, CAT_COMM, CAT_SYNC, INSTANT, SPAN,
+                          TraceEvent)
+from .commcheck import _is_comm_receiver, _positional
+from .engine import LintRule, register
+from .findings import Finding, sort_findings
+from .tracecheck import COLLECTIVE_SPANS, load_trace
+
+RULE_RACE = "trace-race"
+
+#: the race checker's static rule subset
+RACE_RULES = ("send-then-mutate", "write-after-borrow",
+              "escaped-zero-copy-view")
+
+
+# ---------------------------------------------------------------------------
+# trace normalization
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Op:
+    """One trace event in replay form."""
+
+    rank: int
+    seq: int
+    name: str
+    cat: str
+    ph: str
+    args: dict[str, Any]
+    #: vector clock *after* this op executed; ``None`` until processed
+    vc: list[int] | None = None
+    #: collective round index (k-th occurrence of ``name`` on this rank)
+    round_index: int = -1
+
+    @property
+    def is_send(self) -> bool:
+        return (self.ph == SPAN and self.name == "send"
+                and self.cat == CAT_COMM and "dst" in self.args)
+
+    @property
+    def is_recv(self) -> bool:
+        return (self.ph == SPAN and self.name == "recv"
+                and self.cat == CAT_COMM and "src" in self.args)
+
+    @property
+    def is_collective(self) -> bool:
+        return (self.ph == SPAN and self.name in COLLECTIVE_SPANS
+                and self.cat in (CAT_COMM, CAT_SYNC))
+
+    @property
+    def is_epoch(self) -> bool:
+        return (self.ph == INSTANT and self.name == "buf-epoch"
+                and self.cat == CAT_BUFFER)
+
+    @property
+    def site(self) -> str:
+        return str(self.args.get("site", "<unknown site>"))
+
+
+def load_ops(source: Any) -> dict[int, list[Op]]:
+    """Per-rank, program-ordered op lists from any trace form.
+
+    Accepts a live :class:`~repro.obs.tracer.Tracer`, a list of
+    :class:`~repro.obs.events.TraceEvent`, a Chrome trace dict, or a
+    path (``trace.json`` / ``events.jsonl``, optionally gzipped).  The
+    per-rank ``seq`` counter is program order: instants carry the seq
+    at emission and spans the seq at *exit*, so a ``publish`` instant
+    precedes its ``send`` span and a ``read`` instant follows its
+    ``recv`` span — exactly the order replay needs.
+    """
+    raw: list[tuple[int, int, str, str, str, dict]] = []
+    if hasattr(source, "events") and callable(source.events):
+        source = source.events()
+    if isinstance(source, (list, tuple)):
+        for ev in source:
+            if isinstance(ev, TraceEvent):
+                raw.append((ev.rank, ev.seq, ev.name, ev.cat, ev.ph,
+                            dict(ev.args)))
+    else:
+        doc = load_trace(source)
+        fallback_seq: dict[int, int] = {}
+        for e in doc.get("traceEvents", []):
+            if e.get("ph") not in (SPAN, INSTANT):
+                continue
+            rank = int(e.get("tid", 0))
+            args = dict(e.get("args") or {})
+            seq = args.pop("seq", None)
+            if seq is None:
+                # Hand-written doc without seq: file order per rank.
+                seq = fallback_seq.get(rank, 0)
+                fallback_seq[rank] = seq + 1
+            raw.append((rank, int(seq), e.get("name", ""),
+                        e.get("cat", ""), e["ph"], args))
+    by_rank: dict[int, list[Op]] = {}
+    for rank, seq, name, cat, ph, args in raw:
+        by_rank.setdefault(rank, []).append(
+            Op(rank, seq, name, cat, ph, args))
+    for ops in by_rank.values():
+        ops.sort(key=lambda op: op.seq)
+    return by_rank
+
+
+# ---------------------------------------------------------------------------
+# vector-clock replay
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayResult:
+    """Vector-clocked ops plus end-of-trace progress state."""
+
+    nranks: int
+    by_rank: dict[int, list[Op]]
+    #: rank -> the op it could not execute (empty for a complete trace)
+    blocked: dict[int, Op] = field(default_factory=dict)
+    #: rank -> (name, round) it is parked at, for blocked collectives
+    parked: dict[int, tuple[str, int]] = field(default_factory=dict)
+    #: (name, round) -> participating ranks
+    rounds: dict[tuple[str, int], set[int]] = field(default_factory=dict)
+    #: id(recv Op) -> matched send Op
+    matched_send: dict[int, Op] = field(default_factory=dict)
+
+
+def happens_before(a: Op, b: Op) -> bool:
+    """True when ``a`` is ordered before ``b`` under the replayed VCs."""
+    if a.vc is None or b.vc is None:
+        return False
+    return b.vc[a.rank] >= a.vc[a.rank]
+
+
+def replay(source: Any) -> ReplayResult:
+    """Replay a trace into vector clocks; detect end-of-trace blocking.
+
+    The simulation advances each rank through its recorded ops: local
+    ops and sends are always enabled; a recv is enabled once its
+    FIFO-matched send has executed (and never, if no send matches); a
+    collective round fires when every participating rank is parked at
+    its k-th occurrence.  Ranks left holding an un-enabled op when no
+    further progress is possible are *blocked* — on a complete trace of
+    a finished run the set is empty, and on a deadlocked run it is
+    exactly the ranks the deadlock caught.
+    """
+    by_rank = load_ops(source)
+    ranks = sorted(by_rank)
+    nranks = (max(ranks) + 1) if ranks else 0
+    res = ReplayResult(nranks=nranks, by_rank=by_rank)
+
+    # FIFO matching: k-th send on (src, dst, tag) pairs with k-th recv.
+    sends: dict[tuple[int, int, int], list[Op]] = {}
+    recvs: dict[tuple[int, int, int], list[Op]] = {}
+    for r in ranks:
+        coll_count: dict[str, int] = {}
+        for op in by_rank[r]:
+            if op.is_send:
+                key = (r, int(op.args["dst"]), int(op.args.get("tag", 0)))
+                sends.setdefault(key, []).append(op)
+            elif op.is_recv:
+                key = (int(op.args["src"]), r, int(op.args.get("tag", 0)))
+                recvs.setdefault(key, []).append(op)
+            elif op.is_collective:
+                k = coll_count.get(op.name, 0)
+                coll_count[op.name] = k + 1
+                op.round_index = k
+                res.rounds.setdefault((op.name, k), set()).add(r)
+    for key, rr in recvs.items():
+        ss = sends.get(key, [])
+        for k, recv_op in enumerate(rr):
+            if k < len(ss):
+                res.matched_send[id(recv_op)] = ss[k]
+
+    vc = {r: [0] * nranks for r in ranks}
+    idx = {r: 0 for r in ranks}
+    progress = True
+    while progress:
+        progress = False
+        for r in ranks:
+            while idx[r] < len(by_rank[r]):
+                op = by_rank[r][idx[r]]
+                if op.is_recv:
+                    send_op = res.matched_send.get(id(op))
+                    if send_op is None or send_op.vc is None:
+                        break                     # blocked on the wire
+                    vc[r][r] += 1
+                    vc[r] = [max(a, b) for a, b in zip(vc[r], send_op.vc)]
+                    op.vc = list(vc[r])
+                elif op.is_collective:
+                    round_key = (op.name, op.round_index)
+                    res.parked[r] = round_key
+                    waiting = {p for p, w in res.parked.items()
+                               if w == round_key}
+                    if waiting != res.rounds[round_key]:
+                        break                     # parked at the round
+                    members = sorted(waiting)
+                    for p in members:
+                        vc[p][p] += 1
+                    joint = [max(vc[p][i] for p in members)
+                             for i in range(nranks)]
+                    for p in members:
+                        vc[p] = list(joint)
+                        by_rank[p][idx[p]].vc = list(joint)
+                        idx[p] += 1
+                        del res.parked[p]
+                    progress = True
+                    continue   # idx[r] already advanced with the round
+                else:
+                    vc[r][r] += 1
+                    op.vc = list(vc[r])
+                idx[r] += 1
+                progress = True
+    for r in ranks:
+        if idx[r] < len(by_rank[r]):
+            res.blocked[r] = by_rank[r][idx[r]]
+    return res
+
+
+# ---------------------------------------------------------------------------
+# dynamic race check
+# ---------------------------------------------------------------------------
+
+def _trace_label(source: Any, label: str | None) -> str:
+    if label is not None:
+        return label
+    if isinstance(source, (str, Path)):
+        return str(source)
+    return "<trace>"
+
+
+def check_trace_races(source: Any,
+                      label: str | None = None) -> list[Finding]:
+    """Replay a trace; report unordered buffer-epoch conflicts.
+
+    A *write epoch* on a buffer runs from a ``reclaim`` event to the
+    owner's next ``publish`` of the same buffer (or to the end of the
+    trace).  Every ``read`` of that buffer on another rank must be
+    happens-before the reclaim or happens-after the closing publish —
+    anything else means the owner's overwrite raced the reader's view
+    of the shared storage.  Two reclaims of one buffer on different
+    ranks must themselves be ordered (write-write).
+    """
+    rep = replay(source)
+    label = _trace_label(source, label)
+    # Epoch events per buffer, replay-reachable ones only (events after
+    # a blocked op never executed; the deadlock checker owns those).
+    by_buf: dict[str, dict[str, list[Op]]] = {}
+    for r in sorted(rep.by_rank):
+        for op in rep.by_rank[r]:
+            if op.is_epoch and op.vc is not None:
+                buf = str(op.args.get("buf", "?"))
+                kind = str(op.args.get("op", "?"))
+                by_buf.setdefault(buf, {}).setdefault(kind,
+                                                      []).append(op)
+    findings: dict[tuple, Finding] = {}
+
+    def add(message: str) -> None:
+        f = Finding(RULE_RACE, "error", label, 0, message,
+                    "order the reclaim after an acknowledgement (a "
+                    "reverse message or a collective) from every "
+                    "reader, or send a copy instead of a borrow")
+        findings.setdefault(f.fingerprint, f)
+
+    for buf in sorted(by_buf):
+        groups = by_buf[buf]
+        reads = groups.get("read", [])
+        reclaims = groups.get("reclaim", [])
+        publishes = groups.get("publish", [])
+        for w in reclaims:
+            # The owner's next publish of this buffer closes the epoch.
+            closing = min((p for p in publishes
+                           if p.rank == w.rank and p.seq > w.seq),
+                          key=lambda p: p.seq, default=None)
+            for rd in reads:
+                if rd.rank == w.rank:
+                    continue               # program order on one rank
+                if happens_before(rd, w):
+                    continue               # read done before the thaw
+                if closing is not None and happens_before(closing, rd):
+                    continue               # read of the re-published gen
+                add(f"race on buffer {buf}: rank {w.rank} reclaims it "
+                    f"for writing at {w.site} with no happens-before "
+                    f"edge from rank {rd.rank}'s read at {rd.site}")
+            for w2 in reclaims:
+                if (w2.rank <= w.rank
+                        or happens_before(w, w2)
+                        or happens_before(w2, w)):
+                    continue
+                add(f"race on buffer {buf}: unordered write epochs — "
+                    f"rank {w.rank} reclaim at {w.site} and rank "
+                    f"{w2.rank} reclaim at {w2.site}")
+    return sort_findings(list(findings.values()))
+
+
+# ---------------------------------------------------------------------------
+# static lifetime rules
+# ---------------------------------------------------------------------------
+
+#: ndarray methods that mutate in place
+_MUTATING_METHODS = frozenset({"fill", "sort", "put", "itemset",
+                               "resize", "setfield"})
+
+#: calls that block until peers have progressed — an acknowledgement
+#: point after which a previously sent buffer may be touched again
+_ACK_ATTRS = frozenset({"recv", "sendrecv", "exchange", "barrier",
+                        "allreduce", "allgather", "alltoall", "bcast",
+                        "gather", "phase", "sync"})
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing name of the called function (``np.copyto`` -> copyto)."""
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return ""
+
+
+def _first_arg_name(node: ast.Call) -> str | None:
+    arg = _positional(node, 0)
+    if isinstance(arg, ast.Name):
+        return arg.id
+    return None
+
+
+def _functions_with_body(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scan_events(fn: ast.AST) -> list[tuple[int, str, str, ast.AST]]:
+    """Line-ordered lifetime events: (line, event, name, node).
+
+    Events: ``send <name>`` (first arg of a ``.send`` call), ``borrow
+    <name>``, ``reclaim <name>``, ``writable <name>`` (rebinding from a
+    copy-on-write claim), ``ack ''`` (any blocking comm call), ``rebind
+    <name>`` (plain reassignment), ``mutate <name>`` (in-place store,
+    augmented assignment, mutating method, ``np.copyto`` target).
+    """
+    events: list[tuple[int, str, str, ast.AST]] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if isinstance(node.func, ast.Attribute):
+                if name == "send" and _is_comm_receiver(node.func.value):
+                    arg = _first_arg_name(node)
+                    if arg:
+                        events.append((node.lineno, "send", arg, node))
+                elif (name in _ACK_ATTRS
+                      and (name in ("barrier", "sync")
+                           or _is_comm_receiver(node.func.value))):
+                    events.append((node.lineno, "ack", "", node))
+                elif (name in _MUTATING_METHODS
+                      and isinstance(node.func.value, ast.Name)):
+                    events.append((node.lineno, "mutate",
+                                   node.func.value.id, node))
+                elif name == "reclaim":
+                    arg = _first_arg_name(node)
+                    if arg:
+                        events.append((node.lineno, "reclaim", arg,
+                                       node))
+                elif name == "copyto":
+                    arg = _first_arg_name(node)
+                    if arg:
+                        events.append((node.lineno, "mutate", arg,
+                                       node))
+            elif name == "borrow":
+                arg = _first_arg_name(node)
+                if arg:
+                    events.append((node.lineno, "borrow", arg, node))
+            elif name == "reclaim":
+                arg = _first_arg_name(node)
+                if arg:
+                    events.append((node.lineno, "reclaim", arg, node))
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if (isinstance(tgt, ast.Subscript)
+                        and isinstance(tgt.value, ast.Name)):
+                    events.append((node.lineno, "mutate", tgt.value.id,
+                                   node))
+                elif isinstance(tgt, ast.Name):
+                    kind = "rebind"
+                    if (isinstance(node.value, ast.Call)
+                            and _call_name(node.value) == "writable"):
+                        kind = "writable"
+                    events.append((node.lineno, kind, tgt.id, node))
+        elif isinstance(node, ast.AugAssign):
+            tgt = node.target
+            if isinstance(tgt, ast.Subscript) \
+                    and isinstance(tgt.value, ast.Name):
+                events.append((node.lineno, "mutate", tgt.value.id,
+                               node))
+            elif isinstance(tgt, ast.Name):
+                events.append((node.lineno, "mutate", tgt.id, node))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+@register
+class SendThenMutateRule(LintRule):
+    name = "send-then-mutate"
+    severity = "warning"
+    description = ("array mutated after being handed to `send` with no "
+                   "intervening acknowledgement")
+    hint = ("a zero-copy send lends the array to its receivers; wait "
+            "for an ack (a recv, a collective, or `comm.phase`) before "
+            "writing to it again — or send an explicit copy")
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for fn in _functions_with_body(tree):
+            pending: dict[str, int] = {}
+            for line, event, name, node in _scan_events(fn):
+                if event == "ack":
+                    pending.clear()
+                elif event == "send":
+                    pending[name] = line
+                elif event in ("rebind", "writable"):
+                    pending.pop(name, None)
+                elif event == "mutate" and name in pending:
+                    yield self.finding(
+                        node, f"`{name}` sent at line {pending[name]} "
+                              f"is mutated at line {line} with no "
+                              f"acknowledgement in between")
+                    pending.pop(name)
+
+
+@register
+class WriteAfterBorrowRule(LintRule):
+    name = "write-after-borrow"
+    severity = "warning"
+    description = ("buffer mutated after being lent to `borrow` and "
+                   "before being reclaimed")
+    hint = ("`borrow` freezes the array in place while receivers share "
+            "its storage; take it back with `comm.reclaim(...)` (after "
+            "an ack) or mutate a private `writable(...)` copy")
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for fn in _functions_with_body(tree):
+            lent: dict[str, int] = {}
+            for line, event, name, node in _scan_events(fn):
+                if event == "borrow":
+                    lent[name] = line
+                elif event in ("reclaim", "rebind", "writable"):
+                    lent.pop(name, None)
+                elif event == "mutate" and name in lent:
+                    yield self.finding(
+                        node, f"`{name}` lent to borrow() at line "
+                              f"{lent[name]} is mutated at line {line} "
+                              f"while still frozen")
+                    lent.pop(name)
+
+
+@register
+class EscapedZeroCopyViewRule(LintRule):
+    name = "escaped-zero-copy-view"
+    severity = "info"
+    description = ("received zero-copy view stored into long-lived "
+                   "object state without a copy")
+    hint = ("a recv under zero-copy returns a frozen view of the "
+            "sender's storage, which goes stale once the sender "
+            "reclaims it; keep `writable(...)` / `np.array(x)` copies "
+            "in long-lived state")
+
+    @staticmethod
+    def _recv_bound_names(fn: ast.AST) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "recv"
+                    and _is_comm_receiver(node.value.func.value)):
+                out[node.targets[0].id] = node.lineno
+        return out
+
+    def check(self, tree: ast.AST, path: str,
+              source: str) -> Iterator[Finding]:
+        for fn in _functions_with_body(tree):
+            received = self._recv_bound_names(fn)
+            if not received:
+                continue
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"):
+                    continue
+                value = node.value
+                if (isinstance(value, ast.Name)
+                        and value.id in received
+                        and node.lineno > received[value.id]):
+                    yield self.finding(
+                        node, f"`self.{node.targets[0].attr}` stores "
+                              f"`{value.id}` received at line "
+                              f"{received[value.id]} without copying "
+                              f"it out of the sender's storage")

@@ -17,6 +17,7 @@ same report/baseline machinery as static lint findings.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import Counter
 from pathlib import Path
@@ -32,13 +33,100 @@ _RULE_SEND = "trace-unconsumed-send"
 _RULE_RECV = "trace-unmatched-recv"
 _RULE_COLL = "trace-collective-ranks"
 
+#: seconds -> trace_event microseconds (JSONL -> Chrome conversion)
+_US = 1e6
+
+
+class TraceError(RuntimeError):
+    """A recorded trace could not be read or parsed.
+
+    Raised instead of raw ``json``/``gzip`` exceptions so CLI and
+    campaign layers can classify a bad trace input as a configuration
+    error — and so a spool torn mid-record by a killed process rank
+    produces a message naming the file and the failure mode instead of
+    an anonymous ``JSONDecodeError``.
+    """
+
+
+def _read_trace_text(path: Path) -> str:
+    """File contents, transparently gunzipping by magic number."""
+    with open(path, "rb") as fh:
+        magic = fh.read(2)
+    if magic == b"\x1f\x8b":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return fh.read()
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _doc_from_jsonl(text: str, path: Path) -> dict[str, Any]:
+    """Convert a flat ``events.jsonl`` log to a Chrome trace document.
+
+    Each line is one :meth:`~repro.obs.events.TraceEvent.to_jsonable`
+    record; ``rank`` becomes the Chrome ``tid`` and ``seq`` is folded
+    into ``args`` exactly as :func:`repro.obs.export.chrome_trace`
+    does, so both formats replay identically.
+    """
+    events: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"{path}: truncated or corrupt event log at line "
+                f"{lineno} ({exc.msg}); a killed process rank tears its "
+                f"spool mid-record — re-record the trace or drop the "
+                f"torn tail") from exc
+        rec: dict[str, Any] = {
+            "name": d.get("name", ""), "cat": d.get("cat", ""),
+            "ph": d.get("ph", "X"), "pid": 0, "tid": d.get("rank", 0),
+            "ts": float(d.get("t_wall", 0.0)) * _US,
+            "args": dict(d.get("args") or {}),
+        }
+        rec["args"].setdefault("seq", d.get("seq", 0))
+        if d.get("t_virtual") is not None:
+            rec["args"].setdefault("t_virtual", d["t_virtual"])
+        if rec["ph"] == "X":
+            rec["dur"] = float(d.get("dur", 0.0)) * _US
+        events.append(rec)
+    return {"traceEvents": events}
+
 
 def load_trace(source: str | Path | dict[str, Any]) -> dict[str, Any]:
-    """A Chrome trace document from a path or an already-loaded dict."""
+    """A Chrome trace document from a path or an already-loaded dict.
+
+    Accepts plain and gzip-compressed files (detected by magic number,
+    so any name works) in either the Chrome ``trace.json`` object
+    format or the flat ``events.jsonl`` log format — the latter is
+    converted to an equivalent Chrome document.  All read/parse
+    failures surface as :class:`TraceError` naming the file.
+    """
     if isinstance(source, dict):
         return source
-    with open(source, encoding="utf-8") as fh:
-        return json.load(fh)
+    path = Path(source)
+    try:
+        text = _read_trace_text(path)
+    except (OSError, EOFError, gzip.BadGzipFile) as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    name = path.name[:-3] if path.name.endswith(".gz") else path.name
+    if name.endswith(".jsonl"):
+        return _doc_from_jsonl(text, path)
+    if not text.strip():
+        raise TraceError(f"{path}: empty trace file")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if len(lines) > 1 and all(ln.lstrip().startswith("{")
+                                  for ln in lines[:8]):
+            # A renamed JSONL log: every record is its own object.
+            return _doc_from_jsonl(text, path)
+        raise TraceError(
+            f"{path}: truncated or corrupt trace (JSON parse failed at "
+            f"line {exc.lineno}: {exc.msg}); spool files from killed "
+            f"process ranks are often torn mid-record") from exc
 
 
 def check_trace(source: str | Path | dict[str, Any],

@@ -209,7 +209,11 @@ class FusedDeposition:
                 np.multiply(wr, wc, out=wk)
                 np.add(ir, jc, out=fl)
                 out += np.bincount(fl, weights=wk, minlength=g.npoints)
-        return out.reshape(g.shape).copy()
+        # The accumulator is reused scratch: hand back an owning array.
+        shaped = out.reshape(g.shape)
+        res = np.empty_like(shaped)
+        np.copyto(res, shaped)
+        return res
 
 
 def deposit_fast(grid: AnnulusGrid, particles: ParticleArray,

@@ -31,7 +31,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from .lattice import _CUBIC_NODES, Lattice, lagrange_weights
+from .lattice import (_CUBIC_INODES, _CUBIC_NODES, Lattice,
+                      lagrange_weights)
 
 
 def _roll_into(src: np.ndarray, dy: int, dx: int, out: np.ndarray) -> None:
@@ -85,7 +86,7 @@ class FusedStepper:
         self._cg = cg
         # rho/m moment matrix: [1; xi_x; xi_y] per population.
         self._am = np.vstack([np.ones(q), xi[:, 0], xi[:, 1]])
-        self._nodes = _CUBIC_NODES.astype(np.int64)
+        self._nodes = _CUBIC_INODES
         self._lw: dict[int, np.ndarray] = {}
         self._shape: tuple[int, int] | None = None
         self._spare: dict[str, np.ndarray] = {}

@@ -130,6 +130,10 @@ def lagrange_weights(nodes: np.ndarray, x: float) -> np.ndarray:
 #: fractional streaming: departure point sits between nodes 0 and -1.
 _CUBIC_NODES = np.array([-2.0, -1.0, 0.0, 1.0])
 
+#: the same stencil as integer shift multiples, hoisted so hot-path
+#: users never re-cast per call
+_CUBIC_INODES = _CUBIC_NODES.astype(np.int64)
+
 
 def stream_field(field: np.ndarray, lattice: Lattice,
                  direction: int) -> np.ndarray:
@@ -152,7 +156,7 @@ def stream_field(field: np.ndarray, lattice: Lattice,
     # field at that point from nodes at integer multiples of the shift.
     weights = lagrange_weights(_CUBIC_NODES, -frac)
     out = np.zeros_like(field)
-    for node, w in zip(_CUBIC_NODES.astype(np.int64), weights):
+    for node, w in zip(_CUBIC_INODES, weights):
         out += w * np.roll(field, shift=(-node * dy, -node * dx), axis=axes)
     return out
 

@@ -17,9 +17,11 @@ Commands
 ``trace``     run one application traced; write trace.json + metrics.json
 ``lint``      static SPMD-correctness lint of the source tree
               (``--check`` gates against the committed baseline)
-``analyze``   communication-matching checks only; ``--trace`` replays a
-              recorded Chrome trace and verifies send/recv/collective
-              matching of the actual run
+``analyze``   communication-matching checks; ``--races``/``--deadlocks``
+              add the happens-before race and wait-for-graph deadlock
+              analyzers; ``--trace`` replays a recorded Chrome trace
+              (or events.jsonl, optionally gzipped) and verifies the
+              actual run
 ``campaign``  fault-tolerant experiment campaigns: ``run`` a sweep spec
               as a dependency DAG with retries + result caching,
               ``status`` a campaign directory, ``resume`` after a crash
@@ -28,10 +30,11 @@ Exit codes (stable contract — campaign steps classify these without
 string matching; see :mod:`repro.resilience.failures`)::
 
     0  success
-    1  generic error (lint findings, unexpected exception)
-    2  configuration error: bad spec / profile input        -> fatal
+    1  generic error (unexpected exception)
+    2  configuration error: bad spec / rule / trace input   -> fatal
     3  runtime failure: chaos/health run did not survive    -> transient
-    4  check failure: perf regression, validation gate      -> persistent
+    4  check failure: perf regression, validation gate,
+       lint/analyze findings, stale baseline under --check  -> persistent
     5  partial success: campaign finished degraded          -> persistent
 """
 
@@ -376,8 +379,11 @@ def _lint_run(args: argparse.Namespace, *, tool: str,
     """Shared body of ``lint`` and ``analyze``."""
     from .analysis import (
         LintReport,
+        TraceError,
         apply_baseline,
         check_trace,
+        check_trace_deadlocks,
+        check_trace_races,
         load_baseline,
         rule_names,
         run_lint,
@@ -391,7 +397,8 @@ def _lint_run(args: argparse.Namespace, *, tool: str,
         findings, nfiles = run_lint(paths, enable=enable,
                                     disable=args.disable or None)
     except ValueError as err:          # e.g. an unknown rule name
-        raise SystemExit(f"{tool}: {err}") from err
+        print(f"{tool}: {err}", file=sys.stderr)
+        return EXIT_CONFIG
     dropped = set(args.disable or [])
     rules = [r for r in (enable or rule_names()) if r not in dropped]
     if args.update_baseline:
@@ -406,21 +413,36 @@ def _lint_run(args: argparse.Namespace, *, tool: str,
     baseline = type(baseline)({fp: n for fp, n in baseline.items()
                                if fp[0] in active})
     new, suppressed, stale = apply_baseline(findings, baseline)
+    races = bool(getattr(args, "races", False))
+    deadlocks = bool(getattr(args, "deadlocks", False))
     if getattr(args, "trace", None):
-        new.extend(check_trace(args.trace))
+        try:
+            new.extend(check_trace(args.trace))
+            if races:
+                new.extend(check_trace_races(args.trace))
+            if deadlocks:
+                new.extend(check_trace_deadlocks(args.trace))
+        except TraceError as err:
+            print(f"{tool}: {err}", file=sys.stderr)
+            return EXIT_CONFIG
+    schema = (f"repro.analysis.races/{1}" if races or deadlocks
+              else f"repro.analysis.{tool}/{1}")
     report = LintReport(tool, new, suppressed=suppressed, stale=stale,
-                        files=nfiles, rules=rules)
+                        files=nfiles, rules=rules, schema=schema)
+    code = 0
+    if report.findings:
+        code = EXIT_CHECK
+    elif args.check and stale:
+        code = EXIT_CHECK
+    report.exit_code = code
     print(report.render())
     if args.json:
         report.write_json(args.json)
         print(f"wrote {args.json}")
-    if report.findings:
-        return 1
-    if args.check and stale:
+    if not report.findings and args.check and stale:
         print(f"{tool}: baseline has {len(stale)} stale entr(ies) — "
               f"regenerate with --update-baseline")
-        return 1
-    return 0
+    return code
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -434,9 +456,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import COMM_RULES
+    from .analysis import COMM_RULES, DEADLOCK_RULES, RACE_RULES
 
-    return _lint_run(args, tool="analyze", enable=list(COMM_RULES))
+    enable = list(COMM_RULES)
+    if args.races:
+        enable += list(RACE_RULES)
+    if args.deadlocks:
+        enable += list(DEADLOCK_RULES)
+    return _lint_run(args, tool="analyze", enable=enable)
 
 
 def _add_lint_arguments(p: argparse.ArgumentParser, *,
@@ -461,8 +488,17 @@ def _add_lint_arguments(p: argparse.ArgumentParser, *,
                    help="write the machine-readable report")
     if with_trace:
         p.add_argument("--trace", default=None, metavar="TRACE_JSON",
-                       help="replay a recorded Chrome trace and verify "
+                       help="replay a recorded trace (trace.json or "
+                            "events.jsonl, optionally .gz) and verify "
                             "send/recv/collective matching")
+        p.add_argument("--races", action="store_true",
+                       help="add the static buffer-lifetime rules and, "
+                            "with --trace, the happens-before race "
+                            "check over recorded buffer epochs")
+        p.add_argument("--deadlocks", action="store_true",
+                       help="add the static comm-ordering rule and, "
+                            "with --trace, the wait-for-graph deadlock "
+                            "check over blocked ops")
 
 
 def _add_backend_argument(p: argparse.ArgumentParser) -> None:

@@ -39,6 +39,7 @@ CAT_FAULT = "fault"        # injected faults, discards, rank crashes
 CAT_CKPT = "checkpoint"    # checkpoint save/load
 CAT_REGION = "region"      # unsynchronized sub-phase regions
 CAT_HEALTH = "health"      # invariant checks, SDC detections, rollbacks
+CAT_BUFFER = "buffer"      # buffer-epoch marks (publish/read/reclaim)
 
 
 @dataclass(frozen=True)

@@ -98,7 +98,8 @@ def borrow(obj: Any, stats: BufferStats | None = None, *,
             if stats is not None:
                 stats.borrows += 1
             return freeze_with_site(obj, site) if sanitize else obj
-        packed = obj.copy()
+        packed = np.empty_like(obj)
+        np.copyto(packed, obj)
         packed.flags.writeable = False
         if stats is not None:
             stats.copies += 1
@@ -131,7 +132,40 @@ def writable(arr: np.ndarray) -> np.ndarray:
     if isinstance(arr, FrozenBorrow):
         # Decay: the private copy is an ordinary array, not a borrow.
         return np.array(arr, copy=True)
-    return arr.copy()
+    out = np.empty_like(arr)
+    np.copyto(out, arr)
+    return out
+
+
+def reclaim(obj: Any) -> Any:
+    """Take back ownership of arrays lent out by :func:`borrow`.
+
+    The inverse of the freeze half of :func:`borrow`: owning arrays
+    flagged non-writeable ("in transit") become writable again, closing
+    their read epoch and opening a new write epoch.  Only reclaim once
+    every receiver is provably done with the buffer — after an
+    acknowledgement message or a collective — because receivers of a
+    zero-copy borrow observe the *same* storage.  The happens-before
+    race analyzer (:mod:`repro.analysis.racecheck`) checks exactly this
+    ordering from the recorded ``buffer-epoch`` events.
+
+    Views and non-array leaves pass through untouched (a view's base is
+    not ours to thaw); containers are walked recursively in place.
+    """
+    if isinstance(obj, np.ndarray):
+        if not obj.flags.writeable and obj.base is None \
+                and obj.flags.owndata:
+            obj.flags.writeable = True
+        return obj
+    if isinstance(obj, (list, tuple)):
+        for x in obj:
+            reclaim(x)
+        return obj
+    if isinstance(obj, dict):
+        for v in obj.values():
+            reclaim(v)
+        return obj
+    return obj
 
 
 class BufferPool:

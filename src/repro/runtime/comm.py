@@ -30,6 +30,7 @@ import numpy as np
 from ..obs.events import CAT_COMM, CAT_HEALTH, CAT_PHASE, CAT_SYNC
 from ..obs.tracer import NULL_SPAN
 from .buffers import borrow, writable
+from .buffers import reclaim as _thaw
 from .faults import RankKilledError
 from .sanitize import caller_site, enrich_readonly_error, \
     record_borrow_sites
@@ -88,7 +89,9 @@ def _payload_bytes(obj: Any) -> int:
 def _copy(obj: Any) -> Any:
     """Value-semantics copy, standing in for MPI's buffer copy."""
     if isinstance(obj, np.ndarray):
-        return obj.copy()
+        owned = np.empty_like(obj)
+        np.copyto(owned, obj)
+        return owned
     if isinstance(obj, list):
         return [_copy(x) for x in obj]
     if isinstance(obj, tuple):
@@ -343,8 +346,11 @@ class Comm:
         if not tr.enabled:          # hot path: no span, no args dict
             self.transport.post(src, dst, tag, payload, nbytes)
             return
+        site = caller_site()
+        self.transport.note_buffers(payload, self._track, "publish", site)
         with tr.span(self._track, "send", CAT_COMM,
-                     {"dst": dst, "tag": tag, "nbytes": nbytes}):
+                     {"dst": dst, "tag": tag, "nbytes": nbytes,
+                      "site": site}):
             self.transport.post(src, dst, tag, payload, nbytes)
 
     def _replay_recv(self, src: int, dst: int, tag: int) -> Any:
@@ -360,9 +366,31 @@ class Comm:
         tr = self.transport.tracer
         if not tr.enabled:
             return self.transport.fetch(src, dst, tag)
+        site = caller_site()
         with tr.span(self._track, "recv", CAT_COMM,
-                     {"src": src, "tag": tag}):
-            return self.transport.fetch(src, dst, tag)
+                     {"src": src, "tag": tag, "site": site}):
+            result = self.transport.fetch(src, dst, tag)
+        self.transport.note_buffers(result, self._track, "read", site)
+        return result
+
+    def reclaim(self, obj: Any) -> Any:
+        """Take back a buffer previously lent to :meth:`send`.
+
+        Thaws owning arrays frozen by the zero-copy borrow protocol so
+        the caller may overwrite them again.  The caller owns the
+        ordering obligation: reclaim only after every receiver is
+        provably done with the buffer (acknowledged by a return message
+        or a collective) — receivers of a zero-copy borrow observe the
+        same storage, so an unordered reclaim-then-write races with
+        their reads.  Under tracing each thawed buffer emits a
+        ``reclaim`` buffer-epoch event, which is exactly what
+        ``repro analyze --races`` checks against the reads.
+        """
+        tr = self.transport.tracer
+        if tr.enabled:
+            self.transport.note_buffers(obj, self._track, "reclaim",
+                                        caller_site())
+        return _thaw(obj)
 
     def sendrecv(self, obj: Any, dest: int, source: int,
                  tag: int = 0) -> Any:
@@ -745,9 +773,11 @@ class _SubComm(Comm):
             self.transport.post(self._global(self.rank),
                                 self._global(dest), tag, payload, nbytes)
             return
+        site = caller_site()
+        self.transport.note_buffers(payload, self._track, "publish", site)
         with tr.span(self._track, "send", CAT_COMM,
                      {"dst": self._global(dest), "tag": tag,
-                      "nbytes": nbytes}):
+                      "nbytes": nbytes, "site": site}):
             self.transport.post(self._global(self.rank),
                                 self._global(dest), tag, payload, nbytes)
 
@@ -756,10 +786,14 @@ class _SubComm(Comm):
         if not tr.enabled:
             return self.transport.fetch(self._global(source),
                                         self._global(self.rank), tag)
+        site = caller_site()
         with tr.span(self._track, "recv", CAT_COMM,
-                     {"src": self._global(source), "tag": tag}):
-            return self.transport.fetch(self._global(source),
-                                        self._global(self.rank), tag)
+                     {"src": self._global(source), "tag": tag,
+                      "site": site}):
+            result = self.transport.fetch(self._global(source),
+                                          self._global(self.rank), tag)
+        self.transport.note_buffers(result, self._track, "read", site)
+        return result
 
     def split(self, color: int, key: int | None = None) -> "Comm":
         """Unsupported: a sub-communicator cannot be split again.

@@ -338,7 +338,7 @@ class FaultInjector:
         The lock is process-local (recreated on unpickle) and the tracer
         never crosses an address space — each worker attaches its own.
         """
-        state = self.__dict__.copy()
+        state = dict(self.__dict__)
         state.pop("_lock", None)
         state["tracer"] = NULL_TRACER
         return state

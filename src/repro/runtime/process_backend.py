@@ -67,14 +67,15 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..obs.events import CAT_HEALTH, CAT_PHASE, TraceEvent
+from ..obs.events import CAT_BUFFER, CAT_HEALTH, CAT_PHASE, TraceEvent
 from ..obs.tracer import Tracer
 from .comm import (Comm, OnlineRecoveryError, ReplayInfo, _Barrier,
                    _Shared)
 from .faults import RankKilledError
+from .sanitize import caller_site
 from .transport import (BackendError, CommRevokedError, RankFailedError,
                         RepairRecord, Transport, TransportPoisonedError,
-                        _Envelope, _checksum)
+                        _Envelope, _array_leaves, _checksum)
 
 #: ndarray payloads at or above this many bytes ride in shared memory;
 #: smaller ones are cheaper to pickle through the queue than to map
@@ -144,6 +145,13 @@ def _ship(obj: Any, tp: "ProcTransport") -> Any:
             view[...] = arr
             del view
             seg.close()
+            if tp.tracer.enabled:
+                # The segment name is the cross-process buffer identity;
+                # every segment is written once before its name escapes,
+                # so its only write epoch is generation 0.
+                tp.tracer.instant(tp.rank, "buf-epoch", CAT_BUFFER,
+                                  {"op": "publish", "buf": f"shm:{name}",
+                                   "gen": 0, "site": caller_site()})
             return ("shm", name, arr.shape, arr.dtype.str)
         small = np.ascontiguousarray(obj)
         if type(small) is not np.ndarray:
@@ -176,8 +184,11 @@ def _unship(wire: Any, tp: "ProcTransport") -> Any:
             # unmaps and unlinks it — the process-backend analogue of
             # giving a borrowed buffer back.
             weakref.finalize(raw, _release_segment, seg)
+            if tp.tracer.enabled:
+                tp._shm_reg[id(raw)] = (name, weakref.ref(raw))
             return raw
-        out = raw.copy()
+        out = np.empty_like(raw)
+        np.copyto(out, raw)
         del raw
         _release_segment(seg)
         return out
@@ -263,6 +274,32 @@ class ProcTransport(Transport):
         self._notice_cond = threading.Condition()
         self._pump_stop = threading.Event()
         self._pump_thread: threading.Thread | None = None
+        #: id(mapped view) -> (segment name, weakref); filled by
+        #: ``_unship`` under tracing so receiver-side reads of a
+        #: zero-copy segment can be stamped with its wire identity
+        self._shm_reg: dict[int, tuple[str, weakref.ref]] = {}
+
+    def note_buffers(self, obj: Any, rank: int, op: str,
+                     site: str) -> None:
+        """Buffer-epoch events in segment-name terms.
+
+        Publish epochs are stamped inside ``_ship`` (where the segment
+        name is minted), and segments are single-use so there is no
+        reclaim; only receiver-side reads of mapped zero-copy views are
+        emitted here.  Inline-pickled small arrays are value copies and
+        share no storage.
+        """
+        if not self.tracer.enabled:
+            return
+        if op != "read":
+            return
+        for arr in _array_leaves(obj):
+            ent = self._shm_reg.get(id(arr))
+            if ent is None or ent[1]() is not arr:
+                continue
+            self.tracer.instant(rank, "buf-epoch", CAT_BUFFER,
+                                {"op": "read", "buf": f"shm:{ent[0]}",
+                                 "gen": 0, "site": site})
 
     # -- inbox pump ----------------------------------------------------------
     def start_pump(self) -> None:

@@ -43,14 +43,15 @@ import hashlib
 import struct
 import threading
 import time
+import weakref
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from ..obs.events import CAT_HEALTH
+from ..obs.events import CAT_BUFFER, CAT_HEALTH
 from ..obs.tracer import NULL_TRACER
 from .buffers import BufferPool, BufferStats
 from .faults import CORRUPT, DELAY, DROP, DUPLICATE
@@ -375,6 +376,18 @@ def _checksum(obj: Any) -> int:
     return 0  # opaque object: integrity not modelled
 
 
+def _array_leaves(obj: Any) -> Iterator[np.ndarray]:
+    """Every ndarray leaf of a (possibly nested) payload."""
+    if isinstance(obj, np.ndarray):
+        yield obj
+    elif isinstance(obj, (list, tuple)):
+        for x in obj:
+            yield from _array_leaves(x)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            yield from _array_leaves(v)
+
+
 def _log_copy(obj: Any) -> Any:
     """Deep value copy for the replay logs.
 
@@ -383,7 +396,9 @@ def _log_copy(obj: Any) -> Any:
     later replay would hand the replacement rank garbage.
     """
     if isinstance(obj, np.ndarray):
-        return obj.copy()
+        owned = np.empty_like(obj)
+        np.copyto(owned, obj)
+        return owned
     if isinstance(obj, list):
         return [_log_copy(x) for x in obj]
     if isinstance(obj, tuple):
@@ -489,6 +504,13 @@ class Transport:
         self._epoch_mark = 0
         #: in-flight payloads discarded by the last :meth:`reset`
         self.last_reset_drained = 0
+        # -- buffer-epoch identity (race analyzer, PR 10) ----------------
+        # id(arr) -> (label, weakref); the weakref validates the id
+        # against pointer reuse after a buffer is garbage-collected.
+        self._buf_lock = threading.Lock()
+        self._buf_reg: dict[int, tuple[str, weakref.ref]] = {}
+        self._buf_count = 0
+        self._buf_gen: dict[str, int] = {}
 
     def enable_sanitize(self) -> None:
         """Turn on the ownership sanitizer for subsequent traffic.
@@ -774,6 +796,64 @@ class Transport:
             if not control:
                 self._count_consumed(key)
             return item.payload
+
+    # -- buffer-epoch events (race analyzer) ----------------------------------
+    def _buffer_label(self, arr: np.ndarray, *,
+                      create: bool) -> str | None:
+        """Stable per-buffer label ("b0", "b1", ...) for epoch events.
+
+        Identity is ``id(arr)`` validated by a weakref — a recycled id
+        (new array at a freed address) never inherits the old label.
+        A frozen view produced by the sanitizer's ``FrozenBorrow`` is
+        aliased to its base, so the owner can later reclaim with the
+        original array object it actually holds.
+        """
+        with self._buf_lock:
+            ent = self._buf_reg.get(id(arr))
+            if ent is not None and ent[1]() is arr:
+                return ent[0]
+            if not create:
+                return None
+            label = f"b{self._buf_count}"
+            self._buf_count += 1
+            self._buf_reg[id(arr)] = (label, weakref.ref(arr))
+            self._buf_gen.setdefault(label, 0)
+            base = arr.base
+            if isinstance(base, np.ndarray):
+                alias = self._buf_reg.get(id(base))
+                if alias is None or alias[1]() is not base:
+                    self._buf_reg[id(base)] = (label, weakref.ref(base))
+            return label
+
+    def note_buffers(self, obj: Any, rank: int, op: str,
+                     site: str) -> None:
+        """Emit ``buf-epoch`` instants for the frozen ndarray leaves.
+
+        ``op`` is ``publish`` (write epoch closes: the buffer was lent
+        to a message), ``read`` (a receiver observed it) or ``reclaim``
+        (the owner thawed it: a new write epoch opens, bumping the
+        generation).  Free when tracing is off; deep-copy payloads
+        (``zero_copy=False``) share no storage and emit nothing.
+        """
+        if not self.tracer.enabled:
+            return
+        for arr in _array_leaves(obj):
+            if op == "publish":
+                if arr.flags.writeable:
+                    continue       # value copy, not a shared borrow
+                label = self._buffer_label(arr, create=True)
+            else:
+                label = self._buffer_label(arr, create=False)
+                if label is None:
+                    continue
+            with self._buf_lock:
+                if op == "reclaim":
+                    self._buf_gen[label] = \
+                        self._buf_gen.get(label, 0) + 1
+                gen = self._buf_gen.get(label, 0)
+            self.tracer.instant(rank, "buf-epoch", CAT_BUFFER,
+                                {"op": op, "buf": label, "gen": gen,
+                                 "site": site})
 
     def record_collective(self, kind: str, nbytes_per_rank: int) -> None:
         if self.recording:

@@ -28,7 +28,7 @@ class VirtualClocks:
     def __getstate__(self) -> dict:
         """Lock-free snapshot; the lock is rebuilt on unpickle so clocks
         can ship to spawned worker processes."""
-        state = self.__dict__.copy()
+        state = dict(self.__dict__)
         del state["_lock"]
         return state
 

@@ -1,0 +1,153 @@
+"""Wait-for-graph deadlock detector: trace replay + static rule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.deadlock import DEADLOCK_RULES, check_trace_deadlocks
+from repro.analysis.engine import lint_source, run_lint
+from repro.obs.events import CAT_COMM, SPAN, TraceEvent
+from repro.obs.tracer import Tracer
+from repro.runtime.comm import ParallelJob
+
+
+def _ev(rank, seq, name, cat=CAT_COMM, **args):
+    return TraceEvent(name, cat, SPAN, rank, seq, float(seq), 0.0, None,
+                      args)
+
+
+class TestTraceDeadlocks:
+    def test_seeded_crossed_recv_cycle(self):
+        def crossed(comm):
+            peer = comm.rank ^ 1
+            got = comm.recv(peer, tag=9)
+            comm.send(comm.rank, peer, tag=9)
+            return got
+
+        tracer = Tracer(2)
+        with pytest.raises(RuntimeError):
+            ParallelJob(2, tracer=tracer, timeout=0.5).run(crossed)
+        findings = check_trace_deadlocks(tracer)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "trace-deadlock-cycle" and f.severity == "error"
+        assert "rank 0" in f.message and "rank 1" in f.message
+        assert "tag 9" in f.message
+        assert "test_deadlock.py" in f.message     # source sites named
+
+    def test_hand_built_three_rank_cycle(self):
+        events = [
+            _ev(0, 0, "recv", src=2, tag=1, site="a.py:1 in f"),
+            _ev(0, 1, "send", dst=1, tag=1, site="a.py:2 in f"),
+            _ev(1, 0, "recv", src=0, tag=1, site="a.py:1 in f"),
+            _ev(1, 1, "send", dst=2, tag=1, site="a.py:2 in f"),
+            _ev(2, 0, "recv", src=1, tag=1, site="a.py:1 in f"),
+            _ev(2, 1, "send", dst=0, tag=1, site="a.py:2 in f"),
+        ]
+        findings = check_trace_deadlocks(events)
+        assert len(findings) == 1
+        assert "rank(s) 0, 1, 2" in findings[0].message
+
+    def test_blocked_without_cycle_is_reported_separately(self):
+        # Rank 0 waits on a send rank 1 never posted (peer exited).
+        events = [
+            _ev(0, 0, "recv", src=1, tag=3, site="a.py:1 in f"),
+            _ev(1, 0, "send", dst=0, tag=4, site="a.py:9 in g"),
+        ]
+        findings = check_trace_deadlocks(events)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "trace-blocked-rank" and f.severity == "warning"
+        assert "rank 0" in f.message and "tag 3" in f.message
+
+    def test_mixed_collective_p2p_cycle(self):
+        # Ranks 0/1 park at the barrier; rank 2 cannot reach it because
+        # it waits on a send rank 0 will only post after the barrier.
+        # That is a genuine cycle (0 -> 2 -> 0), not a mere straggler.
+        events = [
+            _ev(0, 0, "barrier", cat="sync"),
+            _ev(1, 0, "barrier", cat="sync"),
+            _ev(2, 0, "recv", src=0, tag=7, site="a.py:3 in f"),
+            _ev(2, 1, "barrier", cat="sync"),
+        ]
+        findings = check_trace_deadlocks(events)
+        assert "trace-deadlock-cycle" in {f.rule for f in findings}
+        joined = " ".join(f.message for f in findings)
+        assert "barrier" in joined and "tag 7" in joined
+
+    def test_complete_trace_reports_nothing(self):
+        events = [
+            _ev(0, 0, "send", dst=1, tag=2, site="a.py:1 in f"),
+            _ev(0, 1, "recv", src=1, tag=2, site="a.py:2 in f"),
+            _ev(1, 0, "send", dst=0, tag=2, site="a.py:1 in f"),
+            _ev(1, 1, "recv", src=0, tag=2, site="a.py:2 in f"),
+        ]
+        assert check_trace_deadlocks(events) == []
+
+
+class TestBlockingRecvCycleRule:
+    def test_rule_names_exported(self):
+        assert DEADLOCK_RULES == ("blocking-recv-cycle",)
+
+    def test_flags_symmetric_recv_before_send(self):
+        src = ("def step(comm, buf):\n"
+               "    peer = comm.rank ^ 1\n"
+               "    got = comm.recv(peer, tag=7)\n"
+               "    comm.send(buf, peer, tag=7)\n"
+               "    return got\n")
+        findings = lint_source(src, "x.py",
+                               enable=["blocking-recv-cycle"])
+        assert len(findings) == 1
+        assert "recv" in findings[0].message
+        assert findings[0].severity == "error"
+
+    def test_send_first_is_clean(self):
+        src = ("def step(comm, buf):\n"
+               "    peer = comm.rank ^ 1\n"
+               "    comm.send(buf, peer, tag=7)\n"
+               "    return comm.recv(peer, tag=7)\n")
+        assert lint_source(src, "x.py",
+                           enable=["blocking-recv-cycle"]) == []
+
+    def test_rank_guarded_recv_is_clean(self):
+        src = ("def step(comm, buf):\n"
+               "    peer = comm.rank ^ 1\n"
+               "    if comm.rank == 0:\n"
+               "        got = comm.recv(peer, tag=7)\n"
+               "    else:\n"
+               "        comm.send(buf, peer, tag=7)\n")
+        assert lint_source(src, "x.py",
+                           enable=["blocking-recv-cycle"]) == []
+
+    def test_constant_peer_is_out_of_scope(self):
+        # A server fed by clients elsewhere: recv-then-send on a
+        # constant peer is a protocol, not an SPMD crossed recv.
+        src = ("def serve(comm):\n"
+               "    req = comm.recv(0, tag=7)\n"
+               "    comm.send(req, 0, tag=7)\n")
+        assert lint_source(src, "x.py",
+                           enable=["blocking-recv-cycle"]) == []
+
+    def test_repo_tree_is_clean(self):
+        findings, _ = run_lint(["src/repro"],
+                               enable=list(DEADLOCK_RULES))
+        assert findings == []
+
+
+class TestRacyDeadlockInteraction:
+    def test_race_check_skips_unexecuted_epochs(self):
+        def crossed(comm):
+            peer = comm.rank ^ 1
+            buf = np.arange(2048, dtype=np.float64)
+            got = comm.recv(peer, tag=9)       # deadlocks here
+            comm.send(buf, peer, tag=9)
+            return got
+
+        tracer = Tracer(2)
+        with pytest.raises(RuntimeError):
+            ParallelJob(2, tracer=tracer, timeout=0.5).run(crossed)
+        # The sends (and their publish epochs) never executed; the race
+        # checker must not crash or invent findings from them.
+        from repro.analysis.racecheck import check_trace_races
+
+        assert check_trace_races(tracer) == []
+        assert check_trace_deadlocks(tracer)

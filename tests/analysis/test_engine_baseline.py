@@ -81,9 +81,10 @@ class TestReport:
                             rules=rule_names())
         doc = report.to_doc()
         assert doc["version"] == SCHEMA_VERSION
-        assert set(doc) == {"version", "tool", "files", "rules",
-                            "counts", "suppressed", "stale_baseline",
-                            "findings"}
+        assert set(doc) == {"version", "schema", "tool", "exit_code",
+                            "files", "rules", "counts", "suppressed",
+                            "stale_baseline", "findings"}
+        assert doc["schema"] == f"repro.analysis.lint/{SCHEMA_VERSION}"
         out = tmp_path / "lint.json"
         report.write_json(out)
         assert json.loads(out.read_text())["counts"]["wall-clock"] == 1

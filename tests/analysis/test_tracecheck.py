@@ -1,8 +1,11 @@
 """Trace-replay checker on synthetic and real Chrome traces."""
 
+import gzip
 import json
 
-from repro.analysis import check_trace
+import pytest
+
+from repro.analysis import TraceError, check_trace, load_trace
 
 
 def span(name, tid, args=None, ts=0):
@@ -79,6 +82,72 @@ class TestCollectiveParticipation:
                      span("allreduce", 0)])
         (f,) = check_trace(doc)
         assert f.rule == "trace-collective-ranks"
+
+
+class TestLoadTrace:
+    JSONL = ('{"rank": 0, "seq": 0, "name": "send", "cat": "comm",'
+             ' "ph": "X", "t_wall": 0.0, "dur_wall": 0.1,'
+             ' "args": {"dst": 1, "tag": 7, "nbytes": 8}}\n'
+             '{"rank": 1, "seq": 0, "name": "recv", "cat": "comm",'
+             ' "ph": "X", "t_wall": 0.2, "dur_wall": 0.1,'
+             ' "args": {"src": 0, "tag": 7}}\n')
+
+    def test_gzipped_chrome_trace_loads(self, tmp_path):
+        doc = trace([meta(0), meta(1),
+                     span("send", 0, {"dst": 1, "tag": 7, "nbytes": 8}),
+                     span("recv", 1, {"src": 0, "tag": 7})])
+        path = tmp_path / "trace.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        assert check_trace(path) == []
+
+    def test_events_jsonl_loads_plain_and_gzipped(self, tmp_path):
+        plain = tmp_path / "events.jsonl"
+        plain.write_text(self.JSONL)
+        assert check_trace(plain) == []
+        packed = tmp_path / "events.jsonl.gz"
+        with gzip.open(packed, "wt", encoding="utf-8") as fh:
+            fh.write(self.JSONL)
+        assert check_trace(packed) == []
+
+    def test_torn_jsonl_line_is_typed_error(self, tmp_path):
+        # A killed process rank tears its spool mid-record.
+        path = tmp_path / "events.jsonl"
+        path.write_text(self.JSONL + '{"rank": 1, "seq": 1, "na')
+        with pytest.raises(TraceError) as exc:
+            load_trace(path)
+        assert "events.jsonl" in str(exc.value)
+        assert "line 3" in str(exc.value)
+
+    def test_truncated_gzip_is_typed_error(self, tmp_path):
+        path = tmp_path / "trace.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(self.JSONL)
+        path.write_bytes(path.read_bytes()[:-7])    # chop the stream
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_truncated_chrome_json_is_typed_error(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('{"traceEvents": [{"ph": "X", "na')
+        with pytest.raises(TraceError, match="truncated or corrupt"):
+            load_trace(path)
+
+    def test_empty_file_is_typed_error(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_missing_file_is_typed_error(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(tmp_path / "absent.json")
+
+    def test_renamed_jsonl_spool_still_loads(self, tmp_path):
+        # A spool copied to a .json name: sniffed as JSONL on fallback.
+        path = tmp_path / "trace.json"
+        path.write_text(self.JSONL)
+        assert check_trace(path) == []
 
 
 class TestRealTrace:

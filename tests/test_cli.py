@@ -73,7 +73,7 @@ class TestLintCLI:
 
     def test_lint_flags_violations_in_tmp_tree(self, capsys, tmp_path):
         (tmp_path / "bad.py").write_text(self.BAD)
-        assert main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        assert main(["lint", str(tmp_path), "--no-baseline"]) == 4
         out = capsys.readouterr().out
         assert "wall-clock" in out and "mutable-default" in out
 
@@ -97,7 +97,7 @@ class TestLintCLI:
         capsys.readouterr()
         assert main(["lint", str(tmp_path), "--baseline", base]) == 0
         assert main(["lint", str(tmp_path), "--baseline", base,
-                     "--check"]) == 1      # ratchet: tighten the baseline
+                     "--check"]) == 4      # ratchet: tighten the baseline
         assert "stale" in capsys.readouterr().out
 
     def test_json_report_shape(self, capsys, tmp_path):
@@ -122,9 +122,8 @@ class TestLintCLI:
         out = capsys.readouterr().out
         assert "wall-clock" in out and "comm-direction-mismatch" in out
 
-    def test_unknown_rule_exits_nonzero(self):
-        with pytest.raises(SystemExit):
-            main(["lint", "--enable", "no-such-rule"])
+    def test_unknown_rule_is_config_error(self):
+        assert main(["lint", "--enable", "no-such-rule"]) == 2
 
 
 class TestAnalyzeCLI:
@@ -139,7 +138,7 @@ class TestAnalyzeCLI:
             "        comm.barrier()\n"
             "    comm.send(buf, dest=1, tag=4)\n"
             "    comm.recv(source=2, tag=9)\n")
-        assert main(["analyze", str(tmp_path)]) == 1
+        assert main(["analyze", str(tmp_path)]) == 4
         out = capsys.readouterr().out
         assert "rank-divergent-collective" in out
         assert "unmatched-tag" in out
@@ -158,8 +157,62 @@ class TestAnalyzeCLI:
         ]}))
         (tmp_path / "empty.py").write_text("x = 1\n")
         assert main(["analyze", str(tmp_path / "empty.py"),
-                     "--trace", str(trace)]) == 1
+                     "--trace", str(trace)]) == 4
         assert "trace-unconsumed-send" in capsys.readouterr().out
+
+    def _racy_trace(self, tmp_path):
+        import numpy as np
+
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracer import Tracer
+        from repro.runtime.comm import ParallelJob
+
+        def racy(comm):
+            if comm.rank == 0:
+                buf = np.arange(4096, dtype=np.float64)
+                comm.send(buf, 1, tag=7)
+                buf = comm.reclaim(buf)     # no ack first: the bug
+                buf[:] = -1.0
+            elif comm.rank == 1:
+                float(comm.recv(0, tag=7).sum())
+
+        tracer = Tracer(2)
+        ParallelJob(2, tracer=tracer).run(racy)
+        return write_chrome_trace(tmp_path / "trace.json", tracer)
+
+    def test_analyze_races_flags_racy_trace(self, capsys, tmp_path):
+        trace = self._racy_trace(tmp_path)
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        assert main(["analyze", str(tmp_path / "empty.py"), "--races",
+                     "--deadlocks", "--trace", str(trace)]) == 4
+        out = capsys.readouterr().out
+        assert "trace-race" in out
+        assert "rank 0" in out and "rank 1" in out
+
+    def test_analyze_races_json_schema_and_exit_code(self, capsys,
+                                                     tmp_path):
+        import json
+        trace = self._racy_trace(tmp_path)
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        report = tmp_path / "races.json"
+        assert main(["analyze", str(tmp_path / "empty.py"), "--races",
+                     "--trace", str(trace),
+                     "--json", str(report)]) == 4
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.analysis.races/1"
+        assert doc["exit_code"] == 4
+        assert doc["counts"]["trace-race"] == 1
+
+    def test_analyze_corrupt_trace_is_config_error(self, capsys,
+                                                   tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text('{"traceEvents": [{"ph": "X", "na')  # truncated
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        assert main(["analyze", str(tmp_path / "empty.py"), "--races",
+                     "--trace", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "truncated or corrupt" in err
+        assert "Traceback" not in err
 
     def test_analyze_trace_replay_accepts_recorded_run(self, capsys,
                                                        tmp_path):
